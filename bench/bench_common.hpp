@@ -1,0 +1,67 @@
+#pragma once
+// Shared helpers for the experiment harness. Every bench binary prints the
+// paper-style table(s) for its experiment (round counts measured on the
+// circuit simulator) and then runs google-benchmark wall-time measurements
+// of the underlying simulation, so `bench_*` with no arguments reproduces
+// the experiment and `--benchmark_filter=...` profiles the substrate.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "baselines/checker.hpp"
+#include "shapes/generators.hpp"
+#include "sim/region.hpp"
+#include "util/bitstream.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace aspf::bench {
+
+/// Picks `count` distinct region-local ids, seeded.
+inline std::vector<int> pickDistinct(const Region& region, int count,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> taken(region.size(), 0);
+  std::vector<int> out;
+  count = std::min(count, region.size());
+  while (static_cast<int>(out.size()) < count) {
+    const int u = static_cast<int>(rng.below(region.size()));
+    if (!taken[u]) {
+      taken[u] = 1;
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+inline std::vector<char> flags(const Region& region,
+                               const std::vector<int>& ids) {
+  std::vector<char> f(region.size(), 0);
+  for (const int u : ids) f[u] = 1;
+  return f;
+}
+
+/// log2-ish reference column so the table shows the predicted shape.
+inline double log2d(double x) { return x <= 1 ? 0.0 : std::log2(x); }
+
+inline void printHeader(const char* id, const char* claim) {
+  std::cout << "\n=== " << id << " — " << claim << " ===\n";
+}
+
+/// Asserts the run is a valid forest; aborts the experiment loudly if not,
+/// so a bench never reports rounds of a wrong answer.
+inline void mustBeValid(const Region& region, const std::vector<int>& parent,
+                        const std::vector<int>& sources,
+                        const std::vector<int>& dests, const char* what) {
+  const ForestCheck check =
+      checkShortestPathForest(region, parent, sources, dests);
+  if (!check.ok) {
+    std::cerr << "INVALID RESULT in " << what << ": " << check.error << "\n";
+    std::abort();
+  }
+}
+
+}  // namespace aspf::bench

@@ -1,0 +1,127 @@
+// E7 — Lemmas 40/42/50: the line algorithm, the merging algorithm, and the
+// propagation algorithm each run within O(log n) rounds.
+#include "baselines/reference.hpp"
+#include "bench_common.hpp"
+#include "portals/portals.hpp"
+#include "spf/line_algorithm.hpp"
+#include "spf/merging.hpp"
+#include "spf/propagation.hpp"
+#include "spf/spt.hpp"
+
+namespace aspf {
+namespace {
+
+using bench::log2d;
+
+void tableLine() {
+  bench::printHeader("E7a", "line algorithm rounds vs n (k = 8 sources)");
+  Table table({"n", "rounds", "rounds/log2(n)"});
+  for (const int m : {64, 256, 1024, 4096}) {
+    const auto s = shapes::line(m);
+    const Region region = Region::whole(s);
+    std::vector<int> chain(m);
+    for (int q = 0; q < m; ++q) chain[q] = region.localOf(s.idOf({q, 0}));
+    std::vector<char> isSource(m, 0);
+    Rng rng(m);
+    for (int i = 0; i < 8; ++i) isSource[rng.below(m)] = 1;
+    const LineSpfResult res = lineSpf(region, chain, isSource);
+    table.add(m, res.rounds, static_cast<double>(res.rounds) / log2d(m));
+  }
+  table.print(std::cout);
+}
+
+void tableMerge() {
+  bench::printHeader("E7b", "merging algorithm rounds vs n");
+  Table table({"n", "rounds", "rounds/log2(n)"});
+  for (const int radius : {8, 16, 32, 48}) {
+    const auto s = shapes::hexagon(radius);
+    const Region region = Region::whole(s);
+    const std::vector<char> all(region.size(), 1);
+    const int s1 = region.localOf(s.idOf({-radius, 0}));
+    const int s2 = region.localOf(s.idOf({radius, 0}));
+    const SptResult t1 = shortestPathTree(region, s1, all);
+    const SptResult t2 = shortestPathTree(region, s2, all);
+    const MergeResult merged = mergeForests(region, t1.parent, t2.parent);
+    std::vector<int> allIds(region.size());
+    for (int i = 0; i < region.size(); ++i) allIds[i] = i;
+    bench::mustBeValid(region, merged.parent, {s1, s2}, allIds, "E7b");
+    table.add(region.size(), merged.rounds,
+              static_cast<double>(merged.rounds) / log2d(region.size()));
+  }
+  table.print(std::cout);
+}
+
+void tablePropagation() {
+  bench::printHeader("E7c",
+                     "propagation rounds vs n (forest pushed across the "
+                     "equator portal of a hexagon)");
+  Table table({"n", "|B|", "rounds", "rounds/log2(n)"});
+  for (const int radius : {8, 16, 32, 48}) {
+    const auto s = shapes::hexagon(radius);
+    const Region region = Region::whole(s);
+    const PortalDecomposition decomp = computePortals(region, Axis::X);
+    const int portal = decomp.portalOf[region.localOf(s.idOf({0, 0}))];
+
+    // A u P = equator and everything north of it.
+    std::vector<int> parentAP(region.size(), -2);
+    std::vector<int> apLocals;
+    for (int u = 0; u < region.size(); ++u) {
+      if (region.coordOf(u).r >= 0) apLocals.push_back(u);
+    }
+    std::vector<int> globals;
+    for (const int u : apLocals) globals.push_back(region.globalId(u));
+    const Region ap = Region::of(region.structure(), globals);
+    const int source = region.localOf(s.idOf({0, 0}));
+    std::vector<int> apSrc{ap.localOf(region.globalId(source))};
+    const auto dist = ap.bfsDistancesLocal(apSrc);
+    parentAP[source] = -1;
+    for (int zu = 0; zu < ap.size(); ++zu) {
+      const int u = region.localOf(ap.globalId(zu));
+      if (u == source) continue;
+      for (Dir d : kAllDirs) {
+        const int zv = ap.neighbor(zu, d);
+        if (zv >= 0 && dist[zv] == dist[zu] - 1) {
+          parentAP[u] = region.localOf(ap.globalId(zv));
+          break;
+        }
+      }
+    }
+    const PropagationResult prop =
+        propagateForest(region, decomp, portal, parentAP);
+    std::vector<int> allIds(region.size());
+    for (int i = 0; i < region.size(); ++i) allIds[i] = i;
+    bench::mustBeValid(region, prop.parent, {source}, allIds, "E7c");
+    table.add(region.size(),
+              region.size() - static_cast<int>(apLocals.size()), prop.rounds,
+              static_cast<double>(prop.rounds) / log2d(region.size()));
+  }
+  table.print(std::cout);
+}
+
+void BM_Merge(benchmark::State& state) {
+  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const Region region = Region::whole(s);
+  const std::vector<char> all(region.size(), 1);
+  const int radius = static_cast<int>(state.range(0));
+  const SptResult t1 =
+      shortestPathTree(region, region.localOf(s.idOf({-radius, 0})), all);
+  const SptResult t2 =
+      shortestPathTree(region, region.localOf(s.idOf({radius, 0})), all);
+  for (auto _ : state) {
+    const MergeResult merged = mergeForests(region, t1.parent, t2.parent);
+    benchmark::DoNotOptimize(merged.parent.data());
+  }
+}
+BENCHMARK(BM_Merge)->Arg(8)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tableLine();
+  aspf::tableMerge();
+  aspf::tablePropagation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

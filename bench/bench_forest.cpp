@@ -1,0 +1,116 @@
+// E4 — Theorem 56 / Corollary 57: the divide & conquer forest algorithm
+// solves (k,l)-SPF in O(log n log^2 k) rounds. Series: rounds vs k at
+// fixed n (normalized by log n log^2 k) and rounds vs n at fixed k
+// (normalized by log n).
+#include "bench_common.hpp"
+#include "spf/forest.hpp"
+
+namespace aspf {
+namespace {
+
+using bench::log2d;
+
+void tableRoundsVsK() {
+  bench::printHeader("E4a", "(k,l)-SPF rounds vs k (hexagon, fixed n)");
+  const auto s = shapes::hexagon(16);  // n = 817
+  const Region region = Region::whole(s);
+  Table table({"n", "k", "l", "rounds", "rounds/(log n * log^2 k)"});
+  for (const int k : {2, 4, 8, 16, 32, 64, 128}) {
+    const auto sources = bench::pickDistinct(region, k, 100 + k);
+    const auto dests = bench::pickDistinct(region, 32, 999);
+    const ForestResult forest = shortestPathForest(
+        region, bench::flags(region, sources), bench::flags(region, dests));
+    bench::mustBeValid(region, forest.parent, sources, dests, "E4a");
+    const double norm =
+        log2d(region.size()) * log2d(k) * log2d(k);
+    table.add(region.size(), k, 32, forest.rounds,
+              static_cast<double>(forest.rounds) / std::max(norm, 1.0));
+  }
+  table.print(std::cout);
+}
+
+void tableRoundsVsN() {
+  bench::printHeader("E4b", "(k,l)-SPF rounds vs n (fixed k = 16)");
+  Table table({"n", "k", "rounds", "rounds/log2(n)"});
+  for (const int radius : {6, 10, 16, 24, 32}) {
+    const auto s = shapes::hexagon(radius);
+    const Region region = Region::whole(s);
+    const auto sources = bench::pickDistinct(region, 16, 5);
+    const auto dests = bench::pickDistinct(region, 32, 6);
+    const ForestResult forest = shortestPathForest(
+        region, bench::flags(region, sources), bench::flags(region, dests));
+    bench::mustBeValid(region, forest.parent, sources, dests, "E4b");
+    table.add(region.size(), 16, forest.rounds,
+              static_cast<double>(forest.rounds) / log2d(region.size()));
+  }
+  table.print(std::cout);
+}
+
+void tableRandomShapes() {
+  bench::printHeader("E4c", "(k,l)-SPF on random hole-free blobs");
+  Table table({"seed", "n", "k", "rounds"});
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto s = shapes::randomBlob(800, seed);
+    const Region region = Region::whole(s);
+    const auto sources = bench::pickDistinct(region, 12, seed * 3);
+    const auto dests = bench::pickDistinct(region, 24, seed * 7);
+    const ForestResult forest = shortestPathForest(
+        region, bench::flags(region, sources), bench::flags(region, dests));
+    bench::mustBeValid(region, forest.parent, sources, dests, "E4c");
+    table.add(static_cast<long long>(seed), region.size(), 12,
+              forest.rounds);
+  }
+  table.print(std::cout);
+}
+
+void tablePhaseBreakdown() {
+  bench::printHeader("E4d",
+                     "round breakdown by phase (hexagon n = 817, l = 32)");
+  const auto s = shapes::hexagon(16);
+  const Region region = Region::whole(s);
+  Table table({"k", "preproc", "split", "base", "decomp", "merging", "prune",
+               "total"});
+  for (const int k : {2, 8, 32, 128}) {
+    const auto sources = bench::pickDistinct(region, k, 100 + k);
+    const auto dests = bench::pickDistinct(region, 32, 999);
+    const ForestResult f = shortestPathForest(
+        region, bench::flags(region, sources), bench::flags(region, dests));
+    bench::mustBeValid(region, f.parent, sources, dests, "E4d");
+    table.add(k, f.phases.preprocessing, f.phases.split, f.phases.base,
+              f.phases.decomposition, f.phases.merging, f.phases.prune,
+              f.rounds);
+  }
+  table.print(std::cout);
+  std::cout << "The decomposition column is the binary-counter recomputation"
+               " cost\n(height * O(log^2 k)); merging dominates at large k"
+               " as the paper predicts.\n";
+}
+
+void BM_Forest(benchmark::State& state) {
+  const auto s = shapes::hexagon(12);
+  const Region region = Region::whole(s);
+  const int k = static_cast<int>(state.range(0));
+  const auto sources = bench::pickDistinct(region, k, 100 + k);
+  const auto dests = bench::pickDistinct(region, 16, 999);
+  const auto isSource = bench::flags(region, sources);
+  const auto isDest = bench::flags(region, dests);
+  for (auto _ : state) {
+    const ForestResult forest = shortestPathForest(region, isSource, isDest);
+    benchmark::DoNotOptimize(forest.parent.data());
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_Forest)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tableRoundsVsK();
+  aspf::tableRoundsVsN();
+  aspf::tableRandomShapes();
+  aspf::tablePhaseBreakdown();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E6 — Lemmas 3/4 and Corollaries 5/6: PASC needs exactly two rounds per
+// iteration and O(log m) iterations on chains (O(log h) on trees, O(log W)
+// for weighted prefix sums).
+#include "bench_common.hpp"
+#include "pasc/pasc_chain.hpp"
+#include "pasc/pasc_prefix.hpp"
+#include "pasc/pasc_tree.hpp"
+
+namespace aspf {
+namespace {
+
+void tableChain() {
+  bench::printHeader("E6a", "PASC chain: iterations and rounds vs m");
+  Table table({"m", "iterations", "rounds", "bitWidth(m-1)"});
+  for (const int m : {8, 32, 128, 512, 2048, 8192}) {
+    const auto s = shapes::line(m);
+    const Region region = Region::whole(s);
+    std::vector<int> stops(m);
+    for (int q = 0; q < m; ++q) stops[q] = region.localOf(s.idOf({q, 0}));
+    Comm comm(region, 4);
+    const PascResult res = runPascChain(comm, stops);
+    table.add(m, res.iterations, res.rounds,
+              bitWidth(static_cast<std::uint64_t>(m - 1)));
+  }
+  table.print(std::cout);
+}
+
+void tablePrefix() {
+  bench::printHeader("E6b",
+                     "prefix-sum PASC: rounds depend on W, not chain length");
+  Table table({"m", "W", "iterations", "rounds"});
+  const int m = 4096;
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  std::vector<int> stops(m);
+  for (int q = 0; q < m; ++q) stops[q] = region.localOf(s.idOf({q, 0}));
+  for (const int w : {1, 4, 16, 64, 256, 1024, 4096}) {
+    std::vector<char> weight(m, 0);
+    for (int i = 0; i < w; ++i) weight[(i * m) / w] = 1;
+    Comm comm(region, 4);
+    const PascResult res = runPascPrefixSum(comm, stops, weight);
+    int actualW = 0;
+    for (const char c : weight) actualW += c;
+    table.add(m, actualW, res.iterations, res.rounds);
+  }
+  table.print(std::cout);
+}
+
+void tableTree() {
+  bench::printHeader("E6c", "tree PASC (Cor 5): rounds vs height");
+  Table table({"n", "height", "iterations", "rounds"});
+  for (const int radius : {4, 8, 16, 32, 64}) {
+    const auto s = shapes::hexagon(radius);
+    const Region region = Region::whole(s);
+    const int center = region.localOf(s.idOf({0, 0}));
+    const int src[] = {center};
+    const auto dist = region.bfsDistancesLocal(src);
+    std::vector<int> parent(region.size(), -2);
+    parent[center] = -1;
+    for (int u = 0; u < region.size(); ++u) {
+      if (u == center) continue;
+      for (Dir d : kAllDirs) {
+        const int v = region.neighbor(u, d);
+        if (v >= 0 && dist[v] == dist[u] - 1) {
+          parent[u] = v;
+          break;
+        }
+      }
+    }
+    Comm comm(region, 2);
+    const TreePascResult res = runPascForest(comm, parent);
+    table.add(region.size(), radius, res.iterations, res.rounds);
+  }
+  table.print(std::cout);
+}
+
+void BM_PascChain(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  std::vector<int> stops(m);
+  for (int q = 0; q < m; ++q) stops[q] = region.localOf(s.idOf({q, 0}));
+  for (auto _ : state) {
+    Comm comm(region, 4);
+    const PascResult res = runPascChain(comm, stops);
+    benchmark::DoNotOptimize(res.value.data());
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_PascChain)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tableChain();
+  aspf::tablePrefix();
+  aspf::tableTree();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

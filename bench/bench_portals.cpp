@@ -1,0 +1,126 @@
+// E8 — Lemmas 9/11 and the portal machinery of Figure 2 / Section 3.5:
+// portal-tree statistics on the benchmark shapes, a randomized audit of the
+// distance identity 2*dist = dist_x + dist_y + dist_z, and the rounds of
+// the portal-level primitives vs |Q|.
+#include "bench_common.hpp"
+#include "portals/portal_primitives.hpp"
+#include "portals/portals.hpp"
+
+namespace aspf {
+namespace {
+
+using bench::log2d;
+
+void tablePortalStats() {
+  bench::printHeader("E8a", "portal-tree statistics (Lemma 9, Figure 2)");
+  Table table({"shape", "n", "axis", "portals", "tree?", "depth"});
+  auto row = [&](const char* name, const AmoebotStructure& s) {
+    const Region region = Region::whole(s);
+    for (const Axis axis : kAllAxes) {
+      const PortalDecomposition d = computePortals(region, axis);
+      const auto dist = d.portalGraphDistances(0);
+      int depth = 0;
+      for (const int x : dist) depth = std::max(depth, x);
+      table.add(name, region.size(), toString(axis), d.portalCount(),
+                d.portalGraphIsTree() ? "yes" : "NO", depth);
+    }
+  };
+  row("hexagon r=16", shapes::hexagon(16));
+  row("parallelogram 64x16", shapes::parallelogram(64, 16));
+  row("comb 16x32", shapes::comb(16, 32, 2));
+  row("staircase 12x4", shapes::staircase(12, 4));
+  row("blob n~1500", shapes::randomBlob(1500, 4));
+  table.print(std::cout);
+}
+
+void tableDistanceIdentity() {
+  bench::printHeader("E8b",
+                     "Lemma 11 audit: 2*dist(u,v) == dist_x + dist_y + "
+                     "dist_z over random pairs");
+  Table table({"shape", "n", "pairs checked", "violations"});
+  Rng rng(2024);
+  auto audit = [&](const char* name, const AmoebotStructure& s) {
+    const Region region = Region::whole(s);
+    std::array<PortalDecomposition, 3> d{computePortals(region, Axis::X),
+                                         computePortals(region, Axis::Y),
+                                         computePortals(region, Axis::Z)};
+    int violations = 0;
+    const int pairs = 200;
+    for (int t = 0; t < pairs; ++t) {
+      const int u = static_cast<int>(rng.below(region.size()));
+      const int v = static_cast<int>(rng.below(region.size()));
+      const int src[] = {u};
+      const int duv = region.bfsDistancesLocal(src)[v];
+      int sum = 0;
+      for (int a = 0; a < 3; ++a)
+        sum += d[a].portalGraphDistances(d[a].portalOf[u])[d[a].portalOf[v]];
+      if (2 * duv != sum) ++violations;
+    }
+    table.add(name, region.size(), pairs, violations);
+  };
+  audit("hexagon r=12", shapes::hexagon(12));
+  audit("blob n~600", shapes::randomBlob(600, 8));
+  audit("spider", shapes::randomSpider(5, 40, 3));
+  audit("staircase", shapes::staircase(8, 4));
+  table.print(std::cout);
+}
+
+void tablePortalPrimitives() {
+  bench::printHeader("E8c", "portal primitive rounds vs |Q| (blob n~2000)");
+  const auto s = shapes::randomBlob(2000, 17);
+  const Region region = Region::whole(s);
+  const PortalDecomposition decomp = computePortals(region, Axis::X);
+  Table table({"portals", "|Q|", "root&prune", "election", "centroid",
+               "decomposition"});
+  Rng rng(5);
+  for (const int q : {2, 4, 8, 16, 32, 64}) {
+    if (q > decomp.portalCount()) break;
+    std::vector<char> inQ(decomp.portalCount(), 0);
+    int placed = 0;
+    while (placed < q) {
+      const int p = static_cast<int>(rng.below(decomp.portalCount()));
+      if (!inQ[p]) {
+        inQ[p] = 1;
+        ++placed;
+      }
+    }
+    Comm c1(region, 4);
+    const PortalRootPruneResult rp =
+        portalRootAndPrune(c1, decomp, {}, 0, inQ, true);
+    Comm c2(region, 4);
+    const PortalElectionResult el = portalElect(c2, decomp, {}, 0, inQ);
+    Comm c3(region, 4);
+    const PortalCentroidResult ce = portalCentroids(c3, decomp, {}, 0, inQ);
+    std::vector<char> qPrime(decomp.portalCount(), 0);
+    for (int p = 0; p < decomp.portalCount(); ++p)
+      qPrime[p] = (inQ[p] || rp.inAug[p]) ? 1 : 0;
+    const PortalDecompositionResult dt =
+        portalDecompose(region, decomp, 0, qPrime);
+    table.add(decomp.portalCount(), q, rp.rounds, el.rounds, ce.rounds,
+              dt.rounds);
+  }
+  table.print(std::cout);
+}
+
+void BM_ComputePortals(benchmark::State& state) {
+  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const Region region = Region::whole(s);
+  for (auto _ : state) {
+    const PortalDecomposition d = computePortals(region, Axis::X);
+    benchmark::DoNotOptimize(d.portalOf.data());
+  }
+  state.counters["n"] = region.size();
+}
+BENCHMARK(BM_ComputePortals)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tablePortalStats();
+  aspf::tableDistanceIdentity();
+  aspf::tablePortalPrimitives();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E5 — Lemmas 20/21/23/31: the tree primitives cost O(log|Q|) (root &
+// prune, centroid), O(1) (election), and O(log^2 |Q|) (decomposition)
+// rounds. Sweeps |Q| on random spanning trees of random blobs.
+#include "bench_common.hpp"
+#include "primitives/centroid.hpp"
+#include "primitives/decomposition.hpp"
+#include "primitives/election.hpp"
+#include "primitives/root_prune.hpp"
+
+namespace aspf {
+namespace {
+
+using bench::log2d;
+
+TreeAdj randomSpanningTree(const Region& region, std::uint64_t seed) {
+  Rng rng(seed);
+  TreeAdj tree = TreeAdj::empty(region.size());
+  std::vector<char> seen(region.size(), 0);
+  std::vector<int> frontier{0};
+  seen[0] = 1;
+  while (!frontier.empty()) {
+    const std::size_t pick = rng.below(frontier.size());
+    const int u = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    for (Dir d : kAllDirs) {
+      const int v = region.neighbor(u, d);
+      if (v >= 0 && !seen[v]) {
+        seen[v] = 1;
+        tree.add(region, u, v);
+        frontier.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+void tablePrimitives() {
+  bench::printHeader(
+      "E5", "tree primitive rounds vs |Q| (random blob, n = 2000)");
+  const auto s = shapes::randomBlob(2000, 11);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, 23);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+
+  Table table({"|Q|", "root&prune", "election", "centroid", "decomposition",
+               "r&p/log2|Q|", "decomp/log2^2|Q|"});
+  for (const int q : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    const auto qIds = bench::pickDistinct(region, q, 31 * q);
+    const auto inQ = bench::flags(region, qIds);
+
+    Comm c1(region, 4);
+    const RootPruneResult rp = rootAndPrune(c1, tour, inQ);
+    Comm c2(region, 4);
+    const ElectionResult el = electFromQ(c2, tour, inQ);
+    Comm c3(region, 4);
+    const CentroidResult ce = computeQCentroids(c3, tour, inQ);
+
+    std::vector<char> qPrime(region.size(), 0);
+    for (int u = 0; u < region.size(); ++u)
+      qPrime[u] = (inQ[u] || rp.inAug[u]) ? 1 : 0;
+    const DecompositionResult dt =
+        decomposeAtCentroids(region, tree, 0, qPrime);
+
+    table.add(q, rp.rounds, el.rounds, ce.rounds, dt.rounds,
+              static_cast<double>(rp.rounds) / log2d(q),
+              static_cast<double>(dt.rounds) / (log2d(q) * log2d(q)));
+  }
+  table.print(std::cout);
+}
+
+void BM_RootPrune(benchmark::State& state) {
+  const auto s = shapes::randomBlob(1000, 3);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, 5);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+  const auto inQ = bench::flags(
+      region, bench::pickDistinct(region, static_cast<int>(state.range(0)), 7));
+  for (auto _ : state) {
+    Comm comm(region, 4);
+    const RootPruneResult rp = rootAndPrune(comm, tour, inQ);
+    benchmark::DoNotOptimize(rp.qCount);
+  }
+}
+BENCHMARK(BM_RootPrune)->Arg(16)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tablePrimitives();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E10 — substrate quality: wall-clock throughput of the circuit engine
+// (one deliver() = one synchronous round = one union-find pass over all
+// pins) and of the structure/portal computations, as a function of n.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "portals/portals.hpp"
+#include "sim/circuit_engine.hpp"
+
+namespace aspf {
+namespace {
+
+void tableSimThroughput() {
+  bench::printHeader("E10", "circuit engine: cost of one round vs n");
+  Table table({"n", "pins", "us/round (global circuit)", "circuits"});
+  for (const int radius : {8, 16, 32, 64, 96}) {
+    const auto s = shapes::hexagon(radius);
+    const Region region = Region::whole(s);
+    Comm comm(region, 4);
+    // Global circuit: everyone joins all pins of lane 0.
+    for (int a = 0; a < region.size(); ++a) {
+      std::vector<Pin> star;
+      for (Dir d : kAllDirs) star.push_back({d, 0});
+      comm.pins(a).join(star);
+    }
+    const CircuitInfo info = analyzeCircuits(comm);
+    const auto start = std::chrono::steady_clock::now();
+    const int reps = 20;
+    for (int i = 0; i < reps; ++i) {
+      comm.beepPin(0, {Dir::E, 0});
+      comm.deliver();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(stop - start).count() /
+        reps;
+    table.add(region.size(), region.size() * 24, us, info.circuitCount);
+  }
+  table.print(std::cout);
+}
+
+void BM_Deliver(benchmark::State& state) {
+  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  for (int a = 0; a < region.size(); ++a) {
+    std::vector<Pin> star;
+    for (Dir d : kAllDirs) star.push_back({d, 0});
+    comm.pins(a).join(star);
+  }
+  for (auto _ : state) {
+    comm.beepPin(0, {Dir::E, 0});
+    comm.deliver();
+  }
+  state.SetItemsProcessed(state.iterations() * region.size());
+  state.counters["n"] = region.size();
+}
+BENCHMARK(BM_Deliver)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_HoleFreeCheck(benchmark::State& state) {
+  const auto s = shapes::randomBlob(static_cast<int>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.isHoleFree());
+  }
+}
+BENCHMARK(BM_HoleFreeCheck)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tableSimThroughput();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

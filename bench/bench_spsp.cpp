@@ -1,0 +1,60 @@
+// E2 — Corollary of Theorem 39: SPSP (k = l = 1) takes O(1) rounds,
+// independent of n and of the distance between the pair. The series sweeps
+// n over two orders of magnitude; the rounds column must stay flat.
+#include "bench_common.hpp"
+#include "spf/spt.hpp"
+
+namespace aspf {
+namespace {
+
+void tableSpsp() {
+  bench::printHeader("E2", "SPSP rounds vs n (must be constant)");
+  Table table({"shape", "n", "pair distance", "rounds"});
+  for (const int radius : {4, 8, 16, 32, 64, 96}) {
+    const auto s = shapes::hexagon(radius);
+    const Region region = Region::whole(s);
+    const int source = region.localOf(s.idOf({-radius, 0}));
+    const int dest = region.localOf(s.idOf({radius, 0}));
+    std::vector<char> isDest(region.size(), 0);
+    isDest[dest] = 1;
+    const SptResult spt = shortestPathTree(region, source, isDest);
+    bench::mustBeValid(region, spt.parent, {source}, {dest}, "E2");
+    table.add("hexagon", region.size(), 2 * radius, spt.rounds);
+  }
+  for (const int len : {64, 256, 1024, 4096}) {
+    const auto s = shapes::line(len);
+    const Region region = Region::whole(s);
+    std::vector<char> isDest(region.size(), 0);
+    const int dest = region.localOf(s.idOf({len - 1, 0}));
+    isDest[dest] = 1;
+    const SptResult spt = shortestPathTree(region, 0, isDest);
+    bench::mustBeValid(region, spt.parent, {0}, {dest}, "E2");
+    table.add("line", region.size(), len - 1, spt.rounds);
+  }
+  table.print(std::cout);
+}
+
+void BM_Spsp(benchmark::State& state) {
+  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const Region region = Region::whole(s);
+  const int radius = static_cast<int>(state.range(0));
+  const int source = region.localOf(s.idOf({-radius, 0}));
+  std::vector<char> isDest(region.size(), 0);
+  isDest[region.localOf(s.idOf({radius, 0}))] = 1;
+  for (auto _ : state) {
+    const SptResult spt = shortestPathTree(region, source, isDest);
+    benchmark::DoNotOptimize(spt.parent.data());
+  }
+  state.counters["n"] = region.size();
+}
+BENCHMARK(BM_Spsp)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tableSpsp();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E1 — Theorem 39: the shortest path tree algorithm solves (1,l)-SPF in
+// O(log l) rounds. Regenerates two series: rounds vs l at fixed n, and
+// rounds vs n at fixed l (both should track the log of the swept variable).
+#include "bench_common.hpp"
+#include "spf/spt.hpp"
+
+namespace aspf {
+namespace {
+
+using bench::log2d;
+
+void tableRoundsVsL() {
+  bench::printHeader("E1a", "(1,l)-SPF rounds vs l (hexagon, fixed n)");
+  const auto s = shapes::hexagon(24);  // n = 1801
+  const Region region = Region::whole(s);
+  Table table({"n", "l", "rounds", "rounds/log2(l+1)"});
+  for (const int l : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const auto dests = bench::pickDistinct(region, l, 42 + l);
+    const auto isDest = bench::flags(region, dests);
+    const int source = region.localOf(s.idOf({0, 0}));
+    const SptResult spt = shortestPathTree(region, source, isDest);
+    bench::mustBeValid(region, spt.parent, {source}, dests, "E1a");
+    table.add(region.size(), l, spt.rounds,
+              static_cast<double>(spt.rounds) / log2d(l + 1));
+  }
+  table.print(std::cout);
+}
+
+void tableRoundsVsN() {
+  bench::printHeader("E1b", "(1,l)-SPF rounds vs n (fixed l = 16)");
+  Table table({"n", "diam", "l", "rounds"});
+  for (const int radius : {4, 8, 16, 32, 48, 64}) {
+    const auto s = shapes::hexagon(radius);
+    const Region region = Region::whole(s);
+    const auto dests = bench::pickDistinct(region, 16, 7);
+    const auto isDest = bench::flags(region, dests);
+    const int source = region.localOf(s.idOf({0, 0}));
+    const SptResult spt = shortestPathTree(region, source, isDest);
+    bench::mustBeValid(region, spt.parent, {source}, dests, "E1b");
+    table.add(region.size(), 2 * radius, 16, spt.rounds);
+  }
+  table.print(std::cout);
+}
+
+void BM_SptHexagon(benchmark::State& state) {
+  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const Region region = Region::whole(s);
+  const auto dests = bench::pickDistinct(region, 16, 7);
+  const auto isDest = bench::flags(region, dests);
+  const int source = region.localOf(s.idOf({0, 0}));
+  long rounds = 0;
+  for (auto _ : state) {
+    const SptResult spt = shortestPathTree(region, source, isDest);
+    rounds = spt.rounds;
+    benchmark::DoNotOptimize(spt.parent.data());
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["n"] = region.size();
+}
+BENCHMARK(BM_SptHexagon)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tableRoundsVsL();
+  aspf::tableRoundsVsN();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

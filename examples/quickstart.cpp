@@ -1,0 +1,59 @@
+// Quickstart: build an amoebot structure, solve SSSP / SPSP / (k,l)-SPF
+// through the public facade, and render the resulting forests (compare
+// Figures 1a and 5 of the paper).
+#include <iostream>
+
+#include "core/amoebot_spf.hpp"
+#include "util/render.hpp"
+
+using namespace aspf;
+
+int main() {
+  // A hexagon of radius 6 (n = 127 amoebots).
+  const AmoebotStructure structure = shapes::hexagon(6);
+  const Spf spf(structure);
+  std::cout << "Amoebot structure (n = " << structure.size() << "):\n"
+            << renderStructure(structure) << "\n";
+
+  // --- SSSP from the western corner: O(log n) rounds.
+  const int source = structure.idOf({-6, 0});
+  const SpfSolution sssp = spf.sssp(source);
+  std::cout << "SSSP from the western corner took " << sssp.rounds
+            << " synchronous rounds (n = " << structure.size() << ").\n";
+
+  // --- SPSP across the diameter: O(1) rounds.
+  const int dest = structure.idOf({6, 0});
+  const SpfSolution spsp = spf.spsp(source, dest);
+  std::cout << "SPSP across the diameter took " << spsp.rounds
+            << " rounds; path length "
+            << [&] {
+                 int len = 0, u = dest;
+                 while (spsp.parent[u] >= 0) {
+                   u = spsp.parent[u];
+                   ++len;
+                 }
+                 return len;
+               }()
+            << ".\n";
+
+  // --- (k,l)-SPF with three sources and four destinations.
+  const std::vector<int> sources{structure.idOf({-6, 0}),
+                                 structure.idOf({6, 0}),
+                                 structure.idOf({0, 6})};
+  const std::vector<int> dests{structure.idOf({0, -6}),
+                               structure.idOf({3, 3}),
+                               structure.idOf({-3, -3}),
+                               structure.idOf({0, 0})};
+  const SpfSolution forest = spf.solve(sources, dests);
+  std::cout << "\n(3,4)-SPF took " << forest.rounds << " rounds; verified: "
+            << (spf.verify(forest, sources, dests).ok ? "ok" : "BROKEN")
+            << "\n";
+
+  std::vector<char> isSource(structure.size(), 0), isDest(structure.size(), 0);
+  for (const int s : sources) isSource[s] = 1;
+  for (const int t : dests) isDest[t] = 1;
+  std::cout << "Forest (S = sources, D = destinations, arrows point to "
+               "parents, o = pruned):\n"
+            << renderForest(structure, forest.parent, isSource, isDest);
+  return 0;
+}

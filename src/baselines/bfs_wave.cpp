@@ -1,0 +1,69 @@
+#include "baselines/bfs_wave.hpp"
+
+#include <queue>
+
+namespace aspf {
+
+BfsWaveResult bfsWaveForest(const Region& region,
+                            std::span<const int> sources,
+                            std::span<const int> destinations) {
+  const int n = region.size();
+  BfsWaveResult result;
+  result.parent.assign(n, -2);
+
+  Comm comm(region, 1);  // singleton pins only: neighbor-to-neighbor beeps
+  std::vector<char> covered(n, 0);
+  std::vector<int> frontier;
+  for (const int s : sources) {
+    if (!covered[s]) {
+      covered[s] = 1;
+      result.parent[s] = -1;
+      frontier.push_back(s);
+    }
+  }
+
+  while (!frontier.empty()) {
+    for (const int u : frontier) {
+      for (Dir d : kAllDirs) {
+        if (region.neighbor(u, d) >= 0) comm.beepPin(u, {d, 0});
+      }
+    }
+    comm.deliver();
+    std::vector<int> next;
+    for (int u = 0; u < n; ++u) {
+      if (covered[u]) continue;
+      for (Dir d : kAllDirs) {
+        const int v = region.neighbor(u, d);
+        if (v >= 0 && comm.receivedPin(u, {d, 0})) {
+          covered[u] = 1;
+          result.parent[u] = v;
+          next.push_back(u);
+          break;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Prune to destination-covering branches (one reverse sweep; in the
+  // distributed protocol this is a convergecast costing another
+  // eccentricity(S) rounds, charged below).
+  std::vector<char> keep(n, 0);
+  for (const int t : destinations) {
+    int u = t;
+    while (u >= 0 && !keep[u]) {
+      keep[u] = 1;
+      u = result.parent[u] >= 0 ? result.parent[u] : -1;
+    }
+  }
+  long pruneRounds = 0;
+  for (int u = 0; u < n; ++u) {
+    if (!keep[u] && result.parent[u] >= 0) result.parent[u] = -2;
+  }
+  pruneRounds = comm.rounds();  // convergecast mirrors the wave
+  comm.chargeRounds(pruneRounds);
+  result.rounds = comm.rounds();
+  return result;
+}
+
+}  // namespace aspf

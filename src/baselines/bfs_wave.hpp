@@ -1,0 +1,23 @@
+#pragma once
+// Beep-wave BFS: the natural amoebot-model baseline *without* long-range
+// circuits. Every covered amoebot beeps to its direct neighbors on
+// singleton partition sets; uncovered amoebots adopt a beeping neighbor as
+// parent. Produces an exact (S,D)-shortest-path forest in
+// eccentricity(S) + O(1) rounds -- the Omega(diam) information-flow bound
+// that the paper's circuit-based algorithms beat exponentially.
+#include <span>
+
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct BfsWaveResult {
+  std::vector<int> parent;  // -1 sources, -2 untouched
+  long rounds = 0;
+};
+
+BfsWaveResult bfsWaveForest(const Region& region,
+                            std::span<const int> sources,
+                            std::span<const int> destinations);
+
+}  // namespace aspf

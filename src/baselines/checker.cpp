@@ -1,0 +1,105 @@
+#include "baselines/checker.hpp"
+
+#include <queue>
+#include <sstream>
+
+#include "baselines/reference.hpp"
+
+namespace aspf {
+namespace {
+
+ForestCheck fail(const std::string& message) {
+  ForestCheck c;
+  c.ok = false;
+  c.error = message;
+  return c;
+}
+
+}  // namespace
+
+ForestCheck checkShortestPathForest(const Region& region,
+                                    const std::vector<int>& parent,
+                                    std::span<const int> sources,
+                                    std::span<const int> destinations) {
+  const int n = region.size();
+  if (static_cast<int>(parent.size()) != n)
+    return fail("parent array size mismatch");
+
+  std::vector<char> isSource(n, 0), isDest(n, 0);
+  for (const int s : sources) isSource[s] = 1;
+  for (const int t : destinations) isDest[t] = 1;
+
+  // Property 1 (shape): sources are roots; every forest member reaches a
+  // source along parent pointers without cycles, via grid-adjacent edges.
+  for (const int s : sources) {
+    if (parent[s] != -1) return fail("source is not a root");
+  }
+  std::vector<int> rootOf(n, -1);
+  std::vector<int> depth(n, -1);
+  for (int u = 0; u < n; ++u) {
+    if (parent[u] == -2) continue;
+    // Walk up with a step bound to detect cycles.
+    int cur = u;
+    int steps = 0;
+    std::vector<int> trail;
+    while (parent[cur] >= 0 && rootOf[cur] == -1) {
+      const int p = parent[cur];
+      if (gridDistance(region.coordOf(cur), region.coordOf(p)) != 1)
+        return fail("parent pointer is not a neighbor");
+      trail.push_back(cur);
+      cur = p;
+      if (++steps > n) return fail("cycle in parent pointers");
+    }
+    int base, baseDepth;
+    if (rootOf[cur] != -1) {
+      base = rootOf[cur];
+      baseDepth = depth[cur];
+    } else {
+      if (parent[cur] != -1) return fail("forest member detached from roots");
+      if (!isSource[cur]) return fail("root is not a source");
+      base = cur;
+      baseDepth = 0;
+      rootOf[cur] = cur;
+      depth[cur] = 0;
+    }
+    for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+      rootOf[*it] = base;
+      depth[*it] = ++baseDepth;
+    }
+  }
+
+  // Property 3 is implied: each node has one parent pointer, hence belongs
+  // to exactly one tree.
+
+  // Property 4: every destination is covered.
+  for (const int t : destinations) {
+    if (parent[t] == -2) return fail("destination not covered by forest");
+  }
+
+  // Property 5: depth equals distance to the closest source.
+  std::vector<int> src(sources.begin(), sources.end());
+  const ReferenceDistances ref = multiSourceBfs(region, src);
+  for (int u = 0; u < n; ++u) {
+    if (parent[u] == -2) continue;
+    if (depth[u] != ref.dist[u]) {
+      std::ostringstream os;
+      os << "node " << u << " has forest depth " << depth[u]
+         << " but distance to closest source is " << ref.dist[u];
+      return fail(os.str());
+    }
+  }
+
+  // Property 2: every leaf is a source or destination.
+  std::vector<char> hasChild(n, 0);
+  for (int u = 0; u < n; ++u) {
+    if (parent[u] >= 0) hasChild[parent[u]] = 1;
+  }
+  for (int u = 0; u < n; ++u) {
+    if (parent[u] == -2 || hasChild[u]) continue;
+    if (!isSource[u] && !isDest[u]) return fail("leaf neither source nor destination");
+  }
+
+  return {};
+}
+
+}  // namespace aspf

@@ -1,0 +1,29 @@
+#pragma once
+// Verifies the five defining properties of an (S,D)-shortest-path forest
+// (Section 1.3) against exact BFS distances:
+//  1. parent pointers form trees rooted at sources (T_s per s in S),
+//  2. every leaf of every tree is in S or D,
+//  3. trees are vertex-disjoint,
+//  4. every destination belongs to some tree,
+//  5. tree paths are shortest paths to the *closest* source.
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/region.hpp"
+
+namespace aspf {
+
+struct ForestCheck {
+  bool ok = true;
+  std::string error;  // first violated property, human-readable
+};
+
+/// parent[u]: region-local parent, -1 for sources (roots), -2 for amoebots
+/// outside the forest. Sources with parent != -1 are reported as errors.
+ForestCheck checkShortestPathForest(const Region& region,
+                                    const std::vector<int>& parent,
+                                    std::span<const int> sources,
+                                    std::span<const int> destinations);
+
+}  // namespace aspf

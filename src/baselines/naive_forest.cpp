@@ -1,0 +1,46 @@
+#include "baselines/naive_forest.hpp"
+
+#include <stdexcept>
+
+#include "spf/forest.hpp"
+#include "spf/merging.hpp"
+#include "spf/spt.hpp"
+
+namespace aspf {
+
+NaiveForestResult naiveSequentialForest(const Region& region,
+                                        std::span<const char> isSource,
+                                        std::span<const char> isDest,
+                                        int lanes) {
+  const int n = region.size();
+  std::vector<int> sources;
+  for (int u = 0; u < n; ++u)
+    if (isSource[u]) sources.push_back(u);
+  if (sources.empty())
+    throw std::invalid_argument("naiveSequentialForest: no sources");
+
+  NaiveForestResult result;
+  const std::vector<char> all(n, 1);
+
+  std::vector<int> forest;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    // SSSP tree for the next source (D = X; pruning happens at the end).
+    const SptResult spt = shortestPathTree(region, sources[i], all, lanes);
+    result.rounds += spt.rounds;
+    if (i == 0) {
+      forest = spt.parent;
+      continue;
+    }
+    const MergeResult merged = mergeForests(region, forest, spt.parent, lanes);
+    result.rounds += merged.rounds;
+    forest = merged.parent;
+  }
+
+  const ForestResult pruned =
+      pruneForestToDestinations(region, forest, isDest, lanes);
+  result.parent = pruned.parent;
+  result.rounds += pruned.rounds;
+  return result;
+}
+
+}  // namespace aspf

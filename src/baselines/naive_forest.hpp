@@ -1,0 +1,23 @@
+#pragma once
+// Naive sequential forest construction (Section 5 intro): compute an
+// {s}-shortest-path forest per source with the shortest path tree
+// algorithm and fold them together with the merging algorithm, one source
+// at a time -- O(k log n) rounds. The ablation benchmark compares this
+// against the O(log n log^2 k) divide & conquer algorithm.
+#include <span>
+
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct NaiveForestResult {
+  std::vector<int> parent;
+  long rounds = 0;
+};
+
+NaiveForestResult naiveSequentialForest(const Region& region,
+                                        std::span<const char> isSource,
+                                        std::span<const char> isDest,
+                                        int lanes = 4);
+
+}  // namespace aspf

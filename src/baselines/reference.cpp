@@ -1,0 +1,68 @@
+#include "baselines/reference.hpp"
+
+#include <queue>
+
+namespace aspf {
+
+ReferenceDistances multiSourceBfs(const Region& region,
+                                  std::span<const int> sources) {
+  ReferenceDistances out;
+  out.dist.assign(region.size(), -1);
+  out.closestSource.assign(region.size(), -1);
+  std::queue<int> q;
+  for (const int s : sources) {
+    if (out.dist[s] != 0) {
+      out.dist[s] = 0;
+      out.closestSource[s] = s;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (Dir d : kAllDirs) {
+      const int v = region.neighbor(u, d);
+      if (v >= 0 && out.dist[v] == -1) {
+        out.dist[v] = out.dist[u] + 1;
+        out.closestSource[v] = out.closestSource[u];
+        q.push(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> referenceForest(const Region& region,
+                                 std::span<const int> sources,
+                                 std::span<const int> destinations) {
+  const ReferenceDistances ref = multiSourceBfs(region, sources);
+  std::vector<int> parent(region.size(), -2);
+  for (const int s : sources) parent[s] = -1;
+  // BFS parents toward the assigned source.
+  for (int u = 0; u < region.size(); ++u) {
+    if (parent[u] == -1 || ref.dist[u] < 0) continue;
+    for (Dir d : kAllDirs) {
+      const int v = region.neighbor(u, d);
+      if (v >= 0 && ref.dist[v] == ref.dist[u] - 1 &&
+          ref.closestSource[v] == ref.closestSource[u]) {
+        parent[u] = v;
+        break;
+      }
+    }
+  }
+  // Prune to branches that reach destinations.
+  std::vector<char> keep(region.size(), 0);
+  for (const int t : destinations) {
+    int u = t;
+    while (u >= 0 && !keep[u]) {
+      keep[u] = 1;
+      u = parent[u] >= 0 ? parent[u] : -1;
+    }
+  }
+  for (int u = 0; u < region.size(); ++u) {
+    if (!keep[u] && parent[u] >= 0) parent[u] = -2;
+  }
+  return parent;
+}
+
+}  // namespace aspf

@@ -1,0 +1,29 @@
+#pragma once
+// Centralized references used for verification and as comparators:
+// exact multi-source BFS distances and closest-source assignment.
+#include <span>
+#include <vector>
+
+#include "sim/region.hpp"
+
+namespace aspf {
+
+struct ReferenceDistances {
+  /// dist[u] = min over sources of the hop distance in the region.
+  std::vector<int> dist;
+  /// closestSource[u] = some source attaining dist[u] (region-local).
+  std::vector<int> closestSource;
+};
+
+/// Multi-source BFS over the region (local ids).
+ReferenceDistances multiSourceBfs(const Region& region,
+                                  std::span<const int> sources);
+
+/// A valid (S,D)-shortest-path forest computed centrally (for ablations and
+/// ground-truth comparisons): BFS forest pruned to destination-covering
+/// subtrees.
+std::vector<int> referenceForest(const Region& region,
+                                 std::span<const int> sources,
+                                 std::span<const int> destinations);
+
+}  // namespace aspf

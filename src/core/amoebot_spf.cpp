@@ -1,0 +1,54 @@
+#include "core/amoebot_spf.hpp"
+
+#include <stdexcept>
+
+#include "sim/region.hpp"
+#include "spf/forest.hpp"
+#include "spf/spt.hpp"
+
+namespace aspf {
+
+Spf::Spf(const AmoebotStructure& structure) : structure_(&structure) {
+  if (structure.size() == 0)
+    throw std::invalid_argument("Spf: empty structure");
+  if (!structure.isConnected())
+    throw std::invalid_argument("Spf: structure must be connected");
+  if (!structure.isHoleFree())
+    throw std::invalid_argument(
+        "Spf: structure must be hole-free (Section 1.1)");
+}
+
+SpfSolution Spf::solve(std::span<const int> sources,
+                       std::span<const int> destinations) const {
+  const Region whole = Region::whole(*structure_);
+  std::vector<char> isSource(whole.size(), 0), isDest(whole.size(), 0);
+  for (const int s : sources) isSource[s] = 1;
+  for (const int t : destinations) isDest[t] = 1;
+  const ForestResult forest = shortestPathForest(whole, isSource, isDest);
+  return {forest.parent, forest.rounds};
+}
+
+SpfSolution Spf::sssp(int source) const {
+  const Region whole = Region::whole(*structure_);
+  const std::vector<char> all(whole.size(), 1);
+  const SptResult spt = shortestPathTree(whole, source, all);
+  return {spt.parent, spt.rounds};
+}
+
+SpfSolution Spf::spsp(int source, int destination) const {
+  const Region whole = Region::whole(*structure_);
+  std::vector<char> isDest(whole.size(), 0);
+  isDest[destination] = 1;
+  const SptResult spt = shortestPathTree(whole, source, isDest);
+  return {spt.parent, spt.rounds};
+}
+
+ForestCheck Spf::verify(const SpfSolution& solution,
+                        std::span<const int> sources,
+                        std::span<const int> destinations) const {
+  const Region whole = Region::whole(*structure_);
+  return checkShortestPathForest(whole, solution.parent, sources,
+                                 destinations);
+}
+
+}  // namespace aspf

@@ -1,0 +1,64 @@
+#pragma once
+// amoebot-spf -- public facade.
+//
+// Reproduction of "Polylogarithmic Time Algorithms for Shortest Path
+// Forests in Programmable Matter" (Padalkin & Scheideler, PODC 2024).
+//
+// Quick start:
+//
+//   using namespace aspf;
+//   const auto structure = shapes::hexagon(20);
+//   Spf spf(structure);
+//   const SpfSolution sol = spf.solve({structure.idOf({0, 0})},   // sources
+//                                     {structure.idOf({20, 0})}); // dests
+//   // sol.parent[u]: next hop toward the closest source; sol.rounds: the
+//   // number of synchronous rounds the circuit protocol needed.
+//
+// solve() dispatches to the O(log l) shortest path tree algorithm for one
+// source and to the O(log n log^2 k) divide & conquer forest algorithm for
+// several; sssp()/spsp() are the classical special cases. All algorithms
+// require a connected, hole-free structure (checked on construction).
+#include <span>
+#include <vector>
+
+#include "baselines/checker.hpp"
+#include "shapes/generators.hpp"
+#include "sim/structure.hpp"
+
+namespace aspf {
+
+struct SpfSolution {
+  /// parent[id]: structure id of the next hop toward the closest source;
+  /// -1 for sources, -2 for amoebots outside the forest.
+  std::vector<int> parent;
+  /// Synchronous rounds of the reconfigurable-circuit protocol.
+  long rounds = 0;
+};
+
+class Spf {
+ public:
+  /// Validates connectivity and hole-freeness (throws std::invalid_argument).
+  explicit Spf(const AmoebotStructure& structure);
+
+  /// (k,l)-SPF: forest connecting every destination to its closest source.
+  SpfSolution solve(std::span<const int> sources,
+                    std::span<const int> destinations) const;
+
+  /// Single source shortest paths (D = X): O(log n) rounds.
+  SpfSolution sssp(int source) const;
+
+  /// Single pair shortest path: O(1) rounds.
+  SpfSolution spsp(int source, int destination) const;
+
+  /// Verifies a solution against exact BFS distances.
+  ForestCheck verify(const SpfSolution& solution,
+                     std::span<const int> sources,
+                     std::span<const int> destinations) const;
+
+  const AmoebotStructure& structure() const noexcept { return *structure_; }
+
+ private:
+  const AmoebotStructure* structure_;
+};
+
+}  // namespace aspf

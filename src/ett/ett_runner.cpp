@@ -1,0 +1,99 @@
+#include "ett/ett_runner.hpp"
+
+#include <stdexcept>
+
+#include "pasc/pasc_prefix.hpp"
+#include "util/bitstream.hpp"
+
+namespace aspf {
+
+std::vector<int> canonicalMarks(const EulerTour& tour,
+                                std::span<const char> inQ) {
+  const int n = static_cast<int>(inQ.size());
+  std::vector<int> markedOutDir(n, -1);
+  // Each node's first outgoing instance is the one with the smallest tour
+  // index; equivalently the first time the tour visits the node. Scan once.
+  std::vector<char> seen(n, 0);
+  for (int i = 0; i < tour.edgeCount(); ++i) {
+    const int u = tour.stops[i];
+    if (!seen[u]) {
+      seen[u] = 1;
+      if (inQ[u])
+        markedOutDir[u] = static_cast<int>(tour.outDir[i]);
+    }
+  }
+  return markedOutDir;
+}
+
+EttResult runEtt(Comm& comm, const EulerTour& tour,
+                 std::span<const int> markedOutDir,
+                 const EttOptions& options) {
+  const Region& region = comm.region();
+  const int n = region.size();
+  EttResult result;
+  result.diff.assign(n, {});
+
+  if (tour.edgeCount() == 0) {
+    // Single-node tree: W is the root's own mark count; no rounds needed.
+    result.totalWeight =
+        tour.root >= 0 && markedOutDir[tour.root] >= 0 ? 1 : 0;
+    return result;
+  }
+
+  // Instance weights: w(v_i) = w(e_i) = 1 iff instance i's outgoing tour
+  // edge is the one marked by its node; the closing instance weighs 0.
+  const int instances = tour.instanceCount();
+  std::vector<char> weight(instances, 0);
+  for (int i = 0; i < tour.edgeCount(); ++i) {
+    const int u = tour.stops[i];
+    if (markedOutDir[u] >= 0 &&
+        tour.outDir[i] == static_cast<Dir>(markedOutDir[u]) &&
+        tour.instanceOfOutEdge[u][markedOutDir[u]] == i)
+      weight[i] = 1;
+  }
+
+  const PascResult pasc = runPascPrefixSum(comm, tour.stops, weight);
+  result.iterations = pasc.iterations;
+  result.rounds = pasc.rounds;
+  if (options.broadcastW) {
+    // One global-circuit round per iteration for the root's bit of W.
+    comm.chargeRounds(pasc.iterations);
+    result.rounds += pasc.iterations;
+  }
+  result.totalWeight = pasc.value.back();
+
+  // Per tree edge and endpoint, derive the prefix-sum difference with
+  // streaming bit arithmetic (constant state per edge, as the amoebots do).
+  for (int u = 0; u < n; ++u) {
+    for (int d = 0; d < 6; ++d) {
+      const int outIdx = tour.instanceOfOutEdge[u][d];
+      const int inIdx = tour.instanceAfterInEdge[u][d];
+      if (outIdx < 0 || inIdx < 0) continue;
+      // prefixsum(u,v): prefix sum of u's instance with outgoing edge (u,v).
+      // prefixsum(v,u): prefix sum of u's instance right after (v,u), minus
+      // that instance's own weight.
+      StreamSubtract minusWeight;   // stream of prefixsum(v,u)
+      StreamSubtract difference;    // out-stream minus in-stream
+      BitAccumulator acc;
+      bool negative = false;
+      const int bits = static_cast<int>(pasc.bits.size());
+      for (int t = 0; t < bits + 2; ++t) {  // pad for borrow propagation
+        const bool outBit =
+            t < bits ? pasc.bits[t][outIdx] != 0 : false;
+        const bool inRaw = t < bits ? pasc.bits[t][inIdx] != 0 : false;
+        const bool wBit = t == 0 && weight[inIdx] != 0;
+        const bool inBit = minusWeight.feed(inRaw, wBit);
+        acc.feed(difference.feed(outBit, inBit));
+      }
+      negative = difference.negative();
+      // Reconstruct the signed value from the accumulated two's-complement
+      // bits (verification-side; the protocols only use sign/zero).
+      const std::int64_t raw = static_cast<std::int64_t>(acc.value());
+      const std::int64_t modulus = std::int64_t{1} << acc.bitsSeen();
+      result.diff[u][d] = negative ? raw - modulus : raw;
+    }
+  }
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,50 @@
+#pragma once
+// The Euler tour technique on reconfigurable circuits (Lemma 14): runs
+// prefix-sum PASC over the instance chain of an Euler tour with the weight
+// function w_Q (every node of Q marks exactly one outgoing tour edge), and
+// derives, for every tree edge {u,v}, the difference
+//     prefixsum(u,v) - prefixsum(v,u)
+// at both endpoints, bit by bit (streaming subtract/compare with O(1)
+// state). The root additionally learns W = |Q| bit by bit (Corollary 15)
+// and can broadcast it on a global circuit (one extra round per iteration),
+// as required by the centroid primitive.
+#include <cstdint>
+#include <span>
+
+#include "ett/euler_tour.hpp"
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct EttOptions {
+  /// If true, the root broadcasts each bit of W after each iteration
+  /// (costs one extra round per iteration).
+  bool broadcastW = false;
+};
+
+struct EttResult {
+  /// diff[u][d] = prefixsum(u,v) - prefixsum(v,u) for the tree edge in
+  /// direction d (v = neighbor), 0 for non-tree directions. By Lemma 17
+  /// this is the number of Q-nodes in u's subtree when v is u's parent,
+  /// and minus the number of Q-nodes in v's subtree when v is a child.
+  std::vector<std::array<std::int64_t, 6>> diff;
+
+  /// W = |Q| (known to the root; with broadcastW, known to everyone).
+  std::uint64_t totalWeight = 0;
+
+  int iterations = 0;
+  long rounds = 0;
+};
+
+/// markedOutDir[u] = the direction of the tour edge u marks (u in Q), or -1
+/// (u not in Q). Each marked direction must be a tree edge of the tour.
+EttResult runEtt(Comm& comm, const EulerTour& tour,
+                 std::span<const int> markedOutDir,
+                 const EttOptions& options = {});
+
+/// Convenience: canonical marking for a node set Q -- every node of Q marks
+/// its first outgoing instance on the tour (deterministic, locally known).
+std::vector<int> canonicalMarks(const EulerTour& tour,
+                                std::span<const char> inQ);
+
+}  // namespace aspf

@@ -1,0 +1,82 @@
+#include "ett/euler_tour.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aspf {
+namespace {
+
+/// First tree-neighbor direction of u scanning counterclockwise starting at
+/// `from` (inclusive). Returns true and sets `out` if any tree edge exists.
+bool firstTreeDirCcw(const TreeAdj& tree, int u, Dir from, Dir& out) {
+  for (int k = 0; k < 6; ++k) {
+    const Dir d = ccw(from, k);
+    if (tree.has(u, d)) {
+      out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+EulerTour buildEulerTour(const Region& region, const TreeAdj& tree,
+                         int root) {
+  EulerTour tour;
+  tour.root = root;
+  const int n = region.size();
+  tour.instanceOfOutEdge.assign(n, {-1, -1, -1, -1, -1, -1});
+  tour.instanceAfterInEdge.assign(n, {-1, -1, -1, -1, -1, -1});
+
+  Dir firstOut{};
+  if (!firstTreeDirCcw(tree, root, Dir::E, firstOut)) {
+    tour.stops = {root};  // single-node tree
+    return tour;
+  }
+
+  int u = root;
+  Dir d = firstOut;
+  while (true) {
+    const int idx = static_cast<int>(tour.stops.size());
+    tour.stops.push_back(u);
+    tour.outDir.push_back(d);
+    assert(tour.instanceOfOutEdge[u][static_cast<int>(d)] == -1 &&
+           "Euler tour revisits a directed edge: tree has a cycle");
+    tour.instanceOfOutEdge[u][static_cast<int>(d)] = idx;
+
+    const int v = region.neighbor(u, d);
+    if (v < 0)
+      throw std::invalid_argument("EulerTour: tree edge leaves the region");
+    // Arrived at v via (u, v); record the instance and pick the next edge:
+    // next ccw tree-neighbor of v strictly after u.
+    const Dir dirBack = opposite(d);  // direction from v to u
+    tour.instanceAfterInEdge[v][static_cast<int>(dirBack)] =
+        static_cast<int>(tour.stops.size());
+    if (v == root) {
+      // Check whether the tour is complete: the next edge out of the root
+      // would be the first one again.
+      Dir next{};
+      const bool found = firstTreeDirCcw(tree, v, ccw(dirBack, 1), next);
+      assert(found);
+      if (found && next == firstOut &&
+          tour.instanceOfOutEdge[v][static_cast<int>(next)] != -1) {
+        tour.stops.push_back(v);  // closing instance of the root
+        break;
+      }
+      u = v;
+      d = next;
+    } else {
+      Dir next{};
+      const bool found = firstTreeDirCcw(tree, v, ccw(dirBack, 1), next);
+      assert(found && "tree adjacency inconsistent");
+      if (!found)
+        throw std::invalid_argument("EulerTour: dangling tree edge");
+      u = v;
+      d = next;
+    }
+  }
+  return tour;
+}
+
+}  // namespace aspf

@@ -1,0 +1,71 @@
+#pragma once
+// Euler tours of amoebot trees (Section 3.1). The tree T is replaced by the
+// symmetric digraph T'; the Euler tour follows Tarjan-Vishkin's local rule
+// "after traversing (v,u), continue with (u,w) where w is the next
+// counterclockwise tree-neighbor of u after v". Every node operates one
+// *instance* per occurrence on the tour (deg many; the root one extra
+// virtual closing instance), each with O(1) state -- Remark 16.
+#include <array>
+#include <span>
+#include <vector>
+
+#include "sim/region.hpp"
+
+namespace aspf {
+
+/// Symmetric tree adjacency over region-local ids: edge[u][d] != 0 iff the
+/// tree contains the edge from u in direction d.
+struct TreeAdj {
+  std::vector<std::array<char, 6>> edge;
+
+  static TreeAdj empty(int n) {
+    TreeAdj t;
+    t.edge.assign(n, {});
+    return t;
+  }
+
+  void add(const Region& region, int u, int v) {
+    const Dir d = dirBetween(region.coordOf(u), region.coordOf(v));
+    edge[u][static_cast<int>(d)] = 1;
+    edge[v][static_cast<int>(opposite(d))] = 1;
+  }
+
+  bool has(int u, Dir d) const { return edge[u][static_cast<int>(d)] != 0; }
+
+  int degree(int u) const {
+    int deg = 0;
+    for (int d = 0; d < 6; ++d) deg += edge[u][d] ? 1 : 0;
+    return deg;
+  }
+};
+
+struct EulerTour {
+  /// Amoebot (region-local id) of each instance, in tour order. The first
+  /// and last instance belong to the root. Size 2(n-1)+1 for an n-node
+  /// tree; {root} for a single-node tree.
+  std::vector<int> stops;
+
+  /// Direction of the tour edge leaving instance i (i < stops.size()-1).
+  std::vector<Dir> outDir;
+
+  /// instanceOfOutEdge[u][d] = tour index of u's instance whose outgoing
+  /// tour edge is (u, d); -1 if (u, d) is not a tree edge.
+  std::vector<std::array<int, 6>> instanceOfOutEdge;
+
+  /// instanceAfterInEdge[u][d] = tour index of u's instance reached right
+  /// after traversing the tour edge (v, u), where d is the direction from
+  /// u to v; -1 if not a tree edge. This instance is operated by u.
+  std::vector<std::array<int, 6>> instanceAfterInEdge;
+
+  int root = -1;
+
+  int instanceCount() const { return static_cast<int>(stops.size()); }
+  int edgeCount() const { return static_cast<int>(outDir.size()); }
+};
+
+/// Builds the Euler tour of the tree containing `root`. Nodes of the region
+/// that are not reachable via tree edges are simply not visited. The tree
+/// must really be a tree (no cycles); this is asserted in debug builds.
+EulerTour buildEulerTour(const Region& region, const TreeAdj& tree, int root);
+
+}  // namespace aspf

@@ -1,0 +1,65 @@
+#include "geometry/coord.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace aspf {
+
+const char* toString(Dir d) noexcept {
+  switch (d) {
+    case Dir::E:
+      return "E";
+    case Dir::NE:
+      return "NE";
+    case Dir::NW:
+      return "NW";
+    case Dir::W:
+      return "W";
+    case Dir::SW:
+      return "SW";
+    case Dir::SE:
+      return "SE";
+  }
+  return "?";
+}
+
+const char* toString(Axis a) noexcept {
+  switch (a) {
+    case Axis::X:
+      return "x";
+    case Axis::Y:
+      return "y";
+    case Axis::Z:
+      return "z";
+  }
+  return "?";
+}
+
+double Coord::cartY() const noexcept { return r * std::sqrt(3.0) / 2.0; }
+
+std::string Coord::toString() const {
+  return "(" + std::to_string(q) + "," + std::to_string(r) + ")";
+}
+
+int gridDistance(Coord a, Coord b) noexcept {
+  // Axial-coordinate hex distance. With our offsets the third cube
+  // coordinate is s = -q - r.
+  const std::int64_t dq = static_cast<std::int64_t>(a.q) - b.q;
+  const std::int64_t dr = static_cast<std::int64_t>(a.r) - b.r;
+  const std::int64_t ds = -dq - dr;
+  const std::int64_t d =
+      (std::llabs(dq) + std::llabs(dr) + std::llabs(ds)) / 2;
+  return static_cast<int>(d);
+}
+
+Dir dirBetween(Coord a, Coord b) noexcept {
+  const Coord delta = b - a;
+  for (Dir d : kAllDirs) {
+    if (kDirOffset[static_cast<int>(d)] == delta) return d;
+  }
+  assert(false && "dirBetween: nodes are not neighbors");
+  return Dir::E;
+}
+
+}  // namespace aspf

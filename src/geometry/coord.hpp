@@ -1,0 +1,113 @@
+#pragma once
+// Axial coordinates on the infinite regular triangular grid G_Delta and the
+// six edge directions. The amoebot model's three "axes" (Section 2.3 of the
+// paper, Figure 2e) are:
+//   x-axis: E  / W   edges
+//   y-axis: NE / SW  edges
+//   z-axis: NW / SE  edges
+// All amoebots share this compass (common orientation + chirality is assumed
+// by the paper after the preprocessing of Feldmann et al.).
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace aspf {
+
+enum class Dir : std::uint8_t { E = 0, NE = 1, NW = 2, W = 3, SW = 4, SE = 5 };
+
+inline constexpr int kNumDirs = 6;
+
+inline constexpr std::array<Dir, 6> kAllDirs{Dir::E,  Dir::NE, Dir::NW,
+                                             Dir::W, Dir::SW, Dir::SE};
+
+constexpr Dir opposite(Dir d) noexcept {
+  return static_cast<Dir>((static_cast<int>(d) + 3) % 6);
+}
+
+/// Next direction counterclockwise (chirality-consistent rotation).
+constexpr Dir ccw(Dir d, int steps = 1) noexcept {
+  return static_cast<Dir>((static_cast<int>(d) + steps) % 6);
+}
+
+/// Next direction clockwise.
+constexpr Dir cw(Dir d, int steps = 1) noexcept {
+  return static_cast<Dir>((static_cast<int>(d) + 6 * steps - steps) % 6);
+}
+
+enum class Axis : std::uint8_t { X = 0, Y = 1, Z = 2 };
+
+inline constexpr std::array<Axis, 3> kAllAxes{Axis::X, Axis::Y, Axis::Z};
+
+constexpr Axis axisOf(Dir d) noexcept {
+  return static_cast<Axis>(static_cast<int>(d) % 3);
+}
+
+/// The two directions parallel to an axis: (positive, negative).
+constexpr std::array<Dir, 2> dirsOf(Axis a) noexcept {
+  const auto pos = static_cast<Dir>(static_cast<int>(a));
+  return {pos, opposite(pos)};
+}
+
+const char* toString(Dir d) noexcept;
+const char* toString(Axis a) noexcept;
+
+/// A node of the triangular grid in axial coordinates.
+/// Neighbor offsets: E=(1,0), NE=(0,1), NW=(-1,1), W=(-1,0), SW=(0,-1),
+/// SE=(1,-1). Cartesian embedding: (q + r/2, r*sqrt(3)/2).
+struct Coord {
+  std::int32_t q = 0;
+  std::int32_t r = 0;
+
+  friend constexpr auto operator<=>(const Coord&, const Coord&) = default;
+
+  constexpr Coord neighbor(Dir d) const noexcept;
+
+  /// Cartesian embedding (for rendering and "westernmost" comparisons).
+  constexpr double cartX() const noexcept { return q + r * 0.5; }
+  double cartY() const noexcept;
+
+  std::string toString() const;
+};
+
+constexpr std::array<Coord, 6> kDirOffset{{
+    {1, 0},    // E
+    {0, 1},    // NE
+    {-1, 1},   // NW
+    {-1, 0},   // W
+    {0, -1},   // SW
+    {1, -1},   // SE
+}};
+
+constexpr Coord Coord::neighbor(Dir d) const noexcept {
+  const Coord o = kDirOffset[static_cast<int>(d)];
+  return Coord{q + o.q, r + o.r};
+}
+
+constexpr Coord operator+(Coord a, Coord b) noexcept {
+  return {a.q + b.q, a.r + b.r};
+}
+constexpr Coord operator-(Coord a, Coord b) noexcept {
+  return {a.q - b.q, a.r - b.r};
+}
+
+/// Grid (hop) distance between two nodes of the triangular grid.
+int gridDistance(Coord a, Coord b) noexcept;
+
+/// Direction of the edge from a to b; a and b must be grid neighbors.
+Dir dirBetween(Coord a, Coord b) noexcept;
+
+struct CoordHash {
+  std::size_t operator()(const Coord& c) const noexcept {
+    const auto h = static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.q));
+    const auto l = static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.r));
+    std::uint64_t x = (h << 32) | l;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace aspf

@@ -1,0 +1,23 @@
+#include "geometry/frame.hpp"
+
+namespace aspf {
+namespace {
+
+// One 60-degree ccw rotation in axial coordinates, determined by its action
+// on the unit directions: E=(1,0) -> NE=(0,1) and NE=(0,1) -> NW=(-1,1),
+// hence (q, r) -> (-r, q + r).
+constexpr Coord rotOnce(Coord c) noexcept { return Coord{-c.r, c.q + c.r}; }
+
+}  // namespace
+
+Coord Frame::apply(Coord c) const noexcept {
+  for (int i = 0; i < steps_; ++i) c = rotOnce(c);
+  return c;
+}
+
+Coord Frame::applyInverse(Coord c) const noexcept {
+  for (int i = 0; i < (6 - steps_) % 6; ++i) c = rotOnce(c);
+  return c;
+}
+
+}  // namespace aspf

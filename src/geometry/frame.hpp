@@ -1,0 +1,57 @@
+#pragma once
+// Rotational frames. Several algorithms in the paper are stated "w.l.o.g."
+// for an x-portal with side B to the south (propagation algorithm, Sec 5.3)
+// or for "westernmost" amoebots (Def 12). A Frame is one of the six
+// chirality-preserving grid rotations; transforming coordinates into a
+// canonical frame lets us implement those w.l.o.g. statements once.
+#include "geometry/coord.hpp"
+
+namespace aspf {
+
+class Frame {
+ public:
+  /// Identity frame.
+  constexpr Frame() = default;
+
+  /// Rotation by `steps` * 60 degrees counterclockwise.
+  static constexpr Frame rotationCcw(int steps) noexcept {
+    Frame f;
+    f.steps_ = ((steps % 6) + 6) % 6;
+    return f;
+  }
+
+  /// Frame that maps directions of `axis` onto the x-axis (E/W), i.e. after
+  /// apply(), the given axis is horizontal.
+  static constexpr Frame canonicalizeAxis(Axis axis) noexcept {
+    // Y (NE) -> rotate cw by 60 = ccw by 300; Z (NW) -> rotate cw by 120.
+    switch (axis) {
+      case Axis::X:
+        return rotationCcw(0);
+      case Axis::Y:
+        return rotationCcw(5);
+      case Axis::Z:
+        return rotationCcw(4);
+    }
+    return {};
+  }
+
+  /// Rotate a coordinate about the origin.
+  Coord apply(Coord c) const noexcept;
+  Coord applyInverse(Coord c) const noexcept;
+
+  constexpr Dir apply(Dir d) const noexcept { return ccw(d, steps_); }
+  constexpr Dir applyInverse(Dir d) const noexcept {
+    return ccw(d, 6 - steps_);
+  }
+
+  constexpr Axis apply(Axis a) const noexcept {
+    return axisOf(apply(dirsOf(a)[0]));
+  }
+
+  constexpr int steps() const noexcept { return steps_; }
+
+ private:
+  int steps_ = 0;  // number of 60-degree ccw rotations
+};
+
+}  // namespace aspf

@@ -1,0 +1,167 @@
+#include "pasc/pasc_chain.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aspf {
+namespace {
+
+struct Hop {
+  Dir dir;                 // direction of travel from stop i to stop i+1
+  std::uint8_t laneBase;   // 0 for E/NE/NW travel, 2 for W/SW/SE
+};
+
+std::uint8_t laneBaseOf(Dir travel) noexcept {
+  return static_cast<int>(travel) < 3 ? 0 : 2;
+}
+
+}  // namespace
+
+PascResult runPascChain(Comm& comm, std::span<const int> stops,
+                        const PascOptions& options) {
+  const Region& region = comm.region();
+  const int m = static_cast<int>(stops.size());
+  if (m == 0) return {};
+  const bool weighted = !options.weight.empty();
+  if (weighted && static_cast<int>(options.weight.size()) != m)
+    throw std::invalid_argument("PASC: weight size mismatch");
+
+  // Precompute hops and validate adjacency.
+  std::vector<Hop> hop(m > 0 ? m - 1 : 0);
+  for (int i = 0; i + 1 < m; ++i) {
+    const Coord a = region.coordOf(stops[i]);
+    const Coord b = region.coordOf(stops[i + 1]);
+    if (gridDistance(a, b) != 1)
+      throw std::invalid_argument("PASC: consecutive stops not adjacent");
+    const Dir d = dirBetween(a, b);
+    hop[i] = Hop{d, laneBaseOf(d)};
+    if (comm.lanes() < hop[i].laneBase + 2)
+      throw std::invalid_argument("PASC: Comm has too few lanes");
+  }
+
+  // Active flags: distance mode -> stops 1..m-1; weighted -> weight == 1
+  // (including stop 0, whose crossing is applied to the injected signal).
+  std::vector<char> active(m, 0);
+  std::uint64_t totalWeight = 0;
+  for (int i = 0; i < m; ++i) {
+    active[i] = weighted ? options.weight[i] : static_cast<char>(i > 0);
+    totalWeight += active[i];
+  }
+
+  PascResult result;
+  result.value.assign(m, 0);
+  if (m == 1 && totalWeight == 0) {
+    // Degenerate single-stop chain: value 0, no rounds needed.
+    return result;
+  }
+
+  // Per-stop pin roles. inP/inS: pins toward the predecessor; outP/outS:
+  // pins toward the successor. Labels are re-joined each iteration since
+  // crossings change with activity.
+  auto inPin = [&](int i, int lane) -> Pin {
+    const Hop& h = hop[i - 1];
+    return Pin{opposite(h.dir),
+               static_cast<std::uint8_t>(h.laneBase + lane)};
+  };
+  auto outPin = [&](int i, int lane) -> Pin {
+    const Hop& h = hop[i];
+    return Pin{h.dir, static_cast<std::uint8_t>(h.laneBase + lane)};
+  };
+
+  int iteration = 0;
+  std::vector<char> bitsNow(m, 0);
+  while (true) {
+    // --- Round 1: configure lanes, head injects, everyone reads its bit.
+    comm.resetPins();
+    for (int i = 0; i < m; ++i) {
+      const int a = stops[i];
+      const bool cross = active[i] != 0;
+      if (i == 0) {
+        // Head: no physical in-side; the injected signal logically enters
+        // on the virtual in-primary and leaves on outP (straight) or outS
+        // (crossed). Nothing to join; pins stay singletons.
+        continue;
+      }
+      if (i == m - 1) {
+        // Tail: no out-side; its two in-pins stay singletons (they are the
+        // read points).
+        continue;
+      }
+      const Pin ip = inPin(i, 0), is = inPin(i, 1);
+      const Pin op = outPin(i, 0), os = outPin(i, 1);
+      if (cross) {
+        const Pin setA[] = {ip, os};
+        const Pin setB[] = {is, op};
+        comm.pins(a).join(setA);
+        comm.pins(a).join(setB);
+      } else {
+        const Pin setA[] = {ip, op};
+        const Pin setB[] = {is, os};
+        comm.pins(a).join(setA);
+        comm.pins(a).join(setB);
+      }
+    }
+    if (m >= 2) {
+      const bool headCross = active[0] != 0;
+      comm.beepPin(stops[0], outPin(0, headCross ? 1 : 0));
+    }
+    comm.deliver();
+
+    // Read: bit = 1 iff the signal leaves the stop on the secondary lane,
+    // i.e. the partition set containing the out-secondary pin received the
+    // beep. Tail uses the in-pin that its (virtual) crossing would route to
+    // the secondary out-lane.
+    for (int i = 0; i < m; ++i) {
+      const int a = stops[i];
+      bool bit;
+      if (i == 0) {
+        bit = active[0] != 0;  // head's own crossing on the injected signal
+      } else if (i == m - 1) {
+        const bool cross = active[i] != 0;
+        bit = comm.receivedPin(a, inPin(i, cross ? 0 : 1));
+      } else {
+        bit = comm.receivedPin(a, outPin(i, 1));
+      }
+      bitsNow[i] = bit ? 1 : 0;
+      if (bit) result.value[i] |= (std::uint64_t{1} << iteration);
+    }
+    result.bits.push_back(bitsNow);
+    if (options.onBits) options.onBits(iteration, bitsNow);
+
+    // Deactivate: active stops whose bit is 1 turn passive.
+    bool anyActive = false;
+    for (int i = 0; i < m; ++i) {
+      if (active[i] && bitsNow[i]) active[i] = 0;
+      anyActive = anyActive || active[i] != 0;
+    }
+
+    // --- Round 2: termination check. Keep the same lane circuits; every
+    // still-active stop beeps on both of its partition sets; the head
+    // observes. (The circuits span the whole chain, so one round suffices.)
+    for (int i = 0; i < m; ++i) {
+      if (!active[i]) continue;
+      const int a = stops[i];
+      if (i == m - 1 && m >= 2) {
+        comm.beepPin(a, inPin(i, 0));
+        comm.beepPin(a, inPin(i, 1));
+      } else if (i > 0) {
+        comm.beepPin(a, outPin(i, 0));
+        comm.beepPin(a, outPin(i, 1));
+      } else if (m >= 2) {
+        comm.beepPin(a, outPin(0, 0));
+        comm.beepPin(a, outPin(0, 1));
+      }
+    }
+    comm.deliver();
+    ++iteration;
+    // The head terminates the algorithm when it hears no active stop.
+    // (We already know anyActive; the beeps above realize the check.)
+    if (!anyActive) break;
+  }
+
+  result.iterations = iteration;
+  result.rounds = 2L * iteration;
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,54 @@
+#pragma once
+// PASC — the Primary And Secondary Circuit algorithm of Feldmann et al.,
+// as restated in Lemmas 3/4 and Corollary 6 of the paper.
+//
+// Setting: a chain of stops (v_0, ..., v_{m-1}); consecutive stops occupy
+// adjacent amoebots (one amoebot may appear several times, as in Euler tour
+// instance chains). Every stop runs two "lanes" (primary/secondary) across
+// each chain hop. Active stops cross the lanes, passive stops connect them
+// straight. v_0 beeps on its primary lane; the lane on which the signal
+// leaves a stop encodes the parity of the number of active stops up to and
+// including it. Active stops that read parity 1 turn passive, halving the
+// active count: iteration t therefore reveals bit t (LSB first) of each
+// stop's distance (all stops active) or weighted prefix sum (stops with
+// weight 1 active), in 2 rounds per iteration (signal + termination check).
+//
+// Lane discipline: a hop traversed in direction E/NE/NW uses lanes {0,1} of
+// the edge, W/SW/SE uses {2,3}; an Euler tour traverses each physical edge
+// once per direction, so four lanes per edge suffice (constant c, Remark 16).
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct PascOptions {
+  /// If non-empty: weighted (prefix-sum) mode, weight[i] in {0,1} per stop
+  /// (Corollary 6). Empty: distance mode (every stop except v_0 weighs 1).
+  std::vector<char> weight;
+
+  /// Streaming consumer, called once per iteration with the bit of every
+  /// stop (LSB first). Optional.
+  std::function<void(int iteration, std::span<const char> bits)> onBits;
+};
+
+struct PascResult {
+  /// Reconstructed per-stop value (distance to v_0 / prefix sum). This is
+  /// verification-side bookkeeping; protocols consume the bit stream.
+  std::vector<std::uint64_t> value;
+  /// bits[t][i] = bit t of stop i's value.
+  std::vector<std::vector<char>> bits;
+  int iterations = 0;
+  long rounds = 0;  // rounds consumed on the passed Comm
+};
+
+/// Runs PASC on a chain of region-local amoebot ids. Requires
+/// comm.lanes() >= 4 when the chain reuses an edge in both directions,
+/// >= 2 otherwise. Consecutive stops must be adjacent in the region.
+PascResult runPascChain(Comm& comm, std::span<const int> stops,
+                        const PascOptions& options = {});
+
+}  // namespace aspf

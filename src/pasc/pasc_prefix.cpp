@@ -1,0 +1,14 @@
+#include "pasc/pasc_prefix.hpp"
+
+namespace aspf {
+
+PascResult runPascPrefixSum(Comm& comm, std::span<const int> stops,
+                            std::span<const char> weight,
+                            const PascOptions& extra) {
+  PascOptions options;
+  options.weight.assign(weight.begin(), weight.end());
+  options.onBits = extra.onBits;
+  return runPascChain(comm, stops, options);
+}
+
+}  // namespace aspf

@@ -1,0 +1,18 @@
+#pragma once
+// Prefix-sum PASC (Corollary 6): given a chain of amoebots and 0/1 weights,
+// every amoebot learns its weighted prefix sum bit by bit, in O(log W)
+// iterations where W is the total weight. Weight-1 amoebots participate
+// actively; weight-0 amoebots forward signals and read their prefix sums off
+// the forwarded lanes. Thin wrapper around the unified chain implementation.
+#include <span>
+
+#include "pasc/pasc_chain.hpp"
+
+namespace aspf {
+
+/// weight[i] in {0,1} corresponds to stops[i].
+PascResult runPascPrefixSum(Comm& comm, std::span<const int> stops,
+                            std::span<const char> weight,
+                            const PascOptions& extra = {});
+
+}  // namespace aspf

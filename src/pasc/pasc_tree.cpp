@@ -1,0 +1,122 @@
+#include "pasc/pasc_tree.hpp"
+
+#include <stdexcept>
+
+namespace aspf {
+
+TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent) {
+  const Region& region = comm.region();
+  const int n = region.size();
+  if (static_cast<int>(parent.size()) != n)
+    throw std::invalid_argument("PASC forest: parent array size mismatch");
+  if (comm.lanes() < 2)
+    throw std::invalid_argument("PASC forest: need >= 2 lanes");
+
+  // Tree edges always use lanes {0,1}; the orientation (who is parent) is
+  // known to both endpoints, so the assignment is local and consistent.
+  std::vector<std::vector<int>> children(n);
+  std::vector<Dir> dirToParent(n, Dir::E);
+  std::vector<char> member(n, 0);
+  for (int u = 0; u < n; ++u) {
+    if (parent[u] == -2) continue;
+    member[u] = 1;
+    if (parent[u] >= 0) {
+      const Coord cu = region.coordOf(u);
+      const Coord cp = region.coordOf(parent[u]);
+      if (gridDistance(cu, cp) != 1)
+        throw std::invalid_argument("PASC forest: parent not adjacent");
+      dirToParent[u] = dirBetween(cu, cp);
+      children[parent[u]].push_back(u);
+    }
+  }
+
+  auto inP = [&](int u) { return Pin{dirToParent[u], 0}; };
+  auto inS = [&](int u) { return Pin{dirToParent[u], 1}; };
+  auto outP = [&](int u, int child) {
+    return Pin{opposite(dirToParent[child]), 0};
+    (void)u;
+  };
+  auto outS = [&](int u, int child) {
+    return Pin{opposite(dirToParent[child]), 1};
+    (void)u;
+  };
+
+  std::vector<char> active(n, 0);
+  for (int u = 0; u < n; ++u) active[u] = member[u] && parent[u] >= 0;
+
+  TreePascResult result;
+  result.depth.assign(n, 0);
+
+  int iteration = 0;
+  std::vector<char> bitsNow(n, 0);
+  while (true) {
+    // --- Round 1: build circuits, roots inject on primary, read bits.
+    comm.resetPins();
+    std::vector<Pin> setA, setB;
+    for (int u = 0; u < n; ++u) {
+      if (!member[u]) continue;
+      setA.clear();
+      setB.clear();
+      const bool cross = active[u] != 0;
+      if (parent[u] >= 0) {
+        setA.push_back(inP(u));
+        setB.push_back(inS(u));
+      }
+      for (const int c : children[u]) {
+        (cross ? setB : setA).push_back(outP(u, c));
+        (cross ? setA : setB).push_back(outS(u, c));
+      }
+      if (setA.size() > 1) comm.pins(u).join(setA);
+      if (setB.size() > 1) comm.pins(u).join(setB);
+    }
+    for (int u = 0; u < n; ++u) {
+      if (member[u] && parent[u] == -1 && !children[u].empty())
+        comm.beepPin(u, outP(u, children[u].front()));
+    }
+    comm.deliver();
+
+    for (int u = 0; u < n; ++u) {
+      bool bit = false;
+      if (member[u]) {
+        const bool cross = active[u] != 0;
+        if (!children[u].empty()) {
+          // The signal leaves on the secondary out-lane iff the partition
+          // set containing an out-secondary pin received the beep; this
+          // holds for both the straight and the crossed configuration.
+          bit = comm.receivedPin(u, outS(u, children[u].front()));
+        } else if (parent[u] >= 0) {
+          // Leaf: virtual out side; its crossing routes inP (crossed) or
+          // inS (straight) to the secondary out-lane.
+          bit = comm.receivedPin(u, cross ? inP(u) : inS(u));
+        } else {
+          bit = false;  // isolated root
+        }
+      }
+      bitsNow[u] = bit ? 1 : 0;
+      if (bit) result.depth[u] |= (std::uint64_t{1} << iteration);
+    }
+    result.bits.push_back(bitsNow);
+
+    bool anyActive = false;
+    for (int u = 0; u < n; ++u) {
+      if (active[u] && bitsNow[u]) active[u] = 0;
+      anyActive = anyActive || active[u] != 0;
+    }
+
+    // --- Round 2: termination check on the same circuits.
+    for (int u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      comm.beepPin(u, inP(u));
+      comm.beepPin(u, inS(u));
+    }
+    comm.deliver();
+    ++iteration;
+    if (!anyActive) break;
+  }
+
+  result.iterations = iteration;
+  result.rounds = 2L * iteration;
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,34 @@
+#pragma once
+// Tree/forest variant of PASC (Corollary 5 of the paper): given a rooted
+// forest of amoebots (each node knows its parent, the roots know they are
+// roots), compute the depth of every node bit by bit, in O(log h) iterations
+// where h is the maximum tree height. The chain construction is applied to
+// every root-leaf path simultaneously; a node reuses its two partition sets
+// for all paths through it, so two lanes per tree edge suffice.
+//
+// Running the algorithm on a forest executes the per-tree instances in
+// parallel on disjoint circuits, which is how the merging algorithm
+// (Section 5.2) obtains dist(S, u) for every amoebot of an S-shortest-path
+// forest at once.
+#include <cstdint>
+#include <vector>
+
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct TreePascResult {
+  /// depth[local] = distance to the root of its tree; 0 for non-members.
+  std::vector<std::uint64_t> depth;
+  /// bits[t][local] = bit t (LSB first) of depth[local].
+  std::vector<std::vector<char>> bits;
+  int iterations = 0;
+  long rounds = 0;
+};
+
+/// parent[local] = region-local parent id, -1 for roots, -2 for amoebots not
+/// participating. Every parent edge must connect region neighbors.
+/// Requires comm.lanes() >= 2.
+TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent);
+
+}  // namespace aspf

@@ -1,0 +1,69 @@
+#include "portals/portal_ett.hpp"
+
+#include <stdexcept>
+
+namespace aspf {
+
+std::int64_t PortalSubsetEtt::crossDiff(
+    const Region& region, const PortalDecomposition::CrossEdge& e) const {
+  const Dir d =
+      dirBetween(region.coordOf(e.selfEnd), region.coordOf(e.peerEnd));
+  return ett.diff[e.selfEnd][static_cast<int>(d)];
+}
+
+TreeAdj restrictedImplicitTree(const Region& region,
+                               const PortalDecomposition& decomp,
+                               std::span<const char> portalInSubset) {
+  const bool all = portalInSubset.empty();
+  if (all) return decomp.implicitTree;
+  TreeAdj tree = TreeAdj::empty(region.size());
+  for (int p = 0; p < decomp.portalCount(); ++p) {
+    if (!portalInSubset[p]) continue;
+    // Axis-parallel run edges.
+    const auto& ms = decomp.members[p];
+    for (std::size_t i = 0; i + 1 < ms.size(); ++i)
+      tree.add(region, ms[i], ms[i + 1]);
+    // Connecting edges to subset peers (added from the smaller id side to
+    // avoid duplicates; TreeAdj::add is symmetric anyway).
+    for (const auto& e : decomp.adj[p]) {
+      if (e.peerPortal > p && portalInSubset[e.peerPortal])
+        tree.add(region, e.selfEnd, e.peerEnd);
+    }
+  }
+  return tree;
+}
+
+PortalSubsetEtt runPortalEtt(Comm& comm, const PortalDecomposition& decomp,
+                             std::span<const char> portalInSubset,
+                             int rootPortal, std::span<const char> portalInQ,
+                             bool broadcastW) {
+  const Region& region = comm.region();
+  PortalSubsetEtt out;
+  const TreeAdj tree =
+      restrictedImplicitTree(region, decomp, portalInSubset);
+  out.tour =
+      buildEulerTour(region, tree, decomp.representative[rootPortal]);
+
+  // Q-hat: representatives of Q portals inside the subset.
+  std::vector<char> inQHat(region.size(), 0);
+  for (int p = 0; p < decomp.portalCount(); ++p) {
+    if (!portalInQ[p]) continue;
+    if (!portalInSubset.empty() && !portalInSubset[p]) continue;
+    inQHat[decomp.representative[p]] = 1;
+  }
+
+  EttOptions options;
+  options.broadcastW = broadcastW;
+  out.ett = runEtt(comm, out.tour, canonicalMarks(out.tour, inQHat), options);
+  out.qCount = out.ett.totalWeight;
+  if (out.tour.edgeCount() == 0) {
+    // Single-amoebot tree: no tour edge can carry a mark; |Q| is simply
+    // whether the lone portal (= the root) is in Q.
+    out.qCount = inQHat[decomp.representative[rootPortal]] ? 1 : 0;
+    out.ett.totalWeight = out.qCount;
+  }
+  out.rounds = out.ett.rounds;
+  return out;
+}
+
+}  // namespace aspf

@@ -1,0 +1,43 @@
+#pragma once
+// ETT on implicit portal graphs (Section 3.5, Lemma 32): per portal a
+// representative (the westernmost amoebot) is elected; the ETT runs on the
+// implicit portal tree with the representatives of Q marked. By Lemma 32
+// the prefix-sum difference across the connecting edge c_P1(P2)--c_P2(P1)
+// equals the difference across the portal-graph edge (P1,P2), so all
+// portal-level primitives read their inputs at the connectors.
+//
+// Supports restriction to a portal subset (used by the decomposition
+// primitive, whose recursions operate on subtrees of the portal graph).
+#include <span>
+
+#include "ett/ett_runner.hpp"
+#include "portals/portals.hpp"
+
+namespace aspf {
+
+struct PortalSubsetEtt {
+  EulerTour tour;        // over the (restricted) implicit portal tree
+  EttResult ett;
+  std::uint64_t qCount = 0;
+  long rounds = 0;
+
+  /// Portal-graph prefix-sum difference across a cross edge, evaluated at
+  /// the connector (Lemma 32): diff(P1 -> P2) where e = adj[P1][..].
+  std::int64_t crossDiff(const Region& region,
+                         const PortalDecomposition::CrossEdge& e) const;
+};
+
+/// portalInSubset: per-portal membership of the restricted portal subtree
+/// (empty span = all portals). rootPortal must belong to the subset;
+/// portalInQ marks the Q portals (only those inside the subset count).
+PortalSubsetEtt runPortalEtt(Comm& comm, const PortalDecomposition& decomp,
+                             std::span<const char> portalInSubset,
+                             int rootPortal, std::span<const char> portalInQ,
+                             bool broadcastW = false);
+
+/// Builds the implicit-portal-tree adjacency restricted to a portal subset.
+TreeAdj restrictedImplicitTree(const Region& region,
+                               const PortalDecomposition& decomp,
+                               std::span<const char> portalInSubset);
+
+}  // namespace aspf

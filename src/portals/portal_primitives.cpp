@@ -1,0 +1,236 @@
+#include "portals/portal_primitives.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "primitives/election.hpp"
+#include "util/bitstream.hpp"
+
+namespace aspf {
+namespace {
+
+bool inSubset(std::span<const char> subset, int p) {
+  return subset.empty() || subset[p] != 0;
+}
+
+}  // namespace
+
+PortalRootPruneResult portalRootAndPrune(
+    Comm& comm, const PortalDecomposition& decomp,
+    std::span<const char> portalInSubset, int rootPortal,
+    std::span<const char> portalInQ, bool computeAugmentation) {
+  const Region& region = comm.region();
+  const int portals = decomp.portalCount();
+  PortalRootPruneResult result;
+  result.portalInVQ.assign(portals, 0);
+  result.parentPortal.assign(portals, -2);
+  result.degQ.assign(portals, 0);
+  result.inAug.assign(portals, 0);
+
+  const PortalSubsetEtt run =
+      runPortalEtt(comm, decomp, portalInSubset, rootPortal, portalInQ);
+  result.qCount = run.qCount;
+  result.rounds = run.rounds;
+
+  int maxDeg = 0;
+  for (int p = 0; p < portals; ++p) {
+    if (!inSubset(portalInSubset, p)) continue;
+    bool anyNonZero = false;
+    int parent = -2;
+    int deg = 0;
+    for (const auto& e : decomp.adj[p]) {
+      if (!inSubset(portalInSubset, e.peerPortal)) continue;
+      const std::int64_t diff = run.crossDiff(region, e);
+      if (diff != 0) {
+        anyNonZero = true;
+        ++deg;
+      }
+      if (diff > 0) parent = e.peerPortal;  // Corollary 18 via Lemma 32
+    }
+    const bool isRoot = p == rootPortal;
+    const bool inVQ = isRoot ? result.qCount > 0 : anyNonZero;
+    if (!inVQ) continue;
+    result.portalInVQ[p] = 1;
+    result.parentPortal[p] = isRoot ? -1 : parent;
+    result.degQ[p] = deg;
+    result.inAug[p] = deg >= 3 ? 1 : 0;
+    maxDeg = std::max(maxDeg, deg);
+  }
+
+  // Dissemination: one portal-circuit round (V_Q membership beeped by the
+  // connectors, Figure 4a) and one directed-edge-circuit round (parent
+  // identification, Figure 4b).
+  comm.chargeRounds(2);
+  result.rounds += 2;
+
+  if (computeAugmentation) {
+    // Lemma 34: each portal counts its non-pruned neighbors with a prefix-
+    // sum PASC along its member chain. Connectors for two portals via two
+    // different directions split into direction-indexed parallel passes so
+    // every pass uses 0/1 weights; all passes and portals run in parallel.
+    const long pascRounds =
+        2L * bitWidth(static_cast<std::uint64_t>(std::max(maxDeg, 1)));
+    comm.chargeRounds(pascRounds + 1);  // + one portal-circuit beep (>= 3?)
+    result.rounds += pascRounds + 1;
+  }
+  return result;
+}
+
+PortalElectionResult portalElect(Comm& comm,
+                                 const PortalDecomposition& decomp,
+                                 std::span<const char> portalInSubset,
+                                 int rootPortal,
+                                 std::span<const char> portalInQ) {
+  const Region& region = comm.region();
+  PortalElectionResult result;
+
+  const TreeAdj tree =
+      restrictedImplicitTree(region, decomp, portalInSubset);
+  const EulerTour tour =
+      buildEulerTour(region, tree, decomp.representative[rootPortal]);
+  std::vector<char> inQHat(region.size(), 0);
+  for (int p = 0; p < decomp.portalCount(); ++p) {
+    if (portalInQ[p] && inSubset(portalInSubset, p))
+      inQHat[decomp.representative[p]] = 1;
+  }
+  const ElectionResult elected = electFromQ(comm, tour, inQHat);
+  result.electedPortal = decomp.portalOf[elected.elected];
+  // The elected representative announces its portal on the portal circuit.
+  comm.chargeRounds(1);
+  result.rounds = elected.rounds + 1;
+  return result;
+}
+
+PortalCentroidResult portalCentroids(Comm& comm,
+                                     const PortalDecomposition& decomp,
+                                     std::span<const char> portalInSubset,
+                                     int rootPortal,
+                                     std::span<const char> portalInQ) {
+  const Region& region = comm.region();
+  const int portals = decomp.portalCount();
+  PortalCentroidResult result;
+  result.isCentroid.assign(portals, 0);
+
+  // Pass 1: parent relation (Lemma 33).
+  const PortalRootPruneResult rooted = portalRootAndPrune(
+      comm, decomp, portalInSubset, rootPortal, portalInQ);
+  result.qCount = rooted.qCount;
+  result.rounds = rooted.rounds;
+  if (result.qCount == 0) return result;
+
+  // Pass 2: ETT with |Q| broadcast; sizes compared at the connectors.
+  const PortalSubsetEtt run = runPortalEtt(comm, decomp, portalInSubset,
+                                           rootPortal, portalInQ, true);
+  result.rounds += run.rounds;
+
+  const auto q = static_cast<std::int64_t>(result.qCount);
+  for (int p = 0; p < portals; ++p) {
+    if (!portalInQ[p] || !inSubset(portalInSubset, p)) continue;
+    bool centroid = true;
+    for (const auto& e : decomp.adj[p]) {
+      if (!inSubset(portalInSubset, e.peerPortal)) continue;
+      const std::int64_t diff = run.crossDiff(region, e);
+      const std::int64_t size =
+          rooted.parentPortal[p] == e.peerPortal ? q - diff : -diff;
+      if (2 * size > q) {
+        centroid = false;
+        break;
+      }
+    }
+    result.isCentroid[p] = centroid ? 1 : 0;
+  }
+  // Veto beeps on the portal circuits (Figure 4a).
+  comm.chargeRounds(1);
+  result.rounds += 1;
+  return result;
+}
+
+PortalDecompositionResult portalDecompose(const Region& region,
+                                          const PortalDecomposition& decomp,
+                                          int rootPortal,
+                                          std::span<const char> portalInQPrime,
+                                          int lanes) {
+  const int portals = decomp.portalCount();
+  PortalDecompositionResult result;
+  result.depthOfPortal.assign(portals, -1);
+  result.parentPortalInDT.assign(portals, -2);
+
+  std::vector<char> removed(portals, 0);
+
+  auto collectComponent = [&](int start, std::vector<char>& members) -> bool {
+    members.assign(portals, 0);
+    bool hasQ = false;
+    std::queue<int> q;
+    q.push(start);
+    members[start] = 1;
+    while (!q.empty()) {
+      const int p = q.front();
+      q.pop();
+      hasQ = hasQ || portalInQPrime[p] != 0;
+      for (const auto& e : decomp.adj[p]) {
+        if (!removed[e.peerPortal] && !members[e.peerPortal]) {
+          members[e.peerPortal] = 1;
+          q.push(e.peerPortal);
+        }
+      }
+    }
+    return hasQ;
+  };
+
+  struct Subtree {
+    std::vector<char> members;  // per-portal flags
+    int rootPortal;
+    int callingCentroid;
+  };
+
+  std::vector<Subtree> level;
+  {
+    Subtree whole;
+    whole.rootPortal = rootPortal;
+    whole.callingCentroid = -1;
+    if (!collectComponent(rootPortal, whole.members))
+      throw std::invalid_argument("portalDecompose: Q' is empty");
+    level.push_back(std::move(whole));
+  }
+
+  int depth = 0;
+  while (!level.empty()) {
+    std::vector<Subtree> next;
+    std::vector<long> roundsPerSubtree;
+    for (const Subtree& z : level) {
+      Comm comm(region, lanes);
+      const PortalCentroidResult centroids = portalCentroids(
+          comm, decomp, z.members, z.rootPortal, portalInQPrime);
+      // Restrict Q to this subtree for the election.
+      std::vector<char> inQz(portals, 0);
+      for (int p = 0; p < portals; ++p)
+        inQz[p] = centroids.isCentroid[p] && z.members[p];
+      const PortalElectionResult elected =
+          portalElect(comm, decomp, z.members, z.rootPortal, inQz);
+      comm.chargeRounds(2);  // new-root + Q'-emptiness beeps per component
+      roundsPerSubtree.push_back(comm.rounds());
+
+      const int c = elected.electedPortal;
+      result.depthOfPortal[c] = depth;
+      result.parentPortalInDT[c] = z.callingCentroid;
+      removed[c] = 1;
+      for (const auto& e : decomp.adj[c]) {
+        const int p = e.peerPortal;
+        if (removed[p] || !z.members[p]) continue;
+        Subtree child;
+        child.rootPortal = p;
+        child.callingCentroid = c;
+        if (collectComponent(p, child.members)) {
+          next.push_back(std::move(child));
+        }
+      }
+    }
+    result.rounds += parallelRounds(roundsPerSubtree);
+    level = std::move(next);
+    ++depth;
+  }
+  result.height = depth;
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,71 @@
+#pragma once
+// Portal-level primitives (Section 3.5, Lemmas 33-37): root & prune,
+// augmentation, election, Q-centroid and Q'-centroid decomposition on the
+// portal graph, all executed through the implicit portal tree. Per-portal
+// results are disseminated to the member amoebots on portal circuits
+// (Figure 4a) and per-directed-edge circuits (Figure 4b); these
+// constant-round broadcast steps are charged explicitly.
+#include <span>
+
+#include "portals/portal_ett.hpp"
+
+namespace aspf {
+
+struct PortalRootPruneResult {
+  std::vector<char> portalInVQ;  // per portal
+  /// parentPortal[p]: -1 for the root portal, -2 for pruned portals.
+  std::vector<int> parentPortal;
+  std::vector<int> degQ;   // degree within the pruned portal tree
+  std::vector<char> inAug; // A_Q membership (degQ >= 3), if requested
+  std::uint64_t qCount = 0;
+  long rounds = 0;
+};
+
+/// Lemmas 33/34. portalInSubset empty = all portals.
+PortalRootPruneResult portalRootAndPrune(
+    Comm& comm, const PortalDecomposition& decomp,
+    std::span<const char> portalInSubset, int rootPortal,
+    std::span<const char> portalInQ, bool computeAugmentation = false);
+
+struct PortalElectionResult {
+  int electedPortal = -1;
+  long rounds = 0;
+};
+
+/// Lemma 35: elects one portal of Q (non-empty within the subset).
+PortalElectionResult portalElect(Comm& comm,
+                                 const PortalDecomposition& decomp,
+                                 std::span<const char> portalInSubset,
+                                 int rootPortal,
+                                 std::span<const char> portalInQ);
+
+struct PortalCentroidResult {
+  std::vector<char> isCentroid;  // per portal
+  std::uint64_t qCount = 0;
+  long rounds = 0;
+};
+
+/// Lemma 36.
+PortalCentroidResult portalCentroids(Comm& comm,
+                                     const PortalDecomposition& decomp,
+                                     std::span<const char> portalInSubset,
+                                     int rootPortal,
+                                     std::span<const char> portalInQ);
+
+struct PortalDecompositionResult {
+  /// depthOfPortal[p] = depth in the portal decomposition tree DT(P);
+  /// -1 for portals not in Q'.
+  std::vector<int> depthOfPortal;
+  std::vector<int> parentPortalInDT;  // -1 DT root, -2 not in Q'
+  int height = 0;
+  long rounds = 0;
+};
+
+/// Lemma 37: Q'-centroid decomposition of the portal graph.
+PortalDecompositionResult portalDecompose(const Region& region,
+                                          const PortalDecomposition& decomp,
+                                          int rootPortal,
+                                          std::span<const char> portalInQPrime,
+                                          int lanes = 4);
+
+}  // namespace aspf

@@ -1,0 +1,128 @@
+#include "portals/portals.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace aspf {
+
+std::array<char, 6> implicitTreeEdgesLocalRule(const Region& region,
+                                               int local, Axis axis) {
+  const Frame frame = Frame::canonicalizeAxis(axis);
+  // Directions in the *structure* corresponding to canonical E/W/NW/NE/SW/SE.
+  const Dir E = frame.applyInverse(Dir::E), W = frame.applyInverse(Dir::W);
+  const Dir NW = frame.applyInverse(Dir::NW), NE = frame.applyInverse(Dir::NE);
+  const Dir SW = frame.applyInverse(Dir::SW), SE = frame.applyInverse(Dir::SE);
+
+  auto has = [&](Dir d) { return region.neighbor(local, d) >= 0; };
+
+  std::array<char, 6> out{};
+  auto set = [&](Dir d, bool v) { out[static_cast<int>(d)] = v ? 1 : 0; };
+
+  // Definition 12 (x-axis phrasing): E/W edges always belong to the tree;
+  // the NW (SW) edge belongs iff the amoebot has no W neighbor (it is the
+  // westernmost of its portal); the NE (SE) edge belongs iff the amoebot
+  // has no NW (SW) neighbor (then the NE/SE neighbor is the westernmost
+  // reachable one of the adjacent portal).
+  set(E, has(E));
+  set(W, has(W));
+  set(NW, has(NW) && !has(W));
+  set(SW, has(SW) && !has(W));
+  set(NE, has(NE) && !has(NW));
+  set(SE, has(SE) && !has(SW));
+  return out;
+}
+
+int PortalDecomposition::connector(int p1, int p2) const {
+  for (const CrossEdge& e : adj[p1])
+    if (e.peerPortal == p2) return e.selfEnd;
+  return -1;
+}
+
+std::vector<int> PortalDecomposition::portalGraphDistances(
+    int fromPortal) const {
+  std::vector<int> dist(portalCount(), -1);
+  std::queue<int> q;
+  dist[fromPortal] = 0;
+  q.push(fromPortal);
+  while (!q.empty()) {
+    const int p = q.front();
+    q.pop();
+    for (const CrossEdge& e : adj[p]) {
+      if (dist[e.peerPortal] == -1) {
+        dist[e.peerPortal] = dist[p] + 1;
+        q.push(e.peerPortal);
+      }
+    }
+  }
+  return dist;
+}
+
+bool PortalDecomposition::portalGraphIsTree() const {
+  // Connected (the region is) + |edges| == |portals| - 1.
+  std::size_t edgeEndpoints = 0;
+  for (const auto& a : adj) edgeEndpoints += a.size();
+  if (portalCount() == 0) return true;
+  if (edgeEndpoints != 2 * static_cast<std::size_t>(portalCount() - 1))
+    return false;
+  const auto dist = portalGraphDistances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d < 0; });
+}
+
+PortalDecomposition computePortals(const Region& region, Axis axis) {
+  PortalDecomposition out;
+  out.axis = axis;
+  out.frame = Frame::canonicalizeAxis(axis);
+  const int n = region.size();
+  out.portalOf.assign(n, -1);
+
+  const Dir east = out.frame.applyInverse(Dir::E);
+  const Dir west = opposite(east);
+
+  // Portals: walk west to the run's start, then collect eastward.
+  for (int u = 0; u < n; ++u) {
+    if (out.portalOf[u] != -1) continue;
+    int start = u;
+    while (region.neighbor(start, west) >= 0)
+      start = region.neighbor(start, west);
+    const int pid = static_cast<int>(out.members.size());
+    out.members.emplace_back();
+    for (int v = start; v >= 0; v = region.neighbor(v, east)) {
+      out.portalOf[v] = pid;
+      out.members[pid].push_back(v);
+    }
+  }
+  const int portals = out.portalCount();
+  out.representative.resize(portals);
+  for (int p = 0; p < portals; ++p)
+    out.representative[p] = out.members[p].front();
+
+  // Implicit tree from the local rule; cross edges (= non-axis tree edges)
+  // also define the portal adjacency.
+  out.implicitTree = TreeAdj::empty(n);
+  out.adj.resize(portals);
+  for (int u = 0; u < n; ++u) {
+    const auto local = implicitTreeEdgesLocalRule(region, u, axis);
+    for (int d = 0; d < 6; ++d) {
+      if (!local[d]) continue;
+      out.implicitTree.edge[u][d] = 1;
+      const int v = region.neighbor(u, static_cast<Dir>(d));
+      // Record each cross edge once, from the side that owns the rule hit;
+      // also mirror the tree flag so TreeAdj stays symmetric.
+      out.implicitTree.edge[v][static_cast<int>(
+          opposite(static_cast<Dir>(d)))] = 1;
+      if (axisOf(static_cast<Dir>(d)) == axis) continue;
+      const int p1 = out.portalOf[u], p2 = out.portalOf[v];
+      bool known = false;
+      for (const auto& e : out.adj[p1]) known = known || e.peerPortal == p2;
+      if (!known) {
+        out.adj[p1].push_back({p2, u, v});
+        out.adj[p2].push_back({p1, v, u});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aspf

@@ -1,0 +1,72 @@
+#pragma once
+// Portals and (implicit) portal graphs (Definitions 7/8/12, Lemma 9).
+//
+// For an axis d, the d-portals of a region are the connected components of
+// its d-parallel edges: maximal straight runs of amoebots. The portal graph
+// has one vertex per portal, adjacent iff some edge joins them; for
+// hole-free structures it is a tree (Lemma 9). The amoebots only have access
+// to the *implicit* portal graph: all d-parallel edges, plus the unique
+// "westernmost" connecting edge between each pair of adjacent portals,
+// chosen by the local rule of Definition 12 (each amoebot decides from its
+// own neighborhood which incident edges belong to the implicit tree).
+//
+// All definitions are stated w.l.o.g. for the x-axis; other axes reuse them
+// through the canonical frame rotation.
+#include <cstdint>
+#include <vector>
+
+#include "ett/euler_tour.hpp"
+#include "geometry/frame.hpp"
+#include "sim/comm.hpp"
+#include "sim/region.hpp"
+
+namespace aspf {
+
+struct PortalDecomposition {
+  Axis axis = Axis::X;
+  Frame frame;  // maps this axis onto the x-axis
+
+  /// portalOf[local] = dense portal id.
+  std::vector<int> portalOf;
+
+  /// members[p] = region-local ids, sorted west to east (canonical frame).
+  std::vector<std::vector<int>> members;
+
+  /// representative[p] = westernmost amoebot of the portal.
+  std::vector<int> representative;
+
+  struct CrossEdge {
+    int peerPortal;
+    int selfEnd;  // c_P1(P2): this portal's endpoint of the connecting edge
+    int peerEnd;  // c_P2(P1)
+  };
+  /// adj[p] = connecting (rule) edges to adjacent portals; exactly one per
+  /// adjacent pair (verified for hole-free structures).
+  std::vector<std::vector<CrossEdge>> adj;
+
+  /// The implicit portal tree over region-local amoebots: all axis-parallel
+  /// edges plus the connecting edges.
+  TreeAdj implicitTree;
+
+  int portalCount() const { return static_cast<int>(members.size()); }
+
+  /// Connector c_{p1}(p2), or -1 if the portals are not adjacent.
+  int connector(int p1, int p2) const;
+
+  /// BFS distances in the portal graph from `fromPortal`.
+  std::vector<int> portalGraphDistances(int fromPortal) const;
+
+  /// True iff the portal graph is acyclic (Lemma 9 for hole-free regions).
+  bool portalGraphIsTree() const;
+};
+
+/// Computes the d-portal decomposition of a (connected) region.
+PortalDecomposition computePortals(const Region& region, Axis axis);
+
+/// Evaluates Definition 12's local rule for one amoebot: which of its
+/// incident edges belong to the implicit portal tree of `axis`. Exposed for
+/// cross-validation in tests; computePortals uses the same rule.
+std::array<char, 6> implicitTreeEdgesLocalRule(const Region& region,
+                                               int local, Axis axis);
+
+}  // namespace aspf

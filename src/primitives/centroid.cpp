@@ -1,0 +1,54 @@
+#include "primitives/centroid.hpp"
+
+#include "primitives/root_prune.hpp"
+
+namespace aspf {
+
+CentroidResult computeQCentroids(Comm& comm, const EulerTour& tour,
+                                 std::span<const char> inQ) {
+  const Region& region = comm.region();
+  const int n = region.size();
+  CentroidResult result;
+  result.isCentroid.assign(n, 0);
+
+  // Pass 1: parents with respect to the root (Lemma 20).
+  const RootPruneResult rooted = rootAndPrune(comm, tour, inQ);
+  result.qCount = rooted.qCount;
+  result.rounds = rooted.rounds;
+
+  if (tour.edgeCount() == 0) {
+    if (tour.root >= 0 && inQ[tour.root]) result.isCentroid[tour.root] = 1;
+    return result;
+  }
+  if (result.qCount == 0) return result;
+
+  // Pass 2: ETT again, with the root broadcasting |Q| bit by bit.
+  const std::vector<int> marks = canonicalMarks(tour, inQ);
+  EttOptions options;
+  options.broadcastW = true;
+  const EttResult ett = runEtt(comm, tour, marks, options);
+  result.rounds += ett.rounds;
+
+  const std::int64_t q = static_cast<std::int64_t>(ett.totalWeight);
+  for (int u = 0; u < n; ++u) {
+    if (!inQ[u]) continue;
+    bool centroid = true;
+    for (int d = 0; d < 6; ++d) {
+      if (tour.instanceOfOutEdge[u][d] < 0) continue;
+      const int v = region.neighbor(u, static_cast<Dir>(d));
+      // Corollary 22: size of v's component after removing u.
+      const std::int64_t size = (rooted.parent[u] == v)
+                                    ? q - ett.diff[u][d]
+                                    : -ett.diff[u][d];
+      // Streaming comparison 2*size <= |Q| in the amoebots; plain here.
+      if (2 * size > q) {
+        centroid = false;
+        break;
+      }
+    }
+    result.isCentroid[u] = centroid ? 1 : 0;
+  }
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,23 @@
+#pragma once
+// Q-centroid primitive (Section 3.4, Lemma 23): a node u in Q is a
+// Q-centroid iff removing u splits the tree into components with at most
+// |Q|/2 nodes of Q each. Computed with two ETT passes: the first roots and
+// prunes (parents), the second recomputes prefix sums while the root
+// broadcasts |Q| bit by bit; each node compares the component sizes around
+// it against |Q|/2 in streaming fashion.
+#include <span>
+
+#include "ett/ett_runner.hpp"
+
+namespace aspf {
+
+struct CentroidResult {
+  std::vector<char> isCentroid;  // per region-local id
+  std::uint64_t qCount = 0;
+  long rounds = 0;
+};
+
+CentroidResult computeQCentroids(Comm& comm, const EulerTour& tour,
+                                 std::span<const char> inQ);
+
+}  // namespace aspf

@@ -1,0 +1,119 @@
+#include "primitives/decomposition.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "primitives/centroid.hpp"
+#include "primitives/election.hpp"
+
+namespace aspf {
+namespace {
+
+struct Subtree {
+  std::vector<int> members;  // region-local ids
+  int root = -1;             // r_Z
+  int callingCentroid = -1;  // DT parent of the centroid elected here
+};
+
+}  // namespace
+
+DecompositionResult decomposeAtCentroids(const Region& region,
+                                         const TreeAdj& tree, int root,
+                                         std::span<const char> inQPrime,
+                                         int lanes) {
+  const int n = region.size();
+  DecompositionResult result;
+  result.depth.assign(n, -1);
+  result.parentInDT.assign(n, -2);
+
+  std::vector<char> removed(n, 0);
+
+  // Collect the component of `start` within the tree, skipping removed
+  // nodes; returns members and whether it contains a Q' node.
+  auto collectComponent = [&](int start, std::vector<int>& members) -> bool {
+    members.clear();
+    bool hasQ = false;
+    std::vector<int> stack{start};
+    std::vector<char> seen(n, 0);
+    seen[start] = 1;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      members.push_back(u);
+      hasQ = hasQ || inQPrime[u] != 0;
+      for (int d = 0; d < 6; ++d) {
+        if (!tree.edge[u][d]) continue;
+        const int v = region.neighbor(u, static_cast<Dir>(d));
+        if (v >= 0 && !removed[v] && !seen[v]) {
+          seen[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+    return hasQ;
+  };
+
+  std::vector<Subtree> level;
+  {
+    Subtree whole;
+    whole.root = root;
+    whole.callingCentroid = -1;
+    if (!collectComponent(root, whole.members))
+      throw std::invalid_argument("decomposeAtCentroids: Q' is empty");
+    level.push_back(std::move(whole));
+  }
+
+  int depth = 0;
+  while (!level.empty()) {
+    std::vector<Subtree> next;
+    std::vector<long> roundsPerSubtree;
+    for (const Subtree& z : level) {
+      // Tree adjacency restricted to the component.
+      TreeAdj sub = TreeAdj::empty(n);
+      std::vector<char> inZ(n, 0);
+      for (const int u : z.members) inZ[u] = 1;
+      for (const int u : z.members) {
+        for (int d = 0; d < 6; ++d) {
+          if (!tree.edge[u][d]) continue;
+          const int v = region.neighbor(u, static_cast<Dir>(d));
+          if (v >= 0 && inZ[v]) sub.edge[u][d] = 1;
+        }
+      }
+      std::vector<char> subQ(n, 0);
+      for (const int u : z.members) subQ[u] = inQPrime[u];
+
+      const EulerTour tour = buildEulerTour(region, sub, z.root);
+      Comm comm(region, lanes);
+      const CentroidResult centroids = computeQCentroids(comm, tour, subQ);
+      const ElectionResult elected =
+          electFromQ(comm, tour, centroids.isCentroid);
+      // Splitting beeps: each neighbor component checks Q'-emptiness on a
+      // subtree circuit, and learns its new root (2 rounds).
+      comm.chargeRounds(2);
+      roundsPerSubtree.push_back(comm.rounds());
+
+      const int c = elected.elected;
+      result.depth[c] = depth;
+      result.parentInDT[c] = z.callingCentroid;
+      removed[c] = 1;
+      for (int d = 0; d < 6; ++d) {
+        if (!sub.edge[c][d]) continue;
+        const int v = region.neighbor(c, static_cast<Dir>(d));
+        if (v < 0 || removed[v]) continue;
+        Subtree child;
+        child.root = v;
+        child.callingCentroid = c;
+        if (collectComponent(v, child.members))
+          next.push_back(std::move(child));
+      }
+    }
+    result.rounds += parallelRounds(roundsPerSubtree);
+    level = std::move(next);
+    ++depth;
+  }
+  result.height = depth;
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,37 @@
+#pragma once
+// Q'-centroid decomposition (Section 3.4, Lemma 31): recursively decompose
+// the tree at elected Q'-centroids; all recursions of a level run in
+// parallel (disjoint circuits), so the whole decomposition tree DT(T) of
+// height O(log|Q'|) is computed within O(log^2 |Q'|) rounds.
+//
+// Each level: per active subtree Z (a component left after removing the
+// centroids chosen so far, with Q' intersecting Z), run the centroid
+// primitive, elect one centroid, split Z at it, and continue on the
+// neighbor components that still contain Q' nodes.
+#include <span>
+
+#include "ett/euler_tour.hpp"
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct DecompositionResult {
+  /// depth[u] = depth of u in the decomposition tree DT (root depth 0);
+  /// -1 for nodes not in Q'.
+  std::vector<int> depth;
+  /// Decomposition-tree parent (the centroid of the calling recursion);
+  /// -1 for the DT root, -2 for nodes not in Q'.
+  std::vector<int> parentInDT;
+  int height = 0;  // number of levels
+  long rounds = 0;
+};
+
+/// `tree` must be a tree spanning (at least) all nodes of Q'; `root` is the
+/// designated node r; inQPrime must be non-empty. `lanes` is the lane count
+/// for the internal Comms (>= 4).
+DecompositionResult decomposeAtCentroids(const Region& region,
+                                         const TreeAdj& tree, int root,
+                                         std::span<const char> inQPrime,
+                                         int lanes = 4);
+
+}  // namespace aspf

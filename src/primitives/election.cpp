@@ -1,0 +1,90 @@
+#include "primitives/election.hpp"
+
+#include <stdexcept>
+
+#include "ett/ett_runner.hpp"
+
+namespace aspf {
+namespace {
+
+std::uint8_t primaryLane(Dir travel) noexcept {
+  return static_cast<int>(travel) < 3 ? 0 : 2;
+}
+
+}  // namespace
+
+ElectionResult electFromQ(Comm& comm, const EulerTour& tour,
+                          std::span<const char> inQ) {
+  ElectionResult result;
+  const Region& region = comm.region();
+
+  if (tour.edgeCount() == 0) {
+    if (tour.root < 0 || !inQ[tour.root])
+      throw std::invalid_argument("electFromQ: Q empty on single-node tree");
+    result.elected = tour.root;
+    result.rounds = 1;
+    comm.chargeRounds(1);
+    return result;
+  }
+
+  const std::vector<int> marks = canonicalMarks(tour, inQ);
+  const int edges = tour.edgeCount();
+
+  // Is some tour edge marked at all?
+  bool anyMark = false;
+  std::vector<char> edgeMarked(edges, 0);
+  for (int i = 0; i < edges; ++i) {
+    const int u = tour.stops[i];
+    if (marks[u] >= 0 && tour.outDir[i] == static_cast<Dir>(marks[u]) &&
+        tour.instanceOfOutEdge[u][marks[u]] == i) {
+      edgeMarked[i] = 1;
+      anyMark = true;
+    }
+  }
+  if (!anyMark) throw std::invalid_argument("electFromQ: Q is empty");
+
+  // Build the subpath circuits on the primary lane: instance i joins its
+  // in-pin (edge e_{i-1}) with its out-pin (edge e_i) unless one of them is
+  // a marked (removed) edge.
+  comm.resetPins();
+  auto inPinOf = [&](int i) {  // pin of instance i toward its predecessor
+    const Dir travel = tour.outDir[i - 1];
+    return Pin{opposite(travel), primaryLane(travel)};
+  };
+  auto outPinOf = [&](int i) {
+    const Dir travel = tour.outDir[i];
+    return Pin{travel, primaryLane(travel)};
+  };
+  for (int i = 1; i < edges; ++i) {  // interior instances
+    if (edgeMarked[i - 1] || edgeMarked[i]) continue;
+    const int u = tour.stops[i];
+    const Pin pins[] = {inPinOf(i), outPinOf(i)};
+    comm.pins(u).join(pins);
+  }
+
+  // The root beeps into the first subpath. If the very first tour edge is
+  // marked, the first subpath is trivial and the root elects itself.
+  if (edgeMarked[0]) {
+    result.elected = tour.root;
+    result.rounds = 1;
+    comm.chargeRounds(1);
+    return result;
+  }
+  comm.beepPin(tour.stops[0], outPinOf(0));
+  comm.deliver();
+  result.rounds = 1;
+
+  // The elected node is the one owning the instance whose *outgoing* edge
+  // is marked and whose in-pin received the root's beep.
+  for (int i = 1; i < edges; ++i) {
+    if (!edgeMarked[i]) continue;
+    const int u = tour.stops[i];
+    if (comm.receivedPin(u, inPinOf(i))) {
+      result.elected = u;
+      return result;
+    }
+  }
+  throw std::logic_error("electFromQ: beep vanished (internal error)");
+}
+
+}  // namespace aspf

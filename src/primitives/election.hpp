@@ -1,0 +1,23 @@
+#pragma once
+// Election primitive (Section 3.3, Lemma 21): given a tree rooted at r and a
+// non-empty set Q, elect the unique node of Q whose marked tour edge comes
+// first on the Euler tour. Implemented exactly as in the paper: the marked
+// edges are removed from the tour, splitting it into subpaths; every subpath
+// forms one circuit; r beeps on the first subpath and the node at its far
+// end is elected. Costs O(1) rounds.
+#include <span>
+
+#include "ett/euler_tour.hpp"
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct ElectionResult {
+  int elected = -1;  // region-local id
+  long rounds = 0;
+};
+
+ElectionResult electFromQ(Comm& comm, const EulerTour& tour,
+                          std::span<const char> inQ);
+
+}  // namespace aspf

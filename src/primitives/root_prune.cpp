@@ -1,0 +1,60 @@
+#include "primitives/root_prune.hpp"
+
+namespace aspf {
+
+RootPruneResult rootAndPrune(Comm& comm, const EulerTour& tour,
+                             std::span<const char> inQ) {
+  const Region& region = comm.region();
+  const int n = region.size();
+  RootPruneResult result;
+  result.parent.assign(n, -2);
+  result.inVQ.assign(n, 0);
+  result.degQ.assign(n, 0);
+  result.inAug.assign(n, 0);
+
+  const std::vector<int> marks = canonicalMarks(tour, inQ);
+  const EttResult ett = runEtt(comm, tour, marks);
+  result.qCount = ett.totalWeight;
+  result.rounds = ett.rounds;
+
+  if (tour.edgeCount() == 0) {
+    // Single-node tree: the root survives iff it is in Q itself (Lemma 19).
+    if (tour.root >= 0 && inQ[tour.root]) {
+      result.inVQ[tour.root] = 1;
+      result.parent[tour.root] = -1;
+    }
+    return result;
+  }
+
+  for (int u = 0; u < n; ++u) {
+    bool touched = false;     // u has at least one tree edge (is in T)
+    bool anyNonZero = false;  // some incident difference is non-zero
+    int parentDir = -1;
+    int deg = 0;
+    for (int d = 0; d < 6; ++d) {
+      if (tour.instanceOfOutEdge[u][d] < 0) continue;
+      touched = true;
+      const std::int64_t diff = ett.diff[u][d];
+      if (diff != 0) {
+        anyNonZero = true;
+        ++deg;  // neighbor in this direction is in V_Q (Lemma 26)
+      }
+      if (diff > 0) parentDir = d;  // Corollary 18: positive -> parent
+    }
+    if (!touched) continue;
+    const bool isRoot = u == tour.root;
+    const bool inVQ = isRoot ? result.qCount > 0 : anyNonZero;
+    result.inVQ[u] = inVQ ? 1 : 0;
+    if (!inVQ) continue;
+    result.degQ[u] = deg;
+    result.inAug[u] = deg >= 3 ? 1 : 0;
+    if (isRoot)
+      result.parent[u] = -1;
+    else
+      result.parent[u] =
+          region.neighbor(u, static_cast<Dir>(parentDir));
+  }
+  return result;
+}
+
+}  // namespace aspf

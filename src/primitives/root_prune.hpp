@@ -1,0 +1,30 @@
+#pragma once
+// Root & prune primitive (Section 3.2, Lemma 20): given a tree T, a node r,
+// and a set Q, root T at r and prune every subtree without a node in Q.
+// Afterwards each node knows whether it survived (V_Q), its parent, its
+// degree within the pruned tree T_Q, and whether it belongs to the
+// augmentation set A_Q = { u in V_Q : deg_Q(u) >= 3 } (Lemma 26).
+#include <span>
+
+#include "ett/ett_runner.hpp"
+
+namespace aspf {
+
+struct RootPruneResult {
+  /// parent[u] = region-local parent id; -1 for the root; -2 for nodes
+  /// pruned away or outside the tree.
+  std::vector<int> parent;
+  std::vector<char> inVQ;
+  /// Degree within T_Q (0 for pruned nodes).
+  std::vector<int> degQ;
+  /// u in A_Q  iff  deg_Q(u) >= 3.
+  std::vector<char> inAug;
+  std::uint64_t qCount = 0;
+  long rounds = 0;
+};
+
+/// inQ is indexed by region-local id. The tour must be rooted at r.
+RootPruneResult rootAndPrune(Comm& comm, const EulerTour& tour,
+                             std::span<const char> inQ);
+
+}  // namespace aspf

@@ -1,0 +1,203 @@
+#include "shapes/generators.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace shapes {
+namespace {
+
+using CoordSet = std::unordered_set<Coord, CoordHash>;
+
+AmoebotStructure fromSet(const CoordSet& set) {
+  std::vector<Coord> coords(set.begin(), set.end());
+  std::sort(coords.begin(), coords.end());
+  return AmoebotStructure::fromCoords(std::move(coords));
+}
+
+}  // namespace
+
+AmoebotStructure parallelogram(int width, int height) {
+  if (width < 1 || height < 1)
+    throw std::invalid_argument("parallelogram: dimensions must be >= 1");
+  std::vector<Coord> coords;
+  coords.reserve(static_cast<std::size_t>(width) * height);
+  for (int r = 0; r < height; ++r)
+    for (int q = 0; q < width; ++q) coords.push_back({q, r});
+  return AmoebotStructure::fromCoords(std::move(coords));
+}
+
+AmoebotStructure triangle(int side) {
+  if (side < 1) throw std::invalid_argument("triangle: side must be >= 1");
+  std::vector<Coord> coords;
+  for (int r = 0; r < side; ++r)
+    for (int q = 0; q < side - r; ++q) coords.push_back({q, r});
+  return AmoebotStructure::fromCoords(std::move(coords));
+}
+
+AmoebotStructure hexagon(int radius) {
+  if (radius < 0) throw std::invalid_argument("hexagon: radius must be >= 0");
+  std::vector<Coord> coords;
+  for (int r = -radius; r <= radius; ++r) {
+    for (int q = -radius; q <= radius; ++q) {
+      if (std::abs(q + r) <= radius) coords.push_back({q, r});
+    }
+  }
+  return AmoebotStructure::fromCoords(std::move(coords));
+}
+
+AmoebotStructure line(int n, Axis axis) {
+  if (n < 1) throw std::invalid_argument("line: n must be >= 1");
+  const Dir step = dirsOf(axis)[0];
+  std::vector<Coord> coords;
+  Coord c{0, 0};
+  for (int i = 0; i < n; ++i) {
+    coords.push_back(c);
+    c = c.neighbor(step);
+  }
+  return AmoebotStructure::fromCoords(std::move(coords));
+}
+
+AmoebotStructure comb(int teeth, int toothLength, int pitch) {
+  if (teeth < 1 || toothLength < 0 || pitch < 1)
+    throw std::invalid_argument("comb: bad parameters");
+  CoordSet set;
+  const int width = (teeth - 1) * pitch + 1;
+  for (int q = 0; q < width; ++q) set.insert({q, 0});
+  for (int t = 0; t < teeth; ++t) {
+    Coord c{t * pitch, 0};
+    for (int i = 0; i < toothLength; ++i) {
+      c = c.neighbor(Dir::NE);
+      set.insert(c);
+    }
+  }
+  return fromSet(set);
+}
+
+AmoebotStructure staircase(int steps, int stepSize) {
+  if (steps < 1 || stepSize < 1)
+    throw std::invalid_argument("staircase: bad parameters");
+  CoordSet set;
+  Coord corner{0, 0};
+  for (int s = 0; s < steps; ++s) {
+    Coord c = corner;
+    for (int i = 0; i < stepSize; ++i) {
+      set.insert(c);
+      c = c.neighbor(Dir::E);
+    }
+    for (int i = 0; i <= stepSize; ++i) {
+      set.insert(c);
+      if (i < stepSize) c = c.neighbor(Dir::NE);
+    }
+    corner = c;
+  }
+  return fromSet(set);
+}
+
+AmoebotStructure fillHoles(std::vector<Coord> coords) {
+  CoordSet set(coords.begin(), coords.end());
+  if (set.empty()) throw std::invalid_argument("fillHoles: empty structure");
+  std::int32_t qmin = std::numeric_limits<std::int32_t>::max(), qmax = -qmin;
+  std::int32_t rmin = qmin, rmax = -qmin;
+  for (const Coord c : set) {
+    qmin = std::min(qmin, c.q);
+    qmax = std::max(qmax, c.q);
+    rmin = std::min(rmin, c.r);
+    rmax = std::max(rmax, c.r);
+  }
+  qmin -= 1;
+  qmax += 1;
+  rmin -= 1;
+  rmax += 1;
+  // Flood the outside; anything empty and not reached is a hole -> fill it.
+  CoordSet outside;
+  std::queue<Coord> q;
+  auto push = [&](Coord c) {
+    if (c.q < qmin || c.q > qmax || c.r < rmin || c.r > rmax) return;
+    if (set.contains(c) || outside.contains(c)) return;
+    outside.insert(c);
+    q.push(c);
+  };
+  push({qmin, rmin});
+  for (std::int32_t qq = qmin; qq <= qmax; ++qq) {
+    push({qq, rmin});
+    push({qq, rmax});
+  }
+  for (std::int32_t rr = rmin; rr <= rmax; ++rr) {
+    push({qmin, rr});
+    push({qmax, rr});
+  }
+  while (!q.empty()) {
+    const Coord c = q.front();
+    q.pop();
+    for (Dir d : kAllDirs) push(c.neighbor(d));
+  }
+  for (std::int32_t rr = rmin; rr <= rmax; ++rr) {
+    for (std::int32_t qq = qmin; qq <= qmax; ++qq) {
+      const Coord c{qq, rr};
+      if (!set.contains(c) && !outside.contains(c)) set.insert(c);
+    }
+  }
+  return fromSet(set);
+}
+
+AmoebotStructure randomBlob(int targetSize, std::uint64_t seed) {
+  if (targetSize < 1)
+    throw std::invalid_argument("randomBlob: targetSize must be >= 1");
+  Rng rng(seed);
+  CoordSet set{{0, 0}};
+  std::vector<Coord> frontier;  // empty nodes adjacent to the blob
+  CoordSet inFrontier;
+  auto expandFrontier = [&](Coord c) {
+    for (Dir d : kAllDirs) {
+      const Coord nb = c.neighbor(d);
+      if (!set.contains(nb) && inFrontier.insert(nb).second)
+        frontier.push_back(nb);
+    }
+  };
+  expandFrontier({0, 0});
+  while (static_cast<int>(set.size()) < targetSize && !frontier.empty()) {
+    const std::size_t pick = rng.below(frontier.size());
+    const Coord c = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    inFrontier.erase(c);
+    set.insert(c);
+    expandFrontier(c);
+  }
+  std::vector<Coord> coords(set.begin(), set.end());
+  return fillHoles(std::move(coords));
+}
+
+AmoebotStructure randomSpider(int arms, int armLength, std::uint64_t seed) {
+  if (arms < 1 || armLength < 1)
+    throw std::invalid_argument("randomSpider: bad parameters");
+  Rng rng(seed);
+  CoordSet set{{0, 0}};
+  for (int a = 0; a < arms; ++a) {
+    Coord c{0, 0};
+    Dir heading = static_cast<Dir>(rng.below(6));
+    for (int i = 0; i < armLength; ++i) {
+      // Mostly keep heading; occasionally veer one step.
+      const auto veer = rng.below(8);
+      if (veer == 0)
+        heading = ccw(heading);
+      else if (veer == 1)
+        heading = cw(heading);
+      c = c.neighbor(heading);
+      set.insert(c);
+      // Thicken to keep the arm robustly connected.
+      set.insert(c.neighbor(Dir::E));
+    }
+  }
+  std::vector<Coord> coords(set.begin(), set.end());
+  return fillHoles(std::move(coords));
+}
+
+}  // namespace shapes
+}  // namespace aspf

@@ -1,0 +1,50 @@
+#pragma once
+// Generators for hole-free amoebot structures used by tests, examples and
+// benches: regular shapes (parallelogram, triangle, hexagon, line), the
+// adversarial comb/staircase shapes (deep portal trees), and seeded random
+// blobs (random growth with hole filling).
+#include <cstdint>
+#include <vector>
+
+#include "sim/structure.hpp"
+
+namespace aspf {
+namespace shapes {
+
+/// Parallelogram spanned by the x-axis (width) and y-axis (height).
+AmoebotStructure parallelogram(int width, int height);
+
+/// Upward triangle with the given side length.
+AmoebotStructure triangle(int side);
+
+/// Hexagon with the given radius (radius 0 = single amoebot);
+/// n = 3r(r+1) + 1.
+AmoebotStructure hexagon(int radius);
+
+/// Straight line of n amoebots along the given axis.
+AmoebotStructure line(int n, Axis axis = Axis::X);
+
+/// Comb: a spine along the x-axis with vertical teeth every `pitch` columns.
+/// Adversarial for distance problems (large diameter, skinny portals).
+AmoebotStructure comb(int teeth, int toothLength, int pitch = 2);
+
+/// Staircase of `steps` steps, each `stepSize` wide/high. Maximizes portal
+/// counts relative to n.
+AmoebotStructure staircase(int steps, int stepSize);
+
+/// Random hole-free blob with at least `targetSize` amoebots: randomized
+/// boundary growth from the origin, followed by filling all enclosed holes
+/// (so the result is hole-free by construction; may slightly exceed
+/// targetSize).
+AmoebotStructure randomBlob(int targetSize, std::uint64_t seed);
+
+/// Random hole-free "spider": several random-walk arms from the origin,
+/// thickened by 1; sparse, high-diameter instances. Hole-filled.
+AmoebotStructure randomSpider(int arms, int armLength, std::uint64_t seed);
+
+/// Fills every hole of an arbitrary coordinate set (adds the enclosed empty
+/// nodes), returning a hole-free structure.
+AmoebotStructure fillHoles(std::vector<Coord> coords);
+
+}  // namespace shapes
+}  // namespace aspf

@@ -1,0 +1,97 @@
+#include "sim/circuit_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aspf {
+namespace {
+
+class Dsu {
+ public:
+  explicit Dsu(int n) : parent_(n, -1) {}
+
+  int find(int x) {
+    int r = x;
+    while (parent_[r] >= 0) r = parent_[r];
+    while (parent_[x] >= 0) {
+      const int next = parent_[x];
+      parent_[x] = r;
+      x = next;
+    }
+    return r;
+  }
+
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (parent_[a] > parent_[b]) std::swap(a, b);
+    parent_[a] += parent_[b];
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+CircuitInfo analyzeCircuits(const Comm& comm) {
+  const Region& region = comm.region();
+  const int n = region.size();
+  const int lanes = comm.lanes();
+  const int ppa = kNumDirs * lanes;
+  Dsu dsu(n * ppa);
+  auto pinNode = [&](int a, int pinIdx) { return a * ppa + pinIdx; };
+
+  for (int a = 0; a < n; ++a) {
+    const PinConfig& pc = comm.pins(a);
+    std::array<int, kNumDirs * kMaxLanes> first{};
+    first.fill(-1);
+    for (int p = 0; p < ppa; ++p) {
+      const int label = pc.labelAt(p);
+      if (first[label] < 0)
+        first[label] = p;
+      else
+        dsu.unite(pinNode(a, first[label]), pinNode(a, p));
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int di = 0; di < 3; ++di) {
+      const Dir d = static_cast<Dir>(di);
+      const int b = region.neighbor(a, d);
+      if (b < 0) continue;
+      for (int lane = 0; lane < lanes; ++lane) {
+        dsu.unite(
+            pinNode(a, pinIndex({d, static_cast<std::uint8_t>(lane)}, lanes)),
+            pinNode(b, pinIndex({opposite(d), static_cast<std::uint8_t>(lane)},
+                                lanes)));
+      }
+    }
+  }
+
+  CircuitInfo info;
+  info.circuitOf.assign(n, std::vector<int>(ppa, -1));
+  std::vector<int> dense(static_cast<std::size_t>(n) * ppa, -1);
+  for (int a = 0; a < n; ++a) {
+    for (int p = 0; p < ppa; ++p) {
+      const int root = dsu.find(pinNode(a, p));
+      if (dense[root] < 0) dense[root] = info.circuitCount++;
+      info.circuitOf[a][p] = dense[root];
+    }
+  }
+  info.amoebotsOnCircuit.assign(info.circuitCount, 0);
+  std::vector<int> lastSeen(info.circuitCount, -1);
+  for (int a = 0; a < n; ++a) {
+    for (int p = 0; p < ppa; ++p) {
+      const int c = info.circuitOf[a][p];
+      if (lastSeen[c] != a) {
+        lastSeen[c] = a;
+        ++info.amoebotsOnCircuit[c];
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace aspf

@@ -1,0 +1,26 @@
+#pragma once
+// Standalone circuit analysis: given the pin configurations of a Comm,
+// compute the circuits (connected components of partition sets). Comm itself
+// recomputes this per round internally; this module exposes the structure
+// for tests, visualization, and statistics (e.g. how many circuits a
+// configuration induces, which amoebots a circuit spans).
+#include <vector>
+
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct CircuitInfo {
+  /// circuitOf[local][pinIdx] = dense circuit id of the circuit containing
+  /// that pin's partition set.
+  std::vector<std::vector<int>> circuitOf;
+  int circuitCount = 0;
+
+  /// Number of distinct amoebots each circuit touches.
+  std::vector<int> amoebotsOnCircuit;
+};
+
+/// Analyzes the current pin configurations of the given Comm.
+CircuitInfo analyzeCircuits(const Comm& comm);
+
+}  // namespace aspf

@@ -1,0 +1,112 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aspf {
+
+Comm::Comm(const Region& region, int lanes)
+    : region_(&region),
+      lanes_(lanes),
+      pinsPerAmoebot_(kNumDirs * lanes),
+      pins_(static_cast<std::size_t>(region.size()), PinConfig(lanes)),
+      rootBeeped_() {
+  dsu_.assign(static_cast<std::size_t>(region.size()) * pinsPerAmoebot_, -1);
+}
+
+void Comm::resetPins() {
+  for (auto& pc : pins_) pc.reset();
+}
+
+void Comm::beep(int local, int label) {
+  pendingBeeps_.emplace_back(local, label);
+}
+
+int Comm::findRoot(int x) const {
+  int r = x;
+  while (dsu_[r] >= 0) r = dsu_[r];
+  while (dsu_[x] >= 0) {
+    const int next = dsu_[x];
+    dsu_[x] = r;
+    x = next;
+  }
+  return r;
+}
+
+void Comm::deliver() {
+  const int n = region_->size();
+  std::fill(dsu_.begin(), dsu_.end(), -1);
+  auto unite = [&](int a, int b) {
+    a = findRoot(a);
+    b = findRoot(b);
+    if (a == b) return;
+    if (dsu_[a] > dsu_[b]) std::swap(a, b);
+    dsu_[a] += dsu_[b];
+    dsu_[b] = a;
+  };
+
+  // Partition sets: union pins of an amoebot sharing a label.
+  std::array<int, kNumDirs * kMaxLanes> firstWithLabel{};
+  for (int a = 0; a < n; ++a) {
+    firstWithLabel.fill(-1);
+    const PinConfig& pc = pins_[a];
+    for (int p = 0; p < pinsPerAmoebot_; ++p) {
+      const int label = pc.labelAt(p);
+      if (firstWithLabel[label] < 0)
+        firstWithLabel[label] = p;
+      else
+        unite(pinNode(a, firstWithLabel[label]), pinNode(a, p));
+    }
+  }
+  // External links: pin (a, d, lane) is wired to (b, opposite(d), lane).
+  for (int a = 0; a < n; ++a) {
+    for (int di = 0; di < 3; ++di) {  // E, NE, NW suffice (symmetry)
+      const Dir d = static_cast<Dir>(di);
+      const int b = region_->neighbor(a, d);
+      if (b < 0) continue;
+      for (int lane = 0; lane < lanes_; ++lane) {
+        unite(pinNode(a, pinIndex({d, static_cast<std::uint8_t>(lane)}, lanes_)),
+              pinNode(b, pinIndex({opposite(d), static_cast<std::uint8_t>(lane)},
+                                  lanes_)));
+      }
+    }
+  }
+
+  rootBeeped_.assign(dsu_.size(), 0);
+  for (const auto& [a, label] : pendingBeeps_) {
+    // Beep on the partition set = beep on any pin with that label.
+    const PinConfig& pc = pins_[a];
+    for (int p = 0; p < pinsPerAmoebot_; ++p) {
+      if (pc.labelAt(p) == label) {
+        rootBeeped_[findRoot(pinNode(a, p))] = 1;
+        break;
+      }
+    }
+  }
+  pendingBeeps_.clear();
+  ++rounds_;
+}
+
+bool Comm::received(int local, int label) const {
+  const PinConfig& pc = pins_[local];
+  for (int p = 0; p < pinsPerAmoebot_; ++p) {
+    if (pc.labelAt(p) == label)
+      return rootBeeped_[findRoot(pinNode(local, p))] != 0;
+  }
+  return false;
+}
+
+bool Comm::receivedAny(int local) const {
+  for (int p = 0; p < pinsPerAmoebot_; ++p) {
+    if (rootBeeped_[findRoot(pinNode(local, p))] != 0) return true;
+  }
+  return false;
+}
+
+long parallelRounds(std::span<const long> executions) {
+  long mx = 0;
+  for (const long r : executions) mx = std::max(mx, r);
+  return mx + 1;  // + global synchronization beep [26]
+}
+
+}  // namespace aspf

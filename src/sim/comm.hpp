@@ -1,0 +1,79 @@
+#pragma once
+// Comm is the synchronous-round executor for one protocol execution on a
+// region: protocols reconfigure pin configurations, queue beeps, and call
+// deliver(), which computes all circuits (connected components of partition
+// sets across external links) and delivers beeps. Every deliver() is exactly
+// one synchronous round of the model; rounds() is the measured complexity.
+//
+// Parallel composition (the synchronization technique of Padalkin et al.
+// [26]) is modeled by parallelRounds(): sub-protocols on disjoint regions run
+// sequentially in the simulator but are charged max(rounds) + sync overhead.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/pin_config.hpp"
+#include "sim/region.hpp"
+
+namespace aspf {
+
+class Comm {
+ public:
+  Comm(const Region& region, int lanes);
+
+  const Region& region() const noexcept { return *region_; }
+  int lanes() const noexcept { return lanes_; }
+
+  /// Resets all amoebots' pin configurations to singletons.
+  void resetPins();
+
+  PinConfig& pins(int local) noexcept { return pins_[local]; }
+  const PinConfig& pins(int local) const noexcept { return pins_[local]; }
+
+  /// Queues a beep on the partition set with the given label.
+  void beep(int local, int label);
+  /// Queues a beep on the partition set containing the given pin.
+  void beepPin(int local, Pin p) { beep(local, pins_[local].labelOf(p)); }
+
+  /// Executes one synchronous round: computes circuits from the current pin
+  /// configurations and delivers all queued beeps.
+  void deliver();
+
+  /// True iff the partition set with this label received a beep in the last
+  /// round.
+  bool received(int local, int label) const;
+  bool receivedPin(int local, Pin p) const {
+    return received(local, pins_[local].labelOf(p));
+  }
+
+  /// True iff any partition set of the amoebot received a beep.
+  bool receivedAny(int local) const;
+
+  long rounds() const noexcept { return rounds_; }
+
+  /// Accounts rounds that are synchronization/bookkeeping beeps whose
+  /// outcome is not needed by the simulation (e.g. the per-phase global
+  /// sync beep of [26]).
+  void chargeRounds(long k) noexcept { rounds_ += k; }
+
+ private:
+  int pinNode(int local, int pinIdx) const noexcept {
+    return local * pinsPerAmoebot_ + pinIdx;
+  }
+  int findRoot(int x) const;
+
+  const Region* region_;
+  int lanes_;
+  int pinsPerAmoebot_;
+  std::vector<PinConfig> pins_;
+  std::vector<std::pair<int, int>> pendingBeeps_;  // (local, label)
+  mutable std::vector<int> dsu_;
+  std::vector<char> rootBeeped_;
+  long rounds_ = 0;
+};
+
+/// Round accounting for parallel sub-protocol execution: all executions run
+/// concurrently, plus one global sync round (termination beep) per phase.
+long parallelRounds(std::span<const long> executions);
+
+}  // namespace aspf

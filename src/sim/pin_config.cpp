@@ -1,0 +1,26 @@
+#include "sim/pin_config.hpp"
+
+#include <cassert>
+
+namespace aspf {
+
+PinConfig::PinConfig(int lanes) : lanes_(lanes) {
+  assert(lanes >= 1 && lanes <= kMaxLanes);
+  label_.resize(static_cast<std::size_t>(kNumDirs) * lanes);
+  reset();
+}
+
+void PinConfig::reset() {
+  for (int i = 0; i < pinCount(); ++i)
+    label_[i] = static_cast<std::int8_t>(i);
+}
+
+int PinConfig::join(std::span<const Pin> pins) {
+  assert(!pins.empty());
+  const int lead = pinIndex(pins.front(), lanes_);
+  for (const Pin p : pins)
+    label_[pinIndex(p, lanes_)] = static_cast<std::int8_t>(lead);
+  return lead;
+}
+
+}  // namespace aspf

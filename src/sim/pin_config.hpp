@@ -1,0 +1,53 @@
+#pragma once
+// Pin configurations (Section 1.2 of the paper). Each edge between adjacent
+// amoebots carries `lanes` external links; each link endpoint is a pin. An
+// amoebot partitions its pins into partition sets; connected components of
+// partition sets (joined by external links) are circuits.
+//
+// A pin is addressed by (direction, lane). Partition sets are addressed by a
+// small integer label local to the amoebot; by default every pin forms a
+// singleton set labeled with its own pin index.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/coord.hpp"
+
+namespace aspf {
+
+struct Pin {
+  Dir dir;
+  std::uint8_t lane = 0;
+};
+
+inline constexpr int kMaxLanes = 4;
+
+/// Pin index within an amoebot: dir * lanes + lane.
+constexpr int pinIndex(Pin p, int lanes) noexcept {
+  return static_cast<int>(p.dir) * lanes + p.lane;
+}
+
+/// One amoebot's pin configuration: a label per pin. Pins sharing a label
+/// form one partition set.
+class PinConfig {
+ public:
+  explicit PinConfig(int lanes);
+
+  int lanes() const noexcept { return lanes_; }
+  int pinCount() const noexcept { return kNumDirs * lanes_; }
+
+  /// Reverts to singletons (label of each pin = its own index).
+  void reset();
+
+  /// Puts all given pins into one partition set; returns its label.
+  int join(std::span<const Pin> pins);
+
+  int labelOf(Pin p) const noexcept { return label_[pinIndex(p, lanes_)]; }
+  int labelAt(int pinIdx) const noexcept { return label_[pinIdx]; }
+
+ private:
+  int lanes_;
+  std::vector<std::int8_t> label_;
+};
+
+}  // namespace aspf

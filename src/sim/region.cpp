@@ -1,0 +1,103 @@
+#include "sim/region.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace aspf {
+
+Region Region::whole(const AmoebotStructure& s) {
+  Region r;
+  r.s_ = &s;
+  r.whole_ = true;
+  r.globalIds_.resize(s.size());
+  for (int i = 0; i < s.size(); ++i) r.globalIds_[i] = i;
+  r.nbr_.resize(s.size());
+  for (int i = 0; i < s.size(); ++i)
+    for (int d = 0; d < kNumDirs; ++d)
+      r.nbr_[i][d] = s.neighbor(i, static_cast<Dir>(d));
+  return r;
+}
+
+Region Region::of(const AmoebotStructure& s, std::vector<int> globalIds) {
+  std::sort(globalIds.begin(), globalIds.end());
+  globalIds.erase(std::unique(globalIds.begin(), globalIds.end()),
+                  globalIds.end());
+  Region r;
+  r.s_ = &s;
+  r.globalIds_ = std::move(globalIds);
+  r.localIndex_.reserve(r.globalIds_.size() * 2);
+  for (int i = 0; i < static_cast<int>(r.globalIds_.size()); ++i)
+    r.localIndex_.emplace(r.globalIds_[i], i);
+  r.nbr_.resize(r.globalIds_.size());
+  for (int i = 0; i < r.size(); ++i) {
+    for (int d = 0; d < kNumDirs; ++d) {
+      const int g = s.neighbor(r.globalIds_[i], static_cast<Dir>(d));
+      r.nbr_[i][d] = g < 0 ? -1 : r.localOf(g);
+    }
+  }
+  return r;
+}
+
+int Region::neighbor(int local, Dir d) const noexcept {
+  return nbr_[local][static_cast<int>(d)];
+}
+
+int Region::degree(int local) const noexcept {
+  int deg = 0;
+  for (int d = 0; d < kNumDirs; ++d) deg += nbr_[local][d] >= 0 ? 1 : 0;
+  return deg;
+}
+
+int Region::localOf(int globalId) const noexcept {
+  if (whole_) return globalId;
+  const auto it = localIndex_.find(globalId);
+  return it == localIndex_.end() ? -1 : it->second;
+}
+
+bool Region::isConnectedInduced() const {
+  if (size() == 0) return true;
+  std::vector<char> seen(size(), 0);
+  std::queue<int> q;
+  q.push(0);
+  seen[0] = 1;
+  int reached = 1;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int d = 0; d < kNumDirs; ++d) {
+      const int v = nbr_[u][d];
+      if (v >= 0 && !seen[v]) {
+        seen[v] = 1;
+        ++reached;
+        q.push(v);
+      }
+    }
+  }
+  return reached == size();
+}
+
+std::vector<int> Region::bfsDistancesLocal(
+    std::span<const int> localSources) const {
+  std::vector<int> dist(size(), -1);
+  std::queue<int> q;
+  for (const int s : localSources) {
+    if (dist[s] == -1) {
+      dist[s] = 0;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int d = 0; d < kNumDirs; ++d) {
+      const int v = nbr_[u][d];
+      if (v >= 0 && dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace aspf

@@ -1,0 +1,61 @@
+#pragma once
+// A Region is a (sub)set of the amoebot structure with its induced adjacency.
+// All circuit protocols in this library run on a Region: the whole structure
+// is just the trivial region. The divide & conquer algorithm (Sec 5.4) runs
+// sub-protocols on overlapping regions; circuits built on a region never
+// leave it (amoebots outside keep singleton partition sets, which do not
+// relay signals -- exactly as in the model).
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/structure.hpp"
+
+namespace aspf {
+
+class Region {
+ public:
+  static Region whole(const AmoebotStructure& s);
+
+  /// Region induced by the given global amoebot ids (deduplicated).
+  static Region of(const AmoebotStructure& s, std::vector<int> globalIds);
+
+  const AmoebotStructure& structure() const noexcept { return *s_; }
+
+  int size() const noexcept { return static_cast<int>(globalIds_.size()); }
+
+  /// Local index of the neighbor in direction d, or -1 if that node is
+  /// unoccupied or outside the region.
+  int neighbor(int local, Dir d) const noexcept;
+
+  int degree(int local) const noexcept;
+
+  Coord coordOf(int local) const noexcept {
+    return s_->coordOf(globalIds_[local]);
+  }
+
+  int globalId(int local) const noexcept { return globalIds_[local]; }
+
+  /// Local index of a global id, or -1 if not in the region.
+  int localOf(int globalId) const noexcept;
+
+  std::span<const int> globalIds() const noexcept { return globalIds_; }
+
+  bool isWhole() const noexcept { return whole_; }
+
+  /// True iff the induced subgraph is connected.
+  bool isConnectedInduced() const;
+
+  /// Exact BFS distances within the region from the given local sources.
+  std::vector<int> bfsDistancesLocal(std::span<const int> localSources) const;
+
+ private:
+  const AmoebotStructure* s_ = nullptr;
+  bool whole_ = false;
+  std::vector<int> globalIds_;                  // local -> global
+  std::unordered_map<int, int> localIndex_;     // global -> local (subset only)
+  std::vector<std::array<int, 6>> nbr_;         // induced adjacency, local ids
+};
+
+}  // namespace aspf

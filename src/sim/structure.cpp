@@ -1,0 +1,148 @@
+#include "sim/structure.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace aspf {
+
+AmoebotStructure AmoebotStructure::fromCoords(std::vector<Coord> coords) {
+  AmoebotStructure s;
+  s.coords_ = std::move(coords);
+  s.index_.reserve(s.coords_.size() * 2);
+  for (int i = 0; i < static_cast<int>(s.coords_.size()); ++i) {
+    if (!s.index_.emplace(s.coords_[i], i).second)
+      throw std::invalid_argument("AmoebotStructure: duplicate coordinate " +
+                                  s.coords_[i].toString());
+  }
+  s.nbr_.resize(s.coords_.size());
+  for (int i = 0; i < s.size(); ++i) {
+    for (Dir d : kAllDirs) {
+      const auto it = s.index_.find(s.coords_[i].neighbor(d));
+      s.nbr_[i][static_cast<int>(d)] = it == s.index_.end() ? -1 : it->second;
+    }
+  }
+  return s;
+}
+
+int AmoebotStructure::idOf(Coord c) const noexcept {
+  const auto it = index_.find(c);
+  return it == index_.end() ? -1 : it->second;
+}
+
+int AmoebotStructure::degree(int id) const noexcept {
+  int deg = 0;
+  for (int d = 0; d < kNumDirs; ++d) deg += nbr_[id][d] >= 0 ? 1 : 0;
+  return deg;
+}
+
+bool AmoebotStructure::isConnected() const {
+  if (coords_.empty()) return true;
+  std::vector<char> seen(coords_.size(), 0);
+  std::queue<int> q;
+  q.push(0);
+  seen[0] = 1;
+  int reached = 1;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int d = 0; d < kNumDirs; ++d) {
+      const int v = nbr_[u][d];
+      if (v >= 0 && !seen[v]) {
+        seen[v] = 1;
+        ++reached;
+        q.push(v);
+      }
+    }
+  }
+  return reached == size();
+}
+
+bool AmoebotStructure::isHoleFree() const {
+  if (coords_.empty()) return true;
+  std::int32_t qmin = std::numeric_limits<std::int32_t>::max(), qmax = -qmin;
+  std::int32_t rmin = qmin, rmax = -qmin;
+  for (const Coord c : coords_) {
+    qmin = std::min(qmin, c.q);
+    qmax = std::max(qmax, c.q);
+    rmin = std::min(rmin, c.r);
+    rmax = std::max(rmax, c.r);
+  }
+  // Pad by one ring; every empty node on the pad border is in the infinite
+  // component of the complement. A hole exists iff some empty node inside
+  // the box cannot reach the border through empty nodes.
+  qmin -= 1;
+  qmax += 1;
+  rmin -= 1;
+  rmax += 1;
+  const std::int64_t width = qmax - qmin + 1, height = rmax - rmin + 1;
+  auto cellIndex = [&](Coord c) -> std::int64_t {
+    return (c.r - rmin) * width + (c.q - qmin);
+  };
+  std::vector<char> seen(static_cast<std::size_t>(width * height), 0);
+  std::queue<Coord> q;
+  auto tryPush = [&](Coord c) {
+    if (c.q < qmin || c.q > qmax || c.r < rmin || c.r > rmax) return;
+    const auto idx = static_cast<std::size_t>(cellIndex(c));
+    if (seen[idx] || index_.contains(c)) return;
+    seen[idx] = 1;
+    q.push(c);
+  };
+  for (std::int32_t qq = qmin; qq <= qmax; ++qq) {
+    tryPush({qq, rmin});
+    tryPush({qq, rmax});
+  }
+  for (std::int32_t rr = rmin; rr <= rmax; ++rr) {
+    tryPush({qmin, rr});
+    tryPush({qmax, rr});
+  }
+  while (!q.empty()) {
+    const Coord c = q.front();
+    q.pop();
+    for (Dir d : kAllDirs) tryPush(c.neighbor(d));
+  }
+  // Any empty, unseen node inside the box is part of a hole.
+  for (std::int32_t rr = rmin; rr <= rmax; ++rr) {
+    for (std::int32_t qq = qmin; qq <= qmax; ++qq) {
+      const Coord c{qq, rr};
+      if (!index_.contains(c) && !seen[static_cast<std::size_t>(cellIndex(c))])
+        return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> AmoebotStructure::bfsDistances(
+    std::span<const int> sources) const {
+  std::vector<int> dist(coords_.size(), -1);
+  std::queue<int> q;
+  for (const int s : sources) {
+    if (dist[s] == -1) {
+      dist[s] = 0;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int d = 0; d < kNumDirs; ++d) {
+      const int v = nbr_[u][d];
+      if (v >= 0 && dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int AmoebotStructure::eccentricity(int id) const {
+  const int src[] = {id};
+  const auto dist = bfsDistances(src);
+  int ecc = 0;
+  for (const int d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+}  // namespace aspf

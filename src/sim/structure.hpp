@@ -1,0 +1,57 @@
+#pragma once
+// The amoebot structure: a finite, connected set of occupied nodes of the
+// triangular grid. Provides adjacency, connectivity and hole-freeness checks
+// (the paper's algorithms require a hole-free structure: the complement of X
+// in G_Delta must be connected), and exact BFS distances for verification.
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/coord.hpp"
+
+namespace aspf {
+
+class AmoebotStructure {
+ public:
+  /// Builds a structure from a list of occupied nodes. Duplicates are
+  /// rejected (throws std::invalid_argument).
+  static AmoebotStructure fromCoords(std::vector<Coord> coords);
+
+  int size() const noexcept { return static_cast<int>(coords_.size()); }
+
+  Coord coordOf(int id) const noexcept { return coords_[id]; }
+
+  /// Id of the amoebot at c, or -1 if unoccupied.
+  int idOf(Coord c) const noexcept;
+
+  /// Neighbor id in direction d, or -1.
+  int neighbor(int id, Dir d) const noexcept {
+    return nbr_[id][static_cast<int>(d)];
+  }
+
+  int degree(int id) const noexcept;
+
+  const std::vector<Coord>& coords() const noexcept { return coords_; }
+
+  /// True iff the induced graph G_X is connected.
+  bool isConnected() const;
+
+  /// True iff the structure has no holes, i.e. the complement of X within
+  /// G_Delta is connected (checked on a 1-padded bounding box, whose border
+  /// always belongs to the single infinite complement component).
+  bool isHoleFree() const;
+
+  /// Exact hop distances in G_X from the closest of the given sources
+  /// (multi-source BFS). Unreachable nodes get -1. Verification-side only.
+  std::vector<int> bfsDistances(std::span<const int> sources) const;
+
+  /// Eccentricity of a node in G_X (max BFS distance).
+  int eccentricity(int id) const;
+
+ private:
+  std::vector<Coord> coords_;
+  std::unordered_map<Coord, int, CoordHash> index_;
+  std::vector<std::array<int, 6>> nbr_;
+};
+
+}  // namespace aspf

@@ -1,0 +1,426 @@
+#include "spf/forest.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "primitives/root_prune.hpp"
+#include "spf/line_algorithm.hpp"
+#include "spf/merging.hpp"
+#include "spf/propagation.hpp"
+#include "spf/regions.hpp"
+#include "spf/spt.hpp"
+
+namespace aspf {
+namespace {
+
+/// Disjoint-set over region indices; the root index owns the merged state.
+class RegionDsu {
+ public:
+  explicit RegionDsu(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  int unite(int a, int b) {  // returns the surviving root
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[b] = a;
+    return a;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+struct MergedRegion {
+  std::vector<int> members;  // top-region-local ids
+  std::vector<int> parent;   // sized n over the top region; -2 outside
+  bool covered = false;      // forest covers all members (has sources)
+};
+
+/// Extends `base` (covering W) into E through the cut vertex m: every
+/// shortest path between the two regions traverses m, so a shortest path
+/// tree from m inside E grafts onto the forest (Section 5.4.3, phase 1).
+/// Returns rounds spent; no-op if the base forest is empty.
+long extendThroughCutVertex(const Region& top, const MergedRegion& from,
+                            const MergedRegion& into, int m,
+                            std::vector<int>& outParent, bool& valid,
+                            int lanes) {
+  valid = from.covered;
+  outParent = from.parent;
+  if (!valid) return 0;
+  std::vector<int> globals;
+  globals.reserve(into.members.size());
+  for (const int u : into.members) globals.push_back(top.globalId(u));
+  const Region eRegion = Region::of(top.structure(), globals);
+  const std::vector<char> all(eRegion.size(), 1);
+  const int mLocal = eRegion.localOf(top.globalId(m));
+  const SptResult spt = shortestPathTree(eRegion, mLocal, all, lanes);
+  for (int zu = 0; zu < eRegion.size(); ++zu) {
+    const int u = top.localOf(eRegion.globalId(zu));
+    if (u == m) continue;  // m keeps its parent in `from`
+    if (spt.parent[zu] >= 0)
+      outParent[u] = top.localOf(eRegion.globalId(spt.parent[zu]));
+  }
+  return spt.rounds;
+}
+
+}  // namespace
+
+ForestResult pruneForestToDestinations(const Region& region,
+                                       const std::vector<int>& parent,
+                                       std::span<const char> isDest,
+                                       int lanes) {
+  const int n = region.size();
+  ForestResult result;
+  result.parent.assign(n, -2);
+
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> roots;
+  for (int u = 0; u < n; ++u) {
+    if (parent[u] >= 0) children[parent[u]].push_back(u);
+    if (parent[u] == -1) roots.push_back(u);
+  }
+
+  std::vector<long> perTree;
+  for (const int s : roots) {
+    // Gather the tree and run root & prune with Q = D on it.
+    TreeAdj tree = TreeAdj::empty(n);
+    std::vector<int> stack{s};
+    std::vector<char> inQ(n, 0);
+    inQ[s] = 0;
+    bool any = false;
+    std::vector<int> nodes;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      nodes.push_back(u);
+      if (isDest[u]) {
+        inQ[u] = 1;
+        any = true;
+      }
+      for (const int c : children[u]) {
+        tree.add(region, c, u);
+        stack.push_back(c);
+      }
+    }
+    result.parent[s] = -1;  // sources always remain (trivial tree allowed)
+    if (!any) {
+      perTree.push_back(2);  // the no-destination beep still costs a round
+      continue;
+    }
+    const EulerTour tour = buildEulerTour(region, tree, s);
+    Comm comm(region, lanes);
+    const RootPruneResult pruned = rootAndPrune(comm, tour, inQ);
+    perTree.push_back(comm.rounds());
+    for (const int u : nodes) {
+      if (pruned.inVQ[u] && u != s) result.parent[u] = pruned.parent[u];
+    }
+  }
+  result.rounds = perTree.empty() ? 0 : parallelRounds(perTree);
+  return result;
+}
+
+ForestResult shortestPathForest(const Region& region,
+                                std::span<const char> isSource,
+                                std::span<const char> isDest, int lanes,
+                                Axis splitAxis) {
+  const int n = region.size();
+  std::vector<int> sources;
+  for (int u = 0; u < n; ++u)
+    if (isSource[u]) sources.push_back(u);
+  if (sources.empty())
+    throw std::invalid_argument("shortestPathForest: no sources");
+
+  ForestResult result;
+
+  if (sources.size() == 1) {
+    // (1, l)-SPF: the shortest path tree algorithm (Theorem 39).
+    const SptResult spt =
+        shortestPathTree(region, sources.front(), isDest, lanes);
+    result.parent = spt.parent;
+    result.rounds = spt.rounds;
+    return result;
+  }
+
+  // --- 5.4.1: Q, augmentation, Q', and the region split.
+  const PortalDecomposition decomp = computePortals(region, splitAxis);
+  const int portals = decomp.portalCount();
+  std::vector<char> portalInQ(portals, 0);
+  for (const int s : sources) portalInQ[decomp.portalOf[s]] = 1;
+  const int rootPortal = decomp.portalOf[sources.front()];
+
+  Comm preComm(region, lanes);
+  preComm.chargeRounds(1);  // sources beep on their portal circuits
+  const PortalRootPruneResult rooted = portalRootAndPrune(
+      preComm, decomp, {}, rootPortal, portalInQ, true);
+  std::vector<char> portalInQPrime(portals, 0);
+  for (int p = 0; p < portals; ++p)
+    portalInQPrime[p] = (portalInQ[p] || rooted.inAug[p]) ? 1 : 0;
+  result.rounds += preComm.rounds();
+  result.phases.preprocessing = preComm.rounds();
+
+  RegionSplit split = splitAtPortals(region, decomp, rooted, portalInQPrime);
+  result.rounds += split.rounds;
+  result.phases.split = split.rounds;
+
+  // --- 5.4.2: base case per region.
+  const int regionCount = static_cast<int>(split.regions.size());
+  std::vector<MergedRegion> state(regionCount);
+  std::vector<long> baseRounds;
+  for (int i = 0; i < regionCount; ++i) {
+    const SubRegionInfo& info = split.regions[i];
+    MergedRegion& st = state[i];
+    st.members = info.members;
+    st.parent.assign(n, -2);
+
+    std::vector<int> globals;
+    globals.reserve(info.members.size());
+    for (const int u : info.members) globals.push_back(region.globalId(u));
+    const Region sub = Region::of(region.structure(), globals);
+
+    long rounds = 0;
+    std::vector<std::vector<int>> candidates;  // forests over `sub` locals
+    for (const auto& segment : info.segments) {
+      std::vector<int> chain;
+      std::vector<char> srcOnChain;
+      bool any = false;
+      for (const int u : segment.members) {
+        chain.push_back(sub.localOf(region.globalId(u)));
+        const char flag = isSource[u];
+        srcOnChain.push_back(flag);
+        any = any || flag;
+      }
+      if (!any) continue;
+      const LineSpfResult line = lineSpf(sub, chain, srcOnChain, lanes);
+      const PortalDecomposition subDecomp = computePortals(sub, decomp.axis);
+      const PropagationResult prop = propagateForest(
+          sub, subDecomp, subDecomp.portalOf[chain.front()], line.parent,
+          lanes);
+      rounds += line.rounds + prop.rounds;
+      candidates.push_back(prop.parent);
+    }
+    if (candidates.size() == 2) {
+      const MergeResult merged =
+          mergeForests(sub, candidates[0], candidates[1], lanes);
+      rounds += merged.rounds;
+      candidates[0] = merged.parent;
+    }
+    if (!candidates.empty()) {
+      st.covered = true;
+      for (int zu = 0; zu < sub.size(); ++zu) {
+        const int u = region.localOf(sub.globalId(zu));
+        st.parent[u] = candidates[0][zu] >= 0
+                           ? region.localOf(sub.globalId(candidates[0][zu]))
+                           : candidates[0][zu];
+      }
+    }
+    baseRounds.push_back(rounds);
+  }
+  result.rounds += parallelRounds(baseRounds);
+  result.phases.base = parallelRounds(baseRounds);
+
+  // --- 5.4.3/5.4.4: bottom-up merging along the Q'-centroid decomposition
+  // tree of the portal graph.
+  const PortalDecompositionResult dt =
+      portalDecompose(region, decomp, rootPortal, portalInQPrime, lanes);
+
+  RegionDsu dsu(regionCount);
+
+  auto mergeRegions = [&](int rootA, int rootB,
+                          std::vector<int> parent) -> int {
+    const int survivor = dsu.unite(rootA, rootB);
+    MergedRegion& a = state[rootA];
+    MergedRegion& b = state[rootB];
+    std::vector<int> members;
+    members.reserve(a.members.size() + b.members.size());
+    std::merge(a.members.begin(), a.members.end(), b.members.begin(),
+               b.members.end(), std::back_inserter(members));
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    MergedRegion& out = state[survivor];
+    out.members = std::move(members);
+    out.parent = std::move(parent);
+    out.covered = false;
+    for (const int u : out.members) {
+      if (out.parent[u] != -2) {
+        out.covered = true;
+        break;
+      }
+    }
+    return survivor;
+  };
+
+  auto mergeAcrossMark = [&](int rootW, int rootE, int mark) -> long {
+    MergedRegion& w = state[rootW];
+    MergedRegion& e = state[rootE];
+    std::vector<int> wStar, eStar;
+    bool wValid = false, eValid = false;
+    std::array<long, 2> sptRounds{};
+    sptRounds[0] =
+        extendThroughCutVertex(region, w, e, mark, wStar, wValid, lanes);
+    sptRounds[1] =
+        extendThroughCutVertex(region, e, w, mark, eStar, eValid, lanes);
+    long rounds = parallelRounds(sptRounds);
+    std::vector<int> mergedParent;
+    if (wValid && eValid) {
+      const MergeResult merged = mergeForests(region, wStar, eStar, lanes);
+      rounds += merged.rounds;
+      mergedParent = merged.parent;
+    } else if (wValid) {
+      mergedParent = std::move(wStar);
+    } else if (eValid) {
+      mergedParent = std::move(eStar);
+    } else {
+      mergedParent.assign(n, -2);
+    }
+    mergeRegions(rootW, rootE, std::move(mergedParent));
+    return rounds;
+  };
+
+  auto mergeAtPortal = [&](int p) -> long {
+    long rounds = 0;
+    // Phase 1: per side, pair-merge the attached regions (marks separate
+    // them); PASC parity picks disjoint pairs, halving the count per
+    // iteration.
+    std::array<int, 2> sideRoot{-1, -1};
+    std::array<long, 2> sideRounds{};
+    int sideIdx = 0;
+    for (const PortalSideOrder& order : split.sides) {
+      if (order.portal != p) continue;
+      // Collapse to current roots (deeper merges never crossed this
+      // portal, so entries stay distinct; collapse defensively anyway).
+      std::vector<int> roots;
+      std::vector<int> marks;
+      for (std::size_t j = 0; j < order.regionIndex.size(); ++j) {
+        const int r = dsu.find(order.regionIndex[j]);
+        if (!roots.empty() && roots.back() == r) continue;
+        if (!roots.empty()) marks.push_back(order.marks[j - 1]);
+        roots.push_back(r);
+      }
+      long phase = 0;
+      while (roots.size() > 1) {
+        phase += 2;  // one PASC-parity iteration on the marked amoebots
+        std::vector<int> nextRoots;
+        std::vector<int> nextMarks;
+        std::vector<long> pairRounds;
+        for (std::size_t j = 0; j + 1 < roots.size(); j += 2) {
+          pairRounds.push_back(
+              mergeAcrossMark(roots[j], roots[j + 1], marks[j]));
+          nextRoots.push_back(dsu.find(roots[j]));
+          if (j + 2 < roots.size()) nextMarks.push_back(marks[j + 1]);
+        }
+        if (roots.size() % 2 == 1) nextRoots.push_back(roots.back());
+        phase += parallelRounds(pairRounds);
+        roots = std::move(nextRoots);
+        marks = std::move(nextMarks);
+      }
+      const int which = order.northSide ? 0 : 1;
+      sideRoot[which] = roots.empty() ? -1 : roots.front();
+      sideRounds[which] += phase;
+      ++sideIdx;
+    }
+    (void)sideIdx;
+    rounds += std::max(sideRounds[0], sideRounds[1]);
+
+    // Phase 2: merge the two sides across the portal with two propagations
+    // and a merge (Section 5.4.3).
+    const int rn = sideRoot[0] >= 0 ? dsu.find(sideRoot[0]) : -1;
+    const int rs = sideRoot[1] >= 0 ? dsu.find(sideRoot[1]) : -1;
+    if (rn < 0 || rs < 0 || rn == rs) return rounds;
+
+    std::vector<int> members;
+    std::merge(state[rn].members.begin(), state[rn].members.end(),
+               state[rs].members.begin(), state[rs].members.end(),
+               std::back_inserter(members));
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    std::vector<int> globals;
+    globals.reserve(members.size());
+    for (const int u : members) globals.push_back(region.globalId(u));
+    const Region sub = Region::of(region.structure(), globals);
+    const PortalDecomposition subDecomp = computePortals(sub, decomp.axis);
+    const int subPortal =
+        subDecomp.portalOf[sub.localOf(
+            region.globalId(decomp.members[p].front()))];
+
+    auto toSub = [&](const std::vector<int>& parentTop) {
+      std::vector<int> parentSub(sub.size(), -2);
+      for (int zu = 0; zu < sub.size(); ++zu) {
+        const int u = region.localOf(sub.globalId(zu));
+        const int pu = parentTop[u];
+        parentSub[zu] =
+            pu >= 0 ? sub.localOf(region.globalId(pu)) : pu;
+      }
+      return parentSub;
+    };
+    auto toTop = [&](const std::vector<int>& parentSub) {
+      std::vector<int> parentTop(n, -2);
+      for (int zu = 0; zu < sub.size(); ++zu) {
+        const int u = region.localOf(sub.globalId(zu));
+        const int pz = parentSub[zu];
+        parentTop[u] = pz >= 0 ? region.localOf(sub.globalId(pz)) : pz;
+      }
+      return parentTop;
+    };
+
+    std::vector<std::vector<int>> candidates;
+    for (const int side : {rn, rs}) {
+      if (!state[side].covered) continue;
+      const PropagationResult prop = propagateForest(
+          sub, subDecomp, subPortal, toSub(state[side].parent), lanes);
+      rounds += prop.rounds;
+      candidates.push_back(prop.parent);
+    }
+    std::vector<int> mergedParent;
+    if (candidates.size() == 2) {
+      const MergeResult merged =
+          mergeForests(sub, candidates[0], candidates[1], lanes);
+      rounds += merged.rounds;
+      mergedParent = toTop(merged.parent);
+    } else if (candidates.size() == 1) {
+      mergedParent = toTop(candidates[0]);
+    } else {
+      mergedParent.assign(n, -2);
+    }
+    mergeRegions(rn, rs, std::move(mergedParent));
+    return rounds;
+  };
+
+  for (int depth = dt.height - 1; depth >= 0; --depth) {
+    // The decomposition tree is recomputed every iteration (binary counter
+    // technique of [26]); its rounds are charged per level.
+    result.rounds += dt.rounds;
+    result.phases.decomposition += dt.rounds;
+    std::vector<long> perPortal;
+    for (int p = 0; p < portals; ++p) {
+      if (dt.depthOfPortal[p] != depth) continue;
+      perPortal.push_back(mergeAtPortal(p));
+    }
+    if (!perPortal.empty()) {
+      result.rounds += parallelRounds(perPortal);
+      result.phases.merging += parallelRounds(perPortal);
+    }
+  }
+
+  // All regions are now one; its forest covers the structure.
+  const int finalRoot = dsu.find(0);
+  for (int i = 0; i < regionCount; ++i) {
+    if (dsu.find(i) != finalRoot)
+      throw std::logic_error("shortestPathForest: regions failed to merge");
+  }
+
+  // --- Corollary 57: prune every tree to destination-covering branches.
+  const ForestResult pruned =
+      pruneForestToDestinations(region, state[finalRoot].parent, isDest, lanes);
+  result.parent = pruned.parent;
+  result.rounds += pruned.rounds;
+  result.phases.prune = pruned.rounds;
+  return result;
+}
+
+}  // namespace aspf

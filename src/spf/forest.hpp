@@ -1,0 +1,54 @@
+#pragma once
+// Shortest path forest algorithm (Section 5.4, Theorem 56 / Corollary 57):
+// computes an (S,D)-shortest-path forest for k sources within
+// O(log n log^2 k) rounds.
+//
+// Pipeline: compute Q' = (source portals) u (augmentation set); split the
+// structure into regions intersecting <= 2 Q' portals (Lemma 52); solve
+// each region with line algorithm + propagation (+ merge, Lemma 54);
+// iteratively merge regions bottom-up along the Q'-centroid decomposition
+// tree of the portal graph -- pairwise along each portal side via
+// PASC-parity pairing, then across the portal with two propagations and a
+// merge (Lemma 55). A final root & prune on every tree discards branches
+// without destinations (Corollary 57).
+#include <span>
+
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct ForestResult {
+  /// parent[u]: -1 for sources, parent toward the closest source for
+  /// forest members, -2 for amoebots pruned from the forest.
+  std::vector<int> parent;
+  long rounds = 0;
+
+  /// Per-phase breakdown of `rounds` (zero when the single-source shortcut
+  /// is taken): Q'/augmentation preprocessing, region split, per-region
+  /// base case, decomposition-tree recomputations, portal merging, final
+  /// destination pruning.
+  struct Phases {
+    long preprocessing = 0;
+    long split = 0;
+    long base = 0;
+    long decomposition = 0;
+    long merging = 0;
+    long prune = 0;
+  } phases;
+};
+
+/// `splitAxis` selects the portal direction used for Q'/regions (the paper
+/// fixes one w.l.o.g.; the ablation bench compares all three).
+ForestResult shortestPathForest(const Region& region,
+                                std::span<const char> isSource,
+                                std::span<const char> isDest, int lanes = 4,
+                                Axis splitAxis = Axis::X);
+
+/// Final step of both forest algorithms: per-tree root & prune with Q = D
+/// (all trees in parallel). Exposed for the naive baseline.
+ForestResult pruneForestToDestinations(const Region& region,
+                                       const std::vector<int>& parent,
+                                       std::span<const char> isDest,
+                                       int lanes = 4);
+
+}  // namespace aspf

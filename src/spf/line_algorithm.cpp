@@ -1,0 +1,79 @@
+#include "spf/line_algorithm.hpp"
+
+#include <stdexcept>
+
+#include "pasc/pasc_chain.hpp"
+
+namespace aspf {
+
+LineSpfResult lineSpf(const Region& region, std::span<const int> chainStops,
+                      std::span<const char> isSourceOnChain, int lanes) {
+  const int m = static_cast<int>(chainStops.size());
+  if (static_cast<int>(isSourceOnChain.size()) != m)
+    throw std::invalid_argument("lineSpf: source flags size mismatch");
+  LineSpfResult result;
+  result.parent.assign(region.size(), -2);
+
+  std::vector<int> sourcePositions;
+  for (int i = 0; i < m; ++i) {
+    if (isSourceOnChain[i]) sourcePositions.push_back(i);
+  }
+  if (sourcePositions.empty())
+    throw std::invalid_argument("lineSpf: no sources on the chain");
+  for (const int i : sourcePositions) result.parent[chainStops[i]] = -1;
+
+  // Segments between consecutive sources (and the two outer stubs). For
+  // each, PASC runs from both end sources (or one, for stubs); every
+  // interior amoebot compares the two distance streams and points toward
+  // the nearer source. All segment executions are disjoint subchains of the
+  // line and run in parallel.
+  std::vector<long> segmentRounds;
+  auto runSegment = [&](int from, int to, bool leftIsSource,
+                        bool rightIsSource) {
+    // Positions strictly between from and to are interior.
+    if (to - from < 1) return;
+    // The two directional PASC executions use disjoint circuits and run in
+    // parallel (Lemma 40): separate Comms, max-round accounting.
+    std::vector<std::uint64_t> distLeft, distRight;
+    std::array<long, 2> dirRounds{};
+    if (leftIsSource) {
+      Comm comm(region, lanes);
+      std::vector<int> stops(chainStops.begin() + from,
+                             chainStops.begin() + to + 1);
+      distLeft = runPascChain(comm, stops).value;
+      dirRounds[0] = comm.rounds();
+    }
+    if (rightIsSource) {
+      Comm comm(region, lanes);
+      std::vector<int> stops(chainStops.rbegin() + (m - 1 - to),
+                             chainStops.rbegin() + (m - from));
+      distRight = runPascChain(comm, stops).value;
+      dirRounds[1] = comm.rounds();
+    }
+    // Cover every non-source stop of the segment, including the outer stub
+    // endpoints (the stubs have only one source end).
+    for (int pos = from; pos <= to; ++pos) {
+      if (isSourceOnChain[pos]) continue;
+      const int u = chainStops[pos];
+      const std::uint64_t dl =
+          leftIsSource ? distLeft[pos - from] : ~std::uint64_t{0};
+      const std::uint64_t dr =
+          rightIsSource ? distRight[to - pos] : ~std::uint64_t{0};
+      // Streaming comparison in the amoebots; tie -> west.
+      result.parent[u] =
+          dl <= dr ? chainStops[pos - 1] : chainStops[pos + 1];
+    }
+    segmentRounds.push_back(std::max(dirRounds[0], dirRounds[1]));
+  };
+
+  // Outer stubs.
+  runSegment(0, sourcePositions.front(), false, true);
+  runSegment(sourcePositions.back(), m - 1, true, false);
+  for (std::size_t i = 0; i + 1 < sourcePositions.size(); ++i)
+    runSegment(sourcePositions[i], sourcePositions[i + 1], true, true);
+
+  result.rounds = segmentRounds.empty() ? 0 : parallelRounds(segmentRounds);
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,25 @@
+#pragma once
+// Line algorithm (Section 5.1, Lemma 40): an S-shortest-path forest for a
+// line of amoebots. The closest source of every amoebot is the next source
+// in one of the two directions, so PASC runs from every source in both
+// directions up to the next source (all 2k executions in parallel), and
+// every amoebot compares its two candidate distances bit by bit.
+#include <span>
+
+#include "sim/region.hpp"
+
+namespace aspf {
+
+struct LineSpfResult {
+  /// parent[u]: -1 sources, neighbor toward the closest source otherwise,
+  /// -2 for amoebots not on the chain.
+  std::vector<int> parent;
+  long rounds = 0;
+};
+
+/// chainStops: the line, west to east (region-local ids, consecutive stops
+/// adjacent); isSource indexed by *chain position*.
+LineSpfResult lineSpf(const Region& region, std::span<const int> chainStops,
+                      std::span<const char> isSourceOnChain, int lanes = 4);
+
+}  // namespace aspf

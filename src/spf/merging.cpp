@@ -1,0 +1,54 @@
+#include "spf/merging.hpp"
+
+#include <stdexcept>
+
+#include "pasc/pasc_tree.hpp"
+
+namespace aspf {
+
+MergeResult mergeForests(const Region& region,
+                         const std::vector<int>& parent1,
+                         const std::vector<int>& parent2, int lanes) {
+  const int n = region.size();
+  if (static_cast<int>(parent1.size()) != n ||
+      static_cast<int>(parent2.size()) != n)
+    throw std::invalid_argument("mergeForests: parent size mismatch");
+  MergeResult result;
+  result.parent.assign(n, -2);
+
+  // dist(S1, .) and dist(S2, .) via PASC on each forest; the two runs use
+  // disjoint circuits (different pin lanes) and run in parallel.
+  std::array<long, 2> runs{};
+  Comm comm1(region, lanes), comm2(region, lanes);
+  const TreePascResult d1 = runPascForest(comm1, parent1);
+  const TreePascResult d2 = runPascForest(comm2, parent2);
+  runs[0] = comm1.rounds();
+  runs[1] = comm2.rounds();
+  result.rounds = parallelRounds(runs);
+
+  for (int u = 0; u < n; ++u) {
+    const bool in1 = parent1[u] != -2, in2 = parent2[u] != -2;
+    if (!in1 && !in2) continue;
+    if (in1 && parent1[u] == -1) {
+      result.parent[u] = -1;  // u in S1 (distance 0, can only win)
+      continue;
+    }
+    if (in2 && parent2[u] == -1) {
+      result.parent[u] = -1;
+      continue;
+    }
+    if (!in2) {
+      result.parent[u] = parent1[u];
+      continue;
+    }
+    if (!in1) {
+      result.parent[u] = parent2[u];
+      continue;
+    }
+    // Lemma 41: the nearer forest's parent is feasible (streaming compare).
+    result.parent[u] = d1.depth[u] <= d2.depth[u] ? parent1[u] : parent2[u];
+  }
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,24 @@
+#pragma once
+// Merging algorithm (Section 5.2, Lemma 42): merges an S1- and an
+// S2-shortest-path forest into an (S1 u S2)-shortest-path forest within
+// O(log n) rounds. PASC runs on both forests in parallel (Corollary 5),
+// every amoebot compares dist(S1, u) and dist(S2, u) bit by bit and keeps
+// the parent of the nearer forest (Lemma 41).
+#include <vector>
+
+#include "sim/region.hpp"
+
+namespace aspf {
+
+struct MergeResult {
+  std::vector<int> parent;  // -1 roots (sources), -2 uncovered by both
+  long rounds = 0;
+};
+
+/// parent1/parent2: -1 for sources, -2 for uncovered amoebots. An amoebot
+/// covered by only one forest keeps that forest's parent.
+MergeResult mergeForests(const Region& region,
+                         const std::vector<int>& parent1,
+                         const std::vector<int>& parent2, int lanes = 4);
+
+}  // namespace aspf

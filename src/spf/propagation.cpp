@@ -1,0 +1,220 @@
+#include "spf/propagation.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "pasc/pasc_tree.hpp"
+#include "spf/spt.hpp"
+
+namespace aspf {
+namespace {
+
+struct SideGeometry {
+  bool bIsSouth = true;  // canonical: is B below the portal row?
+  // Directions (in structure coordinates) leading from B toward the portal
+  // row along the two cross axes.
+  Dir towardPAlongY{};
+  Dir towardPAlongZ{};
+};
+
+}  // namespace
+
+PropagationResult propagateForest(const Region& region,
+                                  const PortalDecomposition& decomp,
+                                  int portalId,
+                                  const std::vector<int>& parentAP,
+                                  int lanes) {
+  const int n = region.size();
+  PropagationResult result;
+  result.parent = parentAP;
+
+  std::vector<char> inB(n, 0);
+  std::vector<char> inP(n, 0);
+  bool anyB = false;
+  for (int u = 0; u < n; ++u) {
+    inB[u] = parentAP[u] == -2 ? 1 : 0;
+    anyB = anyB || inB[u];
+  }
+  for (const int u : decomp.members[portalId]) {
+    if (inB[u])
+      throw std::invalid_argument("propagateForest: portal not covered");
+    inP[u] = 1;
+  }
+  if (!anyB) return result;
+
+  const Frame& frame = decomp.frame;
+  const std::int32_t portalRow =
+      frame.apply(region.coordOf(decomp.members[portalId].front())).r;
+
+  // Which side is B on? Inspect any B amoebot adjacent to the portal.
+  SideGeometry geo;
+  {
+    bool found = false;
+    for (const int p : decomp.members[portalId]) {
+      for (Dir d : kAllDirs) {
+        const int v = region.neighbor(p, d);
+        if (v >= 0 && inB[v]) {
+          geo.bIsSouth = frame.apply(region.coordOf(v)).r < portalRow;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (!found)
+      throw std::invalid_argument("propagateForest: B not adjacent to P");
+  }
+  // Canonical northward y-step is NE, z-step is NW (southward: SW/SE).
+  geo.towardPAlongY =
+      frame.applyInverse(geo.bIsSouth ? Dir::NE : Dir::SW);
+  geo.towardPAlongZ =
+      frame.applyInverse(geo.bIsSouth ? Dir::NW : Dir::SE);
+
+  // ---- Phase 1: visibility region B'.
+  // For each cross axis, walk within B u P: u in B is visible iff marching
+  // toward the portal row stays in B and hits a P amoebot. (These are the
+  // cross-axis portal circuits of P u B; one beep round each.)
+  std::vector<int> projY(n, -1), projZ(n, -1);
+  for (int u = 0; u < n; ++u) {
+    if (!inB[u]) continue;
+    for (int axisCase = 0; axisCase < 2; ++axisCase) {
+      const Dir step = axisCase == 0 ? geo.towardPAlongY : geo.towardPAlongZ;
+      int cur = u;
+      int hit = -1;
+      while (true) {
+        cur = region.neighbor(cur, step);
+        if (cur < 0) break;
+        if (inP[cur]) {
+          hit = cur;
+          break;
+        }
+        if (!inB[cur]) break;  // left B u P
+      }
+      (axisCase == 0 ? projY : projZ)[u] = hit;
+    }
+  }
+  long phase1Rounds = 1;  // the two visibility beep rounds run in parallel
+
+  // dist(S, p) for p in P: PASC on the A u P forest; the P amoebots
+  // forward their bits on the cross-portal circuits concurrently.
+  {
+    Comm comm(region, lanes);
+    std::vector<int> forest(parentAP);
+    for (int u = 0; u < n; ++u) {
+      if (forest[u] == -2) continue;
+    }
+    const TreePascResult dist = runPascForest(comm, forest);
+    phase1Rounds += comm.rounds();
+
+    for (int u = 0; u < n; ++u) {
+      if (!inB[u]) continue;
+      const bool visY = projY[u] >= 0, visZ = projZ[u] >= 0;
+      if (!visY && !visZ) continue;  // B'' -> phase 2
+      if (visY && !visZ) {
+        result.parent[u] = region.neighbor(u, geo.towardPAlongY);
+      } else if (visZ && !visY) {
+        result.parent[u] = region.neighbor(u, geo.towardPAlongZ);
+      } else {
+        // Lemma 46: compare the forwarded distances bit by bit.
+        result.parent[u] = dist.depth[projZ[u]] <= dist.depth[projY[u]]
+                               ? region.neighbor(u, geo.towardPAlongZ)
+                               : region.neighbor(u, geo.towardPAlongY);
+      }
+    }
+  }
+
+  // ---- Phase 2: components of B'' = B \ vis(P).
+  std::vector<char> inB2(n, 0);
+  for (int u = 0; u < n; ++u)
+    inB2[u] = inB[u] && projY[u] < 0 && projZ[u] < 0 ? 1 : 0;
+
+  std::vector<int> component(n, -1);
+  std::vector<std::vector<int>> comps;
+  for (int u = 0; u < n; ++u) {
+    if (!inB2[u] || component[u] != -1) continue;
+    const int cid = static_cast<int>(comps.size());
+    comps.emplace_back();
+    std::vector<int> stack{u};
+    component[u] = cid;
+    while (!stack.empty()) {
+      const int w = stack.back();
+      stack.pop_back();
+      comps[cid].push_back(w);
+      for (Dir d : kAllDirs) {
+        const int v = region.neighbor(w, d);
+        if (v >= 0 && inB2[v] && component[v] == -1) {
+          component[v] = cid;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+
+  std::vector<long> compRounds;
+  for (const auto& comp : comps) {
+    // s_Z: "northernmost" (closest to the portal row, tie: westernmost)
+    // member of Z adjacent to B'.
+    int sZ = -1;
+    Coord sZcc{};
+    for (const int u : comp) {
+      bool touchesB1 = false;
+      for (Dir d : kAllDirs) {
+        const int v = region.neighbor(u, d);
+        if (v >= 0 && inB[v] && !inB2[v]) touchesB1 = true;
+      }
+      if (!touchesB1) continue;
+      const Coord cc = frame.apply(region.coordOf(u));
+      const bool better =
+          sZ == -1 ||
+          (geo.bIsSouth ? cc.r > sZcc.r : cc.r < sZcc.r) ||
+          (cc.r == sZcc.r && cc.q < sZcc.q);
+      if (better) {
+        sZ = u;
+        sZcc = cc;
+      }
+    }
+    if (sZ < 0)
+      throw std::logic_error("propagateForest: component without boundary");
+
+    // Lemma 49: parent of s_Z is a northernmost neighbor in B'_Z.
+    int best = -1;
+    Coord bestCc{};
+    for (Dir d : kAllDirs) {
+      const int v = region.neighbor(sZ, d);
+      if (v < 0 || !inB[v] || inB2[v]) continue;
+      const Coord cc = frame.apply(region.coordOf(v));
+      const bool better =
+          best == -1 || (geo.bIsSouth ? cc.r > bestCc.r : cc.r < bestCc.r);
+      if (better) {
+        best = v;
+        bestCc = cc;
+      }
+    }
+    result.parent[sZ] = best;
+
+    // Shortest path tree inside Z with source s_Z (Lemma 48), D = Z.
+    std::vector<int> globals;
+    globals.reserve(comp.size());
+    for (const int u : comp) globals.push_back(region.globalId(u));
+    const Region zRegion = Region::of(region.structure(), globals);
+    std::vector<char> all(zRegion.size(), 1);
+    const SptResult spt = shortestPathTree(
+        zRegion, zRegion.localOf(region.globalId(sZ)), all, lanes);
+    compRounds.push_back(spt.rounds);
+    for (int zu = 0; zu < zRegion.size(); ++zu) {
+      const int u = region.localOf(zRegion.globalId(zu));
+      if (u == sZ) continue;
+      if (spt.parent[zu] >= 0)
+        result.parent[u] =
+            region.localOf(zRegion.globalId(spt.parent[zu]));
+    }
+  }
+
+  result.rounds =
+      phase1Rounds +
+      (compRounds.empty() ? 0 : parallelRounds(compRounds));
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,38 @@
+#pragma once
+// Propagation algorithm (Section 5.3, Lemma 50): a portal P of some axis
+// divides the (sub)structure into sides A and B; given an S-shortest-path
+// forest for A u P (S inside A u P), propagate it into B within O(log n)
+// rounds.
+//
+// Phase 1 covers B' = B intersect vis(P): every amoebot of B that shares a
+// cross-axis portal (within P u B) with a P-amoebot learns this from one
+// beep per cross axis; amoebots visible along exactly one axis take the
+// neighbor toward that projection as parent (Lemma 47); amoebots visible
+// along both compare dist(S, proj_y) and dist(S, proj_z), forwarded bitwise
+// along the portal circuits while PASC runs on the existing forest
+// (Lemma 46). Phase 2 covers each component Z of B \ vis(P): all shortest
+// paths into Z pass the "northernmost" boundary amoebot s_Z (Lemma 48),
+// which adopts a boundary neighbor as parent (Lemma 49); the shortest path
+// tree algorithm then runs inside Z with source s_Z.
+#include <vector>
+
+#include "portals/portals.hpp"
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct PropagationResult {
+  std::vector<int> parent;  // full region: A u P unchanged, B filled in
+  long rounds = 0;
+};
+
+/// decomp: portal decomposition of the portal's axis over `region`;
+/// parentAP: -1 sources, >= 0 parents on A u P, -2 exactly on B. All
+/// members of portal `portalId` must be covered by parentAP.
+PropagationResult propagateForest(const Region& region,
+                                  const PortalDecomposition& decomp,
+                                  int portalId,
+                                  const std::vector<int>& parentAP,
+                                  int lanes = 4);
+
+}  // namespace aspf

@@ -1,0 +1,216 @@
+#include "spf/regions.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace aspf {
+namespace {
+
+// Node of the modified portal graph: either a plain (non-Q') portal or one
+// (side, segment) subportal of a Q' portal.
+struct SplitNode {
+  int portal;
+  bool isSubportal = false;
+  bool northSide = false;
+  int segment = 0;  // index along the side, west to east
+};
+
+}  // namespace
+
+RegionSplit splitAtPortals(const Region& region,
+                           const PortalDecomposition& decomp,
+                           const PortalRootPruneResult& rooted,
+                           std::span<const char> portalInQPrime) {
+  RegionSplit out;
+  out.rounds = 1;  // unmark-the-westernmost beep (Lemma 52)
+  const int portals = decomp.portalCount();
+  const Frame& frame = decomp.frame;
+
+  auto canonQ = [&](int local) { return frame.apply(region.coordOf(local)).q; };
+  auto canonR = [&](int local) { return frame.apply(region.coordOf(local)).r; };
+
+  // --- Per Q' portal and side: marked connectors and segment boundaries.
+  // segBoundaries[p][side] = positions (canonical q) of still-marked
+  // amoebots, ascending; segments are [start..m1], [m1..m2], ..., [mk..end].
+  struct SideSplit {
+    bool exists = false;                // any cross edge on this side
+    std::vector<int> marks;             // marked amoebots, west to east
+  };
+  std::vector<std::array<SideSplit, 2>> sideSplit(portals);  // [0]=N, [1]=S
+
+  for (int p = 0; p < portals; ++p) {
+    if (!portalInQPrime[p]) continue;
+    const std::int32_t row = canonR(decomp.members[p].front());
+    std::array<std::vector<int>, 2> connectors;  // V_Q connectors per side
+    for (const auto& e : decomp.adj[p]) {
+      const bool north = canonR(e.peerEnd) > row;
+      sideSplit[p][north ? 0 : 1].exists = true;
+      if (rooted.portalInVQ[e.peerPortal])
+        connectors[north ? 0 : 1].push_back(e.selfEnd);
+    }
+    for (int side = 0; side < 2; ++side) {
+      auto& cs = connectors[side];
+      std::sort(cs.begin(), cs.end(),
+                [&](int a, int b) { return canonQ(a) < canonQ(b); });
+      // Unmark the westernmost; the rest stay marked and split the run.
+      if (!cs.empty()) cs.erase(cs.begin());
+      sideSplit[p][side].marks = cs;
+    }
+  }
+
+  // --- Build the modified portal graph nodes.
+  std::vector<SplitNode> nodes;
+  // nodeOfPlain[p] for non-Q' portals; nodeOfSub[p][side][segment].
+  std::vector<int> nodeOfPlain(portals, -1);
+  std::map<std::tuple<int, int, int>, int> nodeOfSub;
+  for (int p = 0; p < portals; ++p) {
+    if (!portalInQPrime[p]) {
+      nodeOfPlain[p] = static_cast<int>(nodes.size());
+      nodes.push_back({p, false, false, 0});
+      continue;
+    }
+    bool anySide = false;
+    for (int side = 0; side < 2; ++side) {
+      if (!sideSplit[p][side].exists) continue;
+      anySide = true;
+      const int segments =
+          static_cast<int>(sideSplit[p][side].marks.size()) + 1;
+      for (int seg = 0; seg < segments; ++seg) {
+        nodeOfSub[{p, side, seg}] = static_cast<int>(nodes.size());
+        nodes.push_back({p, true, side == 0, seg});
+      }
+    }
+    if (!anySide) {
+      // Isolated Q' portal (the whole structure is one portal): a single
+      // subportal node so the region machinery still produces one region.
+      nodeOfSub[{p, 0, 0}] = static_cast<int>(nodes.size());
+      nodes.push_back({p, true, true, 0});
+      sideSplit[p][0].exists = true;
+    }
+  }
+
+  // Segment lookup: which segment of (p, side) contains a connector at
+  // canonical position q? Boundary marks belong to the *eastern* segment
+  // for edge assignment (their own V_Q edge), and to both segments as
+  // members.
+  auto segmentOf = [&](int p, int side, int connectorLocal) {
+    const auto& marks = sideSplit[p][side].marks;
+    const std::int32_t q = canonQ(connectorLocal);
+    int seg = 0;
+    for (const int m : marks) {
+      if (q >= canonQ(m)) ++seg;
+    }
+    return seg;
+  };
+
+  auto nodeOfEndpoint = [&](int p, int connectorLocal, int peerLocal) {
+    if (!portalInQPrime[p]) return nodeOfPlain[p];
+    const bool north = canonR(peerLocal) > canonR(connectorLocal);
+    const int side = north ? 0 : 1;
+    const auto it =
+        nodeOfSub.find({p, side, segmentOf(p, side, connectorLocal)});
+    if (it == nodeOfSub.end())
+      throw std::logic_error("splitAtPortals: missing subportal node");
+    return it->second;
+  };
+
+  // --- Edges of the modified portal graph + components.
+  std::vector<std::vector<int>> nodeAdj(nodes.size());
+  for (int p = 0; p < portals; ++p) {
+    for (const auto& e : decomp.adj[p]) {
+      if (e.peerPortal < p) continue;  // each undirected edge once
+      const int a = nodeOfEndpoint(p, e.selfEnd, e.peerEnd);
+      const int b = nodeOfEndpoint(e.peerPortal, e.peerEnd, e.selfEnd);
+      nodeAdj[a].push_back(b);
+      nodeAdj[b].push_back(a);
+    }
+  }
+  std::vector<int> componentOf(nodes.size(), -1);
+  int componentCount = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (componentOf[i] != -1) continue;
+    std::queue<int> q;
+    q.push(static_cast<int>(i));
+    componentOf[i] = componentCount;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (const int v : nodeAdj[u]) {
+        if (componentOf[v] == -1) {
+          componentOf[v] = componentCount;
+          q.push(v);
+        }
+      }
+    }
+    ++componentCount;
+  }
+
+  // --- Materialize regions: members are the union of node member sets.
+  auto segmentMembers = [&](int p, int side, int seg) {
+    const auto& run = decomp.members[p];
+    const auto& marks = sideSplit[p][side].marks;
+    // Boundaries by canonical q; run is stored west to east already.
+    std::int32_t lo = canonQ(run.front()), hi = canonQ(run.back());
+    if (seg > 0) lo = canonQ(marks[seg - 1]);
+    if (seg < static_cast<int>(marks.size())) hi = canonQ(marks[seg]);
+    std::vector<int> ms;
+    for (const int u : run) {
+      const std::int32_t q = canonQ(u);
+      if (q >= lo && q <= hi) ms.push_back(u);
+    }
+    return ms;
+  };
+
+  out.regions.resize(componentCount);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const SplitNode& node = nodes[i];
+    SubRegionInfo& reg = out.regions[componentOf[i]];
+    if (!node.isSubportal) {
+      const auto& ms = decomp.members[node.portal];
+      reg.members.insert(reg.members.end(), ms.begin(), ms.end());
+    } else {
+      SubRegionInfo::Segment seg;
+      seg.portal = node.portal;
+      seg.northSide = node.northSide;
+      seg.members =
+          segmentMembers(node.portal, node.northSide ? 0 : 1, node.segment);
+      reg.members.insert(reg.members.end(), seg.members.begin(),
+                         seg.members.end());
+      reg.segments.push_back(std::move(seg));
+    }
+  }
+  for (auto& reg : out.regions) {
+    std::sort(reg.members.begin(), reg.members.end());
+    reg.members.erase(std::unique(reg.members.begin(), reg.members.end()),
+                      reg.members.end());
+    if (reg.segments.size() > 2)
+      throw std::logic_error(
+          "splitAtPortals: region intersects more than two Q' portals");
+  }
+
+  // --- Side orders for the merging phase: regions along each side of each
+  // Q' portal, west to east, separated by the marks.
+  for (int p = 0; p < portals; ++p) {
+    if (!portalInQPrime[p]) continue;
+    for (int side = 0; side < 2; ++side) {
+      if (!sideSplit[p][side].exists) continue;
+      PortalSideOrder order;
+      order.portal = p;
+      order.northSide = side == 0;
+      const int segments =
+          static_cast<int>(sideSplit[p][side].marks.size()) + 1;
+      for (int seg = 0; seg < segments; ++seg) {
+        const auto it = nodeOfSub.find({p, side, seg});
+        if (it == nodeOfSub.end()) continue;
+        order.regionIndex.push_back(componentOf[it->second]);
+      }
+      order.marks = sideSplit[p][side].marks;
+      out.sides.push_back(std::move(order));
+    }
+  }
+  return out;
+}
+
+}  // namespace aspf

@@ -1,0 +1,50 @@
+#pragma once
+// Region decomposition for the divide & conquer forest algorithm
+// (Section 5.4.1, Lemma 52). The structure is split at every portal of
+// Q' = Q u A_Q (Q = portals containing sources): first into the two sides
+// of each Q' portal, then -- within each side -- at the still-marked
+// connector amoebots, so that every resulting region intersects one or two
+// (sub)portals of Q'. Adjacent regions along a portal side overlap exactly
+// in a marked amoebot; regions across a portal share the portal segment.
+#include <span>
+#include <vector>
+
+#include "portals/portal_primitives.hpp"
+
+namespace aspf {
+
+struct SubRegionInfo {
+  std::vector<int> members;  // region-local ids (of the parent region)
+  /// Q' (sub)portal segments of this region: (portal id, member run).
+  struct Segment {
+    int portal;
+    bool northSide;            // which side's split produced it
+    std::vector<int> members;  // west -> east
+  };
+  std::vector<Segment> segments;  // size 1 or 2 (Lemma 52)
+};
+
+struct PortalSideOrder {
+  int portal;
+  bool northSide;
+  /// Regions attached to this side of the portal, west to east; adjacent
+  /// entries are separated by the marked amoebot with the same index.
+  std::vector<int> regionIndex;
+  std::vector<int> marks;  // size regionIndex.size() - 1
+};
+
+struct RegionSplit {
+  std::vector<SubRegionInfo> regions;
+  std::vector<PortalSideOrder> sides;  // one per (Q' portal, non-empty side)
+  long rounds = 0;                     // O(1) (Lemma 52)
+};
+
+/// `rooted` must come from portalRootAndPrune over the full portal graph
+/// with Q = source portals (it provides V_Q and the augmentation);
+/// portalInQPrime = Q u A_Q.
+RegionSplit splitAtPortals(const Region& region,
+                           const PortalDecomposition& decomp,
+                           const PortalRootPruneResult& rooted,
+                           std::span<const char> portalInQPrime);
+
+}  // namespace aspf

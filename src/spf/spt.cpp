@@ -1,0 +1,120 @@
+#include "spf/spt.hpp"
+
+#include <stdexcept>
+
+#include "portals/portal_primitives.hpp"
+#include "primitives/root_prune.hpp"
+
+namespace aspf {
+
+SptResult shortestPathTree(const Region& region, int source,
+                           std::span<const char> isDest, int lanes) {
+  const int n = region.size();
+  SptResult result;
+  result.parent.assign(n, -2);
+  if (n == 1) {
+    result.parent[source] = -1;
+    return result;
+  }
+
+  // Per axis: root & prune the portal graph at portal(s) with
+  // Q = { portals containing destinations }.
+  std::array<PortalDecomposition, 3> decomp{
+      computePortals(region, Axis::X), computePortals(region, Axis::Y),
+      computePortals(region, Axis::Z)};
+  std::array<PortalRootPruneResult, 3> rooted;
+  std::array<long, 3> axisRounds{};
+  for (int a = 0; a < 3; ++a) {
+    std::vector<char> portalHasDest(decomp[a].portalCount(), 0);
+    for (int u = 0; u < n; ++u) {
+      if (isDest[u]) portalHasDest[decomp[a].portalOf[u]] = 1;
+    }
+    Comm comm(region, lanes);
+    comm.chargeRounds(1);  // destinations beep on their portal circuits
+    rooted[a] = portalRootAndPrune(comm, decomp[a], {},
+                                   decomp[a].portalOf[source], portalHasDest);
+    axisRounds[a] = comm.rounds();
+  }
+  // The three axis executions share no partition sets (constant pins per
+  // axis); they run in parallel.
+  result.rounds += parallelRounds(axisRounds);
+
+  // Parent choice by Equation (1): v is feasible iff the edge's own axis
+  // contributes 0 (same portal) and on both other axes portal(v) is the
+  // parent of portal(u). Amoebots whose relevant portals were pruned cannot
+  // verify the relation and skip the candidate (Lemma 38 guarantees that
+  // amoebots on shortest paths to destinations never need pruned portals).
+  std::vector<int> chosen(n, -2);
+  chosen[source] = -1;
+  for (int u = 0; u < n; ++u) {
+    if (u == source) continue;
+    for (Dir d : kAllDirs) {
+      const int v = region.neighbor(u, d);
+      if (v < 0) continue;
+      const Axis own = axisOf(d);
+      bool feasible = true;
+      for (const Axis axis : kAllAxes) {
+        if (axis == own) continue;  // same portal: contributes 0
+        const int a = static_cast<int>(axis);
+        const int pu = decomp[a].portalOf[u];
+        const int pv = decomp[a].portalOf[v];
+        if (!rooted[a].portalInVQ[pu] ||
+            rooted[a].parentPortal[pu] != pv) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        chosen[u] = v;
+        break;
+      }
+    }
+  }
+
+  // Final root & prune on the parent forest: extract the tree rooted at s,
+  // prune subtrees without destinations; detached components receive no
+  // signals and drop out.
+  TreeAdj forest = TreeAdj::empty(n);
+  std::vector<char> inComponent(n, 0);
+  {
+    // Component of s in the undirected parent graph.
+    std::vector<std::vector<int>> children(n);
+    for (int u = 0; u < n; ++u) {
+      if (chosen[u] >= 0) children[chosen[u]].push_back(u);
+    }
+    std::vector<int> stack{source};
+    inComponent[source] = 1;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (const int c : children[u]) {
+        if (!inComponent[c]) {
+          inComponent[c] = 1;
+          forest.add(region, c, u);
+          stack.push_back(c);
+        }
+      }
+    }
+  }
+  std::vector<char> inQ(n, 0);
+  for (int u = 0; u < n; ++u) inQ[u] = isDest[u] && inComponent[u] ? 1 : 0;
+  // All destinations lie in s's component (Lemma 38).
+  for (int u = 0; u < n; ++u) {
+    if (isDest[u] && !inComponent[u])
+      throw std::logic_error("SPT: destination escaped the source tree");
+  }
+
+  const EulerTour tour = buildEulerTour(region, forest, source);
+  Comm finalComm(region, lanes);
+  const RootPruneResult pruned = rootAndPrune(finalComm, tour, inQ);
+  result.rounds += finalComm.rounds();
+
+  for (int u = 0; u < n; ++u) {
+    if (!pruned.inVQ[u]) continue;
+    result.parent[u] = u == source ? -1 : pruned.parent[u];
+  }
+  result.parent[source] = -1;
+  return result;
+}
+
+}  // namespace aspf

@@ -1,0 +1,33 @@
+#pragma once
+// Shortest path tree algorithm (Section 4, Theorem 39): computes an
+// ({s},D)-shortest-path forest within O(log l) rounds, l = |D|.
+//
+// Outline: root all three (implicit) portal graphs at s with the root &
+// prune primitive (Q = portals containing destinations). By Lemma 11 an
+// amoebot v is a feasible parent of u iff they share one axis portal and,
+// on the two remaining axes, v's portal is the parent of u's portal
+// (Equation 1). Every amoebot that can verify this picks a parent; a final
+// root & prune on the resulting parent forest extracts the tree rooted at s
+// and prunes branches without destinations (components that never hear a
+// signal drop out).
+//
+// SPSP (|D| = 1) runs in O(1) rounds, SSSP (D = X) in O(log n) rounds.
+#include <span>
+
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct SptResult {
+  /// parent[u]: region-local parent toward s; -1 for s itself; -2 for
+  /// amoebots outside the final tree.
+  std::vector<int> parent;
+  long rounds = 0;
+};
+
+/// isDest[u] per region-local id; D must be non-empty. The region must be
+/// connected and hole-free.
+SptResult shortestPathTree(const Region& region, int source,
+                           std::span<const char> isDest, int lanes = 4);
+
+}  // namespace aspf

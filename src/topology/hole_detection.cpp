@@ -1,0 +1,115 @@
+#include "topology/hole_detection.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/circuit_engine.hpp"
+
+namespace aspf {
+namespace {
+
+/// Pin addressing the given *geometric* side of the edge leaving in
+/// direction d. Geometric side "ccw of the edge's canonical direction"
+/// (the one among E/NE/NW) is lane 0; both endpoints agree on this without
+/// communication.
+Pin sidePin(Dir d, bool ccwSideOfD) {
+  const bool canonical = static_cast<int>(d) < 3;
+  const std::uint8_t lane =
+      canonical ? (ccwSideOfD ? 0 : 1) : (ccwSideOfD ? 1 : 0);
+  return Pin{d, lane};
+}
+
+}  // namespace
+
+std::vector<std::vector<Pin>> boundaryPartitionSets(const Region& region,
+                                                    int local) {
+  std::array<bool, 6> occupied{};
+  int deg = 0;
+  for (int d = 0; d < 6; ++d) {
+    occupied[d] = region.neighbor(local, static_cast<Dir>(d)) >= 0;
+    deg += occupied[d] ? 1 : 0;
+  }
+  std::vector<std::vector<Pin>> sets;
+  if (deg == 0 || deg == 6) return sets;  // isolated or interior
+  // One partition set per maximal empty gap: it joins the ccw side of the
+  // occupied edge at the gap's clockwise end with the cw side of the
+  // occupied edge at its counterclockwise end.
+  for (int d = 0; d < 6; ++d) {
+    if (!occupied[d]) continue;
+    const Dir start = static_cast<Dir>(d);
+    if (occupied[static_cast<int>(ccw(start))]) continue;  // no gap here
+    Dir end = ccw(start);
+    while (!occupied[static_cast<int>(end)]) end = ccw(end);
+    sets.push_back({sidePin(start, true), sidePin(end, false)});
+  }
+  return sets;
+}
+
+HoleDetectionResult detectHoles(const Region& region) {
+  HoleDetectionResult result;
+  const int n = region.size();
+  if (n <= 1) {
+    result.boundaryCircuits = 0;
+    result.rounds = 2;
+    return result;
+  }
+
+  Comm comm(region, 2);
+  // Wire the boundary circuits; remember every amoebot's boundary sets.
+  std::vector<std::vector<int>> setLabels(n);
+  std::vector<std::vector<std::vector<Pin>>> setsOf(n);
+  for (int u = 0; u < n; ++u) {
+    setsOf[u] = boundaryPartitionSets(region, u);
+    for (const auto& pins : setsOf[u])
+      setLabels[u].push_back(comm.pins(u).join(pins));
+  }
+
+  // Leader: the westernmost amoebot (smallest cartesian x, then smallest
+  // row) provably lies on the outer boundary, and its gap containing the
+  // empty western cell faces the infinite region. It beeps on exactly that
+  // partition set.
+  int leader = 0;
+  for (int u = 1; u < n; ++u) {
+    const Coord a = region.coordOf(u), b = region.coordOf(leader);
+    if (a.cartX() < b.cartX() ||
+        (a.cartX() == b.cartX() && a.r < b.r))
+      leader = u;
+  }
+  // Find the leader's gap containing direction W: the set whose clockwise
+  // flank is the first occupied direction counterclockwise of W.
+  {
+    Dir flank = Dir::W;  // walk cw from W to the first occupied direction
+    while (region.neighbor(leader, flank) < 0) flank = cw(flank);
+    const Pin outerPin = sidePin(flank, true);
+    comm.beepPin(leader, outerPin);
+  }
+  comm.deliver();
+
+  // Any boundary set that did not hear the leader is on a hole boundary.
+  for (int u = 0; u < n; ++u) {
+    for (const int label : setLabels[u]) {
+      if (!comm.received(u, label)) {
+        result.holeFree = false;
+        result.holeWitnesses.push_back(u);
+        break;
+      }
+    }
+  }
+  // Alarm round on a global circuit.
+  comm.chargeRounds(1);
+  result.rounds = comm.rounds();
+
+  // Simulation-side statistic: number of distinct boundary circuits.
+  const CircuitInfo info = analyzeCircuits(comm);
+  std::unordered_set<int> circuits;
+  for (int u = 0; u < n; ++u) {
+    for (const auto& pins : setsOf[u]) {
+      circuits.insert(
+          info.circuitOf[u][pinIndex(pins.front(), comm.lanes())]);
+    }
+  }
+  result.boundaryCircuits = static_cast<int>(circuits.size());
+  return result;
+}
+
+}  // namespace aspf

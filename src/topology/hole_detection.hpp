@@ -1,0 +1,44 @@
+#pragma once
+// Hole detection — an extension beyond the paper (its conclusion leaves
+// structures with holes as future work; all its algorithms *require*
+// hole-freeness). This module lets an amoebot structure verify that
+// precondition distributedly, in O(1) rounds given a leader on the outer
+// boundary.
+//
+// Construction: every amoebot wires, for each maximal gap of empty
+// neighbors between two occupied directions, its two flanking edge-side
+// pins into one partition set. Edge-side pins are addressed by the
+// *geometric* side of the edge (the side counterclockwise of the edge's
+// canonical direction gets lane 0), which both endpoints compute locally,
+// so the resulting circuits trace exactly the boundary components of the
+// structure: one outer boundary plus one circuit per hole.
+//
+// Detection: the leader (here: the westernmost amoebot, which provably
+// lies on the outer boundary) beeps on its boundary sets; a boundary set
+// that does not receive the beep belongs to a hole boundary, and its owner
+// raises an alarm on a global circuit. Hole-free iff no alarm.
+#include <vector>
+
+#include "sim/comm.hpp"
+
+namespace aspf {
+
+struct HoleDetectionResult {
+  bool holeFree = true;
+  /// Amoebots incident to a hole boundary (region-local ids).
+  std::vector<int> holeWitnesses;
+  /// Number of distinct boundary circuits (1 = hole-free). Simulation-side
+  /// statistic; the protocol itself only learns holeFree.
+  int boundaryCircuits = 0;
+  long rounds = 0;
+};
+
+/// Requires a connected region. Uses 2 lanes.
+HoleDetectionResult detectHoles(const Region& region);
+
+/// The wiring rule, exposed for tests: partition sets this amoebot forms
+/// for its boundary gaps, as lists of pins.
+std::vector<std::vector<Pin>> boundaryPartitionSets(const Region& region,
+                                                    int local);
+
+}  // namespace aspf

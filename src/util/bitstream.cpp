@@ -1,0 +1,13 @@
+#include "util/bitstream.hpp"
+
+#include <bit>
+
+namespace aspf {
+
+int floorLog2(std::uint64_t x) noexcept {
+  return 63 - std::countl_zero(x | 1);
+}
+
+int bitWidth(std::uint64_t x) noexcept { return x == 0 ? 1 : floorLog2(x) + 1; }
+
+}  // namespace aspf

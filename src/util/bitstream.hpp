@@ -1,0 +1,81 @@
+#pragma once
+// Streaming helpers used by the circuit protocols. All protocol-side
+// comparisons of PASC outputs happen bit-by-bit, LSB first, with O(1) state,
+// matching the constant-memory requirement of the amoebot model.
+#include <cstdint>
+
+namespace aspf {
+
+/// Three-way comparison result of two bit streams, updated LSB first.
+/// The later (more significant) differing bit dominates, so the comparator
+/// simply overwrites its verdict whenever the current bits differ.
+class StreamCompare {
+ public:
+  enum class Order : std::uint8_t { Equal, Less, Greater };
+
+  /// Feed the next (more significant) pair of bits.
+  constexpr void feed(bool a, bool b) noexcept {
+    if (a != b) order_ = a ? Order::Greater : Order::Less;
+  }
+
+  constexpr Order order() const noexcept { return order_; }
+  constexpr bool equal() const noexcept { return order_ == Order::Equal; }
+  constexpr bool less() const noexcept { return order_ == Order::Less; }
+  constexpr bool greater() const noexcept { return order_ == Order::Greater; }
+  constexpr bool lessEqual() const noexcept { return order_ != Order::Greater; }
+
+  constexpr void reset() noexcept { order_ = Order::Equal; }
+
+ private:
+  Order order_ = Order::Equal;
+};
+
+/// Streaming subtraction a - b, LSB first, with borrow; reports per-bit
+/// difference and, once the streams end, whether the result is negative.
+class StreamSubtract {
+ public:
+  /// Feed next pair of bits (LSB first); returns the difference bit.
+  constexpr bool feed(bool a, bool b) noexcept {
+    const int d = static_cast<int>(a) - static_cast<int>(b) - borrow_;
+    borrow_ = d < 0 ? 1 : 0;
+    return (d & 1) != 0;
+  }
+
+  /// After all bits (including enough zero padding) have been fed,
+  /// a pending borrow means the true result is negative.
+  constexpr bool negative() const noexcept { return borrow_ != 0; }
+
+  constexpr void reset() noexcept { borrow_ = 0; }
+
+ private:
+  int borrow_ = 0;
+};
+
+/// Accumulates a bit stream (LSB first) into an integer. This is
+/// *verification-side* bookkeeping: the protocols themselves never hold a
+/// full value, but tests and the reference checker want one.
+class BitAccumulator {
+ public:
+  constexpr void feed(bool bit) noexcept {
+    if (bit) value_ |= (std::uint64_t{1} << index_);
+    ++index_;
+  }
+  constexpr std::uint64_t value() const noexcept { return value_; }
+  constexpr int bitsSeen() const noexcept { return index_; }
+  constexpr void reset() noexcept {
+    value_ = 0;
+    index_ = 0;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+  int index_ = 0;
+};
+
+/// floor(log2(x)) for x >= 1.
+int floorLog2(std::uint64_t x) noexcept;
+
+/// Number of bits needed to represent x (0 -> 1).
+int bitWidth(std::uint64_t x) noexcept;
+
+}  // namespace aspf

@@ -1,0 +1,87 @@
+#include "util/render.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "geometry/coord.hpp"
+
+namespace aspf {
+namespace {
+
+// Map a grid coordinate to a character cell: two columns per q step, one row
+// per r step (top row = largest r), odd rows shifted by one column.
+struct Canvas {
+  std::int32_t qmin, qmax, rmin, rmax;
+  std::vector<std::string> rows;
+
+  explicit Canvas(const Region& region) {
+    qmin = rmin = std::numeric_limits<std::int32_t>::max();
+    qmax = rmax = std::numeric_limits<std::int32_t>::min();
+    for (int i = 0; i < region.size(); ++i) {
+      const Coord c = region.coordOf(i);
+      qmin = std::min(qmin, c.q);
+      qmax = std::max(qmax, c.q);
+      rmin = std::min(rmin, c.r);
+      rmax = std::max(rmax, c.r);
+    }
+    const int height = rmax - rmin + 1;
+    const int width = 2 * (qmax - qmin + 1) + height + 2;
+    rows.assign(height, std::string(width, ' '));
+  }
+
+  void put(Coord c, char glyph) {
+    const int row = rmax - c.r;
+    const int col = 2 * (c.q - qmin) + (c.r - rmin);
+    if (row >= 0 && row < static_cast<int>(rows.size()) && col >= 0 &&
+        col < static_cast<int>(rows[row].size()))
+      rows[row][col] = glyph;
+  }
+
+  std::string str() const {
+    std::string out;
+    for (const auto& row : rows) {
+      // Trim trailing spaces per row.
+      auto end = row.find_last_not_of(' ');
+      out += row.substr(0, end == std::string::npos ? 0 : end + 1);
+      out += '\n';
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string renderRegion(const Region& region,
+                         const std::function<char(int)>& glyph) {
+  if (region.size() == 0) return "";
+  Canvas canvas(region);
+  for (int i = 0; i < region.size(); ++i)
+    canvas.put(region.coordOf(i), glyph(i));
+  return canvas.str();
+}
+
+std::string renderStructure(const AmoebotStructure& s) {
+  const Region whole = Region::whole(s);
+  return renderRegion(whole, [](int) { return '*'; });
+}
+
+std::string renderForest(const AmoebotStructure& s,
+                         const std::vector<int>& parent,
+                         const std::vector<char>& isSource,
+                         const std::vector<char>& isDest) {
+  const Region whole = Region::whole(s);
+  return renderRegion(whole, [&](int i) -> char {
+    if (isSource[i]) return 'S';
+    if (i < static_cast<int>(parent.size()) && parent[i] >= 0) {
+      static constexpr char kArrow[6] = {'>', '/', '\\', '<', ',', '.'};
+      const Dir d = dirBetween(s.coordOf(i), s.coordOf(parent[i]));
+      if (isDest[i]) return 'D';
+      return kArrow[static_cast<int>(d)];
+    }
+    if (isDest[i]) return 'd';
+    return 'o';
+  });
+}
+
+}  // namespace aspf

@@ -1,0 +1,28 @@
+#pragma once
+// ASCII rendering of amoebot structures on the triangular grid, used by the
+// examples to reproduce the paper's illustrative figures (structure, portal
+// graphs, shortest path trees). Each amoebot is drawn as one glyph; rows are
+// offset by half a cell per grid row, mimicking the triangular lattice.
+#include <functional>
+#include <string>
+
+#include "sim/region.hpp"
+
+namespace aspf {
+
+/// Returns a multi-line drawing; glyph(local) picks the character for each
+/// amoebot of the region.
+std::string renderRegion(const Region& region,
+                         const std::function<char(int)>& glyph);
+
+/// Renders the whole structure with '*' for every amoebot.
+std::string renderStructure(const AmoebotStructure& s);
+
+/// Renders a parent forest: sources 'S', destinations 'D', amoebots with a
+/// parent get an arrow-ish glyph per direction, isolated amoebots '.'.
+std::string renderForest(const AmoebotStructure& s,
+                         const std::vector<int>& parent,
+                         const std::vector<char>& isSource,
+                         const std::vector<char>& isDest);
+
+}  // namespace aspf

@@ -1,0 +1,66 @@
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64, used only to expand the seed into the xoshiro state.
+constexpr std::uint64_t splitmix(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix(sm);
+  // All-zero state is invalid for xoshiro; splitmix of any seed avoids it,
+  // but be defensive anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's unbiased bounded generation (rejection variant).
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace aspf

@@ -1,0 +1,33 @@
+#pragma once
+// Small, fast, reproducible PRNG (xoshiro256**). We avoid <random> engines in
+// library code so that seeded runs are bit-identical across platforms.
+#include <cstdint>
+
+namespace aspf {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace aspf

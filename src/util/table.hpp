@@ -1,0 +1,53 @@
+#pragma once
+// Minimal fixed-width ASCII table printer used by the bench harness to emit
+// the paper-style result tables, plus a CSV sink for downstream plotting.
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace aspf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic values with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... cells);
+
+  void print(std::ostream& os) const;
+  void printCsv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+namespace detail {
+std::string cellToString(const std::string& s);
+std::string cellToString(const char* s);
+std::string cellToString(double v);
+std::string cellToString(long long v);
+std::string cellToString(unsigned long long v);
+template <typename T>
+std::string cellToString(T v)
+  requires std::is_integral_v<T>
+{
+  if constexpr (std::is_signed_v<T>)
+    return cellToString(static_cast<long long>(v));
+  else
+    return cellToString(static_cast<unsigned long long>(v));
+}
+}  // namespace detail
+
+template <typename... Ts>
+void Table::add(const Ts&... cells) {
+  addRow({detail::cellToString(cells)...});
+}
+
+}  // namespace aspf

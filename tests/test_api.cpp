@@ -1,0 +1,127 @@
+// Public facade + failure-injection tests: input validation across the
+// library (holes, disconnection, empty sets, malformed chains/weights) and
+// end-to-end API behavior including the axis-parameterized forest.
+#include <gtest/gtest.h>
+
+#include "baselines/naive_forest.hpp"
+#include "core/amoebot_spf.hpp"
+#include "pasc/pasc_chain.hpp"
+#include "pasc/pasc_prefix.hpp"
+#include "spf/forest.hpp"
+#include "spf/line_algorithm.hpp"
+#include "spf/spt.hpp"
+
+namespace aspf {
+namespace {
+
+TEST(Api, RejectsDisconnectedStructures) {
+  const auto s = AmoebotStructure::fromCoords({{0, 0}, {3, 0}});
+  EXPECT_THROW(Spf{s}, std::invalid_argument);
+}
+
+TEST(Api, RejectsHoles) {
+  // Hexagonal ring of radius 1 around an empty center... radius-1 ring
+  // encloses exactly the origin.
+  std::vector<Coord> ring;
+  for (Dir d : kAllDirs) ring.push_back(Coord{0, 0}.neighbor(d));
+  const auto s = AmoebotStructure::fromCoords(std::move(ring));
+  ASSERT_TRUE(s.isConnected());
+  ASSERT_FALSE(s.isHoleFree());
+  EXPECT_THROW(Spf{s}, std::invalid_argument);
+}
+
+TEST(Api, SolveOnSingleAmoebot) {
+  const auto s = shapes::line(1);
+  const Spf spf(s);
+  const SpfSolution sol = spf.solve({{0}}, {{0}});
+  EXPECT_EQ(sol.parent[0], -1);
+  EXPECT_TRUE(spf.verify(sol, {{0}}, {{0}}).ok);
+}
+
+TEST(Api, ForestRequiresSources) {
+  const auto s = shapes::hexagon(2);
+  const Region region = Region::whole(s);
+  const std::vector<char> none(region.size(), 0);
+  const std::vector<char> all(region.size(), 1);
+  EXPECT_THROW(shortestPathForest(region, none, all), std::invalid_argument);
+  EXPECT_THROW(naiveSequentialForest(region, none, all),
+               std::invalid_argument);
+}
+
+TEST(Api, LineAlgorithmValidatesInput) {
+  const auto s = shapes::line(6);
+  const Region region = Region::whole(s);
+  std::vector<int> chain{0, 1, 2, 3, 4, 5};
+  const std::vector<char> noSources(6, 0);
+  EXPECT_THROW(lineSpf(region, chain, noSources), std::invalid_argument);
+  const std::vector<char> wrongSize(3, 1);
+  EXPECT_THROW(lineSpf(region, chain, wrongSize), std::invalid_argument);
+}
+
+TEST(Api, PascValidatesChains) {
+  const auto s = shapes::line(6);
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  // Non-adjacent consecutive stops.
+  const int stops[] = {0, 3};
+  EXPECT_THROW(runPascChain(comm, stops), std::invalid_argument);
+  // Weight size mismatch.
+  const int ok[] = {0, 1, 2};
+  std::vector<char> badWeights{1};
+  EXPECT_THROW(runPascPrefixSum(comm, ok, badWeights),
+               std::invalid_argument);
+  // Too few lanes.
+  Comm narrow(region, 1);
+  const int pair[] = {0, 1};
+  EXPECT_THROW(runPascChain(narrow, pair), std::invalid_argument);
+}
+
+TEST(Api, ForestWorksOnEveryAxis) {
+  const auto s = shapes::parallelogram(14, 6);
+  const Region region = Region::whole(s);
+  std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+  std::vector<int> sources{0, region.size() - 1, region.size() / 2};
+  std::vector<int> dests{3, region.size() - 4};
+  for (const int u : sources) isSource[u] = 1;
+  for (const int u : dests) isDest[u] = 1;
+  for (const Axis axis : kAllAxes) {
+    const ForestResult forest =
+        shortestPathForest(region, isSource, isDest, 4, axis);
+    const ForestCheck check =
+        checkShortestPathForest(region, forest.parent, sources, dests);
+    EXPECT_TRUE(check.ok) << toString(axis) << ": " << check.error;
+  }
+}
+
+TEST(Api, SolveMatchesManualPipeline) {
+  const auto s = shapes::hexagon(4);
+  const Spf spf(s);
+  const std::vector<int> sources{s.idOf({-4, 0}), s.idOf({4, 0})};
+  const std::vector<int> dests{s.idOf({0, 4}), s.idOf({0, -4})};
+  const SpfSolution viaApi = spf.solve(sources, dests);
+  const Region region = Region::whole(s);
+  std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+  for (const int u : sources) isSource[u] = 1;
+  for (const int u : dests) isDest[u] = 1;
+  const ForestResult direct = shortestPathForest(region, isSource, isDest);
+  EXPECT_EQ(viaApi.parent, direct.parent);
+  EXPECT_EQ(viaApi.rounds, direct.rounds);
+}
+
+TEST(Api, SsspCoversEveryAmoebot) {
+  const auto s = shapes::randomBlob(150, 3);
+  const Spf spf(s);
+  const SpfSolution sol = spf.sssp(0);
+  for (int u = 0; u < s.size(); ++u)
+    EXPECT_NE(sol.parent[u], -2) << "amoebot " << u << " uncovered";
+}
+
+TEST(Api, RoundsAreReportedAndPositive) {
+  const auto s = shapes::hexagon(3);
+  const Spf spf(s);
+  EXPECT_GT(spf.sssp(0).rounds, 0);
+  EXPECT_GT(spf.spsp(0, s.size() - 1).rounds, 0);
+}
+
+}  // namespace
+}  // namespace aspf

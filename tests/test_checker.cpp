@@ -1,0 +1,160 @@
+// Negative tests for the forest checker: each of the five properties of an
+// (S,D)-shortest-path forest must be individually detected when violated.
+// The checker guards every other test and every bench, so it must be
+// trustworthy in both directions.
+#include <gtest/gtest.h>
+
+#include "baselines/checker.hpp"
+#include "baselines/reference.hpp"
+#include "shapes/generators.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+struct Fixture {
+  AmoebotStructure s = shapes::parallelogram(8, 4);
+  Region region = Region::whole(s);
+  std::vector<int> sources;
+  std::vector<int> dests;
+  std::vector<int> parent;
+
+  Fixture() {
+    sources = {s.idOf({0, 0}), s.idOf({7, 3})};
+    dests = {s.idOf({7, 0}), s.idOf({0, 3}), s.idOf({4, 2})};
+    parent = referenceForest(region, sources, dests);
+  }
+};
+
+TEST(Checker, AcceptsAValidForest) {
+  Fixture f;
+  const ForestCheck check =
+      checkShortestPathForest(f.region, f.parent, f.sources, f.dests);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Checker, DetectsSourceThatIsNotARoot) {
+  Fixture f;
+  // Give a source a parent.
+  for (Dir d : kAllDirs) {
+    const int v = f.region.neighbor(f.sources[0], d);
+    if (v >= 0) {
+      f.parent[f.sources[0]] = v;
+      break;
+    }
+  }
+  EXPECT_FALSE(
+      checkShortestPathForest(f.region, f.parent, f.sources, f.dests).ok);
+}
+
+TEST(Checker, DetectsNonNeighborParent) {
+  Fixture f;
+  const int u = f.dests[0];
+  ASSERT_GE(f.parent[u], 0);
+  f.parent[u] = f.sources[0];  // far away
+  EXPECT_FALSE(
+      checkShortestPathForest(f.region, f.parent, f.sources, f.dests).ok);
+}
+
+TEST(Checker, DetectsCycle) {
+  Fixture f;
+  // Two adjacent non-source nodes pointing at each other.
+  const int a = f.s.idOf({3, 1});
+  const int b = f.s.idOf({4, 1});
+  f.parent[a] = b;
+  f.parent[b] = a;
+  const ForestCheck check =
+      checkShortestPathForest(f.region, f.parent, f.sources, f.dests);
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(Checker, DetectsUncoveredDestination) {
+  Fixture f;
+  f.parent[f.dests[0]] = -2;
+  EXPECT_FALSE(
+      checkShortestPathForest(f.region, f.parent, f.sources, f.dests).ok);
+}
+
+TEST(Checker, DetectsNonShortestPath) {
+  Fixture f;
+  // Re-root a destination through a detour: replace its parent with a
+  // neighbor at equal-or-greater BFS distance.
+  const ReferenceDistances ref = multiSourceBfs(f.region, f.sources);
+  for (const int t : f.dests) {
+    for (Dir d : kAllDirs) {
+      const int v = f.region.neighbor(t, d);
+      if (v >= 0 && ref.dist[v] >= ref.dist[t] && f.parent[v] != -2 &&
+          f.parent[v] != t && v != t) {
+        f.parent[t] = v;
+        const ForestCheck check =
+            checkShortestPathForest(f.region, f.parent, f.sources, f.dests);
+        EXPECT_FALSE(check.ok);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no detour neighbor available";
+}
+
+TEST(Checker, DetectsLeafThatIsNeitherSourceNorDestination) {
+  Fixture f;
+  // Extend a branch past a destination to a node that then becomes a leaf.
+  const ReferenceDistances ref = multiSourceBfs(f.region, f.sources);
+  for (int u = 0; u < f.region.size(); ++u) {
+    if (f.parent[u] != -2) continue;
+    for (Dir d : kAllDirs) {
+      const int v = f.region.neighbor(u, d);
+      if (v >= 0 && f.parent[v] != -2 && ref.dist[v] == ref.dist[u] - 1) {
+        f.parent[u] = v;  // valid shortest-path edge, but u is a bare leaf
+        const ForestCheck check =
+            checkShortestPathForest(f.region, f.parent, f.sources, f.dests);
+        EXPECT_FALSE(check.ok);
+        EXPECT_NE(check.error.find("leaf"), std::string::npos);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no extension spot found";
+}
+
+TEST(Checker, DetectsRootThatIsNotASource) {
+  Fixture f;
+  // Declare an extra root not in S.
+  const int impostor = f.s.idOf({4, 0});
+  ASSERT_NE(impostor, f.sources[0]);
+  f.parent[impostor] = -1;
+  const ForestCheck check =
+      checkShortestPathForest(f.region, f.parent, f.sources, f.dests);
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(Checker, DetectsSizeMismatch) {
+  Fixture f;
+  f.parent.pop_back();
+  EXPECT_FALSE(
+      checkShortestPathForest(f.region, f.parent, f.sources, f.dests).ok);
+}
+
+TEST(Checker, ReferenceForestIsAlwaysValid) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto s = shapes::randomBlob(80, seed);
+    const Region region = Region::whole(s);
+    Rng rng(seed * 101);
+    std::vector<int> sources, dests;
+    for (int i = 0; i < 3; ++i)
+      sources.push_back(static_cast<int>(rng.below(region.size())));
+    for (int i = 0; i < 6; ++i)
+      dests.push_back(static_cast<int>(rng.below(region.size())));
+    std::sort(sources.begin(), sources.end());
+    sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+    const auto parent = referenceForest(region, sources, dests);
+    const ForestCheck check =
+        checkShortestPathForest(region, parent, sources, dests);
+    EXPECT_TRUE(check.ok) << check.error;
+  }
+}
+
+}  // namespace
+}  // namespace aspf

@@ -1,0 +1,151 @@
+// Circuit engine tests: partition sets, circuits as connected components,
+// beep delivery semantics (no origin, no multiplicity), region isolation.
+#include <gtest/gtest.h>
+
+#include "sim/circuit_engine.hpp"
+#include "sim/comm.hpp"
+#include "shapes/generators.hpp"
+
+namespace aspf {
+namespace {
+
+// Joins pins E/W on lane 0 for every amoebot of a line: one global circuit.
+void wireLineLane0(Comm& comm) {
+  const Region& r = comm.region();
+  for (int a = 0; a < r.size(); ++a) {
+    const Pin pins[] = {{Dir::E, 0}, {Dir::W, 0}};
+    comm.pins(a).join(pins);
+  }
+}
+
+TEST(Circuits, SingletonPinsDoNotRelay) {
+  // Three amoebots in a line, all pins singleton: a beep at one end reaches
+  // the direct neighbor's facing pin (the external link) but not the far
+  // amoebot.
+  const auto s = shapes::line(3);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  comm.beepPin(0, {Dir::E, 0});
+  comm.deliver();
+  EXPECT_TRUE(comm.receivedPin(0, {Dir::E, 0}));
+  EXPECT_TRUE(comm.receivedPin(1, {Dir::W, 0}));
+  EXPECT_FALSE(comm.receivedPin(1, {Dir::E, 0}));
+  EXPECT_FALSE(comm.receivedAny(2));
+}
+
+TEST(Circuits, JoinedPinsRelayAcrossTheLine) {
+  const auto s = shapes::line(5);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  wireLineLane0(comm);
+  comm.beepPin(0, {Dir::E, 0});
+  comm.deliver();
+  for (int a = 0; a < 5; ++a) EXPECT_TRUE(comm.receivedPin(a, {Dir::E, 0}));
+  // Lane 1 stays silent.
+  for (int a = 0; a < 5; ++a) EXPECT_FALSE(comm.receivedPin(a, {Dir::E, 1}));
+}
+
+TEST(Circuits, BeepsHaveNoMultiplicity) {
+  const auto s = shapes::line(4);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  wireLineLane0(comm);
+  comm.beepPin(0, {Dir::E, 0});
+  comm.beepPin(3, {Dir::W, 0});
+  comm.beepPin(1, {Dir::E, 0});
+  comm.deliver();
+  // All stations hear exactly "beep" (one bit), regardless of sender count.
+  for (int a = 0; a < 4; ++a) EXPECT_TRUE(comm.receivedPin(a, {Dir::W, 0}));
+}
+
+TEST(Circuits, DeliveryIsOneRound) {
+  const auto s = shapes::line(2);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  EXPECT_EQ(comm.rounds(), 0);
+  comm.deliver();
+  comm.deliver();
+  EXPECT_EQ(comm.rounds(), 2);
+  comm.chargeRounds(3);
+  EXPECT_EQ(comm.rounds(), 5);
+}
+
+TEST(Circuits, BeepsDoNotPersistAcrossRounds) {
+  const auto s = shapes::line(3);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  wireLineLane0(comm);
+  comm.beepPin(0, {Dir::E, 0});
+  comm.deliver();
+  EXPECT_TRUE(comm.receivedPin(2, {Dir::W, 0}));
+  comm.deliver();  // nobody beeps
+  EXPECT_FALSE(comm.receivedPin(2, {Dir::W, 0}));
+}
+
+TEST(Circuits, RegionIsolation) {
+  // Two sub-regions of a line; a circuit in one region never carries beeps
+  // into the other even though the amoebots are physically adjacent.
+  const auto s = shapes::line(6);
+  std::vector<int> left, right;
+  for (int q = 0; q < 3; ++q) left.push_back(s.idOf({q, 0}));
+  for (int q = 3; q < 6; ++q) right.push_back(s.idOf({q, 0}));
+  const Region rl = Region::of(s, left);
+  const Region rr = Region::of(s, right);
+  Comm cl(rl, 2), cr(rr, 2);
+  wireLineLane0(cl);
+  wireLineLane0(cr);
+  cl.beepPin(0, {Dir::E, 0});
+  cl.deliver();
+  cr.deliver();
+  for (int a = 0; a < rl.size(); ++a) EXPECT_TRUE(cl.receivedPin(a, {Dir::E, 0}));
+  for (int a = 0; a < rr.size(); ++a) EXPECT_FALSE(cr.receivedAny(a));
+}
+
+TEST(Circuits, AnalyzeCountsGlobalCircuit) {
+  const auto s = shapes::line(4);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  wireLineLane0(comm);
+  const CircuitInfo info = analyzeCircuits(comm);
+  // Lane 0: one spanning circuit. Lane 1: pins stay singleton; each edge's
+  // two facing pins form one 2-amoebot circuit, interior singletons as well.
+  int spanning = 0;
+  for (int c = 0; c < info.circuitCount; ++c)
+    if (info.amoebotsOnCircuit[c] == 4) ++spanning;
+  EXPECT_EQ(spanning, 1);
+}
+
+TEST(Circuits, AnalyzeSingletonConfiguration) {
+  const auto s = shapes::hexagon(1);
+  const Region region = Region::whole(s);
+  Comm comm(region, 1);
+  const CircuitInfo info = analyzeCircuits(comm);
+  // With all-singleton configurations every circuit is exactly one external
+  // link (two pins) or a lone boundary pin.
+  for (int c = 0; c < info.circuitCount; ++c)
+    EXPECT_LE(info.amoebotsOnCircuit[c], 2);
+}
+
+TEST(Circuits, StarConfigurationReachesAllNeighbors) {
+  // Center of a radius-1 hexagon joins one pin per direction into one set;
+  // every neighbor hears the center's beep.
+  const auto s = shapes::hexagon(1);
+  const Region region = Region::whole(s);
+  const int center = region.localOf(s.idOf({0, 0}));
+  Comm comm(region, 2);
+  std::vector<Pin> star;
+  for (Dir d : kAllDirs) star.push_back({d, 0});
+  comm.pins(center).join(star);
+  comm.beepPin(center, {Dir::E, 0});
+  comm.deliver();
+  for (int a = 0; a < region.size(); ++a) {
+    if (a == center) continue;
+    bool heard = false;
+    for (Dir d : kAllDirs)
+      heard = heard || comm.receivedPin(a, {d, 0});
+    EXPECT_TRUE(heard);
+  }
+}
+
+}  // namespace
+}  // namespace aspf

@@ -1,0 +1,198 @@
+// Tests for the Section 5 building blocks: line algorithm (5.1), merging
+// algorithm (5.2), propagation algorithm (5.3), and the region split
+// (5.4.1).
+#include <gtest/gtest.h>
+
+#include "baselines/checker.hpp"
+#include "portals/portal_primitives.hpp"
+#include "shapes/generators.hpp"
+#include "spf/line_algorithm.hpp"
+#include "spf/merging.hpp"
+#include "spf/propagation.hpp"
+#include "spf/regions.hpp"
+#include "spf/spt.hpp"
+#include "util/bitstream.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+class ComponentSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComponentSeeds, LineAlgorithmIsExact) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const int m = 20 + static_cast<int>(rng.below(60));
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  std::vector<int> chain(m);
+  for (int q = 0; q < m; ++q) chain[q] = region.localOf(s.idOf({q, 0}));
+  std::vector<char> isSource(m, 0);
+  std::vector<int> sources;
+  const int k = 1 + static_cast<int>(rng.below(6));
+  for (int i = 0; i < k; ++i) {
+    const int pos = static_cast<int>(rng.below(m));
+    if (!isSource[pos]) {
+      isSource[pos] = 1;
+      sources.push_back(chain[pos]);
+    }
+  }
+  const LineSpfResult got = lineSpf(region, chain, isSource);
+  std::vector<int> dests(region.size());
+  for (int i = 0; i < region.size(); ++i) dests[i] = i;
+  const ForestCheck check =
+      checkShortestPathForest(region, got.parent, sources, dests);
+  EXPECT_TRUE(check.ok) << check.error;
+  // Lemma 40: O(log n) rounds.
+  EXPECT_LE(got.rounds, 2 * bitWidth(static_cast<std::uint64_t>(m)) + 8);
+}
+
+TEST_P(ComponentSeeds, MergingTwoForestsIsExact) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(100, seed + 300);
+  const Region region = Region::whole(s);
+  Rng rng(seed * 3 + 1);
+  const int s1 = static_cast<int>(rng.below(region.size()));
+  int s2 = static_cast<int>(rng.below(region.size()));
+  if (s2 == s1) s2 = (s2 + 1) % region.size();
+  const std::vector<char> all(region.size(), 1);
+  const SptResult t1 = shortestPathTree(region, s1, all);
+  const SptResult t2 = shortestPathTree(region, s2, all);
+  const MergeResult merged = mergeForests(region, t1.parent, t2.parent);
+  std::vector<int> sources{s1, s2};
+  std::vector<int> dests(region.size());
+  for (int i = 0; i < region.size(); ++i) dests[i] = i;
+  const ForestCheck check =
+      checkShortestPathForest(region, merged.parent, sources, dests);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST_P(ComponentSeeds, PropagationFillsTheOtherSide) {
+  // Build a shape, pick an x-portal, compute an SSSP forest restricted to
+  // one side + portal via a sub-SPT, then propagate and verify the full
+  // forest against BFS from the sources.
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(120, seed + 500);
+  const Region region = Region::whole(s);
+  const PortalDecomposition decomp = computePortals(region, Axis::X);
+
+  // Pick the portal with the most members for a meaningful split.
+  int portal = 0;
+  for (int p = 0; p < decomp.portalCount(); ++p) {
+    if (decomp.members[p].size() > decomp.members[portal].size()) portal = p;
+  }
+  const std::int32_t row =
+      region.coordOf(decomp.members[portal].front()).r;
+
+  // A u P: the portal plus everything reachable without entering the
+  // *south* side (components of X \ P attaching from the north).
+  std::vector<char> inAP(region.size(), 0);
+  for (const int u : decomp.members[portal]) inAP[u] = 1;
+  std::vector<int> stack;
+  for (const int u : decomp.members[portal]) stack.push_back(u);
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (Dir d : kAllDirs) {
+      const int v = region.neighbor(u, d);
+      if (v < 0 || inAP[v]) continue;
+      const bool fromPortal = decomp.portalOf[u] == portal;
+      if (fromPortal) {
+        // Only step north off the portal.
+        if (region.coordOf(v).r <= row) continue;
+      }
+      if (decomp.portalOf[v] == portal) continue;
+      inAP[v] = 1;
+      stack.push_back(v);
+    }
+  }
+
+  // Sources: a couple of amoebots on the portal.
+  Rng rng(seed);
+  std::vector<int> sources;
+  const auto& pm = decomp.members[portal];
+  sources.push_back(pm[rng.below(pm.size())]);
+  sources.push_back(pm[rng.below(pm.size())]);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+  // Forest on A u P via reference BFS restricted to A u P (the input to
+  // propagation is assumed correct).
+  std::vector<int> apGlobals;
+  for (int u = 0; u < region.size(); ++u)
+    if (inAP[u]) apGlobals.push_back(region.globalId(u));
+  const Region apRegion = Region::of(region.structure(), apGlobals);
+  std::vector<int> apSources;
+  for (const int u : sources)
+    apSources.push_back(apRegion.localOf(region.globalId(u)));
+  // BFS forest inside A u P.
+  const auto apDist = apRegion.bfsDistancesLocal(apSources);
+  std::vector<int> parentAP(region.size(), -2);
+  for (const int u : sources) parentAP[u] = -1;
+  for (int zu = 0; zu < apRegion.size(); ++zu) {
+    const int u = region.localOf(apRegion.globalId(zu));
+    if (parentAP[u] == -1) continue;
+    for (Dir d : kAllDirs) {
+      const int zv = apRegion.neighbor(zu, d);
+      if (zv >= 0 && apDist[zv] == apDist[zu] - 1) {
+        parentAP[u] = region.localOf(apRegion.globalId(zv));
+        break;
+      }
+    }
+  }
+
+  // Are distances inside A u P already the true structure distances? For
+  // sources on the portal they are: every path from P into the north side
+  // stays on that side (Lemma 13).
+  const PropagationResult prop =
+      propagateForest(region, decomp, portal, parentAP);
+  std::vector<int> dests(region.size());
+  for (int i = 0; i < region.size(); ++i) dests[i] = i;
+  const ForestCheck check =
+      checkShortestPathForest(region, prop.parent, sources, dests);
+  EXPECT_TRUE(check.ok) << check.error << " seed=" << seed;
+}
+
+TEST_P(ComponentSeeds, RegionSplitCoversStructure) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(110, seed + 700);
+  const Region region = Region::whole(s);
+  const PortalDecomposition decomp = computePortals(region, Axis::X);
+  Rng rng(seed);
+  std::vector<char> portalInQ(decomp.portalCount(), 0);
+  for (int i = 0; i < 4; ++i)
+    portalInQ[rng.below(decomp.portalCount())] = 1;
+  int root = 0;
+  while (!portalInQ[root]) ++root;
+
+  Comm comm(region, 4);
+  const PortalRootPruneResult rooted =
+      portalRootAndPrune(comm, decomp, {}, root, portalInQ, true);
+  std::vector<char> qPrime(decomp.portalCount(), 0);
+  for (int p = 0; p < decomp.portalCount(); ++p)
+    qPrime[p] = (portalInQ[p] || rooted.inAug[p]) ? 1 : 0;
+
+  const RegionSplit split = splitAtPortals(region, decomp, rooted, qPrime);
+
+  // Coverage: every amoebot is in at least one region; every region has
+  // 1 or 2 segments; region members are connected.
+  std::vector<int> cover(region.size(), 0);
+  for (const auto& reg : split.regions) {
+    EXPECT_GE(reg.segments.size(), 1u);
+    EXPECT_LE(reg.segments.size(), 2u);
+    for (const int u : reg.members) ++cover[u];
+    std::vector<int> globals;
+    for (const int u : reg.members) globals.push_back(region.globalId(u));
+    const Region sub = Region::of(region.structure(), globals);
+    EXPECT_TRUE(sub.isConnectedInduced());
+  }
+  for (int u = 0; u < region.size(); ++u)
+    EXPECT_GE(cover[u], 1) << "uncovered amoebot " << u;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComponentSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+}  // namespace
+}  // namespace aspf

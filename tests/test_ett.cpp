@@ -1,0 +1,201 @@
+// Euler tour technique tests (Section 3.1): tour construction, prefix-sum
+// differences vs. brute-force subtree counts (Lemma 17 / Corollary 18), and
+// |Q| at the root (Corollary 15).
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "ett/ett_runner.hpp"
+#include "shapes/generators.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+// Random spanning tree of a region via randomized BFS.
+TreeAdj randomSpanningTree(const Region& region, std::uint64_t seed) {
+  Rng rng(seed);
+  TreeAdj tree = TreeAdj::empty(region.size());
+  std::vector<char> seen(region.size(), 0);
+  std::vector<int> frontier{0};
+  seen[0] = 1;
+  while (!frontier.empty()) {
+    const std::size_t pick = rng.below(frontier.size());
+    const int u = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    std::array<Dir, 6> dirs = kAllDirs;
+    for (int i = 5; i > 0; --i)
+      std::swap(dirs[i], dirs[rng.below(i + 1)]);
+    for (const Dir d : dirs) {
+      const int v = region.neighbor(u, d);
+      if (v >= 0 && !seen[v]) {
+        seen[v] = 1;
+        tree.add(region, u, v);
+        frontier.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+// Brute force: number of Q-nodes in the subtree hanging off `child` when
+// the edge (node, child) is cut.
+int subtreeQCount(const Region& region, const TreeAdj& tree, int node,
+                  int child, const std::vector<char>& inQ) {
+  int count = 0;
+  std::vector<int> stack{child};
+  std::vector<char> seen(region.size(), 0);
+  seen[node] = 1;
+  seen[child] = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    count += inQ[u] ? 1 : 0;
+    for (int d = 0; d < 6; ++d) {
+      if (!tree.edge[u][d]) continue;
+      const int v = region.neighbor(u, static_cast<Dir>(d));
+      if (v >= 0 && !seen[v]) {
+        seen[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(EulerTour, VisitsEveryDirectedEdgeOnce) {
+  const auto s = shapes::hexagon(2);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, 7);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+  EXPECT_EQ(tour.edgeCount(), 2 * (region.size() - 1));
+  EXPECT_EQ(tour.instanceCount(), tour.edgeCount() + 1);
+  EXPECT_EQ(tour.stops.front(), 0);
+  EXPECT_EQ(tour.stops.back(), 0);
+  // Consecutive stops are adjacent via the recorded direction.
+  for (int i = 0; i < tour.edgeCount(); ++i) {
+    const int v = region.neighbor(tour.stops[i], tour.outDir[i]);
+    EXPECT_EQ(v, tour.stops[i + 1]);
+  }
+}
+
+TEST(EulerTour, InstanceLookupTablesAreConsistent) {
+  const auto s = shapes::parallelogram(5, 3);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, 3);
+  const EulerTour tour = buildEulerTour(region, tree, 2);
+  for (int u = 0; u < region.size(); ++u) {
+    for (int d = 0; d < 6; ++d) {
+      const int out = tour.instanceOfOutEdge[u][d];
+      if (out >= 0) {
+        EXPECT_EQ(tour.stops[out], u);
+        EXPECT_EQ(tour.outDir[out], static_cast<Dir>(d));
+      }
+      const int in = tour.instanceAfterInEdge[u][d];
+      if (in >= 0) EXPECT_EQ(tour.stops[in], u);
+    }
+  }
+}
+
+TEST(EulerTour, SingleNodeTree) {
+  const auto s = shapes::line(1);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = TreeAdj::empty(1);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+  EXPECT_EQ(tour.instanceCount(), 1);
+  EXPECT_EQ(tour.edgeCount(), 0);
+}
+
+class EttRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EttRandom, DifferencesEqualSubtreeCounts) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(60, seed);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, seed * 31 + 1);
+  const int root = static_cast<int>(seed) % region.size();
+  const EulerTour tour = buildEulerTour(region, tree, root);
+
+  Rng rng(seed * 977);
+  std::vector<char> inQ(region.size(), 0);
+  std::uint64_t qSize = 0;
+  for (int u = 0; u < region.size(); ++u) {
+    inQ[u] = rng.chance(0.3) ? 1 : 0;
+    qSize += inQ[u];
+  }
+  if (qSize == 0) {
+    inQ[0] = 1;
+    qSize = 1;
+  }
+
+  Comm comm(region, 4);
+  const auto marks = canonicalMarks(tour, inQ);
+  const EttResult ett = runEtt(comm, tour, marks);
+  EXPECT_EQ(ett.totalWeight, qSize);  // Corollary 15
+
+  // Lemma 17: cutting the edge {u,v} splits the tree in two; let `across`
+  // be the Q-count on v's side. If v is u's parent, diff equals the Q-count
+  // of u's subtree = |Q| - across; if v is a child, -diff equals across.
+  // (diff == 0 is legal in both cases when the respective side is empty of
+  // Q, so the parent relation is established independently via BFS.)
+  std::vector<int> par(region.size(), -2);
+  {
+    std::queue<int> bfs;
+    bfs.push(root);
+    par[root] = -1;
+    while (!bfs.empty()) {
+      const int u = bfs.front();
+      bfs.pop();
+      for (int d = 0; d < 6; ++d) {
+        if (!tree.edge[u][d]) continue;
+        const int v = region.neighbor(u, static_cast<Dir>(d));
+        if (v >= 0 && par[v] == -2) {
+          par[v] = u;
+          bfs.push(v);
+        }
+      }
+    }
+  }
+  for (int u = 0; u < region.size(); ++u) {
+    for (int d = 0; d < 6; ++d) {
+      if (tour.instanceOfOutEdge[u][d] < 0) continue;
+      const int v = region.neighbor(u, static_cast<Dir>(d));
+      const int acrossCount = subtreeQCount(region, tree, u, v, inQ);
+      const std::int64_t diff = ett.diff[u][d];
+      if (par[u] == v) {
+        EXPECT_EQ(diff, static_cast<std::int64_t>(qSize) - acrossCount);
+      } else {
+        EXPECT_EQ(-diff, acrossCount);
+      }
+    }
+  }
+}
+
+TEST_P(EttRandom, AntisymmetryAcrossEdges) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(40, seed + 100);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, seed + 5);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+  std::vector<char> inQ(region.size(), 0);
+  Rng rng(seed);
+  for (int u = 0; u < region.size(); ++u) inQ[u] = rng.chance(0.5) ? 1 : 0;
+  inQ[region.size() / 2] = 1;
+  Comm comm(region, 4);
+  const EttResult ett = runEtt(comm, tour, canonicalMarks(tour, inQ));
+  for (int u = 0; u < region.size(); ++u) {
+    for (int d = 0; d < 6; ++d) {
+      if (tour.instanceOfOutEdge[u][d] < 0) continue;
+      const int v = region.neighbor(u, static_cast<Dir>(d));
+      const Dir back = opposite(static_cast<Dir>(d));
+      EXPECT_EQ(ett.diff[u][d], -ett.diff[v][static_cast<int>(back)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EttRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace aspf

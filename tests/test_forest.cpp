@@ -1,0 +1,177 @@
+// Full (k,l)-SPF tests (Theorem 56 / Corollary 57): the divide & conquer
+// forest algorithm and the naive sequential baseline verified against the
+// checker on randomized shapes, sources and destinations; round scaling.
+#include <gtest/gtest.h>
+
+#include "baselines/checker.hpp"
+#include "baselines/naive_forest.hpp"
+#include "core/amoebot_spf.hpp"
+#include "shapes/generators.hpp"
+#include "spf/forest.hpp"
+#include "util/bitstream.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+struct Instance {
+  std::vector<int> sources;
+  std::vector<int> destinations;
+  std::vector<char> isSource;
+  std::vector<char> isDest;
+};
+
+Instance randomInstance(const Region& region, int k, int l,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  inst.isSource.assign(region.size(), 0);
+  inst.isDest.assign(region.size(), 0);
+  while (static_cast<int>(inst.sources.size()) < k) {
+    const int u = static_cast<int>(rng.below(region.size()));
+    if (!inst.isSource[u]) {
+      inst.isSource[u] = 1;
+      inst.sources.push_back(u);
+    }
+  }
+  while (static_cast<int>(inst.destinations.size()) < l) {
+    const int u = static_cast<int>(rng.below(region.size()));
+    if (!inst.isDest[u]) {
+      inst.isDest[u] = 1;
+      inst.destinations.push_back(u);
+    }
+  }
+  return inst;
+}
+
+class ForestSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForestSeeds, DivideAndConquerForestIsExact) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(100 + 10 * (seed % 5), seed);
+  const Region region = Region::whole(s);
+  Rng rng(seed + 1);
+  const int k = 2 + static_cast<int>(rng.below(6));
+  const int l = 1 + static_cast<int>(rng.below(12));
+  const Instance inst =
+      randomInstance(region, std::min(k, region.size() / 2),
+                     std::min(l, region.size() / 2), seed * 13);
+  const ForestResult forest =
+      shortestPathForest(region, inst.isSource, inst.isDest);
+  const ForestCheck check = checkShortestPathForest(
+      region, forest.parent, inst.sources, inst.destinations);
+  EXPECT_TRUE(check.ok) << check.error << " seed=" << seed;
+}
+
+TEST_P(ForestSeeds, NaiveSequentialForestIsExact) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(80, seed + 90);
+  const Region region = Region::whole(s);
+  Rng rng(seed + 2);
+  const int k = 2 + static_cast<int>(rng.below(4));
+  const Instance inst = randomInstance(region, k, 6, seed * 17);
+  const NaiveForestResult forest =
+      naiveSequentialForest(region, inst.isSource, inst.isDest);
+  const ForestCheck check = checkShortestPathForest(
+      region, forest.parent, inst.sources, inst.destinations);
+  EXPECT_TRUE(check.ok) << check.error << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));
+
+TEST(Forest, RegularShapesManySources) {
+  for (const int k : {2, 4, 8, 16}) {
+    const auto s = shapes::hexagon(8);
+    const Region region = Region::whole(s);
+    const Instance inst = randomInstance(region, k, 20, 1234 + k);
+    const ForestResult forest =
+        shortestPathForest(region, inst.isSource, inst.isDest);
+    const ForestCheck check = checkShortestPathForest(
+        region, forest.parent, inst.sources, inst.destinations);
+    EXPECT_TRUE(check.ok) << check.error << " k=" << k;
+  }
+}
+
+TEST(Forest, SourcesAndDestinationsMayCoincide) {
+  const auto s = shapes::parallelogram(12, 6);
+  const Region region = Region::whole(s);
+  std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+  std::vector<int> sources{0, region.size() - 1};
+  for (const int u : sources) isSource[u] = 1;
+  // every source is also a destination
+  std::vector<int> dests = sources;
+  dests.push_back(region.size() / 2);
+  for (const int u : dests) isDest[u] = 1;
+  const ForestResult forest = shortestPathForest(region, isSource, isDest);
+  const ForestCheck check =
+      checkShortestPathForest(region, forest.parent, sources, dests);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Forest, AllAmoebotsSources) {
+  const auto s = shapes::hexagon(3);
+  const Region region = Region::whole(s);
+  std::vector<char> all(region.size(), 1);
+  std::vector<int> allIds(region.size());
+  for (int i = 0; i < region.size(); ++i) allIds[i] = i;
+  const ForestResult forest = shortestPathForest(region, all, all);
+  const ForestCheck check =
+      checkShortestPathForest(region, forest.parent, allIds, allIds);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Forest, PublicApiFacade) {
+  const auto s = shapes::hexagon(6);
+  const Spf spf(s);
+  const int a = s.idOf({-6, 0}), b = s.idOf({6, 0}), c = s.idOf({0, 6});
+  const std::vector<int> sources{a, b};
+  const std::vector<int> dests{c};
+  const SpfSolution sol = spf.solve(sources, dests);
+  EXPECT_TRUE(spf.verify(sol, sources, dests).ok);
+  EXPECT_GT(sol.rounds, 0);
+
+  const SpfSolution single = spf.sssp(a);
+  std::vector<int> allIds(s.size());
+  for (int i = 0; i < s.size(); ++i) allIds[i] = i;
+  EXPECT_TRUE(spf.verify(single, {{a}}, allIds).ok);
+
+  const SpfSolution pair = spf.spsp(a, b);
+  EXPECT_TRUE(spf.verify(pair, {{a}}, {{b}}).ok);
+  EXPECT_LT(pair.rounds, single.rounds);
+}
+
+TEST(Forest, RejectsStructuresWithHoles) {
+  const auto hex = shapes::hexagon(2);
+  std::vector<Coord> ring;
+  for (const Coord c : hex.coords()) {
+    if (std::max({std::abs(c.q), std::abs(c.r), std::abs(c.q + c.r)}) == 2)
+      ring.push_back(c);
+  }
+  const auto holey = AmoebotStructure::fromCoords(std::move(ring));
+  EXPECT_THROW(Spf{holey}, std::invalid_argument);
+}
+
+TEST(Forest, RoundScalingInK) {
+  // Theorem 56: rounds grow like log n log^2 k -- in particular they must
+  // grow far slower than linearly in k (the naive bound).
+  const auto s = shapes::hexagon(10);
+  const Region region = Region::whole(s);
+  std::vector<long> rounds;
+  for (const int k : {2, 8, 32}) {
+    const Instance inst = randomInstance(region, k, 10, 777 + k);
+    const ForestResult forest =
+        shortestPathForest(region, inst.isSource, inst.isDest);
+    const ForestCheck check = checkShortestPathForest(
+        region, forest.parent, inst.sources, inst.destinations);
+    ASSERT_TRUE(check.ok) << check.error;
+    rounds.push_back(forest.rounds);
+  }
+  // k grew by 16x; polylog growth must stay well under 8x.
+  EXPECT_LT(rounds[2], rounds[0] * 8);
+}
+
+}  // namespace
+}  // namespace aspf

@@ -1,0 +1,144 @@
+// Geometry unit tests: directions, axes, axial coordinates, grid distance,
+// and the six rotational frames.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/coord.hpp"
+#include "geometry/frame.hpp"
+
+namespace aspf {
+namespace {
+
+TEST(Direction, OppositeIsInvolution) {
+  for (Dir d : kAllDirs) {
+    EXPECT_NE(d, opposite(d));
+    EXPECT_EQ(d, opposite(opposite(d)));
+  }
+}
+
+TEST(Direction, CcwCyclesInSixSteps) {
+  for (Dir d : kAllDirs) {
+    EXPECT_EQ(d, ccw(d, 6));
+    EXPECT_EQ(d, cw(ccw(d)));
+  }
+}
+
+TEST(Direction, AxisClassification) {
+  EXPECT_EQ(axisOf(Dir::E), Axis::X);
+  EXPECT_EQ(axisOf(Dir::W), Axis::X);
+  EXPECT_EQ(axisOf(Dir::NE), Axis::Y);
+  EXPECT_EQ(axisOf(Dir::SW), Axis::Y);
+  EXPECT_EQ(axisOf(Dir::NW), Axis::Z);
+  EXPECT_EQ(axisOf(Dir::SE), Axis::Z);
+}
+
+TEST(Direction, DirsOfAxisAreOpposite) {
+  for (Axis a : kAllAxes) {
+    const auto [pos, neg] = dirsOf(a);
+    EXPECT_EQ(neg, opposite(pos));
+    EXPECT_EQ(axisOf(pos), a);
+    EXPECT_EQ(axisOf(neg), a);
+  }
+}
+
+TEST(Coord, NeighborOffsetsSumToZero) {
+  Coord c{3, -2};
+  Coord sum{0, 0};
+  for (Dir d : kAllDirs) sum = sum + (c.neighbor(d) - c);
+  EXPECT_EQ(sum, (Coord{0, 0}));
+}
+
+TEST(Coord, OppositeNeighborsCancel) {
+  const Coord c{7, 11};
+  for (Dir d : kAllDirs) EXPECT_EQ(c.neighbor(d).neighbor(opposite(d)), c);
+}
+
+TEST(Coord, GridDistanceOfNeighborsIsOne) {
+  const Coord c{0, 0};
+  for (Dir d : kAllDirs) EXPECT_EQ(gridDistance(c, c.neighbor(d)), 1);
+}
+
+TEST(Coord, GridDistanceAlongAxes) {
+  Coord c{0, 0};
+  for (Axis a : kAllAxes) {
+    Coord walk = c;
+    for (int i = 1; i <= 10; ++i) {
+      walk = walk.neighbor(dirsOf(a)[0]);
+      EXPECT_EQ(gridDistance(c, walk), i);
+    }
+  }
+}
+
+TEST(Coord, GridDistanceIsAMetric) {
+  const Coord pts[] = {{0, 0}, {3, -1}, {-2, 5}, {4, 4}, {-3, -3}};
+  for (const Coord a : pts) {
+    EXPECT_EQ(gridDistance(a, a), 0);
+    for (const Coord b : pts) {
+      EXPECT_EQ(gridDistance(a, b), gridDistance(b, a));
+      for (const Coord c : pts) {
+        EXPECT_LE(gridDistance(a, c),
+                  gridDistance(a, b) + gridDistance(b, c));
+      }
+    }
+  }
+}
+
+TEST(Coord, DirBetweenMatchesNeighbor) {
+  const Coord c{5, -7};
+  for (Dir d : kAllDirs) EXPECT_EQ(dirBetween(c, c.neighbor(d)), d);
+}
+
+TEST(Frame, RotationPermutesDirectionsCcw) {
+  const Frame f = Frame::rotationCcw(1);
+  EXPECT_EQ(f.apply(Dir::E), Dir::NE);
+  EXPECT_EQ(f.apply(Dir::NE), Dir::NW);
+  EXPECT_EQ(f.apply(Dir::SE), Dir::E);
+}
+
+TEST(Frame, CoordRotationMatchesDirRotation) {
+  for (int steps = 0; steps < 6; ++steps) {
+    const Frame f = Frame::rotationCcw(steps);
+    for (Dir d : kAllDirs) {
+      const Coord rotated = f.apply(kDirOffset[static_cast<int>(d)]);
+      EXPECT_EQ(rotated, kDirOffset[static_cast<int>(f.apply(d))])
+          << "steps=" << steps << " dir=" << toString(d);
+    }
+  }
+}
+
+TEST(Frame, CoordRotationPreservesCartesianAngle) {
+  const Frame f = Frame::rotationCcw(1);
+  const Coord c{3, 2};
+  const Coord rc = f.apply(c);
+  const double angleBefore = std::atan2(c.cartY(), c.cartX());
+  const double angleAfter = std::atan2(rc.cartY(), rc.cartX());
+  double delta = angleAfter - angleBefore;
+  while (delta < 0) delta += 2 * M_PI;
+  EXPECT_NEAR(delta, M_PI / 3, 1e-9);
+}
+
+TEST(Frame, InverseUndoesRotation) {
+  for (int steps = 0; steps < 6; ++steps) {
+    const Frame f = Frame::rotationCcw(steps);
+    const Coord c{-4, 9};
+    EXPECT_EQ(f.applyInverse(f.apply(c)), c);
+    for (Dir d : kAllDirs) EXPECT_EQ(f.applyInverse(f.apply(d)), d);
+  }
+}
+
+TEST(Frame, CanonicalizeAxisMapsAxisToX) {
+  for (Axis a : kAllAxes) {
+    const Frame f = Frame::canonicalizeAxis(a);
+    EXPECT_EQ(f.apply(a), Axis::X) << toString(a);
+  }
+}
+
+TEST(Frame, RotationPreservesDistances) {
+  const Frame f = Frame::rotationCcw(2);
+  const Coord a{1, 2}, b{-5, 3};
+  EXPECT_EQ(gridDistance(a, b), gridDistance(f.apply(a), f.apply(b)));
+}
+
+}  // namespace
+}  // namespace aspf

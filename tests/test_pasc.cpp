@@ -1,0 +1,236 @@
+// PASC tests (Lemmas 3/4, Corollaries 5/6): distance bits on chains, tree
+// and forest depths, weighted prefix sums, iteration/round bounds, lane
+// reuse on snake-shaped chains.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pasc/pasc_chain.hpp"
+#include "pasc/pasc_prefix.hpp"
+#include "pasc/pasc_tree.hpp"
+#include "shapes/generators.hpp"
+#include "util/bitstream.hpp"
+
+namespace aspf {
+namespace {
+
+std::vector<int> lineStops(const AmoebotStructure& s, const Region& region) {
+  std::vector<int> stops;
+  for (int q = 0; q < s.size(); ++q)
+    stops.push_back(region.localOf(s.idOf({q, 0})));
+  return stops;
+}
+
+class PascChainSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(PascChainSizes, DistancesAreExact) {
+  const int m = GetParam();
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  const auto stops = lineStops(s, region);
+  const PascResult res = runPascChain(comm, stops);
+  for (int i = 0; i < m; ++i)
+    EXPECT_EQ(res.value[i], static_cast<std::uint64_t>(i)) << "stop " << i;
+}
+
+TEST_P(PascChainSizes, IterationAndRoundBounds) {
+  const int m = GetParam();
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  const auto stops = lineStops(s, region);
+  const PascResult res = runPascChain(comm, stops);
+  // Lemma 4: O(log m) iterations, two rounds each. Exactly bitWidth(m-1)
+  // iterations are needed to eliminate all m-1 active stops.
+  EXPECT_EQ(res.iterations, bitWidth(static_cast<std::uint64_t>(m - 1)));
+  EXPECT_EQ(res.rounds, 2 * res.iterations);
+  EXPECT_EQ(comm.rounds(), res.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PascChainSizes,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 16, 31, 32,
+                                           33, 64, 100, 127, 255, 256, 1000));
+
+TEST(PascChain, SingleStopDegenerates) {
+  const auto s = shapes::line(1);
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  const int stops[] = {0};
+  const PascResult res = runPascChain(comm, stops);
+  EXPECT_EQ(res.value[0], 0u);
+  EXPECT_EQ(res.rounds, 0);
+}
+
+TEST(PascChain, BitsAreLsbFirst) {
+  const auto s = shapes::line(6);
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  const auto stops = lineStops(s, region);
+  const PascResult res = runPascChain(comm, stops);
+  for (int i = 0; i < 6; ++i) {
+    BitAccumulator acc;
+    for (const auto& bitsAtIteration : res.bits) acc.feed(bitsAtIteration[i]);
+    EXPECT_EQ(acc.value(), static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(PascChain, SnakeChainReusesEdgesInBothDirections) {
+  // A chain that walks east along a line and back west over the same
+  // amoebots: every physical edge is traversed in both directions, which
+  // exercises the 4-lane discipline used by Euler tours.
+  const int m = 9;
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  std::vector<int> stops;
+  for (int q = 0; q < m; ++q) stops.push_back(region.localOf(s.idOf({q, 0})));
+  for (int q = m - 2; q >= 0; --q)
+    stops.push_back(region.localOf(s.idOf({q, 0})));
+  const PascResult res = runPascChain(comm, stops);
+  for (int i = 0; i < static_cast<int>(stops.size()); ++i)
+    EXPECT_EQ(res.value[i], static_cast<std::uint64_t>(i));
+}
+
+TEST(PascChain, ChainOverTwoRowsUsesDistinctLanes) {
+  // A zig-zag chain across a 2-row parallelogram (E, NE, W, NE, E ...).
+  const auto s = shapes::parallelogram(4, 2);
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  std::vector<int> stops;
+  for (int q = 0; q < 4; ++q) stops.push_back(region.localOf(s.idOf({q, 0})));
+  for (int q = 0; q < 4; ++q)
+    stops.push_back(region.localOf(s.idOf({3 - q, 1})));
+  const PascResult res = runPascChain(comm, stops);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(res.value[i], static_cast<std::uint64_t>(i));
+}
+
+class PascPrefixWeights
+    : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(PascPrefixWeights, PrefixSumsAreExact) {
+  const std::vector<int> weightInts = GetParam();
+  const int m = static_cast<int>(weightInts.size());
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  const auto stops = lineStops(s, region);
+  std::vector<char> weight(weightInts.begin(), weightInts.end());
+  const PascResult res = runPascPrefixSum(comm, stops, weight);
+  std::uint64_t prefix = 0;
+  for (int i = 0; i < m; ++i) {
+    prefix += weightInts[i];
+    EXPECT_EQ(res.value[i], prefix) << "stop " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, PascPrefixWeights,
+    ::testing::Values(std::vector<int>{1, 1, 1, 1, 1},
+                      std::vector<int>{0, 0, 0, 0, 0},
+                      std::vector<int>{1, 0, 1, 0, 1, 0, 1},
+                      std::vector<int>{0, 1, 1, 0, 0, 1, 0, 1, 1, 1},
+                      std::vector<int>{1}, std::vector<int>{0},
+                      std::vector<int>{0, 0, 0, 1},
+                      std::vector<int>{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                                       1, 1, 1}));
+
+TEST(PascPrefix, RoundsDependOnTotalWeightNotLength) {
+  // Corollary 6: O(log W) rounds. A long chain with W = 1 needs exactly one
+  // iteration.
+  const int m = 300;
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  Comm comm(region, 4);
+  const auto stops = lineStops(s, region);
+  std::vector<char> weight(m, 0);
+  weight[m / 2] = 1;
+  const PascResult res = runPascPrefixSum(comm, stops, weight);
+  EXPECT_EQ(res.iterations, 1);
+  for (int i = 0; i < m; ++i)
+    EXPECT_EQ(res.value[i], static_cast<std::uint64_t>(i >= m / 2 ? 1 : 0));
+}
+
+TEST(PascForest, SingleTreeOnLine) {
+  const auto s = shapes::line(9);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  std::vector<int> parent(region.size(), -2);
+  // Root at west end, parent = west neighbor.
+  for (int q = 0; q < 9; ++q) {
+    const int u = region.localOf(s.idOf({q, 0}));
+    parent[u] = q == 0 ? -1 : region.localOf(s.idOf({q - 1, 0}));
+  }
+  const TreePascResult res = runPascForest(comm, parent);
+  for (int q = 0; q < 9; ++q)
+    EXPECT_EQ(res.depth[region.localOf(s.idOf({q, 0}))],
+              static_cast<std::uint64_t>(q));
+}
+
+TEST(PascForest, BranchingTreeDepths) {
+  // BFS tree of a hexagon from its center: depth must equal BFS distance.
+  const auto s = shapes::hexagon(3);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  const int center = region.localOf(s.idOf({0, 0}));
+  const int src[] = {center};
+  const auto dist = region.bfsDistancesLocal(src);
+  std::vector<int> parent(region.size(), -2);
+  parent[center] = -1;
+  for (int u = 0; u < region.size(); ++u) {
+    if (u == center) continue;
+    for (Dir d : kAllDirs) {
+      const int v = region.neighbor(u, d);
+      if (v >= 0 && dist[v] == dist[u] - 1) {
+        parent[u] = v;
+        break;
+      }
+    }
+  }
+  const TreePascResult res = runPascForest(comm, parent);
+  for (int u = 0; u < region.size(); ++u)
+    EXPECT_EQ(res.depth[u], static_cast<std::uint64_t>(dist[u]));
+  // Height of this tree is 3 -> 2 iterations; rounds = 2 * iterations.
+  EXPECT_EQ(res.iterations, bitWidth(3));
+  EXPECT_EQ(res.rounds, 2 * res.iterations);
+}
+
+TEST(PascForest, MultipleTreesRunInParallel) {
+  // Two disjoint path trees on one line; distances per tree.
+  const auto s = shapes::line(10);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  std::vector<int> parent(region.size(), -2);
+  for (int q = 0; q < 5; ++q) {
+    const int u = region.localOf(s.idOf({q, 0}));
+    parent[u] = q == 0 ? -1 : region.localOf(s.idOf({q - 1, 0}));
+  }
+  for (int q = 5; q < 10; ++q) {
+    const int u = region.localOf(s.idOf({q, 0}));
+    parent[u] = q == 5 ? -1 : region.localOf(s.idOf({q - 1, 0}));
+  }
+  const TreePascResult res = runPascForest(comm, parent);
+  for (int q = 0; q < 10; ++q)
+    EXPECT_EQ(res.depth[region.localOf(s.idOf({q, 0}))],
+              static_cast<std::uint64_t>(q % 5));
+  // Parallel composition: rounds are driven by the tallest tree.
+  EXPECT_EQ(res.iterations, bitWidth(4));
+}
+
+TEST(PascForest, NonMembersUntouched) {
+  const auto s = shapes::line(6);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  std::vector<int> parent(region.size(), -2);
+  for (int q = 0; q < 3; ++q) {
+    const int u = region.localOf(s.idOf({q, 0}));
+    parent[u] = q == 0 ? -1 : region.localOf(s.idOf({q - 1, 0}));
+  }
+  const TreePascResult res = runPascForest(comm, parent);
+  for (int q = 3; q < 6; ++q)
+    EXPECT_EQ(res.depth[region.localOf(s.idOf({q, 0}))], 0u);
+}
+
+}  // namespace
+}  // namespace aspf

@@ -1,0 +1,359 @@
+// Portal graph tests: Definitions 7/8/12, Lemma 9 (portal graphs of
+// hole-free structures are trees), Lemma 11 (the distance identity
+// 2*dist = dist_x + dist_y + dist_z), Lemma 13 (portal separation), and the
+// portal-level primitives of Section 3.5 against brute force.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "portals/portal_primitives.hpp"
+#include "portals/portals.hpp"
+#include "shapes/generators.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+std::vector<AmoebotStructure> testShapes() {
+  std::vector<AmoebotStructure> shapes;
+  shapes.push_back(shapes::parallelogram(6, 4));
+  shapes.push_back(shapes::triangle(6));
+  shapes.push_back(shapes::hexagon(3));
+  shapes.push_back(shapes::comb(4, 4, 2));
+  shapes.push_back(shapes::staircase(4, 3));
+  shapes.push_back(shapes::line(9));
+  for (std::uint64_t seed = 1; seed <= 6; ++seed)
+    shapes.push_back(shapes::randomBlob(80, seed));
+  return shapes;
+}
+
+TEST(Portals, EveryAmoebotInExactlyOnePortalPerAxis) {
+  for (const auto& s : testShapes()) {
+    const Region region = Region::whole(s);
+    for (const Axis axis : kAllAxes) {
+      const PortalDecomposition d = computePortals(region, axis);
+      std::vector<int> count(region.size(), 0);
+      for (const auto& ms : d.members)
+        for (const int u : ms) ++count[u];
+      for (int u = 0; u < region.size(); ++u) {
+        EXPECT_EQ(count[u], 1);
+        EXPECT_GE(d.portalOf[u], 0);
+      }
+    }
+  }
+}
+
+TEST(Portals, MembersFormAxisRuns) {
+  for (const auto& s : testShapes()) {
+    const Region region = Region::whole(s);
+    for (const Axis axis : kAllAxes) {
+      const PortalDecomposition d = computePortals(region, axis);
+      const Dir east = d.frame.applyInverse(Dir::E);
+      for (const auto& ms : d.members) {
+        for (std::size_t i = 0; i + 1 < ms.size(); ++i)
+          EXPECT_EQ(region.neighbor(ms[i], east), ms[i + 1]);
+        // Maximality: nothing west of the first or east of the last.
+        EXPECT_EQ(region.neighbor(ms.front(), opposite(east)), -1);
+        EXPECT_EQ(region.neighbor(ms.back(), east), -1);
+      }
+    }
+  }
+}
+
+TEST(Portals, Lemma9PortalGraphsAreTrees) {
+  for (const auto& s : testShapes()) {
+    const Region region = Region::whole(s);
+    for (const Axis axis : kAllAxes) {
+      const PortalDecomposition d = computePortals(region, axis);
+      EXPECT_TRUE(d.portalGraphIsTree());
+    }
+  }
+}
+
+TEST(Portals, ImplicitTreeIsASpanningTree) {
+  for (const auto& s : testShapes()) {
+    const Region region = Region::whole(s);
+    for (const Axis axis : kAllAxes) {
+      const PortalDecomposition d = computePortals(region, axis);
+      // Count undirected edges.
+      std::size_t endpoints = 0;
+      for (int u = 0; u < region.size(); ++u)
+        for (int dd = 0; dd < 6; ++dd) endpoints += d.implicitTree.edge[u][dd];
+      EXPECT_EQ(endpoints, 2 * static_cast<std::size_t>(region.size() - 1));
+      // Connected: BFS over tree edges.
+      std::vector<char> seen(region.size(), 0);
+      std::queue<int> q;
+      q.push(0);
+      seen[0] = 1;
+      int reached = 1;
+      while (!q.empty()) {
+        const int u = q.front();
+        q.pop();
+        for (int dd = 0; dd < 6; ++dd) {
+          if (!d.implicitTree.edge[u][dd]) continue;
+          const int v = region.neighbor(u, static_cast<Dir>(dd));
+          ASSERT_GE(v, 0);
+          if (!seen[v]) {
+            seen[v] = 1;
+            ++reached;
+            q.push(v);
+          }
+        }
+      }
+      EXPECT_EQ(reached, region.size());
+    }
+  }
+}
+
+TEST(Portals, ExactlyOneConnectingEdgePerAdjacentPair) {
+  for (const auto& s : testShapes()) {
+    const Region region = Region::whole(s);
+    for (const Axis axis : kAllAxes) {
+      const PortalDecomposition d = computePortals(region, axis);
+      for (int p = 0; p < d.portalCount(); ++p) {
+        std::vector<int> peers;
+        for (const auto& e : d.adj[p]) peers.push_back(e.peerPortal);
+        std::sort(peers.begin(), peers.end());
+        EXPECT_TRUE(std::adjacent_find(peers.begin(), peers.end()) ==
+                    peers.end())
+            << "duplicate connecting edge";
+      }
+      // Every physically adjacent portal pair appears.
+      for (int u = 0; u < region.size(); ++u) {
+        for (Dir dd : kAllDirs) {
+          if (axisOf(dd) == axis) continue;
+          const int v = region.neighbor(u, dd);
+          if (v < 0) continue;
+          const int p1 = d.portalOf[u], p2 = d.portalOf[v];
+          if (p1 == p2) continue;
+          EXPECT_GE(d.connector(p1, p2), 0)
+              << "missing adjacency " << p1 << "-" << p2;
+        }
+      }
+    }
+  }
+}
+
+TEST(Portals, Lemma11DistanceIdentity) {
+  Rng rng(424242);
+  for (const auto& s : testShapes()) {
+    const Region region = Region::whole(s);
+    std::array<PortalDecomposition, 3> d{computePortals(region, Axis::X),
+                                         computePortals(region, Axis::Y),
+                                         computePortals(region, Axis::Z)};
+    for (int trial = 0; trial < 12; ++trial) {
+      const int u = static_cast<int>(rng.below(region.size()));
+      const int v = static_cast<int>(rng.below(region.size()));
+      const int src[] = {u};
+      const int duv = region.bfsDistancesLocal(src)[v];
+      int portalSum = 0;
+      for (int a = 0; a < 3; ++a) {
+        const auto pd = d[a].portalGraphDistances(d[a].portalOf[u]);
+        portalSum += pd[d[a].portalOf[v]];
+      }
+      EXPECT_EQ(2 * duv, portalSum)
+          << "u=" << u << " v=" << v << " n=" << region.size();
+    }
+  }
+}
+
+TEST(Portals, Lemma13PortalSeparation) {
+  // The shortest path between u and v crosses portal P iff u and v are in
+  // different components of X \ P. Verify on a hexagon with its middle
+  // x-portal.
+  const auto s = shapes::hexagon(3);
+  const Region region = Region::whole(s);
+  const PortalDecomposition d = computePortals(region, Axis::X);
+  const int midPortal = d.portalOf[region.localOf(s.idOf({0, 0}))];
+  const int north = region.localOf(s.idOf({0, 2}));
+  const int south = region.localOf(s.idOf({0, -2}));
+  const int alsoNorth = region.localOf(s.idOf({1, 2}));
+  // north/south separated by the middle portal; BFS through X must pass it.
+  const int src[] = {north};
+  const auto dist = region.bfsDistancesLocal(src);
+  // walk back a shortest path and check it visits the portal
+  int cur = south;
+  bool visited = false;
+  while (cur != north) {
+    if (d.portalOf[cur] == midPortal) visited = true;
+    for (Dir dd : kAllDirs) {
+      const int nb = region.neighbor(cur, dd);
+      if (nb >= 0 && dist[nb] == dist[cur] - 1) {
+        cur = nb;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(visited);
+  // Same side: a shortest path between the two northern nodes that stays
+  // north exists (their BFS distance equals their grid distance, and the
+  // straight connection does not touch row 0).
+  const int src2[] = {alsoNorth};
+  const auto dist2 = region.bfsDistancesLocal(src2);
+  EXPECT_EQ(dist2[north], 1);
+}
+
+// ---- Portal primitives ----
+
+struct PortalFixtureData {
+  AmoebotStructure s;
+  Region region;
+  PortalDecomposition decomp;
+  PortalFixtureData(AmoebotStructure st, Axis axis)
+      : s(std::move(st)), region(Region::whole(s)),
+        decomp(computePortals(region, axis)) {}
+};
+
+std::vector<char> randomPortalSet(int count, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> set(count, 0);
+  for (int i = 0; i < count; ++i) set[i] = rng.chance(p) ? 1 : 0;
+  bool any = false;
+  for (const char c : set) any = any || c;
+  if (!any) set[count / 2] = 1;
+  return set;
+}
+
+class PortalPrimitiveSeeds : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PortalPrimitiveSeeds, RootPruneMatchesPortalGraphBfs) {
+  const std::uint64_t seed = GetParam();
+  PortalFixtureData f(shapes::randomBlob(70, seed),
+                      static_cast<Axis>(seed % 3));
+  const int portals = f.decomp.portalCount();
+  const auto inQ = randomPortalSet(portals, 0.3, seed * 7 + 1);
+  const int root = static_cast<int>(seed) % portals;
+
+  Comm comm(f.region, 4);
+  const PortalRootPruneResult got = portalRootAndPrune(
+      comm, f.decomp, {}, root, inQ, true);
+
+  // Reference: BFS in the portal graph, V_Q via subtree Q-counts.
+  std::vector<int> par(portals, -2);
+  std::vector<int> order;
+  std::queue<int> q;
+  q.push(root);
+  par[root] = -1;
+  while (!q.empty()) {
+    const int p = q.front();
+    q.pop();
+    order.push_back(p);
+    for (const auto& e : f.decomp.adj[p]) {
+      if (par[e.peerPortal] == -2) {
+        par[e.peerPortal] = p;
+        q.push(e.peerPortal);
+      }
+    }
+  }
+  std::vector<int> qInSubtree(portals, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    qInSubtree[*it] += inQ[*it] ? 1 : 0;
+    if (par[*it] >= 0) qInSubtree[par[*it]] += qInSubtree[*it];
+  }
+  std::uint64_t total = 0;
+  for (int p = 0; p < portals; ++p) total += inQ[p];
+  EXPECT_EQ(got.qCount, total);
+  for (int p = 0; p < portals; ++p) {
+    EXPECT_EQ(static_cast<bool>(got.portalInVQ[p]), qInSubtree[p] > 0)
+        << "portal " << p;
+    if (qInSubtree[p] > 0) EXPECT_EQ(got.parentPortal[p], par[p]);
+  }
+  // Augmentation definition: degree within the pruned tree.
+  for (int p = 0; p < portals; ++p) {
+    if (!got.portalInVQ[p]) continue;
+    EXPECT_EQ(got.inAug[p], got.degQ[p] >= 3 ? 1 : 0);
+  }
+}
+
+TEST_P(PortalPrimitiveSeeds, ElectionPicksAQPortal) {
+  const std::uint64_t seed = GetParam();
+  PortalFixtureData f(shapes::randomBlob(60, seed + 17),
+                      static_cast<Axis>((seed + 1) % 3));
+  const int portals = f.decomp.portalCount();
+  const auto inQ = randomPortalSet(portals, 0.4, seed + 3);
+  Comm comm(f.region, 4);
+  const PortalElectionResult got =
+      portalElect(comm, f.decomp, {}, 0, inQ);
+  ASSERT_GE(got.electedPortal, 0);
+  EXPECT_TRUE(inQ[got.electedPortal]);
+  EXPECT_LE(got.rounds, 2);
+}
+
+TEST_P(PortalPrimitiveSeeds, CentroidsMatchBruteForce) {
+  const std::uint64_t seed = GetParam();
+  PortalFixtureData f(shapes::randomBlob(60, seed + 29),
+                      static_cast<Axis>(seed % 3));
+  const int portals = f.decomp.portalCount();
+  const auto inQ = randomPortalSet(portals, 0.35, seed + 31);
+  Comm comm(f.region, 4);
+  const PortalCentroidResult got =
+      portalCentroids(comm, f.decomp, {}, 0, inQ);
+
+  std::uint64_t total = 0;
+  for (const char c : inQ) total += c;
+  for (int p = 0; p < portals; ++p) {
+    if (!inQ[p]) {
+      EXPECT_FALSE(got.isCentroid[p]);
+      continue;
+    }
+    // Brute force: Q-count of every component of the portal tree minus p.
+    bool ok = true;
+    for (const auto& e : f.decomp.adj[p]) {
+      std::vector<char> seen(portals, 0);
+      seen[p] = 1;
+      std::queue<int> q;
+      q.push(e.peerPortal);
+      seen[e.peerPortal] = 1;
+      std::uint64_t count = 0;
+      while (!q.empty()) {
+        const int w = q.front();
+        q.pop();
+        count += inQ[w] ? 1 : 0;
+        for (const auto& e2 : f.decomp.adj[w]) {
+          if (!seen[e2.peerPortal]) {
+            seen[e2.peerPortal] = 1;
+            q.push(e2.peerPortal);
+          }
+        }
+      }
+      if (2 * count > total) ok = false;
+    }
+    EXPECT_EQ(static_cast<bool>(got.isCentroid[p]), ok) << "portal " << p;
+  }
+}
+
+TEST_P(PortalPrimitiveSeeds, DecompositionCoversAugmentedSet) {
+  const std::uint64_t seed = GetParam();
+  PortalFixtureData f(shapes::randomBlob(80, seed + 41),
+                      static_cast<Axis>((seed + 2) % 3));
+  const int portals = f.decomp.portalCount();
+  const auto inQ = randomPortalSet(portals, 0.3, seed + 43);
+  Comm comm(f.region, 4);
+  const PortalRootPruneResult rooted =
+      portalRootAndPrune(comm, f.decomp, {}, 0, inQ, true);
+  std::vector<char> inQPrime(portals, 0);
+  for (int p = 0; p < portals; ++p)
+    inQPrime[p] = (inQ[p] || rooted.inAug[p]) ? 1 : 0;
+
+  const PortalDecompositionResult dt =
+      portalDecompose(f.region, f.decomp, 0, inQPrime);
+  for (int p = 0; p < portals; ++p) {
+    if (inQPrime[p]) {
+      EXPECT_GE(dt.depthOfPortal[p], 0);
+    } else {
+      EXPECT_EQ(dt.depthOfPortal[p], -1);
+    }
+    if (dt.depthOfPortal[p] > 0) {
+      ASSERT_GE(dt.parentPortalInDT[p], 0);
+      EXPECT_EQ(dt.depthOfPortal[dt.parentPortalInDT[p]] + 1,
+                dt.depthOfPortal[p]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortalPrimitiveSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace aspf

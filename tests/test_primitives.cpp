@@ -1,0 +1,332 @@
+// Tree primitive tests (Sections 3.2-3.4): root & prune vs. brute force,
+// election (Lemma 21), Q-centroids vs. brute force (Lemma 23), augmentation
+// set bounds (Corollary 29), centroid existence (Lemma 27), and the
+// decomposition tree with its O(log|Q|) height (Lemmas 30/31).
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "primitives/centroid.hpp"
+#include "primitives/decomposition.hpp"
+#include "primitives/election.hpp"
+#include "primitives/root_prune.hpp"
+#include "shapes/generators.hpp"
+#include "util/bitstream.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+TreeAdj randomSpanningTree(const Region& region, std::uint64_t seed) {
+  Rng rng(seed);
+  TreeAdj tree = TreeAdj::empty(region.size());
+  std::vector<char> seen(region.size(), 0);
+  std::vector<int> frontier{0};
+  seen[0] = 1;
+  while (!frontier.empty()) {
+    const std::size_t pick = rng.below(frontier.size());
+    const int u = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    std::array<Dir, 6> dirs = kAllDirs;
+    for (int i = 5; i > 0; --i) std::swap(dirs[i], dirs[rng.below(i + 1)]);
+    for (const Dir d : dirs) {
+      const int v = region.neighbor(u, d);
+      if (v >= 0 && !seen[v]) {
+        seen[v] = 1;
+        tree.add(region, u, v);
+        frontier.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<char> randomQ(int n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> inQ(n, 0);
+  for (int u = 0; u < n; ++u) inQ[u] = rng.chance(p) ? 1 : 0;
+  bool any = false;
+  for (const char c : inQ) any = any || c;
+  if (!any) inQ[n / 2] = 1;
+  return inQ;
+}
+
+// Reference: parents via BFS from root over tree edges, and V_Q via subtree
+// Q-counts.
+struct ReferenceRooted {
+  std::vector<int> parent;
+  std::vector<char> inVQ;
+};
+
+ReferenceRooted referenceRootPrune(const Region& region, const TreeAdj& tree,
+                                   int root, const std::vector<char>& inQ) {
+  const int n = region.size();
+  ReferenceRooted ref;
+  ref.parent.assign(n, -2);
+  ref.inVQ.assign(n, 0);
+  std::vector<int> order;
+  std::vector<int> par(n, -2);
+  std::queue<int> q;
+  q.push(root);
+  par[root] = -1;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (int d = 0; d < 6; ++d) {
+      if (!tree.edge[u][d]) continue;
+      const int v = region.neighbor(u, static_cast<Dir>(d));
+      if (v >= 0 && par[v] == -2) {
+        par[v] = u;
+        q.push(v);
+      }
+    }
+  }
+  std::vector<int> qInSubtree(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    qInSubtree[u] += inQ[u] ? 1 : 0;
+    if (par[u] >= 0) qInSubtree[par[u]] += qInSubtree[u];
+  }
+  for (const int u : order) {
+    if (qInSubtree[u] > 0) {
+      ref.inVQ[u] = 1;
+      ref.parent[u] = par[u];
+    }
+  }
+  return ref;
+}
+
+class PrimitiveSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimitiveSeeds, RootPruneMatchesReference) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(70, seed);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, seed ^ 0xabc);
+  const int root = static_cast<int>((seed * 13) % region.size());
+  const auto inQ = randomQ(region.size(), 0.2, seed * 3 + 1);
+  const EulerTour tour = buildEulerTour(region, tree, root);
+  Comm comm(region, 4);
+  const RootPruneResult got = rootAndPrune(comm, tour, inQ);
+  const ReferenceRooted ref = referenceRootPrune(region, tree, root, inQ);
+  for (int u = 0; u < region.size(); ++u) {
+    EXPECT_EQ(static_cast<bool>(got.inVQ[u]), static_cast<bool>(ref.inVQ[u]))
+        << "node " << u;
+    if (ref.inVQ[u]) EXPECT_EQ(got.parent[u], ref.parent[u]) << "node " << u;
+  }
+}
+
+TEST_P(PrimitiveSeeds, RootPruneRoundBound) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(120, seed + 40);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, seed);
+  const auto inQ = randomQ(region.size(), 0.15, seed);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+  Comm comm(region, 4);
+  const RootPruneResult got = rootAndPrune(comm, tour, inQ);
+  // Lemma 20: O(log |Q|) rounds; concretely 2 * (bitWidth(|Q|) + 1).
+  EXPECT_LE(got.rounds, 2 * (bitWidth(got.qCount) + 1));
+}
+
+TEST_P(PrimitiveSeeds, AugmentationSetBound) {
+  // Corollary 29: |A_Q| <= |Q| - 1.
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(90, seed + 7);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, seed + 11);
+  const auto inQ = randomQ(region.size(), 0.1, seed + 2);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+  Comm comm(region, 4);
+  const RootPruneResult got = rootAndPrune(comm, tour, inQ);
+  std::uint64_t aug = 0;
+  for (const char c : got.inAug) aug += c;
+  ASSERT_GT(got.qCount, 0u);
+  EXPECT_LE(aug, got.qCount - 1);
+}
+
+TEST_P(PrimitiveSeeds, ElectionPicksAMemberOfQ) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(50, seed + 3);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, seed + 17);
+  const auto inQ = randomQ(region.size(), 0.25, seed + 5);
+  const EulerTour tour = buildEulerTour(region, tree, 1 % region.size());
+  Comm comm(region, 4);
+  const ElectionResult got = electFromQ(comm, tour, inQ);
+  ASSERT_GE(got.elected, 0);
+  EXPECT_TRUE(inQ[got.elected]);
+  EXPECT_EQ(got.rounds, 1);  // Lemma 21: O(1) rounds
+}
+
+TEST(Election, ElectsRootWhenRootIsInQ) {
+  // The canonical mark of the root is on the very first tour edge, so the
+  // root must elect itself.
+  const auto s = shapes::hexagon(2);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, 9);
+  const EulerTour tour = buildEulerTour(region, tree, 4);
+  std::vector<char> inQ(region.size(), 0);
+  inQ[4] = 1;
+  inQ[0] = 1;
+  Comm comm(region, 4);
+  EXPECT_EQ(electFromQ(comm, tour, inQ).elected, 4);
+}
+
+TEST(Election, SingleNodeTree) {
+  const auto s = shapes::line(1);
+  const Region region = Region::whole(s);
+  const EulerTour tour = buildEulerTour(region, TreeAdj::empty(1), 0);
+  std::vector<char> inQ{1};
+  Comm comm(region, 4);
+  EXPECT_EQ(electFromQ(comm, tour, inQ).elected, 0);
+}
+
+// Brute-force Q-centroids.
+std::vector<char> referenceCentroids(const Region& region,
+                                     const TreeAdj& tree,
+                                     const std::vector<char>& inQ) {
+  const int n = region.size();
+  std::uint64_t total = 0;
+  for (const char c : inQ) total += c;
+  std::vector<char> is(n, 0);
+  for (int u = 0; u < n; ++u) {
+    if (!inQ[u]) continue;
+    bool ok = true;
+    for (int d = 0; d < 6 && ok; ++d) {
+      if (!tree.edge[u][d]) continue;
+      const int v = region.neighbor(u, static_cast<Dir>(d));
+      // Count Q in v's component with u removed.
+      std::vector<char> seen(n, 0);
+      seen[u] = 1;
+      seen[v] = 1;
+      std::vector<int> stack{v};
+      std::uint64_t count = 0;
+      while (!stack.empty()) {
+        const int w = stack.back();
+        stack.pop_back();
+        count += inQ[w] ? 1 : 0;
+        for (int dd = 0; dd < 6; ++dd) {
+          if (!tree.edge[w][dd]) continue;
+          const int x = region.neighbor(w, static_cast<Dir>(dd));
+          if (x >= 0 && !seen[x]) {
+            seen[x] = 1;
+            stack.push_back(x);
+          }
+        }
+      }
+      if (2 * count > total) ok = false;
+    }
+    is[u] = ok ? 1 : 0;
+  }
+  return is;
+}
+
+TEST_P(PrimitiveSeeds, CentroidsMatchBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(60, seed + 21);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, seed + 23);
+  const auto inQ = randomQ(region.size(), 0.3, seed + 29);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+  Comm comm(region, 4);
+  const CentroidResult got = computeQCentroids(comm, tour, inQ);
+  const auto ref = referenceCentroids(region, tree, inQ);
+  for (int u = 0; u < region.size(); ++u)
+    EXPECT_EQ(static_cast<bool>(got.isCentroid[u]),
+              static_cast<bool>(ref[u]))
+        << "node " << u;
+}
+
+TEST_P(PrimitiveSeeds, AugmentedCentroidsExist) {
+  // Lemma 27: with Q' = Q + A_Q there are one or two Q'-centroids, and if
+  // two, they are adjacent.
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(80, seed + 31);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, seed + 37);
+  const auto inQ = randomQ(region.size(), 0.15, seed + 41);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+  Comm comm(region, 4);
+  const RootPruneResult rooted = rootAndPrune(comm, tour, inQ);
+  std::vector<char> inQPrime(region.size(), 0);
+  for (int u = 0; u < region.size(); ++u)
+    inQPrime[u] = (inQ[u] || rooted.inAug[u]) ? 1 : 0;
+  Comm comm2(region, 4);
+  const CentroidResult got = computeQCentroids(comm2, tour, inQPrime);
+  std::vector<int> centroids;
+  for (int u = 0; u < region.size(); ++u)
+    if (got.isCentroid[u]) centroids.push_back(u);
+  ASSERT_GE(centroids.size(), 1u);
+  ASSERT_LE(centroids.size(), 2u);
+  if (centroids.size() == 2) {
+    // Theorem 25 applies to the contracted tree T'' (proof of Lemma 27):
+    // the two centroids are adjacent there, i.e. the tree path between
+    // them contains no further Q' node.
+    std::queue<int> bfs;
+    std::vector<int> par(region.size(), -2);
+    bfs.push(centroids[0]);
+    par[centroids[0]] = -1;
+    while (!bfs.empty()) {
+      const int u = bfs.front();
+      bfs.pop();
+      for (int d = 0; d < 6; ++d) {
+        if (!tree.edge[u][d]) continue;
+        const int v = region.neighbor(u, static_cast<Dir>(d));
+        if (v >= 0 && par[v] == -2) {
+          par[v] = u;
+          bfs.push(v);
+        }
+      }
+    }
+    for (int w = par[centroids[1]]; w != centroids[0] && w >= 0; w = par[w])
+      EXPECT_FALSE(inQPrime[w]) << "interior Q' node between centroids";
+  }
+}
+
+TEST_P(PrimitiveSeeds, DecompositionCoversQPrimeWithLogHeight) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(80, seed + 51);
+  const Region region = Region::whole(s);
+  const TreeAdj tree = randomSpanningTree(region, seed + 53);
+  const auto inQ = randomQ(region.size(), 0.2, seed + 59);
+  const EulerTour tour = buildEulerTour(region, tree, 0);
+  Comm comm(region, 4);
+  const RootPruneResult rooted = rootAndPrune(comm, tour, inQ);
+  std::vector<char> inQPrime(region.size(), 0);
+  std::uint64_t qPrimeSize = 0;
+  for (int u = 0; u < region.size(); ++u) {
+    inQPrime[u] = (inQ[u] || rooted.inAug[u]) ? 1 : 0;
+    qPrimeSize += inQPrime[u];
+  }
+  const DecompositionResult dt =
+      decomposeAtCentroids(region, tree, 0, inQPrime);
+  // Every Q' node appears in the decomposition tree exactly once, with a
+  // depth; nothing else does.
+  for (int u = 0; u < region.size(); ++u) {
+    if (inQPrime[u]) {
+      EXPECT_GE(dt.depth[u], 0) << "node " << u;
+    } else {
+      EXPECT_EQ(dt.depth[u], -1) << "node " << u;
+    }
+  }
+  // Lemma 30: height O(log |Q'|); each level at least halves Q' per
+  // subtree, so height <= bitWidth(|Q'|).
+  EXPECT_LE(dt.height, bitWidth(qPrimeSize) + 1);
+  // DT parents are centroids of the previous depth.
+  for (int u = 0; u < region.size(); ++u) {
+    if (dt.depth[u] > 0) {
+      ASSERT_GE(dt.parentInDT[u], 0);
+      EXPECT_EQ(dt.depth[dt.parentInDT[u]] + 1, dt.depth[u]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimitiveSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+}  // namespace
+}  // namespace aspf

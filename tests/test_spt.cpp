@@ -1,0 +1,178 @@
+// Shortest path tree algorithm tests (Section 4, Theorem 39): correctness
+// of SPSP / SSSP / (1,l)-SPF against exact BFS via the forest checker, and
+// the O(log l) round behavior.
+#include <gtest/gtest.h>
+
+#include "baselines/bfs_wave.hpp"
+#include "baselines/checker.hpp"
+#include "shapes/generators.hpp"
+#include "spf/spt.hpp"
+#include "util/bitstream.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+struct Scenario {
+  AmoebotStructure s;
+  Region region;
+  explicit Scenario(AmoebotStructure st)
+      : s(std::move(st)), region(Region::whole(s)) {}
+};
+
+std::vector<AmoebotStructure> spfShapes() {
+  std::vector<AmoebotStructure> shapes;
+  shapes.push_back(shapes::parallelogram(10, 6));
+  shapes.push_back(shapes::triangle(8));
+  shapes.push_back(shapes::hexagon(4));
+  shapes.push_back(shapes::comb(5, 6, 2));
+  shapes.push_back(shapes::staircase(5, 3));
+  shapes.push_back(shapes::line(25));
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    shapes.push_back(shapes::randomBlob(120, seed));
+  for (std::uint64_t seed = 1; seed <= 4; ++seed)
+    shapes.push_back(shapes::randomSpider(4, 25, seed));
+  return shapes;
+}
+
+TEST(Spt, SsspIsExactOnAllShapes) {
+  Rng rng(99);
+  for (const auto& s : spfShapes()) {
+    const Region region = Region::whole(s);
+    const int source = static_cast<int>(rng.below(region.size()));
+    const std::vector<char> all(region.size(), 1);
+    const SptResult spt = shortestPathTree(region, source, all);
+    std::vector<int> dests(region.size());
+    for (int i = 0; i < region.size(); ++i) dests[i] = i;
+    const int src[] = {source};
+    const ForestCheck check =
+        checkShortestPathForest(region, spt.parent, src, dests);
+    EXPECT_TRUE(check.ok) << check.error << " (n=" << region.size() << ")";
+  }
+}
+
+class SptRandomSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SptRandomSeeds, RandomDestinationSets) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(100, seed + 1000);
+  const Region region = Region::whole(s);
+  Rng rng(seed * 77);
+  const int source = static_cast<int>(rng.below(region.size()));
+  std::vector<char> isDest(region.size(), 0);
+  std::vector<int> dests;
+  const int l = 1 + static_cast<int>(rng.below(20));
+  for (int i = 0; i < l; ++i) {
+    const int t = static_cast<int>(rng.below(region.size()));
+    if (!isDest[t]) {
+      isDest[t] = 1;
+      dests.push_back(t);
+    }
+  }
+  const SptResult spt = shortestPathTree(region, source, isDest);
+  const int src[] = {source};
+  const ForestCheck check =
+      checkShortestPathForest(region, spt.parent, src, dests);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST_P(SptRandomSeeds, SpspProducesAShortestPath) {
+  const std::uint64_t seed = GetParam();
+  const auto s = shapes::randomBlob(90, seed + 2000);
+  const Region region = Region::whole(s);
+  Rng rng(seed);
+  const int source = static_cast<int>(rng.below(region.size()));
+  int dest = static_cast<int>(rng.below(region.size()));
+  std::vector<char> isDest(region.size(), 0);
+  isDest[dest] = 1;
+  const SptResult spt = shortestPathTree(region, source, isDest);
+  // The forest must be exactly the path from dest to source.
+  const int src[] = {source};
+  const int dst[] = {dest};
+  const ForestCheck check =
+      checkShortestPathForest(region, spt.parent, src, dst);
+  EXPECT_TRUE(check.ok) << check.error;
+  // Path length = BFS distance; member count = distance + 1.
+  const auto dist = region.bfsDistancesLocal(src);
+  int memberCount = 0;
+  for (int u = 0; u < region.size(); ++u)
+    memberCount += spt.parent[u] != -2 ? 1 : 0;
+  EXPECT_EQ(memberCount, dist[dest] + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SptRandomSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15));
+
+TEST(Spt, SpspRoundsAreConstantInN) {
+  // Theorem 39 with l = 1: O(1) rounds, independent of n.
+  long maxRounds = 0;
+  for (const int radius : {4, 8, 16, 24}) {
+    const auto s = shapes::hexagon(radius);
+    const Region region = Region::whole(s);
+    std::vector<char> isDest(region.size(), 0);
+    const int source = region.localOf(s.idOf({-radius, 0}));
+    const int dest = region.localOf(s.idOf({radius, 0}));
+    isDest[dest] = 1;
+    const SptResult spt = shortestPathTree(region, source, isDest);
+    maxRounds = std::max(maxRounds, spt.rounds);
+  }
+  // The constant: a handful of O(1)-iteration primitives.
+  EXPECT_LE(maxRounds, 40);
+}
+
+TEST(Spt, SsspRoundsGrowLogarithmically) {
+  // Theorem 39 with l = n: O(log n) rounds.
+  std::vector<std::pair<int, long>> samples;
+  for (const int radius : {4, 8, 16, 32}) {
+    const auto s = shapes::hexagon(radius);
+    const Region region = Region::whole(s);
+    const std::vector<char> all(region.size(), 1);
+    const SptResult spt =
+        shortestPathTree(region, region.localOf(s.idOf({0, 0})), all);
+    samples.emplace_back(region.size(), spt.rounds);
+  }
+  for (const auto& [n, rounds] : samples) {
+    EXPECT_LE(rounds, 14 * bitWidth(static_cast<std::uint64_t>(n)) + 30)
+        << "n=" << n;
+  }
+  // And SSSP beats the BFS wave on large diameters.
+  const auto s = shapes::line(512);
+  const Region region = Region::whole(s);
+  const std::vector<char> all(region.size(), 1);
+  const SptResult spt = shortestPathTree(region, 0, all);
+  std::vector<int> allDest(region.size());
+  for (int i = 0; i < region.size(); ++i) allDest[i] = i;
+  const int src[] = {0};
+  const BfsWaveResult wave = bfsWaveForest(region, src, allDest);
+  EXPECT_LT(spt.rounds, wave.rounds / 4);
+}
+
+TEST(Spt, BfsWaveBaselineIsCorrect) {
+  Rng rng(5);
+  for (const auto& s : spfShapes()) {
+    const Region region = Region::whole(s);
+    const int source = static_cast<int>(rng.below(region.size()));
+    std::vector<int> dests;
+    for (int i = 0; i < 5; ++i)
+      dests.push_back(static_cast<int>(rng.below(region.size())));
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+    const int src[] = {source};
+    const BfsWaveResult wave = bfsWaveForest(region, src, dests);
+    const ForestCheck check =
+        checkShortestPathForest(region, wave.parent, src, dests);
+    EXPECT_TRUE(check.ok) << check.error;
+  }
+}
+
+TEST(Spt, SingleAmoebot) {
+  const auto s = shapes::line(1);
+  const Region region = Region::whole(s);
+  const std::vector<char> all(region.size(), 1);
+  const SptResult spt = shortestPathTree(region, 0, all);
+  EXPECT_EQ(spt.parent[0], -1);
+}
+
+}  // namespace
+}  // namespace aspf

@@ -1,0 +1,214 @@
+// Stress / property sweeps: the full algorithm stack across shape families,
+// splitting axes, source/destination densities and seeds. Every instance is
+// validated against exact BFS by the checker. These are the paper's
+// correctness theorems exercised as properties.
+#include <gtest/gtest.h>
+
+#include "baselines/checker.hpp"
+#include "shapes/generators.hpp"
+#include "spf/forest.hpp"
+#include "spf/spt.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+enum class Family { Parallelogram, Triangle, Hexagon, Comb, Staircase, Blob,
+                    Spider };
+
+AmoebotStructure makeShape(Family family, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (family) {
+    case Family::Parallelogram:
+      return shapes::parallelogram(6 + static_cast<int>(rng.below(12)),
+                                   3 + static_cast<int>(rng.below(6)));
+    case Family::Triangle:
+      return shapes::triangle(5 + static_cast<int>(rng.below(8)));
+    case Family::Hexagon:
+      return shapes::hexagon(2 + static_cast<int>(rng.below(4)));
+    case Family::Comb:
+      return shapes::comb(3 + static_cast<int>(rng.below(5)),
+                          3 + static_cast<int>(rng.below(8)), 2);
+    case Family::Staircase:
+      return shapes::staircase(2 + static_cast<int>(rng.below(4)),
+                               2 + static_cast<int>(rng.below(4)));
+    case Family::Blob:
+      return shapes::randomBlob(60 + static_cast<int>(rng.below(120)), seed);
+    case Family::Spider:
+      return shapes::randomSpider(3 + static_cast<int>(rng.below(3)),
+                                  15 + static_cast<int>(rng.below(20)), seed);
+  }
+  return shapes::line(5);
+}
+
+struct StressCase {
+  Family family;
+  std::uint64_t seed;
+};
+
+class StressMatrix : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(StressMatrix, ForestAcrossDensitiesAndAxes) {
+  const StressCase c = GetParam();
+  const auto s = makeShape(c.family, c.seed);
+  ASSERT_TRUE(s.isConnected());
+  ASSERT_TRUE(s.isHoleFree());
+  const Region region = Region::whole(s);
+  Rng rng(c.seed * 7919 + 13);
+
+  for (const double sourceDensity : {0.05, 0.3}) {
+    std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+    std::vector<int> sources, dests;
+    for (int u = 0; u < region.size(); ++u) {
+      if (rng.chance(sourceDensity)) {
+        isSource[u] = 1;
+        sources.push_back(u);
+      }
+      if (rng.chance(0.2)) {
+        isDest[u] = 1;
+        dests.push_back(u);
+      }
+    }
+    if (sources.empty()) {
+      isSource[0] = 1;
+      sources.push_back(0);
+    }
+    if (dests.empty()) {
+      const int t = region.size() - 1;
+      isDest[t] = 1;
+      dests.push_back(t);
+    }
+    const Axis axis = static_cast<Axis>(c.seed % 3);
+    const ForestResult forest =
+        shortestPathForest(region, isSource, isDest, 4, axis);
+    const ForestCheck check =
+        checkShortestPathForest(region, forest.parent, sources, dests);
+    EXPECT_TRUE(check.ok)
+        << check.error << " family=" << static_cast<int>(c.family)
+        << " seed=" << c.seed << " density=" << sourceDensity
+        << " axis=" << toString(axis);
+  }
+}
+
+TEST_P(StressMatrix, SsspFromExtremalAmoebots) {
+  const StressCase c = GetParam();
+  const auto s = makeShape(c.family, c.seed + 5000);
+  const Region region = Region::whole(s);
+  const std::vector<char> all(region.size(), 1);
+  std::vector<int> allIds(region.size());
+  for (int i = 0; i < region.size(); ++i) allIds[i] = i;
+  // Extremal sources stress the portal rooting: west-most and north-most.
+  int west = 0, north = 0;
+  for (int u = 0; u < region.size(); ++u) {
+    if (region.coordOf(u).cartX() < region.coordOf(west).cartX()) west = u;
+    if (region.coordOf(u).r > region.coordOf(north).r) north = u;
+  }
+  for (const int source : {west, north}) {
+    const SptResult spt = shortestPathTree(region, source, all);
+    const int src[] = {source};
+    const ForestCheck check =
+        checkShortestPathForest(region, spt.parent, src, allIds);
+    EXPECT_TRUE(check.ok) << check.error << " seed=" << c.seed;
+  }
+}
+
+std::vector<StressCase> allCases() {
+  std::vector<StressCase> cases;
+  for (const Family family :
+       {Family::Parallelogram, Family::Triangle, Family::Hexagon,
+        Family::Comb, Family::Staircase, Family::Blob, Family::Spider}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed)
+      cases.push_back({family, seed});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, StressMatrix,
+                         ::testing::ValuesIn(allCases()));
+
+TEST(Stress, SourcesOnASharedPortal) {
+  // All sources collinear on one portal: Q has a single portal, exercising
+  // the degenerate decomposition path.
+  const auto s = shapes::parallelogram(20, 8);
+  const Region region = Region::whole(s);
+  std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+  std::vector<int> sources, dests;
+  for (int q = 2; q < 18; q += 5) {
+    const int u = region.localOf(s.idOf({q, 4}));
+    isSource[u] = 1;
+    sources.push_back(u);
+  }
+  for (int q = 0; q < 20; q += 7) {
+    const int u = region.localOf(s.idOf({q, 0}));
+    isDest[u] = 1;
+    dests.push_back(u);
+  }
+  const ForestResult forest = shortestPathForest(region, isSource, isDest);
+  const ForestCheck check =
+      checkShortestPathForest(region, forest.parent, sources, dests);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Stress, AdjacentSources) {
+  // Sources packed next to each other: many ties, zero-size trees.
+  const auto s = shapes::hexagon(5);
+  const Region region = Region::whole(s);
+  std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+  std::vector<int> sources, dests;
+  for (const Coord c : {Coord{0, 0}, Coord{1, 0}, Coord{0, 1}, Coord{-1, 1}}) {
+    const int u = region.localOf(s.idOf(c));
+    isSource[u] = 1;
+    sources.push_back(u);
+  }
+  const int t = region.localOf(s.idOf({5, 0}));
+  isDest[t] = 1;
+  dests.push_back(t);
+  const ForestResult forest = shortestPathForest(region, isSource, isDest);
+  const ForestCheck check =
+      checkShortestPathForest(region, forest.parent, sources, dests);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Stress, DestinationEqualsSource) {
+  const auto s = shapes::triangle(7);
+  const Region region = Region::whole(s);
+  std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+  std::vector<int> sources{0, region.size() - 1};
+  for (const int u : sources) {
+    isSource[u] = 1;
+    isDest[u] = 1;  // destinations coincide with the sources
+  }
+  const ForestResult forest = shortestPathForest(region, isSource, isDest);
+  const ForestCheck check =
+      checkShortestPathForest(region, forest.parent, sources, sources);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Stress, LongThinLineManySources) {
+  const auto s = shapes::line(300);
+  const Region region = Region::whole(s);
+  Rng rng(31337);
+  std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+  std::vector<int> sources, dests;
+  for (int i = 0; i < 12; ++i) {
+    const int u = static_cast<int>(rng.below(region.size()));
+    if (!isSource[u]) {
+      isSource[u] = 1;
+      sources.push_back(u);
+    }
+  }
+  for (int i = 0; i < 30; ++i) {
+    const int u = static_cast<int>(rng.below(region.size()));
+    if (!isDest[u]) {
+      isDest[u] = 1;
+      dests.push_back(u);
+    }
+  }
+  const ForestResult forest = shortestPathForest(region, isSource, isDest);
+  const ForestCheck check =
+      checkShortestPathForest(region, forest.parent, sources, dests);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+}  // namespace
+}  // namespace aspf

@@ -1,0 +1,178 @@
+// AmoebotStructure and Region tests: adjacency, connectivity, hole
+// detection, BFS distances, induced subregions.
+#include <gtest/gtest.h>
+
+#include "shapes/generators.hpp"
+#include "sim/region.hpp"
+#include "sim/structure.hpp"
+
+namespace aspf {
+namespace {
+
+TEST(Structure, SingleAmoebot) {
+  const auto s = AmoebotStructure::fromCoords({{0, 0}});
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.isConnected());
+  EXPECT_TRUE(s.isHoleFree());
+  for (Dir d : kAllDirs) EXPECT_EQ(s.neighbor(0, d), -1);
+}
+
+TEST(Structure, DuplicateCoordinateThrows) {
+  EXPECT_THROW(AmoebotStructure::fromCoords({{0, 0}, {1, 0}, {0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Structure, NeighborSymmetry) {
+  const auto s = shapes::hexagon(3);
+  for (int u = 0; u < s.size(); ++u) {
+    for (Dir d : kAllDirs) {
+      const int v = s.neighbor(u, d);
+      if (v >= 0) EXPECT_EQ(s.neighbor(v, opposite(d)), u);
+    }
+  }
+}
+
+TEST(Structure, HexagonIsConnectedAndHoleFree) {
+  const auto s = shapes::hexagon(4);
+  EXPECT_EQ(s.size(), 3 * 4 * 5 + 1);
+  EXPECT_TRUE(s.isConnected());
+  EXPECT_TRUE(s.isHoleFree());
+}
+
+TEST(Structure, RingHasAHole) {
+  // A hexagon ring of radius 2 (hexagon minus its center and inner ring
+  // kept): build radius-2 hexagon boundary only.
+  const auto hex = shapes::hexagon(2);
+  std::vector<Coord> boundary;
+  for (const Coord c : hex.coords()) {
+    const int m = std::max({std::abs(c.q), std::abs(c.r), std::abs(c.q + c.r)});
+    if (m == 2) boundary.push_back(c);
+  }
+  const auto ring = AmoebotStructure::fromCoords(std::move(boundary));
+  EXPECT_TRUE(ring.isConnected());
+  EXPECT_FALSE(ring.isHoleFree());
+}
+
+TEST(Structure, DisconnectedDetected) {
+  const auto s = AmoebotStructure::fromCoords({{0, 0}, {5, 0}});
+  EXPECT_FALSE(s.isConnected());
+}
+
+TEST(Structure, BfsDistancesOnLine) {
+  const auto s = shapes::line(10);
+  const int src[] = {s.idOf({0, 0})};
+  const auto dist = s.bfsDistances(src);
+  for (int q = 0; q < 10; ++q) EXPECT_EQ(dist[s.idOf({q, 0})], q);
+}
+
+TEST(Structure, MultiSourceBfs) {
+  const auto s = shapes::line(10);
+  const int src[] = {s.idOf({0, 0}), s.idOf({9, 0})};
+  const auto dist = s.bfsDistances(src);
+  for (int q = 0; q < 10; ++q)
+    EXPECT_EQ(dist[s.idOf({q, 0})], std::min(q, 9 - q));
+}
+
+TEST(Structure, EccentricityOfLineEnd) {
+  const auto s = shapes::line(17);
+  EXPECT_EQ(s.eccentricity(s.idOf({0, 0})), 16);
+}
+
+TEST(Structure, BfsMatchesGridDistanceOnConvexShape) {
+  // On a hexagon (a convex, hole-free shape) graph distance equals grid
+  // distance.
+  const auto s = shapes::hexagon(3);
+  const int center = s.idOf({0, 0});
+  const int src[] = {center};
+  const auto dist = s.bfsDistances(src);
+  for (int i = 0; i < s.size(); ++i)
+    EXPECT_EQ(dist[i], gridDistance(s.coordOf(i), s.coordOf(center)));
+}
+
+TEST(Region, WholeRegionMirrorsStructure) {
+  const auto s = shapes::parallelogram(4, 3);
+  const Region r = Region::whole(s);
+  EXPECT_EQ(r.size(), s.size());
+  for (int i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r.globalId(i), i);
+    EXPECT_EQ(r.localOf(i), i);
+    for (Dir d : kAllDirs)
+      EXPECT_EQ(r.neighbor(i, d), s.neighbor(i, d));
+  }
+}
+
+TEST(Region, SubRegionInducedAdjacency) {
+  const auto s = shapes::parallelogram(5, 1);  // a line of 5
+  // Take the first three amoebots.
+  std::vector<int> ids = {s.idOf({0, 0}), s.idOf({1, 0}), s.idOf({2, 0})};
+  const Region r = Region::of(s, ids);
+  EXPECT_EQ(r.size(), 3);
+  const int l2 = r.localOf(s.idOf({2, 0}));
+  // Amoebot at (2,0) has an east neighbor in the structure but not in the
+  // region.
+  EXPECT_EQ(r.neighbor(l2, Dir::E), -1);
+  EXPECT_GE(r.neighbor(l2, Dir::W), 0);
+  EXPECT_TRUE(r.isConnectedInduced());
+}
+
+TEST(Region, DisconnectedSubRegion) {
+  const auto s = shapes::line(5);
+  const Region r = Region::of(s, {s.idOf({0, 0}), s.idOf({4, 0})});
+  EXPECT_FALSE(r.isConnectedInduced());
+}
+
+TEST(Region, LocalBfs) {
+  const auto s = shapes::parallelogram(6, 2);
+  std::vector<int> ids;
+  for (int q = 0; q < 6; ++q) ids.push_back(s.idOf({q, 0}));
+  const Region r = Region::of(s, ids);
+  const int src[] = {r.localOf(s.idOf({0, 0}))};
+  const auto dist = r.bfsDistancesLocal(src);
+  for (int q = 0; q < 6; ++q)
+    EXPECT_EQ(dist[r.localOf(s.idOf({q, 0}))], q);
+}
+
+TEST(Shapes, GeneratorsProduceHoleFreeConnectedStructures) {
+  const AmoebotStructure cases[] = {
+      shapes::parallelogram(7, 4), shapes::triangle(6),  shapes::hexagon(3),
+      shapes::line(12),            shapes::comb(4, 5, 2), shapes::staircase(4, 3),
+  };
+  for (const auto& s : cases) {
+    EXPECT_TRUE(s.isConnected());
+    EXPECT_TRUE(s.isHoleFree());
+    EXPECT_GT(s.size(), 0);
+  }
+}
+
+TEST(Shapes, RandomBlobsAreHoleFreeAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto s = shapes::randomBlob(150, seed);
+    EXPECT_GE(s.size(), 150);
+    EXPECT_TRUE(s.isConnected()) << "seed " << seed;
+    EXPECT_TRUE(s.isHoleFree()) << "seed " << seed;
+  }
+}
+
+TEST(Shapes, RandomSpidersAreHoleFreeAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto s = shapes::randomSpider(4, 30, seed);
+    EXPECT_TRUE(s.isConnected()) << "seed " << seed;
+    EXPECT_TRUE(s.isHoleFree()) << "seed " << seed;
+  }
+}
+
+TEST(Shapes, FillHolesFillsAnEnclosedPocket) {
+  // A radius-2 hexagon ring; fillHoles must add the interior.
+  const auto hex = shapes::hexagon(2);
+  std::vector<Coord> boundary;
+  for (const Coord c : hex.coords()) {
+    const int m = std::max({std::abs(c.q), std::abs(c.r), std::abs(c.q + c.r)});
+    if (m == 2) boundary.push_back(c);
+  }
+  const auto filled = shapes::fillHoles(boundary);
+  EXPECT_TRUE(filled.isHoleFree());
+  EXPECT_EQ(filled.size(), shapes::hexagon(2).size());
+}
+
+}  // namespace
+}  // namespace aspf

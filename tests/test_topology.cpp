@@ -1,0 +1,124 @@
+// Hole detection tests (library extension; the paper's algorithms require
+// hole-freeness and its conclusion leaves holes as future work): the
+// boundary-circuit construction must produce exactly one circuit for
+// hole-free structures and one extra circuit per hole, and the O(1)-round
+// protocol must classify structures correctly across shapes and seeds.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "shapes/generators.hpp"
+#include "topology/hole_detection.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+AmoebotStructure withHoles(int width, int height,
+                           const std::vector<Coord>& holes) {
+  std::vector<Coord> coords;
+  std::unordered_set<Coord, CoordHash> banned(holes.begin(), holes.end());
+  for (int r = 0; r < height; ++r) {
+    for (int q = 0; q < width; ++q) {
+      if (!banned.contains({q, r})) coords.push_back({q, r});
+    }
+  }
+  return AmoebotStructure::fromCoords(std::move(coords));
+}
+
+TEST(HoleDetection, HoleFreeShapesPass) {
+  const AmoebotStructure shapes[] = {
+      shapes::parallelogram(8, 5), shapes::triangle(7), shapes::hexagon(4),
+      shapes::comb(4, 5, 2),       shapes::line(12),    shapes::staircase(3, 4),
+  };
+  for (const auto& s : shapes) {
+    const Region region = Region::whole(s);
+    const HoleDetectionResult res = detectHoles(region);
+    EXPECT_TRUE(res.holeFree) << "n=" << s.size();
+    EXPECT_EQ(res.boundaryCircuits, 1);
+    EXPECT_TRUE(res.holeWitnesses.empty());
+    EXPECT_LE(res.rounds, 2);
+  }
+}
+
+TEST(HoleDetection, SingleHoleDetected) {
+  const auto s = withHoles(7, 7, {{3, 3}});
+  ASSERT_TRUE(s.isConnected());
+  ASSERT_FALSE(s.isHoleFree());
+  const Region region = Region::whole(s);
+  const HoleDetectionResult res = detectHoles(region);
+  EXPECT_FALSE(res.holeFree);
+  EXPECT_EQ(res.boundaryCircuits, 2);
+  EXPECT_FALSE(res.holeWitnesses.empty());
+  // Every witness must be adjacent to the hole cell.
+  for (const int u : res.holeWitnesses)
+    EXPECT_EQ(gridDistance(region.coordOf(u), {3, 3}), 1);
+}
+
+TEST(HoleDetection, MultipleHolesCounted) {
+  const auto s = withHoles(11, 7, {{2, 3}, {5, 3}, {8, 3}});
+  ASSERT_FALSE(s.isHoleFree());
+  const Region region = Region::whole(s);
+  const HoleDetectionResult res = detectHoles(region);
+  EXPECT_FALSE(res.holeFree);
+  EXPECT_EQ(res.boundaryCircuits, 4);  // outer + 3 holes
+}
+
+TEST(HoleDetection, BigHole) {
+  // A 2x2-ish cavity.
+  const auto s = withHoles(9, 8, {{3, 3}, {4, 3}, {3, 4}, {4, 4}});
+  ASSERT_FALSE(s.isHoleFree());
+  const HoleDetectionResult res = detectHoles(Region::whole(s));
+  EXPECT_FALSE(res.holeFree);
+  EXPECT_EQ(res.boundaryCircuits, 2);
+}
+
+TEST(HoleDetection, AgreesWithCentralizedCheckOnRandomStructures) {
+  // Random growth *without* hole filling: some seeds produce holes, some do
+  // not; the distributed detector must agree with the centralized check.
+  Rng rng(2718);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Random connected structure: random growth.
+    std::unordered_set<Coord, CoordHash> set{{0, 0}};
+    std::vector<Coord> frontier{{0, 0}};
+    const int target = 40 + static_cast<int>(rng.below(60));
+    while (static_cast<int>(set.size()) < target) {
+      const Coord base = frontier[rng.below(frontier.size())];
+      const Coord next =
+          base.neighbor(static_cast<Dir>(rng.below(6)));
+      if (set.insert(next).second) frontier.push_back(next);
+    }
+    std::vector<Coord> coords(set.begin(), set.end());
+    std::sort(coords.begin(), coords.end());
+    const auto s = AmoebotStructure::fromCoords(std::move(coords));
+    const Region region = Region::whole(s);
+    const HoleDetectionResult res = detectHoles(region);
+    EXPECT_EQ(res.holeFree, s.isHoleFree()) << "trial " << trial;
+    EXPECT_EQ(res.holeFree, res.boundaryCircuits <= 1);
+  }
+}
+
+TEST(HoleDetection, BoundaryWiringLocalRule) {
+  // Interior amoebots form no boundary sets; corner amoebots of a line
+  // form exactly one (wrap-around); middle line amoebots form two (north
+  // and south sides).
+  const auto hexS = shapes::hexagon(2);
+  const Region hexRegion = Region::whole(hexS);
+  const int center = hexRegion.localOf(hexS.idOf({0, 0}));
+  EXPECT_TRUE(boundaryPartitionSets(hexRegion, center).empty());
+
+  const auto lineS = shapes::line(5);
+  const Region lineRegion = Region::whole(lineS);
+  EXPECT_EQ(boundaryPartitionSets(lineRegion, 0).size(), 1u);
+  const int mid = lineRegion.localOf(lineS.idOf({2, 0}));
+  EXPECT_EQ(boundaryPartitionSets(lineRegion, mid).size(), 2u);
+}
+
+TEST(HoleDetection, SingleAmoebotTrivial) {
+  const auto s = shapes::line(1);
+  const HoleDetectionResult res = detectHoles(Region::whole(s));
+  EXPECT_TRUE(res.holeFree);
+}
+
+}  // namespace
+}  // namespace aspf

@@ -1,0 +1,172 @@
+// Utility-layer tests: PRNG determinism and distribution sanity, streaming
+// bit arithmetic (the O(1)-state comparators the amoebots rely on), table
+// formatting, and the ASCII renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "shapes/generators.hpp"
+#include "util/bitstream.hpp"
+#include "util/render.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace aspf {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::array<int, 10> seen{};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++seen[v];
+  }
+  for (const int count : seen) EXPECT_GT(count, 40);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    sawLo = sawLo || v == -3;
+    sawHi = sawHi || v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);
+}
+
+TEST(Bits, FloorLog2AndBitWidth) {
+  EXPECT_EQ(floorLog2(1), 0);
+  EXPECT_EQ(floorLog2(2), 1);
+  EXPECT_EQ(floorLog2(3), 1);
+  EXPECT_EQ(floorLog2(1024), 10);
+  EXPECT_EQ(bitWidth(0), 1);
+  EXPECT_EQ(bitWidth(1), 1);
+  EXPECT_EQ(bitWidth(2), 2);
+  EXPECT_EQ(bitWidth(255), 8);
+  EXPECT_EQ(bitWidth(256), 9);
+}
+
+TEST(Bits, StreamCompareLsbFirst) {
+  // Compare pairs of values by feeding bits LSB first.
+  const std::uint64_t cases[][2] = {{0, 0},   {1, 0},    {0, 1},  {5, 5},
+                                    {6, 9},   {9, 6},    {7, 8},  {255, 256},
+                                    {1024, 1023}};
+  for (const auto& c : cases) {
+    StreamCompare cmp;
+    for (int t = 0; t < 12; ++t)
+      cmp.feed((c[0] >> t) & 1, (c[1] >> t) & 1);
+    if (c[0] == c[1]) EXPECT_TRUE(cmp.equal());
+    if (c[0] < c[1]) EXPECT_TRUE(cmp.less());
+    if (c[0] > c[1]) EXPECT_TRUE(cmp.greater());
+    EXPECT_EQ(cmp.lessEqual(), c[0] <= c[1]);
+  }
+}
+
+TEST(Bits, StreamSubtractMatchesIntegerSubtraction) {
+  for (std::uint64_t a = 0; a < 20; ++a) {
+    for (std::uint64_t b = 0; b < 20; ++b) {
+      StreamSubtract sub;
+      BitAccumulator acc;
+      for (int t = 0; t < 8; ++t)
+        acc.feed(sub.feed((a >> t) & 1, (b >> t) & 1));
+      if (a >= b) {
+        EXPECT_FALSE(sub.negative());
+        EXPECT_EQ(acc.value(), a - b);
+      } else {
+        EXPECT_TRUE(sub.negative());
+        // Two's complement within 8 bits.
+        EXPECT_EQ(acc.value(), (a - b) & 0xff);
+      }
+    }
+  }
+}
+
+TEST(Bits, AccumulatorRoundTrips) {
+  BitAccumulator acc;
+  const std::uint64_t v = 0b1011001;
+  for (int t = 0; t < 7; ++t) acc.feed((v >> t) & 1);
+  EXPECT_EQ(acc.value(), v);
+  EXPECT_EQ(acc.bitsSeen(), 7);
+  acc.reset();
+  EXPECT_EQ(acc.value(), 0u);
+}
+
+TEST(Table, FormatsAlignedColumnsAndCsv) {
+  Table table({"name", "value"});
+  table.add("alpha", 1);
+  table.add("b", 23.5);
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("| alpha | 1      |"), std::string::npos);
+  EXPECT_NE(text.find("+-------+--------+"), std::string::npos);
+  std::ostringstream csv;
+  table.printCsv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1\nb,23.500\n");
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Render, StructureRenderingHasOneGlyphPerAmoebot) {
+  const auto s = shapes::triangle(4);
+  const std::string art = renderStructure(s);
+  int stars = 0;
+  for (const char c : art) stars += c == '*' ? 1 : 0;
+  EXPECT_EQ(stars, s.size());
+}
+
+TEST(Render, ForestRenderingMarksSourcesAndDestinations) {
+  const auto s = shapes::line(5);
+  std::vector<int> parent(s.size(), -2);
+  std::vector<char> isSource(s.size(), 0), isDest(s.size(), 0);
+  const int src = s.idOf({0, 0}), dst = s.idOf({4, 0});
+  isSource[src] = 1;
+  isDest[dst] = 1;
+  parent[src] = -1;
+  for (int q = 1; q <= 4; ++q)
+    parent[s.idOf({q, 0})] = s.idOf({q - 1, 0});
+  const std::string art = renderForest(s, parent, isSource, isDest);
+  EXPECT_NE(art.find('S'), std::string::npos);
+  EXPECT_NE(art.find('D'), std::string::npos);
+  EXPECT_NE(art.find('<'), std::string::npos);  // westward arrows
+}
+
+TEST(Render, RegionGlyphCallback) {
+  const auto s = shapes::line(3);
+  const Region region = Region::whole(s);
+  const std::string art =
+      renderRegion(region, [](int i) { return static_cast<char>('a' + i); });
+  EXPECT_NE(art.find('a'), std::string::npos);
+  EXPECT_NE(art.find('c'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aspf
