@@ -18,6 +18,9 @@ NaiveForestResult naiveSequentialForest(const Region& region,
     if (isSource[u]) sources.push_back(u);
   if (sources.empty())
     throw std::invalid_argument("naiveSequentialForest: no sources");
+  if (!region.isConnectedInduced())
+    throw std::invalid_argument(
+        "naiveSequentialForest: region is disconnected");
 
   NaiveForestResult result;
   const std::vector<char> all(n, 1);

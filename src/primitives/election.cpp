@@ -16,7 +16,6 @@ std::uint8_t primaryLane(Dir travel) noexcept {
 ElectionResult electFromQ(Comm& comm, const EulerTour& tour,
                           std::span<const char> inQ) {
   ElectionResult result;
-  const Region& region = comm.region();
 
   if (tour.edgeCount() == 0) {
     if (tour.root < 0 || !inQ[tour.root])

@@ -137,6 +137,8 @@ ForestResult shortestPathForest(const Region& region,
     if (isSource[u]) sources.push_back(u);
   if (sources.empty())
     throw std::invalid_argument("shortestPathForest: no sources");
+  if (!region.isConnectedInduced())
+    throw std::invalid_argument("shortestPathForest: region is disconnected");
 
   ForestResult result;
 

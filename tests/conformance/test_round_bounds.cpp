@@ -1,0 +1,115 @@
+// Round-scaling conformance: pins the *asymptotic shape* of each
+// algorithm's round count on deterministic instance families, so a
+// regression that silently degrades the polylog behaviour (the paper's
+// whole point) fails loudly even while the forests stay correct.
+//
+//   - polylog forest (Theorem 56): O(log n log^2 k) -- must grow
+//     additively-logarithmically along a line family and sublinearly in k;
+//   - beep-wave baseline: Theta(eccentricity(S)) -- the information-flow
+//     lower bound without long-range circuits;
+//   - naive sequential baseline: O(k log n) -- linear in k.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/bfs_wave.hpp"
+#include "baselines/naive_forest.hpp"
+#include "shapes/generators.hpp"
+#include "spf/forest.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+struct LineRun {
+  long polylog = 0;
+  long wave = 0;
+  int ecc = 0;
+};
+
+LineRun runLine(int n) {
+  const auto s = shapes::line(n);
+  const Region region = Region::whole(s);
+  std::vector<char> isSource(n, 0), isDest(n, 0);
+  const std::vector<int> sources{0, n / 3};
+  const std::vector<int> dests{n - 1, n / 2};
+  for (const int u : sources) isSource[u] = 1;
+  for (const int u : dests) isDest[u] = 1;
+  LineRun run;
+  run.polylog = shortestPathForest(region, isSource, isDest).rounds;
+  run.wave = bfsWaveForest(region, sources, dests).rounds;
+  const std::vector<int> dist = region.bfsDistancesLocal(sources);
+  run.ecc = *std::max_element(dist.begin(), dist.end());
+  return run;
+}
+
+TEST(RoundBounds, PolylogIsLogarithmicOnLineFamily) {
+  // Doubling n three times adds O(1) * log-factor rounds to the polylog
+  // algorithm while the wave baseline doubles each time.
+  const LineRun small = runLine(128);
+  const LineRun large = runLine(1024);
+  // 3 doublings: each may add a constant number of rounds per log-level.
+  EXPECT_LE(large.polylog, small.polylog + 32)
+      << "polylog rounds jumped from " << small.polylog << " (n=128) to "
+      << large.polylog << " (n=1024): no longer logarithmic in n";
+  EXPECT_GE(large.wave, 2 * small.wave)
+      << "wave baseline stopped paying the diameter -- accounting broken?";
+}
+
+TEST(RoundBounds, PolylogBeatsWaveOnHighDiameterInstances) {
+  // The exponential separation the paper claims, visible at n = 1024:
+  // the circuit algorithm needs ~50 rounds where the wave needs ~1400.
+  const LineRun run = runLine(1024);
+  EXPECT_GT(run.wave, 8 * run.polylog)
+      << "wave=" << run.wave << " polylog=" << run.polylog;
+}
+
+TEST(RoundBounds, WaveTracksEccentricity) {
+  // The baseline is honest: wave + convergecast prune cost between ecc(S)
+  // and 2 * ecc(S) + O(1) rounds.
+  for (const int n : {128, 256, 512}) {
+    const LineRun run = runLine(n);
+    EXPECT_GE(run.wave, run.ecc) << "n=" << n;
+    EXPECT_LE(run.wave, 2 * run.ecc + 8) << "n=" << n;
+  }
+}
+
+TEST(RoundBounds, NaiveLinearInKPolylogSublinear) {
+  // On a hexagon, grow k by 8x: the naive sequential baseline (one SPT +
+  // merge per source) must scale ~linearly; the divide & conquer algorithm
+  // far slower. Instances are seeded and nested (k=2 sources are a subset
+  // of the k=16 sources).
+  const auto s = shapes::hexagon(8);
+  const Region region = Region::whole(s);
+  std::vector<int> sourcePool;
+  {
+    Rng rng(99);
+    std::vector<char> seen(region.size(), 0);
+    while (static_cast<int>(sourcePool.size()) < 16) {
+      const int u = static_cast<int>(rng.below(region.size()));
+      if (!seen[u]) {
+        seen[u] = 1;
+        sourcePool.push_back(u);
+      }
+    }
+  }
+  auto runAt = [&](int k) {
+    std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+    for (int i = 0; i < k; ++i) isSource[sourcePool[i]] = 1;
+    isDest[0] = 1;
+    return std::pair<long, long>{
+        naiveSequentialForest(region, isSource, isDest).rounds,
+        shortestPathForest(region, isSource, isDest).rounds};
+  };
+  const auto [naive2, poly2] = runAt(2);
+  const auto [naive16, poly16] = runAt(16);
+  EXPECT_GE(naive16, 6 * naive2)
+      << "naive should pay ~8x for 8x the sources (k log n)";
+  EXPECT_LE(poly16, 4 * poly2)
+      << "polylog rounds grew near-linearly in k: log^2 k regression";
+  EXPECT_LT(poly16, naive16)
+      << "divide & conquer lost to the naive baseline at k=16";
+}
+
+}  // namespace
+}  // namespace aspf

@@ -76,24 +76,38 @@ TEST(Checker, DetectsUncoveredDestination) {
 }
 
 TEST(Checker, DetectsNonShortestPath) {
-  Fixture f;
-  // Re-root a destination through a detour: replace its parent with a
-  // neighbor at equal-or-greater BFS distance.
-  const ReferenceDistances ref = multiSourceBfs(f.region, f.sources);
-  for (const int t : f.dests) {
-    for (Dir d : kAllDirs) {
-      const int v = f.region.neighbor(t, d);
-      if (v >= 0 && ref.dist[v] >= ref.dist[t] && f.parent[v] != -2 &&
-          f.parent[v] != t && v != t) {
-        f.parent[t] = v;
-        const ForestCheck check =
-            checkShortestPathForest(f.region, f.parent, f.sources, f.dests);
-        EXPECT_FALSE(check.ok);
-        return;
-      }
-    }
-  }
-  GTEST_SKIP() << "no detour neighbor available";
+  // Hand-built instance where only property 5 (shortest paths) is violated:
+  // source (0,0), destination (4,0) at distance 4, routed over the length-5
+  // detour (4,0)->(3,1)->(2,1)->(1,1)->(0,1)->(0,0). Every node on the
+  // detour except the destination is at its own shortest distance, so trees,
+  // leaves, disjointness and coverage all still hold.
+  const AmoebotStructure s = shapes::parallelogram(5, 2);
+  const Region region = Region::whole(s);
+  const std::vector<int> sources{s.idOf({0, 0})};
+  const std::vector<int> dests{s.idOf({4, 0})};
+  std::vector<int> parent(region.size(), -2);
+  parent[s.idOf({0, 0})] = -1;
+  parent[s.idOf({4, 0})] = s.idOf({3, 1});
+  parent[s.idOf({3, 1})] = s.idOf({2, 1});
+  parent[s.idOf({2, 1})] = s.idOf({1, 1});
+  parent[s.idOf({1, 1})] = s.idOf({0, 1});
+  parent[s.idOf({0, 1})] = s.idOf({0, 0});
+
+  const ForestCheck check =
+      checkShortestPathForest(region, parent, sources, dests);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("depth"), std::string::npos) << check.error;
+
+  // The same tree rerouted along the bottom row is a valid forest.
+  parent.assign(region.size(), -2);
+  parent[s.idOf({0, 0})] = -1;
+  parent[s.idOf({4, 0})] = s.idOf({3, 0});
+  parent[s.idOf({3, 0})] = s.idOf({2, 0});
+  parent[s.idOf({2, 0})] = s.idOf({1, 0});
+  parent[s.idOf({1, 0})] = s.idOf({0, 0});
+  const ForestCheck valid =
+      checkShortestPathForest(region, parent, sources, dests);
+  EXPECT_TRUE(valid.ok) << valid.error;
 }
 
 TEST(Checker, DetectsLeafThatIsNeitherSourceNorDestination) {

@@ -93,7 +93,9 @@ TEST(EulerTour, InstanceLookupTablesAreConsistent) {
         EXPECT_EQ(tour.outDir[out], static_cast<Dir>(d));
       }
       const int in = tour.instanceAfterInEdge[u][d];
-      if (in >= 0) EXPECT_EQ(tour.stops[in], u);
+      if (in >= 0) {
+        EXPECT_EQ(tour.stops[in], u);
+      }
     }
   }
 }

@@ -3,6 +3,7 @@
 // checker on randomized shapes, sources and destinations; round scaling.
 #include <gtest/gtest.h>
 
+#include "baselines/bfs_wave.hpp"
 #include "baselines/checker.hpp"
 #include "baselines/naive_forest.hpp"
 #include "core/amoebot_spf.hpp"
@@ -120,6 +121,92 @@ TEST(Forest, AllAmoebotsSources) {
   const ForestResult forest = shortestPathForest(region, all, all);
   const ForestCheck check =
       checkShortestPathForest(region, forest.parent, allIds, allIds);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Forest, ThrowsWithoutSources) {
+  // k = 0 is not a valid (k,l)-SPF instance: both forest algorithms refuse
+  // it up front; the beep-wave baseline degenerates to the empty forest.
+  const auto s = shapes::line(5);
+  const Region region = Region::whole(s);
+  const std::vector<char> none(region.size(), 0), all(region.size(), 1);
+  EXPECT_THROW(shortestPathForest(region, none, all), std::invalid_argument);
+  EXPECT_THROW(naiveSequentialForest(region, none, all),
+               std::invalid_argument);
+  const BfsWaveResult wave = bfsWaveForest(region, {}, {});
+  EXPECT_EQ(wave.rounds, 0);
+  for (const int p : wave.parent) EXPECT_EQ(p, -2);
+}
+
+TEST(Forest, SingleAmoebot) {
+  // n = 1, S = D = {0}: the forest is the trivial tree, zero rounds of
+  // communication needed, and all three algorithms agree.
+  const auto s = shapes::line(1);
+  const Region region = Region::whole(s);
+  const std::vector<char> one(1, 1);
+  const std::vector<int> ids{0};
+
+  const ForestResult forest = shortestPathForest(region, one, one);
+  EXPECT_EQ(forest.parent, std::vector<int>{-1});
+  EXPECT_EQ(forest.rounds, 0);
+  EXPECT_TRUE(checkShortestPathForest(region, forest.parent, ids, ids).ok);
+
+  const NaiveForestResult naive = naiveSequentialForest(region, one, one);
+  EXPECT_EQ(naive.parent, std::vector<int>{-1});
+
+  const BfsWaveResult wave = bfsWaveForest(region, ids, ids);
+  EXPECT_EQ(wave.parent, std::vector<int>{-1});
+}
+
+TEST(Forest, AllSourcesAgreeAcrossAlgorithms) {
+  // S = D = X: every amoebot is its own root; the forest is k singleton
+  // trees whatever the algorithm.
+  const auto s = shapes::hexagon(3);
+  const Region region = Region::whole(s);
+  const std::vector<char> all(region.size(), 1);
+  std::vector<int> allIds(region.size());
+  for (int i = 0; i < region.size(); ++i) allIds[i] = i;
+
+  const ForestResult forest = shortestPathForest(region, all, all);
+  const NaiveForestResult naive = naiveSequentialForest(region, all, all);
+  const BfsWaveResult wave = bfsWaveForest(region, allIds, allIds);
+  for (int u = 0; u < region.size(); ++u) {
+    EXPECT_EQ(forest.parent[u], -1) << "node " << u;
+    EXPECT_EQ(naive.parent[u], -1) << "node " << u;
+    EXPECT_EQ(wave.parent[u], -1) << "node " << u;
+  }
+}
+
+TEST(Forest, RejectsDisconnectedRegion) {
+  // A region whose induced subgraph is disconnected is rejected up front
+  // (previously this surfaced as an internal SPT failure mid-protocol).
+  const auto s = shapes::line(10);
+  const Region region = Region::of(s, {0, 1, 2, 7, 8, 9});
+  ASSERT_FALSE(region.isConnectedInduced());
+  std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+  isSource[0] = 1;
+  isDest[region.size() - 1] = 1;
+  EXPECT_THROW(shortestPathForest(region, isSource, isDest),
+               std::invalid_argument);
+  EXPECT_THROW(naiveSequentialForest(region, isSource, isDest),
+               std::invalid_argument);
+}
+
+TEST(Forest, ScatteredDestinationSet) {
+  // A destination set that is itself disconnected (isolated far-apart
+  // corners) is a perfectly valid instance: D never needs to be connected.
+  const auto s = shapes::parallelogram(14, 5);
+  const Region region = Region::whole(s);
+  std::vector<char> isSource(region.size(), 0), isDest(region.size(), 0);
+  const std::vector<int> sources{region.localOf(s.idOf({7, 2}))};
+  const std::vector<int> dests{
+      region.localOf(s.idOf({0, 0})), region.localOf(s.idOf({13, 0})),
+      region.localOf(s.idOf({0, 4})), region.localOf(s.idOf({13, 4}))};
+  for (const int u : sources) isSource[u] = 1;
+  for (const int u : dests) isDest[u] = 1;
+  const ForestResult forest = shortestPathForest(region, isSource, isDest);
+  const ForestCheck check =
+      checkShortestPathForest(region, forest.parent, sources, dests);
   EXPECT_TRUE(check.ok) << check.error;
 }
 

@@ -257,7 +257,9 @@ TEST_P(PortalPrimitiveSeeds, RootPruneMatchesPortalGraphBfs) {
   for (int p = 0; p < portals; ++p) {
     EXPECT_EQ(static_cast<bool>(got.portalInVQ[p]), qInSubtree[p] > 0)
         << "portal " << p;
-    if (qInSubtree[p] > 0) EXPECT_EQ(got.parentPortal[p], par[p]);
+    if (qInSubtree[p] > 0) {
+      EXPECT_EQ(got.parentPortal[p], par[p]);
+    }
   }
   // Augmentation definition: degree within the pruned tree.
   for (int p = 0; p < portals; ++p) {

@@ -114,7 +114,9 @@ TEST_P(PrimitiveSeeds, RootPruneMatchesReference) {
   for (int u = 0; u < region.size(); ++u) {
     EXPECT_EQ(static_cast<bool>(got.inVQ[u]), static_cast<bool>(ref.inVQ[u]))
         << "node " << u;
-    if (ref.inVQ[u]) EXPECT_EQ(got.parent[u], ref.parent[u]) << "node " << u;
+    if (ref.inVQ[u]) {
+      EXPECT_EQ(got.parent[u], ref.parent[u]) << "node " << u;
+    }
   }
 }
 

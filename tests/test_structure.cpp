@@ -27,7 +27,9 @@ TEST(Structure, NeighborSymmetry) {
   for (int u = 0; u < s.size(); ++u) {
     for (Dir d : kAllDirs) {
       const int v = s.neighbor(u, d);
-      if (v >= 0) EXPECT_EQ(s.neighbor(v, opposite(d)), u);
+      if (v >= 0) {
+        EXPECT_EQ(s.neighbor(v, opposite(d)), u);
+      }
     }
   }
 }
