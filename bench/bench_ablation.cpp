@@ -10,17 +10,21 @@
 namespace aspf {
 namespace {
 
+using scenario::Shape;
+
 void tableAblation() {
   bench::printHeader("E9",
                      "naive O(k log n) vs divide & conquer O(log n log^2 k)");
-  const auto s = shapes::hexagon(12);  // n = 469
+  // Controlled series: structure and the 16-destination set (seed 77)
+  // stay fixed across rows so the naive/D&C ratio isolates k.
+  const auto s = bench::workloadShape(Shape::Hexagon, 12);  // n = 469
   const Region region = Region::whole(s);
+  const auto dests = bench::pickDistinct(region, 16, 77);
+  const auto isDest = bench::flags(region, dests);
   Table table({"n", "k", "naive rounds", "D&C rounds", "naive/D&C"});
   for (const int k : {2, 4, 8, 16, 32, 64}) {
     const auto sources = bench::pickDistinct(region, k, 10 + k);
-    const auto dests = bench::pickDistinct(region, 16, 77);
     const auto isSource = bench::flags(region, sources);
-    const auto isDest = bench::flags(region, dests);
 
     const NaiveForestResult naive =
         naiveSequentialForest(region, isSource, isDest);
@@ -41,27 +45,23 @@ void tableAxisChoice() {
   bench::printHeader("E9b",
                      "ablation: splitting-axis choice in the D&C algorithm "
                      "(the paper fixes one w.l.o.g.)");
-  Table table({"shape", "k", "axis x", "axis y", "axis z"});
-  auto run = [&](const char* name, const AmoebotStructure& s, int k,
-                 std::uint64_t seed) {
-    const Region region = Region::whole(s);
-    const auto sources = bench::pickDistinct(region, k, seed);
-    const auto dests = bench::pickDistinct(region, 12, seed * 3);
-    const auto isSource = bench::flags(region, sources);
-    const auto isDest = bench::flags(region, dests);
+  Table table({"scenario", "k", "axis x", "axis y", "axis z"});
+  auto run = [&](const scenario::BuiltScenario& built) {
+    const auto& inst = built.instance();
     std::array<long, 3> rounds{};
     for (const Axis axis : kAllAxes) {
-      const ForestResult f =
-          shortestPathForest(region, isSource, isDest, 4, axis);
-      bench::mustBeValid(region, f.parent, sources, dests, "E9b");
+      const ForestResult f = shortestPathForest(built.region(), inst.isSource,
+                                                inst.isDest, 4, axis);
+      bench::mustBeValid(built, f.parent, "E9b");
       rounds[static_cast<int>(axis)] = f.rounds;
     }
-    table.add(name, k, rounds[0], rounds[1], rounds[2]);
+    table.add(built.scenario().name, built.scenario().k, rounds[0],
+              rounds[1], rounds[2]);
   };
-  run("hexagon r=10", shapes::hexagon(10), 16, 44);
-  run("parallelogram 40x8", shapes::parallelogram(40, 8), 16, 45);
-  run("comb 8x12", shapes::comb(8, 12, 2), 8, 46);
-  run("blob n~500", shapes::randomBlob(500, 5), 16, 47);
+  run(bench::workload(Shape::Hexagon, 10, 0, 16, 12, 44));
+  run(bench::workload(Shape::Parallelogram, 40, 8, 16, 12, 45));
+  run(bench::workload(Shape::Comb, 8, 12, 8, 12, 46));
+  run(bench::workload(Shape::RandomBlob, 500, 0, 16, 12, 47));
   table.print(std::cout);
   std::cout << "The choice is a constant-factor matter on isotropic shapes\n"
                "and can differ visibly on anisotropic ones (comb): the\n"
@@ -70,16 +70,11 @@ void tableAxisChoice() {
 }
 
 void BM_Naive(benchmark::State& state) {
-  const auto s = shapes::hexagon(8);
-  const Region region = Region::whole(s);
   const int k = static_cast<int>(state.range(0));
-  const auto isSource =
-      bench::flags(region, bench::pickDistinct(region, k, 10 + k));
-  const auto isDest =
-      bench::flags(region, bench::pickDistinct(region, 8, 77));
+  const auto built = bench::workload(Shape::Hexagon, 8, 0, k, 8, 10 + k);
   for (auto _ : state) {
-    const NaiveForestResult r =
-        naiveSequentialForest(region, isSource, isDest);
+    const NaiveForestResult r = naiveSequentialForest(
+        built.region(), built.instance().isSource, built.instance().isDest);
     benchmark::DoNotOptimize(r.parent.data());
   }
 }

@@ -4,6 +4,12 @@
 // circuit simulator) and then runs google-benchmark wall-time measurements
 // of the underlying simulation, so `bench_*` with no arguments reproduces
 // the experiment and `--benchmark_filter=...` profiles the substrate.
+//
+// Workloads come from the scenario library (src/scenario/): structures are
+// built through the shared shape vocabulary (`workloadShape`) and (S,D)
+// instances through seeded scenario placement (`scenario::BuiltScenario`),
+// so every bench row names a workload that tests and `aspf-run` can
+// replay.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -12,7 +18,8 @@
 #include <vector>
 
 #include "baselines/checker.hpp"
-#include "shapes/generators.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/region.hpp"
 #include "util/bitstream.hpp"
 #include "util/rng.hpp"
@@ -20,7 +27,20 @@
 
 namespace aspf::bench {
 
-/// Picks `count` distinct region-local ids, seeded.
+/// Builds a structure through the scenario shape vocabulary (k/l unused).
+inline AmoebotStructure workloadShape(scenario::Shape shape, int a, int b = 0,
+                                      std::uint64_t seed = 0) {
+  return scenario::buildShape(scenario::make(shape, a, b, 1, 1, seed));
+}
+
+/// Materializes a named (shape, k, l, seed) scenario instance.
+inline scenario::BuiltScenario workload(scenario::Shape shape, int a, int b,
+                                        int k, int l, std::uint64_t seed) {
+  return scenario::BuiltScenario(scenario::make(shape, a, b, k, l, seed));
+}
+
+/// Picks `count` distinct region-local ids, seeded. For auxiliary sets that
+/// are not scenario (S,D) placements (e.g. portal Q sets).
 inline std::vector<int> pickDistinct(const Region& region, int count,
                                      std::uint64_t seed) {
   Rng rng(seed);
@@ -62,6 +82,13 @@ inline void mustBeValid(const Region& region, const std::vector<int>& parent,
     std::cerr << "INVALID RESULT in " << what << ": " << check.error << "\n";
     std::abort();
   }
+}
+
+/// mustBeValid for a materialized scenario instance.
+inline void mustBeValid(const scenario::BuiltScenario& built,
+                        const std::vector<int>& parent, const char* what) {
+  mustBeValid(built.region(), parent, built.instance().sources,
+              built.instance().destinations, what);
 }
 
 }  // namespace aspf::bench

@@ -11,13 +11,15 @@
 namespace aspf {
 namespace {
 
+using scenario::Shape;
+
 using bench::log2d;
 
 void tableLine() {
   bench::printHeader("E7a", "line algorithm rounds vs n (k = 8 sources)");
   Table table({"n", "rounds", "rounds/log2(n)"});
   for (const int m : {64, 256, 1024, 4096}) {
-    const auto s = shapes::line(m);
+    const auto s = bench::workloadShape(Shape::Line, m);
     const Region region = Region::whole(s);
     std::vector<int> chain(m);
     for (int q = 0; q < m; ++q) chain[q] = region.localOf(s.idOf({q, 0}));
@@ -34,7 +36,7 @@ void tableMerge() {
   bench::printHeader("E7b", "merging algorithm rounds vs n");
   Table table({"n", "rounds", "rounds/log2(n)"});
   for (const int radius : {8, 16, 32, 48}) {
-    const auto s = shapes::hexagon(radius);
+    const auto s = bench::workloadShape(Shape::Hexagon, radius);
     const Region region = Region::whole(s);
     const std::vector<char> all(region.size(), 1);
     const int s1 = region.localOf(s.idOf({-radius, 0}));
@@ -57,7 +59,7 @@ void tablePropagation() {
                      "equator portal of a hexagon)");
   Table table({"n", "|B|", "rounds", "rounds/log2(n)"});
   for (const int radius : {8, 16, 32, 48}) {
-    const auto s = shapes::hexagon(radius);
+    const auto s = bench::workloadShape(Shape::Hexagon, radius);
     const Region region = Region::whole(s);
     const PortalDecomposition decomp = computePortals(region, Axis::X);
     const int portal = decomp.portalOf[region.localOf(s.idOf({0, 0}))];
@@ -99,7 +101,7 @@ void tablePropagation() {
 }
 
 void BM_Merge(benchmark::State& state) {
-  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const auto s = bench::workloadShape(Shape::Hexagon, static_cast<int>(state.range(0)));
   const Region region = Region::whole(s);
   const std::vector<char> all(region.size(), 1);
   const int radius = static_cast<int>(state.range(0));

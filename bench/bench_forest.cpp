@@ -1,7 +1,8 @@
 // E4 — Theorem 56 / Corollary 57: the divide & conquer forest algorithm
 // solves (k,l)-SPF in O(log n log^2 k) rounds. Series: rounds vs k at
 // fixed n (normalized by log n log^2 k) and rounds vs n at fixed k
-// (normalized by log n).
+// (normalized by log n). All workloads are named scenarios; any row
+// replays via `aspf-run --shape ... --k ... --seeds ...`.
 #include "bench_common.hpp"
 #include "spf/forest.hpp"
 
@@ -9,20 +10,24 @@ namespace aspf {
 namespace {
 
 using bench::log2d;
+using scenario::Shape;
 
 void tableRoundsVsK() {
   bench::printHeader("E4a", "(k,l)-SPF rounds vs k (hexagon, fixed n)");
-  const auto s = shapes::hexagon(16);  // n = 817
+  // Controlled series: the structure and the 32-destination set stay
+  // fixed (seed 999) across rows so only k varies; scenario placement
+  // would re-deal D per row because S draws first from the same stream.
+  const auto s = bench::workloadShape(Shape::Hexagon, 16);  // n = 817
   const Region region = Region::whole(s);
+  const auto dests = bench::pickDistinct(region, 32, 999);
+  const auto isDest = bench::flags(region, dests);
   Table table({"n", "k", "l", "rounds", "rounds/(log n * log^2 k)"});
   for (const int k : {2, 4, 8, 16, 32, 64, 128}) {
     const auto sources = bench::pickDistinct(region, k, 100 + k);
-    const auto dests = bench::pickDistinct(region, 32, 999);
-    const ForestResult forest = shortestPathForest(
-        region, bench::flags(region, sources), bench::flags(region, dests));
+    const ForestResult forest =
+        shortestPathForest(region, bench::flags(region, sources), isDest);
     bench::mustBeValid(region, forest.parent, sources, dests, "E4a");
-    const double norm =
-        log2d(region.size()) * log2d(k) * log2d(k);
+    const double norm = log2d(region.size()) * log2d(k) * log2d(k);
     table.add(region.size(), k, 32, forest.rounds,
               static_cast<double>(forest.rounds) / std::max(norm, 1.0));
   }
@@ -31,34 +36,29 @@ void tableRoundsVsK() {
 
 void tableRoundsVsN() {
   bench::printHeader("E4b", "(k,l)-SPF rounds vs n (fixed k = 16)");
-  Table table({"n", "k", "rounds", "rounds/log2(n)"});
+  Table table({"scenario", "n", "k", "rounds", "rounds/log2(n)"});
   for (const int radius : {6, 10, 16, 24, 32}) {
-    const auto s = shapes::hexagon(radius);
-    const Region region = Region::whole(s);
-    const auto sources = bench::pickDistinct(region, 16, 5);
-    const auto dests = bench::pickDistinct(region, 32, 6);
-    const ForestResult forest = shortestPathForest(
-        region, bench::flags(region, sources), bench::flags(region, dests));
-    bench::mustBeValid(region, forest.parent, sources, dests, "E4b");
-    table.add(region.size(), 16, forest.rounds,
-              static_cast<double>(forest.rounds) / log2d(region.size()));
+    const auto built = bench::workload(Shape::Hexagon, radius, 0, 16, 32, 5);
+    const ForestResult forest =
+        shortestPathForest(built.region(), built.instance().isSource,
+                           built.instance().isDest);
+    bench::mustBeValid(built, forest.parent, "E4b");
+    table.add(built.scenario().name, built.n(), 16, forest.rounds,
+              static_cast<double>(forest.rounds) / log2d(built.n()));
   }
   table.print(std::cout);
 }
 
 void tableRandomShapes() {
   bench::printHeader("E4c", "(k,l)-SPF on random hole-free blobs");
-  Table table({"seed", "n", "k", "rounds"});
+  Table table({"scenario", "n", "k", "rounds"});
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-    const auto s = shapes::randomBlob(800, seed);
-    const Region region = Region::whole(s);
-    const auto sources = bench::pickDistinct(region, 12, seed * 3);
-    const auto dests = bench::pickDistinct(region, 24, seed * 7);
-    const ForestResult forest = shortestPathForest(
-        region, bench::flags(region, sources), bench::flags(region, dests));
-    bench::mustBeValid(region, forest.parent, sources, dests, "E4c");
-    table.add(static_cast<long long>(seed), region.size(), 12,
-              forest.rounds);
+    const auto built = bench::workload(Shape::RandomBlob, 800, 0, 12, 24, seed);
+    const ForestResult forest =
+        shortestPathForest(built.region(), built.instance().isSource,
+                           built.instance().isDest);
+    bench::mustBeValid(built, forest.parent, "E4c");
+    table.add(built.scenario().name, built.n(), 12, forest.rounds);
   }
   table.print(std::cout);
 }
@@ -66,15 +66,16 @@ void tableRandomShapes() {
 void tablePhaseBreakdown() {
   bench::printHeader("E4d",
                      "round breakdown by phase (hexagon n = 817, l = 32)");
-  const auto s = shapes::hexagon(16);
+  const auto s = bench::workloadShape(Shape::Hexagon, 16);
   const Region region = Region::whole(s);
+  const auto dests = bench::pickDistinct(region, 32, 999);  // fixed control
+  const auto isDest = bench::flags(region, dests);
   Table table({"k", "preproc", "split", "base", "decomp", "merging", "prune",
                "total"});
   for (const int k : {2, 8, 32, 128}) {
     const auto sources = bench::pickDistinct(region, k, 100 + k);
-    const auto dests = bench::pickDistinct(region, 32, 999);
-    const ForestResult f = shortestPathForest(
-        region, bench::flags(region, sources), bench::flags(region, dests));
+    const ForestResult f =
+        shortestPathForest(region, bench::flags(region, sources), isDest);
     bench::mustBeValid(region, f.parent, sources, dests, "E4d");
     table.add(k, f.phases.preprocessing, f.phases.split, f.phases.base,
               f.phases.decomposition, f.phases.merging, f.phases.prune,
@@ -87,15 +88,12 @@ void tablePhaseBreakdown() {
 }
 
 void BM_Forest(benchmark::State& state) {
-  const auto s = shapes::hexagon(12);
-  const Region region = Region::whole(s);
   const int k = static_cast<int>(state.range(0));
-  const auto sources = bench::pickDistinct(region, k, 100 + k);
-  const auto dests = bench::pickDistinct(region, 16, 999);
-  const auto isSource = bench::flags(region, sources);
-  const auto isDest = bench::flags(region, dests);
+  const auto built = bench::workload(Shape::Hexagon, 12, 0, k, 16, 100 + k);
   for (auto _ : state) {
-    const ForestResult forest = shortestPathForest(region, isSource, isDest);
+    const ForestResult forest =
+        shortestPathForest(built.region(), built.instance().isSource,
+                           built.instance().isDest);
     benchmark::DoNotOptimize(forest.parent.data());
   }
   state.counters["k"] = k;

@@ -9,11 +9,13 @@
 namespace aspf {
 namespace {
 
+using scenario::Shape;
+
 void tableChain() {
   bench::printHeader("E6a", "PASC chain: iterations and rounds vs m");
   Table table({"m", "iterations", "rounds", "bitWidth(m-1)"});
   for (const int m : {8, 32, 128, 512, 2048, 8192}) {
-    const auto s = shapes::line(m);
+    const auto s = bench::workloadShape(Shape::Line, m);
     const Region region = Region::whole(s);
     std::vector<int> stops(m);
     for (int q = 0; q < m; ++q) stops[q] = region.localOf(s.idOf({q, 0}));
@@ -30,7 +32,7 @@ void tablePrefix() {
                      "prefix-sum PASC: rounds depend on W, not chain length");
   Table table({"m", "W", "iterations", "rounds"});
   const int m = 4096;
-  const auto s = shapes::line(m);
+  const auto s = bench::workloadShape(Shape::Line, m);
   const Region region = Region::whole(s);
   std::vector<int> stops(m);
   for (int q = 0; q < m; ++q) stops[q] = region.localOf(s.idOf({q, 0}));
@@ -50,7 +52,7 @@ void tableTree() {
   bench::printHeader("E6c", "tree PASC (Cor 5): rounds vs height");
   Table table({"n", "height", "iterations", "rounds"});
   for (const int radius : {4, 8, 16, 32, 64}) {
-    const auto s = shapes::hexagon(radius);
+    const auto s = bench::workloadShape(Shape::Hexagon, radius);
     const Region region = Region::whole(s);
     const int center = region.localOf(s.idOf({0, 0}));
     const int src[] = {center};
@@ -76,7 +78,7 @@ void tableTree() {
 
 void BM_PascChain(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
-  const auto s = shapes::line(m);
+  const auto s = bench::workloadShape(Shape::Line, m);
   const Region region = Region::whole(s);
   std::vector<int> stops(m);
   for (int q = 0; q < m; ++q) stops[q] = region.localOf(s.idOf({q, 0}));

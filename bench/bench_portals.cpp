@@ -9,6 +9,8 @@
 namespace aspf {
 namespace {
 
+using scenario::Shape;
+
 using bench::log2d;
 
 void tablePortalStats() {
@@ -25,11 +27,11 @@ void tablePortalStats() {
                 d.portalGraphIsTree() ? "yes" : "NO", depth);
     }
   };
-  row("hexagon r=16", shapes::hexagon(16));
-  row("parallelogram 64x16", shapes::parallelogram(64, 16));
-  row("comb 16x32", shapes::comb(16, 32, 2));
-  row("staircase 12x4", shapes::staircase(12, 4));
-  row("blob n~1500", shapes::randomBlob(1500, 4));
+  row("hexagon r=16", bench::workloadShape(Shape::Hexagon, 16));
+  row("parallelogram 64x16", bench::workloadShape(Shape::Parallelogram, 64, 16));
+  row("comb 16x32", bench::workloadShape(Shape::Comb, 16, 32));
+  row("staircase 12x4", bench::workloadShape(Shape::Staircase, 12, 4));
+  row("blob n~1500", bench::workloadShape(Shape::RandomBlob, 1500, 0, 4));
   table.print(std::cout);
 }
 
@@ -58,16 +60,16 @@ void tableDistanceIdentity() {
     }
     table.add(name, region.size(), pairs, violations);
   };
-  audit("hexagon r=12", shapes::hexagon(12));
-  audit("blob n~600", shapes::randomBlob(600, 8));
-  audit("spider", shapes::randomSpider(5, 40, 3));
-  audit("staircase", shapes::staircase(8, 4));
+  audit("hexagon r=12", bench::workloadShape(Shape::Hexagon, 12));
+  audit("blob n~600", bench::workloadShape(Shape::RandomBlob, 600, 0, 8));
+  audit("spider", bench::workloadShape(Shape::RandomSpider, 5, 40, 3));
+  audit("staircase", bench::workloadShape(Shape::Staircase, 8, 4));
   table.print(std::cout);
 }
 
 void tablePortalPrimitives() {
   bench::printHeader("E8c", "portal primitive rounds vs |Q| (blob n~2000)");
-  const auto s = shapes::randomBlob(2000, 17);
+  const auto s = bench::workloadShape(Shape::RandomBlob, 2000, 0, 17);
   const Region region = Region::whole(s);
   const PortalDecomposition decomp = computePortals(region, Axis::X);
   Table table({"portals", "|Q|", "root&prune", "election", "centroid",
@@ -103,7 +105,7 @@ void tablePortalPrimitives() {
 }
 
 void BM_ComputePortals(benchmark::State& state) {
-  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const auto s = bench::workloadShape(Shape::Hexagon, static_cast<int>(state.range(0)));
   const Region region = Region::whole(s);
   for (auto _ : state) {
     const PortalDecomposition d = computePortals(region, Axis::X);

@@ -10,6 +10,8 @@
 namespace aspf {
 namespace {
 
+using scenario::Shape;
+
 using bench::log2d;
 
 TreeAdj randomSpanningTree(const Region& region, std::uint64_t seed) {
@@ -38,7 +40,7 @@ TreeAdj randomSpanningTree(const Region& region, std::uint64_t seed) {
 void tablePrimitives() {
   bench::printHeader(
       "E5", "tree primitive rounds vs |Q| (random blob, n = 2000)");
-  const auto s = shapes::randomBlob(2000, 11);
+  const auto s = bench::workloadShape(Shape::RandomBlob, 2000, 0, 11);
   const Region region = Region::whole(s);
   const TreeAdj tree = randomSpanningTree(region, 23);
   const EulerTour tour = buildEulerTour(region, tree, 0);
@@ -70,7 +72,7 @@ void tablePrimitives() {
 }
 
 void BM_RootPrune(benchmark::State& state) {
-  const auto s = shapes::randomBlob(1000, 3);
+  const auto s = bench::workloadShape(Shape::RandomBlob, 1000, 0, 3);
   const Region region = Region::whole(s);
   const TreeAdj tree = randomSpanningTree(region, 5);
   const EulerTour tour = buildEulerTour(region, tree, 0);

@@ -10,11 +10,13 @@
 namespace aspf {
 namespace {
 
+using scenario::Shape;
+
 void tableSimThroughput() {
   bench::printHeader("E10", "circuit engine: cost of one round vs n");
   Table table({"n", "pins", "us/round (global circuit)", "circuits"});
   for (const int radius : {8, 16, 32, 64, 96}) {
-    const auto s = shapes::hexagon(radius);
+    const auto s = bench::workloadShape(Shape::Hexagon, radius);
     const Region region = Region::whole(s);
     Comm comm(region, 4);
     // Global circuit: everyone joins all pins of lane 0.
@@ -40,7 +42,7 @@ void tableSimThroughput() {
 }
 
 void BM_Deliver(benchmark::State& state) {
-  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const auto s = bench::workloadShape(Shape::Hexagon, static_cast<int>(state.range(0)));
   const Region region = Region::whole(s);
   Comm comm(region, 4);
   for (int a = 0; a < region.size(); ++a) {
@@ -58,7 +60,7 @@ void BM_Deliver(benchmark::State& state) {
 BENCHMARK(BM_Deliver)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_HoleFreeCheck(benchmark::State& state) {
-  const auto s = shapes::randomBlob(static_cast<int>(state.range(0)), 9);
+  const auto s = bench::workloadShape(Shape::RandomBlob, static_cast<int>(state.range(0)), 0, 9);
   for (auto _ : state) {
     benchmark::DoNotOptimize(s.isHoleFree());
   }

@@ -7,11 +7,13 @@
 namespace aspf {
 namespace {
 
+using scenario::Shape;
+
 void tableSpsp() {
   bench::printHeader("E2", "SPSP rounds vs n (must be constant)");
   Table table({"shape", "n", "pair distance", "rounds"});
   for (const int radius : {4, 8, 16, 32, 64, 96}) {
-    const auto s = shapes::hexagon(radius);
+    const auto s = bench::workloadShape(Shape::Hexagon, radius);
     const Region region = Region::whole(s);
     const int source = region.localOf(s.idOf({-radius, 0}));
     const int dest = region.localOf(s.idOf({radius, 0}));
@@ -22,7 +24,7 @@ void tableSpsp() {
     table.add("hexagon", region.size(), 2 * radius, spt.rounds);
   }
   for (const int len : {64, 256, 1024, 4096}) {
-    const auto s = shapes::line(len);
+    const auto s = bench::workloadShape(Shape::Line, len);
     const Region region = Region::whole(s);
     std::vector<char> isDest(region.size(), 0);
     const int dest = region.localOf(s.idOf({len - 1, 0}));
@@ -35,9 +37,9 @@ void tableSpsp() {
 }
 
 void BM_Spsp(benchmark::State& state) {
-  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
-  const Region region = Region::whole(s);
   const int radius = static_cast<int>(state.range(0));
+  const auto s = bench::workloadShape(Shape::Hexagon, radius);
+  const Region region = Region::whole(s);
   const int source = region.localOf(s.idOf({-radius, 0}));
   std::vector<char> isDest(region.size(), 0);
   isDest[region.localOf(s.idOf({radius, 0}))] = 1;

@@ -1,6 +1,8 @@
 // E1 — Theorem 39: the shortest path tree algorithm solves (1,l)-SPF in
 // O(log l) rounds. Regenerates two series: rounds vs l at fixed n, and
 // rounds vs n at fixed l (both should track the log of the swept variable).
+// Structures come from the shared shape vocabulary; the source is pinned
+// to the hexagon center so only the swept variable changes per row.
 #include "bench_common.hpp"
 #include "spf/spt.hpp"
 
@@ -8,16 +10,19 @@ namespace aspf {
 namespace {
 
 using bench::log2d;
+using scenario::Shape;
 
 void tableRoundsVsL() {
   bench::printHeader("E1a", "(1,l)-SPF rounds vs l (hexagon, fixed n)");
-  const auto s = shapes::hexagon(24);  // n = 1801
+  // Controlled series: structure and source (the hexagon center) are
+  // fixed; only the destination count sweeps.
+  const auto s = bench::workloadShape(Shape::Hexagon, 24);  // n = 1801
   const Region region = Region::whole(s);
+  const int source = region.localOf(s.idOf({0, 0}));
   Table table({"n", "l", "rounds", "rounds/log2(l+1)"});
   for (const int l : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
     const auto dests = bench::pickDistinct(region, l, 42 + l);
     const auto isDest = bench::flags(region, dests);
-    const int source = region.localOf(s.idOf({0, 0}));
     const SptResult spt = shortestPathTree(region, source, isDest);
     bench::mustBeValid(region, spt.parent, {source}, dests, "E1a");
     table.add(region.size(), l, spt.rounds,
@@ -30,7 +35,7 @@ void tableRoundsVsN() {
   bench::printHeader("E1b", "(1,l)-SPF rounds vs n (fixed l = 16)");
   Table table({"n", "diam", "l", "rounds"});
   for (const int radius : {4, 8, 16, 32, 48, 64}) {
-    const auto s = shapes::hexagon(radius);
+    const auto s = bench::workloadShape(Shape::Hexagon, radius);
     const Region region = Region::whole(s);
     const auto dests = bench::pickDistinct(region, 16, 7);
     const auto isDest = bench::flags(region, dests);
@@ -43,7 +48,8 @@ void tableRoundsVsN() {
 }
 
 void BM_SptHexagon(benchmark::State& state) {
-  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const auto s =
+      bench::workloadShape(Shape::Hexagon, static_cast<int>(state.range(0)));
   const Region region = Region::whole(s);
   const auto dests = bench::pickDistinct(region, 16, 7);
   const auto isDest = bench::flags(region, dests);

@@ -9,37 +9,34 @@
 namespace aspf {
 namespace {
 
+using scenario::Shape;
+
 void tableSssp() {
   bench::printHeader(
       "E3", "SSSP: circuit algorithm O(log n) vs beep-wave BFS O(diam)");
   Table table({"shape", "n", "diam", "SPT rounds", "BFS-wave rounds",
                "speedup"});
-  auto run = [&](const char* name, const AmoebotStructure& s, int source) {
+  auto runShape = [&](Shape shape, int a, int b, Coord sourceCoord) {
+    const AmoebotStructure s = bench::workloadShape(shape, a, b);
     const Region region = Region::whole(s);
     const std::vector<char> all(region.size(), 1);
     std::vector<int> allIds(region.size());
     for (int i = 0; i < region.size(); ++i) allIds[i] = i;
+    const int source = region.localOf(s.idOf(sourceCoord));
     const SptResult spt = shortestPathTree(region, source, all);
     bench::mustBeValid(region, spt.parent, {source}, allIds, "E3/spt");
     const int src[] = {source};
     const BfsWaveResult wave = bfsWaveForest(region, src, allIds);
     bench::mustBeValid(region, wave.parent, {source}, allIds, "E3/wave");
-    table.add(name, region.size(), s.eccentricity(source), spt.rounds,
-              wave.rounds,
+    table.add(std::string(toString(shape)), region.size(),
+              s.eccentricity(source), spt.rounds, wave.rounds,
               static_cast<double>(wave.rounds) / spt.rounds);
   };
-  for (const int radius : {4, 8, 16, 32, 64}) {
-    const auto s = shapes::hexagon(radius);
-    run("hexagon", s, s.idOf({0, 0}));
-  }
-  for (const int len : {64, 256, 1024, 4096}) {
-    const auto s = shapes::line(len);
-    run("line", s, 0);
-  }
-  for (const int teeth : {4, 8, 16}) {
-    const auto s = shapes::comb(teeth, 32, 2);
-    run("comb", s, 0);
-  }
+  for (const int radius : {4, 8, 16, 32, 64})
+    runShape(Shape::Hexagon, radius, 0, {0, 0});
+  for (const int len : {64, 256, 1024, 4096})
+    runShape(Shape::Line, len, 0, {0, 0});
+  for (const int teeth : {4, 8, 16}) runShape(Shape::Comb, teeth, 32, {0, 0});
   table.print(std::cout);
   std::cout << "The speedup column grows with diam/log n: the circuit\n"
                "algorithm wins everywhere except trivially small inputs,\n"
@@ -47,7 +44,8 @@ void tableSssp() {
 }
 
 void BM_Sssp(benchmark::State& state) {
-  const auto s = shapes::hexagon(static_cast<int>(state.range(0)));
+  const auto s =
+      bench::workloadShape(Shape::Hexagon, static_cast<int>(state.range(0)));
   const Region region = Region::whole(s);
   const std::vector<char> all(region.size(), 1);
   const int source = region.localOf(s.idOf({0, 0}));

@@ -2,9 +2,17 @@
 // Beep-wave BFS: the natural amoebot-model baseline *without* long-range
 // circuits. Every covered amoebot beeps to its direct neighbors on
 // singleton partition sets; uncovered amoebots adopt a beeping neighbor as
-// parent. Produces an exact (S,D)-shortest-path forest in
-// eccentricity(S) + O(1) rounds -- the Omega(diam) information-flow bound
-// that the paper's circuit-based algorithms beat exponentially.
+// parent.
+//
+// Round-complexity contract: produces an exact (S,D)-shortest-path forest
+// in eccentricity(S) + O(1) rounds -- the Omega(diameter) information-flow
+// lower bound that holds for any algorithm without long-range circuits,
+// and that the paper's circuit-based algorithms beat exponentially. The
+// conformance suite asserts rounds >= eccentricity(S) (the baseline must
+// stay honest).
+//
+// Thread-safety: stateless free function; each call builds its own Comm.
+// Concurrent calls (even on the same Region) are safe.
 #include <span>
 
 #include "sim/comm.hpp"

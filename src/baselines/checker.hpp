@@ -6,6 +6,15 @@
 //  3. trees are vertex-disjoint,
 //  4. every destination belongs to some tree,
 //  5. tree paths are shortest paths to the *closest* source.
+//
+// Complexity contract: host-side verification, O(n) plus one multi-source
+// BFS -- charges no rounds. Every test, bench and scenario-runner result
+// in the repo passes through this checker; it is the ground truth that
+// keeps round counts honest.
+//
+// Thread-safety: stateless free function over read-only inputs; safe to
+// call concurrently (the scenario runner checks results on worker
+// threads).
 #include <span>
 #include <string>
 #include <vector>

@@ -2,8 +2,15 @@
 // Naive sequential forest construction (Section 5 intro): compute an
 // {s}-shortest-path forest per source with the shortest path tree
 // algorithm and fold them together with the merging algorithm, one source
-// at a time -- O(k log n) rounds. The ablation benchmark compares this
-// against the O(log n log^2 k) divide & conquer algorithm.
+// at a time.
+//
+// Round-complexity contract: O(k log n) rounds -- k SPT runs (O(log n)
+// each, Theorem 39) plus k-1 merges (O(log n) each, Lemma 42). The
+// ablation benchmark (E9) compares this against the O(log n log^2 k)
+// divide & conquer algorithm; the naive construction wins only at tiny k.
+//
+// Thread-safety: stateless free function; each call builds its own Comms.
+// Concurrent calls are safe.
 #include <span>
 
 #include "sim/comm.hpp"

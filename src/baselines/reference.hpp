@@ -1,6 +1,13 @@
 #pragma once
 // Centralized references used for verification and as comparators:
-// exact multi-source BFS distances and closest-source assignment.
+// exact multi-source BFS distances and closest-source assignment (the
+// distances the SPF definition of Section 1.3 quantifies over).
+//
+// Complexity contract: host-side O(n) BFS, charges no rounds; this is the
+// oracle side of the harness, never part of a measured protocol.
+//
+// Thread-safety: stateless free functions over read-only regions; safe to
+// call concurrently.
 #include <span>
 #include <vector>
 

@@ -25,14 +25,14 @@ SpfSolution Spf::solve(std::span<const int> sources,
   for (const int s : sources) isSource[s] = 1;
   for (const int t : destinations) isDest[t] = 1;
   const ForestResult forest = shortestPathForest(whole, isSource, isDest);
-  return {forest.parent, forest.rounds};
+  return {forest.parent, forest.rounds, forest.phases};
 }
 
 SpfSolution Spf::sssp(int source) const {
   const Region whole = Region::whole(*structure_);
   const std::vector<char> all(whole.size(), 1);
   const SptResult spt = shortestPathTree(whole, source, all);
-  return {spt.parent, spt.rounds};
+  return {spt.parent, spt.rounds, {}};
 }
 
 SpfSolution Spf::spsp(int source, int destination) const {
@@ -40,7 +40,7 @@ SpfSolution Spf::spsp(int source, int destination) const {
   std::vector<char> isDest(whole.size(), 0);
   isDest[destination] = 1;
   const SptResult spt = shortestPathTree(whole, source, isDest);
-  return {spt.parent, spt.rounds};
+  return {spt.parent, spt.rounds, {}};
 }
 
 ForestCheck Spf::verify(const SpfSolution& solution,

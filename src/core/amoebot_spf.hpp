@@ -14,16 +14,26 @@
 //   // sol.parent[u]: next hop toward the closest source; sol.rounds: the
 //   // number of synchronous rounds the circuit protocol needed.
 //
-// solve() dispatches to the O(log l) shortest path tree algorithm for one
-// source and to the O(log n log^2 k) divide & conquer forest algorithm for
-// several; sssp()/spsp() are the classical special cases. All algorithms
-// require a connected, hole-free structure (checked on construction).
+// Round-complexity contract (paper, Sections 4/5): solve() dispatches to
+// the O(log l) shortest path tree algorithm (Theorem 39) for one source
+// and to the O(log n log^2 k) divide & conquer forest algorithm
+// (Theorem 56 / Corollary 57) for several; sssp() is O(log n) and spsp()
+// O(1), the classical special cases. `SpfSolution::rounds` is the measured
+// synchronous-round count of the circuit protocol, and the conformance
+// suite pins it under a calibrated C log n log^2 k. All algorithms require
+// a connected, hole-free structure (checked on construction).
+//
+// Thread-safety: Spf is immutable after construction and holds only a
+// pointer to the caller's structure; concurrent solve()/sssp()/spsp()
+// calls on the same Spf are safe (each call builds its own simulation
+// state), as long as the structure outlives the Spf and is not mutated.
 #include <span>
 #include <vector>
 
 #include "baselines/checker.hpp"
 #include "shapes/generators.hpp"
 #include "sim/structure.hpp"
+#include "spf/forest.hpp"
 
 namespace aspf {
 
@@ -33,6 +43,10 @@ struct SpfSolution {
   std::vector<int> parent;
   /// Synchronous rounds of the reconfigurable-circuit protocol.
   long rounds = 0;
+  /// Per-phase breakdown of `rounds` for solve() with several sources
+  /// (all-zero for sssp()/spsp() and the single-source shortcut); the
+  /// scenario runner reports these fields per run.
+  ForestResult::Phases phases;
 };
 
 class Spf {

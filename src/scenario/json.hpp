@@ -1,0 +1,96 @@
+#pragma once
+// Minimal self-contained JSON value (null/bool/number/string/array/object)
+// with an insertion-ordered object representation, a pretty-printer and a
+// strict recursive-descent parser. Exists so the report pipeline has a
+// dependency-free round-trip (emit -> parse -> validate) without pulling a
+// third-party JSON library into the build.
+//
+// Numbers are stored as double; every quantity in the report schema
+// (rounds, counters, milliseconds) fits a double exactly (< 2^53).
+// Thread-safety: Json is a plain value type; distinct values can be used
+// from distinct threads freely.
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aspf::scenario {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() noexcept : type_(Type::Null) {}
+  Json(bool b) noexcept : type_(Type::Bool), bool_(b) {}
+  Json(double v) noexcept : type_(Type::Number), num_(v) {}
+  Json(int v) noexcept : Json(static_cast<double>(v)) {}
+  Json(long v) noexcept : Json(static_cast<double>(v)) {}
+  Json(long long v) noexcept : Json(static_cast<double>(v)) {}
+  Json(std::uint64_t v) noexcept : Json(static_cast<double>(v)) {}
+  Json(std::string s) noexcept : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool isNull() const noexcept { return type_ == Type::Null; }
+  bool isBool() const noexcept { return type_ == Type::Bool; }
+  bool isNumber() const noexcept { return type_ == Type::Number; }
+  bool isString() const noexcept { return type_ == Type::String; }
+  bool isArray() const noexcept { return type_ == Type::Array; }
+  bool isObject() const noexcept { return type_ == Type::Object; }
+
+  bool asBool() const noexcept { return bool_; }
+  double asNumber() const noexcept { return num_; }
+  long long asInt() const noexcept { return static_cast<long long>(num_); }
+  const std::string& asString() const noexcept { return str_; }
+
+  // --- Array interface.
+  void push(Json v) { arr_.push_back(std::move(v)); }
+  std::size_t size() const noexcept {
+    return type_ == Type::Object ? obj_.size() : arr_.size();
+  }
+  const Json& at(std::size_t i) const { return arr_[i]; }
+  const std::vector<Json>& items() const noexcept { return arr_; }
+
+  // --- Object interface (insertion-ordered; lookup is linear, which is
+  // fine at report-schema sizes).
+  Json& operator[](std::string_view key);
+  /// Pointer to the member, or nullptr if absent.
+  const Json* find(std::string_view key) const noexcept;
+  const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+    return obj_;
+  }
+
+  bool operator==(const Json& other) const;
+
+  /// Serializes; indent = 0 emits a single line, indent > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parser; throws std::runtime_error with offset info on any
+  /// syntax error or trailing garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace aspf::scenario

@@ -1,0 +1,126 @@
+#include "scenario/registry.hpp"
+
+namespace aspf::scenario {
+
+std::vector<Scenario> conformanceMatrix() {
+  struct ShapeSpec {
+    Shape shape;
+    int a, b;
+  };
+  // n is ~100-180 per shape: large enough for nontrivial portal trees and
+  // region merging, small enough that the full sweep stays in CI budget.
+  const ShapeSpec shapeSpecs[] = {
+      {Shape::Parallelogram, 16, 8}, {Shape::Triangle, 14, 0},
+      {Shape::Hexagon, 6, 0},        {Shape::Line, 96, 0},
+      {Shape::Comb, 10, 8},          {Shape::Staircase, 8, 4},
+      {Shape::RandomBlob, 140, 0},   {Shape::RandomSpider, 4, 18},
+  };
+  struct KlSpec {
+    int k, l;
+  };
+  // From SSSP-ish (k=1) through the many-source regime where the divide &
+  // conquer depth (log^2 k factor) is actually exercised.
+  const KlSpec klSpecs[] = {{1, 6}, {2, 8}, {5, 12}, {12, 20}};
+  const std::uint64_t seeds[] = {1, 2};
+
+  std::vector<Scenario> matrix;
+  for (const auto& ss : shapeSpecs) {
+    for (const auto& kl : klSpecs) {
+      for (const std::uint64_t seed : seeds) {
+        matrix.push_back(make(ss.shape, ss.a, ss.b, kl.k, kl.l, seed));
+      }
+    }
+  }
+  return matrix;
+}
+
+namespace {
+
+std::vector<Scenario> smokeSuite() {
+  // One compact instance per shape family (n ~ 60..250), k in the
+  // multi-source regime so the divide & conquer path is exercised. Small
+  // enough that {polylog, wave, naive} x all scenarios finishes in seconds;
+  // this is the sweep CI runs and the BENCH_smoke.json trajectory tracks.
+  return {
+      make(Shape::Parallelogram, 16, 8, 4, 8, 1),
+      make(Shape::Triangle, 14, 0, 2, 6, 1),
+      make(Shape::Hexagon, 6, 0, 5, 12, 1),
+      make(Shape::Line, 96, 0, 4, 8, 1),
+      make(Shape::Comb, 10, 8, 5, 12, 1),
+      make(Shape::Staircase, 8, 4, 2, 8, 1),
+      make(Shape::RandomBlob, 140, 0, 5, 12, 1),
+      make(Shape::RandomSpider, 4, 18, 2, 8, 1),
+      make(Shape::Zigzag, 12, 8, 4, 8, 1),
+      make(Shape::DiamondChain, 4, 4, 4, 8, 1),
+  };
+}
+
+std::vector<Scenario> largeSuite() {
+  // Large-n perf tracking (n ~ 1.2k..4.2k). The thin families (line,
+  // zigzag, spider, comb) stress diameter-bound baselines and deep portal
+  // trees; the fat ones (hexagon, blob, parallelogram) stress the circuit
+  // substrate itself.
+  return {
+      make(Shape::Hexagon, 24, 0, 16, 32, 1),         // n = 1801
+      make(Shape::Hexagon, 32, 0, 16, 32, 1),         // n = 3169
+      make(Shape::Parallelogram, 64, 32, 16, 32, 1),  // n = 2048
+      make(Shape::Line, 2048, 0, 8, 16, 1),
+      make(Shape::Comb, 16, 32, 8, 16, 1),
+      make(Shape::Staircase, 24, 6, 8, 16, 1),
+      make(Shape::RandomBlob, 2000, 0, 16, 32, 1),
+      make(Shape::RandomSpider, 8, 40, 8, 16, 1),
+      make(Shape::Zigzag, 48, 8, 8, 16, 1),
+      make(Shape::DiamondChain, 10, 6, 8, 16, 1),
+  };
+}
+
+std::vector<Suite> buildSuites() {
+  std::vector<Suite> all;
+  all.push_back({"conformance",
+                 "the 64-scenario cross-algorithm matrix (PR 1; names frozen)",
+                 conformanceMatrix()});
+  all.push_back({"smoke",
+                 "one small instance per shape family; the CI sweep",
+                 smokeSuite()});
+  all.push_back({"large",
+                 "large-n perf instances across all shape families",
+                 largeSuite()});
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Suite>& suites() {
+  static const std::vector<Suite> all = buildSuites();
+  return all;
+}
+
+const Suite* findSuite(std::string_view name) {
+  for (const Suite& s : suites()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const Scenario* findScenario(std::string_view name) {
+  for (const Suite& suite : suites()) {
+    for (const Scenario& sc : suite.scenarios) {
+      if (sc.name == name) return &sc;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Scenario> buildSweep(const SweepSpec& spec) {
+  std::vector<Scenario> out;
+  for (const int k : spec.ks) {
+    for (const int l : spec.ls) {
+      for (const std::uint64_t seed : spec.seeds) {
+        out.push_back(make(spec.shape, spec.a, spec.b, k, l, seed));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aspf::scenario

@@ -1,0 +1,59 @@
+#pragma once
+// Named scenario registry: the suites every harness component selects
+// workloads from. A suite is an ordered, deterministic list of scenarios;
+// the registry is built once (no runtime randomness -- random *shapes* draw
+// only from their scenario seed), so suite contents are stable across
+// processes, platforms and PRs. Adding a scenario to a suite is a reviewed
+// change to the perf trajectory, not an accident.
+//
+//   conformance  the 64-scenario cross-algorithm matrix from PR 1
+//                (tests/conformance aliases this; names are frozen)
+//   smoke        one small instance per shape family; finishes in seconds
+//                with all three algorithms -- the CI sweep and the
+//                committed BENCH_smoke.json baseline
+//   large        large-n instances (n ~ 1.8k..4k) across the families,
+//                polylog-focused perf tracking
+//
+// Thread-safety: the registry is immutable after first use; concurrent
+// lookups are safe (C++11 magic statics).
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace aspf::scenario {
+
+struct Suite {
+  std::string name;
+  std::string description;
+  std::vector<Scenario> scenarios;
+};
+
+/// All registered suites, in registry order.
+const std::vector<Suite>& suites();
+
+/// Suite by name, or nullptr.
+const Suite* findSuite(std::string_view name);
+
+/// Scenario by its stable name, searched across all suites; or nullptr.
+const Scenario* findScenario(std::string_view name);
+
+/// The PR-1 conformance matrix: {8 shape families x 4 (k,l) x 2 seeds}.
+/// Scenario names (e.g. `comb10x8_k5_l12_s2`) are frozen; tests replay
+/// instances by name.
+std::vector<Scenario> conformanceMatrix();
+
+/// A CLI-selectable sweep: the cross product of (k, l, seed) over one
+/// shape. Scenario names follow the canonical scheme.
+struct SweepSpec {
+  Shape shape = Shape::Hexagon;
+  int a = 0;
+  int b = 0;
+  std::vector<int> ks{1};
+  std::vector<int> ls{1};
+  std::vector<std::uint64_t> seeds{1};
+};
+
+std::vector<Scenario> buildSweep(const SweepSpec& spec);
+
+}  // namespace aspf::scenario

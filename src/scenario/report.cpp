@@ -1,0 +1,253 @@
+#include "scenario/report.hpp"
+
+#include <stdexcept>
+
+namespace aspf::scenario {
+
+Json toJson(const BenchReport& report) {
+  Json doc = Json::object();
+  doc["schema_version"] = Json(report.schemaVersion);
+  doc["tool"] = Json("aspf-run");
+  doc["suite"] = Json(report.suite);
+
+  Json config = Json::object();
+  Json algos = Json::array();
+  for (const std::string& a : report.algos) algos.push(Json(a));
+  config["algos"] = std::move(algos);
+  config["threads"] = Json(report.threads);
+  config["lanes"] = Json(report.lanes);
+  config["check"] = Json(report.check);
+  config["timing"] = Json(report.timing);
+  doc["config"] = std::move(config);
+
+  Json scenarios = Json::array();
+  for (const ScenarioReport& sr : report.scenarios) {
+    Json s = Json::object();
+    s["name"] = Json(sr.scenario.name);
+    s["shape"] = Json(toString(sr.scenario.shape));
+    s["a"] = Json(sr.scenario.a);
+    s["b"] = Json(sr.scenario.b);
+    s["k"] = Json(sr.scenario.k);
+    s["l"] = Json(sr.scenario.l);
+    s["seed"] = Json(sr.scenario.seed);
+    s["n"] = Json(sr.n);
+    s["k_eff"] = Json(sr.kEff);
+    s["l_eff"] = Json(sr.lEff);
+    Json runs = Json::array();
+    for (const AlgoRun& r : sr.runs) {
+      Json run = Json::object();
+      run["algo"] = Json(r.algo);
+      run["rounds"] = Json(r.rounds);
+      run["wall_ms"] = Json(r.wallMs);
+      run["checker_ok"] = Json(r.checkerOk);
+      run["error"] = Json(r.error);
+      run["delivers"] = Json(r.delivers);
+      run["beeps"] = Json(r.beeps);
+      if (r.hasPhases) {
+        Json phases = Json::object();
+        for (std::size_t i = 0; i < kPhaseNames.size(); ++i)
+          phases[kPhaseNames[i]] = Json(r.phases[i]);
+        run["phases"] = std::move(phases);
+      }
+      runs.push(std::move(run));
+    }
+    s["runs"] = std::move(runs);
+    scenarios.push(std::move(s));
+  }
+  doc["scenarios"] = std::move(scenarios);
+
+  long runCount = 0;
+  for (const ScenarioReport& sr : report.scenarios)
+    runCount += static_cast<long>(sr.runs.size());
+  Json totals = Json::object();
+  totals["scenarios"] = Json(static_cast<long>(report.scenarios.size()));
+  totals["runs"] = Json(runCount);
+  totals["wall_ms"] = Json(report.totalWallMs);
+  totals["peak_rss_kb"] = Json(report.peakRssKb);
+  doc["totals"] = std::move(totals);
+  return doc;
+}
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(std::string* error) : error_(error) {}
+
+  bool fail(const std::string& path, const std::string& what) {
+    if (error_) *error_ = path + ": " + what;
+    return false;
+  }
+
+  const Json* need(const Json& obj, const std::string& path,
+                   const std::string& key, Json::Type type) {
+    const Json* v = obj.find(key);
+    if (!v) {
+      fail(path + "." + key, "missing");
+      return nullptr;
+    }
+    if (v->type() != type) {
+      fail(path + "." + key, "wrong type");
+      return nullptr;
+    }
+    return v;
+  }
+
+  bool validateRun(const Json& run, const std::string& path) {
+    if (!run.isObject()) return fail(path, "run must be an object");
+    const Json* algo = need(run, path, "algo", Json::Type::String);
+    if (!algo) return false;
+    if (algo->asString() != "polylog" && algo->asString() != "wave" &&
+        algo->asString() != "naive")
+      return fail(path + ".algo", "unknown algorithm '" + algo->asString() + "'");
+    for (const char* key : {"rounds", "wall_ms", "delivers", "beeps"}) {
+      if (!need(run, path, key, Json::Type::Number)) return false;
+    }
+    if (!need(run, path, "checker_ok", Json::Type::Bool)) return false;
+    if (!need(run, path, "error", Json::Type::String)) return false;
+    if (const Json* phases = run.find("phases")) {
+      if (!phases->isObject()) return fail(path + ".phases", "wrong type");
+      for (const char* name : kPhaseNames) {
+        if (!need(*phases, path + ".phases", name, Json::Type::Number))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  bool validateScenario(const Json& s, const std::string& path) {
+    if (!s.isObject()) return fail(path, "scenario must be an object");
+    const Json* name = need(s, path, "name", Json::Type::String);
+    if (!name) return false;
+    const Json* shape = need(s, path, "shape", Json::Type::String);
+    if (!shape) return false;
+    Shape parsed;
+    if (!shapeFromString(shape->asString(), &parsed))
+      return fail(path + ".shape", "unknown shape '" + shape->asString() + "'");
+    for (const char* key :
+         {"a", "b", "k", "l", "seed", "n", "k_eff", "l_eff"}) {
+      if (!need(s, path, key, Json::Type::Number)) return false;
+    }
+    const Json* runs = need(s, path, "runs", Json::Type::Array);
+    if (!runs) return false;
+    if (runs->size() == 0) return fail(path + ".runs", "empty");
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+      if (!validateRun(runs->at(i), path + ".runs[" + std::to_string(i) + "]"))
+        return false;
+    }
+    return true;
+  }
+
+  bool validate(const Json& doc) {
+    if (!doc.isObject()) return fail("$", "document must be an object");
+    const Json* version = need(doc, "$", "schema_version", Json::Type::Number);
+    if (!version) return false;
+    if (version->asInt() != kReportSchemaVersion)
+      return fail("$.schema_version",
+                  "unsupported version " + std::to_string(version->asInt()));
+    if (!need(doc, "$", "tool", Json::Type::String)) return false;
+    if (!need(doc, "$", "suite", Json::Type::String)) return false;
+
+    const Json* config = need(doc, "$", "config", Json::Type::Object);
+    if (!config) return false;
+    const Json* algos = need(*config, "$.config", "algos", Json::Type::Array);
+    if (!algos) return false;
+    for (std::size_t i = 0; i < algos->size(); ++i) {
+      if (!algos->at(i).isString())
+        return fail("$.config.algos[" + std::to_string(i) + "]", "wrong type");
+    }
+    if (!need(*config, "$.config", "threads", Json::Type::Number)) return false;
+    if (!need(*config, "$.config", "lanes", Json::Type::Number)) return false;
+    if (!need(*config, "$.config", "check", Json::Type::Bool)) return false;
+    if (!need(*config, "$.config", "timing", Json::Type::Bool)) return false;
+
+    const Json* scenarios = need(doc, "$", "scenarios", Json::Type::Array);
+    if (!scenarios) return false;
+    for (std::size_t i = 0; i < scenarios->size(); ++i) {
+      if (!validateScenario(scenarios->at(i),
+                            "$.scenarios[" + std::to_string(i) + "]"))
+        return false;
+    }
+
+    const Json* totals = need(doc, "$", "totals", Json::Type::Object);
+    if (!totals) return false;
+    for (const char* key : {"scenarios", "runs", "wall_ms", "peak_rss_kb"}) {
+      if (!need(*totals, "$.totals", key, Json::Type::Number)) return false;
+    }
+    if (totals->find("scenarios")->asInt() !=
+        static_cast<long long>(scenarios->size()))
+      return fail("$.totals.scenarios", "does not match scenarios[] length");
+    long long runCount = 0;
+    for (const Json& s : scenarios->items()) {
+      if (const Json* runs = s.find("runs")) runCount += runs->size();
+    }
+    if (totals->find("runs")->asInt() != runCount)
+      return fail("$.totals.runs", "does not match the sum of runs[] lengths");
+    return true;
+  }
+
+ private:
+  std::string* error_;
+};
+
+}  // namespace
+
+bool validateReport(const Json& doc, std::string* error) {
+  return Validator(error).validate(doc);
+}
+
+BenchReport reportFromJson(const Json& doc) {
+  std::string error;
+  if (!validateReport(doc, &error))
+    throw std::runtime_error("reportFromJson: " + error);
+
+  BenchReport report;
+  report.schemaVersion = static_cast<int>(doc.find("schema_version")->asInt());
+  report.suite = doc.find("suite")->asString();
+  const Json& config = *doc.find("config");
+  for (const Json& a : config.find("algos")->items())
+    report.algos.push_back(a.asString());
+  report.threads = static_cast<int>(config.find("threads")->asInt());
+  report.lanes = static_cast<int>(config.find("lanes")->asInt());
+  report.check = config.find("check")->asBool();
+  report.timing = config.find("timing")->asBool();
+
+  for (const Json& s : doc.find("scenarios")->items()) {
+    ScenarioReport sr;
+    sr.scenario.name = s.find("name")->asString();
+    shapeFromString(s.find("shape")->asString(), &sr.scenario.shape);
+    sr.scenario.a = static_cast<int>(s.find("a")->asInt());
+    sr.scenario.b = static_cast<int>(s.find("b")->asInt());
+    sr.scenario.k = static_cast<int>(s.find("k")->asInt());
+    sr.scenario.l = static_cast<int>(s.find("l")->asInt());
+    sr.scenario.seed = static_cast<std::uint64_t>(s.find("seed")->asInt());
+    sr.n = static_cast<int>(s.find("n")->asInt());
+    sr.kEff = static_cast<int>(s.find("k_eff")->asInt());
+    sr.lEff = static_cast<int>(s.find("l_eff")->asInt());
+    for (const Json& r : s.find("runs")->items()) {
+      AlgoRun run;
+      run.algo = r.find("algo")->asString();
+      run.rounds = static_cast<long>(r.find("rounds")->asInt());
+      run.wallMs = r.find("wall_ms")->asNumber();
+      run.checkerOk = r.find("checker_ok")->asBool();
+      run.error = r.find("error")->asString();
+      run.delivers = static_cast<long>(r.find("delivers")->asInt());
+      run.beeps = static_cast<long>(r.find("beeps")->asInt());
+      if (const Json* phases = r.find("phases")) {
+        run.hasPhases = true;
+        for (std::size_t i = 0; i < kPhaseNames.size(); ++i)
+          run.phases[i] =
+              static_cast<long>(phases->find(kPhaseNames[i])->asInt());
+      }
+      sr.runs.push_back(std::move(run));
+    }
+    report.scenarios.push_back(std::move(sr));
+  }
+
+  const Json& totals = *doc.find("totals");
+  report.totalWallMs = totals.find("wall_ms")->asNumber();
+  report.peakRssKb = static_cast<long>(totals.find("peak_rss_kb")->asInt());
+  return report;
+}
+
+}  // namespace aspf::scenario

@@ -1,0 +1,101 @@
+#pragma once
+// The machine-readable perf report emitted by the runner and `aspf-run`.
+//
+// Schema (version 1; documented with examples in docs/BENCHMARKS.md):
+//
+//   {
+//     "schema_version": 1,
+//     "tool": "aspf-run",
+//     "suite": "<suite name or 'custom'>",
+//     "config": {"algos": [...], "threads": N, "lanes": N,
+//                "check": bool, "timing": bool},
+//     "scenarios": [
+//       {"name": ..., "shape": ..., "a": ..., "b": ..., "k": ..., "l": ...,
+//        "seed": ..., "n": ..., "k_eff": ..., "l_eff": ...,
+//        "runs": [
+//          {"algo": "polylog|wave|naive", "rounds": R, "wall_ms": T,
+//           "checker_ok": bool, "error": "",
+//           "delivers": ..., "beeps": ...,
+//           "phases": {"preprocessing": ..., "split": ..., "base": ...,
+//                      "decomposition": ..., "merging": ..., "prune": ...}}
+//        ]}
+//     ],
+//     "totals": {"scenarios": ..., "runs": ..., "wall_ms": ...,
+//                "peak_rss_kb": ...}
+//   }
+//
+// "rounds" is the model cost (synchronous circuit rounds); "delivers" and
+// "beeps" are simulator substrate counters (physical deliver() executions
+// and queued beeps); "wall_ms" is host wall-clock. `phases` appears only on
+// runs that report a per-phase breakdown (the polylog forest). All numeric
+// fields fit a double exactly. Reports round-trip: toJson -> dump ->
+// Json::parse -> reportFromJson reproduces the struct bit-for-bit except
+// for nothing -- wall-times are preserved verbatim.
+#include <array>
+#include <string>
+#include <vector>
+
+#include "scenario/json.hpp"
+#include "scenario/scenario.hpp"
+
+namespace aspf::scenario {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+inline constexpr std::array<const char*, 6> kPhaseNames{
+    "preprocessing", "split", "base", "decomposition", "merging", "prune"};
+
+struct AlgoRun {
+  std::string algo;        // "polylog" | "wave" | "naive"
+  long rounds = 0;         // synchronous circuit rounds (model cost)
+  double wallMs = 0.0;     // host wall-clock, 0 when timing is disabled
+  bool checkerOk = false;  // checker verdict (trusted-by-fiat when the
+                           // report's config.check is false)
+  std::string error;       // non-empty iff the run threw or failed checking
+  long delivers = 0;       // simulator deliver() executions
+  long beeps = 0;          // beeps queued on partition sets
+  bool hasPhases = false;  // true => `phases` is meaningful
+  std::array<long, 6> phases{};  // indexed like kPhaseNames
+
+  bool operator==(const AlgoRun&) const = default;
+};
+
+struct ScenarioReport {
+  Scenario scenario;
+  int n = 0;     // actual structure size
+  int kEff = 0;  // |S| after clamping to n
+  int lEff = 0;  // |D| after clamping to n
+  std::vector<AlgoRun> runs;
+
+  bool operator==(const ScenarioReport&) const = default;
+};
+
+struct BenchReport {
+  int schemaVersion = kReportSchemaVersion;
+  std::string suite;
+  std::vector<std::string> algos;
+  int threads = 1;
+  int lanes = 4;
+  bool check = true;   // false => checker was skipped; checker_ok fields
+                       // report trust, not a verified verdict
+  bool timing = true;
+  std::vector<ScenarioReport> scenarios;
+  double totalWallMs = 0.0;
+  long peakRssKb = 0;
+
+  bool operator==(const BenchReport&) const = default;
+};
+
+Json toJson(const BenchReport& report);
+
+/// Structural schema check: returns true iff the document is a valid
+/// version-1 report. On failure `error` (if non-null) names the offending
+/// path. Used by `aspf-run --check` and the CI smoke job.
+bool validateReport(const Json& doc, std::string* error);
+
+/// Parses a validated document back into the struct form; throws
+/// std::runtime_error with the validation message if the document does not
+/// conform to the schema.
+BenchReport reportFromJson(const Json& doc);
+
+}  // namespace aspf::scenario

@@ -1,0 +1,182 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "baselines/bfs_wave.hpp"
+#include "baselines/checker.hpp"
+#include "baselines/naive_forest.hpp"
+#include "sim/sim_counters.hpp"
+#include "spf/forest.hpp"
+
+namespace aspf::scenario {
+
+std::string_view toString(Algo algo) {
+  switch (algo) {
+    case Algo::Polylog: return "polylog";
+    case Algo::Wave: return "wave";
+    case Algo::Naive: return "naive";
+  }
+  return "?";
+}
+
+bool algoFromString(std::string_view tag, Algo* out) {
+  for (const Algo a : kAllAlgos) {
+    if (tag == toString(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+long peakRssKb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+namespace {
+
+AlgoRun runOne(const BuiltScenario& built, Algo algo,
+               const RunOptions& options) {
+  AlgoRun run;
+  run.algo = std::string(toString(algo));
+  const Region& region = built.region();
+  const ScenarioInstance& inst = built.instance();
+
+  const SimCounters before = simCounters();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<int> parent;
+  try {
+    switch (algo) {
+      case Algo::Polylog: {
+        const ForestResult r =
+            shortestPathForest(region, inst.isSource, inst.isDest,
+                               options.lanes);
+        run.rounds = r.rounds;
+        run.hasPhases = true;
+        run.phases = {r.phases.preprocessing, r.phases.split, r.phases.base,
+                      r.phases.decomposition, r.phases.merging,
+                      r.phases.prune};
+        parent = r.parent;
+        break;
+      }
+      case Algo::Wave: {
+        const BfsWaveResult r =
+            bfsWaveForest(region, inst.sources, inst.destinations);
+        run.rounds = r.rounds;
+        parent = r.parent;
+        break;
+      }
+      case Algo::Naive: {
+        const NaiveForestResult r = naiveSequentialForest(
+            region, inst.isSource, inst.isDest, options.lanes);
+        run.rounds = r.rounds;
+        parent = r.parent;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    run.error = e.what();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const SimCounters delta = simCounters() - before;
+  run.delivers = delta.delivers;
+  run.beeps = delta.beeps;
+  if (options.timing) {
+    run.wallMs =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+  }
+
+  if (run.error.empty()) {
+    if (options.check) {
+      const ForestCheck check = checkShortestPathForest(
+          region, parent, inst.sources, inst.destinations);
+      run.checkerOk = check.ok;
+      if (!check.ok) run.error = check.error;
+    } else {
+      run.checkerOk = true;  // unchecked runs are reported as trusted
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+BenchReport runBatch(std::string suiteName,
+                     const std::vector<Scenario>& scenarios,
+                     const RunOptions& options, const ProgressFn& progress) {
+  BenchReport report;
+  report.suite = std::move(suiteName);
+  for (const Algo a : options.algos)
+    report.algos.emplace_back(toString(a));
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads =
+      std::min(threads, std::max(1, static_cast<int>(scenarios.size())));
+  report.threads = threads;
+  report.lanes = options.lanes;
+  report.check = options.check;
+  report.timing = options.timing;
+  report.scenarios.resize(scenarios.size());
+
+  const auto batchStart = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  std::mutex progressMutex;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= scenarios.size()) return;
+      const BuiltScenario built(scenarios[i]);
+      ScenarioReport& sr = report.scenarios[i];
+      sr.scenario = scenarios[i];
+      sr.n = built.n();
+      sr.kEff = static_cast<int>(built.instance().sources.size());
+      sr.lEff = static_cast<int>(built.instance().destinations.size());
+      for (const Algo a : options.algos)
+        sr.runs.push_back(runOne(built, a, options));
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progressMutex);
+        progress(sr);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (options.timing) {
+    const auto batchStop = std::chrono::steady_clock::now();
+    report.totalWallMs =
+        std::chrono::duration<double, std::milli>(batchStop - batchStart)
+            .count();
+    report.peakRssKb = peakRssKb();
+  }
+  return report;
+}
+
+}  // namespace aspf::scenario

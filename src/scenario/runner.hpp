@@ -1,0 +1,63 @@
+#pragma once
+// Batch executor behind `aspf-run`: runs a list of scenarios through any
+// subset of the three algorithms on a thread pool and produces a
+// BenchReport.
+//
+// Determinism: each scenario is materialized from its own seed inside the
+// worker that claims it (structure build + S/D placement draw from a
+// scenario-private Rng stream; the simulator's counters are thread_local),
+// so results are independent of thread count and scheduling. Two runs with
+// the same scenarios, algorithms and lanes produce identical rounds,
+// parents, counters and checker verdicts -- only wall-time and RSS vary,
+// and `timing = false` zeroes those for byte-stable output (the CI
+// determinism check relies on this).
+//
+// Failure containment: an algorithm that throws or fails the checker is
+// recorded on its AlgoRun (`error`, `checker_ok = false`) instead of
+// aborting the batch.
+#include <array>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/report.hpp"
+#include "scenario/scenario.hpp"
+
+namespace aspf::scenario {
+
+enum class Algo {
+  Polylog,  // divide & conquer forest, O(log n log^2 k) (Theorem 56)
+  Wave,     // beep-wave BFS baseline, eccentricity(S) + O(1)
+  Naive,    // SSSP-per-source + merge baseline, O(k log n)
+};
+
+inline constexpr std::array<Algo, 3> kAllAlgos{Algo::Polylog, Algo::Wave,
+                                               Algo::Naive};
+
+std::string_view toString(Algo algo);
+bool algoFromString(std::string_view tag, Algo* out);
+
+struct RunOptions {
+  std::vector<Algo> algos{Algo::Polylog, Algo::Wave, Algo::Naive};
+  int threads = 0;    // 0 => hardware_concurrency
+  int lanes = 4;      // pin lanes for the circuit protocols
+  bool check = true;  // run the five-property checker on every result
+  bool timing = true; // measure wall-time + peak RSS (false => zeros)
+};
+
+/// Progress hook, called after each finished scenario (from worker
+/// threads, serialized by the runner). May be empty.
+using ProgressFn = std::function<void(const ScenarioReport&)>;
+
+/// Executes the batch; `suiteName` only labels the report.
+BenchReport runBatch(std::string suiteName,
+                     const std::vector<Scenario>& scenarios,
+                     const RunOptions& options,
+                     const ProgressFn& progress = {});
+
+/// Peak resident set size of this process in kilobytes (VmHWM), or 0 where
+/// unsupported.
+long peakRssKb();
+
+}  // namespace aspf::scenario

@@ -1,0 +1,139 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace aspf::scenario {
+
+std::string_view toString(Shape shape) {
+  switch (shape) {
+    case Shape::Parallelogram: return "parallelogram";
+    case Shape::Triangle: return "triangle";
+    case Shape::Hexagon: return "hexagon";
+    case Shape::Line: return "line";
+    case Shape::Comb: return "comb";
+    case Shape::Staircase: return "staircase";
+    case Shape::RandomBlob: return "blob";
+    case Shape::RandomSpider: return "spider";
+    case Shape::Zigzag: return "zigzag";
+    case Shape::DiamondChain: return "diamondchain";
+  }
+  return "?";
+}
+
+bool shapeFromString(std::string_view tag, Shape* out) {
+  for (const Shape s :
+       {Shape::Parallelogram, Shape::Triangle, Shape::Hexagon, Shape::Line,
+        Shape::Comb, Shape::Staircase, Shape::RandomBlob, Shape::RandomSpider,
+        Shape::Zigzag, Shape::DiamondChain}) {
+    if (tag == toString(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Which shape families consume the second parameter b.
+bool usesB(Shape shape) {
+  switch (shape) {
+    case Shape::Parallelogram:
+    case Shape::Comb:
+    case Shape::Staircase:
+    case Shape::RandomSpider:
+    case Shape::Zigzag:
+    case Shape::DiamondChain:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string canonicalName(const Scenario& sc) {
+  std::string name{toString(sc.shape)};
+  name += std::to_string(sc.a);
+  if (usesB(sc.shape)) name += "x" + std::to_string(sc.b);
+  name += "_k" + std::to_string(sc.k) + "_l" + std::to_string(sc.l) + "_s" +
+          std::to_string(sc.seed);
+  return name;
+}
+
+Scenario make(Shape shape, int a, int b, int k, int l, std::uint64_t seed) {
+  Scenario sc;
+  sc.shape = shape;
+  sc.a = a;
+  sc.b = b;
+  sc.k = k;
+  sc.l = l;
+  sc.seed = seed;
+  sc.name = canonicalName(sc);
+  return sc;
+}
+
+AmoebotStructure buildShape(const Scenario& sc) {
+  switch (sc.shape) {
+    case Shape::Parallelogram:
+      return shapes::parallelogram(sc.a, sc.b);
+    case Shape::Triangle:
+      return shapes::triangle(sc.a);
+    case Shape::Hexagon:
+      return shapes::hexagon(sc.a);
+    case Shape::Line:
+      return shapes::line(sc.a);
+    case Shape::Comb:
+      return shapes::comb(sc.a, sc.b);
+    case Shape::Staircase:
+      return shapes::staircase(sc.a, sc.b);
+    case Shape::RandomBlob:
+      return shapes::randomBlob(sc.a, sc.seed);
+    case Shape::RandomSpider:
+      return shapes::randomSpider(sc.a, sc.b, sc.seed);
+    case Shape::Zigzag:
+      return shapes::zigzag(sc.a, sc.b);
+    case Shape::DiamondChain:
+      return shapes::diamondChain(sc.a, sc.b);
+  }
+  throw std::invalid_argument("buildShape: unknown shape family");
+}
+
+ScenarioInstance placeSourcesAndDests(const Region& region,
+                                      const Scenario& sc) {
+  // Frozen seed derivation (golden-splitmix mix + offset): the conformance
+  // matrix instances recorded since PR 1 depend on it bit-for-bit.
+  Rng rng(sc.seed * 0x9E3779B97F4A7C15ULL + 0xA5A5A5A5ULL);
+  ScenarioInstance inst;
+  const int n = region.size();
+  const int k = std::min(sc.k, n);
+  const int l = std::min(sc.l, n);
+  inst.isSource.assign(n, 0);
+  inst.isDest.assign(n, 0);
+  while (static_cast<int>(inst.sources.size()) < k) {
+    const int u = static_cast<int>(rng.below(n));
+    if (!inst.isSource[u]) {
+      inst.isSource[u] = 1;
+      inst.sources.push_back(u);
+    }
+  }
+  while (static_cast<int>(inst.destinations.size()) < l) {
+    const int u = static_cast<int>(rng.below(n));
+    if (!inst.isDest[u]) {
+      inst.isDest[u] = 1;
+      inst.destinations.push_back(u);
+    }
+  }
+  return inst;
+}
+
+BuiltScenario::BuiltScenario(const Scenario& sc)
+    : scenario_(sc),
+      structure_(std::make_unique<AmoebotStructure>(buildShape(sc))),
+      region_(std::make_unique<Region>(Region::whole(*structure_))),
+      instance_(placeSourcesAndDests(*region_, sc)) {}
+
+}  // namespace aspf::scenario

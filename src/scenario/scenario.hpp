@@ -1,0 +1,105 @@
+#pragma once
+// Scenario vocabulary shared by tests, benches and the `aspf-run` CLI.
+//
+// A Scenario pins one (shape, k, l, seed) SPF instance completely: the
+// structure is rebuilt from the named generator and sources/destinations
+// are placed with the seeded library Rng (xoshiro256**), so every run on
+// every platform sees bit-identical instances. Scenario names are stable
+// ids (`<shape-tag>_k<k>_l<l>_s<seed>`) and double as gtest param names
+// and CLI selectors; any failure anywhere in the harness is replayable
+// from the name alone.
+//
+// Thread-safety: everything here is pure value construction from the
+// scenario's own seed -- no global state -- so scenarios can be built and
+// instantiated concurrently from any number of threads.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shapes/generators.hpp"
+#include "sim/region.hpp"
+
+namespace aspf::scenario {
+
+enum class Shape {
+  Parallelogram,  // a x b
+  Triangle,       // side a
+  Hexagon,        // radius a
+  Line,           // a amoebots
+  Comb,           // a teeth of length b (adversarial portals)
+  Staircase,      // a steps of size b (portal-heavy)
+  RandomBlob,     // ~a amoebots, grown with the scenario seed
+  RandomSpider,   // a arms of length b, thin high-diameter instance
+  Zigzag,         // a segments of length b, thin huge-diameter snake
+  DiamondChain,   // a hexagons of radius b joined by 1-wide bridges
+};
+
+/// Canonical lower-case tag used in scenario names and on the CLI
+/// (`parallelogram`, `triangle`, ..., `zigzag`, `diamondchain`).
+std::string_view toString(Shape shape);
+
+/// Inverse of toString; returns false if the tag names no shape family.
+bool shapeFromString(std::string_view tag, Shape* out);
+
+struct Scenario {
+  std::string name;        // stable id; doubles as the gtest param name
+  Shape shape = Shape::Line;
+  int a = 0;               // first shape parameter (see Shape)
+  int b = 0;               // second shape parameter (unused for some shapes)
+  int k = 1;               // requested |S| (clamped to n)
+  int l = 1;               // requested |D| (clamped to n)
+  std::uint64_t seed = 0;  // drives random shapes and S/D placement
+
+  bool operator==(const Scenario&) const = default;
+};
+
+/// Builds a Scenario with the canonical auto-generated name
+/// `<tag><a>[x<b>]_k<k>_l<l>_s<seed>` (e.g. `comb10x8_k5_l12_s2`).
+Scenario make(Shape shape, int a, int b, int k, int l, std::uint64_t seed);
+
+/// The canonical name `make` would assign; exposed so hand-built suites
+/// (e.g. the conformance matrix with its historical tags) can stay in sync.
+std::string canonicalName(const Scenario& sc);
+
+/// Rebuilds the amoebot structure of a scenario (deterministic; random
+/// shapes consume only the scenario seed).
+AmoebotStructure buildShape(const Scenario& sc);
+
+struct ScenarioInstance {
+  std::vector<int> sources;
+  std::vector<int> destinations;
+  std::vector<char> isSource;
+  std::vector<char> isDest;
+};
+
+/// Seeded placement: k distinct sources, l distinct destinations (the two
+/// sets may overlap, which the SPF definition permits). Counts are clamped
+/// to the region size so small shapes stay valid instances. The derivation
+/// from the scenario seed is frozen -- changing it would silently re-deal
+/// every recorded instance.
+ScenarioInstance placeSourcesAndDests(const Region& region,
+                                      const Scenario& sc);
+
+/// A fully materialized scenario: structure, whole-structure region and
+/// S/D placement, with stable addresses (safe to move around; the Region
+/// points into the heap-allocated structure).
+class BuiltScenario {
+ public:
+  explicit BuiltScenario(const Scenario& sc);
+
+  const Scenario& scenario() const noexcept { return scenario_; }
+  const AmoebotStructure& structure() const noexcept { return *structure_; }
+  const Region& region() const noexcept { return *region_; }
+  const ScenarioInstance& instance() const noexcept { return instance_; }
+  int n() const noexcept { return region_->size(); }
+
+ private:
+  Scenario scenario_;
+  std::unique_ptr<AmoebotStructure> structure_;
+  std::unique_ptr<Region> region_;
+  ScenarioInstance instance_;
+};
+
+}  // namespace aspf::scenario

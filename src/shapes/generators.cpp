@@ -99,6 +99,40 @@ AmoebotStructure staircase(int steps, int stepSize) {
   return fromSet(set);
 }
 
+AmoebotStructure zigzag(int segments, int segmentLength) {
+  if (segments < 1 || segmentLength < 1)
+    throw std::invalid_argument("zigzag: bad parameters");
+  CoordSet set;
+  Coord c{0, 0};
+  set.insert(c);
+  for (int s = 0; s < segments; ++s) {
+    const Dir step = (s % 2 == 0) ? Dir::E : Dir::NE;
+    for (int i = 0; i < segmentLength; ++i) {
+      c = c.neighbor(step);
+      set.insert(c);
+    }
+  }
+  return fromSet(set);
+}
+
+AmoebotStructure diamondChain(int count, int radius) {
+  if (count < 1 || radius < 1)
+    throw std::invalid_argument("diamondChain: bad parameters");
+  CoordSet set;
+  // Consecutive hexagon centers sit 2*radius + 2 apart on the x-axis; the
+  // single node between two adjacent hexagon tips is the bridge.
+  for (int h = 0; h < count; ++h) {
+    const Coord center{h * (2 * radius + 2), 0};
+    for (int r = -radius; r <= radius; ++r) {
+      for (int q = -radius; q <= radius; ++q) {
+        if (std::abs(q + r) <= radius) set.insert({center.q + q, center.r + r});
+      }
+    }
+    if (h + 1 < count) set.insert({center.q + radius + 1, 0});
+  }
+  return fromSet(set);
+}
+
 AmoebotStructure fillHoles(std::vector<Coord> coords) {
   CoordSet set(coords.begin(), coords.end());
   if (set.empty()) throw std::invalid_argument("fillHoles: empty structure");

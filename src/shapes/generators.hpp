@@ -32,6 +32,18 @@ AmoebotStructure comb(int teeth, int toothLength, int pitch = 2);
 /// counts relative to n.
 AmoebotStructure staircase(int steps, int stepSize);
 
+/// Zigzag snake: `segments` straight runs of `segmentLength` amoebots each,
+/// alternating between the E and NE directions. Thin (width 1), huge
+/// diameter (~segments * segmentLength), and its portal trees degenerate
+/// toward paths -- the adversarial regime for the divide & conquer split.
+AmoebotStructure zigzag(int segments, int segmentLength);
+
+/// Chain of `count` hexagons of the given radius, consecutive hexagons
+/// connected by a single-amoebot bridge. Combines fat regions (many
+/// amoebots per portal) with 1-wide cuts, so region merging crosses
+/// minimal portals between large sub-instances. Hole-free by construction.
+AmoebotStructure diamondChain(int count, int radius);
+
 /// Random hole-free blob with at least `targetSize` amoebots: randomized
 /// boundary growth from the origin, followed by filling all enclosed holes
 /// (so the result is hole-free by construction; may slightly exceed

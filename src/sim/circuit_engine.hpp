@@ -1,9 +1,16 @@
 #pragma once
 // Standalone circuit analysis: given the pin configurations of a Comm,
-// compute the circuits (connected components of partition sets). Comm itself
-// recomputes this per round internally; this module exposes the structure
-// for tests, visualization, and statistics (e.g. how many circuits a
-// configuration induces, which amoebots a circuit spans).
+// compute the circuits (connected components of partition sets, Section
+// 1.2). Comm itself recomputes this per round internally; this module
+// exposes the structure for tests, visualization, and statistics (e.g. how
+// many circuits a configuration induces, which amoebots a circuit spans).
+//
+// Complexity contract: charges no rounds (it is an observer, not a
+// protocol step); host cost is one union-find pass over all pins,
+// O(n * lanes * alpha).
+//
+// Thread-safety: read-only on the Comm; safe concurrently with other
+// readers, not with a concurrent deliver() on the same Comm.
 #include <vector>
 
 #include "sim/comm.hpp"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/sim_counters.hpp"
+
 namespace aspf {
 
 Comm::Comm(const Region& region, int lanes)
@@ -19,6 +21,7 @@ void Comm::resetPins() {
 }
 
 void Comm::beep(int local, int label) {
+  ++simCounters().beeps;
   pendingBeeps_.emplace_back(local, label);
 }
 
@@ -85,6 +88,7 @@ void Comm::deliver() {
   }
   pendingBeeps_.clear();
   ++rounds_;
+  ++simCounters().delivers;
 }
 
 bool Comm::received(int local, int label) const {

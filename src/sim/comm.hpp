@@ -8,6 +8,17 @@
 // Parallel composition (the synchronization technique of Padalkin et al.
 // [26]) is modeled by parallelRounds(): sub-protocols on disjoint regions run
 // sequentially in the simulator but are charged max(rounds) + sync overhead.
+//
+// Complexity contract: rounds() is the model cost that the paper's bounds
+// (O(log l), O(log n log^2 k), ...) speak about; it includes rounds charged
+// via chargeRounds()/parallelRounds() without being simulated. One
+// deliver() costs the host O(n * lanes * alpha) (a union-find pass over all
+// pins); the thread-local SimCounters (sim_counters.hpp) record delivers
+// and beeps for the substrate-cost view.
+//
+// Thread-safety: a Comm is single-threaded by design (one protocol
+// execution); run concurrent protocols on separate Comm instances --
+// possibly over the same Region, which deliver() only reads.
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -7,6 +7,13 @@
 // A pin is addressed by (direction, lane). Partition sets are addressed by a
 // small integer label local to the amoebot; by default every pin forms a
 // singleton set labeled with its own pin index.
+//
+// Complexity contract: reconfiguring pins is free in the model -- only
+// Comm::deliver() charges a round -- matching the paper, where an amoebot
+// may set up an arbitrary pin configuration between two rounds.
+//
+// Thread-safety: a PinConfig is a plain value owned by its Comm; distinct
+// Comms (hence distinct protocol executions) may run on distinct threads.
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -5,6 +5,14 @@
 // sub-protocols on overlapping regions; circuits built on a region never
 // leave it (amoebots outside keep singleton partition sets, which do not
 // relay signals -- exactly as in the model).
+//
+// Complexity contract: construction and the helpers (isConnectedInduced,
+// bfsDistancesLocal) are host-side O(region size) computations charging no
+// rounds; only protocols executed through a Comm on the region spend
+// rounds.
+//
+// Thread-safety: immutable after whole()/of(); concurrent reads are safe.
+// The referenced structure must outlive the region.
 #include <optional>
 #include <span>
 #include <unordered_map>

@@ -1,0 +1,10 @@
+#include "sim/sim_counters.hpp"
+
+namespace aspf {
+
+SimCounters& simCounters() noexcept {
+  thread_local SimCounters counters;
+  return counters;
+}
+
+}  // namespace aspf

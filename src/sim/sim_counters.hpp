@@ -1,0 +1,32 @@
+#pragma once
+// Lightweight substrate counters threaded through the circuit simulator.
+//
+// `rounds` (on Comm and in every algorithm result) is the *model* cost:
+// synchronous rounds of the reconfigurable-circuit protocol, including
+// charged-but-not-simulated synchronization rounds. These counters instead
+// measure what the *simulator* physically did -- deliver() executions and
+// beeps queued -- which is what host wall-time scales with. The scenario runner snapshots them around every algorithm
+// execution and reports the deltas next to rounds and wall-time, so a perf
+// PR can tell "fewer model rounds" apart from "cheaper simulation".
+//
+// Thread-safety: the counters are thread_local, so concurrent scenario
+// executions on a thread pool never contend or cross-pollute; each worker
+// reads deltas of its own stream. Increments cost one TLS add per event
+// (events are whole rounds, not per-pin work), so the instrumentation is
+// far below measurement noise.
+namespace aspf {
+
+struct SimCounters {
+  long delivers = 0;  ///< Comm::deliver() executions (physical rounds).
+  long beeps = 0;     ///< Beeps queued on partition sets.
+
+  SimCounters operator-(const SimCounters& base) const noexcept {
+    return {delivers - base.delivers, beeps - base.beeps};
+  }
+};
+
+/// The calling thread's counters (mutable; monotonically increasing).
+/// Callers wanting a per-execution reading snapshot before and subtract.
+SimCounters& simCounters() noexcept;
+
+}  // namespace aspf

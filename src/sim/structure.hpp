@@ -1,8 +1,18 @@
 #pragma once
 // The amoebot structure: a finite, connected set of occupied nodes of the
-// triangular grid. Provides adjacency, connectivity and hole-freeness checks
-// (the paper's algorithms require a hole-free structure: the complement of X
-// in G_Delta must be connected), and exact BFS distances for verification.
+// triangular grid (the paper's X subset of G_Delta, Section 2). Provides
+// adjacency, connectivity and hole-freeness checks (the paper's algorithms
+// require a hole-free structure: the complement of X in G_Delta must be
+// connected), and exact BFS distances for verification.
+//
+// Complexity contract: these are host-side computations, not circuit
+// protocols -- they charge no rounds. fromCoords/isConnected/isHoleFree/
+// bfsDistances are O(n) to O(n + area of the bounding box); the
+// verification-side BFS is the ground truth the round-counted algorithms
+// are checked against.
+//
+// Thread-safety: immutable after fromCoords(); concurrent reads from any
+// number of threads are safe (the scenario runner relies on this).
 #include <span>
 #include <unordered_map>
 #include <vector>

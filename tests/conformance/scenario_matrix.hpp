@@ -1,148 +1,32 @@
 #pragma once
 // Deterministic scenario matrix for the cross-algorithm conformance suite.
 //
-// A Scenario pins down one (shape, k, l, seed) instance completely: the
-// structure is rebuilt from the named generator, and sources/destinations
-// are placed with the seeded library Rng (xoshiro256**), so every run on
-// every platform sees bit-identical instances. The conformance test sweeps
-// the matrix and requires the polylog forest (Theorem 56), the beep-wave
-// BFS baseline and the naive sequential baseline to agree.
-#include <cstdint>
-#include <string>
+// Since PR 2 the scenario vocabulary lives in the library
+// (src/scenario/): Scenario, shape construction, seeded S/D placement and
+// the named suite registry are shared by this suite, the benches and the
+// `aspf-run` CLI. This header only aliases the library types under the
+// historical aspf::conformance names; the matrix itself is the registry's
+// frozen "conformance" suite, bit-identical to the PR-1 instances (same
+// names, same seed derivation, same placement order).
 #include <vector>
 
-#include "shapes/generators.hpp"
-#include "sim/region.hpp"
-#include "util/rng.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
 
 namespace aspf::conformance {
 
-enum class Shape {
-  Parallelogram,  // a x b
-  Triangle,       // side a
-  Hexagon,        // radius a
-  Line,           // a amoebots
-  Comb,           // a teeth of length b (adversarial portals)
-  Staircase,      // a steps of size b (portal-heavy)
-  RandomBlob,     // ~a amoebots, grown with the scenario seed
-  RandomSpider,   // a arms of length b, thin high-diameter instance
-};
-
-struct Scenario {
-  std::string name;        // stable id; doubles as the gtest param name
-  Shape shape;
-  int a = 0;               // first shape parameter (see Shape)
-  int b = 0;               // second shape parameter (unused for some shapes)
-  int k = 1;               // requested |S| (clamped to n)
-  int l = 1;               // requested |D| (clamped to n)
-  std::uint64_t seed = 0;  // drives random shapes and S/D placement
-};
-
-inline AmoebotStructure buildShape(const Scenario& sc) {
-  switch (sc.shape) {
-    case Shape::Parallelogram:
-      return shapes::parallelogram(sc.a, sc.b);
-    case Shape::Triangle:
-      return shapes::triangle(sc.a);
-    case Shape::Hexagon:
-      return shapes::hexagon(sc.a);
-    case Shape::Line:
-      return shapes::line(sc.a);
-    case Shape::Comb:
-      return shapes::comb(sc.a, sc.b);
-    case Shape::Staircase:
-      return shapes::staircase(sc.a, sc.b);
-    case Shape::RandomBlob:
-      return shapes::randomBlob(sc.a, sc.seed);
-    case Shape::RandomSpider:
-      return shapes::randomSpider(sc.a, sc.b, sc.seed);
-  }
-  return shapes::line(1);  // unreachable
-}
-
-struct ScenarioInstance {
-  std::vector<int> sources;
-  std::vector<int> destinations;
-  std::vector<char> isSource;
-  std::vector<char> isDest;
-};
-
-/// Seeded placement: k distinct sources, l distinct destinations (the two
-/// sets may overlap, which the SPF definition permits). Counts are clamped
-/// to the region size so small shapes stay valid instances.
-inline ScenarioInstance placeSourcesAndDests(const Region& region,
-                                             const Scenario& sc) {
-  Rng rng(sc.seed * 0x9E3779B97F4A7C15ULL + 0xA5A5A5A5ULL);
-  ScenarioInstance inst;
-  const int n = region.size();
-  const int k = std::min(sc.k, n);
-  const int l = std::min(sc.l, n);
-  inst.isSource.assign(n, 0);
-  inst.isDest.assign(n, 0);
-  while (static_cast<int>(inst.sources.size()) < k) {
-    const int u = static_cast<int>(rng.below(n));
-    if (!inst.isSource[u]) {
-      inst.isSource[u] = 1;
-      inst.sources.push_back(u);
-    }
-  }
-  while (static_cast<int>(inst.destinations.size()) < l) {
-    const int u = static_cast<int>(rng.below(n));
-    if (!inst.isDest[u]) {
-      inst.isDest[u] = 1;
-      inst.destinations.push_back(u);
-    }
-  }
-  return inst;
-}
+using scenario::Scenario;
+using scenario::ScenarioInstance;
+using scenario::Shape;
+using scenario::buildShape;
+using scenario::placeSourcesAndDests;
 
 /// The sweep: every shape family x a spread of (k,l) configurations x
-/// seeds. Kept deliberately explicit (no runtime randomness in the matrix
-/// itself) so a failing scenario can be named and replayed exactly.
+/// seeds -- {8 shapes x 4 (k,l) x 2 seeds} = 64 scenarios, fully pinned by
+/// name so a failing scenario can be replayed exactly (also via
+/// `aspf-run --scenario <name>`).
 inline std::vector<Scenario> scenarioMatrix() {
-  struct ShapeSpec {
-    const char* tag;
-    Shape shape;
-    int a, b;
-  };
-  // n is ~100-180 per shape: large enough for nontrivial portal trees and
-  // region merging, small enough that the full sweep stays in CI budget.
-  const ShapeSpec shapeSpecs[] = {
-      {"parallelogram16x8", Shape::Parallelogram, 16, 8},
-      {"triangle14", Shape::Triangle, 14, 0},
-      {"hexagon6", Shape::Hexagon, 6, 0},
-      {"line96", Shape::Line, 96, 0},
-      {"comb10x8", Shape::Comb, 10, 8},
-      {"staircase8x4", Shape::Staircase, 8, 4},
-      {"blob140", Shape::RandomBlob, 140, 0},
-      {"spider4x18", Shape::RandomSpider, 4, 18},
-  };
-  struct KlSpec {
-    int k, l;
-  };
-  // From SSSP-ish (k=1) through the many-source regime where the divide &
-  // conquer depth (log^2 k factor) is actually exercised.
-  const KlSpec klSpecs[] = {{1, 6}, {2, 8}, {5, 12}, {12, 20}};
-  const std::uint64_t seeds[] = {1, 2};
-
-  std::vector<Scenario> matrix;
-  for (const auto& ss : shapeSpecs) {
-    for (const auto& kl : klSpecs) {
-      for (const std::uint64_t seed : seeds) {
-        Scenario sc;
-        sc.name = std::string(ss.tag) + "_k" + std::to_string(kl.k) + "_l" +
-                  std::to_string(kl.l) + "_s" + std::to_string(seed);
-        sc.shape = ss.shape;
-        sc.a = ss.a;
-        sc.b = ss.b;
-        sc.k = kl.k;
-        sc.l = kl.l;
-        sc.seed = seed;
-        matrix.push_back(sc);
-      }
-    }
-  }
-  return matrix;
+  return scenario::conformanceMatrix();
 }
 
 }  // namespace aspf::conformance

@@ -1,0 +1,341 @@
+// Unit tests for the scenario subsystem: registry integrity (every named
+// scenario constructs a connected, hole-free structure and replays
+// bit-identically from its seed), sweep building, the JSON value
+// round-trip, report schema validation, and runner determinism across
+// thread counts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "scenario/json.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace aspf::scenario {
+namespace {
+
+// --- Registry ------------------------------------------------------------
+
+TEST(Registry, SuitesArePresent) {
+  EXPECT_NE(findSuite("conformance"), nullptr);
+  EXPECT_NE(findSuite("smoke"), nullptr);
+  EXPECT_NE(findSuite("large"), nullptr);
+  EXPECT_EQ(findSuite("no-such-suite"), nullptr);
+}
+
+TEST(Registry, ConformanceMatrixIsFrozen) {
+  // 8 shape families x 4 (k,l) x 2 seeds, and the PR-1 names, which pin
+  // the recorded instances of the conformance harness.
+  const std::vector<Scenario> matrix = conformanceMatrix();
+  ASSERT_EQ(matrix.size(), 64u);
+  EXPECT_EQ(matrix.front().name, "parallelogram16x8_k1_l6_s1");
+  EXPECT_EQ(matrix.back().name, "spider4x18_k12_l20_s2");
+  std::set<std::string> names;
+  for (const Scenario& sc : matrix) names.insert(sc.name);
+  EXPECT_EQ(names.size(), matrix.size()) << "duplicate scenario names";
+}
+
+TEST(Registry, NamesAreCanonicalAndUnambiguous) {
+  // A name may appear in several suites (smoke reuses conformance
+  // instances on purpose) but then must denote the *identical* scenario,
+  // so `aspf-run --scenario <name>` and gtest replay are unambiguous.
+  std::map<std::string, Scenario> byName;
+  for (const Suite& suite : suites()) {
+    std::set<std::string> inSuite;
+    for (const Scenario& sc : suite.scenarios) {
+      EXPECT_TRUE(inSuite.insert(sc.name).second)
+          << "duplicate name " << sc.name << " within suite " << suite.name;
+      EXPECT_EQ(sc.name, canonicalName(sc));
+      const auto [it, inserted] = byName.emplace(sc.name, sc);
+      if (!inserted) {
+        EXPECT_EQ(it->second, sc)
+            << "name " << sc.name << " denotes two different scenarios";
+      }
+      const Scenario* found = findScenario(sc.name);
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(*found, sc);
+    }
+  }
+}
+
+TEST(Registry, EveryScenarioConstructsConnectedAndHoleFree) {
+  for (const Suite& suite : suites()) {
+    // The large suite is covered by its own (slower) construction test via
+    // smoke/conformance shape families; constructing ~4k-amoebot blobs for
+    // every shape here would dominate the suite. Spot-check instead.
+    const std::size_t limit =
+        suite.name == "large" ? 3 : suite.scenarios.size();
+    for (std::size_t i = 0; i < limit; ++i) {
+      const Scenario& sc = suite.scenarios[i];
+      SCOPED_TRACE(sc.name);
+      const BuiltScenario built(sc);
+      EXPECT_GT(built.n(), 0);
+      EXPECT_TRUE(built.structure().isConnected());
+      EXPECT_TRUE(built.structure().isHoleFree());
+      EXPECT_EQ(static_cast<int>(built.instance().sources.size()),
+                std::min(sc.k, built.n()));
+      EXPECT_EQ(static_cast<int>(built.instance().destinations.size()),
+                std::min(sc.l, built.n()));
+    }
+  }
+}
+
+TEST(Registry, NewShapeFamiliesAreValidInstances) {
+  for (const Scenario& sc : {make(Shape::Zigzag, 12, 8, 2, 4, 7),
+                             make(Shape::DiamondChain, 5, 3, 2, 4, 7)}) {
+    SCOPED_TRACE(sc.name);
+    const BuiltScenario built(sc);
+    EXPECT_TRUE(built.structure().isConnected());
+    EXPECT_TRUE(built.structure().isHoleFree());
+  }
+  // Sizes are exact and deterministic: a zigzag has a*b + 1 amoebots, a
+  // diamond chain a hexagons of 3b(b+1)+1 plus a-1 bridges.
+  EXPECT_EQ(buildShape(make(Shape::Zigzag, 12, 8, 1, 1, 0)).size(),
+            12 * 8 + 1);
+  EXPECT_EQ(buildShape(make(Shape::DiamondChain, 5, 3, 1, 1, 0)).size(),
+            5 * (3 * 3 * 4 + 1) + 4);
+}
+
+TEST(Registry, ScenariosReplayIdentically) {
+  for (const Suite& suite : suites()) {
+    if (suite.name == "large") continue;  // replay covered by runner test
+    for (const Scenario& sc : suite.scenarios) {
+      SCOPED_TRACE(sc.name);
+      const BuiltScenario a(sc);
+      const BuiltScenario b(sc);
+      ASSERT_EQ(a.n(), b.n());
+      EXPECT_EQ(a.structure().coords(), b.structure().coords());
+      EXPECT_EQ(a.instance().sources, b.instance().sources);
+      EXPECT_EQ(a.instance().destinations, b.instance().destinations);
+    }
+  }
+}
+
+TEST(Registry, BuildSweepTakesTheCrossProduct) {
+  SweepSpec spec;
+  spec.shape = Shape::Hexagon;
+  spec.a = 4;
+  spec.ks = {1, 4};
+  spec.ls = {2, 8};
+  spec.seeds = {1, 2, 3};
+  const std::vector<Scenario> swept = buildSweep(spec);
+  ASSERT_EQ(swept.size(), 2u * 2u * 3u);
+  EXPECT_EQ(swept.front().name, "hexagon4_k1_l2_s1");
+  EXPECT_EQ(swept.back().name, "hexagon4_k4_l8_s3");
+}
+
+TEST(Registry, ShapeTagsRoundTrip) {
+  for (const Shape s :
+       {Shape::Parallelogram, Shape::Triangle, Shape::Hexagon, Shape::Line,
+        Shape::Comb, Shape::Staircase, Shape::RandomBlob, Shape::RandomSpider,
+        Shape::Zigzag, Shape::DiamondChain}) {
+    Shape parsed;
+    ASSERT_TRUE(shapeFromString(toString(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  Shape parsed;
+  EXPECT_FALSE(shapeFromString("dodecahedron", &parsed));
+}
+
+// --- Json ----------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  Json doc = Json::object();
+  doc["s"] = Json("quote \" backslash \\ newline \n tab \t");
+  doc["i"] = Json(42);
+  doc["neg"] = Json(-7);
+  doc["f"] = Json(1.25);
+  doc["big"] = Json(1234567890123LL);
+  doc["t"] = Json(true);
+  doc["nil"] = Json();
+  Json arr = Json::array();
+  arr.push(Json(1));
+  arr.push(Json("two"));
+  arr.push(Json::object());
+  doc["arr"] = std::move(arr);
+
+  for (const int indent : {0, 2}) {
+    const Json reparsed = Json::parse(doc.dump(indent));
+    EXPECT_EQ(reparsed, doc) << "indent=" << indent;
+  }
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}", "nul"}) {
+    EXPECT_THROW(Json::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndFinds) {
+  Json obj = Json::object();
+  obj["z"] = Json(1);
+  obj["a"] = Json(2);
+  obj["z"] = Json(3);  // overwrite, not duplicate
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "z");
+  EXPECT_EQ(obj.find("z")->asInt(), 3);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+// --- Report round-trip + validation --------------------------------------
+
+BenchReport sampleReport() {
+  BenchReport report;
+  report.suite = "smoke";
+  report.algos = {"polylog", "wave"};
+  report.threads = 2;
+  report.lanes = 4;
+  report.timing = true;
+  ScenarioReport sr;
+  sr.scenario = make(Shape::Comb, 10, 8, 5, 12, 2);
+  sr.n = 99;
+  sr.kEff = 5;
+  sr.lEff = 12;
+  AlgoRun polylog;
+  polylog.algo = "polylog";
+  polylog.rounds = 300;
+  polylog.wallMs = 12.375;  // dyadic, exact through the double round-trip
+  polylog.checkerOk = true;
+  polylog.delivers = 530;
+  polylog.beeps = 2923;
+  polylog.hasPhases = true;
+  polylog.phases = {10, 20, 30, 40, 50, 60};
+  AlgoRun wave;
+  wave.algo = "wave";
+  wave.rounds = 44;
+  wave.wallMs = 0.5;
+  wave.checkerOk = true;
+  wave.delivers = 22;
+  wave.beeps = 214;
+  sr.runs = {polylog, wave};
+  report.scenarios = {sr};
+  report.totalWallMs = 13.5;
+  report.peakRssKb = 4664;
+  return report;
+}
+
+TEST(Report, JsonRoundTripReproducesTheStruct) {
+  const BenchReport report = sampleReport();
+  const Json doc = toJson(report);
+  std::string error;
+  ASSERT_TRUE(validateReport(doc, &error)) << error;
+  const Json reparsed = Json::parse(doc.dump(2));
+  EXPECT_EQ(reparsed, doc);
+  const BenchReport back = reportFromJson(reparsed);
+  EXPECT_EQ(back, report);
+}
+
+TEST(Report, ValidateRejectsSchemaViolations) {
+  const Json good = toJson(sampleReport());
+  std::string error;
+
+  Json wrongVersion = good;
+  wrongVersion["schema_version"] = Json(99);
+  EXPECT_FALSE(validateReport(wrongVersion, &error));
+  EXPECT_NE(error.find("schema_version"), std::string::npos);
+
+  Json missingTotals = good;
+  missingTotals["totals"] = Json();  // null, not an object
+  EXPECT_FALSE(validateReport(missingTotals, &error));
+
+  Json badTotals = good;
+  badTotals["totals"]["runs"] = Json(99);  // inconsistent with runs[] sums
+  EXPECT_FALSE(validateReport(badTotals, &error));
+  EXPECT_NE(error.find("totals.runs"), std::string::npos);
+
+  Json badAlgo = good;
+  badAlgo["scenarios"] = Json::parse(
+      R"([{"name":"x","shape":"comb","a":1,"b":1,"k":1,"l":1,"seed":1,
+           "n":3,"k_eff":1,"l_eff":1,
+           "runs":[{"algo":"dijkstra","rounds":1,"wall_ms":0,
+                    "checker_ok":true,"error":"","delivers":0,"beeps":0}]}])");
+  // totals.scenarios still says 1, so only the algo name is wrong.
+  EXPECT_FALSE(validateReport(badAlgo, &error));
+  EXPECT_NE(error.find("algo"), std::string::npos);
+
+  EXPECT_THROW(reportFromJson(wrongVersion), std::runtime_error);
+}
+
+// --- Runner --------------------------------------------------------------
+
+TEST(Runner, DeterministicAcrossRunsAndThreadCounts) {
+  const std::vector<Scenario> batch = {make(Shape::Hexagon, 5, 0, 3, 6, 1),
+                                       make(Shape::Comb, 6, 5, 2, 4, 2),
+                                       make(Shape::Zigzag, 6, 6, 2, 4, 1)};
+  RunOptions options;
+  options.timing = false;  // zero wall-time so reports compare exactly
+  options.threads = 1;
+  const BenchReport a = runBatch("t", batch, options);
+  options.threads = 3;
+  const BenchReport b = runBatch("t", batch, options);
+  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+  // Scenario payloads must be bit-identical; only the recorded thread
+  // count may differ.
+  EXPECT_EQ(a.scenarios, b.scenarios);
+  for (const ScenarioReport& sr : a.scenarios) {
+    ASSERT_EQ(sr.runs.size(), 3u);
+    for (const AlgoRun& run : sr.runs) {
+      EXPECT_TRUE(run.checkerOk) << sr.scenario.name << " " << run.algo;
+      EXPECT_TRUE(run.error.empty()) << run.error;
+      EXPECT_EQ(run.wallMs, 0.0);
+      EXPECT_GT(run.rounds, 0);
+      EXPECT_GT(run.delivers, 0);
+    }
+    // The polylog run carries the per-phase breakdown and it sums to the
+    // total (the breakdown partitions the round count).
+    const AlgoRun& polylog = sr.runs[0];
+    ASSERT_TRUE(polylog.hasPhases);
+    long sum = 0;
+    for (const long p : polylog.phases) sum += p;
+    EXPECT_EQ(sum, polylog.rounds);
+  }
+}
+
+TEST(Runner, RecordsFailuresInsteadOfAborting) {
+  // k = 0: every algorithm throws std::invalid_argument; the batch must
+  // complete and carry the error message on each run.
+  Scenario sc = make(Shape::Hexagon, 3, 0, 0, 2, 1);
+  RunOptions options;
+  options.timing = false;
+  const BenchReport report = runBatch("t", {sc}, options);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  for (const AlgoRun& run : report.scenarios[0].runs) {
+    EXPECT_FALSE(run.checkerOk) << run.algo;
+    EXPECT_FALSE(run.error.empty()) << run.algo;
+  }
+  std::string error;
+  EXPECT_TRUE(validateReport(toJson(report), &error)) << error;
+}
+
+TEST(Runner, UncheckedRunsAreMarkedInTheConfigBlock) {
+  // With check = false the checker verdicts are trust, not verification;
+  // the report must say so, or an unverified baseline could masquerade as
+  // a checked one.
+  RunOptions options;
+  options.timing = false;
+  options.check = false;
+  const BenchReport report =
+      runBatch("t", {make(Shape::Hexagon, 3, 0, 2, 4, 1)}, options);
+  EXPECT_FALSE(report.check);
+  const Json doc = toJson(report);
+  ASSERT_NE(doc.find("config")->find("check"), nullptr);
+  EXPECT_FALSE(doc.find("config")->find("check")->asBool());
+  EXPECT_TRUE(reportFromJson(doc) == report);
+}
+
+TEST(Runner, AlgoTagsRoundTrip) {
+  for (const Algo a : kAllAlgos) {
+    Algo parsed;
+    ASSERT_TRUE(algoFromString(toString(a), &parsed));
+    EXPECT_EQ(parsed, a);
+  }
+  Algo parsed;
+  EXPECT_FALSE(algoFromString("dijkstra", &parsed));
+}
+
+}  // namespace
+}  // namespace aspf::scenario

@@ -1,0 +1,335 @@
+// aspf-run -- the unified scenario runner.
+//
+// Loads scenarios from the named registry (src/scenario/registry.*) or from
+// a CLI-described sweep, executes any subset of the three SPF algorithms
+// over the batch on a thread pool, prints a paper-style table and emits the
+// schema-stable JSON report (docs/BENCHMARKS.md). Every workload is named
+// in the shared scenario vocabulary, so a row in a report replays exactly
+// in the conformance tests and benches.
+//
+//   aspf-run --list
+//   aspf-run --suite smoke --algo all --json out.json
+//   aspf-run --scenario comb10x8_k5_l12_s2 --algo polylog
+//   aspf-run --shape hexagon --a 16 --k 2,8,32 --l 32 --seeds 1..3
+//   aspf-run --check out.json
+//
+// Exit codes: 0 success; 1 usage / --check validation failure; 2 at least
+// one run errored or failed the forest checker.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace aspf;
+using namespace aspf::scenario;
+
+void printUsage(std::ostream& os) {
+  os << "aspf-run: scenario runner for the amoebot SPF library\n\n"
+        "Selection (combinable; duplicates are kept in order):\n"
+        "  --list                 list registered suites and scenarios\n"
+        "  --suite NAME           add every scenario of a registry suite\n"
+        "  --scenario NAME        add one scenario by its stable name\n"
+        "  --shape TAG --a N [--b N] [--k LIST] [--l LIST] [--seeds LIST]\n"
+        "                         add a sweep (LIST: comma values and lo..hi\n"
+        "                         ranges, e.g. 2,8,32 or 1..4)\n\n"
+        "Execution:\n"
+        "  --algo LIST            polylog, wave, naive or all (default all)\n"
+        "  --threads N            worker threads (default: hardware)\n"
+        "  --lanes N              pin lanes for the circuit protocols "
+        "(default 4)\n"
+        "  --no-check             skip the five-property forest checker\n"
+        "  --no-timing            zero wall-time/RSS fields (byte-stable "
+        "output)\n\n"
+        "Output:\n"
+        "  --json PATH            write the JSON report ('-' for stdout)\n"
+        "  --quiet                suppress the table\n\n"
+        "Validation:\n"
+        "  --check PATH           validate an existing report against the\n"
+        "                         schema and exit\n";
+}
+
+/// std::stoi with the CLI's usage-error contract (exit 1, no terminate).
+int parseIntFlag(const std::string& text, const char* flag) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    std::cerr << "aspf-run: " << flag << " needs an integer, got '" << text
+              << "'\n";
+    std::exit(1);
+  }
+}
+
+bool parseIntList(const std::string& text, std::vector<int>* out) {
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t dots = item.find("..");
+    try {
+      if (dots != std::string::npos) {
+        const int lo = std::stoi(item.substr(0, dots));
+        const int hi = std::stoi(item.substr(dots + 2));
+        if (hi < lo) return false;
+        for (int v = lo; v <= hi; ++v) out->push_back(v);
+      } else {
+        out->push_back(std::stoi(item));
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+int doList() {
+  for (const Suite& suite : suites()) {
+    std::cout << suite.name << " — " << suite.description << " ("
+              << suite.scenarios.size() << " scenarios)\n";
+    for (const Scenario& sc : suite.scenarios)
+      std::cout << "  " << sc.name << "\n";
+  }
+  return 0;
+}
+
+int doCheck(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "aspf-run: cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const Json doc = Json::parse(buffer.str());
+    std::string error;
+    if (!validateReport(doc, &error)) {
+      std::cerr << "aspf-run: " << path << " is NOT schema-valid: " << error
+                << "\n";
+      return 1;
+    }
+    // Full round-trip: struct -> json must reproduce a valid document too.
+    const BenchReport report = reportFromJson(doc);
+    if (!validateReport(toJson(report), &error)) {
+      std::cerr << "aspf-run: round-trip of " << path
+                << " broke validity: " << error << "\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "aspf-run: " << path << " failed to parse: " << e.what()
+              << "\n";
+    return 1;
+  }
+  std::cout << path << ": schema-valid (version " << kReportSchemaVersion
+            << ")\n";
+  return 0;
+}
+
+struct Cli {
+  std::vector<Scenario> scenarios;
+  std::vector<std::string> suiteNames;
+  RunOptions options;
+  std::string jsonPath;
+  bool quiet = false;
+};
+
+void printTable(const BenchReport& report) {
+  Table table({"scenario", "n", "k", "l", "algo", "rounds", "delivers",
+               "beeps", "wall ms", "ok"});
+  for (const ScenarioReport& sr : report.scenarios) {
+    for (const AlgoRun& run : sr.runs) {
+      table.add(sr.scenario.name, sr.n, sr.kEff, sr.lEff, run.algo,
+                run.rounds, run.delivers, run.beeps, run.wallMs,
+                run.error.empty() && run.checkerOk ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout);
+  std::cout << report.scenarios.size() << " scenarios, "
+            << report.algos.size() << " algorithm(s), " << report.threads
+            << " thread(s)";
+  if (report.timing)
+    std::cout << ", " << report.totalWallMs << " ms total, peak RSS "
+              << report.peakRssKb << " kB";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  SweepSpec sweep;
+  bool haveSweep = false;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  auto value = [&](std::size_t& i, const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) {
+      std::cerr << "aspf-run: " << flag << " needs a value\n";
+      std::exit(1);
+    }
+    return args[++i];
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else if (arg == "--list") {
+      return doList();
+    } else if (arg == "--check") {
+      return doCheck(value(i, arg));
+    } else if (arg == "--suite") {
+      const std::string name = value(i, arg);
+      const Suite* suite = findSuite(name);
+      if (!suite) {
+        std::cerr << "aspf-run: unknown suite '" << name
+                  << "' (try --list)\n";
+        return 1;
+      }
+      cli.suiteNames.push_back(name);
+      cli.scenarios.insert(cli.scenarios.end(), suite->scenarios.begin(),
+                           suite->scenarios.end());
+    } else if (arg == "--scenario") {
+      const std::string name = value(i, arg);
+      const Scenario* sc = findScenario(name);
+      if (!sc) {
+        std::cerr << "aspf-run: unknown scenario '" << name
+                  << "' (try --list)\n";
+        return 1;
+      }
+      cli.scenarios.push_back(*sc);
+    } else if (arg == "--shape") {
+      const std::string tag = value(i, arg);
+      if (!shapeFromString(tag, &sweep.shape)) {
+        std::cerr << "aspf-run: unknown shape '" << tag << "'\n";
+        return 1;
+      }
+      haveSweep = true;
+    } else if (arg == "--a") {
+      sweep.a = parseIntFlag(value(i, arg), "--a");
+    } else if (arg == "--b") {
+      sweep.b = parseIntFlag(value(i, arg), "--b");
+    } else if (arg == "--k") {
+      sweep.ks.clear();
+      if (!parseIntList(value(i, arg), &sweep.ks)) {
+        std::cerr << "aspf-run: bad --k list\n";
+        return 1;
+      }
+    } else if (arg == "--l") {
+      sweep.ls.clear();
+      if (!parseIntList(value(i, arg), &sweep.ls)) {
+        std::cerr << "aspf-run: bad --l list\n";
+        return 1;
+      }
+    } else if (arg == "--seeds") {
+      std::vector<int> seeds;
+      if (!parseIntList(value(i, arg), &seeds)) {
+        std::cerr << "aspf-run: bad --seeds list\n";
+        return 1;
+      }
+      sweep.seeds.clear();
+      for (const int s : seeds)
+        sweep.seeds.push_back(static_cast<std::uint64_t>(s));
+    } else if (arg == "--algo") {
+      cli.options.algos.clear();
+      std::stringstream ss(value(i, arg));
+      std::string tag;
+      while (std::getline(ss, tag, ',')) {
+        if (tag == "all") {
+          cli.options.algos.assign(kAllAlgos.begin(), kAllAlgos.end());
+          continue;
+        }
+        Algo algo;
+        if (!algoFromString(tag, &algo)) {
+          std::cerr << "aspf-run: unknown algorithm '" << tag << "'\n";
+          return 1;
+        }
+        cli.options.algos.push_back(algo);
+      }
+      if (cli.options.algos.empty()) {
+        std::cerr << "aspf-run: --algo selected nothing\n";
+        return 1;
+      }
+    } else if (arg == "--threads") {
+      cli.options.threads = parseIntFlag(value(i, arg), "--threads");
+    } else if (arg == "--lanes") {
+      cli.options.lanes = parseIntFlag(value(i, arg), "--lanes");
+    } else if (arg == "--no-check") {
+      cli.options.check = false;
+    } else if (arg == "--no-timing") {
+      cli.options.timing = false;
+    } else if (arg == "--json") {
+      cli.jsonPath = value(i, arg);
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else {
+      std::cerr << "aspf-run: unknown argument '" << arg << "'\n\n";
+      printUsage(std::cerr);
+      return 1;
+    }
+  }
+
+  if (haveSweep) {
+    if (sweep.a <= 0) {
+      std::cerr << "aspf-run: --shape needs --a\n";
+      return 1;
+    }
+    const std::vector<Scenario> swept = buildSweep(sweep);
+    cli.scenarios.insert(cli.scenarios.end(), swept.begin(), swept.end());
+  }
+  if (cli.scenarios.empty()) {
+    std::cerr << "aspf-run: no scenarios selected (use --suite, --scenario "
+                 "or --shape; --list shows the registry)\n";
+    return 1;
+  }
+
+  std::string suiteName;
+  if (cli.suiteNames.size() == 1 && !haveSweep &&
+      cli.scenarios.size() == findSuite(cli.suiteNames[0])->scenarios.size()) {
+    suiteName = cli.suiteNames[0];
+  } else {
+    suiteName = "custom";
+  }
+
+  const BenchReport report =
+      runBatch(suiteName, cli.scenarios, cli.options);
+
+  if (!cli.quiet) printTable(report);
+
+  if (!cli.jsonPath.empty()) {
+    const std::string text = toJson(report).dump(2);
+    if (cli.jsonPath == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream out(cli.jsonPath);
+      if (!out) {
+        std::cerr << "aspf-run: cannot write " << cli.jsonPath << "\n";
+        return 1;
+      }
+      out << text;
+    }
+  }
+
+  for (const ScenarioReport& sr : report.scenarios) {
+    for (const AlgoRun& run : sr.runs) {
+      if (!run.error.empty() || !run.checkerOk) {
+        std::cerr << "aspf-run: FAILED " << sr.scenario.name << " ["
+                  << run.algo << "]: "
+                  << (run.error.empty() ? "checker failed" : run.error)
+                  << "\n";
+        return 2;
+      }
+    }
+  }
+  return 0;
+}
