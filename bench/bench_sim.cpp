@@ -1,6 +1,7 @@
 // E10 — substrate quality: wall-clock throughput of the circuit engine
-// (one deliver() = one synchronous round = one union-find pass over all
-// pins) and of the structure/portal computations, as a function of n.
+// (one deliver() = one synchronous round; the incremental engine only
+// re-unions circuits whose amoebots reconfigured) and of the
+// structure/portal computations, as a function of n.
 #include <chrono>
 
 #include "bench_common.hpp"
@@ -58,6 +59,44 @@ void BM_Deliver(benchmark::State& state) {
   state.counters["n"] = region.size();
 }
 BENCHMARK(BM_Deliver)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Incremental vs from-scratch engine on the canonical sparse-change
+// workload: a stable global circuit with one amoebot reconfiguring per
+// round (the frontier pattern of the paper's protocols). The incremental
+// engine recomputes only the affected circuit; the rebuild engine pays
+// the full n * lanes union-find pass every round.
+void BM_DeliverSparseChange(benchmark::State& state) {
+  const auto engine = state.range(1) == 0 ? CircuitEngine::Incremental
+                                          : CircuitEngine::Rebuild;
+  const auto s = bench::workloadShape(Shape::Hexagon, static_cast<int>(state.range(0)));
+  const Region region = Region::whole(s);
+  Comm comm(region, 4, engine);
+  const Pin pair[] = {{Dir::E, 0}, {Dir::W, 0}};
+  for (int a = 0; a < region.size(); ++a) comm.pins(a).join(pair);
+  comm.deliver();  // initial full build in both engines
+  int flip = 0;
+  for (auto _ : state) {
+    // One amoebot cuts and then heals the lane-0 chain: a 1-amoebot
+    // dirty set against an n-amoebot structure, alternating reset/join
+    // on the SAME amoebot so every round has exactly one real change.
+    const int a = 1 + ((flip / 2) % (region.size() - 2));
+    if (flip % 2 == 0)
+      comm.pins(a).reset();
+    else
+      comm.pins(a).join(pair);
+    ++flip;
+    comm.beepPin(0, {Dir::E, 0});
+    comm.deliver();
+  }
+  state.SetItemsProcessed(state.iterations() * region.size());
+  state.counters["n"] = region.size();
+}
+BENCHMARK(BM_DeliverSparseChange)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_HoleFreeCheck(benchmark::State& state) {
   const auto s = bench::workloadShape(Shape::RandomBlob, static_cast<int>(state.range(0)), 0, 9);

@@ -1,5 +1,6 @@
 #include "baselines/bfs_wave.hpp"
 
+#include <algorithm>
 #include <queue>
 
 namespace aspf {
@@ -22,16 +23,30 @@ BfsWaveResult bfsWaveForest(const Region& region,
     }
   }
 
+  // Host-side the wave only ever inspects the frontier and its uncovered
+  // neighbors (the only amoebots that can hear a beep under singleton
+  // pins), so a round costs O(frontier) instead of O(n); results are
+  // identical to the full per-round scan.
+  std::vector<int> candidates;
+  std::vector<char> isCandidate(n, 0);
   while (!frontier.empty()) {
+    candidates.clear();
     for (const int u : frontier) {
       for (Dir d : kAllDirs) {
-        if (region.neighbor(u, d) >= 0) comm.beepPin(u, {d, 0});
+        const int v = region.neighbor(u, d);
+        if (v < 0) continue;
+        comm.beepPin(u, {d, 0});
+        if (!covered[v] && !isCandidate[v]) {
+          isCandidate[v] = 1;
+          candidates.push_back(v);
+        }
       }
     }
     comm.deliver();
+    std::sort(candidates.begin(), candidates.end());
     std::vector<int> next;
-    for (int u = 0; u < n; ++u) {
-      if (covered[u]) continue;
+    for (const int u : candidates) {
+      isCandidate[u] = 0;
       for (Dir d : kAllDirs) {
         const int v = region.neighbor(u, d);
         if (v >= 0 && comm.receivedPin(u, {d, 0})) {

@@ -3,7 +3,6 @@
 #include <stdexcept>
 
 #include "pasc/pasc_prefix.hpp"
-#include "util/bitstream.hpp"
 
 namespace aspf {
 
@@ -62,8 +61,13 @@ EttResult runEtt(Comm& comm, const EulerTour& tour,
   }
   result.totalWeight = pasc.value.back();
 
-  // Per tree edge and endpoint, derive the prefix-sum difference with
-  // streaming bit arithmetic (constant state per edge, as the amoebots do).
+  // Per tree edge and endpoint, derive the prefix-sum difference. The
+  // amoebots do this with streaming bit arithmetic over the PASC bit
+  // rounds (constant state per edge; see util/bitstream.hpp, pinned by
+  // tests/test_util.cpp) -- the stream computes exactly
+  // value[out] - (value[in] - w(in)) in two's complement, so the host
+  // takes the integer shortcut on the already-accumulated PASC values
+  // instead of replaying bits * edges rounds of bit plumbing.
   for (int u = 0; u < n; ++u) {
     for (int d = 0; d < 6; ++d) {
       const int outIdx = tour.instanceOfOutEdge[u][d];
@@ -72,25 +76,10 @@ EttResult runEtt(Comm& comm, const EulerTour& tour,
       // prefixsum(u,v): prefix sum of u's instance with outgoing edge (u,v).
       // prefixsum(v,u): prefix sum of u's instance right after (v,u), minus
       // that instance's own weight.
-      StreamSubtract minusWeight;   // stream of prefixsum(v,u)
-      StreamSubtract difference;    // out-stream minus in-stream
-      BitAccumulator acc;
-      bool negative = false;
-      const int bits = static_cast<int>(pasc.bits.size());
-      for (int t = 0; t < bits + 2; ++t) {  // pad for borrow propagation
-        const bool outBit =
-            t < bits ? pasc.bits[t][outIdx] != 0 : false;
-        const bool inRaw = t < bits ? pasc.bits[t][inIdx] != 0 : false;
-        const bool wBit = t == 0 && weight[inIdx] != 0;
-        const bool inBit = minusWeight.feed(inRaw, wBit);
-        acc.feed(difference.feed(outBit, inBit));
-      }
-      negative = difference.negative();
-      // Reconstruct the signed value from the accumulated two's-complement
-      // bits (verification-side; the protocols only use sign/zero).
-      const std::int64_t raw = static_cast<std::int64_t>(acc.value());
-      const std::int64_t modulus = std::int64_t{1} << acc.bitsSeen();
-      result.diff[u][d] = negative ? raw - modulus : raw;
+      result.diff[u][d] =
+          static_cast<std::int64_t>(pasc.value[outIdx]) -
+          (static_cast<std::int64_t>(pasc.value[inIdx]) -
+           (weight[inIdx] != 0 ? 1 : 0));
     }
   }
   return result;

@@ -56,8 +56,7 @@ PascResult runPascChain(Comm& comm, std::span<const int> stops,
   }
 
   // Per-stop pin roles. inP/inS: pins toward the predecessor; outP/outS:
-  // pins toward the successor. Labels are re-joined each iteration since
-  // crossings change with activity.
+  // pins toward the successor.
   auto inPin = [&](int i, int lane) -> Pin {
     const Hop& h = hop[i - 1];
     return Pin{opposite(h.dir),
@@ -68,39 +67,45 @@ PascResult runPascChain(Comm& comm, std::span<const int> stops,
     return Pin{h.dir, static_cast<std::uint8_t>(h.laneBase + lane)};
   };
 
+  // Wire an interior stop's crossing. Each of the two joins fully
+  // overwrites its own two pins, so rewiring one stop instance never
+  // clobbers another instance of the same amoebot (Euler tours visit an
+  // amoebot several times with distinct hop pins).
+  auto wireStop = [&](int i) {
+    const int a = stops[i];
+    const Pin ip = inPin(i, 0), is = inPin(i, 1);
+    const Pin op = outPin(i, 0), os = outPin(i, 1);
+    if (active[i] != 0) {
+      const Pin setA[] = {ip, os};
+      const Pin setB[] = {is, op};
+      comm.pins(a).join(setA);
+      comm.pins(a).join(setB);
+    } else {
+      const Pin setA[] = {ip, op};
+      const Pin setB[] = {is, os};
+      comm.pins(a).join(setA);
+      comm.pins(a).join(setB);
+    }
+  };
+
+  // Configure the chain once; afterwards only stops whose activity
+  // flipped rewire (the "active frontier" -- the dirty set the
+  // incremental circuit engine exploits). The head has no physical
+  // in-side (its crossing only selects the injection lane) and the tail's
+  // in-pins stay singletons (they are the read points), so neither is
+  // ever wired.
+  comm.resetPins();
+  for (int i = 1; i + 1 < m; ++i) wireStop(i);
+
   int iteration = 0;
   std::vector<char> bitsNow(m, 0);
+  std::vector<int> flipped;
   while (true) {
-    // --- Round 1: configure lanes, head injects, everyone reads its bit.
-    comm.resetPins();
-    for (int i = 0; i < m; ++i) {
-      const int a = stops[i];
-      const bool cross = active[i] != 0;
-      if (i == 0) {
-        // Head: no physical in-side; the injected signal logically enters
-        // on the virtual in-primary and leaves on outP (straight) or outS
-        // (crossed). Nothing to join; pins stay singletons.
-        continue;
-      }
-      if (i == m - 1) {
-        // Tail: no out-side; its two in-pins stay singletons (they are the
-        // read points).
-        continue;
-      }
-      const Pin ip = inPin(i, 0), is = inPin(i, 1);
-      const Pin op = outPin(i, 0), os = outPin(i, 1);
-      if (cross) {
-        const Pin setA[] = {ip, os};
-        const Pin setB[] = {is, op};
-        comm.pins(a).join(setA);
-        comm.pins(a).join(setB);
-      } else {
-        const Pin setA[] = {ip, op};
-        const Pin setB[] = {is, os};
-        comm.pins(a).join(setA);
-        comm.pins(a).join(setB);
-      }
+    // --- Round 1: rewire flipped crossings, head injects, all read bits.
+    for (const int i : flipped) {
+      if (i > 0 && i + 1 < m) wireStop(i);
     }
+    flipped.clear();
     if (m >= 2) {
       const bool headCross = active[0] != 0;
       comm.beepPin(stops[0], outPin(0, headCross ? 1 : 0));
@@ -128,10 +133,14 @@ PascResult runPascChain(Comm& comm, std::span<const int> stops,
     result.bits.push_back(bitsNow);
     if (options.onBits) options.onBits(iteration, bitsNow);
 
-    // Deactivate: active stops whose bit is 1 turn passive.
+    // Deactivate: active stops whose bit is 1 turn passive. Their new
+    // (straight) crossing takes effect in the next iteration's round 1.
     bool anyActive = false;
     for (int i = 0; i < m; ++i) {
-      if (active[i] && bitsNow[i]) active[i] = 0;
+      if (active[i] && bitsNow[i]) {
+        active[i] = 0;
+        flipped.push_back(i);
+      }
       anyActive = anyActive || active[i] != 0;
     }
 

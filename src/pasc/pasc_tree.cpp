@@ -47,28 +47,43 @@ TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent) {
   TreePascResult result;
   result.depth.assign(n, 0);
 
+  // Wire one node's crossing (a tree node is one amoebot, so a reset
+  // before re-joining cannot clobber other protocol state).
+  std::vector<Pin> setA, setB;
+  auto wireNode = [&](int u) {
+    setA.clear();
+    setB.clear();
+    const bool cross = active[u] != 0;
+    if (parent[u] >= 0) {
+      setA.push_back(inP(u));
+      setB.push_back(inS(u));
+    }
+    for (const int c : children[u]) {
+      (cross ? setB : setA).push_back(outP(u, c));
+      (cross ? setA : setB).push_back(outS(u, c));
+    }
+    if (setA.size() > 1) comm.pins(u).join(setA);
+    if (setB.size() > 1) comm.pins(u).join(setB);
+  };
+
+  // Configure the forest once; afterwards only nodes whose activity
+  // flipped rewire (the dirty set the incremental circuit engine
+  // exploits).
+  comm.resetPins();
+  for (int u = 0; u < n; ++u) {
+    if (member[u]) wireNode(u);
+  }
+
   int iteration = 0;
   std::vector<char> bitsNow(n, 0);
+  std::vector<int> flipped;
   while (true) {
-    // --- Round 1: build circuits, roots inject on primary, read bits.
-    comm.resetPins();
-    std::vector<Pin> setA, setB;
-    for (int u = 0; u < n; ++u) {
-      if (!member[u]) continue;
-      setA.clear();
-      setB.clear();
-      const bool cross = active[u] != 0;
-      if (parent[u] >= 0) {
-        setA.push_back(inP(u));
-        setB.push_back(inS(u));
-      }
-      for (const int c : children[u]) {
-        (cross ? setB : setA).push_back(outP(u, c));
-        (cross ? setA : setB).push_back(outS(u, c));
-      }
-      if (setA.size() > 1) comm.pins(u).join(setA);
-      if (setB.size() > 1) comm.pins(u).join(setB);
+    // --- Round 1: rewire flipped crossings, roots inject, read bits.
+    for (const int u : flipped) {
+      comm.pins(u).reset();
+      wireNode(u);
     }
+    flipped.clear();
     for (int u = 0; u < n; ++u) {
       if (member[u] && parent[u] == -1 && !children[u].empty())
         comm.beepPin(u, outP(u, children[u].front()));
@@ -99,7 +114,10 @@ TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent) {
 
     bool anyActive = false;
     for (int u = 0; u < n; ++u) {
-      if (active[u] && bitsNow[u]) active[u] = 0;
+      if (active[u] && bitsNow[u]) {
+        active[u] = 0;
+        flipped.push_back(u);
+      }
       anyActive = anyActive || active[u] != 0;
     }
 

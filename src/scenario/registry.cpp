@@ -74,6 +74,30 @@ std::vector<Scenario> largeSuite() {
   };
 }
 
+std::vector<Scenario> hugeSuite() {
+  // Production-scale instances: n >= 100k for every shape family, only
+  // reachable with the incremental circuit engine (a from-scratch
+  // deliver() would pay Theta(n * lanes) per round). k/l stay moderate so
+  // the decomposition depth is exercised without multiplying the sweep
+  // cost; the thin families (line, zigzag, comb) have diameters ~1e5, so
+  // prefer `--algo polylog,naive` there unless you can spare the
+  // eccentricity-bound wave run.
+  return {
+      make(Shape::Parallelogram, 500, 200, 8, 16, 1),  // n = 100000
+      make(Shape::Triangle, 447, 0, 8, 16, 1),         // n = 100128
+      make(Shape::Hexagon, 183, 0, 8, 16, 1),          // n = 101017
+      make(Shape::Line, 100000, 0, 4, 8, 1),
+      make(Shape::Comb, 500, 199, 8, 16, 1),           // n = 100499
+      make(Shape::Staircase, 1000, 50, 8, 16, 1),      // n = 100001 (short
+                                                       // steps: max corners)
+      make(Shape::RandomBlob, 100000, 0, 8, 16, 1),    // n ~ 1.01e5
+      make(Shape::RandomSpider, 150, 1000, 8, 16, 1),  // n ~ 1.10e5
+      make(Shape::Zigzag, 500, 200, 8, 16, 1),         // n = 100001 (long
+                                                       // segments)
+      make(Shape::DiamondChain, 34, 31, 8, 16, 1),     // n = 101251
+  };
+}
+
 std::vector<Suite> buildSuites() {
   std::vector<Suite> all;
   all.push_back({"conformance",
@@ -85,6 +109,9 @@ std::vector<Suite> buildSuites() {
   all.push_back({"large",
                  "large-n perf instances across all shape families",
                  largeSuite()});
+  all.push_back({"huge",
+                 "production-scale instances (n >= 100k per shape family)",
+                 hugeSuite()});
   return all;
 }
 

@@ -11,8 +11,11 @@
 //   smoke        one small instance per shape family; finishes in seconds
 //                with all three algorithms -- the CI sweep and the
 //                committed BENCH_smoke.json baseline
-//   large        large-n instances (n ~ 1.8k..4k) across the families,
-//                polylog-focused perf tracking
+//   large        large-n instances (n ~ 1.2k..4.2k) across the families,
+//                polylog-focused perf tracking; BENCH_large.json is the
+//                committed trajectory point and the CI perf-sanity anchor
+//   huge         production-scale instances (n >= 100k per shape family);
+//                only tractable with the incremental circuit engine
 //
 // Thread-safety: the registry is immutable after first use; concurrent
 // lookups are safe (C++11 magic statics).

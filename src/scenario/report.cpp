@@ -18,6 +18,7 @@ Json toJson(const BenchReport& report) {
   config["lanes"] = Json(report.lanes);
   config["check"] = Json(report.check);
   config["timing"] = Json(report.timing);
+  config["engine"] = Json(report.engine);
   doc["config"] = std::move(config);
 
   Json scenarios = Json::array();
@@ -43,6 +44,10 @@ Json toJson(const BenchReport& report) {
       run["error"] = Json(r.error);
       run["delivers"] = Json(r.delivers);
       run["beeps"] = Json(r.beeps);
+      run["unions"] = Json(r.unions);
+      run["incr_rounds"] = Json(r.incrRounds);
+      run["rebuild_rounds"] = Json(r.rebuildRounds);
+      run["dirty_frac"] = Json(r.dirtyFrac);
       if (r.hasPhases) {
         Json phases = Json::object();
         for (std::size_t i = 0; i < kPhaseNames.size(); ++i)
@@ -103,6 +108,15 @@ class Validator {
     for (const char* key : {"rounds", "wall_ms", "delivers", "beeps"}) {
       if (!need(run, path, key, Json::Type::Number)) return false;
     }
+    // Engine counters are optional on input: reports written before the
+    // incremental substrate (PR <= 2) predate them.
+    for (const char* key :
+         {"unions", "incr_rounds", "rebuild_rounds", "dirty_frac"}) {
+      if (const Json* v = run.find(key)) {
+        if (v->type() != Json::Type::Number)
+          return fail(path + "." + key, "wrong type");
+      }
+    }
     if (!need(run, path, "checker_ok", Json::Type::Bool)) return false;
     if (!need(run, path, "error", Json::Type::String)) return false;
     if (const Json* phases = run.find("phases")) {
@@ -160,6 +174,14 @@ class Validator {
     if (!need(*config, "$.config", "lanes", Json::Type::Number)) return false;
     if (!need(*config, "$.config", "check", Json::Type::Bool)) return false;
     if (!need(*config, "$.config", "timing", Json::Type::Bool)) return false;
+    if (const Json* engine = config->find("engine")) {  // optional (PR <= 2)
+      if (!engine->isString())
+        return fail("$.config.engine", "wrong type");
+      if (engine->asString() != "incremental" &&
+          engine->asString() != "rebuild")
+        return fail("$.config.engine",
+                    "unknown engine '" + engine->asString() + "'");
+    }
 
     const Json* scenarios = need(doc, "$", "scenarios", Json::Type::Array);
     if (!scenarios) return false;
@@ -211,6 +233,8 @@ BenchReport reportFromJson(const Json& doc) {
   report.lanes = static_cast<int>(config.find("lanes")->asInt());
   report.check = config.find("check")->asBool();
   report.timing = config.find("timing")->asBool();
+  if (const Json* engine = config.find("engine"))
+    report.engine = engine->asString();
 
   for (const Json& s : doc.find("scenarios")->items()) {
     ScenarioReport sr;
@@ -233,6 +257,13 @@ BenchReport reportFromJson(const Json& doc) {
       run.error = r.find("error")->asString();
       run.delivers = static_cast<long>(r.find("delivers")->asInt());
       run.beeps = static_cast<long>(r.find("beeps")->asInt());
+      if (const Json* v = r.find("unions"))
+        run.unions = static_cast<long>(v->asInt());
+      if (const Json* v = r.find("incr_rounds"))
+        run.incrRounds = static_cast<long>(v->asInt());
+      if (const Json* v = r.find("rebuild_rounds"))
+        run.rebuildRounds = static_cast<long>(v->asInt());
+      if (const Json* v = r.find("dirty_frac")) run.dirtyFrac = v->asNumber();
       if (const Json* phases = r.find("phases")) {
         run.hasPhases = true;
         for (std::size_t i = 0; i < kPhaseNames.size(); ++i)
@@ -248,6 +279,78 @@ BenchReport reportFromJson(const Json& doc) {
   report.totalWallMs = totals.find("wall_ms")->asNumber();
   report.peakRssKb = static_cast<long>(totals.find("peak_rss_kb")->asInt());
   return report;
+}
+
+namespace {
+
+bool mismatch(std::string* why, const std::string& path) {
+  if (why) *why = path;
+  return false;
+}
+
+template <typename T>
+bool sameField(const T& a, const T& b, const std::string& path,
+               std::string* why) {
+  if (a == b) return true;
+  return mismatch(why, path);
+}
+
+}  // namespace
+
+bool equalDeterministic(const BenchReport& a, const BenchReport& b,
+                        std::string* why, bool modelOnly) {
+  if (!sameField(a.suite, b.suite, "$.suite", why)) return false;
+  if (!sameField(a.algos, b.algos, "$.config.algos", why)) return false;
+  if (!sameField(a.lanes, b.lanes, "$.config.lanes", why)) return false;
+  if (!sameField(a.check, b.check, "$.config.check", why)) return false;
+  if (!modelOnly &&
+      !sameField(a.engine, b.engine, "$.config.engine", why))
+    return false;
+  if (a.scenarios.size() != b.scenarios.size())
+    return mismatch(why, "$.scenarios (length)");
+  for (std::size_t i = 0; i < a.scenarios.size(); ++i) {
+    const ScenarioReport& sa = a.scenarios[i];
+    const ScenarioReport& sb = b.scenarios[i];
+    const std::string path = "$.scenarios[" + std::to_string(i) + "]";
+    if (!sameField(sa.scenario, sb.scenario, path + " (scenario)", why))
+      return false;
+    if (!sameField(sa.n, sb.n, path + ".n", why)) return false;
+    if (!sameField(sa.kEff, sb.kEff, path + ".k_eff", why)) return false;
+    if (!sameField(sa.lEff, sb.lEff, path + ".l_eff", why)) return false;
+    if (sa.runs.size() != sb.runs.size())
+      return mismatch(why, path + ".runs (length)");
+    for (std::size_t j = 0; j < sa.runs.size(); ++j) {
+      const AlgoRun& ra = sa.runs[j];
+      const AlgoRun& rb = sb.runs[j];
+      const std::string rp = path + ".runs[" + std::to_string(j) + "]";
+      if (!sameField(ra.algo, rb.algo, rp + ".algo", why)) return false;
+      if (!sameField(ra.rounds, rb.rounds, rp + ".rounds", why)) return false;
+      if (!sameField(ra.checkerOk, rb.checkerOk, rp + ".checker_ok", why))
+        return false;
+      if (!sameField(ra.error, rb.error, rp + ".error", why)) return false;
+      if (!sameField(ra.delivers, rb.delivers, rp + ".delivers", why))
+        return false;
+      if (!sameField(ra.beeps, rb.beeps, rp + ".beeps", why)) return false;
+      if (!modelOnly) {
+        if (!sameField(ra.unions, rb.unions, rp + ".unions", why))
+          return false;
+        if (!sameField(ra.incrRounds, rb.incrRounds, rp + ".incr_rounds",
+                       why))
+          return false;
+        if (!sameField(ra.rebuildRounds, rb.rebuildRounds,
+                       rp + ".rebuild_rounds", why))
+          return false;
+      }
+      if (!sameField(ra.dirtyFrac, rb.dirtyFrac, rp + ".dirty_frac", why))
+        return false;
+      if (!sameField(ra.hasPhases, rb.hasPhases, rp + ".phases (presence)",
+                     why))
+        return false;
+      if (ra.hasPhases && !sameField(ra.phases, rb.phases, rp + ".phases", why))
+        return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace aspf::scenario

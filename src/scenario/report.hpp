@@ -8,14 +8,16 @@
 //     "tool": "aspf-run",
 //     "suite": "<suite name or 'custom'>",
 //     "config": {"algos": [...], "threads": N, "lanes": N,
-//                "check": bool, "timing": bool},
+//                "check": bool, "timing": bool,
+//                "engine": "incremental|rebuild"},
 //     "scenarios": [
 //       {"name": ..., "shape": ..., "a": ..., "b": ..., "k": ..., "l": ...,
 //        "seed": ..., "n": ..., "k_eff": ..., "l_eff": ...,
 //        "runs": [
 //          {"algo": "polylog|wave|naive", "rounds": R, "wall_ms": T,
 //           "checker_ok": bool, "error": "",
-//           "delivers": ..., "beeps": ...,
+//           "delivers": ..., "beeps": ..., "unions": ...,
+//           "incr_rounds": ..., "rebuild_rounds": ..., "dirty_frac": ...,
 //           "phases": {"preprocessing": ..., "split": ..., "base": ...,
 //                      "decomposition": ..., "merging": ..., "prune": ...}}
 //        ]}
@@ -26,11 +28,18 @@
 //
 // "rounds" is the model cost (synchronous circuit rounds); "delivers" and
 // "beeps" are simulator substrate counters (physical deliver() executions
-// and queued beeps); "wall_ms" is host wall-clock. `phases` appears only on
-// runs that report a per-phase breakdown (the polylog forest). All numeric
-// fields fit a double exactly. Reports round-trip: toJson -> dump ->
-// Json::parse -> reportFromJson reproduces the struct bit-for-bit except
-// for nothing -- wall-times are preserved verbatim.
+// and queued beeps); "wall_ms" is host wall-clock. The incremental-engine
+// counters describe substrate work: "unions" (union-find unions while
+// (re)building circuits), "incr_rounds"/"rebuild_rounds" (delivers served
+// by the incremental path vs. full rebuilds; they sum to "delivers"), and
+// "dirty_frac" (truly-reconfigured amoebots per amoebot-round -- the
+// locality the incremental engine exploits). `phases` appears only on runs
+// that report a per-phase breakdown (the polylog forest). The engine
+// counters and "config.engine" are optional on input (reports from PR <= 2
+// predate them; they default to 0 / "incremental") and always emitted. All
+// numeric fields fit a double exactly. Reports round-trip: toJson -> dump
+// -> Json::parse -> reportFromJson reproduces the struct bit-for-bit
+// except for nothing -- wall-times are preserved verbatim.
 #include <array>
 #include <string>
 #include <vector>
@@ -54,6 +63,10 @@ struct AlgoRun {
   std::string error;       // non-empty iff the run threw or failed checking
   long delivers = 0;       // simulator deliver() executions
   long beeps = 0;          // beeps queued on partition sets
+  long unions = 0;         // union-find unions while (re)building circuits
+  long incrRounds = 0;     // delivers served by the incremental path
+  long rebuildRounds = 0;  // delivers that rebuilt circuits from scratch
+  double dirtyFrac = 0.0;  // truly-reconfigured amoebots per amoebot-round
   bool hasPhases = false;  // true => `phases` is meaningful
   std::array<long, 6> phases{};  // indexed like kPhaseNames
 
@@ -79,6 +92,7 @@ struct BenchReport {
   bool check = true;   // false => checker was skipped; checker_ok fields
                        // report trust, not a verified verdict
   bool timing = true;
+  std::string engine = "incremental";  // circuit engine the runs used
   std::vector<ScenarioReport> scenarios;
   double totalWallMs = 0.0;
   long peakRssKb = 0;
@@ -97,5 +111,21 @@ bool validateReport(const Json& doc, std::string* error);
 /// std::runtime_error with the validation message if the document does not
 /// conform to the schema.
 BenchReport reportFromJson(const Json& doc);
+
+/// Compares the *deterministic* fields of two reports: suite, algos,
+/// lanes, check, engine, and per scenario/run everything except wall-times,
+/// RSS, the thread count and the timing flag. Returns true iff they match;
+/// on mismatch `why` (if non-null) names the first differing path. Used by
+/// `aspf-run --diff` and the CI perf-sanity step to catch round-count or
+/// counter regressions against a committed BENCH_*.json.
+///
+/// With `modelOnly` the engine-specific fields (config.engine and the
+/// per-run `unions` / `incr_rounds` / `rebuild_rounds` counters) are
+/// excluded as well, leaving exactly the fields both circuit engines must
+/// agree on -- `aspf-run --diff-model` and the CI engine-equivalence step
+/// compare an incremental run against a rebuild-engine run this way.
+/// (`dirty_frac` stays compared: dirty tracking is engine-independent.)
+bool equalDeterministic(const BenchReport& a, const BenchReport& b,
+                        std::string* why, bool modelOnly = false);
 
 }  // namespace aspf::scenario

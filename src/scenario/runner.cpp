@@ -98,6 +98,13 @@ AlgoRun runOne(const BuiltScenario& built, Algo algo,
   const SimCounters delta = simCounters() - before;
   run.delivers = delta.delivers;
   run.beeps = delta.beeps;
+  run.unions = delta.unions;
+  run.incrRounds = delta.incrementalRounds;
+  run.rebuildRounds = delta.rebuildRounds;
+  run.dirtyFrac = delta.amoebotRounds > 0
+                      ? static_cast<double>(delta.dirtyAmoebots) /
+                            static_cast<double>(delta.amoebotRounds)
+                      : 0.0;
   if (options.timing) {
     run.wallMs =
         std::chrono::duration<double, std::milli>(stop - start).count();
@@ -136,12 +143,15 @@ BenchReport runBatch(std::string suiteName,
   report.lanes = options.lanes;
   report.check = options.check;
   report.timing = options.timing;
+  report.engine = options.engine == CircuitEngine::Rebuild ? "rebuild"
+                                                           : "incremental";
   report.scenarios.resize(scenarios.size());
 
   const auto batchStart = std::chrono::steady_clock::now();
   std::atomic<std::size_t> next{0};
   std::mutex progressMutex;
   auto worker = [&] {
+    setDefaultCircuitEngine(options.engine);  // thread_local
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= scenarios.size()) return;
@@ -161,7 +171,9 @@ BenchReport runBatch(std::string suiteName,
   };
 
   if (threads == 1) {
+    const CircuitEngine saved = defaultCircuitEngine();
     worker();
+    setDefaultCircuitEngine(saved);  // don't leak into the caller's thread
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);

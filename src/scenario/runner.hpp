@@ -23,6 +23,7 @@
 
 #include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/comm.hpp"
 
 namespace aspf::scenario {
 
@@ -44,6 +45,10 @@ struct RunOptions {
   int lanes = 4;      // pin lanes for the circuit protocols
   bool check = true;  // run the five-property checker on every result
   bool timing = true; // measure wall-time + peak RSS (false => zeros)
+  // Circuit engine for every Comm of the batch. Rebuild is the
+  // from-scratch differential-testing path; both engines produce
+  // identical deterministic report fields except the engine counters.
+  CircuitEngine engine = CircuitEngine::Incremental;
 };
 
 /// Progress hook, called after each finished scenario (from worker

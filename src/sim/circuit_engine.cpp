@@ -45,7 +45,7 @@ CircuitInfo analyzeCircuits(const Comm& comm) {
   auto pinNode = [&](int a, int pinIdx) { return a * ppa + pinIdx; };
 
   for (int a = 0; a < n; ++a) {
-    const PinConfig& pc = comm.pins(a);
+    const ConstPinConfigRef pc = comm.pins(a);
     std::array<int, kNumDirs * kMaxLanes> first{};
     first.fill(-1);
     for (int p = 0; p < ppa; ++p) {
@@ -71,20 +71,21 @@ CircuitInfo analyzeCircuits(const Comm& comm) {
   }
 
   CircuitInfo info;
-  info.circuitOf.assign(n, std::vector<int>(ppa, -1));
+  info.pinsPerAmoebot = ppa;
+  info.circuitOf.assign(static_cast<std::size_t>(n) * ppa, -1);
   std::vector<int> dense(static_cast<std::size_t>(n) * ppa, -1);
   for (int a = 0; a < n; ++a) {
     for (int p = 0; p < ppa; ++p) {
       const int root = dsu.find(pinNode(a, p));
       if (dense[root] < 0) dense[root] = info.circuitCount++;
-      info.circuitOf[a][p] = dense[root];
+      info.circuitOf[static_cast<std::size_t>(a) * ppa + p] = dense[root];
     }
   }
   info.amoebotsOnCircuit.assign(info.circuitCount, 0);
   std::vector<int> lastSeen(info.circuitCount, -1);
   for (int a = 0; a < n; ++a) {
     for (int p = 0; p < ppa; ++p) {
-      const int c = info.circuitOf[a][p];
+      const int c = info.circuitAt(a, p);
       if (lastSeen[c] != a) {
         lastSeen[c] = a;
         ++info.amoebotsOnCircuit[c];

@@ -1,9 +1,11 @@
 #pragma once
 // Standalone circuit analysis: given the pin configurations of a Comm,
 // compute the circuits (connected components of partition sets, Section
-// 1.2). Comm itself recomputes this per round internally; this module
-// exposes the structure for tests, visualization, and statistics (e.g. how
-// many circuits a configuration induces, which amoebots a circuit spans).
+// 1.2). Comm itself maintains this incrementally per round; this module
+// recomputes the structure from scratch for tests, visualization,
+// statistics (e.g. how many circuits a configuration induces, which
+// amoebots a circuit spans), and as the label-level oracle the
+// differential tests compare both Comm engines against.
 //
 // Complexity contract: charges no rounds (it is an observer, not a
 // protocol step); host cost is one union-find pass over all pins,
@@ -18,13 +20,20 @@
 namespace aspf {
 
 struct CircuitInfo {
-  /// circuitOf[local][pinIdx] = dense circuit id of the circuit containing
-  /// that pin's partition set.
-  std::vector<std::vector<int>> circuitOf;
+  /// Dense circuit ids, one per pin, in a flat row-major array of
+  /// n * pinsPerAmoebot entries (same layout as the pin arena).
+  std::vector<int> circuitOf;
+  int pinsPerAmoebot = 0;
   int circuitCount = 0;
 
   /// Number of distinct amoebots each circuit touches.
   std::vector<int> amoebotsOnCircuit;
+
+  /// Dense circuit id of the circuit containing pin `pinIdx` of `local`.
+  int circuitAt(int local, int pinIdx) const noexcept {
+    return circuitOf[static_cast<std::size_t>(local) * pinsPerAmoebot +
+                     pinIdx];
+  }
 };
 
 /// Analyzes the current pin configurations of the given Comm.

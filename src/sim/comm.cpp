@@ -6,19 +6,51 @@
 #include "sim/sim_counters.hpp"
 
 namespace aspf {
+namespace {
+
+// Incremental updates win while the dirty set is a small fraction of the
+// region; beyond n / kRebuildDivisor dirty amoebots the affected-component
+// traversal approaches a full pass and the branch-free rebuild is cheaper.
+constexpr int kRebuildDivisor = 4;
+
+// The affected-component traversal also aborts once it has visited more
+// than totalPins / kTraversalBudgetDivisor pins (a few dirty amoebots can
+// sit on structure-spanning circuits, e.g. the global lane circuits of a
+// PASC chain); past that point finishing the traversal costs more than
+// the branch-free rebuild it would save. Half the arena is the break-even
+// observed on the large suite: even a structure-spanning PASC chain only
+// involves ~1/3 of the pins, so it stays on the incremental path and the
+// untouched singleton/link circuits are never re-unioned.
+constexpr std::size_t kTraversalBudgetDivisor = 2;
+
+thread_local CircuitEngine tlsDefaultEngine = CircuitEngine::Incremental;
+
+}  // namespace
+
+CircuitEngine defaultCircuitEngine() noexcept { return tlsDefaultEngine; }
+void setDefaultCircuitEngine(CircuitEngine engine) noexcept {
+  tlsDefaultEngine = engine;
+}
 
 Comm::Comm(const Region& region, int lanes)
+    : Comm(region, lanes, defaultCircuitEngine()) {}
+
+Comm::Comm(const Region& region, int lanes, CircuitEngine engine)
     : region_(&region),
       lanes_(lanes),
-      pinsPerAmoebot_(kNumDirs * lanes),
-      pins_(static_cast<std::size_t>(region.size()), PinConfig(lanes)),
-      rootBeeped_() {
-  dsu_.assign(static_cast<std::size_t>(region.size()) * pinsPerAmoebot_, -1);
+      ppa_(kNumDirs * lanes),
+      engine_(engine),
+      arena_(region.size(), lanes) {
+  const std::size_t pins = static_cast<std::size_t>(region.size()) * ppa_;
+  dsu_.assign(pins, -1);
+  beepEpoch_.assign(pins, 0);
+  if (engine_ == CircuitEngine::Incremental) {
+    pinVisited_.assign(pins, 0);
+    dirtyFlag_.assign(region.size(), 0);
+  }
 }
 
-void Comm::resetPins() {
-  for (auto& pc : pins_) pc.reset();
-}
+void Comm::resetPins() { arena_.resetAll(); }
 
 void Comm::beep(int local, int label) {
   ++simCounters().beeps;
@@ -36,25 +68,27 @@ int Comm::findRoot(int x) const {
   return r;
 }
 
-void Comm::deliver() {
+void Comm::unite(int a, int b) {
+  a = findRoot(a);
+  b = findRoot(b);
+  if (a == b) return;
+  if (dsu_[a] > dsu_[b]) std::swap(a, b);
+  dsu_[a] += dsu_[b];
+  dsu_[b] = a;
+  ++unionsScratch_;  // flushed into simCounters() once per deliver
+}
+
+void Comm::rebuildAll() {
   const int n = region_->size();
   std::fill(dsu_.begin(), dsu_.end(), -1);
-  auto unite = [&](int a, int b) {
-    a = findRoot(a);
-    b = findRoot(b);
-    if (a == b) return;
-    if (dsu_[a] > dsu_[b]) std::swap(a, b);
-    dsu_[a] += dsu_[b];
-    dsu_[b] = a;
-  };
 
   // Partition sets: union pins of an amoebot sharing a label.
   std::array<int, kNumDirs * kMaxLanes> firstWithLabel{};
   for (int a = 0; a < n; ++a) {
     firstWithLabel.fill(-1);
-    const PinConfig& pc = pins_[a];
-    for (int p = 0; p < pinsPerAmoebot_; ++p) {
-      const int label = pc.labelAt(p);
+    const std::int8_t* labels = arena_.labelsOf(a);
+    for (int p = 0; p < ppa_; ++p) {
+      const int label = labels[p];
       if (firstWithLabel[label] < 0)
         firstWithLabel[label] = p;
       else
@@ -74,40 +108,149 @@ void Comm::deliver() {
       }
     }
   }
+}
 
-  rootBeeped_.assign(dsu_.size(), 0);
+bool Comm::incrementalUpdate() {
+  // Invariant: partition sets never span circuits, and the two pins of an
+  // external link always share a circuit. Hence the circuits that can
+  // change this round are exactly the connected components (under the
+  // *previous* configurations) containing a pin of a dirty amoebot, and a
+  // traversal of the old circuit graph from all dirty pins discovers every
+  // pin whose component must be recomputed -- including both endpoints of
+  // every external link it crosses. The traversal walks the arena's
+  // circular partition-set lists (snapshot lists for dirty amoebots, the
+  // unchanged current lists for clean ones), so each step emits O(1)
+  // neighbors and the whole update costs O(affected pins * alpha).
+  for (const int a : dirtyList_) dirtyFlag_[a] = 1;
+
+  // visitedPins_ doubles as the traversal worklist (scanned by cursor,
+  // appended in place); when the scan finishes it is exactly the set of
+  // pins whose components must be recomputed. Visiting also detaches the
+  // pin from the union-find right away -- unions over the visited set
+  // happen only after the traversal completes.
+  auto visit = [&](int node) {
+    if (!pinVisited_[node]) {
+      pinVisited_[node] = 1;
+      dsu_[node] = -1;
+      visitedPins_.push_back(node);
+    }
+  };
+  const std::size_t budget = dsu_.size() / kTraversalBudgetDivisor;
+  auto abortToRebuild = [&] {
+    for (const int node : visitedPins_) pinVisited_[node] = 0;
+    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+    visitedPins_.clear();
+    rebuildAll();
+    return false;
+  };
+
+  for (const int a : dirtyList_) {
+    for (int p = 0; p < ppa_; ++p) visit(pinNode(a, p));
+  }
+  for (std::size_t i = 0; i < visitedPins_.size(); ++i) {
+    if (visitedPins_.size() > budget) return abortToRebuild();
+    const int node = visitedPins_[i];
+    const int a = node / ppa_;
+    const int p = node % ppa_;
+    const int base = a * ppa_;
+    // Next pin of the same (old) partition set: following the circular
+    // list visits the whole set by the time all its members are scanned.
+    const std::int8_t* oldNext =
+        dirtyFlag_[a] ? arena_.snapshotNextOf(a) : arena_.nextOf(a);
+    visit(base + oldNext[p]);
+    const int di = p / lanes_;
+    const int b = region_->neighbor(a, static_cast<Dir>(di));
+    if (b >= 0) {
+      visit(pinNode(b, static_cast<int>(opposite(static_cast<Dir>(di))) *
+                           lanes_ +
+                       p % lanes_));
+    }
+  }
+
+  // Recompute the affected components from the current configurations.
+  // Every affected component's pins are in visitedPins_ (already detached
+  // from the union-find), so all unions stay inside the visited set and
+  // untouched circuits keep their roots. Partition sets re-form by uniting
+  // each visited pin with its current circular successor (a set of size g
+  // costs g unions, one redundant).
+  for (const int node : visitedPins_) {
+    const int a = node / ppa_;
+    const int p = node % ppa_;
+    const int base = a * ppa_;
+    unite(node, base + arena_.nextOf(a)[p]);
+    const int di = p / lanes_;
+    if (di >= 3) continue;  // process each link from its E/NE/NW endpoint
+    const int b = region_->neighbor(a, static_cast<Dir>(di));
+    if (b < 0) continue;
+    unite(node, pinNode(b, static_cast<int>(opposite(static_cast<Dir>(di))) *
+                               lanes_ +
+                           p % lanes_));
+  }
+
+  for (const int node : visitedPins_) pinVisited_[node] = 0;
+  for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+  visitedPins_.clear();
+  return true;
+}
+
+void Comm::deliver() {
+  const int n = region_->size();
+  SimCounters& counters = simCounters();
+
+  dirtyList_.clear();
+  arena_.takeDirty(&dirtyList_);
+  if (engine_ == CircuitEngine::Rebuild || !everDelivered_ ||
+      static_cast<long>(dirtyList_.size()) * kRebuildDivisor >=
+          static_cast<long>(n)) {
+    rebuildAll();
+    ++counters.rebuildRounds;
+  } else if (dirtyList_.empty() || incrementalUpdate()) {
+    ++counters.incrementalRounds;
+  } else {
+    ++counters.rebuildRounds;  // traversal hit its budget and rebuilt
+  }
+  counters.unions += unionsScratch_;
+  unionsScratch_ = 0;
+  counters.dirtyAmoebots += static_cast<long>(dirtyList_.size());
+  counters.amoebotRounds += n;
+  everDelivered_ = true;
+
+  ++epoch_;
   for (const auto& [a, label] : pendingBeeps_) {
     // Beep on the partition set = beep on any pin with that label.
-    const PinConfig& pc = pins_[a];
-    for (int p = 0; p < pinsPerAmoebot_; ++p) {
-      if (pc.labelAt(p) == label) {
-        rootBeeped_[findRoot(pinNode(a, p))] = 1;
+    const std::int8_t* labels = arena_.labelsOf(a);
+    for (int p = 0; p < ppa_; ++p) {
+      if (labels[p] == label) {
+        beepEpoch_[findRoot(pinNode(a, p))] = epoch_;
         break;
       }
     }
   }
   pendingBeeps_.clear();
   ++rounds_;
-  ++simCounters().delivers;
+  ++counters.delivers;
 }
 
 bool Comm::received(int local, int label) const {
-  const PinConfig& pc = pins_[local];
-  for (int p = 0; p < pinsPerAmoebot_; ++p) {
-    if (pc.labelAt(p) == label)
-      return rootBeeped_[findRoot(pinNode(local, p))] != 0;
+  if (!everDelivered_) return false;
+  const std::int8_t* labels = arena_.labelsOf(local);
+  for (int p = 0; p < ppa_; ++p) {
+    if (labels[p] == label)
+      return beepEpoch_[findRoot(pinNode(local, p))] == epoch_;
   }
   return false;
 }
 
 bool Comm::receivedAny(int local) const {
-  for (int p = 0; p < pinsPerAmoebot_; ++p) {
-    if (rootBeeped_[findRoot(pinNode(local, p))] != 0) return true;
+  if (!everDelivered_) return false;
+  for (int p = 0; p < ppa_; ++p) {
+    if (beepEpoch_[findRoot(pinNode(local, p))] == epoch_) return true;
   }
   return false;
 }
 
 long parallelRounds(std::span<const long> executions) {
+  if (executions.empty()) return 0;  // no sub-protocol ran, no sync beep
   long mx = 0;
   for (const long r : executions) mx = std::max(mx, r);
   return mx + 1;  // + global synchronization beep [26]

@@ -9,16 +9,31 @@
 // [26]) is modeled by parallelRounds(): sub-protocols on disjoint regions run
 // sequentially in the simulator but are charged max(rounds) + sync overhead.
 //
+// Circuit engines: deliver() maintains a persistent union-find over all
+// pin nodes and updates it *incrementally*. The PinArena (pin_config.hpp)
+// reports which amoebots truly changed their configuration since the last
+// round; deliver() re-unions only the circuits those amoebots participate
+// in, discovered by a traversal of the affected components under the old
+// labels. Rounds without configuration changes cost O(queued beeps);
+// rounds changing d amoebots cost O(size of the circuits containing them),
+// matching the model's "cheap local reconfiguration" locality. When the
+// dirty fraction is large (or on the first round) deliver() falls back to
+// a from-scratch rebuild, which is also available as a standalone engine
+// (CircuitEngine::Rebuild) for differential testing -- both engines
+// produce identical circuits, received() results and round counts.
+//
 // Complexity contract: rounds() is the model cost that the paper's bounds
 // (O(log l), O(log n log^2 k), ...) speak about; it includes rounds charged
-// via chargeRounds()/parallelRounds() without being simulated. One
-// deliver() costs the host O(n * lanes * alpha) (a union-find pass over all
-// pins); the thread-local SimCounters (sim_counters.hpp) record delivers
-// and beeps for the substrate-cost view.
+// via chargeRounds()/parallelRounds() without being simulated. Host cost
+// per deliver() is O(affected pins * alpha) incremental or
+// O(n * lanes * alpha) rebuild; the thread-local SimCounters
+// (sim_counters.hpp) record delivers, beeps, unions and dirty-tracking
+// statistics for the substrate-cost view.
 //
 // Thread-safety: a Comm is single-threaded by design (one protocol
 // execution); run concurrent protocols on separate Comm instances --
-// possibly over the same Region, which deliver() only reads.
+// possibly over the same Region, which deliver() only reads. The default
+// engine selection is thread-local.
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -28,23 +43,43 @@
 
 namespace aspf {
 
+/// Substrate strategy for Comm::deliver(). Incremental is the production
+/// engine; Rebuild recomputes every circuit from scratch each round and is
+/// kept as the differential-testing oracle.
+enum class CircuitEngine { Incremental, Rebuild };
+
+/// Thread-local default engine for newly constructed Comms (used by the
+/// scenario runner's --engine flag and the differential tests).
+CircuitEngine defaultCircuitEngine() noexcept;
+void setDefaultCircuitEngine(CircuitEngine engine) noexcept;
+
 class Comm {
  public:
   Comm(const Region& region, int lanes);
+  Comm(const Region& region, int lanes, CircuitEngine engine);
 
   const Region& region() const noexcept { return *region_; }
   int lanes() const noexcept { return lanes_; }
+  CircuitEngine engine() const noexcept { return engine_; }
 
-  /// Resets all amoebots' pin configurations to singletons.
+  /// Resets all amoebots' pin configurations to singletons. Host cost is
+  /// proportional to the number of non-singleton amoebots.
   void resetPins();
 
-  PinConfig& pins(int local) noexcept { return pins_[local]; }
-  const PinConfig& pins(int local) const noexcept { return pins_[local]; }
+  /// Mutating handle to an amoebot's pin configuration. All protocol-side
+  /// reconfiguration goes through this handle, which is how deliver()
+  /// knows exactly which amoebots changed since the last round.
+  PinConfigRef pins(int local) noexcept { return arena_.ref(local); }
+  ConstPinConfigRef pins(int local) const noexcept {
+    return arena_.cref(local);
+  }
 
   /// Queues a beep on the partition set with the given label.
   void beep(int local, int label);
   /// Queues a beep on the partition set containing the given pin.
-  void beepPin(int local, Pin p) { beep(local, pins_[local].labelOf(p)); }
+  void beepPin(int local, Pin p) {
+    beep(local, arena_.labelAt(local, pinIndex(p, lanes_)));
+  }
 
   /// Executes one synchronous round: computes circuits from the current pin
   /// configurations and delivers all queued beeps.
@@ -54,7 +89,7 @@ class Comm {
   /// round.
   bool received(int local, int label) const;
   bool receivedPin(int local, Pin p) const {
-    return received(local, pins_[local].labelOf(p));
+    return received(local, arena_.labelAt(local, pinIndex(p, lanes_)));
   }
 
   /// True iff any partition set of the amoebot received a beep.
@@ -69,22 +104,45 @@ class Comm {
 
  private:
   int pinNode(int local, int pinIdx) const noexcept {
-    return local * pinsPerAmoebot_ + pinIdx;
+    return local * ppa_ + pinIdx;
   }
   int findRoot(int x) const;
+  void unite(int a, int b);
+  void rebuildAll();
+  /// Returns false if the traversal exceeded its budget and fell back to
+  /// a full rebuild (already performed on return).
+  bool incrementalUpdate();
 
   const Region* region_;
   int lanes_;
-  int pinsPerAmoebot_;
-  std::vector<PinConfig> pins_;
+  int ppa_;
+  CircuitEngine engine_;
+  PinArena arena_;
   std::vector<std::pair<int, int>> pendingBeeps_;  // (local, label)
   mutable std::vector<int> dsu_;
-  std::vector<char> rootBeeped_;
+
+  // Epoch-stamped beep cache: beepEpoch_[root] == epoch_ iff that circuit
+  // received a beep in the last delivered round. Replaces a per-round
+  // O(n * lanes) clear with O(beeps) stamping.
+  std::vector<std::uint32_t> beepEpoch_;
+  std::uint32_t epoch_ = 1;
+  bool everDelivered_ = false;
+
+  // Scratch state for the incremental update (allocated once, cleared via
+  // the companion lists so each deliver() only pays for what it touched).
+  std::vector<int> dirtyList_;
+  std::vector<std::uint8_t> dirtyFlag_;    // per amoebot
+  std::vector<std::uint8_t> pinVisited_;   // per pin node
+  std::vector<int> visitedPins_;           // doubles as the BFS queue
+  long unionsScratch_ = 0;                 // flushed per deliver
+
   long rounds_ = 0;
 };
 
 /// Round accounting for parallel sub-protocol execution: all executions run
 /// concurrently, plus one global sync round (termination beep) per phase.
+/// An empty execution set costs nothing -- no sub-protocol ran, so no sync
+/// beep is charged.
 long parallelRounds(std::span<const long> executions);
 
 }  // namespace aspf

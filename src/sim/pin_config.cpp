@@ -1,26 +1,121 @@
 #include "sim/pin_config.hpp"
 
 #include <cassert>
+#include <cstring>
 
 namespace aspf {
+namespace {
 
-PinConfig::PinConfig(int lanes) : lanes_(lanes) {
+// Fixed-size block helpers: a constant byte count lets the compiler lower
+// these to a couple of word moves instead of libc calls (the arena's
+// snapshot/compare/restore run once per touched amoebot per round, which
+// on PASC-style protocols is every stop of a chain).
+inline void copyBlock(std::int8_t* dst, const std::int8_t* src) noexcept {
+  std::memcpy(dst, src, kPinStride);
+}
+inline bool equalBlock(const std::int8_t* a, const std::int8_t* b) noexcept {
+  return std::memcmp(a, b, kPinStride) == 0;
+}
+
+}  // namespace
+
+PinArena::PinArena(int n, int lanes)
+    : n_(n), lanes_(lanes), ppa_(kNumDirs * lanes) {
   assert(lanes >= 1 && lanes <= kMaxLanes);
-  label_.resize(static_cast<std::size_t>(kNumDirs) * lanes);
-  reset();
+  static_assert(kPinStride >= kNumDirs * kMaxLanes);
+  const std::size_t bytes = static_cast<std::size_t>(n) * kPinStride;
+  labels_.resize(bytes);
+  next_.resize(bytes);
+  prev_.resize(bytes);
+  prevNext_.resize(bytes);
+  for (int a = 0; a < n_; ++a) {
+    std::int8_t* l = mutableLabelsOf(a);
+    std::int8_t* nx = next_.data() + static_cast<std::size_t>(a) * kPinStride;
+    // Identity over the whole stride: the tail beyond ppa_ is never
+    // mutated, so block compares see stable bytes there.
+    for (int p = 0; p < kPinStride; ++p) {
+      l[p] = static_cast<std::int8_t>(p);
+      nx[p] = static_cast<std::int8_t>(p);
+    }
+  }
+  touched_.assign(n_, 0);
+  joined_.assign(n_, 0);
 }
 
-void PinConfig::reset() {
-  for (int i = 0; i < pinCount(); ++i)
-    label_[i] = static_cast<std::int8_t>(i);
+void PinArena::beginMutate(int local) {
+  if (touched_[local]) return;
+  touched_[local] = 1;
+  touchedList_.push_back(local);
+  const std::size_t off = static_cast<std::size_t>(local) * kPinStride;
+  copyBlock(prev_.data() + off, labels_.data() + off);
+  copyBlock(prevNext_.data() + off, next_.data() + off);
 }
 
-int PinConfig::join(std::span<const Pin> pins) {
+void PinArena::rebuildGroups(int local) {
+  const std::int8_t* l = labelsOf(local);
+  std::int8_t* nx = next_.data() + static_cast<std::size_t>(local) * kPinStride;
+  std::int8_t first[kNumDirs * kMaxLanes];
+  std::int8_t last[kNumDirs * kMaxLanes];
+  for (int p = 0; p < ppa_; ++p) first[p] = -1;
+  for (int p = 0; p < ppa_; ++p) {
+    const int label = l[p];
+    if (first[label] < 0) {
+      first[label] = static_cast<std::int8_t>(p);
+    } else {
+      nx[last[label]] = static_cast<std::int8_t>(p);
+    }
+    last[label] = static_cast<std::int8_t>(p);
+  }
+  for (int p = 0; p < ppa_; ++p) {
+    if (first[p] >= 0) nx[last[p]] = first[p];  // close the cycle
+  }
+}
+
+void PinArena::reset(int local) {
+  beginMutate(local);
+  std::int8_t* l = mutableLabelsOf(local);
+  for (int p = 0; p < ppa_; ++p) l[p] = static_cast<std::int8_t>(p);
+}
+
+int PinArena::join(int local, std::span<const Pin> pins) {
   assert(!pins.empty());
+  beginMutate(local);
+  std::int8_t* l = mutableLabelsOf(local);
   const int lead = pinIndex(pins.front(), lanes_);
   for (const Pin p : pins)
-    label_[pinIndex(p, lanes_)] = static_cast<std::int8_t>(lead);
+    l[pinIndex(p, lanes_)] = static_cast<std::int8_t>(lead);
+  // next_ is left stale here and reconciled once per round in takeDirty():
+  // protocols often issue several joins (or a reset-then-identical-rejoin)
+  // per amoebot per round, and only the net effect matters.
+  if (!joined_[local]) {
+    joined_[local] = 1;
+    joinedList_.push_back(local);
+  }
   return lead;
+}
+
+void PinArena::resetAll() {
+  for (const int a : joinedList_) {
+    reset(a);
+    joined_[a] = 0;
+  }
+  joinedList_.clear();
+}
+
+void PinArena::takeDirty(std::vector<int>* out) {
+  for (const int a : touchedList_) {
+    touched_[a] = 0;
+    const std::size_t off = static_cast<std::size_t>(a) * kPinStride;
+    if (!equalBlock(labels_.data() + off, prev_.data() + off)) {
+      rebuildGroups(a);
+      out->push_back(a);
+    } else {
+      // Net no-op rewrite: labels are back to the snapshot, so the
+      // snapshot successor lists are the current ones too.
+      copyBlock(next_.data() + off, prevNext_.data() + off);
+    }
+  }
+  touchedList_.clear();
 }
 
 }  // namespace aspf

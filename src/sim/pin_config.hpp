@@ -1,18 +1,34 @@
 #pragma once
-// Pin configurations (Section 1.2 of the paper). Each edge between adjacent
-// amoebots carries `lanes` external links; each link endpoint is a pin. An
-// amoebot partitions its pins into partition sets; connected components of
-// partition sets (joined by external links) are circuits.
+// Pin configurations (Section 1.2 of the paper) on a flat structure-of-
+// arrays arena. Each edge between adjacent amoebots carries `lanes`
+// external links; each link endpoint is a pin. An amoebot partitions its
+// pins into partition sets; connected components of partition sets (joined
+// by external links) are circuits.
 //
-// A pin is addressed by (direction, lane). Partition sets are addressed by a
-// small integer label local to the amoebot; by default every pin forms a
+// A pin is addressed by (direction, lane). Partition sets are addressed by
+// a small integer label local to the amoebot; by default every pin forms a
 // singleton set labeled with its own pin index.
+//
+// Storage model: one PinArena per Comm holds ALL amoebots' labels in a
+// single contiguous int8 array (`n * kNumDirs * lanes` bytes), instead of a
+// vector of per-amoebot objects. Protocols access an amoebot's
+// configuration through a PinConfigRef handle (mutating) or a
+// ConstPinConfigRef (read-only view); both are trivially-copyable fat
+// pointers into the arena. Every mutation is routed through the arena so
+// it can snapshot the previous labels and mark the amoebot *touched*; at
+// the next Comm::deliver() the arena separates truly-dirty amoebots
+// (labels actually changed) from amoebots that were rewritten with
+// identical labels -- the common protocol idiom `resetPins(); join(...)`
+// with an unchanged configuration therefore contributes nothing to the
+// incremental circuit update.
 //
 // Complexity contract: reconfiguring pins is free in the model -- only
 // Comm::deliver() charges a round -- matching the paper, where an amoebot
-// may set up an arbitrary pin configuration between two rounds.
+// may set up an arbitrary pin configuration between two rounds. Host cost:
+// join/reset are O(pins written); resetAll is O(non-singleton amoebots),
+// not O(n); takeDirty is O(touched amoebots).
 //
-// Thread-safety: a PinConfig is a plain value owned by its Comm; distinct
+// Thread-safety: a PinArena is a plain value owned by its Comm; distinct
 // Comms (hence distinct protocol executions) may run on distinct threads.
 #include <cstdint>
 #include <span>
@@ -29,19 +45,48 @@ struct Pin {
 
 inline constexpr int kMaxLanes = 4;
 
+/// Per-amoebot block stride of the arena's label arrays: the next
+/// power-of-two above kNumDirs * kMaxLanes (= 24 pins), so snapshot /
+/// compare / restore of one amoebot's labels are fixed-size 32-byte
+/// operations the compiler fully inlines (no libc memcpy calls on the
+/// per-round hot path).
+inline constexpr int kPinStride = 32;
+
 /// Pin index within an amoebot: dir * lanes + lane.
 constexpr int pinIndex(Pin p, int lanes) noexcept {
   return static_cast<int>(p.dir) * lanes + p.lane;
 }
 
-/// One amoebot's pin configuration: a label per pin. Pins sharing a label
-/// form one partition set.
-class PinConfig {
+class PinArena;
+
+/// Read-only view of one amoebot's pin configuration: a label per pin.
+/// Pins sharing a label form one partition set. Trivially copyable; valid
+/// as long as the owning arena (i.e. the Comm) lives.
+class ConstPinConfigRef {
  public:
-  explicit PinConfig(int lanes);
+  ConstPinConfigRef(const std::int8_t* labels, int lanes) noexcept
+      : labels_(labels), lanes_(lanes) {}
 
   int lanes() const noexcept { return lanes_; }
   int pinCount() const noexcept { return kNumDirs * lanes_; }
+
+  int labelOf(Pin p) const noexcept { return labels_[pinIndex(p, lanes_)]; }
+  int labelAt(int pinIdx) const noexcept { return labels_[pinIdx]; }
+
+ private:
+  const std::int8_t* labels_;
+  int lanes_;
+};
+
+/// Mutating handle to one amoebot's pin configuration. All writes go
+/// through the arena so deliver() can tell which amoebots changed.
+class PinConfigRef {
+ public:
+  PinConfigRef(PinArena* arena, int local) noexcept
+      : arena_(arena), local_(local) {}
+
+  int lanes() const noexcept;
+  int pinCount() const noexcept;
 
   /// Reverts to singletons (label of each pin = its own index).
   void reset();
@@ -49,12 +94,114 @@ class PinConfig {
   /// Puts all given pins into one partition set; returns its label.
   int join(std::span<const Pin> pins);
 
-  int labelOf(Pin p) const noexcept { return label_[pinIndex(p, lanes_)]; }
-  int labelAt(int pinIdx) const noexcept { return label_[pinIdx]; }
+  int labelOf(Pin p) const noexcept;
+  int labelAt(int pinIdx) const noexcept;
 
  private:
-  int lanes_;
-  std::vector<std::int8_t> label_;
+  PinArena* arena_;
+  int local_;
 };
+
+/// Flat label storage for all amoebots of one Comm, with dirty tracking.
+class PinArena {
+ public:
+  PinArena(int n, int lanes);
+
+  int size() const noexcept { return n_; }
+  int lanes() const noexcept { return lanes_; }
+  int pinsPerAmoebot() const noexcept { return ppa_; }
+
+  PinConfigRef ref(int local) noexcept { return {this, local}; }
+  ConstPinConfigRef cref(int local) const noexcept {
+    return {labelsOf(local), lanes_};
+  }
+
+  const std::int8_t* labelsOf(int local) const noexcept {
+    return labels_.data() + static_cast<std::size_t>(local) * kPinStride;
+  }
+
+  /// Circular successor lists: nextOf(a)[p] is the next pin of a's
+  /// partition set containing p (wrapping; p itself for singletons).
+  /// Following the list from any pin enumerates its whole partition set in
+  /// O(set size) -- the incremental engine's component traversal relies on
+  /// this instead of scanning all pins per step. Stale for amoebots
+  /// mutated since the last takeDirty() (mid-round); takeDirty()
+  /// reconciles them, so the lists are consistent whenever the engine
+  /// reads them.
+  const std::int8_t* nextOf(int local) const noexcept {
+    return next_.data() + static_cast<std::size_t>(local) * kPinStride;
+  }
+
+  /// The labels the amoebot had at the last takeDirty() (i.e. the last
+  /// deliver). Only meaningful for amoebots reported dirty by the most
+  /// recent takeDirty(), until their next mutation.
+  const std::int8_t* snapshotOf(int local) const noexcept {
+    return prev_.data() + static_cast<std::size_t>(local) * kPinStride;
+  }
+
+  /// Circular successor lists matching snapshotOf() (the partition sets of
+  /// the last delivered round); same validity window.
+  const std::int8_t* snapshotNextOf(int local) const noexcept {
+    return prevNext_.data() + static_cast<std::size_t>(local) * kPinStride;
+  }
+
+  int labelAt(int local, int pinIdx) const noexcept {
+    return labelsOf(local)[pinIdx];
+  }
+
+  void reset(int local);
+  int join(int local, std::span<const Pin> pins);
+
+  /// Resets every amoebot to singletons. Cost is proportional to the
+  /// number of currently non-singleton amoebots, not to n.
+  void resetAll();
+
+  /// Appends to `out` the amoebots whose labels differ from their state at
+  /// the previous takeDirty() call, and clears all touch marks. Snapshots
+  /// of the returned amoebots stay readable until they are next mutated.
+  void takeDirty(std::vector<int>* out);
+
+ private:
+  friend class PinConfigRef;
+
+  std::int8_t* mutableLabelsOf(int local) noexcept {
+    return labels_.data() + static_cast<std::size_t>(local) * kPinStride;
+  }
+
+  /// Snapshots the amoebot's labels on its first mutation since the last
+  /// takeDirty().
+  void beginMutate(int local);
+
+  /// Recomputes the circular successor list of one amoebot from its
+  /// labels (called after every label rewrite; O(pins)).
+  void rebuildGroups(int local);
+
+  int n_;
+  int lanes_;
+  int ppa_;
+  std::vector<std::int8_t> labels_;      // current labels, n * ppa
+  std::vector<std::int8_t> next_;        // circular partition-set lists
+  std::vector<std::int8_t> prev_;        // snapshots at last deliver
+  std::vector<std::int8_t> prevNext_;
+  std::vector<std::uint8_t> touched_;    // mutated since last takeDirty
+  std::vector<int> touchedList_;
+  std::vector<std::uint8_t> joined_;     // possibly non-singleton
+  std::vector<int> joinedList_;
+};
+
+inline int PinConfigRef::lanes() const noexcept { return arena_->lanes(); }
+inline int PinConfigRef::pinCount() const noexcept {
+  return arena_->pinsPerAmoebot();
+}
+inline void PinConfigRef::reset() { arena_->reset(local_); }
+inline int PinConfigRef::join(std::span<const Pin> pins) {
+  return arena_->join(local_, pins);
+}
+inline int PinConfigRef::labelOf(Pin p) const noexcept {
+  return arena_->labelAt(local_, pinIndex(p, arena_->lanes()));
+}
+inline int PinConfigRef::labelAt(int pinIdx) const noexcept {
+  return arena_->labelAt(local_, pinIdx);
+}
 
 }  // namespace aspf

@@ -25,9 +25,18 @@ Region Region::of(const AmoebotStructure& s, std::vector<int> globalIds) {
   Region r;
   r.s_ = &s;
   r.globalIds_ = std::move(globalIds);
-  r.localIndex_.reserve(r.globalIds_.size() * 2);
-  for (int i = 0; i < static_cast<int>(r.globalIds_.size()); ++i)
-    r.localIndex_.emplace(r.globalIds_[i], i);
+  // Dense reverse index only when the subset covers a sizable fraction of
+  // the structure; small sub-regions (the recursion's common case) use
+  // the map and stay O(|region|) to build.
+  if (r.globalIds_.size() * 8 >= static_cast<std::size_t>(s.size())) {
+    r.localIndex_.assign(s.size(), -1);
+    for (int i = 0; i < static_cast<int>(r.globalIds_.size()); ++i)
+      r.localIndex_[r.globalIds_[i]] = i;
+  } else {
+    r.localMap_.reserve(r.globalIds_.size() * 2);
+    for (int i = 0; i < static_cast<int>(r.globalIds_.size()); ++i)
+      r.localMap_.emplace(r.globalIds_[i], i);
+  }
   r.nbr_.resize(r.globalIds_.size());
   for (int i = 0; i < r.size(); ++i) {
     for (int d = 0; d < kNumDirs; ++d) {
@@ -38,10 +47,6 @@ Region Region::of(const AmoebotStructure& s, std::vector<int> globalIds) {
   return r;
 }
 
-int Region::neighbor(int local, Dir d) const noexcept {
-  return nbr_[local][static_cast<int>(d)];
-}
-
 int Region::degree(int local) const noexcept {
   int deg = 0;
   for (int d = 0; d < kNumDirs; ++d) deg += nbr_[local][d] >= 0 ? 1 : 0;
@@ -50,8 +55,13 @@ int Region::degree(int local) const noexcept {
 
 int Region::localOf(int globalId) const noexcept {
   if (whole_) return globalId;
-  const auto it = localIndex_.find(globalId);
-  return it == localIndex_.end() ? -1 : it->second;
+  if (!localIndex_.empty()) {
+    if (globalId < 0 || globalId >= static_cast<int>(localIndex_.size()))
+      return -1;
+    return localIndex_[globalId];
+  }
+  const auto it = localMap_.find(globalId);
+  return it == localMap_.end() ? -1 : it->second;
 }
 
 bool Region::isConnectedInduced() const {

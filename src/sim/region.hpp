@@ -34,8 +34,11 @@ class Region {
   int size() const noexcept { return static_cast<int>(globalIds_.size()); }
 
   /// Local index of the neighbor in direction d, or -1 if that node is
-  /// unoccupied or outside the region.
-  int neighbor(int local, Dir d) const noexcept;
+  /// unoccupied or outside the region. (Inline: this is the hottest call
+  /// of the circuit engine's link wiring.)
+  int neighbor(int local, Dir d) const noexcept {
+    return nbr_[local][static_cast<int>(d)];
+  }
 
   int degree(int local) const noexcept;
 
@@ -61,9 +64,15 @@ class Region {
  private:
   const AmoebotStructure* s_ = nullptr;
   bool whole_ = false;
-  std::vector<int> globalIds_;                  // local -> global
-  std::unordered_map<int, int> localIndex_;     // global -> local (subset only)
-  std::vector<std::array<int, 6>> nbr_;         // induced adjacency, local ids
+  std::vector<int> globalIds_;           // local -> global
+  // global -> local reverse index for subset regions: a dense
+  // structure-sized array (-1 outside) when the subset is a sizable
+  // fraction of the structure, else a hash map so that building many
+  // small sub-regions (the divide & conquer recursion) stays
+  // O(|region|), not O(n).
+  std::vector<int> localIndex_;          // dense mode (empty => map mode)
+  std::unordered_map<int, int> localMap_;
+  std::vector<std::array<int, 6>> nbr_;  // induced adjacency, local ids
 };
 
 }  // namespace aspf

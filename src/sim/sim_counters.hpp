@@ -4,24 +4,55 @@
 // `rounds` (on Comm and in every algorithm result) is the *model* cost:
 // synchronous rounds of the reconfigurable-circuit protocol, including
 // charged-but-not-simulated synchronization rounds. These counters instead
-// measure what the *simulator* physically did -- deliver() executions and
-// beeps queued -- which is what host wall-time scales with. The scenario runner snapshots them around every algorithm
+// measure what the *simulator* physically did -- deliver() executions,
+// beeps queued, union-find unions, and the dirty-tracking statistics of
+// the incremental circuit engine -- which is what host wall-time scales
+// with. The scenario runner snapshots them around every algorithm
 // execution and reports the deltas next to rounds and wall-time, so a perf
 // PR can tell "fewer model rounds" apart from "cheaper simulation".
 //
 // Thread-safety: the counters are thread_local, so concurrent scenario
 // executions on a thread pool never contend or cross-pollute; each worker
 // reads deltas of its own stream. Increments cost one TLS add per event
-// (events are whole rounds, not per-pin work), so the instrumentation is
-// far below measurement noise.
+// (events are whole rounds or whole unions, not per-pin work), so the
+// instrumentation is far below measurement noise.
 namespace aspf {
 
 struct SimCounters {
   long delivers = 0;  ///< Comm::deliver() executions (physical rounds).
   long beeps = 0;     ///< Beeps queued on partition sets.
 
+  /// Successful union-find unions performed while (re)building circuits.
+  /// The rebuild engine pays this for every pin pair every round; the
+  /// incremental engine only for affected circuits.
+  long unions = 0;
+
+  /// Amoebots whose pin configuration truly changed, summed over all
+  /// delivers. `dirtyAmoebots / amoebotRounds` is the dirty-amoebot
+  /// fraction the BenchReport exposes as `dirty_frac`.
+  long dirtyAmoebots = 0;
+
+  /// Sum of region sizes over all delivers (the denominator of the
+  /// dirty-amoebot fraction).
+  long amoebotRounds = 0;
+
+  /// Delivers served by the incremental union path (including no-change
+  /// rounds, which cost O(queued beeps)).
+  long incrementalRounds = 0;
+
+  /// Delivers that rebuilt all circuits from scratch: every round of the
+  /// Rebuild engine, plus the first round and high-dirty-fraction rounds
+  /// of the incremental engine.
+  long rebuildRounds = 0;
+
   SimCounters operator-(const SimCounters& base) const noexcept {
-    return {delivers - base.delivers, beeps - base.beeps};
+    return {delivers - base.delivers,
+            beeps - base.beeps,
+            unions - base.unions,
+            dirtyAmoebots - base.dirtyAmoebots,
+            amoebotRounds - base.amoebotRounds,
+            incrementalRounds - base.incrementalRounds,
+            rebuildRounds - base.rebuildRounds};
   }
 };
 

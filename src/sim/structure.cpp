@@ -10,23 +10,58 @@ namespace aspf {
 AmoebotStructure AmoebotStructure::fromCoords(std::vector<Coord> coords) {
   AmoebotStructure s;
   s.coords_ = std::move(coords);
-  s.index_.reserve(s.coords_.size() * 2);
-  for (int i = 0; i < static_cast<int>(s.coords_.size()); ++i) {
-    if (!s.index_.emplace(s.coords_[i], i).second)
-      throw std::invalid_argument("AmoebotStructure: duplicate coordinate " +
-                                  s.coords_[i].toString());
+  const int n = s.size();
+
+  if (n > 0) {
+    s.qmin_ = std::numeric_limits<std::int32_t>::max();
+    s.qmax_ = std::numeric_limits<std::int32_t>::min();
+    s.rmin_ = s.qmin_;
+    s.rmax_ = s.qmax_;
+    for (const Coord c : s.coords_) {
+      s.qmin_ = std::min(s.qmin_, c.q);
+      s.qmax_ = std::max(s.qmax_, c.q);
+      s.rmin_ = std::min(s.rmin_, c.r);
+      s.rmax_ = std::max(s.rmax_, c.r);
+    }
   }
+  s.width_ = n > 0 ? static_cast<std::int64_t>(s.qmax_) - s.qmin_ + 1 : 0;
+  const std::int64_t height =
+      n > 0 ? static_cast<std::int64_t>(s.rmax_) - s.rmin_ + 1 : 0;
+  const std::int64_t area = s.width_ * height;
+
+  // Dense grid unless the bounding box dwarfs the structure (then a grid
+  // would waste memory on empty cells and the hash map wins).
+  const bool dense = n > 0 && area <= std::max<std::int64_t>(1024, 64LL * n);
+  if (dense) {
+    s.grid_.assign(static_cast<std::size_t>(area), -1);
+    for (int i = 0; i < n; ++i) {
+      int& cell = s.grid_[s.gridIndex(s.coords_[i])];
+      if (cell >= 0)
+        throw std::invalid_argument("AmoebotStructure: duplicate coordinate " +
+                                    s.coords_[i].toString());
+      cell = i;
+    }
+  } else {
+    s.index_.reserve(s.coords_.size() * 2);
+    for (int i = 0; i < n; ++i) {
+      if (!s.index_.emplace(s.coords_[i], i).second)
+        throw std::invalid_argument("AmoebotStructure: duplicate coordinate " +
+                                    s.coords_[i].toString());
+    }
+  }
+
   s.nbr_.resize(s.coords_.size());
-  for (int i = 0; i < s.size(); ++i) {
+  for (int i = 0; i < n; ++i) {
     for (Dir d : kAllDirs) {
-      const auto it = s.index_.find(s.coords_[i].neighbor(d));
-      s.nbr_[i][static_cast<int>(d)] = it == s.index_.end() ? -1 : it->second;
+      s.nbr_[i][static_cast<int>(d)] = s.idOf(s.coords_[i].neighbor(d));
     }
   }
   return s;
 }
 
 int AmoebotStructure::idOf(Coord c) const noexcept {
+  if (!grid_.empty())
+    return inGrid(c) ? grid_[gridIndex(c)] : -1;
   const auto it = index_.find(c);
   return it == index_.end() ? -1 : it->second;
 }
@@ -85,7 +120,7 @@ bool AmoebotStructure::isHoleFree() const {
   auto tryPush = [&](Coord c) {
     if (c.q < qmin || c.q > qmax || c.r < rmin || c.r > rmax) return;
     const auto idx = static_cast<std::size_t>(cellIndex(c));
-    if (seen[idx] || index_.contains(c)) return;
+    if (seen[idx] || idOf(c) >= 0) return;
     seen[idx] = 1;
     q.push(c);
   };
@@ -106,7 +141,7 @@ bool AmoebotStructure::isHoleFree() const {
   for (std::int32_t rr = rmin; rr <= rmax; ++rr) {
     for (std::int32_t qq = qmin; qq <= qmax; ++qq) {
       const Coord c{qq, rr};
-      if (!index_.contains(c) && !seen[static_cast<std::size_t>(cellIndex(c))])
+      if (idOf(c) < 0 && !seen[static_cast<std::size_t>(cellIndex(c))])
         return false;
     }
   }

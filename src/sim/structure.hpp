@@ -31,7 +31,9 @@ class AmoebotStructure {
 
   Coord coordOf(int id) const noexcept { return coords_[id]; }
 
-  /// Id of the amoebot at c, or -1 if unoccupied.
+  /// Id of the amoebot at c, or -1 if unoccupied. O(1): a dense
+  /// bounding-box grid lookup for compact structures, a hash lookup for
+  /// very sparse ones (bounding box > 64 * n cells).
   int idOf(Coord c) const noexcept;
 
   /// Neighbor id in direction d, or -1.
@@ -59,7 +61,21 @@ class AmoebotStructure {
   int eccentricity(int id) const;
 
  private:
+  bool inGrid(Coord c) const noexcept {
+    return c.q >= qmin_ && c.q <= qmax_ && c.r >= rmin_ && c.r <= rmax_;
+  }
+  std::size_t gridIndex(Coord c) const noexcept {
+    return static_cast<std::size_t>(c.r - rmin_) * width_ +
+           static_cast<std::size_t>(c.q - qmin_);
+  }
+
   std::vector<Coord> coords_;
+  // Occupancy index: a dense bounding-box grid (id per cell, -1 empty)
+  // when the box is not much larger than n, else the hash map fallback
+  // for very sparse structures (e.g. long random-walk spiders).
+  std::vector<int> grid_;  // empty => use index_
+  std::int32_t qmin_ = 0, qmax_ = -1, rmin_ = 0, rmax_ = -1;
+  std::int64_t width_ = 0;
   std::unordered_map<Coord, int, CoordHash> index_;
   std::vector<std::array<int, 6>> nbr_;
 };

@@ -123,7 +123,7 @@ ForestResult pruneForestToDestinations(const Region& region,
       if (pruned.inVQ[u] && u != s) result.parent[u] = pruned.parent[u];
     }
   }
-  result.rounds = perTree.empty() ? 0 : parallelRounds(perTree);
+  result.rounds = parallelRounds(perTree);
   return result;
 }
 

@@ -72,7 +72,7 @@ LineSpfResult lineSpf(const Region& region, std::span<const int> chainStops,
   for (std::size_t i = 0; i + 1 < sourcePositions.size(); ++i)
     runSegment(sourcePositions[i], sourcePositions[i + 1], true, true);
 
-  result.rounds = segmentRounds.empty() ? 0 : parallelRounds(segmentRounds);
+  result.rounds = parallelRounds(segmentRounds);
   return result;
 }
 

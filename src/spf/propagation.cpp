@@ -211,9 +211,7 @@ PropagationResult propagateForest(const Region& region,
     }
   }
 
-  result.rounds =
-      phase1Rounds +
-      (compRounds.empty() ? 0 : parallelRounds(compRounds));
+  result.rounds = phase1Rounds + parallelRounds(compRounds);
   return result;
 }
 

@@ -105,7 +105,7 @@ HoleDetectionResult detectHoles(const Region& region) {
   for (int u = 0; u < n; ++u) {
     for (const auto& pins : setsOf[u]) {
       circuits.insert(
-          info.circuitOf[u][pinIndex(pins.front(), comm.lanes())]);
+          info.circuitAt(u, pinIndex(pins.front(), comm.lanes())));
     }
   }
   result.boundaryCircuits = static_cast<int>(circuits.size());

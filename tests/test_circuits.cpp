@@ -1,9 +1,12 @@
 // Circuit engine tests: partition sets, circuits as connected components,
-// beep delivery semantics (no origin, no multiplicity), region isolation.
+// beep delivery semantics (no origin, no multiplicity), region isolation,
+// parallel-round accounting, and the dirty-tracking contract of the
+// incremental engine (substrate counters).
 #include <gtest/gtest.h>
 
 #include "sim/circuit_engine.hpp"
 #include "sim/comm.hpp"
+#include "sim/sim_counters.hpp"
 #include "shapes/generators.hpp"
 
 namespace aspf {
@@ -124,6 +127,127 @@ TEST(Circuits, AnalyzeSingletonConfiguration) {
   // link (two pins) or a lone boundary pin.
   for (int c = 0; c < info.circuitCount; ++c)
     EXPECT_LE(info.amoebotsOnCircuit[c], 2);
+}
+
+TEST(Circuits, ParallelRoundsOfNothingIsFree) {
+  // Regression: an empty execution set used to be charged the global sync
+  // beep (returned 1). No sub-protocol ran, so no round may be charged.
+  EXPECT_EQ(parallelRounds({}), 0);
+  const long one[] = {5};
+  EXPECT_EQ(parallelRounds(one), 6);
+  const long several[] = {3, 9, 4};
+  EXPECT_EQ(parallelRounds(several), 10);
+}
+
+TEST(Circuits, ReceivedBeforeAnyDeliverIsFalse) {
+  const auto s = shapes::line(2);
+  const Region region = Region::whole(s);
+  const Comm comm(region, 2);
+  EXPECT_FALSE(comm.receivedPin(0, {Dir::E, 0}));
+  EXPECT_FALSE(comm.receivedAny(1));
+}
+
+TEST(Circuits, UnchangedConfigurationsAreNotDirty) {
+  // The protocol idiom "resetPins(); re-join the same sets" must not count
+  // as reconfiguration: deliver() sees identical labels and the
+  // incremental engine performs no unions at all.
+  const auto s = shapes::line(6);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2, CircuitEngine::Incremental);
+  wireLineLane0(comm);
+  comm.deliver();  // first round: full rebuild by design
+
+  const SimCounters before = simCounters();
+  comm.resetPins();
+  wireLineLane0(comm);  // identical configuration
+  comm.beepPin(0, {Dir::E, 0});
+  comm.deliver();
+  const SimCounters delta = simCounters() - before;
+  EXPECT_EQ(delta.delivers, 1);
+  EXPECT_EQ(delta.dirtyAmoebots, 0);
+  EXPECT_EQ(delta.unions, 0);
+  EXPECT_EQ(delta.incrementalRounds, 1);
+  EXPECT_EQ(delta.rebuildRounds, 0);
+  // ... and the beep still reaches the whole line on the cached circuits.
+  for (int a = 0; a < 6; ++a) EXPECT_TRUE(comm.receivedPin(a, {Dir::E, 0}));
+}
+
+TEST(Circuits, LocalChangeTriggersLocalUpdate) {
+  // Splitting one amoebot's partition set dirties exactly that amoebot;
+  // the incremental engine re-unions only the affected circuit. (The line
+  // is long enough that the cut circuit stays under the traversal budget,
+  // which falls back to a rebuild for structure-spanning fractions.)
+  const auto s = shapes::line(64);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2, CircuitEngine::Incremental);
+  wireLineLane0(comm);
+  comm.deliver();
+
+  const SimCounters before = simCounters();
+  comm.pins(32).reset();  // cut the global lane-0 circuit at amoebot 32
+  comm.beepPin(0, {Dir::E, 0});
+  comm.deliver();
+  const SimCounters delta = simCounters() - before;
+  EXPECT_EQ(delta.dirtyAmoebots, 1);
+  EXPECT_EQ(delta.incrementalRounds, 1);
+  EXPECT_EQ(delta.rebuildRounds, 0);
+  EXPECT_GT(delta.unions, 0);
+  // The beep now stops at the cut: amoebots left of 32 (and 32's W pin
+  // via the external link) hear it, those right of it do not.
+  EXPECT_TRUE(comm.receivedPin(31, {Dir::E, 0}));
+  EXPECT_TRUE(comm.receivedPin(32, {Dir::W, 0}));
+  EXPECT_FALSE(comm.receivedPin(32, {Dir::E, 0}));
+  EXPECT_FALSE(comm.receivedPin(40, {Dir::W, 0}));
+  // Re-joining heals the circuit again.
+  const Pin pins[] = {{Dir::E, 0}, {Dir::W, 0}};
+  comm.pins(32).join(pins);
+  comm.beepPin(63, {Dir::W, 0});
+  comm.deliver();
+  for (int a = 0; a < 64; ++a) EXPECT_TRUE(comm.receivedPin(a, {Dir::E, 0}));
+}
+
+TEST(Circuits, HighDirtyFractionFallsBackToRebuild) {
+  // Reconfiguring (almost) every amoebot makes the affected-component
+  // traversal pointless; deliver() must take the from-scratch path.
+  const auto s = shapes::line(8);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2, CircuitEngine::Incremental);
+  comm.deliver();
+  const SimCounters before = simCounters();
+  wireLineLane0(comm);  // all 8 amoebots change
+  comm.deliver();
+  const SimCounters delta = simCounters() - before;
+  EXPECT_EQ(delta.dirtyAmoebots, 8);
+  EXPECT_EQ(delta.rebuildRounds, 1);
+  EXPECT_EQ(delta.incrementalRounds, 0);
+}
+
+TEST(Circuits, RebuildEngineMatchesIncrementalDelivery) {
+  // Same reconfiguration sequence on both engines: identical received()
+  // results every round (the differential fuzz test in test_incremental
+  // widens this to random sequences).
+  const auto s = shapes::hexagon(2);
+  const Region region = Region::whole(s);
+  Comm inc(region, 2, CircuitEngine::Incremental);
+  Comm reb(region, 2, CircuitEngine::Rebuild);
+  for (Comm* comm : {&inc, &reb}) {
+    wireLineLane0(*comm);
+    comm->beepPin(0, {Dir::E, 0});
+    comm->deliver();
+    comm->pins(3).reset();
+    comm->beepPin(0, {Dir::E, 0});
+    comm->deliver();
+  }
+  for (int a = 0; a < region.size(); ++a) {
+    for (Dir d : kAllDirs) {
+      for (std::uint8_t lane = 0; lane < 2; ++lane) {
+        EXPECT_EQ(inc.receivedPin(a, {d, lane}), reb.receivedPin(a, {d, lane}))
+            << "amoebot " << a << " dir " << static_cast<int>(d) << " lane "
+            << static_cast<int>(lane);
+      }
+    }
+  }
+  EXPECT_EQ(inc.rounds(), reb.rounds());
 }
 
 TEST(Circuits, StarConfigurationReachesAllNeighbors) {

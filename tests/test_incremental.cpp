@@ -1,0 +1,194 @@
+// Differential fuzz harness for the two circuit engines: the incremental,
+// dirty-tracked deliver() must be observationally indistinguishable from
+// the from-scratch rebuild on arbitrary reconfiguration sequences. Every
+// sequence is seeded and deterministic, so any failure replays from the
+// (structure, sequence) indices in the test name/trace alone.
+//
+// Per round the harness mutates a random subset of amoebots (random joins
+// and resets, including no-op rewrites of identical labels, which the
+// dirty tracker must filter out), queues random beeps, delivers on both
+// engines, and compares the complete observable state: received() for
+// every (amoebot, label) pair, receivedAny() for every amoebot, and the
+// round counters. 1000+ reconfiguration rounds run across several shape
+// families, including subset regions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shapes/generators.hpp"
+#include "sim/circuit_engine.hpp"
+#include "sim/comm.hpp"
+#include "sim/sim_counters.hpp"
+#include "util/rng.hpp"
+
+namespace aspf {
+namespace {
+
+/// One random reconfiguration + beep + deliver round applied identically
+/// to both engines; returns false (with gtest failures recorded) on the
+/// first observable divergence.
+void fuzzRound(Comm& inc, Comm& reb, Rng& rng, int lanes) {
+  const Region& region = inc.region();
+  const int n = region.size();
+  const int ppa = kNumDirs * lanes;
+
+  // Mutate a random subset (possibly empty; occasionally everyone, which
+  // exercises the rebuild fallback of the incremental engine).
+  const int mutations =
+      rng.chance(0.1) ? n : static_cast<int>(rng.below(n / 2 + 2));
+  for (int m = 0; m < mutations; ++m) {
+    const int a = static_cast<int>(rng.below(n));
+    switch (rng.below(4)) {
+      case 0: {  // reset to singletons
+        inc.pins(a).reset();
+        reb.pins(a).reset();
+        break;
+      }
+      case 1: {  // full reset-then-rejoin of the current labels (no-op
+                 // rewrite; must not count as dirty)
+        std::vector<std::vector<Pin>> sets(ppa);
+        for (int p = 0; p < ppa; ++p) {
+          sets[inc.pins(a).labelAt(p)].push_back(
+              Pin{static_cast<Dir>(p / lanes),
+                  static_cast<std::uint8_t>(p % lanes)});
+        }
+        inc.pins(a).reset();
+        reb.pins(a).reset();
+        for (const auto& set : sets) {
+          if (set.size() > 1) {
+            inc.pins(a).join(set);
+            reb.pins(a).join(set);
+          }
+        }
+        break;
+      }
+      default: {  // join 2..ppa random pins
+        const int count = 2 + static_cast<int>(rng.below(ppa - 1));
+        std::vector<Pin> pins;
+        for (int i = 0; i < count; ++i) {
+          const int p = static_cast<int>(rng.below(ppa));
+          pins.push_back(Pin{static_cast<Dir>(p / lanes),
+                             static_cast<std::uint8_t>(p % lanes)});
+        }
+        inc.pins(a).join(pins);
+        reb.pins(a).join(pins);
+        break;
+      }
+    }
+  }
+
+  // Occasionally reset the whole region.
+  if (rng.chance(0.05)) {
+    inc.resetPins();
+    reb.resetPins();
+  }
+
+  // Random beeps.
+  const int beeps = 1 + static_cast<int>(rng.below(4));
+  for (int bi = 0; bi < beeps; ++bi) {
+    const int a = static_cast<int>(rng.below(n));
+    const Pin p{static_cast<Dir>(rng.below(kNumDirs)),
+                static_cast<std::uint8_t>(rng.below(lanes))};
+    inc.beepPin(a, p);
+    reb.beepPin(a, p);
+  }
+
+  inc.deliver();
+  reb.deliver();
+
+  // Labels evolve identically (same mutation stream) ...
+  for (int a = 0; a < n; ++a) {
+    for (int p = 0; p < ppa; ++p) {
+      ASSERT_EQ(inc.pins(a).labelAt(p), reb.pins(a).labelAt(p))
+          << "label divergence at amoebot " << a << " pin " << p;
+    }
+  }
+  // ... so any divergence below is the engines disagreeing on circuits.
+  for (int a = 0; a < n; ++a) {
+    ASSERT_EQ(inc.receivedAny(a), reb.receivedAny(a))
+        << "receivedAny divergence at amoebot " << a;
+    for (int label = 0; label < ppa; ++label) {
+      ASSERT_EQ(inc.received(a, label), reb.received(a, label))
+          << "received divergence at amoebot " << a << " label " << label;
+    }
+  }
+  ASSERT_EQ(inc.rounds(), reb.rounds());
+}
+
+void fuzzStructure(const AmoebotStructure& s, int lanes, int sequences,
+                   int roundsPerSequence, std::uint64_t seed) {
+  const Region region = Region::whole(s);
+  for (int seq = 0; seq < sequences; ++seq) {
+    SCOPED_TRACE("sequence " + std::to_string(seq));
+    Rng rng(seed * 7919 + static_cast<std::uint64_t>(seq));
+    Comm inc(region, lanes, CircuitEngine::Incremental);
+    Comm reb(region, lanes, CircuitEngine::Rebuild);
+    for (int round = 0; round < roundsPerSequence; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      fuzzRound(inc, reb, rng, lanes);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(IncrementalFuzz, LineMatchesRebuild) {
+  fuzzStructure(shapes::line(14), 2, 10, 25, 11);  // 250 rounds
+}
+
+TEST(IncrementalFuzz, HexagonMatchesRebuild) {
+  fuzzStructure(shapes::hexagon(2), 4, 10, 25, 12);  // 250 rounds
+}
+
+TEST(IncrementalFuzz, RandomBlobMatchesRebuild) {
+  fuzzStructure(shapes::randomBlob(40, 5), 3, 10, 25, 13);  // 250 rounds
+}
+
+TEST(IncrementalFuzz, CombMatchesRebuild) {
+  fuzzStructure(shapes::comb(4, 3), 2, 10, 25, 14);  // 250 rounds
+}
+
+TEST(IncrementalFuzz, SubsetRegionMatchesRebuild) {
+  // Subset regions drop external links at the region boundary; the
+  // incremental traversal must respect the induced adjacency.
+  const auto s = shapes::parallelogram(8, 6);
+  std::vector<int> ids;
+  for (int i = 0; i < s.size(); ++i) {
+    if (i % 7 != 0) ids.push_back(i);  // punch holes into the region
+  }
+  const Region region = Region::of(s, ids);
+  for (int seq = 0; seq < 5; ++seq) {
+    SCOPED_TRACE("sequence " + std::to_string(seq));
+    Rng rng(1000 + static_cast<std::uint64_t>(seq));
+    Comm inc(region, 2, CircuitEngine::Incremental);
+    Comm reb(region, 2, CircuitEngine::Rebuild);
+    for (int round = 0; round < 20; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      fuzzRound(inc, reb, rng, 2);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(IncrementalFuzz, DirtyTrackingNeverRebuildsOnQuietRounds) {
+  // Statistical sanity on the counters: across a fuzz sequence the split
+  // incremental + rebuild rounds must account for every deliver, and a
+  // sequence of delivers without reconfiguration must stay incremental.
+  const auto s = shapes::hexagon(2);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2, CircuitEngine::Incremental);
+  comm.deliver();  // initial rebuild
+  const SimCounters before = simCounters();
+  for (int i = 0; i < 20; ++i) {
+    comm.beepPin(0, {Dir::E, 0});
+    comm.deliver();
+  }
+  const SimCounters delta = simCounters() - before;
+  EXPECT_EQ(delta.delivers, 20);
+  EXPECT_EQ(delta.incrementalRounds, 20);
+  EXPECT_EQ(delta.rebuildRounds, 0);
+  EXPECT_EQ(delta.unions, 0);
+  EXPECT_EQ(delta.dirtyAmoebots, 0);
+}
+
+}  // namespace
+}  // namespace aspf

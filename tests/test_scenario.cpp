@@ -23,7 +23,21 @@ TEST(Registry, SuitesArePresent) {
   EXPECT_NE(findSuite("conformance"), nullptr);
   EXPECT_NE(findSuite("smoke"), nullptr);
   EXPECT_NE(findSuite("large"), nullptr);
+  EXPECT_NE(findSuite("huge"), nullptr);
   EXPECT_EQ(findSuite("no-such-suite"), nullptr);
+}
+
+TEST(Registry, HugeSuiteCoversAllFamiliesAtScale) {
+  // The huge tier's contract (docs/BENCHMARKS.md): one instance per shape
+  // family, each with n >= 100k. Sizes are checked via the closed-form
+  // family formulas; the random families are constructed by the dedicated
+  // scale test below, not here.
+  const Suite* huge = findSuite("huge");
+  ASSERT_NE(huge, nullptr);
+  ASSERT_EQ(huge->scenarios.size(), 10u);
+  std::set<Shape> families;
+  for (const Scenario& sc : huge->scenarios) families.insert(sc.shape);
+  EXPECT_EQ(families.size(), 10u) << "every shape family exactly once";
 }
 
 TEST(Registry, ConformanceMatrixIsFrozen) {
@@ -63,11 +77,13 @@ TEST(Registry, NamesAreCanonicalAndUnambiguous) {
 
 TEST(Registry, EveryScenarioConstructsConnectedAndHoleFree) {
   for (const Suite& suite : suites()) {
-    // The large suite is covered by its own (slower) construction test via
-    // smoke/conformance shape families; constructing ~4k-amoebot blobs for
-    // every shape here would dominate the suite. Spot-check instead.
-    const std::size_t limit =
-        suite.name == "large" ? 3 : suite.scenarios.size();
+    // The large/huge suites are covered by their own (slower) construction
+    // paths via smoke/conformance shape families; constructing ~4k to 100k
+    // amoebot instances for every shape here would dominate the suite.
+    // Spot-check instead (huge: the cheap closed-form parallelogram).
+    std::size_t limit = suite.scenarios.size();
+    if (suite.name == "large") limit = 3;
+    if (suite.name == "huge") limit = 1;
     for (std::size_t i = 0; i < limit; ++i) {
       const Scenario& sc = suite.scenarios[i];
       SCOPED_TRACE(sc.name);
@@ -101,7 +117,8 @@ TEST(Registry, NewShapeFamiliesAreValidInstances) {
 
 TEST(Registry, ScenariosReplayIdentically) {
   for (const Suite& suite : suites()) {
-    if (suite.name == "large") continue;  // replay covered by runner test
+    if (suite.name == "large" || suite.name == "huge")
+      continue;  // replay covered by runner test / huge-tier CLI runs
     for (const Scenario& sc : suite.scenarios) {
       SCOPED_TRACE(sc.name);
       const BuiltScenario a(sc);
@@ -325,6 +342,122 @@ TEST(Runner, UncheckedRunsAreMarkedInTheConfigBlock) {
   ASSERT_NE(doc.find("config")->find("check"), nullptr);
   EXPECT_FALSE(doc.find("config")->find("check")->asBool());
   EXPECT_TRUE(reportFromJson(doc) == report);
+}
+
+TEST(Runner, EnginesProduceIdenticalModelResults) {
+  // The incremental engine must be observationally equivalent to the
+  // from-scratch rebuild: same rounds, delivers, beeps, checker verdicts
+  // and phase breakdowns on every run. Only the substrate counters
+  // (unions, incr/rebuild round split) may differ -- that is their point.
+  const std::vector<Scenario> batch = {make(Shape::Hexagon, 5, 0, 3, 6, 1),
+                                       make(Shape::Comb, 6, 5, 2, 4, 2),
+                                       make(Shape::Zigzag, 6, 6, 2, 4, 1)};
+  RunOptions options;
+  options.timing = false;
+  options.threads = 1;
+  const BenchReport inc = runBatch("t", batch, options);
+  options.engine = CircuitEngine::Rebuild;
+  const BenchReport reb = runBatch("t", batch, options);
+  EXPECT_EQ(inc.engine, "incremental");
+  EXPECT_EQ(reb.engine, "rebuild");
+  ASSERT_EQ(inc.scenarios.size(), reb.scenarios.size());
+  for (std::size_t i = 0; i < inc.scenarios.size(); ++i) {
+    const ScenarioReport& a = inc.scenarios[i];
+    const ScenarioReport& b = reb.scenarios[i];
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t j = 0; j < a.runs.size(); ++j) {
+      SCOPED_TRACE(a.scenario.name + " " + a.runs[j].algo);
+      EXPECT_EQ(a.runs[j].rounds, b.runs[j].rounds);
+      EXPECT_EQ(a.runs[j].delivers, b.runs[j].delivers);
+      EXPECT_EQ(a.runs[j].beeps, b.runs[j].beeps);
+      EXPECT_EQ(a.runs[j].checkerOk, b.runs[j].checkerOk);
+      EXPECT_EQ(a.runs[j].error, b.runs[j].error);
+      EXPECT_EQ(a.runs[j].phases, b.runs[j].phases);
+      // Dirty tracking is engine-independent; the rebuild engine just
+      // ignores it, doing every union from scratch each round.
+      EXPECT_EQ(a.runs[j].dirtyFrac, b.runs[j].dirtyFrac);
+      EXPECT_LE(a.runs[j].unions, b.runs[j].unions);
+      EXPECT_EQ(b.runs[j].incrRounds, 0);
+      EXPECT_EQ(b.runs[j].rebuildRounds, b.runs[j].delivers);
+      EXPECT_EQ(a.runs[j].incrRounds + a.runs[j].rebuildRounds,
+                a.runs[j].delivers);
+    }
+  }
+}
+
+TEST(Report, EqualDeterministicIgnoresTimingOnly) {
+  const BenchReport a = sampleReport();
+  BenchReport b = a;
+  b.threads = 16;
+  b.timing = false;
+  b.totalWallMs = 0.0;
+  b.peakRssKb = 0;
+  for (ScenarioReport& sr : b.scenarios)
+    for (AlgoRun& run : sr.runs) run.wallMs = 0.0;
+  std::string why;
+  EXPECT_TRUE(equalDeterministic(a, b, &why)) << why;
+
+  b.scenarios[0].runs[0].rounds += 1;
+  EXPECT_FALSE(equalDeterministic(a, b, &why));
+  EXPECT_NE(why.find("rounds"), std::string::npos) << why;
+
+  BenchReport c = a;
+  c.scenarios[0].runs[1].delivers += 5;
+  EXPECT_FALSE(equalDeterministic(a, c, &why));
+  EXPECT_NE(why.find("delivers"), std::string::npos) << why;
+}
+
+TEST(Report, ModelOnlyDiffIgnoresEngineFields) {
+  // --diff-model semantics: the engine tag and union counters may differ
+  // (incremental vs rebuild run), but model fields -- including the
+  // engine-independent dirty fraction -- may not.
+  const BenchReport a = sampleReport();
+  BenchReport b = a;
+  b.engine = "rebuild";
+  for (ScenarioReport& sr : b.scenarios) {
+    for (AlgoRun& run : sr.runs) {
+      run.unions += 1000;
+      run.incrRounds = 0;
+      run.rebuildRounds = run.delivers;
+    }
+  }
+  std::string why;
+  EXPECT_FALSE(equalDeterministic(a, b, &why));
+  EXPECT_TRUE(equalDeterministic(a, b, &why, /*modelOnly=*/true)) << why;
+
+  b.scenarios[0].runs[0].dirtyFrac += 0.5;  // engine-independent: compared
+  EXPECT_FALSE(equalDeterministic(a, b, &why, /*modelOnly=*/true));
+  EXPECT_NE(why.find("dirty_frac"), std::string::npos) << why;
+}
+
+TEST(Report, LegacyReportsWithoutEngineFieldsStillValidate) {
+  // Reports written before the incremental substrate carry neither
+  // config.engine nor the per-run engine counters; they must keep
+  // validating and parse with zero/default values (the committed
+  // BENCH_*.json trajectory depends on this).
+  const Json doc = Json::parse(R"({
+    "schema_version": 1, "tool": "aspf-run", "suite": "smoke",
+    "config": {"algos": ["wave"], "threads": 1, "lanes": 4,
+               "check": true, "timing": false},
+    "scenarios": [
+      {"name": "hexagon3_k1_l1_s1", "shape": "hexagon", "a": 3, "b": 0,
+       "k": 1, "l": 1, "seed": 1, "n": 37, "k_eff": 1, "l_eff": 1,
+       "runs": [{"algo": "wave", "rounds": 9, "wall_ms": 0,
+                 "checker_ok": true, "error": "",
+                 "delivers": 9, "beeps": 120}]}],
+    "totals": {"scenarios": 1, "runs": 1, "wall_ms": 0, "peak_rss_kb": 0}
+  })");
+  std::string error;
+  ASSERT_TRUE(validateReport(doc, &error)) << error;
+  const BenchReport back = reportFromJson(doc);
+  EXPECT_EQ(back.engine, "incremental");
+  ASSERT_EQ(back.scenarios.size(), 1u);
+  for (const AlgoRun& run : back.scenarios[0].runs) {
+    EXPECT_EQ(run.unions, 0);
+    EXPECT_EQ(run.incrRounds, 0);
+    EXPECT_EQ(run.rebuildRounds, 0);
+    EXPECT_EQ(run.dirtyFrac, 0.0);
+  }
 }
 
 TEST(Runner, AlgoTagsRoundTrip) {

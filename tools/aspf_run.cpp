@@ -46,6 +46,8 @@ void printUsage(std::ostream& os) {
         "  --threads N            worker threads (default: hardware)\n"
         "  --lanes N              pin lanes for the circuit protocols "
         "(default 4)\n"
+        "  --engine NAME          circuit engine: incremental (default) or\n"
+        "                         rebuild (from-scratch differential oracle)\n"
         "  --no-check             skip the five-property forest checker\n"
         "  --no-timing            zero wall-time/RSS fields (byte-stable "
         "output)\n\n"
@@ -54,7 +56,15 @@ void printUsage(std::ostream& os) {
         "  --quiet                suppress the table\n\n"
         "Validation:\n"
         "  --check PATH           validate an existing report against the\n"
-        "                         schema and exit\n";
+        "                         schema and exit\n"
+        "  --diff PATH PATH       compare the deterministic fields of two\n"
+        "                         reports (rounds, counters, verdicts;\n"
+        "                         wall-times/RSS/threads ignored) and exit\n"
+        "                         0 iff they match\n"
+        "  --diff-model PATH PATH same, additionally ignoring the engine\n"
+        "                         tag and engine counters -- compares the\n"
+        "                         fields both circuit engines must agree "
+        "on\n";
 }
 
 /// std::stoi with the CLI's usage-error contract (exit 1, no terminate).
@@ -102,32 +112,64 @@ int doList() {
   return 0;
 }
 
-int doCheck(const std::string& path) {
+/// Reads and parses a JSON document; exits 1 with a message on any
+/// open/parse failure (shared by --check and --diff).
+Json loadJson(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "aspf-run: cannot open " << path << "\n";
-    return 1;
+    std::exit(1);
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
   try {
-    const Json doc = Json::parse(buffer.str());
-    std::string error;
-    if (!validateReport(doc, &error)) {
-      std::cerr << "aspf-run: " << path << " is NOT schema-valid: " << error
-                << "\n";
-      return 1;
-    }
-    // Full round-trip: struct -> json must reproduce a valid document too.
-    const BenchReport report = reportFromJson(doc);
-    if (!validateReport(toJson(report), &error)) {
-      std::cerr << "aspf-run: round-trip of " << path
-                << " broke validity: " << error << "\n";
-      return 1;
-    }
+    return Json::parse(buffer.str());
   } catch (const std::exception& e) {
     std::cerr << "aspf-run: " << path << " failed to parse: " << e.what()
               << "\n";
+    std::exit(1);
+  }
+}
+
+/// Loads and schema-validates a report; exits 1 on any failure.
+BenchReport loadReport(const std::string& path) {
+  try {
+    return reportFromJson(loadJson(path));
+  } catch (const std::exception& e) {
+    std::cerr << "aspf-run: " << path << ": " << e.what() << "\n";
+    std::exit(1);
+  }
+}
+
+int doDiff(const std::string& pathA, const std::string& pathB,
+           bool modelOnly) {
+  const BenchReport a = loadReport(pathA);
+  const BenchReport b = loadReport(pathB);
+  std::string why;
+  if (!equalDeterministic(a, b, &why, modelOnly)) {
+    std::cerr << "aspf-run: " << (modelOnly ? "model" : "deterministic")
+              << " fields differ at " << why << "\n";
+    return 1;
+  }
+  std::cout << pathA << " and " << pathB << ": "
+            << (modelOnly ? "model" : "deterministic")
+            << " fields identical\n";
+  return 0;
+}
+
+int doCheck(const std::string& path) {
+  const Json doc = loadJson(path);
+  std::string error;
+  if (!validateReport(doc, &error)) {
+    std::cerr << "aspf-run: " << path << " is NOT schema-valid: " << error
+              << "\n";
+    return 1;
+  }
+  // Full round-trip: struct -> json must reproduce a valid document too.
+  const BenchReport report = reportFromJson(doc);
+  if (!validateReport(toJson(report), &error)) {
+    std::cerr << "aspf-run: round-trip of " << path
+              << " broke validity: " << error << "\n";
     return 1;
   }
   std::cout << path << ": schema-valid (version " << kReportSchemaVersion
@@ -145,11 +187,12 @@ struct Cli {
 
 void printTable(const BenchReport& report) {
   Table table({"scenario", "n", "k", "l", "algo", "rounds", "delivers",
-               "beeps", "wall ms", "ok"});
+               "unions", "dirty%", "beeps", "wall ms", "ok"});
   for (const ScenarioReport& sr : report.scenarios) {
     for (const AlgoRun& run : sr.runs) {
       table.add(sr.scenario.name, sr.n, sr.kEff, sr.lEff, run.algo,
-                run.rounds, run.delivers, run.beeps, run.wallMs,
+                run.rounds, run.delivers, run.unions, 100.0 * run.dirtyFrac,
+                run.beeps, run.wallMs,
                 run.error.empty() && run.checkerOk ? "yes" : "NO");
     }
   }
@@ -188,6 +231,10 @@ int main(int argc, char** argv) {
       return doList();
     } else if (arg == "--check") {
       return doCheck(value(i, arg));
+    } else if (arg == "--diff" || arg == "--diff-model") {
+      const std::string pathA = value(i, arg);
+      const std::string pathB = value(i, arg);
+      return doDiff(pathA, pathB, arg == "--diff-model");
     } else if (arg == "--suite") {
       const std::string name = value(i, arg);
       const Suite* suite = findSuite(name);
@@ -258,6 +305,17 @@ int main(int argc, char** argv) {
       }
       if (cli.options.algos.empty()) {
         std::cerr << "aspf-run: --algo selected nothing\n";
+        return 1;
+      }
+    } else if (arg == "--engine") {
+      const std::string name = value(i, arg);
+      if (name == "incremental") {
+        cli.options.engine = CircuitEngine::Incremental;
+      } else if (name == "rebuild") {
+        cli.options.engine = CircuitEngine::Rebuild;
+      } else {
+        std::cerr << "aspf-run: unknown engine '" << name
+                  << "' (incremental|rebuild)\n";
         return 1;
       }
     } else if (arg == "--threads") {
