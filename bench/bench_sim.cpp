@@ -64,13 +64,17 @@ BENCHMARK(BM_Deliver)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 // workload: a stable global circuit with one amoebot reconfiguring per
 // round (the frontier pattern of the paper's protocols). The incremental
 // engine recomputes only the affected circuit; the rebuild engine pays
-// the full n * lanes union-find pass every round.
+// the full n * lanes union-find pass every round. The third argument is
+// the sim-thread count (sharded substrate) for the thread ablation --
+// note the sharding gate keeps radius-32 hexagons (n ~ 3k) sharded only
+// from 2 threads up, and results are bit-identical at every count.
 void BM_DeliverSparseChange(benchmark::State& state) {
   const auto engine = state.range(1) == 0 ? CircuitEngine::Incremental
                                           : CircuitEngine::Rebuild;
+  const int simThreads = static_cast<int>(state.range(2));
   const auto s = bench::workloadShape(Shape::Hexagon, static_cast<int>(state.range(0)));
   const Region region = Region::whole(s);
-  Comm comm(region, 4, engine);
+  Comm comm(region, 4, engine, simThreads);
   const Pin pair[] = {{Dir::E, 0}, {Dir::W, 0}};
   for (int a = 0; a < region.size(); ++a) comm.pins(a).join(pair);
   comm.deliver();  // initial full build in both engines
@@ -90,13 +94,59 @@ void BM_DeliverSparseChange(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * region.size());
   state.counters["n"] = region.size();
+  state.counters["shards"] = comm.shardCount();
 }
 BENCHMARK(BM_DeliverSparseChange)
-    ->Args({32, 0})
-    ->Args({32, 1})
-    ->Args({64, 0})
-    ->Args({64, 1})
+    ->Args({32, 0, 1})
+    ->Args({32, 0, 2})
+    ->Args({32, 0, 8})
+    ->Args({32, 1, 1})
+    ->Args({32, 1, 8})
+    ->Args({64, 0, 1})
+    ->Args({64, 0, 2})
+    ->Args({64, 0, 8})
+    ->Args({64, 1, 1})
+    ->Args({64, 1, 8})
     ->Unit(benchmark::kMicrosecond);
+
+// Huge-tier deliver: a structure-spanning lane circuit over n >= 100k
+// amoebots with a small spread-out dirty set per round -- the shape of a
+// PASC iteration at the `huge` registry tier, where the sharded engine's
+// per-batch fan-out is amortized by ~100k-pin shard work. Ablate
+// sim-threads {1, 2, 8}.
+void BM_DeliverHugeChain(benchmark::State& state) {
+  const int simThreads = static_cast<int>(state.range(0));
+  const auto s = bench::workloadShape(Shape::Parallelogram, 1000, 100);
+  const Region region = Region::whole(s);  // n = 100k
+  Comm comm(region, 4, CircuitEngine::Incremental, simThreads);
+  const Pin pair[] = {{Dir::E, 0}, {Dir::W, 0}};
+  for (int a = 0; a < region.size(); ++a) comm.pins(a).join(pair);
+  comm.deliver();
+  int flip = 0;
+  for (auto _ : state) {
+    // 16 spread-out amoebots cut (or heal) their row circuit per round:
+    // the affected closure spans whole rows across every shard.
+    const int stride = region.size() / 16;
+    for (int i = 0; i < 16; ++i) {
+      const int a = 1 + ((flip / 2 + i * stride) % (region.size() - 2));
+      if (flip % 2 == 0)
+        comm.pins(a).reset();
+      else
+        comm.pins(a).join(pair);
+    }
+    ++flip;
+    comm.beepPin(0, {Dir::E, 0});
+    comm.deliver();
+  }
+  state.SetItemsProcessed(state.iterations() * region.size());
+  state.counters["n"] = region.size();
+  state.counters["shards"] = comm.shardCount();
+}
+BENCHMARK(BM_DeliverHugeChain)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HoleFreeCheck(benchmark::State& state) {
   const auto s = bench::workloadShape(Shape::RandomBlob, static_cast<int>(state.range(0)), 0, 9);

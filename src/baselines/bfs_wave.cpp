@@ -26,9 +26,12 @@ BfsWaveResult bfsWaveForest(const Region& region,
   // Host-side the wave only ever inspects the frontier and its uncovered
   // neighbors (the only amoebots that can hear a beep under singleton
   // pins), so a round costs O(frontier) instead of O(n); results are
-  // identical to the full per-round scan.
+  // identical to the full per-round scan. The per-candidate receive scan
+  // is one batched query, which a sharded Comm resolves concurrently.
   std::vector<int> candidates;
   std::vector<char> isCandidate(n, 0);
+  std::vector<PinQuery> queries;
+  std::vector<char> heard;
   while (!frontier.empty()) {
     candidates.clear();
     for (const int u : frontier) {
@@ -44,16 +47,27 @@ BfsWaveResult bfsWaveForest(const Region& region,
     }
     comm.deliver();
     std::sort(candidates.begin(), candidates.end());
+    queries.clear();
+    for (const int u : candidates) {
+      for (Dir d : kAllDirs) {
+        if (region.neighbor(u, d) >= 0) queries.push_back({u, {d, 0}});
+      }
+    }
+    comm.receivedBatch(queries, &heard);
     std::vector<int> next;
+    std::size_t qi = 0;
     for (const int u : candidates) {
       isCandidate[u] = 0;
+      // The candidate adopts the first hearing direction in kAllDirs
+      // order, exactly as the former point-query loop did.
       for (Dir d : kAllDirs) {
         const int v = region.neighbor(u, d);
-        if (v >= 0 && comm.receivedPin(u, {d, 0})) {
+        if (v < 0) continue;
+        const bool bit = heard[qi++] != 0;
+        if (bit && !covered[u]) {
           covered[u] = 1;
           result.parent[u] = v;
           next.push_back(u);
-          break;
         }
       }
     }

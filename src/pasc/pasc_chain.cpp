@@ -88,6 +88,33 @@ PascResult runPascChain(Comm& comm, std::span<const int> stops,
     }
   };
 
+  // Rewires a batch of interior stops, sharded when the Comm is: stops
+  // are bucketed by the shard of their amoebot, so concurrent shard
+  // sweeps mutate disjoint arena state, and two instances of the SAME
+  // amoebot (Euler tours revisit) land in the same bucket in chain
+  // order. Small batches stay serial -- results are identical either
+  // way, the fan-out just costs more than it saves.
+  std::vector<std::vector<int>> rewireBuckets;
+  auto rewireStops = [&](std::span<const int> batch) {
+    // Only interior stops carry wiring (head/tail crossings are virtual).
+    if (comm.shardCount() == 1 ||
+        batch.size() < static_cast<std::size_t>(kShardSweepGrain)) {
+      for (const int i : batch) {
+        if (i > 0 && i + 1 < m) wireStop(i);
+      }
+      return;
+    }
+    rewireBuckets.resize(comm.shardCount());
+    for (std::vector<int>& bucket : rewireBuckets) bucket.clear();
+    for (const int i : batch) {
+      if (i > 0 && i + 1 < m)
+        rewireBuckets[comm.shardOf(stops[i])].push_back(i);
+    }
+    comm.forEachShard([&](int s) {
+      for (const int i : rewireBuckets[s]) wireStop(i);
+    });
+  };
+
   // Configure the chain once; afterwards only stops whose activity
   // flipped rewire (the "active frontier" -- the dirty set the
   // incremental circuit engine exploits). The head has no physical
@@ -95,16 +122,23 @@ PascResult runPascChain(Comm& comm, std::span<const int> stops,
   // in-pins stay singletons (they are the read points), so neither is
   // ever wired.
   comm.resetPins();
-  for (int i = 1; i + 1 < m; ++i) wireStop(i);
+  std::vector<int> interior;
+  for (int i = 1; i + 1 < m; ++i) interior.push_back(i);
+  rewireStops(interior);
+  interior.clear();
+  interior.shrink_to_fit();
 
   int iteration = 0;
   std::vector<char> bitsNow(m, 0);
   std::vector<int> flipped;
+  std::vector<PinQuery> queries;
+  std::vector<char> bitOf;
   while (true) {
     // --- Round 1: rewire flipped crossings, head injects, all read bits.
-    for (const int i : flipped) {
-      if (i > 0 && i + 1 < m) wireStop(i);
-    }
+    // Flipped stops are interior by construction (the head never
+    // deactivates in distance mode and its crossing needs no wiring; the
+    // tail's flip only changes which in-pin it reads).
+    rewireStops(flipped);
     flipped.clear();
     if (m >= 2) {
       const bool headCross = active[0] != 0;
@@ -115,18 +149,18 @@ PascResult runPascChain(Comm& comm, std::span<const int> stops,
     // Read: bit = 1 iff the signal leaves the stop on the secondary lane,
     // i.e. the partition set containing the out-secondary pin received the
     // beep. Tail uses the in-pin that its (virtual) crossing would route to
-    // the secondary out-lane.
+    // the secondary out-lane. The whole sweep is one batched query so a
+    // sharded Comm resolves the m roots concurrently.
+    queries.clear();
+    for (int i = 1; i < m; ++i) {
+      const Pin q = i == m - 1 ? inPin(i, active[i] != 0 ? 0 : 1)
+                               : outPin(i, 1);
+      queries.push_back({stops[i], q});
+    }
+    comm.receivedBatch(queries, &bitOf);
     for (int i = 0; i < m; ++i) {
-      const int a = stops[i];
-      bool bit;
-      if (i == 0) {
-        bit = active[0] != 0;  // head's own crossing on the injected signal
-      } else if (i == m - 1) {
-        const bool cross = active[i] != 0;
-        bit = comm.receivedPin(a, inPin(i, cross ? 0 : 1));
-      } else {
-        bit = comm.receivedPin(a, outPin(i, 1));
-      }
+      // Head: its own crossing acts on the injected signal directly.
+      const bool bit = i == 0 ? active[0] != 0 : bitOf[i - 1] != 0;
       bitsNow[i] = bit ? 1 : 0;
       if (bit) result.value[i] |= (std::uint64_t{1} << iteration);
     }

@@ -1,5 +1,6 @@
 #include "pasc/pasc_tree.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace aspf {
@@ -48,9 +49,9 @@ TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent) {
   result.depth.assign(n, 0);
 
   // Wire one node's crossing (a tree node is one amoebot, so a reset
-  // before re-joining cannot clobber other protocol state).
-  std::vector<Pin> setA, setB;
-  auto wireNode = [&](int u) {
+  // before re-joining cannot clobber other protocol state). The pin-set
+  // scratch is caller-provided so concurrent shard sweeps don't share it.
+  auto wireNode = [&](int u, std::vector<Pin>& setA, std::vector<Pin>& setB) {
     setA.clear();
     setB.clear();
     const bool cross = active[u] != 0;
@@ -66,23 +67,52 @@ TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent) {
     if (setB.size() > 1) comm.pins(u).join(setB);
   };
 
+  // Rewires a batch of nodes (each optionally reset first), bucketed by
+  // shard so a sharded Comm runs the sweeps concurrently on disjoint
+  // arena state. Node ids are region locals, so shardOf applies
+  // directly; small batches stay serial with identical results.
+  std::vector<std::vector<int>> rewireBuckets;
+  auto rewireNodes = [&](std::span<const int> batch, bool resetFirst) {
+    if (comm.shardCount() == 1 ||
+        batch.size() < static_cast<std::size_t>(kShardSweepGrain)) {
+      std::vector<Pin> setA, setB;
+      for (const int u : batch) {
+        if (resetFirst) comm.pins(u).reset();
+        wireNode(u, setA, setB);
+      }
+      return;
+    }
+    rewireBuckets.resize(comm.shardCount());
+    for (std::vector<int>& bucket : rewireBuckets) bucket.clear();
+    for (const int u : batch) rewireBuckets[comm.shardOf(u)].push_back(u);
+    comm.forEachShard([&](int s) {
+      std::vector<Pin> setA, setB;
+      for (const int u : rewireBuckets[s]) {
+        if (resetFirst) comm.pins(u).reset();
+        wireNode(u, setA, setB);
+      }
+    });
+  };
+
   // Configure the forest once; afterwards only nodes whose activity
   // flipped rewire (the dirty set the incremental circuit engine
   // exploits).
   comm.resetPins();
+  std::vector<int> members;
   for (int u = 0; u < n; ++u) {
-    if (member[u]) wireNode(u);
+    if (member[u]) members.push_back(u);
   }
+  rewireNodes(members, /*resetFirst=*/false);
 
   int iteration = 0;
   std::vector<char> bitsNow(n, 0);
   std::vector<int> flipped;
+  std::vector<PinQuery> queries;
+  std::vector<int> queryNode;
+  std::vector<char> bitOf;
   while (true) {
     // --- Round 1: rewire flipped crossings, roots inject, read bits.
-    for (const int u : flipped) {
-      comm.pins(u).reset();
-      wireNode(u);
-    }
+    rewireNodes(flipped, /*resetFirst=*/true);
     flipped.clear();
     for (int u = 0; u < n; ++u) {
       if (member[u] && parent[u] == -1 && !children[u].empty())
@@ -90,25 +120,33 @@ TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent) {
     }
     comm.deliver();
 
+    // One batched query for the whole forest sweep (sharded Comms
+    // resolve the roots concurrently; isolated roots and non-members
+    // never enter the batch and stay 0).
+    queries.clear();
+    queryNode.clear();
     for (int u = 0; u < n; ++u) {
-      bool bit = false;
-      if (member[u]) {
-        const bool cross = active[u] != 0;
-        if (!children[u].empty()) {
-          // The signal leaves on the secondary out-lane iff the partition
-          // set containing an out-secondary pin received the beep; this
-          // holds for both the straight and the crossed configuration.
-          bit = comm.receivedPin(u, outS(u, children[u].front()));
-        } else if (parent[u] >= 0) {
-          // Leaf: virtual out side; its crossing routes inP (crossed) or
-          // inS (straight) to the secondary out-lane.
-          bit = comm.receivedPin(u, cross ? inP(u) : inS(u));
-        } else {
-          bit = false;  // isolated root
-        }
+      if (!member[u]) continue;
+      if (!children[u].empty()) {
+        // The signal leaves on the secondary out-lane iff the partition
+        // set containing an out-secondary pin received the beep; this
+        // holds for both the straight and the crossed configuration.
+        queries.push_back({u, outS(u, children[u].front())});
+        queryNode.push_back(u);
+      } else if (parent[u] >= 0) {
+        // Leaf: virtual out side; its crossing routes inP (crossed) or
+        // inS (straight) to the secondary out-lane.
+        queries.push_back({u, active[u] != 0 ? inP(u) : inS(u)});
+        queryNode.push_back(u);
       }
-      bitsNow[u] = bit ? 1 : 0;
-      if (bit) result.depth[u] |= (std::uint64_t{1} << iteration);
+    }
+    comm.receivedBatch(queries, &bitOf);
+    std::fill(bitsNow.begin(), bitsNow.end(), 0);
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      if (!bitOf[qi]) continue;
+      const int u = queryNode[qi];
+      bitsNow[u] = 1;
+      result.depth[u] |= (std::uint64_t{1} << iteration);
     }
     result.bits.push_back(bitsNow);
 

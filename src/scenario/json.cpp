@@ -63,7 +63,15 @@ void appendEscaped(std::string& out, const std::string& s) {
 }
 
 void appendNumber(std::string& out, double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Infinity literal; "%.17g" would emit `nan`/`inf`,
+    // which no conforming parser (including ours) accepts. Null is the
+    // only faithful representation, so the output stays valid JSON no
+    // matter what a computed metric did.
+    out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
     // Integral values (rounds, counters, kb) serialize without a fraction.
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
@@ -255,6 +263,10 @@ class Parser {
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) fail("malformed number");
+    // strtod overflows (e.g. "1e999") to +/-inf -- and would accept
+    // `inf`/`nan` spellings outright if the token scanner ever let them
+    // through. JSON numbers are finite by grammar; reject anything else.
+    if (!std::isfinite(v)) fail("number is not finite");
     return Json(v);
   }
 

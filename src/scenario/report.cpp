@@ -15,6 +15,7 @@ Json toJson(const BenchReport& report) {
   for (const std::string& a : report.algos) algos.push(Json(a));
   config["algos"] = std::move(algos);
   config["threads"] = Json(report.threads);
+  config["sim_threads"] = Json(report.simThreads);
   config["lanes"] = Json(report.lanes);
   config["check"] = Json(report.check);
   config["timing"] = Json(report.timing);
@@ -171,6 +172,13 @@ class Validator {
         return fail("$.config.algos[" + std::to_string(i) + "]", "wrong type");
     }
     if (!need(*config, "$.config", "threads", Json::Type::Number)) return false;
+    if (const Json* simThreads = config->find("sim_threads")) {
+      // Optional (reports from PR <= 3 predate the sharded substrate).
+      if (simThreads->type() != Json::Type::Number)
+        return fail("$.config.sim_threads", "wrong type");
+      if (simThreads->asInt() < 1)
+        return fail("$.config.sim_threads", "must be >= 1");
+    }
     if (!need(*config, "$.config", "lanes", Json::Type::Number)) return false;
     if (!need(*config, "$.config", "check", Json::Type::Bool)) return false;
     if (!need(*config, "$.config", "timing", Json::Type::Bool)) return false;
@@ -230,6 +238,8 @@ BenchReport reportFromJson(const Json& doc) {
   for (const Json& a : config.find("algos")->items())
     report.algos.push_back(a.asString());
   report.threads = static_cast<int>(config.find("threads")->asInt());
+  if (const Json* simThreads = config.find("sim_threads"))
+    report.simThreads = static_cast<int>(simThreads->asInt());
   report.lanes = static_cast<int>(config.find("lanes")->asInt());
   report.check = config.find("check")->asBool();
   report.timing = config.find("timing")->asBool();

@@ -7,8 +7,8 @@
 //     "schema_version": 1,
 //     "tool": "aspf-run",
 //     "suite": "<suite name or 'custom'>",
-//     "config": {"algos": [...], "threads": N, "lanes": N,
-//                "check": bool, "timing": bool,
+//     "config": {"algos": [...], "threads": N, "sim_threads": N,
+//                "lanes": N, "check": bool, "timing": bool,
 //                "engine": "incremental|rebuild"},
 //     "scenarios": [
 //       {"name": ..., "shape": ..., "a": ..., "b": ..., "k": ..., "l": ...,
@@ -36,7 +36,13 @@
 // locality the incremental engine exploits). `phases` appears only on runs
 // that report a per-phase breakdown (the polylog forest). The engine
 // counters and "config.engine" are optional on input (reports from PR <= 2
-// predate them; they default to 0 / "incremental") and always emitted. All
+// predate them; they default to 0 / "incremental") and always emitted;
+// "config.sim_threads" (the sharded substrate's worker count, PR 4) is
+// optional the same way and defaults to 1. Like "config.threads" it is an
+// execution-resource stamp, not a model field: every deterministic field
+// is bit-identical at any sim-thread count, so equalDeterministic ignores
+// it and the CI byte-identity check compares reports modulo that one
+// config line. All
 // numeric fields fit a double exactly. Reports round-trip: toJson -> dump
 // -> Json::parse -> reportFromJson reproduces the struct bit-for-bit
 // except for nothing -- wall-times are preserved verbatim.
@@ -88,6 +94,7 @@ struct BenchReport {
   std::string suite;
   std::vector<std::string> algos;
   int threads = 1;
+  int simThreads = 1;  // sharded-substrate workers per Comm (PR 4)
   int lanes = 4;
   bool check = true;   // false => checker was skipped; checker_ok fields
                        // report trust, not a verified verdict

@@ -140,6 +140,7 @@ BenchReport runBatch(std::string suiteName,
   threads =
       std::min(threads, std::max(1, static_cast<int>(scenarios.size())));
   report.threads = threads;
+  report.simThreads = std::clamp(options.simThreads, 1, kMaxSimThreads);
   report.lanes = options.lanes;
   report.check = options.check;
   report.timing = options.timing;
@@ -151,7 +152,8 @@ BenchReport runBatch(std::string suiteName,
   std::atomic<std::size_t> next{0};
   std::mutex progressMutex;
   auto worker = [&] {
-    setDefaultCircuitEngine(options.engine);  // thread_local
+    setDefaultCircuitEngine(options.engine);       // thread_local
+    setDefaultSimThreads(report.simThreads);       // thread_local
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= scenarios.size()) return;
@@ -171,9 +173,11 @@ BenchReport runBatch(std::string suiteName,
   };
 
   if (threads == 1) {
-    const CircuitEngine saved = defaultCircuitEngine();
+    const CircuitEngine savedEngine = defaultCircuitEngine();
+    const int savedSimThreads = defaultSimThreads();
     worker();
-    setDefaultCircuitEngine(saved);  // don't leak into the caller's thread
+    setDefaultCircuitEngine(savedEngine);  // don't leak into the caller
+    setDefaultSimThreads(savedSimThreads);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);

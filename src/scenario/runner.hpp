@@ -49,6 +49,11 @@ struct RunOptions {
   // from-scratch differential-testing path; both engines produce
   // identical deterministic report fields except the engine counters.
   CircuitEngine engine = CircuitEngine::Incremental;
+  // Intra-simulator worker threads per Comm (the sharded circuit
+  // substrate). Orthogonal to `threads`, which parallelizes across
+  // scenarios: sim-threads splits one deliver() across shards. Every
+  // deterministic report field is bit-identical at any sim-thread count.
+  int simThreads = 1;
 };
 
 /// Progress hook, called after each finished scenario (from worker

@@ -1,7 +1,8 @@
 #include "sim/comm.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <array>
+#include <string>
 
 #include "sim/sim_counters.hpp"
 
@@ -23,7 +24,47 @@ constexpr int kRebuildDivisor = 4;
 // untouched singleton/link circuits are never re-unioned.
 constexpr std::size_t kTraversalBudgetDivisor = 2;
 
+// Sharding gates. A Comm only shards when the region is big enough to
+// amortize the pool fan-out (the divide & conquer recursion constructs
+// many small sub-Comms per phase, which must stay plain serial), and each
+// shard keeps a minimum width so boundary merges stay a perimeter term.
+constexpr int kShardMinRegion = 512;    // below this: always serial
+constexpr int kShardMinAmoebots = 256;  // minimum amoebots per shard
+
+// Per-operation grains: a sharded Comm still runs tiny operations
+// serially (identical results; the fan-out costs more than it saves).
+constexpr int kDirtyDrainGrain = 1024;   // touched amoebots
+constexpr std::size_t kScatterGrain = 512;   // queued beeps
+constexpr std::size_t kBatchGrain = 512;     // received queries
+constexpr std::size_t kSerialClosureGrain = 4096;  // affected pins
+
 thread_local CircuitEngine tlsDefaultEngine = CircuitEngine::Incremental;
+thread_local int tlsDefaultSimThreads = 1;
+
+int shardCountFor(int n, int simThreads) {
+  if (simThreads <= 1 || n < kShardMinRegion) return 1;
+  return std::min(simThreads, std::max(2, n / kShardMinAmoebots));
+}
+
+// Init-list validators: members like ppa_(kNumDirs * lanes) and the
+// shard geometry consume these values before the constructor body runs,
+// so the range checks must fire first (out-of-range lanes would already
+// overflow / mis-size the arena by then).
+int checkedLanes(int lanes) {
+  if (lanes < 1 || lanes > kMaxLanes)
+    throw std::invalid_argument(
+        "Comm: lanes must be in [1, " + std::to_string(kMaxLanes) +
+        "], got " + std::to_string(lanes));
+  return lanes;
+}
+
+int checkedSimThreads(int simThreads) {
+  if (simThreads < 1 || simThreads > kMaxSimThreads)
+    throw std::invalid_argument("Comm: sim-threads must be in [1, " +
+                                std::to_string(kMaxSimThreads) + "], got " +
+                                std::to_string(simThreads));
+  return simThreads;
+}
 
 }  // namespace
 
@@ -32,15 +73,27 @@ void setDefaultCircuitEngine(CircuitEngine engine) noexcept {
   tlsDefaultEngine = engine;
 }
 
+int defaultSimThreads() noexcept { return tlsDefaultSimThreads; }
+void setDefaultSimThreads(int threads) noexcept {
+  tlsDefaultSimThreads = std::clamp(threads, 1, kMaxSimThreads);
+}
+
 Comm::Comm(const Region& region, int lanes)
-    : Comm(region, lanes, defaultCircuitEngine()) {}
+    : Comm(region, lanes, defaultCircuitEngine(), defaultSimThreads()) {}
 
 Comm::Comm(const Region& region, int lanes, CircuitEngine engine)
+    : Comm(region, lanes, engine, defaultSimThreads()) {}
+
+Comm::Comm(const Region& region, int lanes, CircuitEngine engine,
+           int simThreads)
     : region_(&region),
-      lanes_(lanes),
+      lanes_(checkedLanes(lanes)),
       ppa_(kNumDirs * lanes),
       engine_(engine),
-      arena_(region.size(), lanes) {
+      simThreads_(checkedSimThreads(simThreads)),
+      sharded_(shardCountFor(region.size(), simThreads) > 1),
+      arena_(region.size(), lanes,
+             shardCountFor(region.size(), simThreads)) {
   const std::size_t pins = static_cast<std::size_t>(region.size()) * ppa_;
   dsu_.assign(pins, -1);
   beepEpoch_.assign(pins, 0);
@@ -48,9 +101,25 @@ Comm::Comm(const Region& region, int lanes, CircuitEngine engine)
     pinVisited_.assign(pins, 0);
     dirtyFlag_.assign(region.size(), 0);
   }
+  if (sharded_) {
+    const int shardCount = arena_.shardCount();
+    shards_.resize(shardCount);
+    for (Shard& s : shards_) s.outbox.resize(shardCount);
+    inbox_.resize(shardCount);
+  }
 }
 
-void Comm::resetPins() { arena_.resetAll(); }
+void Comm::runShards(const std::function<void(int)>& fn) {
+  SimPool::instance().run(arena_.shardCount(), simThreads_, fn);
+}
+
+void Comm::resetPins() {
+  if (sharded_) {
+    runShards([this](int s) { arena_.resetAllShard(s); });
+  } else {
+    arena_.resetAll();
+  }
+}
 
 void Comm::beep(int local, int label) {
   ++simCounters().beeps;
@@ -68,14 +137,19 @@ int Comm::findRoot(int x) const {
   return r;
 }
 
-void Comm::unite(int a, int b) {
+int Comm::findRootConst(int x) const noexcept {
+  while (dsu_[x] >= 0) x = dsu_[x];
+  return x;
+}
+
+void Comm::unite(int a, int b, long* unions) {
   a = findRoot(a);
   b = findRoot(b);
   if (a == b) return;
   if (dsu_[a] > dsu_[b]) std::swap(a, b);
   dsu_[a] += dsu_[b];
   dsu_[b] = a;
-  ++unionsScratch_;  // flushed into simCounters() once per deliver
+  ++*unions;  // flushed into simCounters() once per deliver
 }
 
 void Comm::rebuildAll() {
@@ -92,7 +166,8 @@ void Comm::rebuildAll() {
       if (firstWithLabel[label] < 0)
         firstWithLabel[label] = p;
       else
-        unite(pinNode(a, firstWithLabel[label]), pinNode(a, p));
+        unite(pinNode(a, firstWithLabel[label]), pinNode(a, p),
+              &unionsScratch_);
     }
   }
   // External links: pin (a, d, lane) is wired to (b, opposite(d), lane).
@@ -104,13 +179,72 @@ void Comm::rebuildAll() {
       for (int lane = 0; lane < lanes_; ++lane) {
         unite(pinNode(a, pinIndex({d, static_cast<std::uint8_t>(lane)}, lanes_)),
               pinNode(b, pinIndex({opposite(d), static_cast<std::uint8_t>(lane)},
-                                  lanes_)));
+                                  lanes_)),
+              &unionsScratch_);
       }
     }
   }
 }
 
-bool Comm::incrementalUpdate() {
+void Comm::rebuildAllSharded() {
+  // Phase A (parallel): each shard clears its own dsu range and unions
+  // the edges whose BOTH endpoints it owns -- all intra-amoebot partition
+  // edges plus the shard-internal links. Union-find chains can never
+  // leave the shard (every union so far joined two in-shard pins), so
+  // the shards touch disjoint dsu index ranges: race-free by
+  // construction. Shard-crossing links are collected per shard.
+  runShards([this](int s) {
+    Shard& sc = shards_[s];
+    const int lo = arena_.shardBegin(s);
+    const int hi = arena_.shardEnd(s);
+    std::fill(dsu_.begin() + static_cast<std::size_t>(lo) * ppa_,
+              dsu_.begin() + static_cast<std::size_t>(hi) * ppa_, -1);
+    std::array<int, kNumDirs * kMaxLanes> firstWithLabel{};
+    for (int a = lo; a < hi; ++a) {
+      firstWithLabel.fill(-1);
+      const std::int8_t* labels = arena_.labelsOf(a);
+      for (int p = 0; p < ppa_; ++p) {
+        const int label = labels[p];
+        if (firstWithLabel[label] < 0)
+          firstWithLabel[label] = p;
+        else
+          unite(pinNode(a, firstWithLabel[label]), pinNode(a, p), &sc.unions);
+      }
+    }
+    for (int a = lo; a < hi; ++a) {
+      for (int di = 0; di < 3; ++di) {  // E, NE, NW suffice (symmetry)
+        const int b = region_->neighbor(a, static_cast<Dir>(di));
+        if (b < 0) continue;
+        const int opp = di + 3;
+        for (int lane = 0; lane < lanes_; ++lane) {
+          const int x = pinNode(a, di * lanes_ + lane);
+          const int y = pinNode(b, opp * lanes_ + lane);
+          if (arena_.shardOf(b) == s)
+            unite(x, y, &sc.unions);
+          else
+            sc.boundary.emplace_back(x, y);
+        }
+      }
+    }
+  });
+  mergeShardBoundaries();
+}
+
+void Comm::mergeShardBoundaries() {
+  // Serial, deterministic closing pass of both sharded engines: merge
+  // the shard-crossing links in ascending shard order and roll the
+  // per-shard union counts up. The total successful-union count is
+  // |pins| - |circuits| no matter how the unions were ordered or
+  // partitioned, so the counter matches the serial engine exactly.
+  for (Shard& sc : shards_) {
+    for (const auto& [x, y] : sc.boundary) unite(x, y, &unionsScratch_);
+    sc.boundary.clear();
+    unionsScratch_ += sc.unions;
+    sc.unions = 0;
+  }
+}
+
+bool Comm::serialClosureScan(std::size_t limit) {
   // Invariant: partition sets never span circuits, and the two pins of an
   // external link always share a circuit. Hence the circuits that can
   // change this round are exactly the connected components (under the
@@ -121,13 +255,15 @@ bool Comm::incrementalUpdate() {
   // circular partition-set lists (snapshot lists for dirty amoebots, the
   // unchanged current lists for clean ones), so each step emits O(1)
   // neighbors and the whole update costs O(affected pins * alpha).
-  for (const int a : dirtyList_) dirtyFlag_[a] = 1;
-
+  //
   // visitedPins_ doubles as the traversal worklist (scanned by cursor,
   // appended in place); when the scan finishes it is exactly the set of
   // pins whose components must be recomputed. Visiting also detaches the
   // pin from the union-find right away -- unions over the visited set
-  // happen only after the traversal completes.
+  // happen only after the traversal completes. Returns false once more
+  // than `limit` pins are visited (the closure provably exceeds the
+  // limit; no unions have happened yet, so the caller may roll the marks
+  // back and take another path).
   auto visit = [&](int node) {
     if (!pinVisited_[node]) {
       pinVisited_[node] = 1;
@@ -135,20 +271,11 @@ bool Comm::incrementalUpdate() {
       visitedPins_.push_back(node);
     }
   };
-  const std::size_t budget = dsu_.size() / kTraversalBudgetDivisor;
-  auto abortToRebuild = [&] {
-    for (const int node : visitedPins_) pinVisited_[node] = 0;
-    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
-    visitedPins_.clear();
-    rebuildAll();
-    return false;
-  };
-
   for (const int a : dirtyList_) {
     for (int p = 0; p < ppa_; ++p) visit(pinNode(a, p));
   }
   for (std::size_t i = 0; i < visitedPins_.size(); ++i) {
-    if (visitedPins_.size() > budget) return abortToRebuild();
+    if (visitedPins_.size() > limit) return false;
     const int node = visitedPins_[i];
     const int a = node / ppa_;
     const int p = node % ppa_;
@@ -166,31 +293,262 @@ bool Comm::incrementalUpdate() {
                        p % lanes_));
     }
   }
+  return true;
+}
 
+void Comm::serialReunion() {
   // Recompute the affected components from the current configurations.
   // Every affected component's pins are in visitedPins_ (already detached
   // from the union-find), so all unions stay inside the visited set and
   // untouched circuits keep their roots. Partition sets re-form by uniting
   // each visited pin with its current circular successor (a set of size g
-  // costs g unions, one redundant).
+  // costs g unions, one redundant). Retires the visited marks and list.
   for (const int node : visitedPins_) {
     const int a = node / ppa_;
     const int p = node % ppa_;
     const int base = a * ppa_;
-    unite(node, base + arena_.nextOf(a)[p]);
+    unite(node, base + arena_.nextOf(a)[p], &unionsScratch_);
     const int di = p / lanes_;
     if (di >= 3) continue;  // process each link from its E/NE/NW endpoint
     const int b = region_->neighbor(a, static_cast<Dir>(di));
     if (b < 0) continue;
     unite(node, pinNode(b, static_cast<int>(opposite(static_cast<Dir>(di))) *
                                lanes_ +
-                           p % lanes_));
+                           p % lanes_),
+          &unionsScratch_);
+  }
+  for (const int node : visitedPins_) pinVisited_[node] = 0;
+  visitedPins_.clear();
+}
+
+bool Comm::incrementalUpdate() {
+  for (const int a : dirtyList_) dirtyFlag_[a] = 1;
+  const std::size_t budget = dsu_.size() / kTraversalBudgetDivisor;
+  if (!serialClosureScan(budget)) {
+    for (const int node : visitedPins_) pinVisited_[node] = 0;
+    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+    visitedPins_.clear();
+    rebuildAll();
+    return false;
+  }
+  serialReunion();
+  for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+  return true;
+}
+
+void Comm::chaseShard(int shard, std::size_t budget) {
+  // One level of the sharded traversal: consume this shard's inbox and
+  // chase every reachable in-shard pin to exhaustion (the level count is
+  // therefore bounded by shard-boundary crossings, not circuit diameter);
+  // pins discovered across a shard boundary go to that shard's outbox.
+  // Duplicates across levels are possible (we cannot read another
+  // shard's visited marks race-free) and are deduplicated by the owner.
+  Shard& sc = shards_[shard];
+  auto visitLocal = [&](int node) {
+    if (!pinVisited_[node]) {
+      pinVisited_[node] = 1;
+      dsu_[node] = -1;
+      sc.visited.push_back(node);
+      sc.frontier.push_back(node);
+    }
+  };
+  for (const int node : inbox_[shard]) visitLocal(node);
+  inbox_[shard].clear();
+  while (!sc.frontier.empty()) {
+    // A shard past the global budget on its own can stop early: the
+    // caller is guaranteed to abort this round to a full rebuild.
+    if (sc.visited.size() > budget) {
+      sc.frontier.clear();
+      return;
+    }
+    const int node = sc.frontier.back();
+    sc.frontier.pop_back();
+    const int a = node / ppa_;
+    const int p = node % ppa_;
+    const int base = a * ppa_;
+    const std::int8_t* oldNext =
+        dirtyFlag_[a] ? arena_.snapshotNextOf(a) : arena_.nextOf(a);
+    visitLocal(base + oldNext[p]);  // same amoebot: always in-shard
+    const int di = p / lanes_;
+    const int b = region_->neighbor(a, static_cast<Dir>(di));
+    if (b >= 0) {
+      const int nb =
+          pinNode(b, static_cast<int>(opposite(static_cast<Dir>(di))) * lanes_ +
+                         p % lanes_);
+      const int owner = arena_.shardOf(b);
+      if (owner == shard)
+        visitLocal(nb);
+      else
+        sc.outbox[owner].push_back(nb);
+    }
+  }
+}
+
+void Comm::reunionShard(int shard) {
+  // Recompute the affected components from the current configurations,
+  // shard-locally: all visited pins are detached, and every union whose
+  // both endpoints this shard owns keeps its chains inside the shard.
+  // Shard-crossing links are deferred to the serial boundary merge,
+  // which needs only the boundary lists -- so this pass also retires the
+  // visited set (mark clearing folded in to save a pool batch).
+  Shard& sc = shards_[shard];
+  for (const int node : sc.visited) {
+    pinVisited_[node] = 0;
+    const int a = node / ppa_;
+    const int p = node % ppa_;
+    const int base = a * ppa_;
+    unite(node, base + arena_.nextOf(a)[p], &sc.unions);
+    const int di = p / lanes_;
+    if (di >= 3) continue;  // process each link from its E/NE/NW endpoint
+    const int b = region_->neighbor(a, static_cast<Dir>(di));
+    if (b < 0) continue;
+    const int nb =
+        pinNode(b, static_cast<int>(opposite(static_cast<Dir>(di))) * lanes_ +
+                       p % lanes_);
+    if (arena_.shardOf(b) == shard)
+      unite(node, nb, &sc.unions);
+    else
+      sc.boundary.emplace_back(node, nb);
+  }
+  sc.visited.clear();
+}
+
+bool Comm::incrementalUpdateSharded() {
+  // Same closure, same re-union edge set, same fallback decision as
+  // incrementalUpdate() -- only the execution order differs, and no
+  // observable depends on it (see the determinism note in the header).
+  const int shardCount = arena_.shardCount();
+  for (const int a : dirtyList_) dirtyFlag_[a] = 1;
+
+  // Small-closure fast path: sparse-frontier rounds (the paper's "one
+  // amoebot reconfigures" pattern) repair circuits of a few thousand
+  // pins, where the pool fan-out costs more than the repair. Chase the
+  // closure serially up to a grain; only a closure that provably
+  // exceeds it pays for the sharded traversal. Rolling back is cheap
+  // and exact: no unions have happened yet, and re-detaching a pin
+  // (dsu = -1) is idempotent, so clearing the visit marks suffices --
+  // every serially-detached pin is in the closure and gets revisited.
+  const std::size_t budget = dsu_.size() / kTraversalBudgetDivisor;
+  const std::size_t grain = std::min(kSerialClosureGrain, budget);
+  if (serialClosureScan(grain)) {
+    serialReunion();
+    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+    return true;
+  }
+  for (const int node : visitedPins_) pinVisited_[node] = 0;
+  visitedPins_.clear();
+  if (grain == budget) {
+    // The closure already exceeds the traversal budget -- the same
+    // abort decision the serial engine takes.
+    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+    rebuildAllSharded();
+    return false;
   }
 
-  for (const int node : visitedPins_) pinVisited_[node] = 0;
+  for (const int a : dirtyList_) {
+    std::vector<int>& in = inbox_[arena_.shardOf(a)];
+    for (int p = 0; p < ppa_; ++p) in.push_back(pinNode(a, p));
+  }
+
+  bool aborted = false;
+  while (true) {
+    runShards([this, budget](int s) { chaseShard(s, budget); });
+    std::size_t total = 0;
+    for (const Shard& sc : shards_) total += sc.visited.size();
+    if (total > budget) {  // identical decision to the serial engine:
+      aborted = true;      // abort iff |closure| > budget
+      break;
+    }
+    bool pending = false;
+    for (int s = 0; s < shardCount; ++s) {
+      for (int t = 0; t < shardCount; ++t) {
+        std::vector<int>& ob = shards_[s].outbox[t];
+        if (ob.empty()) continue;
+        inbox_[t].insert(inbox_[t].end(), ob.begin(), ob.end());
+        ob.clear();
+        pending = true;
+      }
+    }
+    if (!pending) break;
+  }
+
+  if (aborted) {
+    runShards([this](int s) {
+      Shard& sc = shards_[s];
+      for (const int node : sc.visited) pinVisited_[node] = 0;
+      sc.visited.clear();
+      sc.frontier.clear();
+      for (std::vector<int>& ob : sc.outbox) ob.clear();
+    });
+    for (std::vector<int>& in : inbox_) in.clear();
+    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+    rebuildAllSharded();
+    return false;
+  }
+
+  runShards([this](int s) { reunionShard(s); });
+  mergeShardBoundaries();
   for (const int a : dirtyList_) dirtyFlag_[a] = 0;
-  visitedPins_.clear();
   return true;
+}
+
+void Comm::collectDirty() {
+  if (sharded_ && arena_.touchedCount() >= kDirtyDrainGrain) {
+    runShards([this](int s) {
+      shards_[s].dirty.clear();
+      arena_.takeDirtyShard(s, &shards_[s].dirty);
+    });
+    // Concatenate in ascending shard order -- the exact order the serial
+    // drain produces, so dirtyList_ is identical on both paths.
+    for (const Shard& sc : shards_)
+      dirtyList_.insert(dirtyList_.end(), sc.dirty.begin(), sc.dirty.end());
+  } else {
+    arena_.takeDirty(&dirtyList_);
+  }
+}
+
+void Comm::scatterBeeps() {
+  ++epoch_;
+  if (sharded_ && pendingBeeps_.size() >= kScatterGrain) {
+    // Parallel root resolution (read-only: non-compressing finds), then a
+    // serial O(beeps) stamping pass. Roots do not depend on compression,
+    // so the stamped set matches the serial path exactly.
+    beepRoots_.resize(pendingBeeps_.size());
+    const int tasks = arena_.shardCount();
+    const std::size_t chunk =
+        (pendingBeeps_.size() + tasks - 1) / static_cast<std::size_t>(tasks);
+    runShards([this, chunk](int t) {
+      const std::size_t lo = static_cast<std::size_t>(t) * chunk;
+      const std::size_t hi = std::min(lo + chunk, pendingBeeps_.size());
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto& [a, label] = pendingBeeps_[i];
+        const std::int8_t* labels = arena_.labelsOf(a);
+        int root = -1;
+        for (int p = 0; p < ppa_; ++p) {
+          if (labels[p] == label) {
+            root = findRootConst(pinNode(a, p));
+            break;
+          }
+        }
+        beepRoots_[i] = root;
+      }
+    });
+    for (const int root : beepRoots_) {
+      if (root >= 0) beepEpoch_[root] = epoch_;
+    }
+  } else {
+    for (const auto& [a, label] : pendingBeeps_) {
+      // Beep on the partition set = beep on any pin with that label.
+      const std::int8_t* labels = arena_.labelsOf(a);
+      for (int p = 0; p < ppa_; ++p) {
+        if (labels[p] == label) {
+          beepEpoch_[findRoot(pinNode(a, p))] = epoch_;
+          break;
+        }
+      }
+    }
+  }
+  pendingBeeps_.clear();
 }
 
 void Comm::deliver() {
@@ -198,13 +556,17 @@ void Comm::deliver() {
   SimCounters& counters = simCounters();
 
   dirtyList_.clear();
-  arena_.takeDirty(&dirtyList_);
+  collectDirty();
   if (engine_ == CircuitEngine::Rebuild || !everDelivered_ ||
       static_cast<long>(dirtyList_.size()) * kRebuildDivisor >=
           static_cast<long>(n)) {
-    rebuildAll();
+    if (sharded_)
+      rebuildAllSharded();
+    else
+      rebuildAll();
     ++counters.rebuildRounds;
-  } else if (dirtyList_.empty() || incrementalUpdate()) {
+  } else if (dirtyList_.empty() || (sharded_ ? incrementalUpdateSharded()
+                                             : incrementalUpdate())) {
     ++counters.incrementalRounds;
   } else {
     ++counters.rebuildRounds;  // traversal hit its budget and rebuilt
@@ -215,18 +577,7 @@ void Comm::deliver() {
   counters.amoebotRounds += n;
   everDelivered_ = true;
 
-  ++epoch_;
-  for (const auto& [a, label] : pendingBeeps_) {
-    // Beep on the partition set = beep on any pin with that label.
-    const std::int8_t* labels = arena_.labelsOf(a);
-    for (int p = 0; p < ppa_; ++p) {
-      if (labels[p] == label) {
-        beepEpoch_[findRoot(pinNode(a, p))] = epoch_;
-        break;
-      }
-    }
-  }
-  pendingBeeps_.clear();
+  scatterBeeps();
   ++rounds_;
   ++counters.delivers;
 }
@@ -247,6 +598,40 @@ bool Comm::receivedAny(int local) const {
     if (beepEpoch_[findRoot(pinNode(local, p))] == epoch_) return true;
   }
   return false;
+}
+
+void Comm::receivedBatch(std::span<const PinQuery> queries,
+                         std::vector<char>* out) const {
+  out->assign(queries.size(), 0);
+  if (!everDelivered_) return;
+  if (sharded_ && queries.size() >= kBatchGrain) {
+    // Read-only parallel evaluation over index ranges: non-compressing
+    // finds, disjoint output ranges. All pins of a partition set share a
+    // circuit, so resolving the queried pin directly equals the serial
+    // label-scan path.
+    const int tasks = arena_.shardCount();
+    const std::size_t chunk =
+        (queries.size() + tasks - 1) / static_cast<std::size_t>(tasks);
+    const std::function<void(int)> task = [&](int t) {
+      const std::size_t lo = static_cast<std::size_t>(t) * chunk;
+      const std::size_t hi = std::min(lo + chunk, queries.size());
+      for (std::size_t i = lo; i < hi; ++i) {
+        const int node =
+            pinNode(queries[i].local, pinIndex(queries[i].pin, lanes_));
+        (*out)[i] = beepEpoch_[findRootConst(node)] == epoch_ ? 1 : 0;
+      }
+    };
+    SimPool::instance().run(tasks, simThreads_, task);
+  } else {
+    // Same pin-direct resolution as the parallel path (with compression,
+    // since this thread owns the Comm), so batch size and thread count
+    // can never flip a result.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const int node =
+          pinNode(queries[i].local, pinIndex(queries[i].pin, lanes_));
+      (*out)[i] = beepEpoch_[findRoot(node)] == epoch_ ? 1 : 0;
+    }
+  }
 }
 
 long parallelRounds(std::span<const long> executions) {

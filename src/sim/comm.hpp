@@ -22,24 +22,44 @@
 // (CircuitEngine::Rebuild) for differential testing -- both engines
 // produce identical circuits, received() results and round counts.
 //
+// Sharded execution (sim-threads > 1): the pin arena is partitioned into
+// contiguous amoebot shards and deliver()'s hot phases run per shard on
+// the process-wide SimPool -- the union-find over shard-local circuit
+// edges, the affected-component traversal (level-synchronous, chasing
+// local successors to exhaustion per level), the epoch-stamped beep
+// scatter and the dirty-list drain. Only the shard-crossing link edges
+// are merged in a deterministic serial pass. Every observable result --
+// received()/receivedAny(), rounds, and all SimCounters -- is
+// bit-identical to the serial engine at any thread count: circuits are
+// determined by the edge set alone (union order only moves which pin
+// represents a circuit, which no observer can see), and the union counter
+// equals |pins| - |circuits| of the recomputed subgraph regardless of
+// order. See docs/ARCHITECTURE.md for the full determinism argument.
+//
 // Complexity contract: rounds() is the model cost that the paper's bounds
 // (O(log l), O(log n log^2 k), ...) speak about; it includes rounds charged
 // via chargeRounds()/parallelRounds() without being simulated. Host cost
 // per deliver() is O(affected pins * alpha) incremental or
-// O(n * lanes * alpha) rebuild; the thread-local SimCounters
-// (sim_counters.hpp) record delivers, beeps, unions and dirty-tracking
-// statistics for the substrate-cost view.
+// O(n * lanes * alpha) rebuild, divided across sim-threads plus the
+// boundary-merge term; the thread-local SimCounters (sim_counters.hpp)
+// record delivers, beeps, unions and dirty-tracking statistics for the
+// substrate-cost view.
 //
 // Thread-safety: a Comm is single-threaded by design (one protocol
 // execution); run concurrent protocols on separate Comm instances --
-// possibly over the same Region, which deliver() only reads. The default
-// engine selection is thread-local.
+// possibly over the same Region, which deliver() only reads. A sharded
+// Comm fans its own internal work out to the SimPool but its public API
+// remains single-caller. The default engine and sim-thread selections are
+// thread-local.
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/pin_config.hpp"
 #include "sim/region.hpp"
+#include "sim/sim_pool.hpp"
 
 namespace aspf {
 
@@ -53,17 +73,65 @@ enum class CircuitEngine { Incremental, Rebuild };
 CircuitEngine defaultCircuitEngine() noexcept;
 void setDefaultCircuitEngine(CircuitEngine engine) noexcept;
 
+/// Thread-local default sim-thread count for newly constructed Comms (the
+/// scenario runner's --sim-threads flag; protocols construct Comms
+/// internally, so the knob threads through here). Clamped to
+/// [1, kMaxSimThreads].
+int defaultSimThreads() noexcept;
+void setDefaultSimThreads(int threads) noexcept;
+
+/// One received-bit query of a batch: "did the partition set containing
+/// `pin` of amoebot `local` hear a beep last round?"
+struct PinQuery {
+  int local;
+  Pin pin;
+};
+
+/// Below this many items, protocol-layer reconfiguration sweeps
+/// (forEachShard users like the PASC rewiring) stay serial: results are
+/// identical either way, the fan-out just costs more than it saves.
+inline constexpr int kShardSweepGrain = 256;
+
 class Comm {
  public:
+  /// All constructors throw std::invalid_argument unless
+  /// 1 <= lanes <= kMaxLanes and 1 <= simThreads <= kMaxSimThreads --
+  /// lane bounds guard the arena's fixed block stride in release builds
+  /// too (not just the former debug assert).
   Comm(const Region& region, int lanes);
   Comm(const Region& region, int lanes, CircuitEngine engine);
+  Comm(const Region& region, int lanes, CircuitEngine engine, int simThreads);
 
   const Region& region() const noexcept { return *region_; }
   int lanes() const noexcept { return lanes_; }
   CircuitEngine engine() const noexcept { return engine_; }
+  int simThreads() const noexcept { return simThreads_; }
+
+  /// Sharding geometry: > 1 shard iff this Comm parallelizes internally
+  /// (simThreads > 1 and the region is large enough to amortize the
+  /// fan-out). Exposed so protocol layers can partition their own
+  /// reconfiguration sweeps shard-consistently (see forEachShard).
+  int shardCount() const noexcept { return arena_.shardCount(); }
+  int shardOf(int local) const noexcept { return arena_.shardOf(local); }
+
+  /// Runs fn(shard) for every shard -- concurrently on the SimPool when
+  /// sharded, as a plain ascending loop otherwise. Within the call, fn
+  /// may mutate pin configurations of amoebots belonging to ITS shard
+  /// only (reads are unrestricted); that keeps the arena's per-shard
+  /// bookkeeping race-free. Protocol layers use this to parallelize
+  /// frontier rewiring sweeps.
+  template <class Fn>
+  void forEachShard(Fn&& fn) {
+    if (arena_.shardCount() == 1) {
+      fn(0);
+      return;
+    }
+    runShards(std::function<void(int)>(std::forward<Fn>(fn)));
+  }
 
   /// Resets all amoebots' pin configurations to singletons. Host cost is
-  /// proportional to the number of non-singleton amoebots.
+  /// proportional to the number of non-singleton amoebots (divided across
+  /// shards when sharded).
   void resetPins();
 
   /// Mutating handle to an amoebot's pin configuration. All protocol-side
@@ -95,6 +163,18 @@ class Comm {
   /// True iff any partition set of the amoebot received a beep.
   bool receivedAny(int local) const;
 
+  /// Batched receivedPin: out->at(i) == receivedPin(queries[i]) for every
+  /// query, evaluated concurrently over index ranges when the Comm is
+  /// sharded. Protocol layers with structure-sized read sweeps (the PASC
+  /// bit reads, the wave frontier scan) use this instead of n point
+  /// queries. Resolution is pin-direct on every path (the queried pin's
+  /// own circuit from the last deliver()), so batch size and thread
+  /// count can never flip a bit; it coincides with receivedPin() for
+  /// configurations unchanged since that deliver -- i.e. whenever
+  /// received() itself is well-defined.
+  void receivedBatch(std::span<const PinQuery> queries,
+                     std::vector<char>* out) const;
+
   long rounds() const noexcept { return rounds_; }
 
   /// Accounts rounds that are synchronization/bookkeeping beeps whose
@@ -107,16 +187,41 @@ class Comm {
     return local * ppa_ + pinIdx;
   }
   int findRoot(int x) const;
-  void unite(int a, int b);
+  /// Non-compressing find: never writes, so concurrent read-only phases
+  /// (beep-root resolution, receivedBatch) are race-free. Roots are
+  /// identical to findRoot()'s -- compression only shortens paths.
+  int findRootConst(int x) const noexcept;
+  void unite(int a, int b, long* unions);
   void rebuildAll();
+  void rebuildAllSharded();
+  /// Serial affected-closure traversal from the dirty set into
+  /// visitedPins_ (each visited pin marked and detached). Returns false
+  /// once more than `limit` pins are visited -- no unions have happened,
+  /// so the caller can roll the marks back and take another path.
+  bool serialClosureScan(std::size_t limit);
+  /// Re-unions the visited closure from the current configurations and
+  /// retires the visited marks/list.
+  void serialReunion();
   /// Returns false if the traversal exceeded its budget and fell back to
   /// a full rebuild (already performed on return).
   bool incrementalUpdate();
+  bool incrementalUpdateSharded();
+  void collectDirty();
+  void scatterBeeps();
+  void chaseShard(int shard, std::size_t budget);
+  void reunionShard(int shard);
+  /// Serial deterministic closing pass of both sharded engines: unions
+  /// the collected shard-crossing links in ascending shard order and
+  /// rolls per-shard union counts into unionsScratch_.
+  void mergeShardBoundaries();
+  void runShards(const std::function<void(int)>& fn);
 
   const Region* region_;
   int lanes_;
   int ppa_;
   CircuitEngine engine_;
+  int simThreads_;
+  bool sharded_;
   PinArena arena_;
   std::vector<std::pair<int, int>> pendingBeeps_;  // (local, label)
   mutable std::vector<int> dsu_;
@@ -135,6 +240,22 @@ class Comm {
   std::vector<std::uint8_t> pinVisited_;   // per pin node
   std::vector<int> visitedPins_;           // doubles as the BFS queue
   long unionsScratch_ = 0;                 // flushed per deliver
+
+  // Sharded-engine scratch (allocated only when sharded_). Each shard's
+  // block is written exclusively by the task running that shard; the
+  // serial orchestration between SimPool batches is the only reader
+  // across shards.
+  struct Shard {
+    std::vector<int> visited;    // pins of this shard in the closure
+    std::vector<int> frontier;   // local chase worklist
+    std::vector<std::vector<int>> outbox;  // per destination shard
+    std::vector<std::pair<int, int>> boundary;  // shard-crossing links
+    std::vector<int> dirty;      // per-shard takeDirty output
+    long unions = 0;
+  };
+  std::vector<Shard> shards_;
+  std::vector<std::vector<int>> inbox_;  // per shard, fed between levels
+  std::vector<int> beepRoots_;           // parallel scatter scratch
 
   long rounds_ = 0;
 };

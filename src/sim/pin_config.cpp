@@ -1,7 +1,8 @@
 #include "sim/pin_config.hpp"
 
-#include <cassert>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace aspf {
 namespace {
@@ -19,9 +20,15 @@ inline bool equalBlock(const std::int8_t* a, const std::int8_t* b) noexcept {
 
 }  // namespace
 
-PinArena::PinArena(int n, int lanes)
+PinArena::PinArena(int n, int lanes, int shardCount)
     : n_(n), lanes_(lanes), ppa_(kNumDirs * lanes) {
-  assert(lanes >= 1 && lanes <= kMaxLanes);
+  if (n < 0) throw std::invalid_argument("PinArena: negative size");
+  if (lanes < 1 || lanes > kMaxLanes)
+    throw std::invalid_argument(
+        "PinArena: lanes must be in [1, " + std::to_string(kMaxLanes) +
+        "], got " + std::to_string(lanes));
+  shardCount_ = std::clamp(shardCount, 1, std::max(n_, 1));
+  shardSize_ = (std::max(n_, 1) + shardCount_ - 1) / shardCount_;
   static_assert(kPinStride >= kNumDirs * kMaxLanes);
   const std::size_t bytes = static_cast<std::size_t>(n) * kPinStride;
   labels_.resize(bytes);
@@ -40,12 +47,14 @@ PinArena::PinArena(int n, int lanes)
   }
   touched_.assign(n_, 0);
   joined_.assign(n_, 0);
+  touchedLists_.resize(shardCount_);
+  joinedLists_.resize(shardCount_);
 }
 
 void PinArena::beginMutate(int local) {
   if (touched_[local]) return;
   touched_[local] = 1;
-  touchedList_.push_back(local);
+  touchedLists_[shardOf(local)].push_back(local);
   const std::size_t off = static_cast<std::size_t>(local) * kPinStride;
   copyBlock(prev_.data() + off, labels_.data() + off);
   copyBlock(prevNext_.data() + off, next_.data() + off);
@@ -78,7 +87,8 @@ void PinArena::reset(int local) {
 }
 
 int PinArena::join(int local, std::span<const Pin> pins) {
-  assert(!pins.empty());
+  if (pins.empty())
+    throw std::invalid_argument("PinArena::join: empty pin set");
   beginMutate(local);
   std::int8_t* l = mutableLabelsOf(local);
   const int lead = pinIndex(pins.front(), lanes_);
@@ -89,21 +99,25 @@ int PinArena::join(int local, std::span<const Pin> pins) {
   // per amoebot per round, and only the net effect matters.
   if (!joined_[local]) {
     joined_[local] = 1;
-    joinedList_.push_back(local);
+    joinedLists_[shardOf(local)].push_back(local);
   }
   return lead;
 }
 
-void PinArena::resetAll() {
-  for (const int a : joinedList_) {
+void PinArena::resetAllShard(int shard) {
+  for (const int a : joinedLists_[shard]) {
     reset(a);
     joined_[a] = 0;
   }
-  joinedList_.clear();
+  joinedLists_[shard].clear();
 }
 
-void PinArena::takeDirty(std::vector<int>* out) {
-  for (const int a : touchedList_) {
+void PinArena::resetAll() {
+  for (int s = 0; s < shardCount_; ++s) resetAllShard(s);
+}
+
+void PinArena::takeDirtyShard(int shard, std::vector<int>* out) {
+  for (const int a : touchedLists_[shard]) {
     touched_[a] = 0;
     const std::size_t off = static_cast<std::size_t>(a) * kPinStride;
     if (!equalBlock(labels_.data() + off, prev_.data() + off)) {
@@ -115,7 +129,18 @@ void PinArena::takeDirty(std::vector<int>* out) {
       copyBlock(next_.data() + off, prevNext_.data() + off);
     }
   }
-  touchedList_.clear();
+  touchedLists_[shard].clear();
+}
+
+void PinArena::takeDirty(std::vector<int>* out) {
+  for (int s = 0; s < shardCount_; ++s) takeDirtyShard(s, out);
+}
+
+int PinArena::touchedCount() const noexcept {
+  int total = 0;
+  for (const std::vector<int>& list : touchedLists_)
+    total += static_cast<int>(list.size());
+  return total;
 }
 
 }  // namespace aspf

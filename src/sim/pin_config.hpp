@@ -28,8 +28,21 @@
 // join/reset are O(pins written); resetAll is O(non-singleton amoebots),
 // not O(n); takeDirty is O(touched amoebots).
 //
+// Sharding: the arena partitions its amoebots into `shardCount` contiguous
+// index ranges and keeps the touched/joined bookkeeping per shard. All
+// state an amoebot owns (label block, successor block, snapshot blocks,
+// touch mark, shard touch list) lives in exactly one shard, so the
+// *Shard() entry points may run concurrently for distinct shards -- this
+// is what lets Comm parallelize takeDirty/resetPins and lets protocol
+// layers rewire disjoint shards concurrently. The serial entry points
+// drain shards in ascending shard order, so a 1-shard arena behaves
+// exactly like the pre-sharding code.
+//
 // Thread-safety: a PinArena is a plain value owned by its Comm; distinct
 // Comms (hence distinct protocol executions) may run on distinct threads.
+// Within one Comm, concurrent mutation is allowed only through the
+// shard-disjoint pattern above.
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -105,11 +118,28 @@ class PinConfigRef {
 /// Flat label storage for all amoebots of one Comm, with dirty tracking.
 class PinArena {
  public:
-  PinArena(int n, int lanes);
+  /// Throws std::invalid_argument unless 1 <= lanes <= kMaxLanes and
+  /// n >= 0 (a release build must never size the fixed 32-byte stride for
+  /// an out-of-range lane count -- labels past the stride would corrupt
+  /// the neighboring amoebot's block). `shardCount` is clamped to
+  /// [1, max(n, 1)].
+  explicit PinArena(int n, int lanes, int shardCount = 1);
 
   int size() const noexcept { return n_; }
   int lanes() const noexcept { return lanes_; }
   int pinsPerAmoebot() const noexcept { return ppa_; }
+
+  int shardCount() const noexcept { return shardCount_; }
+  int shardOf(int local) const noexcept { return local / shardSize_; }
+  /// Both ends clamp to n, so shardBegin(s) <= shardEnd(s) holds for
+  /// every legal shard even when ceil-division would leave trailing
+  /// shards empty (e.g. 7 amoebots in 5 shards).
+  int shardBegin(int shard) const noexcept {
+    return std::min(n_, shard * shardSize_);
+  }
+  int shardEnd(int shard) const noexcept {
+    return std::min(n_, (shard + 1) * shardSize_);
+  }
 
   PinConfigRef ref(int local) noexcept { return {this, local}; }
   ConstPinConfigRef cref(int local) const noexcept {
@@ -156,10 +186,26 @@ class PinArena {
   /// number of currently non-singleton amoebots, not to n.
   void resetAll();
 
+  /// Shard-scoped resetAll: resets the possibly-non-singleton amoebots of
+  /// one shard. Touches only that shard's state, so distinct shards may
+  /// run concurrently; resetAll() == resetAllShard(0..shardCount) in
+  /// order.
+  void resetAllShard(int shard);
+
   /// Appends to `out` the amoebots whose labels differ from their state at
   /// the previous takeDirty() call, and clears all touch marks. Snapshots
   /// of the returned amoebots stay readable until they are next mutated.
+  /// Drains shards in ascending shard order.
   void takeDirty(std::vector<int>* out);
+
+  /// Shard-scoped takeDirty (the parallel form: distinct shards touch
+  /// disjoint state). takeDirty() == takeDirtyShard(0..shardCount) in
+  /// order with the per-shard outputs concatenated.
+  void takeDirtyShard(int shard, std::vector<int>* out);
+
+  /// Amoebots mutated since the last takeDirty (upper bound on the next
+  /// dirty count; used to size the parallel drain decision).
+  int touchedCount() const noexcept;
 
  private:
   friend class PinConfigRef;
@@ -179,14 +225,19 @@ class PinArena {
   int n_;
   int lanes_;
   int ppa_;
+  int shardCount_;
+  int shardSize_;
   std::vector<std::int8_t> labels_;      // current labels, n * ppa
   std::vector<std::int8_t> next_;        // circular partition-set lists
   std::vector<std::int8_t> prev_;        // snapshots at last deliver
   std::vector<std::int8_t> prevNext_;
   std::vector<std::uint8_t> touched_;    // mutated since last takeDirty
-  std::vector<int> touchedList_;
   std::vector<std::uint8_t> joined_;     // possibly non-singleton
-  std::vector<int> joinedList_;
+  // Per-shard touch/join lists: beginMutate/join append an amoebot to the
+  // lists of its own shard only, keeping shard-disjoint mutation
+  // race-free.
+  std::vector<std::vector<int>> touchedLists_;
+  std::vector<std::vector<int>> joinedLists_;
 };
 
 inline int PinConfigRef::lanes() const noexcept { return arena_->lanes(); }

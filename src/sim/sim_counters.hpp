@@ -16,6 +16,14 @@
 // reads deltas of its own stream. Increments cost one TLS add per event
 // (events are whole rounds or whole unions, not per-pin work), so the
 // instrumentation is far below measurement noise.
+//
+// Sharded substrate (sim-threads > 1): SimPool workers never touch these
+// counters. Comm::deliver() accumulates per-shard union counts in its own
+// shard scratch and rolls them up into the protocol thread's counters
+// once per round, so `unions`, `incr_rounds` and `rebuild_rounds` are
+// bit-identical to a serial run at any sim-thread count (the successful
+// union count of a (re)build is |pins| - |circuits| of the recomputed
+// subgraph, independent of union order or partitioning).
 namespace aspf {
 
 struct SimCounters {

@@ -1,0 +1,150 @@
+#include "sim/sim_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aspf {
+namespace {
+
+// Set while this thread executes a pool task (worker threads always, the
+// calling thread during its own batch). A nested run() from inside a
+// task would self-deadlock on the batch mutex; the flag degrades it to
+// the inline serial loop instead -- results are identical by the
+// callers' determinism contract, only the fan-out is skipped.
+thread_local bool tlsInPoolTask = false;
+
+}  // namespace
+
+struct SimPool::Impl {
+  // Serializes whole batches: one run() executes at a time, so the batch
+  // state below always describes the single in-flight batch.
+  std::mutex batchMutex;
+
+  // Batch state, guarded by stateMutex. Task claims happen under the
+  // mutex and only while `generation` still matches the generation the
+  // claimant woke up for -- a late-waking worker therefore can never
+  // claim an index of a newer batch against an older fn. Claims are one
+  // shard each (thousands of operations), so the lock round-trip per
+  // claim is noise.
+  std::mutex stateMutex;
+  std::condition_variable wake;  // workers wait here for a new batch
+  std::condition_variable done;  // the caller waits here for completion
+  const std::function<void(int)>* fn = nullptr;
+  int tasks = 0;
+  int next = 0;
+  int finished = 0;
+  std::uint64_t generation = 0;
+  bool stopping = false;
+  std::exception_ptr firstError;  // first throw of the current batch
+
+  std::vector<std::thread> workers;  // guarded by batchMutex (grow-only)
+
+  void workerLoop() {
+    tlsInPoolTask = true;  // workers only ever execute pool tasks
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(stateMutex);
+    while (true) {
+      wake.wait(lock, [&] { return stopping || generation != seen; });
+      if (stopping) return;
+      seen = generation;
+      runTasks(lock);
+    }
+  }
+
+  /// Claims and runs tasks of the current batch until none remain.
+  /// Pre/post: `lock` held. A claimed task is always finished and counted
+  /// before the batch can complete, so `generation` is stable across the
+  /// unlocked fn call. Never throws: a throwing task is recorded in
+  /// `firstError` and still counted, so the batch always runs to
+  /// completion before run() returns (and rethrows) -- the caller's fn
+  /// object can never be destroyed under a live worker.
+  void runTasks(std::unique_lock<std::mutex>& lock) {
+    while (next < tasks) {
+      const int t = next++;
+      const std::function<void(int)>* f = fn;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*f)(t);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !firstError) firstError = error;
+      ++finished;
+      if (finished == tasks) done.notify_all();
+    }
+  }
+};
+
+SimPool::SimPool() : impl_(new Impl) {}
+
+SimPool::~SimPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->stateMutex);
+    impl_->stopping = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+SimPool& SimPool::instance() {
+  static SimPool pool;
+  return pool;
+}
+
+void SimPool::run(int tasks, int workers, const std::function<void(int)>& fn) {
+  if (tasks <= 0) return;
+  if (tasks == 1 || workers <= 1 || tlsInPoolTask) {
+    // Serial inline loop; tlsInPoolTask additionally guards reentrancy
+    // (a nested run() from inside a pool task would deadlock on
+    // batchMutex, so it degrades to this loop instead).
+    for (int t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+
+  // Oversubscribing CPU-bound shard work buys nothing and costs a wake
+  // storm per batch, so actual parallelism is capped by the hardware --
+  // but never below 2 threads, so the synchronization machinery runs (and
+  // is sanitizer-checked) even on single-core hosts. Results never depend
+  // on the worker count (see Comm's determinism contract), only latency
+  // does.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  workers = std::min(workers, std::max(2, hw));
+
+  std::lock_guard<std::mutex> batch(impl_->batchMutex);
+
+  // Grow the pool to the requested size (the caller counts as one).
+  const int want = std::min(std::min(workers, tasks), kMaxSimThreads) - 1;
+  while (static_cast<int>(impl_->workers.size()) < want)
+    impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+
+  std::unique_lock<std::mutex> lock(impl_->stateMutex);
+  impl_->fn = &fn;
+  impl_->tasks = tasks;
+  impl_->next = 0;
+  impl_->finished = 0;
+  impl_->firstError = nullptr;
+  ++impl_->generation;
+  impl_->wake.notify_all();
+
+  tlsInPoolTask = true;   // the caller participates in its own batch
+  impl_->runTasks(lock);  // noexcept: errors land in firstError
+  tlsInPoolTask = false;
+  impl_->done.wait(lock, [&] { return impl_->finished == impl_->tasks; });
+  impl_->fn = nullptr;
+  if (impl_->firstError) {
+    std::exception_ptr error = impl_->firstError;
+    impl_->firstError = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace aspf

@@ -1,0 +1,67 @@
+#pragma once
+// Process-wide worker pool behind the sharded circuit substrate
+// (Comm with sim-threads > 1). The pool exists so that deliver() -- which
+// runs tens of thousands of times per scenario -- can fan work out to a
+// fixed set of long-lived threads instead of paying thread creation per
+// round.
+//
+// Execution model: run(tasks, fn) executes fn(0) .. fn(tasks - 1) exactly
+// once each and returns when all of them finished. The calling thread
+// participates, so run(1, fn) degenerates to a plain call and a pool is
+// never required for serial configurations. Tasks are claimed from a
+// shared atomic cursor, so the assignment of tasks to threads is
+// scheduling-dependent -- callers MUST NOT encode determinism in "which
+// thread ran task i" (the sharded circuit engine derives determinism from
+// set semantics instead; see docs/ARCHITECTURE.md).
+//
+// Batches are serialized: concurrent run() calls from different threads
+// (e.g. two scenario-runner workers whose Comms both shard) queue on an
+// internal mutex and execute one batch at a time. This keeps the pool a
+// bounded resource no matter how callers compose scenario-level and
+// substrate-level parallelism. A run() issued from INSIDE a pool task
+// (e.g. a forEachShard callback doing a batched query) degrades to the
+// inline serial loop instead of deadlocking on the batch mutex --
+// callers never need to know whether they are already on a pool thread.
+//
+// Memory ordering: everything written before run() returns in a worker is
+// visible to the caller after run() returns, and everything the caller
+// wrote before run() is visible to the workers (release/acquire on the
+// batch state). One run() call is therefore also the barrier primitive of
+// the level-synchronous traversal in Comm.
+//
+// Thread-safety: all members are internally synchronized; instance() is
+// safe from any thread.
+#include <functional>
+
+namespace aspf {
+
+/// Upper bound on sim-threads accepted anywhere (CLI, RunOptions, Comm).
+/// Far above any sane host; exists so worker counts stay bounded.
+inline constexpr int kMaxSimThreads = 64;
+
+class SimPool {
+ public:
+  /// The process-wide pool (lazily constructed, joined at exit).
+  static SimPool& instance();
+
+  /// Runs fn(task) for every task in [0, tasks) and returns once all have
+  /// completed. The caller participates; at most `tasks - 1` pool workers
+  /// join in. Grows the pool to `workers` threads on first need (clamped
+  /// to kMaxSimThreads - 1). If any task throws, the batch still runs to
+  /// completion (remaining tasks execute) and the first exception is
+  /// rethrown to the caller afterwards -- `fn` is never destroyed while
+  /// a worker can still reach it.
+  void run(int tasks, int workers, const std::function<void(int)>& fn);
+
+  SimPool(const SimPool&) = delete;
+  SimPool& operator=(const SimPool&) = delete;
+
+ private:
+  SimPool();
+  ~SimPool();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace aspf

@@ -250,6 +250,266 @@ TEST(Circuits, RebuildEngineMatchesIncrementalDelivery) {
   EXPECT_EQ(inc.rounds(), reb.rounds());
 }
 
+TEST(Validation, ConstructorsRejectOutOfRangeLanes) {
+  // The lane bound used to be a debug-only assert; a release build could
+  // construct an arena whose labels overflow the fixed 32-byte stride and
+  // silently corrupt the neighboring amoebot's block. Now every build
+  // throws.
+  const auto s = shapes::line(4);
+  const Region region = Region::whole(s);
+  for (const int lanes : {-1, 0, kMaxLanes + 1, 99}) {
+    EXPECT_THROW(PinArena(4, lanes), std::invalid_argument) << lanes;
+    EXPECT_THROW(Comm(region, lanes), std::invalid_argument) << lanes;
+  }
+  for (int lanes = 1; lanes <= kMaxLanes; ++lanes) {
+    EXPECT_NO_THROW(Comm(region, lanes)) << lanes;
+  }
+  EXPECT_THROW(PinArena(-1, 2), std::invalid_argument);
+}
+
+TEST(Validation, ConstructorRejectsOutOfRangeSimThreads) {
+  const auto s = shapes::line(4);
+  const Region region = Region::whole(s);
+  for (const int t : {0, -3, kMaxSimThreads + 1}) {
+    EXPECT_THROW(Comm(region, 2, CircuitEngine::Incremental, t),
+                 std::invalid_argument)
+        << t;
+  }
+  EXPECT_NO_THROW(Comm(region, 2, CircuitEngine::Incremental, kMaxSimThreads));
+}
+
+TEST(Validation, EmptyJoinThrows) {
+  const auto s = shapes::line(2);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2);
+  EXPECT_THROW(comm.pins(0).join({}), std::invalid_argument);
+}
+
+// --- Sharded engine ------------------------------------------------------
+//
+// A Comm with simThreads > 1 on a large-enough region partitions its
+// arena into shards and runs deliver()'s hot phases on the SimPool. The
+// contract: every observable (received bits, rounds, ALL SimCounters) is
+// bit-identical to the serial engine. These tests drive serial and
+// sharded Comms through identical reconfiguration scripts and compare
+// the complete observable state; the seeded fuzz harness in
+// test_incremental widens this to random sequences.
+
+/// Large enough to clear the sharding gate (kShardMinRegion) AND give
+/// 8-thread Comms a full 8 shards (the shard floor is 256 amoebots).
+constexpr int kShardTestLine = 2100;
+
+void expectSameObservables(Comm& a, Comm& b, int lanes) {
+  ASSERT_EQ(a.region().size(), b.region().size());
+  for (int u = 0; u < a.region().size(); ++u) {
+    ASSERT_EQ(a.receivedAny(u), b.receivedAny(u)) << "amoebot " << u;
+    for (Dir d : kAllDirs) {
+      for (int lane = 0; lane < lanes; ++lane) {
+        const Pin p{d, static_cast<std::uint8_t>(lane)};
+        ASSERT_EQ(a.receivedPin(u, p), b.receivedPin(u, p))
+            << "amoebot " << u << " dir " << static_cast<int>(d) << " lane "
+            << lane;
+      }
+    }
+  }
+  EXPECT_EQ(a.rounds(), b.rounds());
+}
+
+TEST(ShardedEngine, ShardGeometryCoversTheRegion) {
+  const auto s = shapes::line(kShardTestLine);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2, CircuitEngine::Incremental, 4);
+  ASSERT_GT(comm.shardCount(), 1);  // the gate must engage at this size
+  for (int u = 0; u < region.size(); ++u) {
+    ASSERT_GE(comm.shardOf(u), 0);
+    ASSERT_LT(comm.shardOf(u), comm.shardCount());
+    if (u > 0) {
+      ASSERT_GE(comm.shardOf(u), comm.shardOf(u - 1));  // contiguous ranges
+    }
+  }
+  // Small regions never shard, whatever the thread count.
+  const auto tiny = shapes::line(16);
+  const Region tinyRegion = Region::whole(tiny);
+  Comm tinyComm(tinyRegion, 2, CircuitEngine::Incremental, 8);
+  EXPECT_EQ(tinyComm.shardCount(), 1);
+}
+
+TEST(ShardedEngine, GlobalCircuitAndLocalCutsMatchSerial) {
+  const auto s = shapes::line(kShardTestLine);
+  const Region region = Region::whole(s);
+  Comm serial(region, 2, CircuitEngine::Incremental, 1);
+  Comm sharded(region, 2, CircuitEngine::Incremental, 4);
+  ASSERT_GT(sharded.shardCount(), 1);
+
+  SimCounters serialDelta{}, shardedDelta{};
+  auto script = [&](Comm& comm, SimCounters* delta) {
+    const SimCounters before = simCounters();
+    wireLineLane0(comm);
+    comm.beepPin(0, {Dir::E, 0});
+    comm.deliver();  // first round: full (sharded) rebuild
+    // Cut the global circuit at a few spread-out amoebots: the affected
+    // closure spans shard boundaries in both directions.
+    for (const int cut : {100, 950, 1800}) comm.pins(cut).reset();
+    comm.beepPin(0, {Dir::E, 0});
+    comm.deliver();  // incremental repair across shards
+    const Pin heal[] = {{Dir::E, 0}, {Dir::W, 0}};
+    for (const int cut : {100, 950, 1800}) comm.pins(cut).join(heal);
+    comm.beepPin(kShardTestLine - 1, {Dir::W, 0});
+    comm.deliver();
+    *delta = simCounters() - before;
+  };
+  script(serial, &serialDelta);
+  script(sharded, &shardedDelta);
+
+  expectSameObservables(serial, sharded, 2);
+  // Counter roll-up: bit-identical, not merely close.
+  EXPECT_EQ(serialDelta.unions, shardedDelta.unions);
+  EXPECT_EQ(serialDelta.delivers, shardedDelta.delivers);
+  EXPECT_EQ(serialDelta.dirtyAmoebots, shardedDelta.dirtyAmoebots);
+  EXPECT_EQ(serialDelta.incrementalRounds, shardedDelta.incrementalRounds);
+  EXPECT_EQ(serialDelta.rebuildRounds, shardedDelta.rebuildRounds);
+  EXPECT_EQ(serialDelta.beeps, shardedDelta.beeps);
+}
+
+TEST(ShardedEngine, TraversalBudgetFallbackMatchesSerial) {
+  // Join every pin of every amoebot into one arena-spanning circuit; a
+  // single later cut makes the affected closure exceed the traversal
+  // budget, so both engines must abort to the from-scratch rebuild and
+  // report identical counters.
+  const auto s = shapes::line(kShardTestLine);
+  const Region region = Region::whole(s);
+  Comm serial(region, 2, CircuitEngine::Incremental, 1);
+  Comm sharded(region, 2, CircuitEngine::Incremental, 4);
+
+  SimCounters serialDelta{}, shardedDelta{};
+  auto script = [&](Comm& comm, SimCounters* delta) {
+    std::vector<Pin> all;
+    for (Dir d : kAllDirs)
+      for (std::uint8_t lane = 0; lane < 2; ++lane) all.push_back({d, lane});
+    for (int u = 0; u < region.size(); ++u) comm.pins(u).join(all);
+    comm.deliver();
+    const SimCounters before = simCounters();
+    comm.pins(kShardTestLine / 2).reset();  // closure = the whole arena
+    comm.beepPin(0, {Dir::E, 0});
+    comm.deliver();
+    *delta = simCounters() - before;
+  };
+  script(serial, &serialDelta);
+  script(sharded, &shardedDelta);
+
+  EXPECT_EQ(serialDelta.rebuildRounds, 1);
+  EXPECT_EQ(shardedDelta.rebuildRounds, 1);
+  EXPECT_EQ(serialDelta.incrementalRounds, shardedDelta.incrementalRounds);
+  EXPECT_EQ(serialDelta.unions, shardedDelta.unions);
+  expectSameObservables(serial, sharded, 2);
+}
+
+TEST(ShardedEngine, LargeBeepBatchScattersIdentically) {
+  // Enough queued beeps to cross the parallel-scatter grain: the sharded
+  // Comm resolves beep roots concurrently (non-compressing finds) and
+  // must stamp exactly the circuits the serial engine stamps.
+  const auto s = shapes::line(kShardTestLine);
+  const Region region = Region::whole(s);
+  Comm serial(region, 2, CircuitEngine::Incremental, 1);
+  Comm sharded(region, 2, CircuitEngine::Incremental, 4);
+  for (Comm* comm : {&serial, &sharded}) {
+    wireLineLane0(*comm);
+    comm->deliver();
+    // Cut the line into many segments, then beep from every 7th amoebot:
+    // only the segments containing a beeper may light up.
+    for (int u = 150; u < kShardTestLine; u += 150) comm->pins(u).reset();
+    for (int u = 0; u < kShardTestLine; u += 7)
+      comm->beepPin(u, {Dir::E, 0});
+    comm->deliver();
+  }
+  expectSameObservables(serial, sharded, 2);
+}
+
+TEST(ShardedEngine, ReceivedBatchMatchesPointQueries) {
+  const auto s = shapes::line(kShardTestLine);
+  const Region region = Region::whole(s);
+  Comm comm(region, 2, CircuitEngine::Incremental, 4);
+  wireLineLane0(comm);
+  comm.pins(1333).reset();
+  comm.beepPin(2, {Dir::E, 0});
+  comm.deliver();
+  std::vector<PinQuery> queries;
+  for (int u = 0; u < region.size(); ++u) {
+    for (Dir d : kAllDirs)
+      for (std::uint8_t lane = 0; lane < 2; ++lane)
+        queries.push_back({u, {d, lane}});
+  }
+  std::vector<char> bits;
+  comm.receivedBatch(queries, &bits);  // over the parallel grain
+  ASSERT_EQ(bits.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(bits[i] != 0,
+              comm.receivedPin(queries[i].local, queries[i].pin))
+        << "query " << i;
+  }
+  // Small batches take the serial path; results must agree as well.
+  std::vector<PinQuery> few(queries.begin(), queries.begin() + 5);
+  std::vector<char> fewBits;
+  comm.receivedBatch(few, &fewBits);
+  for (std::size_t i = 0; i < few.size(); ++i)
+    EXPECT_EQ(fewBits[i], bits[i]);
+}
+
+TEST(ShardedEngine, RebuildEngineShardsIdentically) {
+  // The from-scratch oracle also shards; serial and sharded rebuilds
+  // must agree on every observable and on the union counter.
+  const auto s = shapes::line(kShardTestLine);
+  const Region region = Region::whole(s);
+  Comm serial(region, 2, CircuitEngine::Rebuild, 1);
+  Comm sharded(region, 2, CircuitEngine::Rebuild, 8);
+  ASSERT_EQ(sharded.shardCount(), 8);
+  SimCounters serialDelta{}, shardedDelta{};
+  auto script = [&](Comm& comm, SimCounters* delta) {
+    const SimCounters before = simCounters();
+    wireLineLane0(comm);
+    comm.beepPin(17, {Dir::E, 0});
+    comm.deliver();
+    comm.pins(1500).reset();
+    comm.beepPin(17, {Dir::E, 0});
+    comm.deliver();
+    *delta = simCounters() - before;
+  };
+  script(serial, &serialDelta);
+  script(sharded, &shardedDelta);
+  expectSameObservables(serial, sharded, 2);
+  EXPECT_EQ(serialDelta.unions, shardedDelta.unions);
+  EXPECT_EQ(serialDelta.rebuildRounds, shardedDelta.rebuildRounds);
+}
+
+TEST(ShardedEngine, ThreadCountDoesNotChangeObservables) {
+  // 2-, 4- and 8-way sharding of the same script: all bit-identical.
+  const auto s = shapes::line(kShardTestLine);
+  const Region region = Region::whole(s);
+  Comm reference(region, 2, CircuitEngine::Incremental, 1);
+  std::vector<SimCounters> deltas;
+  auto script = [&](Comm& comm) {
+    const SimCounters before = simCounters();
+    wireLineLane0(comm);
+    comm.deliver();
+    comm.pins(123).reset();
+    comm.pins(1456).reset();
+    comm.beepPin(0, {Dir::E, 0});
+    comm.deliver();
+    deltas.push_back(simCounters() - before);
+  };
+  script(reference);
+  for (const int threads : {2, 4, 8}) {
+    Comm comm(region, 2, CircuitEngine::Incremental, threads);
+    script(comm);
+    expectSameObservables(reference, comm, 2);
+    EXPECT_EQ(deltas.front().unions, deltas.back().unions) << threads;
+    EXPECT_EQ(deltas.front().incrementalRounds, deltas.back().incrementalRounds)
+        << threads;
+    EXPECT_EQ(deltas.front().rebuildRounds, deltas.back().rebuildRounds)
+        << threads;
+  }
+}
+
 TEST(Circuits, StarConfigurationReachesAllNeighbors) {
   // Center of a radius-1 hexagon joins one pin per direction into one set;
   // every neighbor hears the center's beep.

@@ -25,10 +25,11 @@ namespace aspf {
 namespace {
 
 /// One random reconfiguration + beep + deliver round applied identically
-/// to both engines; returns false (with gtest failures recorded) on the
-/// first observable divergence.
-void fuzzRound(Comm& inc, Comm& reb, Rng& rng, int lanes) {
-  const Region& region = inc.region();
+/// to every engine variant (comms[0] is the reference); records gtest
+/// failures on the first observable divergence.
+void fuzzRound(std::span<Comm* const> comms, Rng& rng, int lanes) {
+  Comm& ref = *comms[0];
+  const Region& region = ref.region();
   const int n = region.size();
   const int ppa = kNumDirs * lanes;
 
@@ -40,24 +41,21 @@ void fuzzRound(Comm& inc, Comm& reb, Rng& rng, int lanes) {
     const int a = static_cast<int>(rng.below(n));
     switch (rng.below(4)) {
       case 0: {  // reset to singletons
-        inc.pins(a).reset();
-        reb.pins(a).reset();
+        for (Comm* comm : comms) comm->pins(a).reset();
         break;
       }
       case 1: {  // full reset-then-rejoin of the current labels (no-op
                  // rewrite; must not count as dirty)
         std::vector<std::vector<Pin>> sets(ppa);
         for (int p = 0; p < ppa; ++p) {
-          sets[inc.pins(a).labelAt(p)].push_back(
+          sets[ref.pins(a).labelAt(p)].push_back(
               Pin{static_cast<Dir>(p / lanes),
                   static_cast<std::uint8_t>(p % lanes)});
         }
-        inc.pins(a).reset();
-        reb.pins(a).reset();
+        for (Comm* comm : comms) comm->pins(a).reset();
         for (const auto& set : sets) {
           if (set.size() > 1) {
-            inc.pins(a).join(set);
-            reb.pins(a).join(set);
+            for (Comm* comm : comms) comm->pins(a).join(set);
           }
         }
         break;
@@ -70,8 +68,7 @@ void fuzzRound(Comm& inc, Comm& reb, Rng& rng, int lanes) {
           pins.push_back(Pin{static_cast<Dir>(p / lanes),
                              static_cast<std::uint8_t>(p % lanes)});
         }
-        inc.pins(a).join(pins);
-        reb.pins(a).join(pins);
+        for (Comm* comm : comms) comm->pins(a).join(pins);
         break;
       }
     }
@@ -79,8 +76,7 @@ void fuzzRound(Comm& inc, Comm& reb, Rng& rng, int lanes) {
 
   // Occasionally reset the whole region.
   if (rng.chance(0.05)) {
-    inc.resetPins();
-    reb.resetPins();
+    for (Comm* comm : comms) comm->resetPins();
   }
 
   // Random beeps.
@@ -89,30 +85,38 @@ void fuzzRound(Comm& inc, Comm& reb, Rng& rng, int lanes) {
     const int a = static_cast<int>(rng.below(n));
     const Pin p{static_cast<Dir>(rng.below(kNumDirs)),
                 static_cast<std::uint8_t>(rng.below(lanes))};
-    inc.beepPin(a, p);
-    reb.beepPin(a, p);
+    for (Comm* comm : comms) comm->beepPin(a, p);
   }
 
-  inc.deliver();
-  reb.deliver();
+  for (Comm* comm : comms) comm->deliver();
 
-  // Labels evolve identically (same mutation stream) ...
-  for (int a = 0; a < n; ++a) {
-    for (int p = 0; p < ppa; ++p) {
-      ASSERT_EQ(inc.pins(a).labelAt(p), reb.pins(a).labelAt(p))
-          << "label divergence at amoebot " << a << " pin " << p;
+  for (std::size_t c = 1; c < comms.size(); ++c) {
+    Comm& other = *comms[c];
+    // Labels evolve identically (same mutation stream) ...
+    for (int a = 0; a < n; ++a) {
+      for (int p = 0; p < ppa; ++p) {
+        ASSERT_EQ(ref.pins(a).labelAt(p), other.pins(a).labelAt(p))
+            << "label divergence at amoebot " << a << " pin " << p
+            << " variant " << c;
+      }
     }
-  }
-  // ... so any divergence below is the engines disagreeing on circuits.
-  for (int a = 0; a < n; ++a) {
-    ASSERT_EQ(inc.receivedAny(a), reb.receivedAny(a))
-        << "receivedAny divergence at amoebot " << a;
-    for (int label = 0; label < ppa; ++label) {
-      ASSERT_EQ(inc.received(a, label), reb.received(a, label))
-          << "received divergence at amoebot " << a << " label " << label;
+    // ... so any divergence below is the engines disagreeing on circuits.
+    for (int a = 0; a < n; ++a) {
+      ASSERT_EQ(ref.receivedAny(a), other.receivedAny(a))
+          << "receivedAny divergence at amoebot " << a << " variant " << c;
+      for (int label = 0; label < ppa; ++label) {
+        ASSERT_EQ(ref.received(a, label), other.received(a, label))
+            << "received divergence at amoebot " << a << " label " << label
+            << " variant " << c;
+      }
     }
+    ASSERT_EQ(ref.rounds(), other.rounds());
   }
-  ASSERT_EQ(inc.rounds(), reb.rounds());
+}
+
+void fuzzRound(Comm& inc, Comm& reb, Rng& rng, int lanes) {
+  Comm* const comms[] = {&inc, &reb};
+  fuzzRound(comms, rng, lanes);
 }
 
 void fuzzStructure(const AmoebotStructure& s, int lanes, int sequences,
@@ -164,6 +168,65 @@ TEST(IncrementalFuzz, SubsetRegionMatchesRebuild) {
     for (int round = 0; round < 20; ++round) {
       SCOPED_TRACE("round " + std::to_string(round));
       fuzzRound(inc, reb, rng, 2);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// --- Sharded-engine fuzz axis ---------------------------------------------
+// Structures above the sharding gate (>= 512 amoebots), fuzzed with the
+// serial incremental engine as reference against the sharded incremental
+// engine AND the serial from-scratch rebuild: any divergence in the
+// parallel traversal, boundary merge, beep scatter or dirty drain
+// surfaces as a received()/label/round mismatch with a replayable seed.
+
+void fuzzStructureSharded(const AmoebotStructure& s, int lanes, int sequences,
+                          int roundsPerSequence, std::uint64_t seed,
+                          int simThreads) {
+  const Region region = Region::whole(s);
+  for (int seq = 0; seq < sequences; ++seq) {
+    SCOPED_TRACE("sequence " + std::to_string(seq));
+    Rng rng(seed * 7919 + static_cast<std::uint64_t>(seq));
+    Comm inc(region, lanes, CircuitEngine::Incremental, 1);
+    Comm par(region, lanes, CircuitEngine::Incremental, simThreads);
+    Comm reb(region, lanes, CircuitEngine::Rebuild, 1);
+    ASSERT_GT(par.shardCount(), 1) << "structure too small to shard";
+    Comm* const comms[] = {&inc, &par, &reb};
+    for (int round = 0; round < roundsPerSequence; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      fuzzRound(comms, rng, lanes);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(IncrementalFuzz, ShardedLineMatchesSerialAndRebuild) {
+  // A 1400-amoebot line sharded 5 ways: long chain circuits crossing
+  // every shard boundary.
+  fuzzStructureSharded(shapes::line(1400), 2, 2, 18, 21, 5);
+}
+
+TEST(IncrementalFuzz, ShardedHoleyRegionMatchesSerialAndRebuild) {
+  // Subset region above the gate: boundary links must respect the
+  // induced adjacency in every shard.
+  const auto s = shapes::parallelogram(40, 20);
+  std::vector<int> ids;
+  for (int i = 0; i < s.size(); ++i) {
+    if (i % 7 != 0) ids.push_back(i);  // punch holes into the region
+  }
+  const Region region = Region::of(s, ids);
+  ASSERT_GE(region.size(), 512);
+  for (int seq = 0; seq < 2; ++seq) {
+    SCOPED_TRACE("sequence " + std::to_string(seq));
+    Rng rng(3000 + static_cast<std::uint64_t>(seq));
+    Comm inc(region, 2, CircuitEngine::Incremental, 1);
+    Comm par(region, 2, CircuitEngine::Incremental, 5);
+    Comm reb(region, 2, CircuitEngine::Rebuild, 1);
+    ASSERT_GT(par.shardCount(), 1);
+    Comm* const comms[] = {&inc, &par, &reb};
+    for (int round = 0; round < 20; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      fuzzRound(comms, rng, 2);
       if (::testing::Test::HasFatalFailure()) return;
     }
   }

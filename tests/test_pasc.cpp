@@ -52,6 +52,66 @@ INSTANTIATE_TEST_SUITE_P(Sizes, PascChainSizes,
                          ::testing::Values(2, 3, 4, 5, 7, 8, 9, 16, 31, 32,
                                            33, 64, 100, 127, 255, 256, 1000));
 
+TEST(PascChain, ShardedCommMatchesSerialBitForBit) {
+  // The chain protocol on a sharded Comm (parallel rewiring sweeps,
+  // batched bit reads, sharded circuit repair) must reproduce the serial
+  // execution exactly: same values, same per-iteration bit matrix, same
+  // round count.
+  const int m = 800;  // above the sharding gate
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  const auto stops = lineStops(s, region);
+  Comm serial(region, 4, CircuitEngine::Incremental, 1);
+  Comm sharded(region, 4, CircuitEngine::Incremental, 4);
+  ASSERT_GT(sharded.shardCount(), 1);
+  const PascResult a = runPascChain(serial, stops);
+  const PascResult b = runPascChain(sharded, stops);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(serial.rounds(), sharded.rounds());
+  for (int i = 0; i < m; ++i)
+    ASSERT_EQ(a.value[i], static_cast<std::uint64_t>(i)) << "stop " << i;
+}
+
+TEST(PascChain, ShardedWeightedPrefixSumMatchesSerial) {
+  const int m = 700;
+  const auto s = shapes::line(m);
+  const Region region = Region::whole(s);
+  const auto stops = lineStops(s, region);
+  std::vector<char> weight(m, 0);
+  for (int i = 0; i < m; i += 3) weight[i] = 1;  // every third stop weighs 1
+  Comm serial(region, 4, CircuitEngine::Incremental, 1);
+  Comm sharded(region, 4, CircuitEngine::Incremental, 8);
+  const PascResult a = runPascPrefixSum(serial, stops, weight);
+  const PascResult b = runPascPrefixSum(sharded, stops, weight);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(PascForest, ShardedCommMatchesSerial) {
+  const int n = 900;
+  const auto s = shapes::line(n);
+  const Region region = Region::whole(s);
+  // A path tree rooted in the middle: both directions cross shards.
+  std::vector<int> parent(n);
+  const int root = n / 2;
+  for (int u = 0; u < n; ++u)
+    parent[u] = u < root ? u + 1 : (u == root ? -1 : u - 1);
+  Comm serial(region, 2, CircuitEngine::Incremental, 1);
+  Comm sharded(region, 2, CircuitEngine::Incremental, 4);
+  ASSERT_GT(sharded.shardCount(), 1);
+  const TreePascResult a = runPascForest(serial, parent);
+  const TreePascResult b = runPascForest(sharded, parent);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.rounds, b.rounds);
+  for (int u = 0; u < n; ++u)
+    ASSERT_EQ(a.depth[u], static_cast<std::uint64_t>(std::abs(u - root)))
+        << "node " << u;
+}
+
 TEST(PascChain, SingleStopDegenerates) {
   const auto s = shapes::line(1);
   const Region region = Region::whole(s);

@@ -5,6 +5,8 @@
 // thread counts.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -187,6 +189,36 @@ TEST(Json, ParseRejectsMalformedDocuments) {
   }
 }
 
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  // "%.17g" used to emit `nan`/`inf`, producing documents our own parser
+  // (and every conforming one) rejects. JSON has no non-finite literal:
+  // null is the only faithful spelling, and the output stays valid.
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(0.0).dump(), "0");
+
+  // Round-trip: a document with a non-finite leaf must dump to something
+  // parse() accepts, with the leaf read back as null.
+  Json doc = Json::object();
+  doc["ok"] = Json(2.5);
+  doc["bad"] = Json(std::numeric_limits<double>::quiet_NaN());
+  const Json back = Json::parse(doc.dump(2));
+  EXPECT_EQ(back.find("ok")->asNumber(), 2.5);
+  EXPECT_TRUE(back.find("bad")->isNull());
+}
+
+TEST(Json, ParseRejectsNonFiniteNumbers) {
+  // strtod accepts `inf`/`nan` spellings and overflows "1e999" to
+  // infinity; the JSON grammar allows neither.
+  for (const char* bad : {"inf", "-inf", "nan", "-nan", "Infinity", "NaN",
+                          "1e999", "-1e999", "[1e400]"}) {
+    EXPECT_THROW(Json::parse(bad), std::runtime_error) << bad;
+  }
+  // Large-but-finite values still parse.
+  EXPECT_EQ(Json::parse("1e308").asNumber(), 1e308);
+}
+
 TEST(Json, ObjectKeepsInsertionOrderAndFinds) {
   Json obj = Json::object();
   obj["z"] = Json(1);
@@ -310,6 +342,61 @@ TEST(Runner, DeterministicAcrossRunsAndThreadCounts) {
     for (const long p : polylog.phases) sum += p;
     EXPECT_EQ(sum, polylog.rounds);
   }
+}
+
+TEST(Runner, SimThreadsDoNotChangeAnyDeterministicField) {
+  // The sharded substrate's core contract at the report level: runs at
+  // any --sim-threads value are bit-identical except for the recorded
+  // config.sim_threads stamp. The hexagon instance is large enough to
+  // clear the sharding gate, so the sharded code paths really execute.
+  const std::vector<Scenario> batch = {make(Shape::Hexagon, 16, 0, 3, 6, 1),
+                                       make(Shape::Zigzag, 40, 16, 2, 4, 2)};
+  RunOptions options;
+  options.timing = false;
+  options.threads = 1;
+  options.simThreads = 1;
+  const BenchReport serial = runBatch("t", batch, options);
+  for (const int simThreads : {2, 8}) {
+    options.simThreads = simThreads;
+    BenchReport sharded = runBatch("t", batch, options);
+    EXPECT_EQ(sharded.simThreads, simThreads);
+    ASSERT_EQ(sharded.scenarios, serial.scenarios) << simThreads;
+    // Normalizing the one execution-resource stamp makes the WHOLE
+    // struct equal -- nothing else may differ.
+    sharded.simThreads = serial.simThreads;
+    EXPECT_EQ(sharded, serial) << simThreads;
+    std::string why;
+    EXPECT_TRUE(equalDeterministic(serial, sharded, &why)) << why;
+  }
+}
+
+TEST(Report, SimThreadsRoundTripsAndIsOptionalOnInput) {
+  BenchReport report = sampleReport();
+  report.simThreads = 8;
+  const Json doc = toJson(report);
+  std::string error;
+  ASSERT_TRUE(validateReport(doc, &error)) << error;
+  EXPECT_EQ(doc.find("config")->find("sim_threads")->asInt(), 8);
+  EXPECT_EQ(reportFromJson(doc).simThreads, 8);
+
+  // Reports from PR <= 3 predate the field: still schema-valid, default 1.
+  Json legacy = toJson(sampleReport());
+  Json config = Json::object();
+  for (const auto& [key, value] : legacy.find("config")->members()) {
+    if (key != "sim_threads") config[key] = value;
+  }
+  legacy["config"] = std::move(config);
+  ASSERT_TRUE(validateReport(legacy, &error)) << error;
+  EXPECT_EQ(reportFromJson(legacy).simThreads, 1);
+
+  // ... but a present field must be a sane number.
+  Json bad = toJson(sampleReport());
+  bad["config"]["sim_threads"] = Json(0);
+  EXPECT_FALSE(validateReport(bad, &error));
+  EXPECT_NE(error.find("sim_threads"), std::string::npos);
+  Json wrongType = toJson(sampleReport());
+  wrongType["config"]["sim_threads"] = Json("eight");
+  EXPECT_FALSE(validateReport(wrongType, &error));
 }
 
 TEST(Runner, RecordsFailuresInsteadOfAborting) {

@@ -43,9 +43,15 @@ void printUsage(std::ostream& os) {
         "                         ranges, e.g. 2,8,32 or 1..4)\n\n"
         "Execution:\n"
         "  --algo LIST            polylog, wave, naive or all (default all)\n"
-        "  --threads N            worker threads (default: hardware)\n"
+        "  --threads N            scenario worker threads (default: "
+        "hardware)\n"
+        "  --sim-threads N        worker threads INSIDE the circuit\n"
+        "                         simulator (sharded deliver(); default 1).\n"
+        "                         All deterministic report fields are\n"
+        "                         bit-identical at any value\n"
         "  --lanes N              pin lanes for the circuit protocols "
-        "(default 4)\n"
+        "(default 4,\n"
+        "                         valid range 1..4)\n"
         "  --engine NAME          circuit engine: incremental (default) or\n"
         "                         rebuild (from-scratch differential oracle)\n"
         "  --no-check             skip the five-property forest checker\n"
@@ -199,7 +205,7 @@ void printTable(const BenchReport& report) {
   table.print(std::cout);
   std::cout << report.scenarios.size() << " scenarios, "
             << report.algos.size() << " algorithm(s), " << report.threads
-            << " thread(s)";
+            << " thread(s), " << report.simThreads << " sim-thread(s)";
   if (report.timing)
     std::cout << ", " << report.totalWallMs << " ms total, peak RSS "
               << report.peakRssKb << " kB";
@@ -320,8 +326,24 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--threads") {
       cli.options.threads = parseIntFlag(value(i, arg), "--threads");
+    } else if (arg == "--sim-threads") {
+      cli.options.simThreads = parseIntFlag(value(i, arg), "--sim-threads");
+      if (cli.options.simThreads < 1 ||
+          cli.options.simThreads > kMaxSimThreads) {
+        std::cerr << "aspf-run: --sim-threads must be in [1, "
+                  << kMaxSimThreads << "], got " << cli.options.simThreads
+                  << "\n";
+        return 1;
+      }
     } else if (arg == "--lanes") {
       cli.options.lanes = parseIntFlag(value(i, arg), "--lanes");
+      if (cli.options.lanes < 1 || cli.options.lanes > kMaxLanes) {
+        std::cerr << "aspf-run: --lanes must be in [1, " << kMaxLanes
+                  << "], got " << cli.options.lanes
+                  << " (the pin arena's block stride fits at most "
+                  << kMaxLanes << " lanes)\n";
+        return 1;
+      }
     } else if (arg == "--no-check") {
       cli.options.check = false;
     } else if (arg == "--no-timing") {
