@@ -1,0 +1,157 @@
+// E11 — dynamic timelines: online SPF maintenance over mutating
+// structures. The paper-style table walks a registry timeline and reports,
+// per epoch and per algorithm, the warm (persistent rebound substrate) vs
+// cold (from-scratch oracle) substrate cost -- the union work the
+// carried-over circuit state saves is exactly what the incremental engine
+// was built for. The google-benchmark section ablates warm-vs-cold and
+// incremental-vs-rebuild on a single repeated attach/detach epoch pattern.
+#include <optional>
+
+#include "baselines/bfs_wave.hpp"
+#include "bench_common.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/timeline.hpp"
+
+namespace aspf {
+namespace {
+
+using scenario::Algo;
+using scenario::BenchReport;
+using scenario::EpochReport;
+using scenario::EpochRun;
+using scenario::MutationKind;
+using scenario::RunOptions;
+using scenario::Timeline;
+using scenario::TimelineReport;
+using scenario::TimelineState;
+
+void tableWarmVsCold() {
+  bench::printHeader("E11",
+                     "dynamic timeline: warm vs cold substrate cost per "
+                     "epoch");
+  const scenario::Timeline* timeline =
+      scenario::findTimeline("dyn_hexagon6_k5_l12_s1");
+  if (!timeline) return;
+  RunOptions options;
+  options.threads = 1;
+  options.timing = false;
+  const BenchReport report =
+      scenario::runTimelineBatch("bench", {*timeline}, options);
+  Table table({"epoch", "mutation", "n", "algo", "rounds", "warm unions",
+               "cold unions", "saved %"});
+  for (const TimelineReport& tr : report.timelines) {
+    for (const EpochReport& er : tr.epochs) {
+      for (const EpochRun& run : er.runs) {
+        const double saved =
+            run.coldUnions > 0
+                ? 100.0 * (1.0 - static_cast<double>(run.warmUnions) /
+                                     static_cast<double>(run.coldUnions))
+                : 0.0;
+        table.add(er.epoch, er.mutation, er.n, run.algo, run.rounds,
+                  run.warmUnions, run.coldUnions, saved);
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+/// One attach-then-detach timeline pulse on a hexagon, solved with the
+/// wave per epoch: warm keeps one substrate Comm alive and rebinds it,
+/// cold constructs everything from scratch. range(0) = hexagon radius,
+/// range(1) = 1 for warm.
+void BM_DynamicWaveEpoch(benchmark::State& state) {
+  Timeline t;
+  t.name = "bench_pulse";
+  t.base = scenario::make(scenario::Shape::Hexagon,
+                          static_cast<int>(state.range(0)), 0, 4, 8, 1);
+  t.seed = 5;
+  // Long alternating script; the loop below cycles through it.
+  for (int i = 0; i < 64; ++i)
+    t.mutations.push_back({i % 2 == 0 ? MutationKind::AttachPatch
+                                      : MutationKind::DetachPatch,
+                           4});
+  const bool warm = state.range(1) != 0;
+
+  TimelineState timelineState(t);
+  std::optional<Comm> substrate;
+  if (warm) substrate.emplace(timelineState.region(), 1);
+  long epochs = 0;
+  for (auto _ : state) {
+    if (timelineState.done()) {
+      state.PauseTiming();  // re-arm the pulse rather than stop early
+      timelineState = TimelineState(t);
+      if (warm) substrate.emplace(timelineState.region(), 1);
+      state.ResumeTiming();
+    }
+    const scenario::EpochDelta delta = timelineState.advance();
+    if (warm) substrate->rebind(timelineState.region(), delta.oldLocalOfNew);
+    const BfsWaveResult r = bfsWaveForest(
+        timelineState.region(), timelineState.sources(),
+        timelineState.destinations(), warm ? &*substrate : nullptr);
+    benchmark::DoNotOptimize(r.parent.data());
+    ++epochs;
+  }
+  state.SetItemsProcessed(epochs);
+  state.counters["n"] = timelineState.n();
+  state.counters["warm"] = warm ? 1 : 0;
+}
+
+BENCHMARK(BM_DynamicWaveEpoch)
+    ->ArgsProduct({{8, 16, 32}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Engine ablation on the same pulse: the warm path under the incremental
+/// engine vs the rebuild engine (rebind still carries circuits over, but
+/// the rebuild engine discards them every deliver). range(1) = 1 for the
+/// incremental engine.
+void BM_DynamicEngineAblation(benchmark::State& state) {
+  Timeline t;
+  t.name = "bench_engines";
+  t.base = scenario::make(scenario::Shape::Hexagon,
+                          static_cast<int>(state.range(0)), 0, 4, 8, 1);
+  t.seed = 9;
+  for (int i = 0; i < 64; ++i)
+    t.mutations.push_back({i % 2 == 0 ? MutationKind::AttachPatch
+                                      : MutationKind::DetachPatch,
+                           4});
+  const CircuitEngine engine = state.range(1) != 0
+                                   ? CircuitEngine::Incremental
+                                   : CircuitEngine::Rebuild;
+
+  TimelineState timelineState(t);
+  std::optional<Comm> substrate;
+  substrate.emplace(timelineState.region(), 1, engine);
+  long epochs = 0;
+  for (auto _ : state) {
+    if (timelineState.done()) {
+      state.PauseTiming();
+      timelineState = TimelineState(t);
+      substrate.emplace(timelineState.region(), 1, engine);
+      state.ResumeTiming();
+    }
+    const scenario::EpochDelta delta = timelineState.advance();
+    substrate->rebind(timelineState.region(), delta.oldLocalOfNew);
+    const BfsWaveResult r =
+        bfsWaveForest(timelineState.region(), timelineState.sources(),
+                      timelineState.destinations(), &*substrate);
+    benchmark::DoNotOptimize(r.parent.data());
+    ++epochs;
+  }
+  state.SetItemsProcessed(epochs);
+  state.counters["n"] = timelineState.n();
+  state.counters["incremental"] = state.range(1);
+}
+
+BENCHMARK(BM_DynamicEngineAblation)
+    ->ArgsProduct({{16, 32}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tableWarmVsCold();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,18 +1,33 @@
 #include "baselines/bfs_wave.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
+#include <stdexcept>
 
 namespace aspf {
 
 BfsWaveResult bfsWaveForest(const Region& region,
                             std::span<const int> sources,
-                            std::span<const int> destinations) {
+                            std::span<const int> destinations,
+                            Comm* substrate) {
   const int n = region.size();
   BfsWaveResult result;
   result.parent.assign(n, -2);
 
-  Comm comm(region, 1);  // singleton pins only: neighbor-to-neighbor beeps
+  // Singleton pins only: neighbor-to-neighbor beeps. A warm substrate
+  // replaces the throwaway Comm; resetPins() normalizes any leftover
+  // configuration (free when pins are already singletons, i.e. always on
+  // the cold path) and the rounds baseline makes the accounting relative
+  // to this execution.
+  if (substrate && &substrate->region() != &region)
+    throw std::invalid_argument(
+        "bfsWaveForest: substrate is bound to a different region");
+  std::optional<Comm> local;
+  if (!substrate) local.emplace(region, 1);
+  Comm& comm = substrate ? *substrate : *local;
+  comm.resetPins();
+  const long roundsBase = comm.rounds();
   std::vector<char> covered(n, 0);
   std::vector<int> frontier;
   for (const int s : sources) {
@@ -89,9 +104,9 @@ BfsWaveResult bfsWaveForest(const Region& region,
   for (int u = 0; u < n; ++u) {
     if (!keep[u] && result.parent[u] >= 0) result.parent[u] = -2;
   }
-  pruneRounds = comm.rounds();  // convergecast mirrors the wave
+  pruneRounds = comm.rounds() - roundsBase;  // convergecast mirrors the wave
   comm.chargeRounds(pruneRounds);
-  result.rounds = comm.rounds();
+  result.rounds = comm.rounds() - roundsBase;
   return result;
 }
 

@@ -11,8 +11,9 @@
 // conformance suite asserts rounds >= eccentricity(S) (the baseline must
 // stay honest).
 //
-// Thread-safety: stateless free function; each call builds its own Comm.
-// Concurrent calls (even on the same Region) are safe.
+// Thread-safety: stateless free function; each call builds its own Comm
+// unless a warm substrate is passed in. Concurrent calls (even on the same
+// Region) are safe; a substrate Comm follows the usual one-caller rule.
 #include <span>
 
 #include "sim/comm.hpp"
@@ -24,8 +25,16 @@ struct BfsWaveResult {
   long rounds = 0;
 };
 
+/// `substrate` (optional) is a persistent whole-region Comm to run on --
+/// the dynamic-timeline warm path: after a Comm::rebind onto a mutated
+/// structure, the carried-over union-find means the wave's first round
+/// repairs only the structurally affected circuits instead of rebuilding
+/// all of them. Must be bound to `region`; any lane count works (the wave
+/// uses lane 0 of singleton sets). Results and round counts are
+/// bit-identical with and without a substrate.
 BfsWaveResult bfsWaveForest(const Region& region,
                             std::span<const int> sources,
-                            std::span<const int> destinations);
+                            std::span<const int> destinations,
+                            Comm* substrate = nullptr);
 
 }  // namespace aspf

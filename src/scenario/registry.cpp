@@ -1,5 +1,9 @@
 #include "scenario/registry.hpp"
 
+#include <set>
+#include <stdexcept>
+#include <string>
+
 namespace aspf::scenario {
 
 std::vector<Scenario> conformanceMatrix() {
@@ -32,6 +36,31 @@ std::vector<Scenario> conformanceMatrix() {
     }
   }
   return matrix;
+}
+
+void registerSuite(std::vector<Suite>& all, Suite suite) {
+  for (const Suite& existing : all) {
+    if (existing.name == suite.name)
+      throw std::invalid_argument("registerSuite: duplicate suite name '" +
+                                  suite.name + "'");
+  }
+  std::set<std::string> inSuite;
+  for (const Scenario& sc : suite.scenarios) {
+    if (!inSuite.insert(sc.name).second)
+      throw std::invalid_argument("registerSuite: duplicate scenario name '" +
+                                  sc.name + "' within suite '" + suite.name +
+                                  "'");
+    for (const Suite& existing : all) {
+      for (const Scenario& other : existing.scenarios) {
+        if (other.name == sc.name && !(other == sc))
+          throw std::invalid_argument(
+              "registerSuite: scenario name '" + sc.name + "' in suite '" +
+              suite.name + "' is already bound to a different scenario by "
+              "suite '" + existing.name + "'");
+      }
+    }
+  }
+  all.push_back(std::move(suite));
 }
 
 namespace {
@@ -98,20 +127,95 @@ std::vector<Scenario> hugeSuite() {
   };
 }
 
+std::vector<Scenario> fuzzSuite() {
+  // The property-based tier: 32 pure-accretion blobs, sizes ~100..320,
+  // k/l swept over the instance regimes by deterministic formulas. No
+  // hand-designed family bias -- the point is to hit region/portal shapes
+  // nobody thought to draw. Replayed by the FuzzConformance tests.
+  std::vector<Scenario> out;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const int s = static_cast<int>(seed);
+    const int a = 96 + 7 * s;             // 103..320 amoebots, exact
+    const int k = 1 + (s * 3) % 11;       // 1..11 sources
+    const int l = 2 + (s * 5) % 17;       // 2..18 destinations
+    out.push_back(make(Shape::FuzzBlob, a, 0, k, l, seed));
+  }
+  return out;
+}
+
 std::vector<Suite> buildSuites() {
   std::vector<Suite> all;
-  all.push_back({"conformance",
-                 "the 64-scenario cross-algorithm matrix (PR 1; names frozen)",
-                 conformanceMatrix()});
-  all.push_back({"smoke",
-                 "one small instance per shape family; the CI sweep",
-                 smokeSuite()});
-  all.push_back({"large",
-                 "large-n perf instances across all shape families",
-                 largeSuite()});
-  all.push_back({"huge",
-                 "production-scale instances (n >= 100k per shape family)",
-                 hugeSuite()});
+  registerSuite(all, {"conformance",
+                      "the 64-scenario cross-algorithm matrix (PR 1; names "
+                      "frozen)",
+                      conformanceMatrix()});
+  registerSuite(all, {"smoke",
+                      "one small instance per shape family; the CI sweep",
+                      smokeSuite()});
+  registerSuite(all, {"large",
+                      "large-n perf instances across all shape families",
+                      largeSuite()});
+  registerSuite(all, {"huge",
+                      "production-scale instances (n >= 100k per shape "
+                      "family)",
+                      hugeSuite()});
+  registerSuite(all, {"fuzz",
+                      "32 seeded accretion blobs; the property-based "
+                      "conformance tier",
+                      fuzzSuite()});
+  return all;
+}
+
+// Mutation scripts for the dynamic timelines. Three archetypes, assigned
+// round-robin over the shape families so each family stresses a different
+// mix; every script exercises every mutation kind at least once and has
+// 8-11 mutations (9-12 epochs including epoch 0).
+std::vector<Mutation> growthScript() {
+  using K = MutationKind;
+  return {{K::AttachPatch, 5},  {K::AddDest, 2},      {K::AttachPatch, 7},
+          {K::ToggleSource, 1}, {K::DetachPatch, 3},  {K::AttachPatch, 6},
+          {K::RelocateDest, 1}, {K::RemoveDest, 1},   {K::AttachPatch, 8},
+          {K::DetachPatch, 2}};
+}
+
+std::vector<Mutation> churnScript() {
+  using K = MutationKind;
+  return {{K::DetachPatch, 4},  {K::AttachPatch, 4}, {K::ToggleSource, 2},
+          {K::DetachPatch, 5},  {K::RelocateDest, 2}, {K::AttachPatch, 5},
+          {K::RemoveDest, 2},   {K::AddDest, 3},      {K::DetachPatch, 3},
+          {K::AttachPatch, 3},  {K::ToggleSource, 1}};
+}
+
+std::vector<Mutation> instanceScript() {
+  using K = MutationKind;
+  return {{K::AddDest, 4},      {K::ToggleSource, 2}, {K::RelocateDest, 3},
+          {K::RemoveDest, 2},   {K::AttachPatch, 4},  {K::ToggleSource, 2},
+          {K::DetachPatch, 4},  {K::RelocateDest, 2}};
+}
+
+std::vector<Timeline> buildTimelines() {
+  // One timeline per shape family over the smoke-sized bases (the epoch
+  // loop re-solves every epoch warm AND cold across all algorithms, so
+  // the tier must stay CI-sized).
+  std::vector<Timeline> all;
+  const std::vector<Scenario> bases = smokeSuite();
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    Timeline t;
+    t.base = bases[i];
+    t.name = "dyn_" + bases[i].name;
+    t.seed = static_cast<std::uint64_t>(i + 1);
+    switch (i % 3) {
+      case 0: t.mutations = growthScript(); break;
+      case 1: t.mutations = churnScript(); break;
+      default: t.mutations = instanceScript(); break;
+    }
+    for (const Timeline& existing : all) {
+      if (existing.name == t.name)
+        throw std::invalid_argument(
+            "buildTimelines: duplicate timeline name '" + t.name + "'");
+    }
+    all.push_back(std::move(t));
+  }
   return all;
 }
 
@@ -134,6 +238,18 @@ const Scenario* findScenario(std::string_view name) {
     for (const Scenario& sc : suite.scenarios) {
       if (sc.name == name) return &sc;
     }
+  }
+  return nullptr;
+}
+
+const std::vector<Timeline>& timelines() {
+  static const std::vector<Timeline> all = buildTimelines();
+  return all;
+}
+
+const Timeline* findTimeline(std::string_view name) {
+  for (const Timeline& t : timelines()) {
+    if (t.name == name) return &t;
   }
   return nullptr;
 }

@@ -16,6 +16,18 @@
 //                committed trajectory point and the CI perf-sanity anchor
 //   huge         production-scale instances (n >= 100k per shape family);
 //                only tractable with the incremental circuit engine
+//   fuzz         the property-based tier: 32 seeded fuzzBlob instances
+//                (pure accretion growth, no hand-designed family bias)
+//                that the FuzzConformance suite replays
+//
+// The registry also holds the *dynamic* timelines (timeline.hpp): one
+// mutation script per shape family, 8-12 epochs each, run by the
+// epoch-loop runner and `aspf-run --timeline`.
+//
+// Registration rejects duplicate names with std::invalid_argument at
+// build time (registerSuite): a colliding scenario name would make
+// `--scenario`/gtest replay ambiguous, which previously only a test
+// caught after the fact.
 //
 // Thread-safety: the registry is immutable after first use; concurrent
 // lookups are safe (C++11 magic statics).
@@ -23,6 +35,7 @@
 #include <vector>
 
 #include "scenario/scenario.hpp"
+#include "scenario/timeline.hpp"
 
 namespace aspf::scenario {
 
@@ -40,6 +53,25 @@ const Suite* findSuite(std::string_view name);
 
 /// Scenario by its stable name, searched across all suites; or nullptr.
 const Scenario* findScenario(std::string_view name);
+
+/// Appends `suite` to `all` after validating it against everything already
+/// registered. Throws std::invalid_argument on a duplicate suite name, a
+/// duplicate scenario name within the suite, or a scenario name that an
+/// earlier suite already binds to a DIFFERENT scenario (the same scenario
+/// may appear in several suites -- smoke deliberately reuses instances).
+/// The registry builder routes every suite through here, so a name
+/// collision fails fast at first registry use instead of silently
+/// last-writer-winning in the by-name lookups.
+void registerSuite(std::vector<Suite>& all, Suite suite);
+
+/// The dynamic-timeline registry (`aspf-run --timeline`): one timeline
+/// per shape family, 8-12 epochs each, every epoch checker-validated by
+/// the dynamic tier. Names are stable (`dyn_<base scenario name>`) and
+/// unique (same std::invalid_argument guard as the scenario suites).
+const std::vector<Timeline>& timelines();
+
+/// Timeline by its stable name, or nullptr.
+const Timeline* findTimeline(std::string_view name);
 
 /// The PR-1 conformance matrix: {8 shape families x 4 (k,l) x 2 seeds}.
 /// Scenario names (e.g. `comb10x8_k5_l12_s2`) are frozen; tests replay

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "scenario/timeline.hpp"
+
 namespace aspf::scenario {
 
 Json toJson(const BenchReport& report) {
@@ -61,6 +63,58 @@ Json toJson(const BenchReport& report) {
     scenarios.push(std::move(s));
   }
   doc["scenarios"] = std::move(scenarios);
+
+  if (!report.timelines.empty()) {
+    Json timelines = Json::array();
+    for (const TimelineReport& tr : report.timelines) {
+      Json t = Json::object();
+      t["name"] = Json(tr.name);
+      Json base = Json::object();
+      base["name"] = Json(tr.base.name);
+      base["shape"] = Json(toString(tr.base.shape));
+      base["a"] = Json(tr.base.a);
+      base["b"] = Json(tr.base.b);
+      base["k"] = Json(tr.base.k);
+      base["l"] = Json(tr.base.l);
+      base["seed"] = Json(tr.base.seed);
+      t["base"] = std::move(base);
+      t["timeline_seed"] = Json(tr.seed);
+      Json epochs = Json::array();
+      for (const EpochReport& er : tr.epochs) {
+        Json e = Json::object();
+        e["epoch"] = Json(er.epoch);
+        e["mutation"] = Json(er.mutation);
+        e["applied"] = Json(er.applied);
+        e["n"] = Json(er.n);
+        e["k_eff"] = Json(er.kEff);
+        e["l_eff"] = Json(er.lEff);
+        Json runs = Json::array();
+        for (const EpochRun& r : er.runs) {
+          Json run = Json::object();
+          run["algo"] = Json(r.algo);
+          run["rounds"] = Json(r.rounds);
+          run["wall_ms"] = Json(r.wallMs);
+          run["checker_ok"] = Json(r.checkerOk);
+          run["error"] = Json(r.error);
+          run["delivers"] = Json(r.delivers);
+          run["beeps"] = Json(r.beeps);
+          run["warm_unions"] = Json(r.warmUnions);
+          run["cold_unions"] = Json(r.coldUnions);
+          run["warm_incr_rounds"] = Json(r.warmIncrRounds);
+          run["warm_rebuild_rounds"] = Json(r.warmRebuildRounds);
+          run["cold_incr_rounds"] = Json(r.coldIncrRounds);
+          run["cold_rebuild_rounds"] = Json(r.coldRebuildRounds);
+          run["warm_matches_cold"] = Json(r.warmMatchesCold);
+          runs.push(std::move(run));
+        }
+        e["runs"] = std::move(runs);
+        epochs.push(std::move(e));
+      }
+      t["epochs"] = std::move(epochs);
+      timelines.push(std::move(t));
+    }
+    doc["timelines"] = std::move(timelines);
+  }
 
   long runCount = 0;
   for (const ScenarioReport& sr : report.scenarios)
@@ -153,6 +207,72 @@ class Validator {
     return true;
   }
 
+  bool validateEpochRun(const Json& run, const std::string& path) {
+    if (!run.isObject()) return fail(path, "epoch run must be an object");
+    const Json* algo = need(run, path, "algo", Json::Type::String);
+    if (!algo) return false;
+    if (algo->asString() != "polylog" && algo->asString() != "wave" &&
+        algo->asString() != "naive")
+      return fail(path + ".algo",
+                  "unknown algorithm '" + algo->asString() + "'");
+    for (const char* key :
+         {"rounds", "wall_ms", "delivers", "beeps", "warm_unions",
+          "cold_unions", "warm_incr_rounds", "warm_rebuild_rounds",
+          "cold_incr_rounds", "cold_rebuild_rounds"}) {
+      if (!need(run, path, key, Json::Type::Number)) return false;
+    }
+    if (!need(run, path, "checker_ok", Json::Type::Bool)) return false;
+    if (!need(run, path, "warm_matches_cold", Json::Type::Bool)) return false;
+    if (!need(run, path, "error", Json::Type::String)) return false;
+    return true;
+  }
+
+  bool validateTimeline(const Json& t, const std::string& path) {
+    if (!t.isObject()) return fail(path, "timeline must be an object");
+    if (!need(t, path, "name", Json::Type::String)) return false;
+    const Json* base = need(t, path, "base", Json::Type::Object);
+    if (!base) return false;
+    if (!need(*base, path + ".base", "name", Json::Type::String)) return false;
+    const Json* shape = need(*base, path + ".base", "shape",
+                             Json::Type::String);
+    if (!shape) return false;
+    Shape parsed;
+    if (!shapeFromString(shape->asString(), &parsed))
+      return fail(path + ".base.shape",
+                  "unknown shape '" + shape->asString() + "'");
+    for (const char* key : {"a", "b", "k", "l", "seed"}) {
+      if (!need(*base, path + ".base", key, Json::Type::Number)) return false;
+    }
+    if (!need(t, path, "timeline_seed", Json::Type::Number)) return false;
+    const Json* epochs = need(t, path, "epochs", Json::Type::Array);
+    if (!epochs) return false;
+    if (epochs->size() == 0) return fail(path + ".epochs", "empty");
+    for (std::size_t i = 0; i < epochs->size(); ++i) {
+      const std::string ep = path + ".epochs[" + std::to_string(i) + "]";
+      const Json& e = epochs->at(i);
+      if (!e.isObject()) return fail(ep, "epoch must be an object");
+      for (const char* key : {"epoch", "applied", "n", "k_eff", "l_eff"}) {
+        if (!need(e, ep, key, Json::Type::Number)) return false;
+      }
+      const Json* mutation = need(e, ep, "mutation", Json::Type::String);
+      if (!mutation) return false;
+      MutationKind kind;
+      if (mutation->asString() != "none" &&
+          !mutationKindFromString(mutation->asString(), &kind))
+        return fail(ep + ".mutation",
+                    "unknown mutation '" + mutation->asString() + "'");
+      const Json* runs = need(e, ep, "runs", Json::Type::Array);
+      if (!runs) return false;
+      if (runs->size() == 0) return fail(ep + ".runs", "empty");
+      for (std::size_t j = 0; j < runs->size(); ++j) {
+        if (!validateEpochRun(runs->at(j),
+                              ep + ".runs[" + std::to_string(j) + "]"))
+          return false;
+      }
+    }
+    return true;
+  }
+
   bool validate(const Json& doc) {
     if (!doc.isObject()) return fail("$", "document must be an object");
     const Json* version = need(doc, "$", "schema_version", Json::Type::Number);
@@ -197,6 +317,16 @@ class Validator {
       if (!validateScenario(scenarios->at(i),
                             "$.scenarios[" + std::to_string(i) + "]"))
         return false;
+    }
+
+    if (const Json* timelines = doc.find("timelines")) {
+      // Optional: present only on dynamic-timeline batches.
+      if (!timelines->isArray()) return fail("$.timelines", "wrong type");
+      for (std::size_t i = 0; i < timelines->size(); ++i) {
+        if (!validateTimeline(timelines->at(i),
+                              "$.timelines[" + std::to_string(i) + "]"))
+          return false;
+      }
     }
 
     const Json* totals = need(doc, "$", "totals", Json::Type::Object);
@@ -285,6 +415,56 @@ BenchReport reportFromJson(const Json& doc) {
     report.scenarios.push_back(std::move(sr));
   }
 
+  if (const Json* timelines = doc.find("timelines")) {
+    for (const Json& t : timelines->items()) {
+      TimelineReport tr;
+      tr.name = t.find("name")->asString();
+      const Json& base = *t.find("base");
+      tr.base.name = base.find("name")->asString();
+      shapeFromString(base.find("shape")->asString(), &tr.base.shape);
+      tr.base.a = static_cast<int>(base.find("a")->asInt());
+      tr.base.b = static_cast<int>(base.find("b")->asInt());
+      tr.base.k = static_cast<int>(base.find("k")->asInt());
+      tr.base.l = static_cast<int>(base.find("l")->asInt());
+      tr.base.seed = static_cast<std::uint64_t>(base.find("seed")->asInt());
+      tr.seed =
+          static_cast<std::uint64_t>(t.find("timeline_seed")->asInt());
+      for (const Json& e : t.find("epochs")->items()) {
+        EpochReport er;
+        er.epoch = static_cast<int>(e.find("epoch")->asInt());
+        er.mutation = e.find("mutation")->asString();
+        er.applied = static_cast<int>(e.find("applied")->asInt());
+        er.n = static_cast<int>(e.find("n")->asInt());
+        er.kEff = static_cast<int>(e.find("k_eff")->asInt());
+        er.lEff = static_cast<int>(e.find("l_eff")->asInt());
+        for (const Json& r : e.find("runs")->items()) {
+          EpochRun run;
+          run.algo = r.find("algo")->asString();
+          run.rounds = static_cast<long>(r.find("rounds")->asInt());
+          run.wallMs = r.find("wall_ms")->asNumber();
+          run.checkerOk = r.find("checker_ok")->asBool();
+          run.error = r.find("error")->asString();
+          run.delivers = static_cast<long>(r.find("delivers")->asInt());
+          run.beeps = static_cast<long>(r.find("beeps")->asInt());
+          run.warmUnions = static_cast<long>(r.find("warm_unions")->asInt());
+          run.coldUnions = static_cast<long>(r.find("cold_unions")->asInt());
+          run.warmIncrRounds =
+              static_cast<long>(r.find("warm_incr_rounds")->asInt());
+          run.warmRebuildRounds =
+              static_cast<long>(r.find("warm_rebuild_rounds")->asInt());
+          run.coldIncrRounds =
+              static_cast<long>(r.find("cold_incr_rounds")->asInt());
+          run.coldRebuildRounds =
+              static_cast<long>(r.find("cold_rebuild_rounds")->asInt());
+          run.warmMatchesCold = r.find("warm_matches_cold")->asBool();
+          er.runs.push_back(std::move(run));
+        }
+        tr.epochs.push_back(std::move(er));
+      }
+      report.timelines.push_back(std::move(tr));
+    }
+  }
+
   const Json& totals = *doc.find("totals");
   report.totalWallMs = totals.find("wall_ms")->asNumber();
   report.peakRssKb = static_cast<long>(totals.find("peak_rss_kb")->asInt());
@@ -358,6 +538,73 @@ bool equalDeterministic(const BenchReport& a, const BenchReport& b,
         return false;
       if (ra.hasPhases && !sameField(ra.phases, rb.phases, rp + ".phases", why))
         return false;
+    }
+  }
+  if (a.timelines.size() != b.timelines.size())
+    return mismatch(why, "$.timelines (length)");
+  for (std::size_t i = 0; i < a.timelines.size(); ++i) {
+    const TimelineReport& ta = a.timelines[i];
+    const TimelineReport& tb = b.timelines[i];
+    const std::string path = "$.timelines[" + std::to_string(i) + "]";
+    if (!sameField(ta.name, tb.name, path + ".name", why)) return false;
+    if (!sameField(ta.base, tb.base, path + ".base", why)) return false;
+    if (!sameField(ta.seed, tb.seed, path + ".timeline_seed", why))
+      return false;
+    if (ta.epochs.size() != tb.epochs.size())
+      return mismatch(why, path + ".epochs (length)");
+    for (std::size_t e = 0; e < ta.epochs.size(); ++e) {
+      const EpochReport& ea = ta.epochs[e];
+      const EpochReport& eb = tb.epochs[e];
+      const std::string ep = path + ".epochs[" + std::to_string(e) + "]";
+      if (!sameField(ea.epoch, eb.epoch, ep + ".epoch", why)) return false;
+      if (!sameField(ea.mutation, eb.mutation, ep + ".mutation", why))
+        return false;
+      if (!sameField(ea.applied, eb.applied, ep + ".applied", why))
+        return false;
+      if (!sameField(ea.n, eb.n, ep + ".n", why)) return false;
+      if (!sameField(ea.kEff, eb.kEff, ep + ".k_eff", why)) return false;
+      if (!sameField(ea.lEff, eb.lEff, ep + ".l_eff", why)) return false;
+      if (ea.runs.size() != eb.runs.size())
+        return mismatch(why, ep + ".runs (length)");
+      for (std::size_t j = 0; j < ea.runs.size(); ++j) {
+        const EpochRun& ra = ea.runs[j];
+        const EpochRun& rb = eb.runs[j];
+        const std::string rp = ep + ".runs[" + std::to_string(j) + "]";
+        if (!sameField(ra.algo, rb.algo, rp + ".algo", why)) return false;
+        if (!sameField(ra.rounds, rb.rounds, rp + ".rounds", why))
+          return false;
+        if (!sameField(ra.checkerOk, rb.checkerOk, rp + ".checker_ok", why))
+          return false;
+        if (!sameField(ra.error, rb.error, rp + ".error", why)) return false;
+        if (!sameField(ra.delivers, rb.delivers, rp + ".delivers", why))
+          return false;
+        if (!sameField(ra.beeps, rb.beeps, rp + ".beeps", why)) return false;
+        if (!sameField(ra.warmMatchesCold, rb.warmMatchesCold,
+                       rp + ".warm_matches_cold", why))
+          return false;
+        if (!modelOnly) {
+          // Substrate-cost deltas: deterministic at any thread setting,
+          // but engine-specific (the rebuild engine has nothing to save).
+          if (!sameField(ra.warmUnions, rb.warmUnions, rp + ".warm_unions",
+                         why))
+            return false;
+          if (!sameField(ra.coldUnions, rb.coldUnions, rp + ".cold_unions",
+                         why))
+            return false;
+          if (!sameField(ra.warmIncrRounds, rb.warmIncrRounds,
+                         rp + ".warm_incr_rounds", why))
+            return false;
+          if (!sameField(ra.warmRebuildRounds, rb.warmRebuildRounds,
+                         rp + ".warm_rebuild_rounds", why))
+            return false;
+          if (!sameField(ra.coldIncrRounds, rb.coldIncrRounds,
+                         rp + ".cold_incr_rounds", why))
+            return false;
+          if (!sameField(ra.coldRebuildRounds, rb.coldRebuildRounds,
+                         rp + ".cold_rebuild_rounds", why))
+            return false;
+        }
+      }
     }
   }
   return true;

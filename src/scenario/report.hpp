@@ -22,6 +22,23 @@
 //                      "decomposition": ..., "merging": ..., "prune": ...}}
 //        ]}
 //     ],
+//     "timelines": [            // optional: dynamic-timeline batches only
+//       {"name": ..., "base": {"name", "shape", "a", "b", "k", "l",
+//                              "seed"},
+//        "timeline_seed": ...,
+//        "epochs": [
+//          {"epoch": E, "mutation": "none|attach|detach|add-dest|...",
+//           "applied": ..., "n": ..., "k_eff": ..., "l_eff": ...,
+//           "runs": [
+//             {"algo": ..., "rounds": R, "wall_ms": T, "checker_ok": bool,
+//              "error": "", "delivers": ..., "beeps": ...,
+//              "warm_unions": ..., "cold_unions": ...,
+//              "warm_incr_rounds": ..., "warm_rebuild_rounds": ...,
+//              "cold_incr_rounds": ..., "cold_rebuild_rounds": ...,
+//              "warm_matches_cold": bool}
+//           ]}
+//        ]}
+//     ],
 //     "totals": {"scenarios": ..., "runs": ..., "wall_ms": ...,
 //                "peak_rss_kb": ...}
 //   }
@@ -89,6 +106,59 @@ struct ScenarioReport {
   bool operator==(const ScenarioReport&) const = default;
 };
 
+// --- Dynamic-timeline records (the `timelines` report section) -----------
+//
+// One EpochRun per (epoch, algorithm): the epoch is solved twice, WARM on
+// the persistent rebound substrate and COLD from scratch as the
+// differential oracle. `rounds`/`delivers`/`beeps`/`checker_ok` describe
+// the warm solve; `warm_matches_cold` asserts the cold oracle reproduced
+// the same forest and the same model-level fields bit-for-bit. The
+// warm_*/cold_* counters are the substrate-cost delta the dynamic tier
+// exists to measure (how much circuit (re)union work the carried-over
+// union-find saves per epoch); like the AlgoRun engine counters they are
+// deterministic at any thread/sim-thread count but excluded from
+// `modelOnly` comparisons.
+
+struct EpochRun {
+  std::string algo;
+  long rounds = 0;          // warm solve (equals cold when matches)
+  double wallMs = 0.0;      // warm solve host wall-clock
+  bool checkerOk = false;
+  std::string error;        // non-empty iff a solve threw / check failed
+  long delivers = 0;
+  long beeps = 0;
+  long warmUnions = 0;
+  long coldUnions = 0;
+  long warmIncrRounds = 0;
+  long warmRebuildRounds = 0;
+  long coldIncrRounds = 0;
+  long coldRebuildRounds = 0;
+  bool warmMatchesCold = false;
+
+  bool operator==(const EpochRun&) const = default;
+};
+
+struct EpochReport {
+  int epoch = 0;                    // 0 = the unmutated base instance
+  std::string mutation = "none";    // MutationKind tag, "none" for epoch 0
+  int applied = 0;                  // primitive mutation steps that landed
+  int n = 0;
+  int kEff = 0;
+  int lEff = 0;
+  std::vector<EpochRun> runs;
+
+  bool operator==(const EpochReport&) const = default;
+};
+
+struct TimelineReport {
+  std::string name;
+  Scenario base;
+  std::uint64_t seed = 0;  // the timeline's mutation seed
+  std::vector<EpochReport> epochs;
+
+  bool operator==(const TimelineReport&) const = default;
+};
+
 struct BenchReport {
   int schemaVersion = kReportSchemaVersion;
   std::string suite;
@@ -101,6 +171,10 @@ struct BenchReport {
   bool timing = true;
   std::string engine = "incremental";  // circuit engine the runs used
   std::vector<ScenarioReport> scenarios;
+  // Dynamic-timeline section (empty for plain scenario batches; the
+  // `timelines` key is then omitted from the JSON, so pre-dynamic reports
+  // and their byte-stable outputs are unchanged).
+  std::vector<TimelineReport> timelines;
   double totalWallMs = 0.0;
   long peakRssKb = 0;
 

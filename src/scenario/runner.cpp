@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "baselines/bfs_wave.hpp"
@@ -168,6 +169,232 @@ BenchReport runBatch(std::string suiteName,
       if (progress) {
         const std::lock_guard<std::mutex> lock(progressMutex);
         progress(sr);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    const CircuitEngine savedEngine = defaultCircuitEngine();
+    const int savedSimThreads = defaultSimThreads();
+    worker();
+    setDefaultCircuitEngine(savedEngine);  // don't leak into the caller
+    setDefaultSimThreads(savedSimThreads);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (options.timing) {
+    const auto batchStop = std::chrono::steady_clock::now();
+    report.totalWallMs =
+        std::chrono::duration<double, std::milli>(batchStop - batchStart)
+            .count();
+    report.peakRssKb = peakRssKb();
+  }
+  return report;
+}
+
+namespace {
+
+/// One solve of the current epoch instance; `substrate` selects the warm
+/// path (nullptr = cold from-scratch oracle).
+struct EpochSolve {
+  std::vector<int> parent;
+  long rounds = 0;
+  SimCounters delta;
+  std::string error;
+};
+
+EpochSolve solveEpoch(const TimelineState& state, Algo algo,
+                      const RunOptions& options, Comm* substrate) {
+  EpochSolve out;
+  const SimCounters before = simCounters();
+  try {
+    switch (algo) {
+      case Algo::Polylog: {
+        const ForestResult r =
+            shortestPathForest(state.region(), state.isSource(),
+                               state.isDest(), options.lanes, Axis::X,
+                               substrate);
+        out.rounds = r.rounds;
+        out.parent = r.parent;
+        break;
+      }
+      case Algo::Wave: {
+        const BfsWaveResult r = bfsWaveForest(
+            state.region(), state.sources(), state.destinations(), substrate);
+        out.rounds = r.rounds;
+        out.parent = r.parent;
+        break;
+      }
+      case Algo::Naive: {
+        // No persistent whole-region protocol phase to warm: the naive
+        // baseline is SSSP-per-source with per-protocol Comms throughout.
+        const NaiveForestResult r = naiveSequentialForest(
+            state.region(), state.isSource(), state.isDest(), options.lanes);
+        out.rounds = r.rounds;
+        out.parent = r.parent;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.delta = simCounters() - before;
+  return out;
+}
+
+EpochRun runEpochAlgo(const TimelineState& state, Algo algo,
+                      const RunOptions& options, Comm* substrate) {
+  EpochRun run;
+  run.algo = std::string(toString(algo));
+
+  const auto start = std::chrono::steady_clock::now();
+  const EpochSolve warm = solveEpoch(state, algo, options, substrate);
+  const auto stop = std::chrono::steady_clock::now();
+  // Without a substrate the "warm" solve already IS a cold from-scratch
+  // solve; repeating the identical deterministic computation would buy
+  // nothing (run-to-run determinism is covered by the CI two-run byte
+  // compare), and the naive baseline dominates the suite's wall time.
+  const EpochSolve cold =
+      substrate ? solveEpoch(state, algo, options, nullptr) : warm;
+
+  run.rounds = warm.rounds;
+  run.delivers = warm.delta.delivers;
+  run.beeps = warm.delta.beeps;
+  run.warmUnions = warm.delta.unions;
+  run.coldUnions = cold.delta.unions;
+  run.warmIncrRounds = warm.delta.incrementalRounds;
+  run.warmRebuildRounds = warm.delta.rebuildRounds;
+  run.coldIncrRounds = cold.delta.incrementalRounds;
+  run.coldRebuildRounds = cold.delta.rebuildRounds;
+  if (options.timing) {
+    run.wallMs =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+  }
+  if (!warm.error.empty()) {
+    run.error = "warm: " + warm.error;
+  } else if (!cold.error.empty()) {
+    run.error = "cold: " + cold.error;
+  }
+  // The differential oracle: the warm solve must reproduce the cold solve
+  // bit-for-bit at the model level (forest, rounds, delivers, beeps) --
+  // only the substrate counters may differ, that being the point.
+  run.warmMatchesCold =
+      run.error.empty() && warm.parent == cold.parent &&
+      warm.rounds == cold.rounds &&
+      warm.delta.delivers == cold.delta.delivers &&
+      warm.delta.beeps == cold.delta.beeps;
+
+  if (run.error.empty()) {
+    if (options.check) {
+      const ForestCheck check =
+          checkShortestPathForest(state.region(), warm.parent,
+                                  state.sources(), state.destinations());
+      run.checkerOk = check.ok;
+      if (!check.ok) run.error = check.error;
+    } else {
+      run.checkerOk = true;  // unchecked runs are reported as trusted
+    }
+  }
+  return run;
+}
+
+TimelineReport runTimeline(const Timeline& timeline,
+                           const RunOptions& options, int simThreads,
+                           int maxEpochs) {
+  TimelineReport tr;
+  tr.name = timeline.name;
+  tr.base = timeline.base;
+  tr.seed = timeline.seed;
+
+  TimelineState state(timeline);
+  const bool wantWave =
+      std::find(options.algos.begin(), options.algos.end(), Algo::Wave) !=
+      options.algos.end();
+  const bool wantPolylog =
+      std::find(options.algos.begin(), options.algos.end(), Algo::Polylog) !=
+      options.algos.end();
+
+  // The persistent warm substrates -- the state this whole subsystem
+  // exists to exercise. Same construction parameters as the cold solves'
+  // own Comms, so warm and cold counters are directly comparable.
+  std::optional<Comm> waveComm;
+  std::optional<Comm> forestComm;
+  if (wantWave)
+    waveComm.emplace(state.region(), 1, options.engine, simThreads);
+  if (wantPolylog)
+    forestComm.emplace(state.region(), options.lanes, options.engine,
+                       simThreads);
+
+  int epochCount = timeline.epochs();
+  if (maxEpochs > 0) epochCount = std::min(epochCount, maxEpochs);
+  for (int e = 0; e < epochCount; ++e) {
+    EpochReport er;
+    er.epoch = e;
+    if (e > 0) {
+      const EpochDelta delta = state.advance();
+      er.mutation = std::string(toString(delta.kind));
+      er.applied = delta.applied;
+      if (waveComm) waveComm->rebind(state.region(), delta.oldLocalOfNew);
+      if (forestComm) forestComm->rebind(state.region(), delta.oldLocalOfNew);
+    }
+    er.n = state.n();
+    er.kEff = static_cast<int>(state.sources().size());
+    er.lEff = static_cast<int>(state.destinations().size());
+    for (const Algo a : options.algos) {
+      Comm* substrate = nullptr;
+      if (a == Algo::Wave && waveComm) substrate = &*waveComm;
+      if (a == Algo::Polylog && forestComm) substrate = &*forestComm;
+      er.runs.push_back(runEpochAlgo(state, a, options, substrate));
+    }
+    tr.epochs.push_back(std::move(er));
+  }
+  return tr;
+}
+
+}  // namespace
+
+BenchReport runTimelineBatch(std::string suiteName,
+                             const std::vector<Timeline>& timelines,
+                             const RunOptions& options, int maxEpochs,
+                             const TimelineProgressFn& progress) {
+  BenchReport report;
+  report.suite = std::move(suiteName);
+  for (const Algo a : options.algos)
+    report.algos.emplace_back(toString(a));
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads =
+      std::min(threads, std::max(1, static_cast<int>(timelines.size())));
+  report.threads = threads;
+  report.simThreads = std::clamp(options.simThreads, 1, kMaxSimThreads);
+  report.lanes = options.lanes;
+  report.check = options.check;
+  report.timing = options.timing;
+  report.engine = options.engine == CircuitEngine::Rebuild ? "rebuild"
+                                                           : "incremental";
+  report.timelines.resize(timelines.size());
+
+  const auto batchStart = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  std::mutex progressMutex;
+  auto worker = [&] {
+    setDefaultCircuitEngine(options.engine);  // thread_local: the cold
+    setDefaultSimThreads(report.simThreads);  // solves' internal Comms
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= timelines.size()) return;
+      report.timelines[i] =
+          runTimeline(timelines[i], options, report.simThreads, maxEpochs);
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progressMutex);
+        progress(report.timelines[i]);
       }
     }
   };

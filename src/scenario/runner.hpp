@@ -23,6 +23,7 @@
 
 #include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/timeline.hpp"
 #include "sim/comm.hpp"
 
 namespace aspf::scenario {
@@ -69,5 +70,31 @@ BenchReport runBatch(std::string suiteName,
 /// Peak resident set size of this process in kilobytes (VmHWM), or 0 where
 /// unsupported.
 long peakRssKb();
+
+/// Progress hook for timeline batches, called after each finished timeline
+/// (serialized by the runner). May be empty.
+using TimelineProgressFn = std::function<void(const TimelineReport&)>;
+
+/// The dynamic epoch loop. For every timeline: materialize epoch 0, then
+/// per epoch (mutate first for epochs >= 1) solve every selected algorithm
+/// twice --
+///   WARM on persistent substrate Comms that survive the whole timeline
+///   (one lanes-1 Comm for the wave, one lanes-L Comm for the polylog
+///   preprocessing phase), Comm::rebind()-ed onto each mutated structure
+///   so the circuit repair is incremental, and
+///   COLD from scratch, the differential oracle --
+/// check the warm forest with the five-property checker, and record the
+/// per-epoch model fields plus the warm-vs-cold substrate counter deltas
+/// (EpochRun). Determinism matches runBatch: every deterministic field is
+/// bit-identical across runs, `threads` (timelines are distributed over
+/// the pool; each timeline is sequential) and `sim-threads`.
+///
+/// `maxEpochs` > 0 truncates every timeline to that many epochs (including
+/// epoch 0); 0 runs them in full. The returned report carries the records
+/// in `timelines` (its `scenarios` section is empty).
+BenchReport runTimelineBatch(std::string suiteName,
+                             const std::vector<Timeline>& timelines,
+                             const RunOptions& options, int maxEpochs = 0,
+                             const TimelineProgressFn& progress = {});
 
 }  // namespace aspf::scenario

@@ -19,6 +19,7 @@ std::string_view toString(Shape shape) {
     case Shape::RandomSpider: return "spider";
     case Shape::Zigzag: return "zigzag";
     case Shape::DiamondChain: return "diamondchain";
+    case Shape::FuzzBlob: return "fuzzblob";
   }
   return "?";
 }
@@ -27,7 +28,7 @@ bool shapeFromString(std::string_view tag, Shape* out) {
   for (const Shape s :
        {Shape::Parallelogram, Shape::Triangle, Shape::Hexagon, Shape::Line,
         Shape::Comb, Shape::Staircase, Shape::RandomBlob, Shape::RandomSpider,
-        Shape::Zigzag, Shape::DiamondChain}) {
+        Shape::Zigzag, Shape::DiamondChain, Shape::FuzzBlob}) {
     if (tag == toString(s)) {
       *out = s;
       return true;
@@ -98,6 +99,8 @@ AmoebotStructure buildShape(const Scenario& sc) {
       return shapes::zigzag(sc.a, sc.b);
     case Shape::DiamondChain:
       return shapes::diamondChain(sc.a, sc.b);
+    case Shape::FuzzBlob:
+      return shapes::fuzzBlob(sc.a, sc.seed);
   }
   throw std::invalid_argument("buildShape: unknown shape family");
 }

@@ -34,6 +34,7 @@ enum class Shape {
   RandomSpider,   // a arms of length b, thin high-diameter instance
   Zigzag,         // a segments of length b, thin huge-diameter snake
   DiamondChain,   // a hexagons of radius b joined by 1-wide bridges
+  FuzzBlob,       // exactly a amoebots, pure single-arc accretion growth
 };
 
 /// Canonical lower-case tag used in scenario names and on the CLI

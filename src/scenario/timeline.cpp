@@ -1,0 +1,197 @@
+#include "scenario/timeline.hpp"
+
+#include <stdexcept>
+
+#include "shapes/generators.hpp"
+
+namespace aspf::scenario {
+
+std::string_view toString(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::AttachPatch: return "attach";
+    case MutationKind::DetachPatch: return "detach";
+    case MutationKind::AddDest: return "add-dest";
+    case MutationKind::RemoveDest: return "remove-dest";
+    case MutationKind::RelocateDest: return "relocate-dest";
+    case MutationKind::ToggleSource: return "toggle-source";
+  }
+  return "?";
+}
+
+bool mutationKindFromString(std::string_view tag, MutationKind* out) {
+  for (const MutationKind k : kAllMutationKinds) {
+    if (tag == toString(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// DetachPatch never shrinks a structure below this many amoebots: tiny
+// regions degenerate (every cell becomes a cut or an S/D member) and the
+// solver edge cases below it are covered by dedicated unit tests.
+constexpr int kMinDynamicN = 8;
+
+const Coord& nth(const std::set<Coord>& set, std::size_t index) {
+  auto it = set.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(index));
+  return *it;
+}
+
+}  // namespace
+
+TimelineState::TimelineState(const Timeline& timeline)
+    : timeline_(&timeline),
+      // Own stream, decorrelated from the base scenario's placement
+      // stream; the derivation is frozen (epoch sequences are replayed
+      // by timeline name alone).
+      rng_(timeline.seed * 0x9E3779B97F4A7C15ULL + 0xD6E8FEB86659FD93ULL) {
+  const BuiltScenario built(timeline.base);
+  const AmoebotStructure& st = built.structure();
+  for (int i = 0; i < built.n(); ++i) occupied_.insert(st.coordOf(i));
+  for (const int s : built.instance().sources)
+    sourceCoords_.insert(st.coordOf(s));
+  for (const int t : built.instance().destinations)
+    destCoords_.insert(st.coordOf(t));
+  materialize();
+}
+
+void TimelineState::materialize() {
+  structure_ = std::make_unique<AmoebotStructure>(AmoebotStructure::fromCoords(
+      std::vector<Coord>(occupied_.begin(), occupied_.end())));
+  region_ = std::make_unique<Region>(Region::whole(*structure_));
+  const int n = region_->size();
+  sources_.clear();
+  dests_.clear();
+  isSource_.assign(n, 0);
+  isDest_.assign(n, 0);
+  for (int i = 0; i < n; ++i) {
+    const Coord c = structure_->coordOf(i);
+    if (sourceCoords_.contains(c)) {
+      isSource_[i] = 1;
+      sources_.push_back(i);
+    }
+    if (destCoords_.contains(c)) {
+      isDest_[i] = 1;
+      dests_.push_back(i);
+    }
+  }
+}
+
+EpochDelta TimelineState::advance() {
+  if (done())
+    throw std::logic_error("TimelineState::advance: past the last epoch");
+  const Mutation& mutation = timeline_->mutations[epoch_];
+  EpochDelta delta;
+  delta.epoch = ++epoch_;
+  delta.kind = mutation.kind;
+
+  const auto isOccupied = [this](Coord c) { return occupied_.contains(c); };
+
+  // Primitive steps. Candidate pools are enumerated in sorted coordinate
+  // order and indexed with the timeline Rng, so the whole epoch sequence
+  // is a pure function of (timeline, seed). A step with an empty pool is
+  // skipped (not counted in `applied`).
+  const auto attachOne = [&]() -> bool {
+    std::set<Coord> boundary;
+    for (const Coord c : occupied_) {
+      for (const Dir d : kAllDirs) {
+        const Coord nb = c.neighbor(d);
+        if (!occupied_.contains(nb)) boundary.insert(nb);
+      }
+    }
+    std::vector<Coord> valid;
+    for (const Coord c : boundary) {
+      if (shapes::neighborArcs(c, isOccupied) == 1) valid.push_back(c);
+    }
+    if (valid.empty()) return false;
+    occupied_.insert(valid[rng_.below(valid.size())]);
+    ++delta.attached;
+    return true;
+  };
+
+  const auto detachOne = [&]() -> bool {
+    if (static_cast<int>(occupied_.size()) <= kMinDynamicN) return false;
+    std::vector<Coord> valid;
+    for (const Coord c : occupied_) {
+      if (sourceCoords_.contains(c) || destCoords_.contains(c)) continue;
+      if (shapes::neighborArcs(c, isOccupied) == 1) valid.push_back(c);
+    }
+    if (valid.empty()) return false;
+    occupied_.erase(valid[rng_.below(valid.size())]);
+    ++delta.detached;
+    return true;
+  };
+
+  const auto addDestOne = [&]() -> bool {
+    std::vector<Coord> pool;
+    for (const Coord c : occupied_) {
+      if (!destCoords_.contains(c)) pool.push_back(c);
+    }
+    if (pool.empty()) return false;
+    destCoords_.insert(pool[rng_.below(pool.size())]);
+    return true;
+  };
+
+  const auto removeDestOne = [&](bool keepOne) -> bool {
+    if (destCoords_.size() <= (keepOne ? 1u : 0u)) return false;
+    destCoords_.erase(nth(destCoords_, rng_.below(destCoords_.size())));
+    return true;
+  };
+
+  const auto toggleSourceOne = [&]() -> bool {
+    const bool remove = (rng_.next() & 1) != 0 && sourceCoords_.size() > 1;
+    if (remove) {
+      sourceCoords_.erase(nth(sourceCoords_, rng_.below(sourceCoords_.size())));
+      return true;
+    }
+    std::vector<Coord> pool;
+    for (const Coord c : occupied_) {
+      if (!sourceCoords_.contains(c)) pool.push_back(c);
+    }
+    if (pool.empty()) return false;
+    sourceCoords_.insert(pool[rng_.below(pool.size())]);
+    return true;
+  };
+
+  for (int step = 0; step < mutation.count; ++step) {
+    bool applied = false;
+    switch (mutation.kind) {
+      case MutationKind::AttachPatch: applied = attachOne(); break;
+      case MutationKind::DetachPatch: applied = detachOne(); break;
+      case MutationKind::AddDest: applied = addDestOne(); break;
+      case MutationKind::RemoveDest:
+        applied = removeDestOne(/*keepOne=*/true);
+        break;
+      case MutationKind::RelocateDest:
+        applied = removeDestOne(/*keepOne=*/false) && addDestOne();
+        break;
+      case MutationKind::ToggleSource: applied = toggleSourceOne(); break;
+    }
+    if (applied) ++delta.applied;
+  }
+
+  // Re-materialize; the outgoing structure/region stay alive until the
+  // next advance() so Comm::rebind can consult old adjacency.
+  prevStructure_ = std::move(structure_);
+  prevRegion_ = std::move(region_);
+  materialize();
+
+  delta.oldLocalOfNew.resize(static_cast<std::size_t>(n()));
+  for (int i = 0; i < n(); ++i)
+    delta.oldLocalOfNew[i] = prevStructure_->idOf(structure_->coordOf(i));
+
+  // Safety net: the mutation rules preserve these by construction.
+  if (sources_.empty() || dests_.empty() || !structure_->isConnected() ||
+      !structure_->isHoleFree()) {
+    throw std::logic_error("TimelineState::advance: epoch " +
+                           std::to_string(epoch_) + " of " + timeline_->name +
+                           " broke a structure invariant");
+  }
+  return delta;
+}
+
+}  // namespace aspf::scenario

@@ -1,0 +1,161 @@
+#pragma once
+// Dynamic scenario timelines: the vocabulary for SPF workloads over
+// *mutating* amoebot structures. A Timeline pins a base Scenario (epoch 0)
+// plus an ordered script of seeded structure/instance mutations; epoch e
+// (1-based) applies mutations[e-1] and re-solves. Everything derives from
+// the timeline's own seed -- like Scenario, a timeline name replays the
+// exact same epoch sequence on every platform, at any thread or sim-thread
+// count, with either circuit engine.
+//
+// Mutation semantics (all deterministic given the state + the timeline
+// Rng stream):
+//   AttachPatch   grow the boundary by `count` cells, each a uniformly
+//                 random empty cell whose occupied neighbors form a single
+//                 arc (shapes::neighborArcs) -- connectivity and
+//                 hole-freeness are preserved after EVERY cell, which is
+//                 what lets the warm circuit substrate repair rather than
+//                 rebuild.
+//   DetachPatch   shrink the boundary by `count` cells, each a uniformly
+//                 random occupied non-source/non-destination cell whose
+//                 occupied neighbors form a single arc (same invariant,
+//                 from the occupied side). Never shrinks below 8 amoebots.
+//   AddDest       mark `count` uniformly random non-destination cells.
+//   RemoveDest    unmark `count` uniformly random destinations, always
+//                 keeping at least one.
+//   RelocateDest  RemoveDest + AddDest, `count` times (|D| preserved).
+//   ToggleSource  `count` times: one Rng bit decides add-vs-remove; adds a
+//                 uniformly random non-source cell, or removes a uniformly
+//                 random source -- always keeping at least one source.
+// A mutation step whose candidate pool is empty is skipped (recorded in
+// the EpochDelta counts), so timelines never fail on degenerate states.
+//
+// TimelineState is the materialized, epoch-stepped instance. Structure ids
+// are canonical (coordinates in sorted order), so every epoch is a
+// plain BuiltScenario-style (structure, region, S/D) snapshot; advance()
+// additionally reports the old-local-of-new id mapping that
+// Comm::rebind() needs for the warm substrate, and keeps the previous
+// epoch's structure alive until the NEXT advance() so rebinding can
+// consult old adjacency.
+//
+// Thread-safety: value semantics, no global state; distinct TimelineStates
+// may live on distinct threads (the dynamic runner walks one timeline per
+// worker).
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace aspf::scenario {
+
+enum class MutationKind {
+  AttachPatch,
+  DetachPatch,
+  AddDest,
+  RemoveDest,
+  RelocateDest,
+  ToggleSource,
+};
+
+inline constexpr std::array<MutationKind, 6> kAllMutationKinds{
+    MutationKind::AttachPatch,  MutationKind::DetachPatch,
+    MutationKind::AddDest,      MutationKind::RemoveDest,
+    MutationKind::RelocateDest, MutationKind::ToggleSource,
+};
+
+/// Canonical tag (`attach`, `detach`, `add-dest`, `remove-dest`,
+/// `relocate-dest`, `toggle-source`) used in reports and test names.
+std::string_view toString(MutationKind kind);
+bool mutationKindFromString(std::string_view tag, MutationKind* out);
+
+struct Mutation {
+  MutationKind kind = MutationKind::AttachPatch;
+  int count = 1;  // primitive steps applied by this epoch's mutation
+
+  bool operator==(const Mutation&) const = default;
+};
+
+struct Timeline {
+  std::string name;  // stable id, e.g. `dyn_comb10x8_k5_l12_s1`
+  Scenario base;     // the epoch-0 instance
+  std::vector<Mutation> mutations;  // epoch e applies mutations[e - 1]
+  std::uint64_t seed = 1;           // drives all mutation randomness
+
+  /// Total epoch count including epoch 0.
+  int epochs() const noexcept {
+    return static_cast<int>(mutations.size()) + 1;
+  }
+
+  bool operator==(const Timeline&) const = default;
+};
+
+/// What one advance() did: the mutation kind, how many primitive steps
+/// actually applied (pool-empty steps are skipped), and the warm-rebind
+/// id mapping.
+struct EpochDelta {
+  int epoch = 0;  // the epoch just entered (>= 1)
+  MutationKind kind = MutationKind::AttachPatch;
+  int applied = 0;   // primitive steps that found a candidate
+  int attached = 0;  // amoebots added (AttachPatch)
+  int detached = 0;  // amoebots removed (DetachPatch)
+  /// oldLocalOfNew[i]: previous-epoch local id of the amoebot now at
+  /// local id i, or -1 if newly attached (Comm::rebind's mapping).
+  std::vector<int> oldLocalOfNew;
+};
+
+class TimelineState {
+ public:
+  explicit TimelineState(const Timeline& timeline);
+
+  const Timeline& timeline() const noexcept { return *timeline_; }
+  int epoch() const noexcept { return epoch_; }
+  bool done() const noexcept {
+    return epoch_ >= static_cast<int>(timeline_->mutations.size());
+  }
+
+  const AmoebotStructure& structure() const noexcept { return *structure_; }
+  const Region& region() const noexcept { return *region_; }
+  int n() const noexcept { return region_->size(); }
+  const std::vector<int>& sources() const noexcept { return sources_; }
+  const std::vector<int>& destinations() const noexcept { return dests_; }
+  const std::vector<char>& isSource() const noexcept { return isSource_; }
+  const std::vector<char>& isDest() const noexcept { return isDest_; }
+
+  /// Applies the next mutation and rebuilds the structure/region/instance.
+  /// The previous epoch's structure and region stay alive until the next
+  /// advance() (or destruction), so callers may Comm::rebind() against
+  /// the returned mapping right away. Throws std::logic_error if called
+  /// past the last epoch or if a mutation ever breaks the connectivity /
+  /// hole-freeness invariants (the mutation rules make that impossible;
+  /// the check is the dynamic tier's safety net).
+  EpochDelta advance();
+
+ private:
+  void materialize();  // coords_/S/D sets -> structure/region/instance
+
+  const Timeline* timeline_;
+  Rng rng_;
+  int epoch_ = 0;
+
+  // Mutation-side state, keyed by coordinate so it survives re-indexing.
+  std::set<Coord> occupied_;
+  std::set<Coord> sourceCoords_;
+  std::set<Coord> destCoords_;
+
+  // Materialized epoch (current ids follow sorted coordinate order).
+  std::unique_ptr<AmoebotStructure> structure_;
+  std::unique_ptr<Region> region_;
+  std::unique_ptr<AmoebotStructure> prevStructure_;
+  std::unique_ptr<Region> prevRegion_;
+  std::vector<int> sources_;
+  std::vector<int> dests_;
+  std::vector<char> isSource_;
+  std::vector<char> isDest_;
+};
+
+}  // namespace aspf::scenario

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <set>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -206,6 +207,42 @@ AmoebotStructure randomBlob(int targetSize, std::uint64_t seed) {
   }
   std::vector<Coord> coords(set.begin(), set.end());
   return fillHoles(std::move(coords));
+}
+
+AmoebotStructure fuzzBlob(int targetSize, std::uint64_t seed) {
+  if (targetSize < 1)
+    throw std::invalid_argument("fuzzBlob: targetSize must be >= 1");
+  // Decorrelated from randomBlob's stream so fuzzBlob(s, k) never mirrors
+  // randomBlob(s, k); the mix constant is fixed forever (fuzz instances
+  // are replayed by seed).
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xF0E1D2C3B4A59687ULL);
+  std::set<Coord> occupied{{0, 0}};
+  std::set<Coord> frontier;  // empty cells adjacent to the blob, ordered
+  auto expandFrontier = [&](Coord c) {
+    for (Dir d : kAllDirs) {
+      const Coord nb = c.neighbor(d);
+      if (!occupied.contains(nb)) frontier.insert(nb);
+    }
+  };
+  expandFrontier({0, 0});
+  const auto isOccupied = [&](Coord c) { return occupied.contains(c); };
+  std::vector<Coord> valid;
+  while (static_cast<int>(occupied.size()) < targetSize) {
+    // Only single-arc frontier cells are attachable this step; multi-arc
+    // (concave-contact) cells stay in the frontier and typically become
+    // attachable once a neighbor joins.
+    valid.clear();
+    for (const Coord c : frontier) {
+      if (neighborArcs(c, isOccupied) == 1) valid.push_back(c);
+    }
+    if (valid.empty()) break;  // unreachable: a boundary extreme is valid
+    const Coord c = valid[rng.below(valid.size())];
+    frontier.erase(c);
+    occupied.insert(c);
+    expandFrontier(c);
+  }
+  return AmoebotStructure::fromCoords(
+      std::vector<Coord>(occupied.begin(), occupied.end()));
 }
 
 AmoebotStructure randomSpider(int arms, int armLength, std::uint64_t seed) {

@@ -50,6 +50,41 @@ AmoebotStructure diamondChain(int count, int radius);
 /// targetSize).
 AmoebotStructure randomBlob(int targetSize, std::uint64_t seed);
 
+/// Number of maximal runs ("arcs") of occupied cells in the cyclic
+/// 6-neighborhood of c. In the triangular grid two cyclically consecutive
+/// neighbors of a cell are themselves adjacent, which makes this the local
+/// simple-cell criterion shared by the accretion generators and the
+/// dynamic-timeline structure mutations:
+///   - an EMPTY cell with exactly one occupied arc can be attached without
+///     creating a hole (its empty neighbors stay connected to each other
+///     around it) while keeping the structure connected;
+///   - an OCCUPIED cell with exactly one occupied arc (necessarily <= 5
+///     occupied neighbors; 6 count as zero arcs) can be detached without
+///     disconnecting the structure (the arc reroutes every path through
+///     it) or creating a hole (it has an empty neighbor to join the
+///     outer complement).
+template <class OccupiedFn>
+int neighborArcs(Coord c, OccupiedFn&& occupied) {
+  int arcs = 0;
+  bool prev = occupied(c.neighbor(static_cast<Dir>(kNumDirs - 1)));
+  for (int d = 0; d < kNumDirs; ++d) {
+    const bool cur = occupied(c.neighbor(static_cast<Dir>(d)));
+    if (cur && !prev) ++arcs;
+    prev = cur;
+  }
+  return arcs;
+}
+
+/// Random connected hole-free blob of EXACTLY `targetSize` amoebots, grown
+/// one cell at a time by seeded boundary accretion: every step attaches a
+/// uniformly random boundary cell whose occupied neighbors form a single
+/// arc (see neighborArcs), so the structure is connected and hole-free
+/// after every step -- no post-hoc hole filling, unlike randomBlob, which
+/// makes the growth dynamics (and the resulting outlines) genuinely
+/// different per seed. Deterministic per (targetSize, seed); the
+/// property-based fuzz conformance tier draws its instances from here.
+AmoebotStructure fuzzBlob(int targetSize, std::uint64_t seed);
+
 /// Random hole-free "spider": several random-walk arms from the origin,
 /// thickened by 1; sparse, high-diameter instances. Hole-filled.
 AmoebotStructure randomSpider(int arms, int armLength, std::uint64_t seed);

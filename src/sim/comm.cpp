@@ -557,6 +557,17 @@ void Comm::deliver() {
 
   dirtyList_.clear();
   collectDirty();
+  if (!rebindDirty_.empty()) {
+    // A rebind() preceded this round: merge the structurally invalidated
+    // amoebots with the protocol-dirty ones (deduplicated, so dirty
+    // counters stay exact) before the incremental-vs-rebuild decision.
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const int a : dirtyList_) seen[a] = 1;
+    for (const int a : rebindDirty_) {
+      if (!seen[a]) dirtyList_.push_back(a);
+    }
+    rebindDirty_.clear();
+  }
   if (engine_ == CircuitEngine::Rebuild || !everDelivered_ ||
       static_cast<long>(dirtyList_.size()) * kRebuildDivisor >=
           static_cast<long>(n)) {
@@ -580,6 +591,118 @@ void Comm::deliver() {
   scatterBeeps();
   ++rounds_;
   ++counters.delivers;
+}
+
+void Comm::rebind(const Region& newRegion,
+                  std::span<const int> oldLocalOfNew) {
+  const int oldN = region_->size();
+  const int newN = newRegion.size();
+  if (static_cast<int>(oldLocalOfNew.size()) != newN)
+    throw std::invalid_argument(
+        "Comm::rebind: mapping size does not match the new region");
+
+  // Validate the whole mapping BEFORE touching any state: a rejected
+  // rebind must leave the Comm exactly as it was (dirty tracking
+  // included), so the caller can recover from the exception.
+  std::vector<int> newLocalOfOld(oldN, -1);
+  for (int i = 0; i < newN; ++i) {
+    const int o = oldLocalOfNew[i];
+    if (o < -1 || o >= oldN)
+      throw std::invalid_argument("Comm::rebind: old local id out of range");
+    if (o >= 0) {
+      if (newLocalOfOld[o] != -1)
+        throw std::invalid_argument(
+            "Comm::rebind: duplicate old local id in mapping");
+      newLocalOfOld[o] = i;
+    }
+  }
+
+  // Flush mutations the protocol issued after its last deliver(): their
+  // circuits were never recomputed, so the owning amoebots must join the
+  // post-rebind dirty set. This also reconciles the arena's successor
+  // lists, which remap() copies verbatim.
+  std::vector<int> oldDirty;
+  arena_.takeDirty(&oldDirty);
+  std::vector<std::uint8_t> oldDirtyFlag(oldN, 0);
+  for (const int a : oldDirty) oldDirtyFlag[a] = 1;
+  for (const int a : rebindDirty_) oldDirtyFlag[a] = 1;  // back-to-back rebinds
+  rebindDirty_.clear();
+
+  // Dirty iff newly attached, carried over undelivered mutations, or the
+  // 6-neighborhood changed (a neighbor appeared, vanished, or is now a
+  // different physical amoebot). Every surviving fragment of a circuit
+  // that lost a pin contains a former neighbor of a removed amoebot --
+  // covered here -- so the next deliver()'s affected-closure traversal
+  // provably reaches all of it (see docs/ARCHITECTURE.md).
+  std::vector<std::uint8_t> dirty(newN, 0);
+  for (int i = 0; i < newN; ++i) {
+    const int o = oldLocalOfNew[i];
+    bool d = o < 0 || oldDirtyFlag[o];
+    if (!d) {
+      for (int di = 0; di < kNumDirs; ++di) {
+        const int ob = region_->neighbor(o, static_cast<Dir>(di));
+        const int nb = newRegion.neighbor(i, static_cast<Dir>(di));
+        // Changed iff the slot gained a neighbor, lost one (a removed old
+        // neighbor maps to -1, which must NOT compare equal to "empty"),
+        // or now holds a different physical amoebot.
+        const bool changed =
+            ob < 0 ? nb >= 0 : (nb < 0 || newLocalOfOld[ob] != nb);
+        if (changed) {
+          d = true;
+          break;
+        }
+      }
+    }
+    dirty[i] = d;
+  }
+
+  // Union-find carry-over: permute the surviving pin nodes, giving every
+  // old circuit one deterministic surviving representative (the first
+  // member in ascending new pin-node order). Circuits that lost members
+  // are repaired by the traversal; the rest stay correct as-is.
+  const std::size_t newPins = static_cast<std::size_t>(newN) * ppa_;
+  std::vector<int> newDsu(newPins, -1);
+  std::vector<int> repOfOldRoot(dsu_.size(), -1);
+  for (int i = 0; i < newN; ++i) {
+    const int o = oldLocalOfNew[i];
+    if (o < 0) continue;
+    for (int p = 0; p < ppa_; ++p) {
+      const int node = i * ppa_ + p;
+      int& rep = repOfOldRoot[findRootConst(o * ppa_ + p)];
+      if (rep < 0) {
+        rep = node;  // stays a root; its (negative) size grows below
+      } else {
+        newDsu[node] = rep;
+        --newDsu[rep];
+      }
+    }
+  }
+  dsu_ = std::move(newDsu);
+
+  arena_.remap(newN, oldLocalOfNew, shardCountFor(newN, simThreads_));
+  sharded_ = arena_.shardCount() > 1;
+  shards_.clear();
+  inbox_.clear();
+  if (sharded_) {
+    const int shardCount = arena_.shardCount();
+    shards_.resize(shardCount);
+    for (Shard& s : shards_) s.outbox.resize(shardCount);
+    inbox_.resize(shardCount);
+  }
+  beepEpoch_.assign(newPins, 0);  // invalidates all received() state
+  if (engine_ == CircuitEngine::Incremental) {
+    pinVisited_.assign(newPins, 0);
+    dirtyFlag_.assign(newN, 0);
+  }
+  pendingBeeps_.clear();
+  visitedPins_.clear();
+  dirtyList_.clear();
+  beepRoots_.clear();
+  for (int i = 0; i < newN; ++i) {
+    if (dirty[i]) rebindDirty_.push_back(i);
+  }
+  region_ = &newRegion;
+  rounds_ = 0;  // a rebind starts a new protocol execution
 }
 
 bool Comm::received(int local, int label) const {

@@ -153,6 +153,30 @@ class Comm {
   /// configurations and delivers all queued beeps.
   void deliver();
 
+  /// Warm restart onto a mutated structure (the dynamic-timeline surface):
+  /// re-points this Comm at `newRegion`, whose amoebot i inherits the pin
+  /// configuration and circuit membership of previous local id
+  /// `oldLocalOfNew[i]` (-1 => newly attached, starts as singletons).
+  /// The persistent union-find is carried over: every surviving old
+  /// circuit keeps a deterministic surviving representative, and exactly
+  /// the amoebots that are new, lost/gained/renumbered a neighbor, or had
+  /// undelivered mutations are queued as dirty for the next deliver(),
+  /// which then repairs only the affected circuits incrementally (or
+  /// falls back to a rebuild under the usual budget rules). Rounds reset
+  /// to 0 (a rebind starts a new protocol execution), queued beeps are
+  /// dropped, and all received() state is invalidated -- observables after
+  /// the first post-rebind deliver() are bit-identical to a cold Comm on
+  /// `newRegion` with the same configurations, at any engine/sim-thread
+  /// setting.
+  ///
+  /// Preconditions (std::invalid_argument otherwise): the mapping has one
+  /// entry per new amoebot, entries are -1 or distinct valid old ids. The
+  /// previously bound Region must stay alive until rebind returns (old
+  /// adjacency is consulted); `newRegion` must outlive the Comm. Both
+  /// regions must be whole-structure regions of their structures in the
+  /// sense that the mapping describes the same physical amoebots.
+  void rebind(const Region& newRegion, std::span<const int> oldLocalOfNew);
+
   /// True iff the partition set with this label received a beep in the last
   /// round.
   bool received(int local, int label) const;
@@ -240,6 +264,11 @@ class Comm {
   std::vector<std::uint8_t> pinVisited_;   // per pin node
   std::vector<int> visitedPins_;           // doubles as the BFS queue
   long unionsScratch_ = 0;                 // flushed per deliver
+
+  // Amoebots whose circuits were invalidated by a rebind() (new-region
+  // local ids); merged into dirtyList_ at the next deliver() so the
+  // incremental engine re-forms exactly the affected circuits.
+  std::vector<int> rebindDirty_;
 
   // Sharded-engine scratch (allocated only when sharded_). Each shard's
   // block is written exclusively by the task running that shard; the

@@ -136,6 +136,52 @@ void PinArena::takeDirty(std::vector<int>* out) {
   for (int s = 0; s < shardCount_; ++s) takeDirtyShard(s, out);
 }
 
+void PinArena::remap(int newN, std::span<const int> oldOf, int shardCount) {
+  if (newN < 0) throw std::invalid_argument("PinArena::remap: negative size");
+  if (static_cast<int>(oldOf.size()) != newN)
+    throw std::invalid_argument(
+        "PinArena::remap: mapping size does not match the new amoebot count");
+  const std::size_t bytes = static_cast<std::size_t>(newN) * kPinStride;
+  std::vector<std::int8_t> labels(bytes);
+  std::vector<std::int8_t> next(bytes);
+  std::vector<std::uint8_t> joined(newN, 0);
+  for (int i = 0; i < newN; ++i) {
+    const int o = oldOf[i];
+    std::int8_t* l = labels.data() + static_cast<std::size_t>(i) * kPinStride;
+    std::int8_t* nx = next.data() + static_cast<std::size_t>(i) * kPinStride;
+    if (o >= 0) {
+      if (o >= n_)
+        throw std::invalid_argument(
+            "PinArena::remap: old local id out of range");
+      copyBlock(l, labelsOf(o));
+      copyBlock(nx, nextOf(o));
+      joined[i] = joined_[o];
+    } else {
+      for (int p = 0; p < kPinStride; ++p) {
+        l[p] = static_cast<std::int8_t>(p);
+        nx[p] = static_cast<std::int8_t>(p);
+      }
+    }
+  }
+  n_ = newN;
+  shardCount_ = std::clamp(shardCount, 1, std::max(n_, 1));
+  shardSize_ = (std::max(n_, 1) + shardCount_ - 1) / shardCount_;
+  labels_ = std::move(labels);
+  next_ = std::move(next);
+  // The carried-over configuration IS the last delivered state: snapshots
+  // coincide with the current labels, so the incremental engine's
+  // old-circuit traversal sees a consistent picture for every amoebot.
+  prev_ = labels_;
+  prevNext_ = next_;
+  touched_.assign(n_, 0);
+  joined_ = std::move(joined);
+  touchedLists_.assign(shardCount_, {});
+  joinedLists_.assign(shardCount_, {});
+  for (int i = 0; i < n_; ++i) {
+    if (joined_[i]) joinedLists_[shardOf(i)].push_back(i);
+  }
+}
+
 int PinArena::touchedCount() const noexcept {
   int total = 0;
   for (const std::vector<int>& list : touchedLists_)

@@ -207,6 +207,19 @@ class PinArena {
   /// dirty count; used to size the parallel drain decision).
   int touchedCount() const noexcept;
 
+  /// Warm-restart surface: re-shapes the arena for a grown/shrunk amoebot
+  /// structure without losing the surviving amoebots' configurations.
+  /// `oldOf[i]` names the previous local id whose pin configuration the
+  /// new amoebot i inherits (-1 => a newly attached amoebot, which starts
+  /// as singletons). Post-conditions: snapshots equal the current labels
+  /// for every amoebot (the last "delivered" state is by definition the
+  /// carried-over one), no amoebot is touched, joined flags follow the
+  /// mapping, and the shard geometry is rebuilt for the new size. The
+  /// caller must have reconciled pending mutations first (takeDirty),
+  /// or their successor lists would be copied stale -- Comm::rebind does.
+  /// Throws std::invalid_argument on a size/range-inconsistent mapping.
+  void remap(int newN, std::span<const int> oldOf, int shardCount);
+
  private:
   friend class PinConfigRef;
 

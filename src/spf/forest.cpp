@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "primitives/root_prune.hpp"
@@ -130,7 +131,7 @@ ForestResult pruneForestToDestinations(const Region& region,
 ForestResult shortestPathForest(const Region& region,
                                 std::span<const char> isSource,
                                 std::span<const char> isDest, int lanes,
-                                Axis splitAxis) {
+                                Axis splitAxis, Comm* substrate) {
   const int n = region.size();
   std::vector<int> sources;
   for (int u = 0; u < n; ++u)
@@ -158,15 +159,31 @@ ForestResult shortestPathForest(const Region& region,
   for (const int s : sources) portalInQ[decomp.portalOf[s]] = 1;
   const int rootPortal = decomp.portalOf[sources.front()];
 
-  Comm preComm(region, lanes);
+  // The preprocessing phase runs whole-region circuits: the one place a
+  // persistent warm substrate slots in. resetPins() normalizes leftover
+  // configurations (free on the cold path); rounds are accounted relative
+  // to the entry mark so a reused Comm reports this execution only.
+  if (substrate) {
+    if (&substrate->region() != &region)
+      throw std::invalid_argument(
+          "shortestPathForest: substrate is bound to a different region");
+    if (substrate->lanes() != lanes)
+      throw std::invalid_argument(
+          "shortestPathForest: substrate lane count mismatch");
+  }
+  std::optional<Comm> ownPre;
+  if (!substrate) ownPre.emplace(region, lanes);
+  Comm& preComm = substrate ? *substrate : *ownPre;
+  preComm.resetPins();
+  const long preBase = preComm.rounds();
   preComm.chargeRounds(1);  // sources beep on their portal circuits
   const PortalRootPruneResult rooted = portalRootAndPrune(
       preComm, decomp, {}, rootPortal, portalInQ, true);
   std::vector<char> portalInQPrime(portals, 0);
   for (int p = 0; p < portals; ++p)
     portalInQPrime[p] = (portalInQ[p] || rooted.inAug[p]) ? 1 : 0;
-  result.rounds += preComm.rounds();
-  result.phases.preprocessing = preComm.rounds();
+  result.rounds += preComm.rounds() - preBase;
+  result.phases.preprocessing = preComm.rounds() - preBase;
 
   RegionSplit split = splitAtPortals(region, decomp, rooted, portalInQPrime);
   result.rounds += split.rounds;

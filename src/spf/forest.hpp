@@ -39,10 +39,21 @@ struct ForestResult {
 
 /// `splitAxis` selects the portal direction used for Q'/regions (the paper
 /// fixes one w.l.o.g.; the ablation bench compares all three).
+///
+/// `substrate` (optional) is a persistent whole-region Comm used for the
+/// Q'/augmentation preprocessing phase -- the dynamic-timeline warm path:
+/// after a Comm::rebind onto a mutated structure, the carried-over
+/// union-find repairs only the affected portal circuits instead of
+/// rebuilding all of them. Must be bound to `region` with the same lane
+/// count. The divide & conquer recursion still builds its per-sub-region
+/// Comms from scratch (sub-regions change shape between epochs), as does
+/// the per-tree prune; results and round counts are bit-identical with
+/// and without a substrate. Ignored by the single-source shortcut.
 ForestResult shortestPathForest(const Region& region,
                                 std::span<const char> isSource,
                                 std::span<const char> isDest, int lanes = 4,
-                                Axis splitAxis = Axis::X);
+                                Axis splitAxis = Axis::X,
+                                Comm* substrate = nullptr);
 
 /// Final step of both forest algorithms: per-tree root & prune with Q = D
 /// (all trees in parallel). Exposed for the naive baseline.

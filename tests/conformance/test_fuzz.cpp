@@ -1,0 +1,140 @@
+// Property-based fuzz conformance tier: the registry's `fuzz` suite -- 32
+// seeded pure-accretion blobs (shapes::fuzzBlob) with swept (k, l) -- run
+// through all three SPF algorithms. Unlike the hand-designed conformance
+// families, these regions have no structural bias: boundary outlines,
+// portal trees and region splits are whatever accretion produced for the
+// seed, which is the point. Every instance must
+//   (a) pass the five-property forest checker under every algorithm,
+//   (b) be distance-identical across algorithms (every destination at its
+//       exact BFS distance in every forest), and
+//   (c) replay bit-identically from the scenario name alone.
+// The generator itself is pinned too: exact size, connectivity,
+// hole-freeness at every seed, and per-seed distinctness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/bfs_wave.hpp"
+#include "baselines/checker.hpp"
+#include "baselines/naive_forest.hpp"
+#include "scenario/registry.hpp"
+#include "shapes/generators.hpp"
+#include "spf/forest.hpp"
+
+namespace aspf {
+namespace {
+
+using scenario::BuiltScenario;
+using scenario::Scenario;
+
+/// Tree-path length from u to its root, or -1 if u is outside the forest.
+int forestDepth(const std::vector<int>& parent, int u) {
+  if (parent[u] == -2) return -1;
+  int depth = 0;
+  int cur = u;
+  const int n = static_cast<int>(parent.size());
+  while (parent[cur] >= 0 && depth <= n) {
+    cur = parent[cur];
+    ++depth;
+  }
+  return depth;
+}
+
+std::vector<Scenario> fuzzScenarios() {
+  const scenario::Suite* suite = scenario::findSuite("fuzz");
+  if (!suite) return {};
+  return suite->scenarios;
+}
+
+class FuzzConformance : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(FuzzConformance, AllAlgorithmsValidAndDistanceIdentical) {
+  const Scenario& sc = GetParam();
+  const BuiltScenario built(sc);
+  const Region& region = built.region();
+  const auto& inst = built.instance();
+  const int n = region.size();
+
+  // Generator contract: exact size (pure accretion, no hole filling).
+  EXPECT_EQ(n, sc.a);
+  EXPECT_TRUE(built.structure().isConnected());
+  EXPECT_TRUE(built.structure().isHoleFree());
+
+  const std::vector<int> dist = region.bfsDistancesLocal(inst.sources);
+
+  const ForestResult polylog =
+      shortestPathForest(region, inst.isSource, inst.isDest);
+  const BfsWaveResult wave =
+      bfsWaveForest(region, inst.sources, inst.destinations);
+  const NaiveForestResult naive =
+      naiveSequentialForest(region, inst.isSource, inst.isDest);
+
+  for (const auto& [tag, parent] :
+       {std::pair<const char*, const std::vector<int>*>{"polylog",
+                                                        &polylog.parent},
+        {"wave", &wave.parent},
+        {"naive", &naive.parent}}) {
+    const ForestCheck check = checkShortestPathForest(
+        region, *parent, inst.sources, inst.destinations);
+    EXPECT_TRUE(check.ok) << tag << ": " << check.error;
+    for (const int t : inst.destinations) {
+      EXPECT_EQ(forestDepth(*parent, t), dist[t])
+          << tag << " detours destination " << t;
+    }
+  }
+}
+
+TEST_P(FuzzConformance, DeterministicReplay) {
+  const Scenario& sc = GetParam();
+  const BuiltScenario a(sc);
+  const BuiltScenario b(sc);
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.structure().coords(), b.structure().coords());
+  ASSERT_EQ(a.instance().sources, b.instance().sources);
+  ASSERT_EQ(a.instance().destinations, b.instance().destinations);
+
+  const ForestResult ra =
+      shortestPathForest(a.region(), a.instance().isSource,
+                         a.instance().isDest);
+  const ForestResult rb =
+      shortestPathForest(b.region(), b.instance().isSource,
+                         b.instance().isDest);
+  EXPECT_EQ(ra.parent, rb.parent);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blobs, FuzzConformance, ::testing::ValuesIn(fuzzScenarios()),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return info.param.name;
+    });
+
+TEST(FuzzBlobGenerator, SeedsProduceDistinctDeterministicStructures) {
+  std::set<std::vector<Coord>> outlines;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const AmoebotStructure s1 = shapes::fuzzBlob(150, seed);
+    const AmoebotStructure s2 = shapes::fuzzBlob(150, seed);
+    EXPECT_EQ(s1.coords(), s2.coords()) << "seed " << seed;
+    EXPECT_EQ(s1.size(), 150);
+    EXPECT_TRUE(s1.isConnected());
+    EXPECT_TRUE(s1.isHoleFree());
+    outlines.insert(s1.coords());
+  }
+  EXPECT_EQ(outlines.size(), 8u) << "seeds must differentiate the growth";
+}
+
+TEST(FuzzBlobGenerator, RejectsNonPositiveSize) {
+  EXPECT_THROW(shapes::fuzzBlob(0, 1), std::invalid_argument);
+  EXPECT_EQ(shapes::fuzzBlob(1, 1).size(), 1);
+}
+
+TEST(FuzzBlobGenerator, DiffersFromRandomBlob) {
+  // Decorrelated streams: same (size, seed) must not mirror randomBlob's
+  // growth (the whole point of a second generator is a second opinion).
+  const AmoebotStructure fuzz = shapes::fuzzBlob(150, 3);
+  const AmoebotStructure blob = shapes::randomBlob(150, 3);
+  EXPECT_NE(fuzz.coords(), blob.coords());
+}
+
+}  // namespace
+}  // namespace aspf

@@ -1,0 +1,559 @@
+// Dynamic-timeline tier: per-epoch differential tests for online SPF
+// maintenance over mutating structures.
+//   - TimelineState: seeded replay determinism, structure invariants
+//     (connected + hole-free after every epoch), S/D invariants, and the
+//     warm-rebind id mapping.
+//   - Comm::rebind: argument validation, and circuit equivalence of a
+//     rebound Comm vs a cold Comm on the mutated structure.
+//   - The core differential property: every warm epoch solve is
+//     field-identical (forest, rounds, delivers, beeps) to a cold
+//     from-scratch solve of the same mutated structure -- for all three
+//     algorithms, every mutation kind, both circuit engines, and
+//     sim-threads 1 vs 4.
+//   - Checker hardening: a stale pre-mutation forest presented against the
+//     post-mutation structure is rejected.
+//   - Registry: duplicate scenario names are rejected at registration time
+//     (std::invalid_argument), and the dynamic timelines are well-formed.
+//   - Report: the `timelines` section round-trips, validates, and is
+//     covered by equalDeterministic.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/bfs_wave.hpp"
+#include "baselines/checker.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/timeline.hpp"
+#include "shapes/generators.hpp"
+
+namespace aspf::scenario {
+namespace {
+
+/// A compact timeline that exercises every mutation kind once. Hexagon
+/// radius 6 (n = 127): big enough for nontrivial portals, small enough
+/// that {3 algos} x {warm + cold} x {7 epochs} x {engine, sim-thread}
+/// sweeps stay in test budget.
+Timeline allKindsTimeline() {
+  Timeline t;
+  t.name = "test_all_kinds";
+  t.base = make(Shape::Hexagon, 6, 0, 4, 8, 1);
+  t.seed = 7;
+  t.mutations = {
+      {MutationKind::AttachPatch, 5},  {MutationKind::DetachPatch, 4},
+      {MutationKind::AddDest, 2},      {MutationKind::RemoveDest, 1},
+      {MutationKind::RelocateDest, 2}, {MutationKind::ToggleSource, 2},
+  };
+  return t;
+}
+
+// --- TimelineState --------------------------------------------------------
+
+TEST(TimelineState, ReplaysIdentically) {
+  const Timeline t = allKindsTimeline();
+  TimelineState a(t);
+  TimelineState b(t);
+  for (int e = 0; e + 1 < t.epochs(); ++e) {
+    const EpochDelta da = a.advance();
+    const EpochDelta db = b.advance();
+    ASSERT_EQ(a.structure().coords(), b.structure().coords())
+        << "epoch " << e + 1;
+    EXPECT_EQ(a.sources(), b.sources());
+    EXPECT_EQ(a.destinations(), b.destinations());
+    EXPECT_EQ(da.oldLocalOfNew, db.oldLocalOfNew);
+    EXPECT_EQ(da.applied, db.applied);
+  }
+}
+
+TEST(TimelineState, PreservesStructureAndInstanceInvariants) {
+  const Timeline t = allKindsTimeline();
+  TimelineState state(t);
+  int epoch = 0;
+  while (!state.done()) {
+    const int oldN = state.n();
+    const EpochDelta delta = state.advance();
+    ++epoch;
+    EXPECT_EQ(delta.epoch, epoch);
+    EXPECT_TRUE(state.structure().isConnected()) << epoch;
+    EXPECT_TRUE(state.structure().isHoleFree()) << epoch;
+    EXPECT_GE(state.sources().size(), 1u);
+    EXPECT_GE(state.destinations().size(), 1u);
+    EXPECT_EQ(state.n(), oldN + delta.attached - delta.detached);
+    // Mapping: one entry per new amoebot; surviving ids valid and unique.
+    ASSERT_EQ(static_cast<int>(delta.oldLocalOfNew.size()), state.n());
+    std::set<int> seen;
+    int fresh = 0;
+    for (const int o : delta.oldLocalOfNew) {
+      if (o < 0) {
+        ++fresh;
+        continue;
+      }
+      EXPECT_LT(o, oldN);
+      EXPECT_TRUE(seen.insert(o).second) << "duplicate old id " << o;
+    }
+    EXPECT_EQ(fresh, delta.attached);
+  }
+  EXPECT_THROW(state.advance(), std::logic_error);
+}
+
+TEST(TimelineState, MutationKindTagsRoundTrip) {
+  for (const MutationKind k : kAllMutationKinds) {
+    MutationKind parsed;
+    ASSERT_TRUE(mutationKindFromString(toString(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  MutationKind parsed;
+  EXPECT_FALSE(mutationKindFromString("teleport", &parsed));
+  EXPECT_FALSE(mutationKindFromString("none", &parsed));
+}
+
+// --- Comm::rebind ---------------------------------------------------------
+
+TEST(Rebind, ValidatesTheMapping) {
+  const AmoebotStructure s = shapes::line(6);
+  const Region region = Region::whole(s);
+  const AmoebotStructure s2 = shapes::line(7);
+  const Region region2 = Region::whole(s2);
+  Comm comm(region, 2);
+  // Wrong size.
+  EXPECT_THROW(comm.rebind(region2, std::vector<int>{0, 1, 2}),
+               std::invalid_argument);
+  // Out-of-range old id.
+  EXPECT_THROW(
+      comm.rebind(region2, std::vector<int>{0, 1, 2, 3, 4, 5, 99}),
+      std::invalid_argument);
+  // Duplicate old id.
+  EXPECT_THROW(comm.rebind(region2, std::vector<int>{0, 1, 2, 3, 4, 5, 5}),
+               std::invalid_argument);
+  // Valid: line grown by one amoebot at the end.
+  comm.rebind(region2, std::vector<int>{0, 1, 2, 3, 4, 5, -1});
+  EXPECT_EQ(&comm.region(), &region2);
+  EXPECT_EQ(comm.rounds(), 0);
+}
+
+TEST(Rebind, RejectedRebindLeavesTheCommIntact) {
+  // A rejected mapping must not consume the dirty-tracking state: pin
+  // mutations issued before the failed rebind still repair at the next
+  // deliver(), bit-identical to a cold Comm with the same configuration.
+  const AmoebotStructure s = shapes::line(6);
+  const Region region = Region::whole(s);
+  const AmoebotStructure s2 = shapes::line(7);
+  const Region region2 = Region::whole(s2);
+
+  Comm warm(region, 1);
+  warm.deliver();  // singleton circuits established
+  warm.pins(2).join(std::vector<Pin>{{Dir::E, 0}, {Dir::W, 0}});
+  EXPECT_THROW(warm.rebind(region2, std::vector<int>{0, 1, 2, 3, 4, 5, 99}),
+               std::invalid_argument);
+
+  Comm cold(region, 1);
+  cold.pins(2).join(std::vector<Pin>{{Dir::E, 0}, {Dir::W, 0}});
+  warm.beep(1, warm.pins(1).labelOf({Dir::E, 0}));
+  cold.beep(1, cold.pins(1).labelOf({Dir::E, 0}));
+  warm.deliver();
+  cold.deliver();
+  // The joined set at amoebot 2 relays the beep through to amoebot 3 --
+  // only if the pre-throw mutation was still tracked and repaired.
+  EXPECT_TRUE(warm.receivedPin(3, {Dir::W, 0}));
+  for (int u = 0; u < region.size(); ++u) {
+    EXPECT_EQ(warm.receivedAny(u), cold.receivedAny(u)) << u;
+  }
+}
+
+/// Rebound Comm vs cold Comm on the mutated structure: identical circuits
+/// as observed through received() for every pin, under joined (non-
+/// singleton) configurations spanning the detached amoebot -- the case
+/// where a stale union-find merge would be visible.
+TEST(Rebind, RepairedCircuitsMatchAColdComm) {
+  const int lanes = 2;
+  const AmoebotStructure grown = shapes::line(8);
+  const Region grownRegion = Region::whole(grown);
+  // Mutated structure: drop the LAST amoebot (ids stay aligned).
+  const AmoebotStructure shrunk = shapes::line(7);
+  const Region shrunkRegion = Region::whole(shrunk);
+
+  // Wire a two-pin-joined lane circuit along the whole line so circuits
+  // span many amoebots (the hard case for the repair traversal).
+  const auto wire = [&](Comm& comm, const Region& region) {
+    for (int u = 0; u < region.size(); ++u) {
+      comm.pins(u).reset();
+      std::vector<Pin> joined;
+      if (region.neighbor(u, Dir::E) >= 0) joined.push_back({Dir::E, 0});
+      if (region.neighbor(u, Dir::W) >= 0) joined.push_back({Dir::W, 0});
+      if (!joined.empty()) comm.pins(u).join(joined);
+    }
+  };
+
+  Comm warm(grownRegion, lanes);
+  wire(warm, grownRegion);
+  warm.beep(0, warm.pins(0).labelOf({Dir::E, 0}));
+  warm.deliver();
+  ASSERT_TRUE(warm.received(7, warm.pins(7).labelOf({Dir::W, 0})));
+
+  std::vector<int> mapping(7);
+  for (int i = 0; i < 7; ++i) mapping[i] = i;
+  warm.rebind(shrunkRegion, mapping);
+  wire(warm, shrunkRegion);
+
+  Comm cold(shrunkRegion, lanes);
+  wire(cold, shrunkRegion);
+
+  // Same beeps on both; every (amoebot, pin) must hear identically.
+  warm.beep(0, warm.pins(0).labelOf({Dir::E, 0}));
+  cold.beep(0, cold.pins(0).labelOf({Dir::E, 0}));
+  warm.deliver();
+  cold.deliver();
+  for (int u = 0; u < shrunkRegion.size(); ++u) {
+    for (int p = 0; p < kNumDirs * lanes; ++p) {
+      const Pin pin{static_cast<Dir>(p / lanes),
+                    static_cast<std::uint8_t>(p % lanes)};
+      EXPECT_EQ(warm.receivedPin(u, pin), cold.receivedPin(u, pin))
+          << "amoebot " << u << " pin " << p;
+    }
+    EXPECT_EQ(warm.receivedAny(u), cold.receivedAny(u)) << u;
+  }
+  EXPECT_EQ(warm.rounds(), cold.rounds());
+}
+
+// --- The core warm-vs-cold differential ----------------------------------
+
+struct DynamicConfig {
+  CircuitEngine engine;
+  int simThreads;
+};
+
+class DynamicDifferential : public ::testing::TestWithParam<DynamicConfig> {};
+
+TEST_P(DynamicDifferential, WarmEpochSolvesMatchColdOracles) {
+  RunOptions options;
+  options.threads = 1;
+  options.timing = false;
+  options.engine = GetParam().engine;
+  options.simThreads = GetParam().simThreads;
+  const BenchReport report =
+      runTimelineBatch("t", {allKindsTimeline()}, options);
+  ASSERT_EQ(report.timelines.size(), 1u);
+  const TimelineReport& tr = report.timelines[0];
+  ASSERT_EQ(static_cast<int>(tr.epochs.size()),
+            allKindsTimeline().epochs());
+  std::set<std::string> mutationsSeen;
+  for (const EpochReport& er : tr.epochs) {
+    mutationsSeen.insert(er.mutation);
+    ASSERT_EQ(er.runs.size(), 3u);
+    for (const EpochRun& run : er.runs) {
+      SCOPED_TRACE(tr.name + " epoch " + std::to_string(er.epoch) + " " +
+                   run.algo);
+      EXPECT_TRUE(run.error.empty()) << run.error;
+      EXPECT_TRUE(run.checkerOk);
+      EXPECT_TRUE(run.warmMatchesCold);
+      EXPECT_GT(run.rounds, 0);
+      EXPECT_GT(run.delivers, 0);
+    }
+  }
+  // Every mutation kind (plus the epoch-0 "none") must have been applied.
+  EXPECT_EQ(mutationsSeen.size(), 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndShards, DynamicDifferential,
+    ::testing::Values(DynamicConfig{CircuitEngine::Incremental, 1},
+                      DynamicConfig{CircuitEngine::Incremental, 4},
+                      DynamicConfig{CircuitEngine::Rebuild, 1},
+                      DynamicConfig{CircuitEngine::Rebuild, 4}),
+    [](const ::testing::TestParamInfo<DynamicConfig>& info) {
+      return std::string(info.param.engine == CircuitEngine::Rebuild
+                             ? "rebuild"
+                             : "incremental") +
+             "_sim" + std::to_string(info.param.simThreads);
+    });
+
+TEST(DynamicDifferential, ReportsBitIdenticalAcrossSimThreadsAndThreads) {
+  RunOptions options;
+  options.threads = 1;
+  options.timing = false;
+  options.simThreads = 1;
+  const BenchReport serial =
+      runTimelineBatch("t", {allKindsTimeline()}, options);
+  options.simThreads = 4;
+  options.threads = 2;
+  BenchReport sharded = runTimelineBatch("t", {allKindsTimeline()}, options);
+  EXPECT_EQ(sharded.timelines, serial.timelines);
+  std::string why;
+  EXPECT_TRUE(equalDeterministic(serial, sharded, &why)) << why;
+}
+
+TEST(DynamicDifferential, EnginesAgreeOnModelFields) {
+  RunOptions options;
+  options.threads = 1;
+  options.timing = false;
+  const BenchReport inc = runTimelineBatch("t", {allKindsTimeline()}, options);
+  options.engine = CircuitEngine::Rebuild;
+  const BenchReport reb = runTimelineBatch("t", {allKindsTimeline()}, options);
+  std::string why;
+  EXPECT_FALSE(equalDeterministic(inc, reb, &why));  // engine tag + counters
+  EXPECT_TRUE(equalDeterministic(inc, reb, &why, /*modelOnly=*/true)) << why;
+}
+
+TEST(DynamicDifferential, WarmSubstrateActuallySavesUnions) {
+  // The incremental engine's reason to exist in the dynamic tier: on
+  // structure-preserving epochs the warm wave re-delivers over fully
+  // carried-over circuits (zero re-union work), and on structure epochs it
+  // repairs a small boundary neighborhood instead of rebuilding all
+  // circuits. The polylog preprocessing phase saves its whole-region
+  // first-round rebuild the same way.
+  RunOptions options;
+  options.threads = 1;
+  options.timing = false;
+  const BenchReport report =
+      runTimelineBatch("t", {allKindsTimeline()}, options);
+  ASSERT_EQ(report.timelines.size(), 1u);
+  for (const EpochReport& er : report.timelines[0].epochs) {
+    if (er.epoch == 0) continue;  // both sides start cold
+    for (const EpochRun& run : er.runs) {
+      SCOPED_TRACE("epoch " + std::to_string(er.epoch) + " " + run.algo);
+      if (run.algo == "wave") {
+        EXPECT_LT(run.warmUnions, run.coldUnions);
+        const bool structural =
+            er.mutation == "attach" || er.mutation == "detach";
+        if (!structural) {
+          EXPECT_EQ(run.warmUnions, 0);
+        }
+      } else if (run.algo == "polylog") {
+        EXPECT_LE(run.warmUnions, run.coldUnions);
+      } else {
+        EXPECT_EQ(run.warmUnions, run.coldUnions);  // naive has no substrate
+      }
+    }
+  }
+}
+
+// --- Checker hardening ----------------------------------------------------
+
+TEST(CheckerHardening, RejectsStaleForestAfterStructureGrowth) {
+  // A warm loop that leaked a pre-mutation forest across an attach epoch
+  // must be caught: the parent array no longer matches the region.
+  Timeline t;
+  t.name = "test_attach_only";
+  t.base = make(Shape::Hexagon, 4, 0, 2, 4, 1);
+  t.seed = 3;
+  t.mutations = {{MutationKind::AttachPatch, 4}};
+  TimelineState state(t);
+  const BfsWaveResult stale =
+      bfsWaveForest(state.region(), state.sources(), state.destinations());
+  ASSERT_TRUE(checkShortestPathForest(state.region(), stale.parent,
+                                      state.sources(), state.destinations())
+                  .ok);
+  state.advance();
+  const ForestCheck check =
+      checkShortestPathForest(state.region(), stale.parent, state.sources(),
+                              state.destinations());
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("size mismatch"), std::string::npos)
+      << check.error;
+}
+
+TEST(CheckerHardening, RejectsStaleForestWhenSourcesChange) {
+  // Same-size mutation (no structural change): a forest computed before a
+  // source appeared must fail -- the new source is not a root of the stale
+  // forest (it either hangs below another tree or sits outside the forest).
+  const AmoebotStructure s = shapes::hexagon(4);
+  const Region region = Region::whole(s);
+  std::vector<int> sources{0};
+  const std::vector<int> destinations{region.size() - 1};
+  const BfsWaveResult stale = bfsWaveForest(region, sources, destinations);
+  ASSERT_TRUE(
+      checkShortestPathForest(region, stale.parent, sources, destinations)
+          .ok);
+  // Post-mutation instance: a second source toggled on at a covered,
+  // non-root amoebot (the destination is on the forest, use its parent).
+  const int added = stale.parent[destinations[0]];
+  ASSERT_GE(added, 0);
+  sources.push_back(added);
+  const ForestCheck check =
+      checkShortestPathForest(region, stale.parent, sources, destinations);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("source is not a root"), std::string::npos)
+      << check.error;
+}
+
+TEST(CheckerHardening, RejectsStaleForestWhenDestinationEscapes) {
+  // Relocating a destination off the stale forest must trip property 4.
+  const AmoebotStructure s = shapes::line(12);
+  const Region region = Region::whole(s);
+  const std::vector<int> sources{0};
+  const std::vector<int> oldDests{5};
+  const BfsWaveResult stale = bfsWaveForest(region, sources, oldDests);
+  ASSERT_TRUE(checkShortestPathForest(region, stale.parent, sources, oldDests)
+                  .ok);
+  ASSERT_EQ(stale.parent[11], -2);  // pruned: beyond the old destination
+  const std::vector<int> newDests{11};
+  const ForestCheck check =
+      checkShortestPathForest(region, stale.parent, sources, newDests);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("destination not covered"), std::string::npos)
+      << check.error;
+}
+
+// --- Registry -------------------------------------------------------------
+
+TEST(Registry, RegisterSuiteRejectsDuplicates) {
+  std::vector<Suite> all;
+  const Scenario sc = make(Shape::Hexagon, 3, 0, 1, 2, 1);
+  registerSuite(all, {"first", "ok", {sc}});
+
+  // Duplicate suite name.
+  EXPECT_THROW(registerSuite(all, {"first", "dup", {}}),
+               std::invalid_argument);
+  // Duplicate scenario name within one suite.
+  EXPECT_THROW(registerSuite(all, {"second", "dup-inside", {sc, sc}}),
+               std::invalid_argument);
+  // Same name bound to a DIFFERENT scenario in an earlier suite.
+  Scenario conflicting = sc;
+  conflicting.k = 2;  // same canonical inputs pretended under the old name
+  conflicting.name = sc.name;
+  EXPECT_THROW(registerSuite(all, {"third", "conflict", {conflicting}}),
+               std::invalid_argument);
+  // The same scenario in several suites is deliberate and allowed.
+  registerSuite(all, {"fourth", "reuse", {sc}});
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(Registry, DynamicTimelinesAreWellFormed) {
+  const std::vector<Timeline>& all = timelines();
+  ASSERT_EQ(all.size(), 10u) << "one timeline per shape family";
+  std::set<std::string> names;
+  std::set<Shape> families;
+  for (const Timeline& t : all) {
+    EXPECT_TRUE(names.insert(t.name).second) << "duplicate " << t.name;
+    families.insert(t.base.shape);
+    EXPECT_GE(t.epochs(), 9);
+    EXPECT_LE(t.epochs(), 12);
+    EXPECT_EQ(t.name, "dyn_" + t.base.name);
+    const Timeline* found = findTimeline(t.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, t);
+  }
+  EXPECT_EQ(families.size(), 10u);
+  EXPECT_EQ(findTimeline("dyn_no_such"), nullptr);
+}
+
+TEST(Registry, FuzzSuiteIsRegistered) {
+  const Suite* fuzz = findSuite("fuzz");
+  ASSERT_NE(fuzz, nullptr);
+  ASSERT_EQ(fuzz->scenarios.size(), 32u);
+  for (const Scenario& sc : fuzz->scenarios) {
+    EXPECT_EQ(sc.shape, Shape::FuzzBlob);
+    EXPECT_EQ(sc.name, canonicalName(sc));
+  }
+}
+
+// --- Report: the `timelines` section --------------------------------------
+
+BenchReport sampleTimelineReport() {
+  BenchReport report;
+  report.suite = "dynamic";
+  report.algos = {"polylog", "wave", "naive"};
+  report.threads = 1;
+  TimelineReport tr;
+  tr.name = "dyn_hexagon6_k5_l12_s1";
+  tr.base = make(Shape::Hexagon, 6, 0, 5, 12, 1);
+  tr.seed = 3;
+  EpochReport e0;
+  e0.epoch = 0;
+  e0.mutation = "none";
+  e0.n = 127;
+  e0.kEff = 5;
+  e0.lEff = 12;
+  EpochRun run;
+  run.algo = "wave";
+  run.rounds = 18;
+  run.wallMs = 0.25;
+  run.checkerOk = true;
+  run.delivers = 18;
+  run.beeps = 342;
+  run.warmUnions = 0;
+  run.coldUnions = 342;
+  run.warmIncrRounds = 18;
+  run.coldIncrRounds = 17;
+  run.coldRebuildRounds = 1;
+  run.warmMatchesCold = true;
+  e0.runs = {run};
+  EpochReport e1 = e0;
+  e1.epoch = 1;
+  e1.mutation = "attach";
+  e1.applied = 4;
+  e1.n = 131;
+  tr.epochs = {e0, e1};
+  report.timelines = {tr};
+  return report;
+}
+
+TEST(Report, TimelineSectionRoundTrips) {
+  const BenchReport report = sampleTimelineReport();
+  const Json doc = toJson(report);
+  std::string error;
+  ASSERT_TRUE(validateReport(doc, &error)) << error;
+  const BenchReport back = reportFromJson(Json::parse(doc.dump(2)));
+  EXPECT_EQ(back, report);
+  EXPECT_EQ(back.timelines, report.timelines);
+}
+
+TEST(Report, TimelineSectionIsOmittedWhenEmpty) {
+  // Pre-dynamic reports must stay byte-identical: no `timelines` key.
+  BenchReport report = sampleTimelineReport();
+  report.timelines.clear();
+  const Json doc = toJson(report);
+  EXPECT_EQ(doc.find("timelines"), nullptr);
+  std::string error;
+  EXPECT_TRUE(validateReport(doc, &error)) << error;
+}
+
+TEST(Report, TimelineValidationCatchesBadDocuments) {
+  std::string error;
+  BenchReport badMutation = sampleTimelineReport();
+  badMutation.timelines[0].epochs[1].mutation = "teleport";
+  EXPECT_FALSE(validateReport(toJson(badMutation), &error));
+  EXPECT_NE(error.find("mutation"), std::string::npos) << error;
+
+  // Drop a required counter from the serialized text: unlike the AlgoRun
+  // engine counters (optional for legacy reports), the timeline section is
+  // new with the dynamic tier and has no legacy to accommodate.
+  std::string text = toJson(sampleTimelineReport()).dump();
+  const std::string needle = "\"warm_unions\":0,";
+  for (std::size_t pos; (pos = text.find(needle)) != std::string::npos;)
+    text.erase(pos, needle.size());
+  const Json missingCounter = Json::parse(text);
+  EXPECT_FALSE(validateReport(missingCounter, &error));
+  EXPECT_NE(error.find("warm_unions"), std::string::npos) << error;
+}
+
+TEST(Report, EqualDeterministicCoversTimelineFields) {
+  const BenchReport a = sampleTimelineReport();
+  BenchReport b = a;
+  for (TimelineReport& tr : b.timelines)
+    for (EpochReport& er : tr.epochs)
+      for (EpochRun& run : er.runs) run.wallMs = 99.0;  // timing: ignored
+  std::string why;
+  EXPECT_TRUE(equalDeterministic(a, b, &why)) << why;
+
+  b.timelines[0].epochs[1].runs[0].rounds += 1;
+  EXPECT_FALSE(equalDeterministic(a, b, &why));
+  EXPECT_NE(why.find("rounds"), std::string::npos) << why;
+
+  BenchReport c = a;
+  c.timelines[0].epochs[0].runs[0].warmUnions += 7;
+  EXPECT_FALSE(equalDeterministic(a, c, &why));
+  EXPECT_NE(why.find("warm_unions"), std::string::npos) << why;
+  // ... but warm/cold substrate counters are engine-specific: model-only
+  // comparisons ignore them (the CI engine-equivalence step relies on it).
+  EXPECT_TRUE(equalDeterministic(a, c, &why, /*modelOnly=*/true)) << why;
+
+  BenchReport d = a;
+  d.timelines[0].epochs[1].runs[0].warmMatchesCold = false;
+  EXPECT_FALSE(equalDeterministic(a, d, &why, /*modelOnly=*/true));
+  EXPECT_NE(why.find("warm_matches_cold"), std::string::npos) << why;
+}
+
+}  // namespace
+}  // namespace aspf::scenario

@@ -40,7 +40,14 @@ void printUsage(std::ostream& os) {
         "  --scenario NAME        add one scenario by its stable name\n"
         "  --shape TAG --a N [--b N] [--k LIST] [--l LIST] [--seeds LIST]\n"
         "                         add a sweep (LIST: comma values and lo..hi\n"
-        "                         ranges, e.g. 2,8,32 or 1..4)\n\n"
+        "                         ranges, e.g. 2,8,32 or 1..4)\n"
+        "  --timeline NAME|all    run dynamic timeline(s) instead of static\n"
+        "                         scenarios: per epoch, mutate the structure\n"
+        "                         and re-solve warm (persistent rebound\n"
+        "                         substrate) with a cold from-scratch solve\n"
+        "                         as the differential oracle\n"
+        "  --epochs N             truncate every timeline to N epochs\n"
+        "                         (including epoch 0)\n\n"
         "Execution:\n"
         "  --algo LIST            polylog, wave, naive or all (default all)\n"
         "  --threads N            scenario worker threads (default: "
@@ -115,6 +122,11 @@ int doList() {
     for (const Scenario& sc : suite.scenarios)
       std::cout << "  " << sc.name << "\n";
   }
+  std::cout << "dynamic — seeded mutation timelines, one per shape family "
+               "(--timeline; "
+            << timelines().size() << " timelines)\n";
+  for (const Timeline& t : timelines())
+    std::cout << "  " << t.name << " (" << t.epochs() << " epochs)\n";
   return 0;
 }
 
@@ -186,10 +198,36 @@ int doCheck(const std::string& path) {
 struct Cli {
   std::vector<Scenario> scenarios;
   std::vector<std::string> suiteNames;
+  std::vector<Timeline> timelines;
+  int maxEpochs = 0;  // 0 => full timelines
   RunOptions options;
   std::string jsonPath;
   bool quiet = false;
 };
+
+void printTimelineTable(const BenchReport& report) {
+  Table table({"timeline", "ep", "mutation", "n", "k", "l", "algo", "rounds",
+               "w-unions", "c-unions", "wall ms", "ok"});
+  for (const TimelineReport& tr : report.timelines) {
+    for (const EpochReport& er : tr.epochs) {
+      for (const EpochRun& run : er.runs) {
+        const bool ok =
+            run.error.empty() && run.checkerOk && run.warmMatchesCold;
+        table.add(tr.name, er.epoch, er.mutation, er.n, er.kEff, er.lEff,
+                  run.algo, run.rounds, run.warmUnions, run.coldUnions,
+                  run.wallMs, ok ? "yes" : "NO");
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << report.timelines.size() << " timeline(s), "
+            << report.algos.size() << " algorithm(s), " << report.threads
+            << " thread(s), " << report.simThreads << " sim-thread(s)";
+  if (report.timing)
+    std::cout << ", " << report.totalWallMs << " ms total, peak RSS "
+              << report.peakRssKb << " kB";
+  std::cout << "\n";
+}
 
 void printTable(const BenchReport& report) {
   Table table({"scenario", "n", "k", "l", "algo", "rounds", "delivers",
@@ -261,6 +299,26 @@ int main(int argc, char** argv) {
         return 1;
       }
       cli.scenarios.push_back(*sc);
+    } else if (arg == "--timeline") {
+      const std::string name = value(i, arg);
+      if (name == "all") {
+        cli.timelines.assign(timelines().begin(), timelines().end());
+      } else {
+        const Timeline* t = findTimeline(name);
+        if (!t) {
+          std::cerr << "aspf-run: unknown timeline '" << name
+                    << "' (try --list)\n";
+          return 1;
+        }
+        cli.timelines.push_back(*t);
+      }
+    } else if (arg == "--epochs") {
+      cli.maxEpochs = parseIntFlag(value(i, arg), "--epochs");
+      if (cli.maxEpochs < 1) {
+        std::cerr << "aspf-run: --epochs must be >= 1, got " << cli.maxEpochs
+                  << "\n";
+        return 1;
+      }
     } else if (arg == "--shape") {
       const std::string tag = value(i, arg);
       if (!shapeFromString(tag, &sweep.shape)) {
@@ -367,9 +425,60 @@ int main(int argc, char** argv) {
     const std::vector<Scenario> swept = buildSweep(sweep);
     cli.scenarios.insert(cli.scenarios.end(), swept.begin(), swept.end());
   }
+
+  if (cli.maxEpochs > 0 && cli.timelines.empty()) {
+    std::cerr << "aspf-run: --epochs only applies to --timeline runs\n";
+    return 1;
+  }
+  if (!cli.timelines.empty()) {
+    if (!cli.scenarios.empty()) {
+      std::cerr << "aspf-run: --timeline cannot be combined with scenario "
+                   "selection (run two invocations)\n";
+      return 1;
+    }
+    const std::string suiteName =
+        cli.timelines.size() == timelines().size() ? "dynamic" : "custom";
+    const BenchReport report = runTimelineBatch(
+        suiteName, cli.timelines, cli.options, cli.maxEpochs);
+    if (!cli.quiet) printTimelineTable(report);
+    if (!cli.jsonPath.empty()) {
+      const std::string text = toJson(report).dump(2);
+      if (cli.jsonPath == "-") {
+        std::cout << text;
+      } else {
+        std::ofstream out(cli.jsonPath);
+        if (!out) {
+          std::cerr << "aspf-run: cannot write " << cli.jsonPath << "\n";
+          return 1;
+        }
+        out << text;
+      }
+    }
+    for (const TimelineReport& tr : report.timelines) {
+      for (const EpochReport& er : tr.epochs) {
+        for (const EpochRun& run : er.runs) {
+          if (!run.error.empty() || !run.checkerOk || !run.warmMatchesCold) {
+            std::cerr << "aspf-run: FAILED " << tr.name << " epoch "
+                      << er.epoch << " [" << run.algo << "]: "
+                      << (!run.error.empty()
+                              ? run.error
+                              : (!run.checkerOk
+                                     ? std::string("checker failed")
+                                     : std::string(
+                                           "warm solve diverged from the "
+                                           "cold oracle")))
+                      << "\n";
+            return 2;
+          }
+        }
+      }
+    }
+    return 0;
+  }
+
   if (cli.scenarios.empty()) {
-    std::cerr << "aspf-run: no scenarios selected (use --suite, --scenario "
-                 "or --shape; --list shows the registry)\n";
+    std::cerr << "aspf-run: no scenarios selected (use --suite, --scenario, "
+                 "--shape or --timeline; --list shows the registry)\n";
     return 1;
   }
 
