@@ -1,0 +1,105 @@
+// E12 — query serving: one persistent structure, many SPF queries. The
+// paper-style table serves a query stream per algorithm and reports the
+// warm (persistent substrate) vs cold (from-scratch oracle) substrate cost
+// over the whole stream -- for the singleton-pin wave the warm circuits
+// settle after the first query and the per-query union work collapses.
+// The google-benchmark section measures single-query latency, warm vs
+// cold, under a rotating dest-swap load (the serving hot loop without the
+// oracle overhead).
+#include <optional>
+
+#include "baselines/bfs_wave.hpp"
+#include "bench_common.hpp"
+#include "scenario/serve.hpp"
+
+namespace aspf {
+namespace {
+
+using scenario::Algo;
+using scenario::BenchReport;
+using scenario::RunOptions;
+using scenario::Scenario;
+using scenario::ServeRun;
+using scenario::ServeSpec;
+using scenario::ServingReport;
+
+void tableWarmVsCold() {
+  bench::printHeader("E12",
+                     "query serving: warm vs cold substrate cost over a "
+                     "50-query stream");
+  const Scenario sc = scenario::make(scenario::Shape::Hexagon, 16, 0, 4, 16, 1);
+  ServeSpec spec;
+  spec.queries = 50;
+  spec.seed = 3;
+  RunOptions options;
+  options.threads = 1;
+  options.timing = false;
+  const BenchReport report =
+      scenario::runServeBatch("bench", {sc}, spec, options);
+  Table table({"scenario", "n", "queries", "algo", "rounds", "warm unions",
+               "cold unions", "saved %"});
+  for (const ServingReport& sv : report.serving) {
+    for (const ServeRun& run : sv.runs) {
+      const double saved =
+          run.coldUnions > 0
+              ? 100.0 * (1.0 - static_cast<double>(run.warmUnions) /
+                                   static_cast<double>(run.coldUnions))
+              : 0.0;
+      table.add(sv.scenario.name, sv.n, sv.queries, run.algo, run.rounds,
+                run.warmUnions, run.coldUnions, saved);
+    }
+  }
+  table.print(std::cout);
+}
+
+/// The serving hot loop, one iteration = one query: rotate one destination
+/// (dest-swap), then solve the wave. Warm keeps one substrate Comm for the
+/// whole benchmark and pays only the query-boundary clearPending();
+/// cold rebuilds a Comm from scratch inside bfsWaveForest every query.
+/// range(0) = hexagon radius, range(1) = 1 for warm.
+void BM_ServeWaveQuery(benchmark::State& state) {
+  const Scenario sc = scenario::make(
+      scenario::Shape::Hexagon, static_cast<int>(state.range(0)), 0, 4, 16, 1);
+  const scenario::BuiltScenario built(sc);
+  const int n = built.n();
+  std::vector<int> sources = built.instance().sources;
+  std::vector<int> dests = built.instance().destinations;
+  std::vector<char> isDest = built.instance().isDest;
+  const bool warm = state.range(1) != 0;
+  std::optional<Comm> substrate;
+  if (warm) substrate.emplace(built.region(), 1);
+
+  long queries = 0;
+  int slot = 0, probe = 0;
+  for (auto _ : state) {
+    // dest-swap: retire dests[slot], scan forward for the next free cell.
+    isDest[dests[slot]] = 0;
+    while (isDest[probe]) probe = (probe + 1) % n;
+    dests[slot] = probe;
+    isDest[probe] = 1;
+    slot = (slot + 1) % static_cast<int>(dests.size());
+
+    if (warm) substrate->clearPending();
+    const BfsWaveResult r = bfsWaveForest(built.region(), sources, dests,
+                                          warm ? &*substrate : nullptr);
+    benchmark::DoNotOptimize(r.parent.data());
+    ++queries;
+  }
+  state.SetItemsProcessed(queries);
+  state.counters["n"] = n;
+  state.counters["warm"] = warm ? 1 : 0;
+}
+
+BENCHMARK(BM_ServeWaveQuery)
+    ->ArgsProduct({{8, 16, 32}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aspf
+
+int main(int argc, char** argv) {
+  aspf::tableWarmVsCold();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

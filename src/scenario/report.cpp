@@ -116,6 +116,61 @@ Json toJson(const BenchReport& report) {
     doc["timelines"] = std::move(timelines);
   }
 
+  if (!report.serving.empty()) {
+    Json serving = Json::array();
+    for (const ServingReport& sv : report.serving) {
+      Json s = Json::object();
+      Json sc = Json::object();
+      sc["name"] = Json(sv.scenario.name);
+      sc["shape"] = Json(toString(sv.scenario.shape));
+      sc["a"] = Json(sv.scenario.a);
+      sc["b"] = Json(sv.scenario.b);
+      sc["k"] = Json(sv.scenario.k);
+      sc["l"] = Json(sv.scenario.l);
+      sc["seed"] = Json(sv.scenario.seed);
+      s["scenario"] = std::move(sc);
+      s["n"] = Json(sv.n);
+      s["final_n"] = Json(sv.finalN);
+      s["queries"] = Json(sv.queries);
+      s["serve_seed"] = Json(sv.seed);
+      s["mutate_every"] = Json(sv.mutateEvery);
+      Json mix = Json::array();
+      for (const std::string& m : sv.mix) mix.push(Json(m));
+      s["mix"] = std::move(mix);
+      s["sd_applied"] = Json(sv.sdApplied);
+      s["structure_mutations"] = Json(sv.structureMutations);
+      s["attached"] = Json(sv.attached);
+      s["detached"] = Json(sv.detached);
+      Json runs = Json::array();
+      for (const ServeRun& r : sv.runs) {
+        Json run = Json::object();
+        run["algo"] = Json(r.algo);
+        run["rounds"] = Json(r.rounds);
+        run["wall_ms"] = Json(r.wallMs);
+        run["checker_ok"] = Json(r.checkerOk);
+        run["error"] = Json(r.error);
+        run["delivers"] = Json(r.delivers);
+        run["beeps"] = Json(r.beeps);
+        run["warm_unions"] = Json(r.warmUnions);
+        run["cold_unions"] = Json(r.coldUnions);
+        run["warm_incr_rounds"] = Json(r.warmIncrRounds);
+        run["warm_rebuild_rounds"] = Json(r.warmRebuildRounds);
+        run["cold_incr_rounds"] = Json(r.coldIncrRounds);
+        run["cold_rebuild_rounds"] = Json(r.coldRebuildRounds);
+        run["queries_ok"] = Json(r.queriesOk);
+        run["warm_matches_cold"] = Json(r.warmMatchesCold);
+        run["queries_per_sec"] = Json(r.queriesPerSec);
+        run["latency_ms_p50"] = Json(r.latencyMsP50);
+        run["latency_ms_p90"] = Json(r.latencyMsP90);
+        run["latency_ms_p99"] = Json(r.latencyMsP99);
+        runs.push(std::move(run));
+      }
+      s["runs"] = std::move(runs);
+      serving.push(std::move(s));
+    }
+    doc["serving"] = std::move(serving);
+  }
+
   long runCount = 0;
   for (const ScenarioReport& sr : report.scenarios)
     runCount += static_cast<long>(sr.runs.size());
@@ -273,6 +328,74 @@ class Validator {
     return true;
   }
 
+  bool validateServeRun(const Json& run, const std::string& path) {
+    if (!run.isObject()) return fail(path, "serve run must be an object");
+    const Json* algo = need(run, path, "algo", Json::Type::String);
+    if (!algo) return false;
+    if (algo->asString() != "polylog" && algo->asString() != "wave" &&
+        algo->asString() != "naive")
+      return fail(path + ".algo",
+                  "unknown algorithm '" + algo->asString() + "'");
+    for (const char* key :
+         {"rounds", "wall_ms", "delivers", "beeps", "warm_unions",
+          "cold_unions", "warm_incr_rounds", "warm_rebuild_rounds",
+          "cold_incr_rounds", "cold_rebuild_rounds", "queries_ok",
+          "queries_per_sec", "latency_ms_p50", "latency_ms_p90",
+          "latency_ms_p99"}) {
+      if (!need(run, path, key, Json::Type::Number)) return false;
+    }
+    if (!need(run, path, "checker_ok", Json::Type::Bool)) return false;
+    if (!need(run, path, "warm_matches_cold", Json::Type::Bool)) return false;
+    if (!need(run, path, "error", Json::Type::String)) return false;
+    return true;
+  }
+
+  bool validateServing(const Json& s, const std::string& path) {
+    if (!s.isObject()) return fail(path, "serving entry must be an object");
+    const Json* scenario = need(s, path, "scenario", Json::Type::Object);
+    if (!scenario) return false;
+    if (!need(*scenario, path + ".scenario", "name", Json::Type::String))
+      return false;
+    const Json* shape =
+        need(*scenario, path + ".scenario", "shape", Json::Type::String);
+    if (!shape) return false;
+    Shape parsed;
+    if (!shapeFromString(shape->asString(), &parsed))
+      return fail(path + ".scenario.shape",
+                  "unknown shape '" + shape->asString() + "'");
+    for (const char* key : {"a", "b", "k", "l", "seed"}) {
+      if (!need(*scenario, path + ".scenario", key, Json::Type::Number))
+        return false;
+    }
+    for (const char* key :
+         {"n", "final_n", "queries", "serve_seed", "mutate_every",
+          "sd_applied", "structure_mutations", "attached", "detached"}) {
+      if (!need(s, path, key, Json::Type::Number)) return false;
+    }
+    const Json* queries = s.find("queries");
+    if (queries->asInt() < 1) return fail(path + ".queries", "must be >= 1");
+    const Json* mix = need(s, path, "mix", Json::Type::Array);
+    if (!mix) return false;
+    if (mix->size() == 0) return fail(path + ".mix", "empty");
+    for (std::size_t i = 0; i < mix->size(); ++i) {
+      const Json& m = mix->at(i);
+      const std::string mp = path + ".mix[" + std::to_string(i) + "]";
+      if (!m.isString()) return fail(mp, "wrong type");
+      if (m.asString() != "dest-swap" && m.asString() != "dest-add" &&
+          m.asString() != "dest-remove" && m.asString() != "toggle-source")
+        return fail(mp, "unknown query kind '" + m.asString() + "'");
+    }
+    const Json* runs = need(s, path, "runs", Json::Type::Array);
+    if (!runs) return false;
+    if (runs->size() == 0) return fail(path + ".runs", "empty");
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+      if (!validateServeRun(runs->at(i),
+                            path + ".runs[" + std::to_string(i) + "]"))
+        return false;
+    }
+    return true;
+  }
+
   bool validate(const Json& doc) {
     if (!doc.isObject()) return fail("$", "document must be an object");
     const Json* version = need(doc, "$", "schema_version", Json::Type::Number);
@@ -325,6 +448,16 @@ class Validator {
       for (std::size_t i = 0; i < timelines->size(); ++i) {
         if (!validateTimeline(timelines->at(i),
                               "$.timelines[" + std::to_string(i) + "]"))
+          return false;
+      }
+    }
+
+    if (const Json* serving = doc.find("serving")) {
+      // Optional: present only on query-serving batches.
+      if (!serving->isArray()) return fail("$.serving", "wrong type");
+      for (std::size_t i = 0; i < serving->size(); ++i) {
+        if (!validateServing(serving->at(i),
+                             "$.serving[" + std::to_string(i) + "]"))
           return false;
       }
     }
@@ -462,6 +595,60 @@ BenchReport reportFromJson(const Json& doc) {
         tr.epochs.push_back(std::move(er));
       }
       report.timelines.push_back(std::move(tr));
+    }
+  }
+
+  if (const Json* serving = doc.find("serving")) {
+    for (const Json& s : serving->items()) {
+      ServingReport sv;
+      const Json& sc = *s.find("scenario");
+      sv.scenario.name = sc.find("name")->asString();
+      shapeFromString(sc.find("shape")->asString(), &sv.scenario.shape);
+      sv.scenario.a = static_cast<int>(sc.find("a")->asInt());
+      sv.scenario.b = static_cast<int>(sc.find("b")->asInt());
+      sv.scenario.k = static_cast<int>(sc.find("k")->asInt());
+      sv.scenario.l = static_cast<int>(sc.find("l")->asInt());
+      sv.scenario.seed = static_cast<std::uint64_t>(sc.find("seed")->asInt());
+      sv.n = static_cast<int>(s.find("n")->asInt());
+      sv.finalN = static_cast<int>(s.find("final_n")->asInt());
+      sv.queries = static_cast<int>(s.find("queries")->asInt());
+      sv.seed = static_cast<std::uint64_t>(s.find("serve_seed")->asInt());
+      sv.mutateEvery = static_cast<int>(s.find("mutate_every")->asInt());
+      for (const Json& m : s.find("mix")->items())
+        sv.mix.push_back(m.asString());
+      sv.sdApplied = static_cast<int>(s.find("sd_applied")->asInt());
+      sv.structureMutations =
+          static_cast<int>(s.find("structure_mutations")->asInt());
+      sv.attached = static_cast<int>(s.find("attached")->asInt());
+      sv.detached = static_cast<int>(s.find("detached")->asInt());
+      for (const Json& r : s.find("runs")->items()) {
+        ServeRun run;
+        run.algo = r.find("algo")->asString();
+        run.rounds = static_cast<long>(r.find("rounds")->asInt());
+        run.wallMs = r.find("wall_ms")->asNumber();
+        run.checkerOk = r.find("checker_ok")->asBool();
+        run.error = r.find("error")->asString();
+        run.delivers = static_cast<long>(r.find("delivers")->asInt());
+        run.beeps = static_cast<long>(r.find("beeps")->asInt());
+        run.warmUnions = static_cast<long>(r.find("warm_unions")->asInt());
+        run.coldUnions = static_cast<long>(r.find("cold_unions")->asInt());
+        run.warmIncrRounds =
+            static_cast<long>(r.find("warm_incr_rounds")->asInt());
+        run.warmRebuildRounds =
+            static_cast<long>(r.find("warm_rebuild_rounds")->asInt());
+        run.coldIncrRounds =
+            static_cast<long>(r.find("cold_incr_rounds")->asInt());
+        run.coldRebuildRounds =
+            static_cast<long>(r.find("cold_rebuild_rounds")->asInt());
+        run.queriesOk = static_cast<long>(r.find("queries_ok")->asInt());
+        run.warmMatchesCold = r.find("warm_matches_cold")->asBool();
+        run.queriesPerSec = r.find("queries_per_sec")->asNumber();
+        run.latencyMsP50 = r.find("latency_ms_p50")->asNumber();
+        run.latencyMsP90 = r.find("latency_ms_p90")->asNumber();
+        run.latencyMsP99 = r.find("latency_ms_p99")->asNumber();
+        sv.runs.push_back(std::move(run));
+      }
+      report.serving.push_back(std::move(sv));
     }
   }
 
@@ -604,6 +791,76 @@ bool equalDeterministic(const BenchReport& a, const BenchReport& b,
                          rp + ".cold_rebuild_rounds", why))
             return false;
         }
+      }
+    }
+  }
+  if (a.serving.size() != b.serving.size())
+    return mismatch(why, "$.serving (length)");
+  for (std::size_t i = 0; i < a.serving.size(); ++i) {
+    const ServingReport& sa = a.serving[i];
+    const ServingReport& sb = b.serving[i];
+    const std::string path = "$.serving[" + std::to_string(i) + "]";
+    if (!sameField(sa.scenario, sb.scenario, path + ".scenario", why))
+      return false;
+    if (!sameField(sa.n, sb.n, path + ".n", why)) return false;
+    if (!sameField(sa.finalN, sb.finalN, path + ".final_n", why))
+      return false;
+    if (!sameField(sa.queries, sb.queries, path + ".queries", why))
+      return false;
+    if (!sameField(sa.seed, sb.seed, path + ".serve_seed", why)) return false;
+    if (!sameField(sa.mutateEvery, sb.mutateEvery, path + ".mutate_every",
+                   why))
+      return false;
+    if (!sameField(sa.mix, sb.mix, path + ".mix", why)) return false;
+    if (!sameField(sa.sdApplied, sb.sdApplied, path + ".sd_applied", why))
+      return false;
+    if (!sameField(sa.structureMutations, sb.structureMutations,
+                   path + ".structure_mutations", why))
+      return false;
+    if (!sameField(sa.attached, sb.attached, path + ".attached", why))
+      return false;
+    if (!sameField(sa.detached, sb.detached, path + ".detached", why))
+      return false;
+    if (sa.runs.size() != sb.runs.size())
+      return mismatch(why, path + ".runs (length)");
+    for (std::size_t j = 0; j < sa.runs.size(); ++j) {
+      const ServeRun& ra = sa.runs[j];
+      const ServeRun& rb = sb.runs[j];
+      const std::string rp = path + ".runs[" + std::to_string(j) + "]";
+      if (!sameField(ra.algo, rb.algo, rp + ".algo", why)) return false;
+      if (!sameField(ra.rounds, rb.rounds, rp + ".rounds", why)) return false;
+      if (!sameField(ra.checkerOk, rb.checkerOk, rp + ".checker_ok", why))
+        return false;
+      if (!sameField(ra.error, rb.error, rp + ".error", why)) return false;
+      if (!sameField(ra.delivers, rb.delivers, rp + ".delivers", why))
+        return false;
+      if (!sameField(ra.beeps, rb.beeps, rp + ".beeps", why)) return false;
+      if (!sameField(ra.queriesOk, rb.queriesOk, rp + ".queries_ok", why))
+        return false;
+      if (!sameField(ra.warmMatchesCold, rb.warmMatchesCold,
+                     rp + ".warm_matches_cold", why))
+        return false;
+      // Timing-derived fields (wall_ms, queries_per_sec, latency
+      // percentiles) are never compared: they vary run to run.
+      if (!modelOnly) {
+        if (!sameField(ra.warmUnions, rb.warmUnions, rp + ".warm_unions",
+                       why))
+          return false;
+        if (!sameField(ra.coldUnions, rb.coldUnions, rp + ".cold_unions",
+                       why))
+          return false;
+        if (!sameField(ra.warmIncrRounds, rb.warmIncrRounds,
+                       rp + ".warm_incr_rounds", why))
+          return false;
+        if (!sameField(ra.warmRebuildRounds, rb.warmRebuildRounds,
+                       rp + ".warm_rebuild_rounds", why))
+          return false;
+        if (!sameField(ra.coldIncrRounds, rb.coldIncrRounds,
+                       rp + ".cold_incr_rounds", why))
+          return false;
+        if (!sameField(ra.coldRebuildRounds, rb.coldRebuildRounds,
+                       rp + ".cold_rebuild_rounds", why))
+          return false;
       }
     }
   }

@@ -39,13 +39,38 @@
 //           ]}
 //        ]}
 //     ],
+//     "serving": [             // optional: query-serving batches only
+//       {"scenario": {"name", "shape", "a", "b", "k", "l", "seed"},
+//        "n": ..., "final_n": ..., "queries": Q, "serve_seed": ...,
+//        "mutate_every": ..., "mix": ["dest-swap", ...],
+//        "sd_applied": ..., "structure_mutations": ...,
+//        "attached": ..., "detached": ...,
+//        "runs": [
+//          {"algo": ..., "rounds": R, "wall_ms": T, "checker_ok": bool,
+//           "error": "", "delivers": ..., "beeps": ...,
+//           "warm_unions": ..., "cold_unions": ...,
+//           "warm_incr_rounds": ..., "warm_rebuild_rounds": ...,
+//           "cold_incr_rounds": ..., "cold_rebuild_rounds": ...,
+//           "queries_ok": ..., "warm_matches_cold": bool,
+//           "queries_per_sec": ..., "latency_ms_p50": ...,
+//           "latency_ms_p90": ..., "latency_ms_p99": ...}
+//        ]}
+//     ],
 //     "totals": {"scenarios": ..., "runs": ..., "wall_ms": ...,
 //                "peak_rss_kb": ...}
 //   }
 //
 // "rounds" is the model cost (synchronous circuit rounds); "delivers" and
 // "beeps" are simulator substrate counters (physical deliver() executions
-// and queued beeps); "wall_ms" is host wall-clock. The incremental-engine
+// and queued beeps); "wall_ms" is host wall-clock.
+// "totals.peak_rss_kb" is the BATCH-level peak resident set size: the
+// process VmHWM high-water mark, reset (best-effort, via
+// /proc/self/clear_refs) when the batch starts, so it measures this batch
+// rather than inheriting the hungriest earlier batch of the process.
+// Where the reset is unsupported it degrades to the process-lifetime
+// peak (documented in docs/BENCHMARKS.md). There are deliberately NO
+// per-scenario/per-run RSS fields: VmHWM is process-wide, so any
+// finer-grained attribution would be monotone garbage across a batch. The incremental-engine
 // counters describe substrate work: "unions" (union-find unions while
 // (re)building circuits), "incr_rounds"/"rebuild_rounds" (delivers served
 // by the incremental path vs. full rebuilds; they sum to "delivers"), and
@@ -159,6 +184,62 @@ struct TimelineReport {
   bool operator==(const TimelineReport&) const = default;
 };
 
+// --- Serving-mode records (the `serving` report section) -----------------
+//
+// One ServingReport per query-serving session (`aspf-run --serve`): one
+// persistent structure, a seeded stream of S/D queries, every selected
+// algorithm resolving every query WARM on a session-lifetime substrate
+// Comm and COLD from scratch as the differential oracle. A ServeRun
+// aggregates one algorithm's whole stream: totals of the warm model
+// counters, the warm/cold union-savings counters (the amortization the
+// serving mode exists to measure), the per-query oracle verdict count
+// (`queries_ok`; `warm_matches_cold` iff every query matched), and the
+// host-side serving metrics -- queries/sec plus nearest-rank per-query
+// warm-latency percentiles -- which are timing fields: zeroed under
+// `--no-timing`, ignored by equalDeterministic, varying run to run.
+
+struct ServeRun {
+  std::string algo;
+  long rounds = 0;     // total warm rounds over all queries
+  double wallMs = 0.0; // total warm solve wall-clock
+  bool checkerOk = false;  // every checked query passed (trusted-by-fiat
+                           // when config.check is false)
+  std::string error;       // first error of the stream, if any
+  long delivers = 0;       // warm totals
+  long beeps = 0;
+  long warmUnions = 0;
+  long coldUnions = 0;
+  long warmIncrRounds = 0;
+  long warmRebuildRounds = 0;
+  long coldIncrRounds = 0;
+  long coldRebuildRounds = 0;
+  long queriesOk = 0;           // queries whose warm solve matched cold
+  bool warmMatchesCold = false; // queriesOk == queries and no error
+  double queriesPerSec = 0.0;   // timing; 0 under --no-timing
+  double latencyMsP50 = 0.0;    // nearest-rank warm-latency percentiles
+  double latencyMsP90 = 0.0;
+  double latencyMsP99 = 0.0;
+
+  bool operator==(const ServeRun&) const = default;
+};
+
+struct ServingReport {
+  Scenario scenario;        // the base instance the structure is built from
+  int n = 0;                // structure size at session start
+  int finalN = 0;           // structure size after the last query group
+  int queries = 0;          // resolved queries
+  std::uint64_t seed = 0;   // the serve stream's seed
+  int mutateEvery = 0;      // structure mutation cadence (0 = static)
+  std::vector<std::string> mix;  // QueryKind tags the stream draws from
+  int sdApplied = 0;             // per-query S/D steps that landed
+  int structureMutations = 0;    // query-group structure mutations applied
+  int attached = 0;              // cells attached across the session
+  int detached = 0;              // cells detached across the session
+  std::vector<ServeRun> runs;
+
+  bool operator==(const ServingReport&) const = default;
+};
+
 struct BenchReport {
   int schemaVersion = kReportSchemaVersion;
   std::string suite;
@@ -175,6 +256,9 @@ struct BenchReport {
   // `timelines` key is then omitted from the JSON, so pre-dynamic reports
   // and their byte-stable outputs are unchanged).
   std::vector<TimelineReport> timelines;
+  // Query-serving section (`aspf-run --serve`); omitted from the JSON
+  // when empty, exactly like `timelines`.
+  std::vector<ServingReport> serving;
   double totalWallMs = 0.0;
   long peakRssKb = 0;
 
@@ -195,7 +279,8 @@ BenchReport reportFromJson(const Json& doc);
 
 /// Compares the *deterministic* fields of two reports: suite, algos,
 /// lanes, check, engine, and per scenario/run everything except wall-times,
-/// RSS, the thread count and the timing flag. Returns true iff they match;
+/// RSS, the thread count and the timing flag (for serving runs, also
+/// excepting queries/sec and the latency percentiles -- host metrics). Returns true iff they match;
 /// on mismatch `why` (if non-null) names the first differing path. Used by
 /// `aspf-run --diff` and the CI perf-sanity step to catch round-count or
 /// counter regressions against a committed BENCH_*.json.

@@ -11,6 +11,7 @@
 #include "baselines/bfs_wave.hpp"
 #include "baselines/checker.hpp"
 #include "baselines/naive_forest.hpp"
+#include "scenario/serve.hpp"
 #include "sim/sim_counters.hpp"
 #include "spf/forest.hpp"
 
@@ -48,6 +49,17 @@ long peakRssKb() {
   return kb;
 #else
   return 0;
+#endif
+}
+
+bool resetPeakRss() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (!f) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+#else
+  return false;
 #endif
 }
 
@@ -149,6 +161,7 @@ BenchReport runBatch(std::string suiteName,
                                                            : "incremental";
   report.scenarios.resize(scenarios.size());
 
+  if (options.timing) resetPeakRss();
   const auto batchStart = std::chrono::steady_clock::now();
   std::atomic<std::size_t> next{0};
   std::mutex progressMutex;
@@ -198,68 +211,24 @@ BenchReport runBatch(std::string suiteName,
 
 namespace {
 
-/// One solve of the current epoch instance; `substrate` selects the warm
-/// path (nullptr = cold from-scratch oracle).
-struct EpochSolve {
-  std::vector<int> parent;
-  long rounds = 0;
-  SimCounters delta;
-  std::string error;
-};
-
-EpochSolve solveEpoch(const TimelineState& state, Algo algo,
-                      const RunOptions& options, Comm* substrate) {
-  EpochSolve out;
-  const SimCounters before = simCounters();
-  try {
-    switch (algo) {
-      case Algo::Polylog: {
-        const ForestResult r =
-            shortestPathForest(state.region(), state.isSource(),
-                               state.isDest(), options.lanes, Axis::X,
-                               substrate);
-        out.rounds = r.rounds;
-        out.parent = r.parent;
-        break;
-      }
-      case Algo::Wave: {
-        const BfsWaveResult r = bfsWaveForest(
-            state.region(), state.sources(), state.destinations(), substrate);
-        out.rounds = r.rounds;
-        out.parent = r.parent;
-        break;
-      }
-      case Algo::Naive: {
-        // No persistent whole-region protocol phase to warm: the naive
-        // baseline is SSSP-per-source with per-protocol Comms throughout.
-        const NaiveForestResult r = naiveSequentialForest(
-            state.region(), state.isSource(), state.isDest(), options.lanes);
-        out.rounds = r.rounds;
-        out.parent = r.parent;
-        break;
-      }
-    }
-  } catch (const std::exception& e) {
-    out.error = e.what();
-  }
-  out.delta = simCounters() - before;
-  return out;
-}
-
 EpochRun runEpochAlgo(const TimelineState& state, Algo algo,
                       const RunOptions& options, Comm* substrate) {
   EpochRun run;
   run.algo = std::string(toString(algo));
 
+  const auto solveEpoch = [&](Comm* comm) {
+    return solveInstance(state.region(), state.sources(),
+                         state.destinations(), state.isSource(),
+                         state.isDest(), algo, options, comm);
+  };
   const auto start = std::chrono::steady_clock::now();
-  const EpochSolve warm = solveEpoch(state, algo, options, substrate);
+  const InstanceSolve warm = solveEpoch(substrate);
   const auto stop = std::chrono::steady_clock::now();
   // Without a substrate the "warm" solve already IS a cold from-scratch
   // solve; repeating the identical deterministic computation would buy
   // nothing (run-to-run determinism is covered by the CI two-run byte
   // compare), and the naive baseline dominates the suite's wall time.
-  const EpochSolve cold =
-      substrate ? solveEpoch(state, algo, options, nullptr) : warm;
+  const InstanceSolve cold = substrate ? solveEpoch(nullptr) : warm;
 
   run.rounds = warm.rounds;
   run.delivers = warm.delta.delivers;
@@ -381,6 +350,7 @@ BenchReport runTimelineBatch(std::string suiteName,
                                                            : "incremental";
   report.timelines.resize(timelines.size());
 
+  if (options.timing) resetPeakRss();
   const auto batchStart = std::chrono::steady_clock::now();
   std::atomic<std::size_t> next{0};
   std::mutex progressMutex;

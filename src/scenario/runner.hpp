@@ -68,8 +68,18 @@ BenchReport runBatch(std::string suiteName,
                      const ProgressFn& progress = {});
 
 /// Peak resident set size of this process in kilobytes (VmHWM), or 0 where
-/// unsupported.
+/// unsupported. VmHWM is a process-wide high-water mark and NEVER
+/// decreases on its own -- without a reset, the second batch of a process
+/// inherits the first batch's peak. The batch runners therefore call
+/// resetPeakRss() at batch start, making totals.peak_rss_kb batch-scoped
+/// wherever the kernel supports the reset (see below).
 long peakRssKb();
+
+/// Best-effort reset of the VmHWM high-water mark (writes "5" to
+/// /proc/self/clear_refs). Returns true if the kernel accepted the reset;
+/// false where unsupported (non-Linux, restricted /proc), in which case
+/// peakRssKb() keeps its process-lifetime semantics.
+bool resetPeakRss();
 
 /// Progress hook for timeline batches, called after each finished timeline
 /// (serialized by the runner). May be empty.

@@ -1,0 +1,419 @@
+#include "scenario/serve.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "baselines/bfs_wave.hpp"
+#include "baselines/checker.hpp"
+#include "baselines/naive_forest.hpp"
+#include "spf/forest.hpp"
+
+namespace aspf::scenario {
+
+std::string_view toString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::DestSwap: return "dest-swap";
+    case QueryKind::DestAdd: return "dest-add";
+    case QueryKind::DestRemove: return "dest-remove";
+    case QueryKind::ToggleSource: return "toggle-source";
+  }
+  return "?";
+}
+
+bool queryKindFromString(std::string_view tag, QueryKind* out) {
+  for (const QueryKind k : kAllQueryKinds) {
+    if (tag == toString(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+InstanceSolve solveInstance(const Region& region,
+                            const std::vector<int>& sources,
+                            const std::vector<int>& destinations,
+                            const std::vector<char>& isSource,
+                            const std::vector<char>& isDest, Algo algo,
+                            const RunOptions& options, Comm* substrate) {
+  InstanceSolve out;
+  const SimCounters before = simCounters();
+  try {
+    switch (algo) {
+      case Algo::Polylog: {
+        const ForestResult r = shortestPathForest(
+            region, isSource, isDest, options.lanes, Axis::X, substrate);
+        out.rounds = r.rounds;
+        out.parent = r.parent;
+        break;
+      }
+      case Algo::Wave: {
+        const BfsWaveResult r =
+            bfsWaveForest(region, sources, destinations, substrate);
+        out.rounds = r.rounds;
+        out.parent = r.parent;
+        break;
+      }
+      case Algo::Naive: {
+        // No persistent whole-region protocol phase to warm: the naive
+        // baseline is SSSP-per-source with per-protocol Comms throughout.
+        const NaiveForestResult r =
+            naiveSequentialForest(region, isSource, isDest, options.lanes);
+        out.rounds = r.rounds;
+        out.parent = r.parent;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.delta = simCounters() - before;
+  return out;
+}
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample (p in (0, 100]).
+double nearestRank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::clamp<std::size_t>(rank, 1, sorted.size()) - 1];
+}
+
+}  // namespace
+
+QuerySession::QuerySession(const Scenario& scenario, const ServeSpec& spec,
+                           const RunOptions& options, int simThreads)
+    : spec_(spec),
+      options_(options),
+      simThreads_(simThreads),
+      // Own stream, decorrelated from both the scenario's placement stream
+      // and the timeline stream (distinct additive constant).
+      rng_(spec.seed * 0x9E3779B97F4A7C15ULL + 0x8CB92BA72F3D8DD7ULL),
+      scenario_(scenario) {
+  if (spec_.mix.empty())
+    spec_.mix.assign(kAllQueryKinds.begin(), kAllQueryKinds.end());
+  if (spec_.mutateCells < 1) spec_.mutateCells = 1;
+
+  const BuiltScenario built(scenario);
+  const AmoebotStructure& st = built.structure();
+  for (int i = 0; i < built.n(); ++i) occupied_.insert(st.coordOf(i));
+  for (const int s : built.instance().sources)
+    sourceCoords_.insert(st.coordOf(s));
+  for (const int t : built.instance().destinations)
+    destCoords_.insert(st.coordOf(t));
+  materialize();
+  initialN_ = region_->size();
+
+  const auto want = [&](Algo a) {
+    return std::find(options_.algos.begin(), options_.algos.end(), a) !=
+           options_.algos.end();
+  };
+  if (want(Algo::Wave))
+    waveComm_.emplace(*region_, 1, options_.engine, simThreads_);
+  if (want(Algo::Polylog))
+    forestComm_.emplace(*region_, options_.lanes, options_.engine,
+                        simThreads_);
+}
+
+void QuerySession::materialize() {
+  MaterializedEpoch epoch =
+      materializeEpoch(occupied_, sourceCoords_, destCoords_);
+  structure_ = std::move(epoch.structure);
+  region_ = std::move(epoch.region);
+  sources_ = std::move(epoch.sources);
+  dests_ = std::move(epoch.dests);
+  isSource_ = std::move(epoch.isSource);
+  isDest_ = std::move(epoch.isDest);
+}
+
+void QuerySession::mutateStructure(ServingReport* sv) {
+  for (int c = 0; c < spec_.mutateCells; ++c) {
+    const bool detach = (rng_.next() & 1) != 0;
+    if (detach) {
+      if (detachCellStep(occupied_, sourceCoords_, destCoords_, rng_))
+        ++sv->detached;
+    } else {
+      if (attachCellStep(occupied_, rng_)) ++sv->attached;
+    }
+  }
+  ++sv->structureMutations;
+
+  prevStructure_ = std::move(structure_);
+  prevRegion_ = std::move(region_);
+  materialize();
+
+  std::vector<int> oldLocalOfNew(static_cast<std::size_t>(region_->size()));
+  for (int i = 0; i < region_->size(); ++i)
+    oldLocalOfNew[i] = prevStructure_->idOf(structure_->coordOf(i));
+  if (waveComm_) waveComm_->rebind(*region_, oldLocalOfNew);
+  if (forestComm_) forestComm_->rebind(*region_, oldLocalOfNew);
+}
+
+bool QuerySession::addRandomDest() {
+  const int n = region_->size();
+  const int eligible = n - static_cast<int>(dests_.size());
+  if (eligible <= 0) return false;
+  int r = static_cast<int>(rng_.below(static_cast<std::size_t>(eligible)));
+  int picked = -1;
+  for (int i = 0; i < n; ++i) {
+    if (isDest_[i]) continue;
+    if (r == 0) {
+      picked = i;
+      break;
+    }
+    --r;
+  }
+  isDest_[picked] = 1;
+  dests_.insert(std::lower_bound(dests_.begin(), dests_.end(), picked),
+                picked);
+  destCoords_.insert(structure_->coordOf(picked));
+  return true;
+}
+
+bool QuerySession::removeDestAt(std::size_t index) {
+  const int picked = dests_[index];
+  dests_.erase(dests_.begin() + static_cast<std::ptrdiff_t>(index));
+  isDest_[picked] = 0;
+  destCoords_.erase(structure_->coordOf(picked));
+  return true;
+}
+
+bool QuerySession::applyQuery(QueryKind kind) {
+  const int n = region_->size();
+  switch (kind) {
+    case QueryKind::DestSwap: {
+      if (dests_.empty()) return false;
+      removeDestAt(rng_.below(dests_.size()));
+      // After the removal at least one non-destination cell exists.
+      return addRandomDest();
+    }
+    case QueryKind::DestAdd:
+      return addRandomDest();
+    case QueryKind::DestRemove: {
+      if (dests_.size() <= 1) return false;
+      return removeDestAt(rng_.below(dests_.size()));
+    }
+    case QueryKind::ToggleSource: {
+      // The Rng bit is consumed even when the chosen direction then finds
+      // no candidate (same contract as the timeline's toggle-source).
+      const bool remove = (rng_.next() & 1) != 0 && sources_.size() > 1;
+      if (remove) {
+        const std::size_t index = rng_.below(sources_.size());
+        const int picked = sources_[index];
+        sources_.erase(sources_.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+        isSource_[picked] = 0;
+        sourceCoords_.erase(structure_->coordOf(picked));
+        return true;
+      }
+      const int eligible = n - static_cast<int>(sources_.size());
+      if (eligible <= 0) return false;
+      int r = static_cast<int>(rng_.below(static_cast<std::size_t>(eligible)));
+      int picked = -1;
+      for (int i = 0; i < n; ++i) {
+        if (isSource_[i]) continue;
+        if (r == 0) {
+          picked = i;
+          break;
+        }
+        --r;
+      }
+      isSource_[picked] = 1;
+      sources_.insert(
+          std::lower_bound(sources_.begin(), sources_.end(), picked), picked);
+      sourceCoords_.insert(structure_->coordOf(picked));
+      return true;
+    }
+  }
+  return false;
+}
+
+ServingReport QuerySession::run() {
+  ServingReport sv;
+  sv.scenario = scenario_;
+  sv.n = initialN_;
+  sv.queries = spec_.queries;
+  sv.seed = spec_.seed;
+  sv.mutateEvery = spec_.mutateEvery;
+  for (const QueryKind k : spec_.mix) sv.mix.emplace_back(toString(k));
+
+  const std::size_t algoCount = options_.algos.size();
+  sv.runs.resize(algoCount);
+  std::vector<std::vector<double>> latencies(algoCount);
+  for (std::size_t ai = 0; ai < algoCount; ++ai) {
+    sv.runs[ai].algo = std::string(toString(options_.algos[ai]));
+    sv.runs[ai].checkerOk = true;
+    sv.runs[ai].warmMatchesCold = true;
+  }
+
+  for (int q = 0; q < spec_.queries; ++q) {
+    if (spec_.mutateEvery > 0 && q > 0 && q % spec_.mutateEvery == 0)
+      mutateStructure(&sv);
+    const QueryKind kind = spec_.mix[rng_.below(spec_.mix.size())];
+    if (applyQuery(kind)) ++sv.sdApplied;
+
+    for (std::size_t ai = 0; ai < algoCount; ++ai) {
+      const Algo algo = options_.algos[ai];
+      Comm* substrate = nullptr;
+      if (algo == Algo::Wave && waveComm_) substrate = &*waveComm_;
+      if (algo == Algo::Polylog && forestComm_) substrate = &*forestComm_;
+      // Query boundary: drop any undelivered beeps and invalidate stale
+      // received() state; pins and the union-find survive (the warm part).
+      if (substrate) substrate->clearPending();
+
+      const auto start = std::chrono::steady_clock::now();
+      InstanceSolve warm = solveInstance(*region_, sources_, dests_,
+                                         isSource_, isDest_, algo, options_,
+                                         substrate);
+      const auto stop = std::chrono::steady_clock::now();
+      // Without a substrate the "warm" solve already IS a cold solve;
+      // repeating the identical deterministic computation buys nothing.
+      const InstanceSolve cold =
+          substrate ? solveInstance(*region_, sources_, dests_, isSource_,
+                                    isDest_, algo, options_, nullptr)
+                    : warm;
+      if (q == spec_.faultQuery && !warm.parent.empty())
+        warm.parent[0] = -3;  // forced oracle divergence (CI exit-2 path)
+
+      ServeRun& run = sv.runs[ai];
+      run.rounds += warm.rounds;
+      run.delivers += warm.delta.delivers;
+      run.beeps += warm.delta.beeps;
+      run.warmUnions += warm.delta.unions;
+      run.coldUnions += cold.delta.unions;
+      run.warmIncrRounds += warm.delta.incrementalRounds;
+      run.warmRebuildRounds += warm.delta.rebuildRounds;
+      run.coldIncrRounds += cold.delta.incrementalRounds;
+      run.coldRebuildRounds += cold.delta.rebuildRounds;
+
+      std::string error;
+      if (!warm.error.empty()) {
+        error = "warm: " + warm.error;
+      } else if (!cold.error.empty()) {
+        error = "cold: " + cold.error;
+      }
+      // The differential oracle: warm must reproduce cold bit-for-bit at
+      // the model level; only the substrate counters may differ.
+      const bool matches = error.empty() && warm.parent == cold.parent &&
+                           warm.rounds == cold.rounds &&
+                           warm.delta.delivers == cold.delta.delivers &&
+                           warm.delta.beeps == cold.delta.beeps;
+      if (!matches) run.warmMatchesCold = false;
+
+      bool checkOk = true;
+      if (error.empty() && options_.check) {
+        const ForestCheck check = checkShortestPathForest(*region_,
+                                                          warm.parent,
+                                                          sources_, dests_);
+        if (!check.ok) {
+          checkOk = false;
+          error = check.error;
+        }
+      }
+      if (!checkOk || !error.empty()) run.checkerOk = false;
+      if (!error.empty() && run.error.empty())
+        run.error = "query " + std::to_string(q) + ": " + error;
+      if (matches && checkOk && error.empty()) ++run.queriesOk;
+
+      if (options_.timing) {
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        run.wallMs += ms;
+        latencies[ai].push_back(ms);
+      }
+    }
+  }
+
+  sv.finalN = region_->size();
+  for (std::size_t ai = 0; ai < algoCount; ++ai) {
+    ServeRun& run = sv.runs[ai];
+    if (!options_.timing) continue;
+    if (run.wallMs > 0.0)
+      run.queriesPerSec =
+          static_cast<double>(spec_.queries) / (run.wallMs / 1000.0);
+    std::sort(latencies[ai].begin(), latencies[ai].end());
+    run.latencyMsP50 = nearestRank(latencies[ai], 50.0);
+    run.latencyMsP90 = nearestRank(latencies[ai], 90.0);
+    run.latencyMsP99 = nearestRank(latencies[ai], 99.0);
+  }
+  return sv;
+}
+
+ServingReport runServeSession(const Scenario& scenario, const ServeSpec& spec,
+                              const RunOptions& options, int simThreads) {
+  return QuerySession(scenario, spec, options, simThreads).run();
+}
+
+BenchReport runServeBatch(std::string suiteName,
+                          const std::vector<Scenario>& scenarios,
+                          const ServeSpec& spec, const RunOptions& options,
+                          const ServeProgressFn& progress) {
+  BenchReport report;
+  report.suite = std::move(suiteName);
+  for (const Algo a : options.algos)
+    report.algos.emplace_back(toString(a));
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads =
+      std::min(threads, std::max(1, static_cast<int>(scenarios.size())));
+  report.threads = threads;
+  report.simThreads = std::clamp(options.simThreads, 1, kMaxSimThreads);
+  report.lanes = options.lanes;
+  report.check = options.check;
+  report.timing = options.timing;
+  report.engine = options.engine == CircuitEngine::Rebuild ? "rebuild"
+                                                           : "incremental";
+  report.serving.resize(scenarios.size());
+
+  if (options.timing) resetPeakRss();
+  const auto batchStart = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  std::mutex progressMutex;
+  auto worker = [&] {
+    setDefaultCircuitEngine(options.engine);  // thread_local: the cold
+    setDefaultSimThreads(report.simThreads);  // solves' internal Comms
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= scenarios.size()) return;
+      report.serving[i] =
+          runServeSession(scenarios[i], spec, options, report.simThreads);
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progressMutex);
+        progress(report.serving[i]);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    const CircuitEngine savedEngine = defaultCircuitEngine();
+    const int savedSimThreads = defaultSimThreads();
+    worker();
+    setDefaultCircuitEngine(savedEngine);  // don't leak into the caller
+    setDefaultSimThreads(savedSimThreads);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (options.timing) {
+    const auto batchStop = std::chrono::steady_clock::now();
+    report.totalWallMs =
+        std::chrono::duration<double, std::milli>(batchStop - batchStart)
+            .count();
+    report.peakRssKb = peakRssKb();
+  }
+  return report;
+}
+
+}  // namespace aspf::scenario

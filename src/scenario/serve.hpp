@@ -1,0 +1,182 @@
+#pragma once
+// Query-serving mode: ONE persistent structure, MANY SPF queries.
+//
+// The static runner (runBatch) prices each instance from scratch; the
+// dynamic runner (runTimelineBatch) re-solves after structure mutations.
+// This layer models the third lifetime split: a structure that stays put
+// (or mutates rarely) while the *query* -- which cells are sources, which
+// are destinations -- changes per request. A QuerySession owns one
+// materialized structure plus persistent warm substrate Comms (the same
+// lanes-1 wave Comm / lanes-L polylog Comm the dynamic tier keeps), and
+// resolves a seeded stream of queries against them:
+//
+//   per query   one S/D primitive drawn uniformly from the session's mix
+//               (dest-swap, dest-add, dest-remove, toggle-source), applied
+//               as a local-id update -- the structure, region and Comms
+//               are untouched, which is the whole point;
+//   per group   optionally (mutateEvery > 0), every mutateEvery-th query
+//               first applies `mutateCells` single-arc structure steps
+//               (the shared attachCellStep/detachCellStep primitives from
+//               timeline.hpp), re-materializes, and Comm::rebind()s the
+//               warm substrates over the mutation.
+//
+// Every query is resolved twice: WARM on the persistent substrate and
+// COLD from scratch, the differential oracle -- the warm solve must
+// reproduce the cold solve bit-for-bit (forest, rounds, delivers, beeps).
+// The union counters tell the serving story: the wave protocol pins are
+// singleton-only, so after the first query the warm substrate's circuits
+// never change and warm unions stay ~0 per query while every cold solve
+// pays the full ~n rebuild.
+//
+// Determinism matches the other runners: the query stream is a pure
+// function of (scenario, ServeSpec), solves consume no session
+// randomness, and every deterministic ServingReport field is
+// bit-identical across runs, --threads, --sim-threads and platforms.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/timeline.hpp"
+#include "sim/comm.hpp"
+#include "sim/sim_counters.hpp"
+#include "util/rng.hpp"
+
+namespace aspf::scenario {
+
+enum class QueryKind {
+  DestSwap,      // remove one destination, add one non-destination
+  DestAdd,       // mark one non-destination (skip if every cell is one)
+  DestRemove,    // unmark one destination, always keeping at least one
+  ToggleSource,  // one Rng bit: add a non-source / remove a source (|S|>1)
+};
+
+inline constexpr std::array<QueryKind, 4> kAllQueryKinds{
+    QueryKind::DestSwap,
+    QueryKind::DestAdd,
+    QueryKind::DestRemove,
+    QueryKind::ToggleSource,
+};
+
+/// Canonical tag (`dest-swap`, `dest-add`, `dest-remove`, `toggle-source`)
+/// used in reports, --serve-mix and test names.
+std::string_view toString(QueryKind kind);
+bool queryKindFromString(std::string_view tag, QueryKind* out);
+
+/// The seeded query stream a QuerySession resolves. A query whose
+/// primitive finds no candidate (e.g. dest-add with every cell already a
+/// destination) is skipped and not counted in ServingReport::sdApplied.
+struct ServeSpec {
+  int queries = 0;          // stream length; must be >= 1
+  std::uint64_t seed = 1;   // drives kind picks, S/D picks and mutations
+  /// Query kinds drawn uniformly per query; empty => all four.
+  std::vector<QueryKind> mix{kAllQueryKinds.begin(), kAllQueryKinds.end()};
+  int mutateEvery = 0;   // every Nth query mutates the structure; 0 = never
+  int mutateCells = 4;   // single-arc primitive steps per mutation
+  /// >= 0: corrupt the warm forest of that query after solving, forcing
+  /// the differential oracle to report a divergence (the CI exit-2 path).
+  int faultQuery = -1;
+
+  bool operator==(const ServeSpec&) const = default;
+};
+
+/// One solve of one (region, S/D) instance; `substrate` selects the warm
+/// path (nullptr = cold from-scratch oracle). Shared by the dynamic epoch
+/// runner and the query-serving loop.
+struct InstanceSolve {
+  std::vector<int> parent;
+  long rounds = 0;
+  SimCounters delta;
+  std::string error;
+};
+
+InstanceSolve solveInstance(const Region& region,
+                            const std::vector<int>& sources,
+                            const std::vector<int>& destinations,
+                            const std::vector<char>& isSource,
+                            const std::vector<char>& isDest, Algo algo,
+                            const RunOptions& options, Comm* substrate);
+
+/// One structure, one query stream, persistent warm substrates. Construct,
+/// then call run() exactly once (it consumes the stream). The session must
+/// run on a thread whose default circuit engine / sim-thread count match
+/// the options (runServeBatch's workers arrange this, like the other batch
+/// runners).
+class QuerySession {
+ public:
+  QuerySession(const Scenario& scenario, const ServeSpec& spec,
+               const RunOptions& options, int simThreads);
+
+  const Region& region() const noexcept { return *region_; }
+  int n() const noexcept { return region_->size(); }
+
+  /// Resolves the whole stream and returns the aggregated record: per-algo
+  /// totals (rounds, delivers, beeps, warm/cold substrate counters), the
+  /// all-queries warm-vs-cold verdict, and -- when timing is on -- the
+  /// throughput and nearest-rank warm-latency percentiles.
+  ServingReport run();
+
+ private:
+  void materialize();           // coord sets -> structure/region/instance
+  void mutateStructure(ServingReport* sv);
+  bool applyQuery(QueryKind kind);
+  bool addRandomDest();
+  bool removeDestAt(std::size_t index);
+
+  ServeSpec spec_;
+  RunOptions options_;
+  int simThreads_;
+  Rng rng_;
+  Scenario scenario_;
+  int initialN_ = 0;
+
+  // Mutation-side state, keyed by coordinate (shared vocabulary with
+  // TimelineState); the S/D sets shadow the local-id instance below so a
+  // structure mutation can re-materialize without losing the query state.
+  std::set<Coord> occupied_;
+  std::set<Coord> sourceCoords_;
+  std::set<Coord> destCoords_;
+
+  // Materialized structure (canonical sorted-coordinate ids). The previous
+  // structure stays alive across a mutation so rebinding can consult old
+  // adjacency; sources_/dests_ are kept in ascending id order.
+  std::unique_ptr<AmoebotStructure> structure_;
+  std::unique_ptr<Region> region_;
+  std::unique_ptr<AmoebotStructure> prevStructure_;
+  std::unique_ptr<Region> prevRegion_;
+  std::vector<int> sources_;
+  std::vector<int> dests_;
+  std::vector<char> isSource_;
+  std::vector<char> isDest_;
+
+  // The persistent warm substrates (same construction parameters as the
+  // cold solves' own Comms, so warm and cold counters are comparable).
+  std::optional<Comm> waveComm_;
+  std::optional<Comm> forestComm_;
+};
+
+/// Convenience wrapper: one session, one record.
+ServingReport runServeSession(const Scenario& scenario, const ServeSpec& spec,
+                              const RunOptions& options, int simThreads);
+
+/// Progress hook for serve batches, called after each finished session
+/// (serialized by the runner). May be empty.
+using ServeProgressFn = std::function<void(const ServingReport&)>;
+
+/// Runs one QuerySession per scenario on a thread pool (sessions are
+/// distributed over workers; each session is sequential) and returns the
+/// records in BenchReport::serving (`scenarios` stays empty). Determinism
+/// matches runBatch / runTimelineBatch.
+BenchReport runServeBatch(std::string suiteName,
+                          const std::vector<Scenario>& scenarios,
+                          const ServeSpec& spec, const RunOptions& options,
+                          const ServeProgressFn& progress = {});
+
+}  // namespace aspf::scenario

@@ -30,11 +30,6 @@ bool mutationKindFromString(std::string_view tag, MutationKind* out) {
 
 namespace {
 
-// DetachPatch never shrinks a structure below this many amoebots: tiny
-// regions degenerate (every cell becomes a cut or an S/D member) and the
-// solver edge cases below it are covered by dedicated unit tests.
-constexpr int kMinDynamicN = 8;
-
 const Coord& nth(const std::set<Coord>& set, std::size_t index) {
   auto it = set.begin();
   std::advance(it, static_cast<std::ptrdiff_t>(index));
@@ -42,6 +37,71 @@ const Coord& nth(const std::set<Coord>& set, std::size_t index) {
 }
 
 }  // namespace
+
+std::optional<Coord> attachCellStep(std::set<Coord>& occupied, Rng& rng) {
+  const auto isOccupied = [&occupied](Coord c) {
+    return occupied.contains(c);
+  };
+  std::set<Coord> boundary;
+  for (const Coord c : occupied) {
+    for (const Dir d : kAllDirs) {
+      const Coord nb = c.neighbor(d);
+      if (!occupied.contains(nb)) boundary.insert(nb);
+    }
+  }
+  std::vector<Coord> valid;
+  for (const Coord c : boundary) {
+    if (shapes::neighborArcs(c, isOccupied) == 1) valid.push_back(c);
+  }
+  if (valid.empty()) return std::nullopt;
+  const Coord picked = valid[rng.below(valid.size())];
+  occupied.insert(picked);
+  return picked;
+}
+
+std::optional<Coord> detachCellStep(std::set<Coord>& occupied,
+                                    const std::set<Coord>& protectedA,
+                                    const std::set<Coord>& protectedB,
+                                    Rng& rng) {
+  if (static_cast<int>(occupied.size()) <= kMinDynamicN) return std::nullopt;
+  const auto isOccupied = [&occupied](Coord c) {
+    return occupied.contains(c);
+  };
+  std::vector<Coord> valid;
+  for (const Coord c : occupied) {
+    if (protectedA.contains(c) || protectedB.contains(c)) continue;
+    if (shapes::neighborArcs(c, isOccupied) == 1) valid.push_back(c);
+  }
+  if (valid.empty()) return std::nullopt;
+  const Coord picked = valid[rng.below(valid.size())];
+  occupied.erase(picked);
+  return picked;
+}
+
+MaterializedEpoch materializeEpoch(const std::set<Coord>& occupied,
+                                   const std::set<Coord>& sourceCoords,
+                                   const std::set<Coord>& destCoords) {
+  MaterializedEpoch out;
+  out.structure = std::make_unique<AmoebotStructure>(
+      AmoebotStructure::fromCoords(
+          std::vector<Coord>(occupied.begin(), occupied.end())));
+  out.region = std::make_unique<Region>(Region::whole(*out.structure));
+  const int n = out.region->size();
+  out.isSource.assign(n, 0);
+  out.isDest.assign(n, 0);
+  for (int i = 0; i < n; ++i) {
+    const Coord c = out.structure->coordOf(i);
+    if (sourceCoords.contains(c)) {
+      out.isSource[i] = 1;
+      out.sources.push_back(i);
+    }
+    if (destCoords.contains(c)) {
+      out.isDest[i] = 1;
+      out.dests.push_back(i);
+    }
+  }
+  return out;
+}
 
 TimelineState::TimelineState(const Timeline& timeline)
     : timeline_(&timeline),
@@ -60,25 +120,14 @@ TimelineState::TimelineState(const Timeline& timeline)
 }
 
 void TimelineState::materialize() {
-  structure_ = std::make_unique<AmoebotStructure>(AmoebotStructure::fromCoords(
-      std::vector<Coord>(occupied_.begin(), occupied_.end())));
-  region_ = std::make_unique<Region>(Region::whole(*structure_));
-  const int n = region_->size();
-  sources_.clear();
-  dests_.clear();
-  isSource_.assign(n, 0);
-  isDest_.assign(n, 0);
-  for (int i = 0; i < n; ++i) {
-    const Coord c = structure_->coordOf(i);
-    if (sourceCoords_.contains(c)) {
-      isSource_[i] = 1;
-      sources_.push_back(i);
-    }
-    if (destCoords_.contains(c)) {
-      isDest_[i] = 1;
-      dests_.push_back(i);
-    }
-  }
+  MaterializedEpoch epoch =
+      materializeEpoch(occupied_, sourceCoords_, destCoords_);
+  structure_ = std::move(epoch.structure);
+  region_ = std::move(epoch.region);
+  sources_ = std::move(epoch.sources);
+  dests_ = std::move(epoch.dests);
+  isSource_ = std::move(epoch.isSource);
+  isDest_ = std::move(epoch.isDest);
 }
 
 EpochDelta TimelineState::advance() {
@@ -89,39 +138,20 @@ EpochDelta TimelineState::advance() {
   delta.epoch = ++epoch_;
   delta.kind = mutation.kind;
 
-  const auto isOccupied = [this](Coord c) { return occupied_.contains(c); };
-
   // Primitive steps. Candidate pools are enumerated in sorted coordinate
   // order and indexed with the timeline Rng, so the whole epoch sequence
   // is a pure function of (timeline, seed). A step with an empty pool is
-  // skipped (not counted in `applied`).
+  // skipped (not counted in `applied`). The structure steps are the shared
+  // single-arc primitives (also driven by the serving layer).
   const auto attachOne = [&]() -> bool {
-    std::set<Coord> boundary;
-    for (const Coord c : occupied_) {
-      for (const Dir d : kAllDirs) {
-        const Coord nb = c.neighbor(d);
-        if (!occupied_.contains(nb)) boundary.insert(nb);
-      }
-    }
-    std::vector<Coord> valid;
-    for (const Coord c : boundary) {
-      if (shapes::neighborArcs(c, isOccupied) == 1) valid.push_back(c);
-    }
-    if (valid.empty()) return false;
-    occupied_.insert(valid[rng_.below(valid.size())]);
+    if (!attachCellStep(occupied_, rng_)) return false;
     ++delta.attached;
     return true;
   };
 
   const auto detachOne = [&]() -> bool {
-    if (static_cast<int>(occupied_.size()) <= kMinDynamicN) return false;
-    std::vector<Coord> valid;
-    for (const Coord c : occupied_) {
-      if (sourceCoords_.contains(c) || destCoords_.contains(c)) continue;
-      if (shapes::neighborArcs(c, isOccupied) == 1) valid.push_back(c);
-    }
-    if (valid.empty()) return false;
-    occupied_.erase(valid[rng_.below(valid.size())]);
+    if (!detachCellStep(occupied_, sourceCoords_, destCoords_, rng_))
+      return false;
     ++delta.detached;
     return true;
   };

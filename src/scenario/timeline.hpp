@@ -43,6 +43,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -52,6 +53,52 @@
 #include "util/rng.hpp"
 
 namespace aspf::scenario {
+
+/// DetachPatch / detachCellStep never shrink a structure below this many
+/// amoebots: tiny regions degenerate (every cell becomes a cut or an S/D
+/// member) and the solver edge cases below it are covered by unit tests.
+inline constexpr int kMinDynamicN = 8;
+
+// --- Shared mutation primitives ------------------------------------------
+//
+// The single-arc structure-mutation steps and the coordinate-set
+// materializer are the vocabulary BOTH dynamic layers speak: TimelineState
+// applies them from its seeded epoch script, and the serving layer's
+// QuerySession (serve.hpp) applies them from its own query stream between
+// query groups. Candidate pools are enumerated in sorted coordinate order
+// and indexed with the caller's Rng, so either caller's sequence is a pure
+// function of its seed.
+
+/// Grows the boundary by one cell: a uniformly random empty neighbor cell
+/// whose occupied neighbors form a single arc (shapes::neighborArcs), so
+/// connectivity and hole-freeness are preserved. Returns the attached
+/// coordinate, or nullopt when no candidate exists.
+std::optional<Coord> attachCellStep(std::set<Coord>& occupied, Rng& rng);
+
+/// Shrinks the boundary by one cell: a uniformly random occupied cell, not
+/// in either protected set (sources/destinations), whose occupied
+/// neighbors form a single arc. Never shrinks below kMinDynamicN. Returns
+/// the detached coordinate, or nullopt when no candidate exists.
+std::optional<Coord> detachCellStep(std::set<Coord>& occupied,
+                                    const std::set<Coord>& protectedA,
+                                    const std::set<Coord>& protectedB,
+                                    Rng& rng);
+
+/// A materialized (structure, whole-structure region, S/D instance)
+/// snapshot of coordinate-keyed mutation state. Local ids are canonical
+/// (sorted coordinate order), matching BuiltScenario's derivation.
+struct MaterializedEpoch {
+  std::unique_ptr<AmoebotStructure> structure;
+  std::unique_ptr<Region> region;
+  std::vector<int> sources;
+  std::vector<int> dests;
+  std::vector<char> isSource;
+  std::vector<char> isDest;
+};
+
+MaterializedEpoch materializeEpoch(const std::set<Coord>& occupied,
+                                   const std::set<Coord>& sourceCoords,
+                                   const std::set<Coord>& destCoords);
 
 enum class MutationKind {
   AttachPatch,

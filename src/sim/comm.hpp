@@ -177,6 +177,18 @@ class Comm {
   /// sense that the mapping describes the same physical amoebots.
   void rebind(const Region& newRegion, std::span<const int> oldLocalOfNew);
 
+  /// Query/execution boundary for a persistent serving substrate: drops
+  /// any queued-but-undelivered beeps and invalidates all received()
+  /// state, WITHOUT touching pin configurations, the persistent
+  /// union-find, or rounds(). A protocol that threw between queueing a
+  /// beep and deliver() cannot leak that beep into the next execution on
+  /// the same Comm (the serving runner's failure-containment contract);
+  /// rebind() subsumes this for the structure-mutation path.
+  void clearPending() noexcept {
+    pendingBeeps_.clear();
+    ++epoch_;  // stale beepEpoch_ stamps can no longer match
+  }
+
   /// True iff the partition set with this label received a beep in the last
   /// round.
   bool received(int local, int label) const;

@@ -1,0 +1,125 @@
+// Unit tests for the extracted CLI parsing helpers (tools/cli_args.*):
+// the full-match integer contract (junk rejection), the `lo..hi` range
+// grammar with its expansion cap, and the nonNegative seed rule. These
+// lock in the two historical aspf-run bugs: list items silently accepting
+// trailing junk ("1x" -> 1) and unbounded range expansion
+// ("0..2000000000" -> a multi-gigabyte allocation).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cli_args.hpp"
+
+namespace aspf::cli {
+namespace {
+
+TEST(ParseInt, AcceptsPlainIntegers) {
+  int v = 0;
+  std::string error;
+  EXPECT_TRUE(parseInt("12", &v, &error));
+  EXPECT_EQ(v, 12);
+  EXPECT_TRUE(parseInt("-3", &v, &error));
+  EXPECT_EQ(v, -3);
+  EXPECT_TRUE(parseInt("0", &v, &error));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(ParseInt, RejectsTrailingJunk) {
+  int v = 0;
+  std::string error;
+  EXPECT_FALSE(parseInt("1x", &v, &error));
+  EXPECT_NE(error.find("trailing junk"), std::string::npos) << error;
+  EXPECT_FALSE(parseInt("12 ", &v, &error));
+  EXPECT_FALSE(parseInt("3.5", &v, &error));
+}
+
+TEST(ParseInt, RejectsEmptyAndNonNumeric) {
+  int v = 0;
+  std::string error;
+  EXPECT_FALSE(parseInt("", &v, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+  EXPECT_FALSE(parseInt("abc", &v, &error));
+  EXPECT_NE(error.find("not an integer"), std::string::npos) << error;
+}
+
+TEST(ParseInt, RejectsOutOfRange) {
+  int v = 0;
+  std::string error;
+  EXPECT_FALSE(parseInt("99999999999999999999", &v, &error));
+  EXPECT_NE(error.find("out of the int range"), std::string::npos) << error;
+}
+
+TEST(ParseIntList, AcceptsValuesAndRanges) {
+  std::vector<int> out;
+  std::string error;
+  ASSERT_TRUE(parseIntList("2,8,32", &out, &error));
+  EXPECT_EQ(out, (std::vector<int>{2, 8, 32}));
+  out.clear();
+  ASSERT_TRUE(parseIntList("1..4", &out, &error));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+  out.clear();
+  ASSERT_TRUE(parseIntList("1,4..6,9", &out, &error));
+  EXPECT_EQ(out, (std::vector<int>{1, 4, 5, 6, 9}));
+  out.clear();
+  ASSERT_TRUE(parseIntList("5..5", &out, &error));  // degenerate range
+  EXPECT_EQ(out, (std::vector<int>{5}));
+}
+
+TEST(ParseIntList, RejectsJunkInAnyPosition) {
+  // The historical bug: items went through a bare std::stoi, so "1x,2y"
+  // parsed as {1, 2}. Every token must now consume fully.
+  std::vector<int> out;
+  std::string error;
+  EXPECT_FALSE(parseIntList("1x", &out, &error));
+  EXPECT_NE(error.find("trailing junk"), std::string::npos) << error;
+  EXPECT_FALSE(parseIntList("1,2y", &out, &error));
+  EXPECT_FALSE(parseIntList("1x..3", &out, &error));
+  EXPECT_FALSE(parseIntList("1..3z", &out, &error));
+  EXPECT_FALSE(parseIntList("", &out, &error));
+  EXPECT_FALSE(parseIntList("1,,3", &out, &error));
+}
+
+TEST(ParseIntList, CapsRangeExpansion) {
+  // The other historical bug: "0..2000000000" expanded eagerly and
+  // allocated gigabytes before anything could object.
+  std::vector<int> out;
+  std::string error;
+  EXPECT_FALSE(parseIntList("0..2000000000", &out, &error));
+  EXPECT_NE(error.find("cap"), std::string::npos) << error;
+  EXPECT_TRUE(out.empty());  // rejected BEFORE expanding
+  // Exactly at the cap is fine; one past is not.
+  out.clear();
+  const std::string atCap = "1.." + std::to_string(kMaxRangeSpan);
+  EXPECT_TRUE(parseIntList(atCap, &out, &error)) << error;
+  EXPECT_EQ(static_cast<long>(out.size()), kMaxRangeSpan);
+  out.clear();
+  const std::string pastCap = "0.." + std::to_string(kMaxRangeSpan);
+  EXPECT_FALSE(parseIntList(pastCap, &out, &error));
+}
+
+TEST(ParseIntList, RejectsReversedRanges) {
+  std::vector<int> out;
+  std::string error;
+  EXPECT_FALSE(parseIntList("4..1", &out, &error));
+  EXPECT_NE(error.find("reversed"), std::string::npos) << error;
+}
+
+TEST(ParseIntList, NonNegativeModeRejectsNegatives) {
+  std::vector<int> out;
+  std::string error;
+  EXPECT_FALSE(parseIntList("-3", &out, &error, /*nonNegative=*/true));
+  EXPECT_NE(error.find("negative"), std::string::npos) << error;
+  EXPECT_FALSE(parseIntList("1,-2", &out, &error, /*nonNegative=*/true));
+  EXPECT_FALSE(parseIntList("-2..3", &out, &error, /*nonNegative=*/true));
+  out.clear();
+  EXPECT_TRUE(parseIntList("0..3", &out, &error, /*nonNegative=*/true));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  // Negative values stay legal in the default mode (sweep parameters).
+  out.clear();
+  EXPECT_TRUE(parseIntList("-2..1", &out, &error));
+  EXPECT_EQ(out, (std::vector<int>{-2, -1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace aspf::cli

@@ -1,0 +1,330 @@
+// Query-serving tier: one persistent structure, many SPF queries.
+//   - QuerySession: seeded replay determinism of the query stream, and the
+//     core differential property -- every warm query solve is
+//     field-identical (forest, rounds, delivers, beeps) to a cold
+//     from-scratch solve -- for all three algorithms, both circuit
+//     engines, sim-threads 1 vs 4, and across batch --threads.
+//   - Mutating sessions: structure mutations between query groups keep the
+//     warm substrate correct through Comm::rebind.
+//   - The warm-serving payoff: the wave substrate's union count collapses
+//     versus the cold oracle once the circuits are established.
+//   - Fault injection (ServeSpec::faultQuery) trips the oracle -- the CI
+//     exit-2 self-test path.
+//   - Comm::clearPending: the query-boundary reset drops undelivered beeps
+//     and invalidates received() state without touching the union-find.
+//   - Report: the `serving` section round-trips, validates, is omitted
+//     when empty, and is covered by equalDeterministic.
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/serve.hpp"
+#include "shapes/generators.hpp"
+#include "sim/comm.hpp"
+
+namespace aspf::scenario {
+namespace {
+
+/// Hexagon radius 6 (n = 127): big enough for nontrivial portals, small
+/// enough that {3 algos} x {warm + cold} x {engine, sim-thread} sweeps
+/// stay in test budget.
+Scenario smallScenario() { return make(Shape::Hexagon, 6, 0, 4, 8, 1); }
+
+RunOptions baseOptions() {
+  RunOptions o;
+  o.threads = 1;
+  o.timing = false;
+  return o;
+}
+
+ServeSpec baseSpec(int queries) {
+  ServeSpec spec;
+  spec.queries = queries;
+  spec.seed = 3;
+  return spec;
+}
+
+/// Runs one session through the batch runner (whose workers install the
+/// engine / sim-thread thread_locals the cold solves' internal Comms read).
+ServingReport serveOne(const Scenario& scenario, const ServeSpec& spec,
+                       const RunOptions& options) {
+  const BenchReport report =
+      runServeBatch("test", {scenario}, spec, options);
+  EXPECT_EQ(report.serving.size(), 1u);
+  return report.serving[0];
+}
+
+void expectAllQueriesOk(const ServingReport& sv) {
+  for (const ServeRun& run : sv.runs) {
+    EXPECT_TRUE(run.error.empty()) << run.algo << ": " << run.error;
+    EXPECT_TRUE(run.checkerOk) << run.algo;
+    EXPECT_TRUE(run.warmMatchesCold) << run.algo;
+    EXPECT_EQ(run.queriesOk, sv.queries) << run.algo;
+  }
+}
+
+TEST(QueryKind, TagsRoundTrip) {
+  for (const QueryKind k : kAllQueryKinds) {
+    QueryKind back;
+    ASSERT_TRUE(queryKindFromString(toString(k), &back));
+    EXPECT_EQ(back, k);
+  }
+  QueryKind out;
+  EXPECT_FALSE(queryKindFromString("teleport", &out));
+  EXPECT_FALSE(queryKindFromString("", &out));
+}
+
+TEST(QuerySession, ReplaysIdentically) {
+  // The stream is a pure function of (scenario, spec): with timing off,
+  // the whole record -- forests solved, counters, verdicts -- must be
+  // value-identical across runs.
+  const ServingReport a =
+      serveOne(smallScenario(), baseSpec(10), baseOptions());
+  const ServingReport b =
+      serveOne(smallScenario(), baseSpec(10), baseOptions());
+  EXPECT_EQ(a, b);
+  expectAllQueriesOk(a);
+  EXPECT_EQ(a.n, 127);
+  EXPECT_EQ(a.finalN, 127);  // no structure mutation requested
+  EXPECT_EQ(a.runs.size(), 3u);
+}
+
+TEST(QuerySession, WarmMatchesColdForEveryEngineAndSimThreadCount) {
+  for (const CircuitEngine engine :
+       {CircuitEngine::Incremental, CircuitEngine::Rebuild}) {
+    ServingReport at1;
+    for (const int simThreads : {1, 4}) {
+      RunOptions options = baseOptions();
+      options.engine = engine;
+      options.simThreads = simThreads;
+      const ServingReport sv =
+          serveOne(smallScenario(), baseSpec(12), options);
+      expectAllQueriesOk(sv);
+      if (simThreads == 1) {
+        at1 = sv;
+      } else {
+        // The sharded substrate must be bit-identical to the serial one.
+        EXPECT_EQ(sv, at1) << "engine " << static_cast<int>(engine);
+      }
+    }
+  }
+}
+
+TEST(QuerySession, EnginesAgreeOnModelFields) {
+  RunOptions incremental = baseOptions();
+  RunOptions rebuild = baseOptions();
+  rebuild.engine = CircuitEngine::Rebuild;
+  const ServingReport a = serveOne(smallScenario(), baseSpec(8), incremental);
+  const ServingReport b = serveOne(smallScenario(), baseSpec(8), rebuild);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  EXPECT_EQ(a.sdApplied, b.sdApplied);
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].rounds, b.runs[i].rounds) << a.runs[i].algo;
+    EXPECT_EQ(a.runs[i].delivers, b.runs[i].delivers) << a.runs[i].algo;
+    EXPECT_EQ(a.runs[i].beeps, b.runs[i].beeps) << a.runs[i].algo;
+    EXPECT_EQ(a.runs[i].queriesOk, b.runs[i].queriesOk) << a.runs[i].algo;
+  }
+}
+
+TEST(QuerySession, MutatingSessionsStayCorrect) {
+  ServeSpec spec = baseSpec(15);
+  spec.mutateEvery = 3;
+  spec.mutateCells = 5;
+  const ServingReport sv = serveOne(smallScenario(), spec, baseOptions());
+  expectAllQueriesOk(sv);
+  EXPECT_EQ(sv.structureMutations, 4);  // queries 3, 6, 9, 12
+  EXPECT_GT(sv.attached + sv.detached, 0);
+  EXPECT_EQ(sv.finalN, sv.n + sv.attached - sv.detached);
+  // The mutating path must replay exactly, too.
+  EXPECT_EQ(sv, serveOne(smallScenario(), spec, baseOptions()));
+}
+
+TEST(QuerySession, WaveWarmSubstrateCollapsesUnions) {
+  // The payoff the serving split exists for: wave pins are singleton-only,
+  // so the warm substrate's circuits survive S/D changes unchanged while
+  // every cold solve re-merges ~n pin sets per query.
+  RunOptions options = baseOptions();
+  options.algos = {Algo::Wave};
+  const ServingReport sv = serveOne(smallScenario(), baseSpec(30), options);
+  expectAllQueriesOk(sv);
+  ASSERT_EQ(sv.runs.size(), 1u);
+  EXPECT_GT(sv.runs[0].coldUnions, 0);
+  EXPECT_LT(sv.runs[0].warmUnions * 5, sv.runs[0].coldUnions);
+}
+
+TEST(QuerySession, FaultInjectionTripsTheOracle) {
+  ServeSpec spec = baseSpec(6);
+  spec.faultQuery = 2;
+  RunOptions options = baseOptions();
+  options.algos = {Algo::Wave};
+  options.check = false;  // isolate the oracle from the checker
+  const ServingReport sv = serveOne(smallScenario(), spec, options);
+  ASSERT_EQ(sv.runs.size(), 1u);
+  EXPECT_FALSE(sv.runs[0].warmMatchesCold);
+  EXPECT_EQ(sv.runs[0].queriesOk, 5);  // every query but the corrupted one
+}
+
+TEST(ServeBatch, DeterministicAcrossWorkerThreads) {
+  const Suite* smoke = findSuite("smoke");
+  ASSERT_NE(smoke, nullptr);
+  ASSERT_GE(smoke->scenarios.size(), 3u);
+  const std::vector<Scenario> scenarios(smoke->scenarios.begin(),
+                                        smoke->scenarios.begin() + 3);
+  RunOptions at1 = baseOptions();
+  RunOptions at4 = baseOptions();
+  at4.threads = 4;
+  const BenchReport a = runServeBatch("smoke", scenarios, baseSpec(6), at1);
+  const BenchReport b = runServeBatch("smoke", scenarios, baseSpec(6), at4);
+  EXPECT_EQ(a.serving, b.serving);  // sessions land in input order
+  std::string why;
+  EXPECT_TRUE(equalDeterministic(a, b, &why)) << why;
+  for (const ServingReport& sv : a.serving) expectAllQueriesOk(sv);
+}
+
+TEST(ClearPending, DropsUndeliveredBeepsAndReceivedState) {
+  const BuiltScenario built(smallScenario());
+  Comm comm(built.region(), 1);
+  comm.beep(0, 0);
+  comm.deliver();
+  EXPECT_TRUE(comm.received(0, 0));
+  const long rounds = comm.rounds();
+
+  comm.beep(1, 0);      // undelivered
+  comm.clearPending();  // the query boundary
+  EXPECT_FALSE(comm.received(0, 0)) << "stale received() survived";
+  EXPECT_EQ(comm.rounds(), rounds) << "clearPending must not cost rounds";
+  comm.deliver();
+  EXPECT_FALSE(comm.received(0, 0)) << "dropped beep was delivered";
+  EXPECT_FALSE(comm.received(1, 0)) << "dropped beep was delivered";
+}
+
+// --- Report: the `serving` section ----------------------------------------
+
+BenchReport sampleServingReport() {
+  BenchReport report;
+  report.suite = "serve";
+  report.algos = {"wave"};
+  report.threads = 1;
+  ServingReport sv;
+  sv.scenario = make(Shape::Hexagon, 6, 0, 4, 8, 1);
+  sv.n = 127;
+  sv.finalN = 131;
+  sv.queries = 50;
+  sv.seed = 3;
+  sv.mutateEvery = 10;
+  sv.mix = {"dest-swap", "toggle-source"};
+  sv.sdApplied = 48;
+  sv.structureMutations = 4;
+  sv.attached = 9;
+  sv.detached = 5;
+  ServeRun run;
+  run.algo = "wave";
+  run.rounds = 900;
+  run.wallMs = 1.5;
+  run.checkerOk = true;
+  run.delivers = 900;
+  run.beeps = 17100;
+  run.warmUnions = 160;
+  run.coldUnions = 6350;
+  run.warmIncrRounds = 900;
+  run.coldIncrRounds = 880;
+  run.coldRebuildRounds = 20;
+  run.queriesOk = 50;
+  run.warmMatchesCold = true;
+  run.queriesPerSec = 33333.3;
+  run.latencyMsP50 = 0.02;
+  run.latencyMsP90 = 0.03;
+  run.latencyMsP99 = 0.05;
+  sv.runs = {run};
+  report.serving = {sv};
+  return report;
+}
+
+TEST(Report, ServingSectionRoundTrips) {
+  const BenchReport report = sampleServingReport();
+  const Json doc = toJson(report);
+  std::string error;
+  ASSERT_TRUE(validateReport(doc, &error)) << error;
+  const BenchReport back = reportFromJson(Json::parse(doc.dump(2)));
+  EXPECT_EQ(back, report);
+  EXPECT_EQ(back.serving, report.serving);
+}
+
+TEST(Report, ServingSectionIsOmittedWhenEmpty) {
+  // Pre-serving reports must stay byte-identical: no `serving` key.
+  BenchReport report = sampleServingReport();
+  report.serving.clear();
+  const Json doc = toJson(report);
+  EXPECT_EQ(doc.find("serving"), nullptr);
+  std::string error;
+  EXPECT_TRUE(validateReport(doc, &error)) << error;
+}
+
+TEST(Report, ServingValidationCatchesBadDocuments) {
+  std::string error;
+  BenchReport badMix = sampleServingReport();
+  badMix.serving[0].mix = {"teleport"};
+  EXPECT_FALSE(validateReport(toJson(badMix), &error));
+  EXPECT_NE(error.find("query kind"), std::string::npos) << error;
+
+  BenchReport badQueries = sampleServingReport();
+  badQueries.serving[0].queries = 0;
+  EXPECT_FALSE(validateReport(toJson(badQueries), &error));
+  EXPECT_NE(error.find("queries"), std::string::npos) << error;
+
+  // Drop a required counter from the serialized text: the serving section
+  // is new with this tier and has no legacy documents to accommodate.
+  std::string text = toJson(sampleServingReport()).dump();
+  const std::string needle = "\"queries_ok\":50,";
+  for (std::size_t pos; (pos = text.find(needle)) != std::string::npos;)
+    text.erase(pos, needle.size());
+  const Json missingCounter = Json::parse(text);
+  EXPECT_FALSE(validateReport(missingCounter, &error));
+  EXPECT_NE(error.find("queries_ok"), std::string::npos) << error;
+}
+
+TEST(Report, EqualDeterministicCoversServingFields) {
+  const BenchReport a = sampleServingReport();
+  BenchReport b = a;
+  for (ServingReport& sv : b.serving) {
+    for (ServeRun& run : sv.runs) {
+      run.wallMs = 99.0;  // timing-derived: all ignored
+      run.queriesPerSec = 1.0;
+      run.latencyMsP50 = 9.0;
+      run.latencyMsP90 = 9.0;
+      run.latencyMsP99 = 9.0;
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(equalDeterministic(a, b, &why)) << why;
+
+  b.serving[0].runs[0].rounds += 1;
+  EXPECT_FALSE(equalDeterministic(a, b, &why));
+  EXPECT_NE(why.find("rounds"), std::string::npos) << why;
+
+  BenchReport c = a;
+  c.serving[0].runs[0].queriesOk -= 1;
+  EXPECT_FALSE(equalDeterministic(a, c, &why));
+  EXPECT_NE(why.find("queries_ok"), std::string::npos) << why;
+
+  BenchReport d = a;
+  d.serving[0].runs[0].warmUnions += 7;
+  EXPECT_FALSE(equalDeterministic(a, d, &why));
+  EXPECT_NE(why.find("warm_unions"), std::string::npos) << why;
+  // ... but warm/cold substrate counters are engine-specific: model-only
+  // comparisons ignore them (the CI engine-equivalence step relies on it).
+  EXPECT_TRUE(equalDeterministic(a, d, &why, /*modelOnly=*/true)) << why;
+
+  BenchReport e = a;
+  e.serving[0].runs[0].warmMatchesCold = false;
+  EXPECT_FALSE(equalDeterministic(a, e, &why, /*modelOnly=*/true));
+  EXPECT_NE(why.find("warm_matches_cold"), std::string::npos) << why;
+
+  BenchReport f = a;
+  f.serving[0].sdApplied += 1;
+  EXPECT_FALSE(equalDeterministic(a, f, &why));
+  EXPECT_NE(why.find("sd_applied"), std::string::npos) << why;
+}
+
+}  // namespace
+}  // namespace aspf::scenario

@@ -1,0 +1,46 @@
+// Full-tier serving stress: ONE production-scale structure (the huge
+// suite's parallelogram500x200_k8_l16_s1, n = 100k) serving >= 1000
+// queries, every warm solve checked bit-for-bit against the cold
+// from-scratch oracle. Wave-only and checker-off to keep the runtime in
+// minutes -- the differential oracle (warm == cold per query) stays on and
+// IS the correctness property here; the five-property checker already
+// covers this scenario in the huge suite. This is the acceptance bound for
+// the query-serving tier: a session this long exercises ~1000 consecutive
+// clearPending / resetPins cycles on one persistent substrate, where any
+// leaked pin-partition or received() state would compound and diverge.
+#include <gtest/gtest.h>
+
+#include "scenario/serve.hpp"
+
+namespace aspf::scenario {
+namespace {
+
+TEST(ServeStress, ThousandQueriesOnHundredThousandCells) {
+  const Scenario scenario = make(Shape::Parallelogram, 500, 200, 8, 16, 1);
+  ServeSpec spec;
+  spec.queries = 1000;
+  spec.seed = 7;
+  RunOptions options;
+  options.threads = 1;
+  options.timing = false;
+  options.check = false;  // the warm-vs-cold oracle is the property
+  options.algos = {Algo::Wave};
+  const BenchReport report =
+      runServeBatch("serve-stress", {scenario}, spec, options);
+  ASSERT_EQ(report.serving.size(), 1u);
+  const ServingReport& sv = report.serving[0];
+  EXPECT_GE(sv.n, 100000);
+  EXPECT_EQ(sv.queries, 1000);
+  ASSERT_EQ(sv.runs.size(), 1u);
+  const ServeRun& run = sv.runs[0];
+  EXPECT_TRUE(run.error.empty()) << run.error;
+  EXPECT_TRUE(run.warmMatchesCold);
+  EXPECT_EQ(run.queriesOk, 1000);
+  // The point of serving warm: the persistent substrate's circuits settle
+  // while the cold oracle re-merges ~n pin sets per query.
+  EXPECT_GT(run.coldUnions, 0);
+  EXPECT_LT(run.warmUnions * 100, run.coldUnions);
+}
+
+}  // namespace
+}  // namespace aspf::scenario

@@ -14,7 +14,8 @@
 //   aspf-run --check out.json
 //
 // Exit codes: 0 success; 1 usage / --check validation failure; 2 at least
-// one run errored or failed the forest checker.
+// one run errored, failed the forest checker, or (timeline / serve modes)
+// had a warm solve diverge from the cold from-scratch oracle.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -22,9 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "cli_args.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/serve.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -48,6 +51,22 @@ void printUsage(std::ostream& os) {
         "                         as the differential oracle\n"
         "  --epochs N             truncate every timeline to N epochs\n"
         "                         (including epoch 0)\n\n"
+        "Serving (one persistent structure, many queries):\n"
+        "  --serve N              resolve N seeded S/D queries per selected\n"
+        "                         scenario against ONE persistent structure\n"
+        "                         with warm substrate Comms; every query is\n"
+        "                         verified bit-for-bit against a cold\n"
+        "                         from-scratch oracle\n"
+        "  --serve-seed N         query-stream seed (default 1, >= 0)\n"
+        "  --serve-mix LIST       query kinds drawn per query: dest-swap,\n"
+        "                         dest-add, dest-remove, toggle-source or\n"
+        "                         all (default all)\n"
+        "  --serve-mutate N       additionally mutate the structure every\n"
+        "                         Nth query (single-arc attach/detach steps\n"
+        "                         + warm rebind; default: never)\n"
+        "  --serve-fault Q        corrupt the warm forest of query Q to\n"
+        "                         force an oracle divergence (self-test of\n"
+        "                         the exit-2 path)\n\n"
         "Execution:\n"
         "  --algo LIST            polylog, wave, naive or all (default all)\n"
         "  --threads N            scenario worker threads (default: "
@@ -80,39 +99,29 @@ void printUsage(std::ostream& os) {
         "on\n";
 }
 
-/// std::stoi with the CLI's usage-error contract (exit 1, no terminate).
+/// cli::parseInt with the CLI's usage-error contract (exit 1, message with
+/// the flag name, no terminate).
 int parseIntFlag(const std::string& text, const char* flag) {
-  try {
-    std::size_t used = 0;
-    const int v = std::stoi(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return v;
-  } catch (const std::exception&) {
-    std::cerr << "aspf-run: " << flag << " needs an integer, got '" << text
-              << "'\n";
+  int v = 0;
+  std::string error;
+  if (!cli::parseInt(text, &v, &error)) {
+    std::cerr << "aspf-run: " << flag << ": " << error << "\n";
     std::exit(1);
   }
+  return v;
 }
 
-bool parseIntList(const std::string& text, std::vector<int>* out) {
-  std::stringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    const std::size_t dots = item.find("..");
-    try {
-      if (dots != std::string::npos) {
-        const int lo = std::stoi(item.substr(0, dots));
-        const int hi = std::stoi(item.substr(dots + 2));
-        if (hi < lo) return false;
-        for (int v = lo; v <= hi; ++v) out->push_back(v);
-      } else {
-        out->push_back(std::stoi(item));
-      }
-    } catch (const std::exception&) {
-      return false;
-    }
+/// cli::parseIntList with the same contract (grammar and limits live in
+/// tools/cli_args.*, unit-tested in tests/test_cli_args.cpp).
+std::vector<int> parseIntListFlag(const std::string& text, const char* flag,
+                                  bool nonNegative = false) {
+  std::vector<int> out;
+  std::string error;
+  if (!cli::parseIntList(text, &out, &error, nonNegative)) {
+    std::cerr << "aspf-run: " << flag << ": " << error << "\n";
+    std::exit(1);
   }
-  return !out->empty();
+  return out;
 }
 
 int doList() {
@@ -200,10 +209,30 @@ struct Cli {
   std::vector<std::string> suiteNames;
   std::vector<Timeline> timelines;
   int maxEpochs = 0;  // 0 => full timelines
+  ServeSpec serve;    // used iff haveServe
+  bool haveServe = false;
   RunOptions options;
   std::string jsonPath;
   bool quiet = false;
 };
+
+/// Writes the JSON report when --json was given ('-' = stdout); returns
+/// false on an unwritable path (shared by all three batch modes).
+bool emitJson(const BenchReport& report, const std::string& path) {
+  if (path.empty()) return true;
+  const std::string text = toJson(report).dump(2);
+  if (path == "-") {
+    std::cout << text;
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "aspf-run: cannot write " << path << "\n";
+    return false;
+  }
+  out << text;
+  return true;
+}
 
 void printTimelineTable(const BenchReport& report) {
   Table table({"timeline", "ep", "mutation", "n", "k", "l", "algo", "rounds",
@@ -221,6 +250,29 @@ void printTimelineTable(const BenchReport& report) {
   }
   table.print(std::cout);
   std::cout << report.timelines.size() << " timeline(s), "
+            << report.algos.size() << " algorithm(s), " << report.threads
+            << " thread(s), " << report.simThreads << " sim-thread(s)";
+  if (report.timing)
+    std::cout << ", " << report.totalWallMs << " ms total, peak RSS "
+              << report.peakRssKb << " kB";
+  std::cout << "\n";
+}
+
+void printServeTable(const BenchReport& report) {
+  Table table({"scenario", "n", "n'", "queries", "algo", "rounds",
+               "w-unions", "c-unions", "q/s", "p50 ms", "p99 ms", "ok"});
+  for (const ServingReport& sv : report.serving) {
+    for (const ServeRun& run : sv.runs) {
+      const bool ok = run.error.empty() && run.checkerOk &&
+                      run.warmMatchesCold && run.queriesOk == sv.queries;
+      table.add(sv.scenario.name, sv.n, sv.finalN, sv.queries, run.algo,
+                run.rounds, run.warmUnions, run.coldUnions,
+                run.queriesPerSec, run.latencyMsP50, run.latencyMsP99,
+                ok ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout);
+  std::cout << report.serving.size() << " session(s), "
             << report.algos.size() << " algorithm(s), " << report.threads
             << " thread(s), " << report.simThreads << " sim-thread(s)";
   if (report.timing)
@@ -256,6 +308,7 @@ int main(int argc, char** argv) {
   Cli cli;
   SweepSpec sweep;
   bool haveSweep = false;
+  std::string serveOptFlag;  // first --serve-* ancillary flag seen
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   auto value = [&](std::size_t& i, const std::string& flag) -> std::string {
@@ -319,6 +372,61 @@ int main(int argc, char** argv) {
                   << "\n";
         return 1;
       }
+    } else if (arg == "--serve") {
+      cli.serve.queries = parseIntFlag(value(i, arg), "--serve");
+      if (cli.serve.queries < 1) {
+        std::cerr << "aspf-run: --serve must be >= 1, got "
+                  << cli.serve.queries << "\n";
+        return 1;
+      }
+      cli.haveServe = true;
+    } else if (arg == "--serve-seed") {
+      const int seed = parseIntFlag(value(i, arg), "--serve-seed");
+      if (seed < 0) {
+        std::cerr << "aspf-run: --serve-seed must be >= 0, got " << seed
+                  << "\n";
+        return 1;
+      }
+      cli.serve.seed = static_cast<std::uint64_t>(seed);
+      serveOptFlag = arg;
+    } else if (arg == "--serve-mix") {
+      cli.serve.mix.clear();
+      std::stringstream ss(value(i, arg));
+      std::string tag;
+      while (std::getline(ss, tag, ',')) {
+        if (tag == "all") {
+          cli.serve.mix.assign(kAllQueryKinds.begin(), kAllQueryKinds.end());
+          continue;
+        }
+        QueryKind kind;
+        if (!queryKindFromString(tag, &kind)) {
+          std::cerr << "aspf-run: unknown query kind '" << tag
+                    << "' (dest-swap|dest-add|dest-remove|toggle-source)\n";
+          return 1;
+        }
+        cli.serve.mix.push_back(kind);
+      }
+      if (cli.serve.mix.empty()) {
+        std::cerr << "aspf-run: --serve-mix selected nothing\n";
+        return 1;
+      }
+      serveOptFlag = arg;
+    } else if (arg == "--serve-mutate") {
+      cli.serve.mutateEvery = parseIntFlag(value(i, arg), "--serve-mutate");
+      if (cli.serve.mutateEvery < 1) {
+        std::cerr << "aspf-run: --serve-mutate must be >= 1, got "
+                  << cli.serve.mutateEvery << "\n";
+        return 1;
+      }
+      serveOptFlag = arg;
+    } else if (arg == "--serve-fault") {
+      cli.serve.faultQuery = parseIntFlag(value(i, arg), "--serve-fault");
+      if (cli.serve.faultQuery < 0) {
+        std::cerr << "aspf-run: --serve-fault must be >= 0, got "
+                  << cli.serve.faultQuery << "\n";
+        return 1;
+      }
+      serveOptFlag = arg;
     } else if (arg == "--shape") {
       const std::string tag = value(i, arg);
       if (!shapeFromString(tag, &sweep.shape)) {
@@ -331,23 +439,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--b") {
       sweep.b = parseIntFlag(value(i, arg), "--b");
     } else if (arg == "--k") {
-      sweep.ks.clear();
-      if (!parseIntList(value(i, arg), &sweep.ks)) {
-        std::cerr << "aspf-run: bad --k list\n";
-        return 1;
-      }
+      sweep.ks = parseIntListFlag(value(i, arg), "--k");
     } else if (arg == "--l") {
-      sweep.ls.clear();
-      if (!parseIntList(value(i, arg), &sweep.ls)) {
-        std::cerr << "aspf-run: bad --l list\n";
-        return 1;
-      }
+      sweep.ls = parseIntListFlag(value(i, arg), "--l");
     } else if (arg == "--seeds") {
-      std::vector<int> seeds;
-      if (!parseIntList(value(i, arg), &seeds)) {
-        std::cerr << "aspf-run: bad --seeds list\n";
-        return 1;
-      }
+      // Seeds become uint64 registry seeds; negative values are rejected
+      // here instead of wrapping around.
+      const std::vector<int> seeds =
+          parseIntListFlag(value(i, arg), "--seeds", /*nonNegative=*/true);
       sweep.seeds.clear();
       for (const int s : seeds)
         sweep.seeds.push_back(static_cast<std::uint64_t>(s));
@@ -430,6 +529,15 @@ int main(int argc, char** argv) {
     std::cerr << "aspf-run: --epochs only applies to --timeline runs\n";
     return 1;
   }
+  if (!cli.haveServe && !serveOptFlag.empty()) {
+    std::cerr << "aspf-run: " << serveOptFlag << " requires --serve\n";
+    return 1;
+  }
+  if (cli.haveServe && !cli.timelines.empty()) {
+    std::cerr << "aspf-run: --serve cannot be combined with --timeline "
+                 "(run two invocations)\n";
+    return 1;
+  }
   if (!cli.timelines.empty()) {
     if (!cli.scenarios.empty()) {
       std::cerr << "aspf-run: --timeline cannot be combined with scenario "
@@ -441,19 +549,7 @@ int main(int argc, char** argv) {
     const BenchReport report = runTimelineBatch(
         suiteName, cli.timelines, cli.options, cli.maxEpochs);
     if (!cli.quiet) printTimelineTable(report);
-    if (!cli.jsonPath.empty()) {
-      const std::string text = toJson(report).dump(2);
-      if (cli.jsonPath == "-") {
-        std::cout << text;
-      } else {
-        std::ofstream out(cli.jsonPath);
-        if (!out) {
-          std::cerr << "aspf-run: cannot write " << cli.jsonPath << "\n";
-          return 1;
-        }
-        out << text;
-      }
-    }
+    if (!emitJson(report, cli.jsonPath)) return 1;
     for (const TimelineReport& tr : report.timelines) {
       for (const EpochReport& er : tr.epochs) {
         for (const EpochRun& run : er.runs) {
@@ -490,24 +586,38 @@ int main(int argc, char** argv) {
     suiteName = "custom";
   }
 
+  if (cli.haveServe) {
+    const BenchReport report =
+        runServeBatch(suiteName, cli.scenarios, cli.serve, cli.options);
+    if (!cli.quiet) printServeTable(report);
+    if (!emitJson(report, cli.jsonPath)) return 1;
+    for (const ServingReport& sv : report.serving) {
+      for (const ServeRun& run : sv.runs) {
+        if (!run.error.empty() || !run.checkerOk || !run.warmMatchesCold ||
+            run.queriesOk != sv.queries) {
+          std::cerr << "aspf-run: FAILED " << sv.scenario.name << " ["
+                    << run.algo << "]: "
+                    << (!run.error.empty()
+                            ? run.error
+                            : (!run.warmMatchesCold
+                                   ? std::string("warm solve diverged from "
+                                                 "the cold oracle")
+                                   : std::string("checker failed")))
+                    << " (" << run.queriesOk << "/" << sv.queries
+                    << " queries ok)\n";
+          return 2;
+        }
+      }
+    }
+    return 0;
+  }
+
   const BenchReport report =
       runBatch(suiteName, cli.scenarios, cli.options);
 
   if (!cli.quiet) printTable(report);
 
-  if (!cli.jsonPath.empty()) {
-    const std::string text = toJson(report).dump(2);
-    if (cli.jsonPath == "-") {
-      std::cout << text;
-    } else {
-      std::ofstream out(cli.jsonPath);
-      if (!out) {
-        std::cerr << "aspf-run: cannot write " << cli.jsonPath << "\n";
-        return 1;
-      }
-      out << text;
-    }
-  }
+  if (!emitJson(report, cli.jsonPath)) return 1;
 
   for (const ScenarioReport& sr : report.scenarios) {
     for (const AlgoRun& run : sr.runs) {

@@ -1,0 +1,69 @@
+#include "cli_args.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aspf::cli {
+
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+  if (error) *error = what;
+  return false;
+}
+
+/// std::stoi with the full-match contract: the whole token must parse.
+bool parseIntToken(const std::string& text, int* out, std::string* error) {
+  if (text.empty()) return fail(error, "empty integer");
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(text, &used);
+    if (used != text.size())
+      return fail(error, "trailing junk in '" + text + "'");
+    *out = v;
+    return true;
+  } catch (const std::out_of_range&) {
+    return fail(error, "'" + text + "' is out of the int range");
+  } catch (const std::exception&) {
+    return fail(error, "'" + text + "' is not an integer");
+  }
+}
+
+}  // namespace
+
+bool parseInt(const std::string& text, int* out, std::string* error) {
+  return parseIntToken(text, out, error);
+}
+
+bool parseIntList(const std::string& text, std::vector<int>* out,
+                  std::string* error, bool nonNegative) {
+  std::stringstream ss(text);
+  std::string item;
+  bool any = false;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t dots = item.find("..");
+    int lo = 0, hi = 0;
+    if (dots != std::string::npos) {
+      if (!parseIntToken(item.substr(0, dots), &lo, error)) return false;
+      if (!parseIntToken(item.substr(dots + 2), &hi, error)) return false;
+      if (hi < lo)
+        return fail(error, "range '" + item + "' is reversed (hi < lo)");
+      const long span = static_cast<long>(hi) - static_cast<long>(lo) + 1;
+      if (span > kMaxRangeSpan)
+        return fail(error, "range '" + item + "' expands to " +
+                               std::to_string(span) + " values (cap " +
+                               std::to_string(kMaxRangeSpan) + ")");
+    } else {
+      if (!parseIntToken(item, &lo, error)) return false;
+      hi = lo;
+    }
+    if (nonNegative && lo < 0)
+      return fail(error, "'" + item + "' is negative (must be >= 0)");
+    for (int v = lo; v <= hi; ++v) out->push_back(v);
+    any = true;
+  }
+  if (!any) return fail(error, "empty list");
+  return true;
+}
+
+}  // namespace aspf::cli

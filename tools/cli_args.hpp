@@ -1,0 +1,40 @@
+#pragma once
+// Dependency-free CLI parsing helpers shared by the aspf tools and unit
+// tests (tests/test_cli_args.cpp). Extracted from aspf_run.cpp so the
+// junk-rejection and range-cap rules are testable without spawning the
+// binary.
+//
+// Contracts (all enforced, all covered by tests):
+//   * Integers must consume the ENTIRE token: "1x" is an error, not 1.
+//     This closes the historical gap where list items went through a bare
+//     std::stoi while scalar flags checked the consumed length -- so
+//     `--seeds 1x,2y` silently ran seeds 1,2.
+//   * `lo..hi` ranges expand to at most kMaxRangeSpan values. A typo like
+//     `0..2000000000` is a usage error, not a multi-gigabyte allocation.
+//   * Ranges with hi < lo are errors (an empty range is never what the
+//     user meant).
+//   * With `nonNegative` every parsed value must be >= 0 (seed lists: the
+//     registry derives uint64 seeds from them).
+//
+// On failure every function returns false and, when `error` is non-null,
+// stores a human-readable reason (no flag name -- the caller prefixes it).
+#include <string>
+#include <vector>
+
+namespace aspf::cli {
+
+/// Largest number of values a single `lo..hi` range may expand to.
+inline constexpr long kMaxRangeSpan = 1'000'000;
+
+/// Full-match integer parse ("12", "-3"); trailing junk, empty input and
+/// overflow are errors.
+bool parseInt(const std::string& text, int* out, std::string* error);
+
+/// Comma-separated integer list with inclusive `lo..hi` ranges
+/// ("2,8,32", "1..4", "1,4..6,9"). Appends to *out. Empty lists, empty
+/// items, partial matches, reversed or over-wide ranges are errors; with
+/// `nonNegative`, so is any value < 0.
+bool parseIntList(const std::string& text, std::vector<int>* out,
+                  std::string* error, bool nonNegative = false);
+
+}  // namespace aspf::cli
