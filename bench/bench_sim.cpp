@@ -3,10 +3,14 @@
 // re-unions circuits whose amoebots reconfigured) and of the
 // structure/portal computations, as a function of n.
 #include <chrono>
+#include <numeric>
+#include <random>
 
 #include "bench_common.hpp"
 #include "portals/portals.hpp"
 #include "sim/circuit_engine.hpp"
+#include "sim/pin_config.hpp"
+#include "sim/simd_kernels.hpp"
 
 namespace aspf {
 namespace {
@@ -147,6 +151,115 @@ BENCHMARK(BM_DeliverHugeChain)
     ->Arg(2)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Kernel microbenches: per-kernel attribution for the deliver() hot path,
+// each dispatched per ISA (Arg: 0 = scalar, 1 = sse2, 2 = avx2) so a
+// regression can be pinned to one kernel on one table. Unsupported ISAs
+// skip with an error instead of silently measuring the fallback.
+// ---------------------------------------------------------------------
+
+const simd::KernelTable* tableFor(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  if (!simd::isaSupported(isa)) {
+    state.SkipWithError("ISA not supported on this host/toolchain");
+    return nullptr;
+  }
+  const simd::KernelTable* t =
+      isa == simd::Isa::Scalar ? &simd::scalarTable()
+      : isa == simd::Isa::Sse2 ? simd::sse2Table()
+                               : simd::avx2Table();
+  state.SetLabel(t->name);
+  return t;
+}
+
+// The dirty drain's batched 32-byte snapshot compare (takeDirtyShard):
+// one blockEqualMany sweep over a shuffled touched list, half the blocks
+// genuinely changed.
+void BM_BlockCompare(benchmark::State& state) {
+  const simd::KernelTable* t = tableFor(state);
+  if (t == nullptr) return;
+  constexpr int kBlocks = 4096;
+  AlignedLabelVec cur(static_cast<std::size_t>(kBlocks) * kPinStride);
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<int> byte(-128, 127);
+  for (auto& v : cur) v = static_cast<std::int8_t>(byte(rng));
+  AlignedLabelVec prev = cur;
+  for (int b = 0; b < kBlocks; b += 2)
+    cur[static_cast<std::size_t>(b) * kPinStride + (b % 29)] ^= 1;
+  std::vector<int> locals(kBlocks);
+  std::iota(locals.begin(), locals.end(), 0);
+  std::shuffle(locals.begin(), locals.end(), rng);
+  std::vector<std::uint8_t> eq(kBlocks);
+  for (auto _ : state) {
+    t->blockEqualMany(cur.data(), prev.data(), locals.data(), locals.size(),
+                      eq.data());
+    benchmark::DoNotOptimize(eq.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * kBlocks * kPinStride * 2);
+}
+BENCHMARK(BM_BlockCompare)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+// The fused closure scan's memory pattern: one 8-byte HotPin load per
+// visited pin over a shuffled visit order (the cache-layout win of the
+// hot/cold split -- ISA-independent, so no Arg).
+void BM_ChaseHotArray(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  std::vector<HotPin> hot(nodes);
+  std::mt19937 rng(2);
+  std::uniform_int_distribution<int> d(-12, 12);
+  std::uniform_int_distribution<int> link(-1, nodes - 1);
+  for (auto& h : hot) {
+    h.delta = static_cast<std::int8_t>(d(rng));
+    h.leadDelta = static_cast<std::int8_t>(d(rng));
+    h.link = link(rng);
+  }
+  std::vector<int> visit(nodes);
+  std::iota(visit.begin(), visit.end(), 0);
+  std::shuffle(visit.begin(), visit.end(), rng);
+  for (auto _ : state) {
+    long acc = 0;
+    for (std::size_t i = 0; i < visit.size(); ++i) {
+      if (i + 8 < visit.size()) __builtin_prefetch(&hot[visit[i + 8]]);
+      const HotPin h = hot[visit[i]];
+      acc += h.delta + h.leadDelta + (h.link >= 0 ? 1 : 0);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_ChaseHotArray)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+// Beep-root / receivedBatch resolution: batched non-writing union-find
+// chases on a random forest (AVX2 runs 8 gathered chases per iteration).
+void BM_BeepRootResolve(benchmark::State& state) {
+  const simd::KernelTable* t = tableFor(state);
+  if (t == nullptr) return;
+  constexpr int kNodes = 1 << 16;
+  constexpr int kQueries = 4096;
+  std::mt19937 rng(3);
+  std::vector<int> parent(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    std::uniform_int_distribution<int> pick(-64, i - 1);
+    const int p = i == 0 ? -1 : pick(rng);
+    parent[i] = p < 0 ? -1 : p;
+  }
+  std::uniform_int_distribution<int> node(0, kNodes - 1);
+  std::vector<int> nodes(kQueries);
+  for (auto& v : nodes) v = node(rng);
+  std::vector<int> roots(kQueries);
+  for (auto _ : state) {
+    t->resolveRoots(parent.data(), nodes.data(), nodes.size(), roots.data());
+    benchmark::DoNotOptimize(roots.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+BENCHMARK(BM_BeepRootResolve)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_HoleFreeCheck(benchmark::State& state) {
   const auto s = bench::workloadShape(Shape::RandomBlob, static_cast<int>(state.range(0)), 0, 9);

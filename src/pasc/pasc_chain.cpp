@@ -128,10 +128,23 @@ PascResult runPascChain(Comm& comm, std::span<const int> stops,
   interior.clear();
   interior.shrink_to_fit();
 
+  // Precompiled query nodes: the per-iteration read sweep asks the same
+  // (amoebot, pin) pairs every time except the tail, whose in-pin depends
+  // on its current crossing. Compile the interior handles once and swap
+  // only the tail entry between its two variants each iteration --
+  // receivedNodes() then resolves the batch without re-deriving pin
+  // indices. queryNodes[i - 1] belongs to stop i (matching bitOf).
+  std::vector<int> queryNodes(m >= 2 ? m - 1 : 0);
+  for (int i = 1; i + 1 < m; ++i)
+    queryNodes[i - 1] = comm.pinNodeOf(stops[i], outPin(i, 1));
+  const int tailCrossed =
+      m >= 2 ? comm.pinNodeOf(stops[m - 1], inPin(m - 1, 0)) : -1;
+  const int tailStraight =
+      m >= 2 ? comm.pinNodeOf(stops[m - 1], inPin(m - 1, 1)) : -1;
+
   int iteration = 0;
   std::vector<char> bitsNow(m, 0);
   std::vector<int> flipped;
-  std::vector<PinQuery> queries;
   std::vector<char> bitOf;
   while (true) {
     // --- Round 1: rewire flipped crossings, head injects, all read bits.
@@ -151,13 +164,9 @@ PascResult runPascChain(Comm& comm, std::span<const int> stops,
     // beep. Tail uses the in-pin that its (virtual) crossing would route to
     // the secondary out-lane. The whole sweep is one batched query so a
     // sharded Comm resolves the m roots concurrently.
-    queries.clear();
-    for (int i = 1; i < m; ++i) {
-      const Pin q = i == m - 1 ? inPin(i, active[i] != 0 ? 0 : 1)
-                               : outPin(i, 1);
-      queries.push_back({stops[i], q});
-    }
-    comm.receivedBatch(queries, &bitOf);
+    if (m >= 2)
+      queryNodes[m - 2] = active[m - 1] != 0 ? tailCrossed : tailStraight;
+    comm.receivedNodes(queryNodes, &bitOf);
     for (int i = 0; i < m; ++i) {
       // Head: its own crossing acts on the injected signal directly.
       const bool bit = i == 0 ? active[0] != 0 : bitOf[i - 1] != 0;

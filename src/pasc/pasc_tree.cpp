@@ -104,11 +104,34 @@ TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent) {
   }
   rewireNodes(members, /*resetFirst=*/false);
 
+  // Precompiled query nodes. Internal nodes always read the secondary
+  // out-lane toward their first child (static across the whole run); a
+  // leaf reads the in-pin its crossing routes to the secondary out-lane,
+  // which switches from inP to inS exactly once -- when the leaf
+  // deactivates. So the batch is compiled once, and a flip patches the
+  // leaf's slot in O(1); receivedNodes() then resolves the sweep without
+  // re-deriving any pin indices.
+  std::vector<int> queryNodes;
+  std::vector<int> queryNode;
+  std::vector<int> slotOf(n, -1);
+  std::vector<int> leafStraight(n, -1);
+  for (int u = 0; u < n; ++u) {
+    if (!member[u]) continue;
+    if (!children[u].empty()) {
+      queryNodes.push_back(comm.pinNodeOf(u, outS(u, children[u].front())));
+      queryNode.push_back(u);
+    } else if (parent[u] >= 0) {
+      slotOf[u] = static_cast<int>(queryNodes.size());
+      leafStraight[u] = comm.pinNodeOf(u, inS(u));
+      queryNodes.push_back(active[u] != 0 ? comm.pinNodeOf(u, inP(u))
+                                          : leafStraight[u]);
+      queryNode.push_back(u);
+    }
+  }
+
   int iteration = 0;
   std::vector<char> bitsNow(n, 0);
   std::vector<int> flipped;
-  std::vector<PinQuery> queries;
-  std::vector<int> queryNode;
   std::vector<char> bitOf;
   while (true) {
     // --- Round 1: rewire flipped crossings, roots inject, read bits.
@@ -122,27 +145,10 @@ TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent) {
 
     // One batched query for the whole forest sweep (sharded Comms
     // resolve the roots concurrently; isolated roots and non-members
-    // never enter the batch and stay 0).
-    queries.clear();
-    queryNode.clear();
-    for (int u = 0; u < n; ++u) {
-      if (!member[u]) continue;
-      if (!children[u].empty()) {
-        // The signal leaves on the secondary out-lane iff the partition
-        // set containing an out-secondary pin received the beep; this
-        // holds for both the straight and the crossed configuration.
-        queries.push_back({u, outS(u, children[u].front())});
-        queryNode.push_back(u);
-      } else if (parent[u] >= 0) {
-        // Leaf: virtual out side; its crossing routes inP (crossed) or
-        // inS (straight) to the secondary out-lane.
-        queries.push_back({u, active[u] != 0 ? inP(u) : inS(u)});
-        queryNode.push_back(u);
-      }
-    }
-    comm.receivedBatch(queries, &bitOf);
+    // never entered the precompiled batch and stay 0).
+    comm.receivedNodes(queryNodes, &bitOf);
     std::fill(bitsNow.begin(), bitsNow.end(), 0);
-    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    for (std::size_t qi = 0; qi < queryNodes.size(); ++qi) {
       if (!bitOf[qi]) continue;
       const int u = queryNode[qi];
       bitsNow[u] = 1;
@@ -155,6 +161,8 @@ TreePascResult runPascForest(Comm& comm, const std::vector<int>& parent) {
       if (active[u] && bitsNow[u]) {
         active[u] = 0;
         flipped.push_back(u);
+        // A deactivated leaf now reads the straight in-pin.
+        if (slotOf[u] >= 0) queryNodes[slotOf[u]] = leafStraight[u];
       }
       anyActive = anyActive || active[u] != 0;
     }

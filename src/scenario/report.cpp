@@ -22,6 +22,7 @@ Json toJson(const BenchReport& report) {
   config["check"] = Json(report.check);
   config["timing"] = Json(report.timing);
   config["engine"] = Json(report.engine);
+  config["simd"] = Json(report.simdIsa);
   doc["config"] = std::move(config);
 
   Json scenarios = Json::array();
@@ -51,6 +52,8 @@ Json toJson(const BenchReport& report) {
       run["incr_rounds"] = Json(r.incrRounds);
       run["rebuild_rounds"] = Json(r.rebuildRounds);
       run["dirty_frac"] = Json(r.dirtyFrac);
+      run["block_compares"] = Json(r.blockCompares);
+      run["bitset_words_scanned"] = Json(r.bitsetWordsScanned);
       if (r.hasPhases) {
         Json phases = Json::object();
         for (std::size_t i = 0; i < kPhaseNames.size(); ++i)
@@ -221,7 +224,8 @@ class Validator {
     // Engine counters are optional on input: reports written before the
     // incremental substrate (PR <= 2) predate them.
     for (const char* key :
-         {"unions", "incr_rounds", "rebuild_rounds", "dirty_frac"}) {
+         {"unions", "incr_rounds", "rebuild_rounds", "dirty_frac",
+          "block_compares", "bitset_words_scanned"}) {
       if (const Json* v = run.find(key)) {
         if (v->type() != Json::Type::Number)
           return fail(path + "." + key, "wrong type");
@@ -433,6 +437,10 @@ class Validator {
         return fail("$.config.engine",
                     "unknown engine '" + engine->asString() + "'");
     }
+    if (const Json* simdIsa = config->find("simd")) {  // optional (PR <= 6)
+      if (!simdIsa->isString())
+        return fail("$.config.simd", "wrong type");
+    }
 
     const Json* scenarios = need(doc, "$", "scenarios", Json::Type::Array);
     if (!scenarios) return false;
@@ -508,6 +516,8 @@ BenchReport reportFromJson(const Json& doc) {
   report.timing = config.find("timing")->asBool();
   if (const Json* engine = config.find("engine"))
     report.engine = engine->asString();
+  if (const Json* simdIsa = config.find("simd"))
+    report.simdIsa = simdIsa->asString();
 
   for (const Json& s : doc.find("scenarios")->items()) {
     ScenarioReport sr;
@@ -537,6 +547,10 @@ BenchReport reportFromJson(const Json& doc) {
       if (const Json* v = r.find("rebuild_rounds"))
         run.rebuildRounds = static_cast<long>(v->asInt());
       if (const Json* v = r.find("dirty_frac")) run.dirtyFrac = v->asNumber();
+      if (const Json* v = r.find("block_compares"))
+        run.blockCompares = static_cast<long>(v->asInt());
+      if (const Json* v = r.find("bitset_words_scanned"))
+        run.bitsetWordsScanned = static_cast<long>(v->asInt());
       if (const Json* phases = r.find("phases")) {
         run.hasPhases = true;
         for (std::size_t i = 0; i < kPhaseNames.size(); ++i)

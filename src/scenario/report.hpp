@@ -9,7 +9,7 @@
 //     "suite": "<suite name or 'custom'>",
 //     "config": {"algos": [...], "threads": N, "sim_threads": N,
 //                "lanes": N, "check": bool, "timing": bool,
-//                "engine": "incremental|rebuild"},
+//                "engine": "incremental|rebuild", "simd": "<isa>"},
 //     "scenarios": [
 //       {"name": ..., "shape": ..., "a": ..., "b": ..., "k": ..., "l": ...,
 //        "seed": ..., "n": ..., "k_eff": ..., "l_eff": ...,
@@ -18,6 +18,7 @@
 //           "checker_ok": bool, "error": "",
 //           "delivers": ..., "beeps": ..., "unions": ...,
 //           "incr_rounds": ..., "rebuild_rounds": ..., "dirty_frac": ...,
+//           "block_compares": ..., "bitset_words_scanned": ...,
 //           "phases": {"preprocessing": ..., "split": ..., "base": ...,
 //                      "decomposition": ..., "merging": ..., "prune": ...}}
 //        ]}
@@ -84,7 +85,15 @@
 // execution-resource stamp, not a model field: every deterministic field
 // is bit-identical at any sim-thread count, so equalDeterministic ignores
 // it and the CI byte-identity check compares reports modulo that one
-// config line. All
+// config line. "config.simd" (the kernel ISA the dispatch table resolved:
+// "scalar", "sse2" or "avx2") is the same kind of stamp -- optional on
+// input (reports from PR <= 6 predate it, defaulting to ""), ignored by
+// equalDeterministic, stripped by the CI byte-identity cmp. The per-run
+// "block_compares" / "bitset_words_scanned" SIMD-plane counters (logical
+// snapshot block compares; words zeroed by the tracked bitset resets) ARE
+// ISA- and sim-thread-deterministic, but are optional on input and
+// excluded from equalDeterministic so new binaries keep diffing clean
+// against committed baselines that predate them. All
 // numeric fields fit a double exactly. Reports round-trip: toJson -> dump
 // -> Json::parse -> reportFromJson reproduces the struct bit-for-bit
 // except for nothing -- wall-times are preserved verbatim.
@@ -115,6 +124,8 @@ struct AlgoRun {
   long incrRounds = 0;     // delivers served by the incremental path
   long rebuildRounds = 0;  // delivers that rebuilt circuits from scratch
   double dirtyFrac = 0.0;  // truly-reconfigured amoebots per amoebot-round
+  long blockCompares = 0;  // 32-byte snapshot block compares (dirty drain)
+  long bitsetWordsScanned = 0;  // words zeroed by tracked bitset resets
   bool hasPhases = false;  // true => `phases` is meaningful
   std::array<long, 6> phases{};  // indexed like kPhaseNames
 
@@ -251,6 +262,7 @@ struct BenchReport {
                        // report trust, not a verified verdict
   bool timing = true;
   std::string engine = "incremental";  // circuit engine the runs used
+  std::string simdIsa;  // kernel ISA stamp ("" = unrecorded; PR <= 6)
   std::vector<ScenarioReport> scenarios;
   // Dynamic-timeline section (empty for plain scenario batches; the
   // `timelines` key is then omitted from the JSON, so pre-dynamic reports
@@ -279,7 +291,10 @@ BenchReport reportFromJson(const Json& doc);
 
 /// Compares the *deterministic* fields of two reports: suite, algos,
 /// lanes, check, engine, and per scenario/run everything except wall-times,
-/// RSS, the thread count and the timing flag (for serving runs, also
+/// RSS, the thread count, the timing flag, the config.simd ISA stamp and
+/// the per-run block_compares / bitset_words_scanned counters (the last
+/// two ARE deterministic but are skipped so new binaries diff clean
+/// against baselines that predate them; for serving runs, also
 /// excepting queries/sec and the latency percentiles -- host metrics). Returns true iff they match;
 /// on mismatch `why` (if non-null) names the first differing path. Used by
 /// `aspf-run --diff` and the CI perf-sanity step to catch round-count or

@@ -13,6 +13,7 @@
 #include "baselines/naive_forest.hpp"
 #include "scenario/serve.hpp"
 #include "sim/sim_counters.hpp"
+#include "sim/simd_kernels.hpp"
 #include "spf/forest.hpp"
 
 namespace aspf::scenario {
@@ -118,6 +119,8 @@ AlgoRun runOne(const BuiltScenario& built, Algo algo,
                       ? static_cast<double>(delta.dirtyAmoebots) /
                             static_cast<double>(delta.amoebotRounds)
                       : 0.0;
+  run.blockCompares = delta.blockCompares;
+  run.bitsetWordsScanned = delta.bitsetWordsScanned;
   if (options.timing) {
     run.wallMs =
         std::chrono::duration<double, std::milli>(stop - start).count();
@@ -159,6 +162,7 @@ BenchReport runBatch(std::string suiteName,
   report.timing = options.timing;
   report.engine = options.engine == CircuitEngine::Rebuild ? "rebuild"
                                                            : "incremental";
+  report.simdIsa = simd::isaName(simd::activeIsa());
   report.scenarios.resize(scenarios.size());
 
   if (options.timing) resetPeakRss();
@@ -348,6 +352,7 @@ BenchReport runTimelineBatch(std::string suiteName,
   report.timing = options.timing;
   report.engine = options.engine == CircuitEngine::Rebuild ? "rebuild"
                                                            : "incremental";
+  report.simdIsa = simd::isaName(simd::activeIsa());
   report.timelines.resize(timelines.size());
 
   if (options.timing) resetPeakRss();

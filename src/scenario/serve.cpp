@@ -10,6 +10,7 @@
 #include "baselines/bfs_wave.hpp"
 #include "baselines/checker.hpp"
 #include "baselines/naive_forest.hpp"
+#include "sim/simd_kernels.hpp"
 #include "spf/forest.hpp"
 
 namespace aspf::scenario {
@@ -372,6 +373,7 @@ BenchReport runServeBatch(std::string suiteName,
   report.timing = options.timing;
   report.engine = options.engine == CircuitEngine::Rebuild ? "rebuild"
                                                            : "incremental";
+  report.simdIsa = simd::isaName(simd::activeIsa());
   report.serving.resize(scenarios.size());
 
   if (options.timing) resetPeakRss();

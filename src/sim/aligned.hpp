@@ -1,0 +1,46 @@
+#pragma once
+// Minimal aligned allocator for the pin arena's byte planes.
+//
+// std::vector<int8_t> only guarantees alignof(int8_t) = 1; the arena's
+// 32-byte-per-amoebot label blocks are loaded as whole SIMD registers by
+// the kernels in simd_kernels.hpp, and while AVX2 loadu tolerates
+// unaligned pointers, guaranteed 32-byte alignment keeps every block load
+// within one cache line (a block never straddles two lines) and lets the
+// kernels assume aligned semantics forever. The allocator forwards to the
+// C++17 aligned operator new, so it works with any vector operation
+// (copy, move, assign) and is stateless (all instances compare equal).
+#include <cstddef>
+#include <new>
+
+namespace aspf {
+
+template <class T, std::size_t Align>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "Align must be a power of two >= alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace aspf

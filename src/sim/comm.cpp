@@ -1,7 +1,6 @@
 #include "sim/comm.hpp"
 
 #include <algorithm>
-#include <array>
 #include <string>
 
 #include "sim/sim_counters.hpp"
@@ -92,20 +91,43 @@ Comm::Comm(const Region& region, int lanes, CircuitEngine engine,
       engine_(engine),
       simThreads_(checkedSimThreads(simThreads)),
       sharded_(shardCountFor(region.size(), simThreads) > 1),
+      kernels_(&simd::kernels()),
       arena_(region.size(), lanes,
              shardCountFor(region.size(), simThreads)) {
   const std::size_t pins = static_cast<std::size_t>(region.size()) * ppa_;
   dsu_.assign(pins, -1);
-  beepEpoch_.assign(pins, 0);
+  beepBits_.resize(pins);
   if (engine_ == CircuitEngine::Incremental) {
-    pinVisited_.assign(pins, 0);
-    dirtyFlag_.assign(region.size(), 0);
+    visitedBits_.resize(pins);
+    dirtyPinBits_.resize(pins);
   }
   if (sharded_) {
     const int shardCount = arena_.shardCount();
     shards_.resize(shardCount);
     for (Shard& s : shards_) s.outbox.resize(shardCount);
     inbox_.resize(shardCount);
+    if (engine_ == CircuitEngine::Incremental) pinVisited_.assign(pins, 0);
+  }
+  buildLinkMap();
+}
+
+void Comm::buildLinkMap() {
+  const int n = region_->size();
+  HotPin* row = arena_.mutableHot();
+  for (int a = 0; a < n; ++a, row += ppa_) {
+    for (int di = 0; di < kNumDirs; ++di) {
+      const int b = region_->neighbor(a, static_cast<Dir>(di));
+      if (b < 0) {
+        for (int lane = 0; lane < lanes_; ++lane)
+          row[di * lanes_ + lane].link = -1;
+      } else {
+        const int oppBase =
+            b * ppa_ +
+            static_cast<int>(opposite(static_cast<Dir>(di))) * lanes_;
+        for (int lane = 0; lane < lanes_; ++lane)
+          row[di * lanes_ + lane].link = oppBase + lane;
+      }
+    }
   }
 }
 
@@ -127,14 +149,19 @@ void Comm::beep(int local, int label) {
 }
 
 int Comm::findRoot(int x) const {
-  int r = x;
-  while (dsu_[r] >= 0) r = dsu_[r];
+  // Path-halving find: every other node on the walk is re-pointed at its
+  // grandparent, amortizing to the same near-constant bound as full
+  // two-pass compression with a single pass. The returned root (and
+  // hence every observable) is identical either way; only the internal
+  // dsu_ shape differs, which nothing outside this class can see.
   while (dsu_[x] >= 0) {
-    const int next = dsu_[x];
-    dsu_[x] = r;
-    x = next;
+    const int parent = dsu_[x];
+    const int grand = dsu_[parent];
+    if (grand < 0) return parent;
+    dsu_[x] = grand;
+    x = grand;
   }
-  return r;
+  return x;
 }
 
 int Comm::findRootConst(int x) const noexcept {
@@ -153,89 +180,74 @@ void Comm::unite(int a, int b, long* unions) {
 }
 
 void Comm::rebuildAll() {
-  const int n = region_->size();
+  const int pins = region_->size() * ppa_;
   std::fill(dsu_.begin(), dsu_.end(), -1);
 
-  // Partition sets: union pins of an amoebot sharing a label.
-  std::array<int, kNumDirs * kMaxLanes> firstWithLabel{};
-  for (int a = 0; a < n; ++a) {
-    firstWithLabel.fill(-1);
-    const std::int8_t* labels = arena_.labelsOf(a);
-    for (int p = 0; p < ppa_; ++p) {
-      const int label = labels[p];
-      if (firstWithLabel[label] < 0)
-        firstWithLabel[label] = p;
-      else
-        unite(pinNode(a, firstWithLabel[label]), pinNode(a, p),
-              &unionsScratch_);
-    }
+  // Set-level rebuild: a partition set is born merged under its lead pin
+  // (the -1 fill made every lead a fresh singleton root), so the only
+  // unions are the external links -- each has exactly one smaller
+  // endpoint, so `link > node` unions each once, lead-to-lead. The
+  // reported counter keeps the pin-level semantics: the per-pin scheme
+  // performed |pins| - |sets| additional successful unions (merging each
+  // set's members), a number independent of union order.
+  const HotPin* hot = arena_.hot();
+  long sets = 0;
+  for (int node = 0; node < pins; ++node) {
+    const HotPin h = hot[node];
+    if (h.leadDelta == 0) ++sets;
+    const int nb = h.link;
+    if (nb > node)
+      unite(node + h.leadDelta, nb + hot[nb].leadDelta, &unionsScratch_);
   }
-  // External links: pin (a, d, lane) is wired to (b, opposite(d), lane).
-  for (int a = 0; a < n; ++a) {
-    for (int di = 0; di < 3; ++di) {  // E, NE, NW suffice (symmetry)
-      const Dir d = static_cast<Dir>(di);
-      const int b = region_->neighbor(a, d);
-      if (b < 0) continue;
-      for (int lane = 0; lane < lanes_; ++lane) {
-        unite(pinNode(a, pinIndex({d, static_cast<std::uint8_t>(lane)}, lanes_)),
-              pinNode(b, pinIndex({opposite(d), static_cast<std::uint8_t>(lane)},
-                                  lanes_)),
-              &unionsScratch_);
-      }
-    }
-  }
+  unionsScratch_ += pins - sets;
 }
 
 void Comm::rebuildAllSharded() {
   // Phase A (parallel): each shard clears its own dsu range and unions
-  // the edges whose BOTH endpoints it owns -- all intra-amoebot partition
-  // edges plus the shard-internal links. Union-find chains can never
-  // leave the shard (every union so far joined two in-shard pins), so
-  // the shards touch disjoint dsu index ranges: race-free by
-  // construction. Shard-crossing links are collected per shard.
+  // the links whose BOTH endpoints it owns, lead-to-lead. A lead node is
+  // always in its pin's own amoebot, and `node < nb < hiPin` implies both
+  // amoebots are in-shard, so union-find chains can never leave the shard:
+  // the shards touch disjoint dsu index ranges, race-free by
+  // construction. (Reading a neighbor shard's HotPin for its leadDelta is
+  // fine -- the hot plane is read-only during parallel phases.)
+  // Shard-crossing links are collected by the shard owning the smaller
+  // endpoint (so each appears exactly once), already lead-mapped. The
+  // pin-level counter padding |shard pins| - |shard sets| is additive
+  // over shards.
   runShards([this](int s) {
     Shard& sc = shards_[s];
-    const int lo = arena_.shardBegin(s);
-    const int hi = arena_.shardEnd(s);
-    std::fill(dsu_.begin() + static_cast<std::size_t>(lo) * ppa_,
-              dsu_.begin() + static_cast<std::size_t>(hi) * ppa_, -1);
-    std::array<int, kNumDirs * kMaxLanes> firstWithLabel{};
-    for (int a = lo; a < hi; ++a) {
-      firstWithLabel.fill(-1);
-      const std::int8_t* labels = arena_.labelsOf(a);
-      for (int p = 0; p < ppa_; ++p) {
-        const int label = labels[p];
-        if (firstWithLabel[label] < 0)
-          firstWithLabel[label] = p;
+    const int loPin = arena_.shardBegin(s) * ppa_;
+    const int hiPin = arena_.shardEnd(s) * ppa_;
+    std::fill(dsu_.begin() + loPin, dsu_.begin() + hiPin, -1);
+    const HotPin* hot = arena_.hot();
+    long sets = 0;
+    for (int node = loPin; node < hiPin; ++node) {
+      const HotPin h = hot[node];
+      if (h.leadDelta == 0) ++sets;
+      const int nb = h.link;
+      if (nb > node) {
+        const int la = node + h.leadDelta;
+        const int lb = nb + hot[nb].leadDelta;
+        if (nb < hiPin)
+          unite(la, lb, &sc.unions);
         else
-          unite(pinNode(a, firstWithLabel[label]), pinNode(a, p), &sc.unions);
+          sc.boundary.emplace_back(la, lb);
       }
     }
-    for (int a = lo; a < hi; ++a) {
-      for (int di = 0; di < 3; ++di) {  // E, NE, NW suffice (symmetry)
-        const int b = region_->neighbor(a, static_cast<Dir>(di));
-        if (b < 0) continue;
-        const int opp = di + 3;
-        for (int lane = 0; lane < lanes_; ++lane) {
-          const int x = pinNode(a, di * lanes_ + lane);
-          const int y = pinNode(b, opp * lanes_ + lane);
-          if (arena_.shardOf(b) == s)
-            unite(x, y, &sc.unions);
-          else
-            sc.boundary.emplace_back(x, y);
-        }
-      }
-    }
+    sc.unions += (hiPin - loPin) - sets;
   });
   mergeShardBoundaries();
 }
 
 void Comm::mergeShardBoundaries() {
   // Serial, deterministic closing pass of both sharded engines: merge
-  // the shard-crossing links in ascending shard order and roll the
-  // per-shard union counts up. The total successful-union count is
-  // |pins| - |circuits| no matter how the unions were ordered or
-  // partitioned, so the counter matches the serial engine exactly.
+  // the shard-crossing links (already lead-mapped by their emitting
+  // shard) in ascending shard order and roll the per-shard union counts
+  // up. The reported total is exactly the serial engine's: the set-level
+  // successful-union count is |sets| - |circuits| of the recomputed
+  // subgraph no matter how the unions were ordered or partitioned, and
+  // the per-shard pin-level paddings sum to |pins| - |sets| of the same
+  // subgraph.
   for (Shard& sc : shards_) {
     for (const auto& [x, y] : sc.boundary) unite(x, y, &unionsScratch_);
     sc.boundary.clear();
@@ -251,88 +263,111 @@ bool Comm::serialClosureScan(std::size_t limit) {
   // *previous* configurations) containing a pin of a dirty amoebot, and a
   // traversal of the old circuit graph from all dirty pins discovers every
   // pin whose component must be recomputed -- including both endpoints of
-  // every external link it crosses. The traversal walks the arena's
-  // circular partition-set lists (snapshot lists for dirty amoebots, the
-  // unchanged current lists for clean ones), so each step emits O(1)
-  // neighbors and the whole update costs O(affected pins * alpha).
+  // every external link it crosses. Processing a pin reads ONE fused
+  // HotPin record (snapshot deltas for pins of dirty amoebots, the
+  // unchanged current deltas for clean ones -- and the seed prefix of the
+  // worklist is exactly the dirty pins, so the choice is positional), so
+  // each step is one indexed 8-byte load with no divisions, and the
+  // whole update costs O(affected pins * alpha).
+  //
+  // Teardown and re-union are FUSED into the single traversal. The key is
+  // the detach-at-first-sight rule inside visit(): every newly marked pin
+  // gets dsu_[x] = -1 immediately. That is idempotent for non-leads (the
+  // dsu_ invariant keeps them at -1), dissolves old-circuit trees (their
+  // members are old leads, and every old lead of the closure is marked),
+  // and turns every NEW lead into a fresh singleton root BEFORE any union
+  // can touch it -- because a union's two arguments are always visit()ed
+  // first, and union trees only ever contain already-detached leads, a
+  // root chase can never escape into a stale tree. Each external link is
+  // united lead-to-lead once, from its smaller endpoint; a lead is a pin
+  // of the same amoebot as its member (partition sets never span
+  // amoebots), so the lead lookups stay on the already-loaded hot row.
   //
   // visitedPins_ doubles as the traversal worklist (scanned by cursor,
-  // appended in place); when the scan finishes it is exactly the set of
-  // pins whose components must be recomputed. Visiting also detaches the
-  // pin from the union-find right away -- unions over the visited set
-  // happen only after the traversal completes. Returns false once more
-  // than `limit` pins are visited (the closure provably exceeds the
-  // limit; no unions have happened yet, so the caller may roll the marks
-  // back and take another path).
+  // appended in place). The reported counter is padded to the historical
+  // pin-level semantics: the per-pin scheme performed |closure pins| -
+  // |closure sets| extra successful unions, counted order-independently
+  // (a closure set is identified by its lead pin). Returns false once
+  // more than `limit` pins are visited -- the closure provably exceeds
+  // the limit no matter the visit order, so the decision is
+  // deterministic; partial unions and detaches are harmless because the
+  // caller falls back to rebuildAll(), which refills the entire dsu, and
+  // the partial counter bump is rolled back here.
+  const HotPin* hot = arena_.hot();
+  const long unionsBefore = unionsScratch_;
   auto visit = [&](int node) {
-    if (!pinVisited_[node]) {
-      pinVisited_[node] = 1;
-      dsu_[node] = -1;
+    if (!visitedBits_.test(node)) {
+      visitedBits_.set(node);
       visitedPins_.push_back(node);
+      dsu_[node] = -1;  // detach at first sight (idempotent for non-leads)
     }
   };
   for (const int a : dirtyList_) {
-    for (int p = 0; p < ppa_; ++p) visit(pinNode(a, p));
-  }
-  for (std::size_t i = 0; i < visitedPins_.size(); ++i) {
-    if (visitedPins_.size() > limit) return false;
-    const int node = visitedPins_[i];
-    const int a = node / ppa_;
-    const int p = node % ppa_;
     const int base = a * ppa_;
+    for (int p = 0; p < ppa_; ++p) visit(base + p);
+  }
+  // The seed prefix is exactly the dirty amoebots' pins, and any later
+  // discovery of a dirty pin dedups against it -- so the snapshot-vs-
+  // current choice needs no per-pin membership test: the first
+  // `seedCount` worklist entries read the snapshot deltas, everything
+  // after them is clean and reads the current ones.
+  const std::size_t seedCount = visitedPins_.size();
+  long newLeads = 0;
+  for (std::size_t i = 0; i < visitedPins_.size(); ++i) {
+    if (visitedPins_.size() > limit) {
+      unionsScratch_ = unionsBefore;
+      return false;
+    }
+    // The worklist ahead of the cursor is already materialized, so the
+    // upcoming records can stream in behind the dependent loads.
+    if (i + 8 < visitedPins_.size())
+      __builtin_prefetch(&hot[visitedPins_[i + 8]]);
+    const int node = visitedPins_[i];
+    const HotPin h = hot[node];
+    if (h.leadDelta == 0) ++newLeads;
     // Next pin of the same (old) partition set: following the circular
     // list visits the whole set by the time all its members are scanned.
-    const std::int8_t* oldNext =
-        dirtyFlag_[a] ? arena_.snapshotNextOf(a) : arena_.nextOf(a);
-    visit(base + oldNext[p]);
-    const int di = p / lanes_;
-    const int b = region_->neighbor(a, static_cast<Dir>(di));
-    if (b >= 0) {
-      visit(pinNode(b, static_cast<int>(opposite(static_cast<Dir>(di))) *
-                           lanes_ +
-                       p % lanes_));
+    visit(node + (i < seedCount ? h.prevDelta : h.delta));
+    const int nb = h.link;
+    if (nb >= 0) {
+      visit(nb);
+      if (nb > node) {
+        const int la = node + h.leadDelta;
+        const int lb = nb + hot[nb].leadDelta;
+        visit(la);
+        visit(lb);
+        unite(la, lb, &unionsScratch_);
+      }
     }
   }
+  unionsScratch_ += static_cast<long>(visitedPins_.size()) - newLeads;
+  for (const int node : visitedPins_) visitedBits_.clear(node);
+  visitedPins_.clear();
   return true;
 }
 
-void Comm::serialReunion() {
-  // Recompute the affected components from the current configurations.
-  // Every affected component's pins are in visitedPins_ (already detached
-  // from the union-find), so all unions stay inside the visited set and
-  // untouched circuits keep their roots. Partition sets re-form by uniting
-  // each visited pin with its current circular successor (a set of size g
-  // costs g unions, one redundant). Retires the visited marks and list.
-  for (const int node : visitedPins_) {
-    const int a = node / ppa_;
-    const int p = node % ppa_;
-    const int base = a * ppa_;
-    unite(node, base + arena_.nextOf(a)[p], &unionsScratch_);
-    const int di = p / lanes_;
-    if (di >= 3) continue;  // process each link from its E/NE/NW endpoint
-    const int b = region_->neighbor(a, static_cast<Dir>(di));
-    if (b < 0) continue;
-    unite(node, pinNode(b, static_cast<int>(opposite(static_cast<Dir>(di))) *
-                               lanes_ +
-                           p % lanes_),
-          &unionsScratch_);
-  }
-  for (const int node : visitedPins_) pinVisited_[node] = 0;
-  visitedPins_.clear();
+void Comm::markDirtyPins() {
+  for (const int a : dirtyList_)
+    dirtyPinBits_.setRangeTracked(static_cast<std::size_t>(a) * ppa_,
+                                  static_cast<std::size_t>(ppa_));
+}
+
+void Comm::clearDirtyPins() {
+  simCounters().bitsetWordsScanned +=
+      static_cast<long>(dirtyPinBits_.resetTracked());
 }
 
 bool Comm::incrementalUpdate() {
-  for (const int a : dirtyList_) dirtyFlag_[a] = 1;
+  markDirtyPins();
   const std::size_t budget = dsu_.size() / kTraversalBudgetDivisor;
   if (!serialClosureScan(budget)) {
-    for (const int node : visitedPins_) pinVisited_[node] = 0;
-    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+    for (const int node : visitedPins_) visitedBits_.clear(node);
     visitedPins_.clear();
+    clearDirtyPins();
     rebuildAll();
     return false;
   }
-  serialReunion();
-  for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+  clearDirtyPins();
   return true;
 }
 
@@ -343,11 +378,16 @@ void Comm::chaseShard(int shard, std::size_t budget) {
   // pins discovered across a shard boundary go to that shard's outbox.
   // Duplicates across levels are possible (we cannot read another
   // shard's visited marks race-free) and are deduplicated by the owner.
+  // Shard membership of a neighbor pin is one range compare against this
+  // shard's pin window; the division to find the owning shard happens
+  // only on the rare cross-boundary path.
   Shard& sc = shards_[shard];
+  const int loPin = arena_.shardBegin(shard) * ppa_;
+  const int hiPin = arena_.shardEnd(shard) * ppa_;
+  const HotPin* hot = arena_.hot();
   auto visitLocal = [&](int node) {
     if (!pinVisited_[node]) {
       pinVisited_[node] = 1;
-      dsu_[node] = -1;
       sc.visited.push_back(node);
       sc.frontier.push_back(node);
     }
@@ -363,53 +403,63 @@ void Comm::chaseShard(int shard, std::size_t budget) {
     }
     const int node = sc.frontier.back();
     sc.frontier.pop_back();
-    const int a = node / ppa_;
-    const int p = node % ppa_;
-    const int base = a * ppa_;
-    const std::int8_t* oldNext =
-        dirtyFlag_[a] ? arena_.snapshotNextOf(a) : arena_.nextOf(a);
-    visitLocal(base + oldNext[p]);  // same amoebot: always in-shard
-    const int di = p / lanes_;
-    const int b = region_->neighbor(a, static_cast<Dir>(di));
-    if (b >= 0) {
-      const int nb =
-          pinNode(b, static_cast<int>(opposite(static_cast<Dir>(di))) * lanes_ +
-                         p % lanes_);
-      const int owner = arena_.shardOf(b);
-      if (owner == shard)
+    const HotPin h = hot[node];
+    std::int8_t succDelta, leadDelta;
+    if (dirtyPinBits_.test(node)) {
+      succDelta = h.prevDelta;
+      leadDelta = h.prevLeadDelta;
+    } else {
+      succDelta = h.delta;
+      leadDelta = h.leadDelta;
+    }
+    // Old-lead detach, as in the serial scan. `node` is in-shard, so the
+    // write stays inside this shard's dsu range: race-free.
+    if (leadDelta == 0) dsu_[node] = -1;
+    visitLocal(node + succDelta);  // same amoebot: always in-shard
+    const int nb = h.link;
+    if (nb >= 0) {
+      if (nb >= loPin && nb < hiPin)
         visitLocal(nb);
       else
-        sc.outbox[owner].push_back(nb);
+        sc.outbox[arena_.shardOf(nb / ppa_)].push_back(nb);
     }
   }
 }
 
 void Comm::reunionShard(int shard) {
   // Recompute the affected components from the current configurations,
-  // shard-locally: all visited pins are detached, and every union whose
-  // both endpoints this shard owns keeps its chains inside the shard.
-  // Shard-crossing links are deferred to the serial boundary merge,
-  // which needs only the boundary lists -- so this pass also retires the
-  // visited set (mark clearing folded in to save a pool batch).
+  // shard-locally: the closure's lead nodes are all fresh singletons (see
+  // serialReunion), and every union whose both link endpoints this shard
+  // owns keeps its chains inside the shard (lead nodes live in their
+  // pin's own amoebot). Shard-crossing links are deferred, lead-mapped,
+  // to the serial boundary merge -- so this pass also retires the
+  // visited set (mark clearing folded in to save a pool batch). Each
+  // link is handled by its smaller endpoint, whose owning shard either
+  // unions it locally or emits it once. The pin-level counter padding
+  // |closure pins| - |closure sets| is additive over shards (each
+  // closure pin is in exactly one shard's visited list).
   Shard& sc = shards_[shard];
-  for (const int node : sc.visited) {
+  const int hiPin = arena_.shardEnd(shard) * ppa_;
+  const HotPin* hot = arena_.hot();
+  long newLeads = 0;
+  const std::size_t count = sc.visited.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i + 8 < count) __builtin_prefetch(&hot[sc.visited[i + 8]]);
+    const int node = sc.visited[i];
     pinVisited_[node] = 0;
-    const int a = node / ppa_;
-    const int p = node % ppa_;
-    const int base = a * ppa_;
-    unite(node, base + arena_.nextOf(a)[p], &sc.unions);
-    const int di = p / lanes_;
-    if (di >= 3) continue;  // process each link from its E/NE/NW endpoint
-    const int b = region_->neighbor(a, static_cast<Dir>(di));
-    if (b < 0) continue;
-    const int nb =
-        pinNode(b, static_cast<int>(opposite(static_cast<Dir>(di))) * lanes_ +
-                       p % lanes_);
-    if (arena_.shardOf(b) == shard)
-      unite(node, nb, &sc.unions);
-    else
-      sc.boundary.emplace_back(node, nb);
+    const HotPin h = hot[node];
+    if (h.leadDelta == 0) ++newLeads;
+    const int nb = h.link;
+    if (nb > node) {
+      const int la = node + h.leadDelta;
+      const int lb = nb + hot[nb].leadDelta;
+      if (nb < hiPin)
+        unite(la, lb, &sc.unions);
+      else
+        sc.boundary.emplace_back(la, lb);
+    }
   }
+  sc.unions += static_cast<long>(count) - newLeads;
   sc.visited.clear();
 }
 
@@ -418,36 +468,41 @@ bool Comm::incrementalUpdateSharded() {
   // incrementalUpdate() -- only the execution order differs, and no
   // observable depends on it (see the determinism note in the header).
   const int shardCount = arena_.shardCount();
-  for (const int a : dirtyList_) dirtyFlag_[a] = 1;
+  markDirtyPins();
 
   // Small-closure fast path: sparse-frontier rounds (the paper's "one
   // amoebot reconfigures" pattern) repair circuits of a few thousand
   // pins, where the pool fan-out costs more than the repair. Chase the
   // closure serially up to a grain; only a closure that provably
   // exceeds it pays for the sharded traversal. Rolling back is cheap
-  // and exact: no unions have happened yet, and re-detaching a pin
-  // (dsu = -1) is idempotent, so clearing the visit marks suffices --
-  // every serially-detached pin is in the closure and gets revisited.
+  // and exact: every dsu word the fused scan wrote (detaches and
+  // partial union trees alike) belongs to a visited pin, so re-detaching
+  // the visited list restores the "non-lead == -1" invariant verbatim,
+  // the counter bump was already rolled back by the scan itself, and
+  // every visited pin is in the closure and gets revisited.
   const std::size_t budget = dsu_.size() / kTraversalBudgetDivisor;
   const std::size_t grain = std::min(kSerialClosureGrain, budget);
   if (serialClosureScan(grain)) {
-    serialReunion();
-    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+    clearDirtyPins();
     return true;
   }
-  for (const int node : visitedPins_) pinVisited_[node] = 0;
+  for (const int node : visitedPins_) {
+    visitedBits_.clear(node);
+    dsu_[node] = -1;
+  }
   visitedPins_.clear();
   if (grain == budget) {
     // The closure already exceeds the traversal budget -- the same
     // abort decision the serial engine takes.
-    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+    clearDirtyPins();
     rebuildAllSharded();
     return false;
   }
 
   for (const int a : dirtyList_) {
     std::vector<int>& in = inbox_[arena_.shardOf(a)];
-    for (int p = 0; p < ppa_; ++p) in.push_back(pinNode(a, p));
+    const int base = a * ppa_;
+    for (int p = 0; p < ppa_; ++p) in.push_back(base + p);
   }
 
   bool aborted = false;
@@ -481,19 +536,23 @@ bool Comm::incrementalUpdateSharded() {
       for (std::vector<int>& ob : sc.outbox) ob.clear();
     });
     for (std::vector<int>& in : inbox_) in.clear();
-    for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+    clearDirtyPins();
     rebuildAllSharded();
     return false;
   }
 
   runShards([this](int s) { reunionShard(s); });
   mergeShardBoundaries();
-  for (const int a : dirtyList_) dirtyFlag_[a] = 0;
+  clearDirtyPins();
   return true;
 }
 
 void Comm::collectDirty() {
-  if (sharded_ && arena_.touchedCount() >= kDirtyDrainGrain) {
+  const int touched = arena_.touchedCount();
+  // Every touched amoebot costs the drain exactly one 32-byte block
+  // compare, on either drain path.
+  simCounters().blockCompares += touched;
+  if (sharded_ && touched >= kDirtyDrainGrain) {
     runShards([this](int s) {
       shards_[s].dirty.clear();
       arena_.takeDirtyShard(s, &shards_[s].dirty);
@@ -508,11 +567,16 @@ void Comm::collectDirty() {
 }
 
 void Comm::scatterBeeps() {
-  ++epoch_;
+  // Tracked reset == the old epoch bump: no bit from the previous round
+  // survives, at O(words actually stamped) cost.
+  simCounters().bitsetWordsScanned +=
+      static_cast<long>(beepBits_.resetTracked());
+  if (pendingBeeps_.empty()) return;
   if (sharded_ && pendingBeeps_.size() >= kScatterGrain) {
-    // Parallel root resolution (read-only: non-compressing finds), then a
-    // serial O(beeps) stamping pass. Roots do not depend on compression,
-    // so the stamped set matches the serial path exactly.
+    // Parallel root resolution (read-only: non-compressing batched
+    // finds), then a serial O(beeps) stamping pass. Roots do not depend
+    // on compression or batching, so the stamped set matches the serial
+    // path exactly.
     beepRoots_.resize(pendingBeeps_.size());
     const int tasks = arena_.shardCount();
     const std::size_t chunk =
@@ -520,33 +584,44 @@ void Comm::scatterBeeps() {
     runShards([this, chunk](int t) {
       const std::size_t lo = static_cast<std::size_t>(t) * chunk;
       const std::size_t hi = std::min(lo + chunk, pendingBeeps_.size());
+      if (lo >= hi) return;
+      std::vector<int> nodes;
+      std::vector<std::size_t> at;
+      nodes.reserve(hi - lo);
+      at.reserve(hi - lo);
       for (std::size_t i = lo; i < hi; ++i) {
+        beepRoots_[i] = -1;
         const auto& [a, label] = pendingBeeps_[i];
-        const std::int8_t* labels = arena_.labelsOf(a);
-        int root = -1;
-        for (int p = 0; p < ppa_; ++p) {
-          if (labels[p] == label) {
-            root = findRootConst(pinNode(a, p));
-            break;
-          }
+        // Beep on the partition set = beep on its lead pin: the kernel's
+        // first-match IS the set's lowest-indexed member, which is its
+        // union-find word under the set-level dsu.
+        const int p = kernels_->findLabelPin(arena_.labelsOf(a),
+                                             static_cast<std::int8_t>(label));
+        if (p >= 0 && p < ppa_) {
+          nodes.push_back(pinNode(a, p));
+          at.push_back(i);
         }
-        beepRoots_[i] = root;
       }
+      std::vector<int> roots(nodes.size());
+      kernels_->resolveRoots(dsu_.data(), nodes.data(), nodes.size(),
+                             roots.data());
+      for (std::size_t j = 0; j < at.size(); ++j) beepRoots_[at[j]] = roots[j];
     });
     for (const int root : beepRoots_) {
-      if (root >= 0) beepEpoch_[root] = epoch_;
+      if (root >= 0) beepBits_.setTracked(root);
     }
   } else {
+    scratchNodes_.clear();
     for (const auto& [a, label] : pendingBeeps_) {
-      // Beep on the partition set = beep on any pin with that label.
-      const std::int8_t* labels = arena_.labelsOf(a);
-      for (int p = 0; p < ppa_; ++p) {
-        if (labels[p] == label) {
-          beepEpoch_[findRoot(pinNode(a, p))] = epoch_;
-          break;
-        }
-      }
+      // Beep on the partition set = beep on its lead pin (first match).
+      const int p = kernels_->findLabelPin(arena_.labelsOf(a),
+                                           static_cast<std::int8_t>(label));
+      if (p >= 0 && p < ppa_) scratchNodes_.push_back(pinNode(a, p));
     }
+    beepRoots_.resize(scratchNodes_.size());
+    kernels_->resolveRoots(dsu_.data(), scratchNodes_.data(),
+                           scratchNodes_.size(), beepRoots_.data());
+    for (const int root : beepRoots_) beepBits_.setTracked(root);
   }
   pendingBeeps_.clear();
 }
@@ -620,7 +695,7 @@ void Comm::rebind(const Region& newRegion,
   // Flush mutations the protocol issued after its last deliver(): their
   // circuits were never recomputed, so the owning amoebots must join the
   // post-rebind dirty set. This also reconciles the arena's successor
-  // lists, which remap() copies verbatim.
+  // deltas, which remap() copies verbatim.
   std::vector<int> oldDirty;
   arena_.takeDirty(&oldDirty);
   std::vector<std::uint8_t> oldDirtyFlag(oldN, 0);
@@ -656,10 +731,12 @@ void Comm::rebind(const Region& newRegion,
     dirty[i] = d;
   }
 
-  // Union-find carry-over: permute the surviving pin nodes, giving every
-  // old circuit one deterministic surviving representative (the first
-  // member in ascending new pin-node order). Circuits that lost members
-  // are repaired by the traversal; the rest stay correct as-is.
+  // Union-find carry-over: permute the surviving nodes, giving every old
+  // circuit one deterministic surviving representative (the first member
+  // in ascending new pin-node order; tree members are lead nodes, and a
+  // non-lead pin is its own degenerate root, so the dsu_ invariant --
+  // non-leads stay -1 -- survives the permutation). Circuits that lost
+  // members are repaired by the traversal; the rest stay correct as-is.
   const std::size_t newPins = static_cast<std::size_t>(newN) * ppa_;
   std::vector<int> newDsu(newPins, -1);
   std::vector<int> repOfOldRoot(dsu_.size(), -1);
@@ -683,77 +760,103 @@ void Comm::rebind(const Region& newRegion,
   sharded_ = arena_.shardCount() > 1;
   shards_.clear();
   inbox_.clear();
+  pinVisited_.clear();
   if (sharded_) {
     const int shardCount = arena_.shardCount();
     shards_.resize(shardCount);
     for (Shard& s : shards_) s.outbox.resize(shardCount);
     inbox_.resize(shardCount);
+    if (engine_ == CircuitEngine::Incremental)
+      pinVisited_.assign(newPins, 0);
   }
-  beepEpoch_.assign(newPins, 0);  // invalidates all received() state
+  beepBits_.resize(newPins);  // invalidates all received() state
   if (engine_ == CircuitEngine::Incremental) {
-    pinVisited_.assign(newPins, 0);
-    dirtyFlag_.assign(newN, 0);
+    visitedBits_.resize(newPins);
+    dirtyPinBits_.resize(newPins);
   }
   pendingBeeps_.clear();
   visitedPins_.clear();
   dirtyList_.clear();
   beepRoots_.clear();
+  scratchNodes_.clear();
   for (int i = 0; i < newN; ++i) {
     if (dirty[i]) rebindDirty_.push_back(i);
   }
   region_ = &newRegion;
+  buildLinkMap();
   rounds_ = 0;  // a rebind starts a new protocol execution
 }
 
 bool Comm::received(int local, int label) const {
   if (!everDelivered_) return false;
-  const std::int8_t* labels = arena_.labelsOf(local);
-  for (int p = 0; p < ppa_; ++p) {
-    if (labels[p] == label)
-      return beepEpoch_[findRoot(pinNode(local, p))] == epoch_;
-  }
-  return false;
+  // The kernel scans the whole 32-byte block; the arena keeps identity
+  // values >= ppa_ in the tail, so a tail hit can only happen for an
+  // out-of-range label and is rejected by the bound check -- identical
+  // to the scalar per-pin scan on every table. The first match is the
+  // set's lowest-indexed member: its lead, i.e. its union-find word.
+  const int p = kernels_->findLabelPin(arena_.labelsOf(local),
+                                       static_cast<std::int8_t>(label));
+  if (p < 0 || p >= ppa_) return false;
+  return beepBits_.test(findRoot(pinNode(local, p)));
 }
 
 bool Comm::receivedAny(int local) const {
   if (!everDelivered_) return false;
+  // Every pin's circuit is its lead's circuit, so scanning the amoebot's
+  // lead pins covers all of its partition sets.
+  const HotPin* hot = arena_.hot();
+  const int base = local * ppa_;
   for (int p = 0; p < ppa_; ++p) {
-    if (beepEpoch_[findRoot(pinNode(local, p))] == epoch_) return true;
+    if (hot[base + p].leadDelta == 0 &&
+        beepBits_.test(findRoot(base + p)))
+      return true;
   }
   return false;
 }
 
 void Comm::receivedBatch(std::span<const PinQuery> queries,
                          std::vector<char>* out) const {
-  out->assign(queries.size(), 0);
-  if (!everDelivered_) return;
-  if (sharded_ && queries.size() >= kBatchGrain) {
-    // Read-only parallel evaluation over index ranges: non-compressing
-    // finds, disjoint output ranges. All pins of a partition set share a
-    // circuit, so resolving the queried pin directly equals the serial
-    // label-scan path.
+  queryNodes_.resize(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    queryNodes_[i] = pinNode(queries[i].local, pinIndex(queries[i].pin, lanes_));
+  receivedNodes(queryNodes_, out);
+}
+
+void Comm::receivedNodes(std::span<const int> nodes,
+                         std::vector<char>* out) const {
+  out->assign(nodes.size(), 0);
+  if (!everDelivered_ || nodes.empty()) return;
+  queryLeads_.resize(nodes.size());
+  queryRoots_.resize(nodes.size());
+  const HotPin* hot = arena_.hot();
+  if (sharded_ && nodes.size() >= kBatchGrain) {
+    // Read-only parallel evaluation over index ranges: one HotPin load
+    // maps each queried pin to its set's lead (the union-find word),
+    // then non-compressing batched finds; disjoint output ranges. All
+    // pins of a partition set share a circuit, so resolving the lead
+    // equals resolving the queried pin.
     const int tasks = arena_.shardCount();
     const std::size_t chunk =
-        (queries.size() + tasks - 1) / static_cast<std::size_t>(tasks);
+        (nodes.size() + tasks - 1) / static_cast<std::size_t>(tasks);
     const std::function<void(int)> task = [&](int t) {
       const std::size_t lo = static_cast<std::size_t>(t) * chunk;
-      const std::size_t hi = std::min(lo + chunk, queries.size());
-      for (std::size_t i = lo; i < hi; ++i) {
-        const int node =
-            pinNode(queries[i].local, pinIndex(queries[i].pin, lanes_));
-        (*out)[i] = beepEpoch_[findRootConst(node)] == epoch_ ? 1 : 0;
-      }
+      const std::size_t hi = std::min(lo + chunk, nodes.size());
+      if (lo >= hi) return;
+      for (std::size_t i = lo; i < hi; ++i)
+        queryLeads_[i] = nodes[i] + hot[nodes[i]].leadDelta;
+      kernels_->resolveRoots(dsu_.data(), queryLeads_.data() + lo, hi - lo,
+                             queryRoots_.data() + lo);
+      for (std::size_t i = lo; i < hi; ++i)
+        (*out)[i] = beepBits_.test(queryRoots_[i]) ? 1 : 0;
     };
     SimPool::instance().run(tasks, simThreads_, task);
   } else {
-    // Same pin-direct resolution as the parallel path (with compression,
-    // since this thread owns the Comm), so batch size and thread count
-    // can never flip a result.
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      const int node =
-          pinNode(queries[i].local, pinIndex(queries[i].pin, lanes_));
-      (*out)[i] = beepEpoch_[findRoot(node)] == epoch_ ? 1 : 0;
-    }
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      queryLeads_[i] = nodes[i] + hot[nodes[i]].leadDelta;
+    kernels_->resolveRoots(dsu_.data(), queryLeads_.data(), nodes.size(),
+                           queryRoots_.data());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      (*out)[i] = beepBits_.test(queryRoots_[i]) ? 1 : 0;
   }
 }
 

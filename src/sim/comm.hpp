@@ -22,19 +22,38 @@
 // (CircuitEngine::Rebuild) for differential testing -- both engines
 // produce identical circuits, received() results and round counts.
 //
+// Hot-path data layout (see also pin_config.hpp and simd_kernels.hpp):
+// the traversal walks the arena's fused 8-byte HotPin records (link
+// target + successor/lead deltas, current and snapshot -- ONE indexed
+// load per visited pin, no divisions, no region consultation), and the
+// persistent union-find is SET-LEVEL: one dsu word per partition-set
+// lead pin (lead == node + leadDelta; a set is born merged, so re-union
+// pays one unite per external link instead of one per pin plus one per
+// link). The reported `unions` counter keeps the historical pin-level
+// semantics exactly: pin-level successful unions == set-level successful
+// unions + |closure pins| - |closure sets|, and both terms are union-
+// order- and shard-independent. Per-pin boolean planes (delivered beeps,
+// dirty-pin marks, serial visited marks) are word-packed bitsets
+// (word_bitset.hpp), and beep-root resolution / receivedBatch resolve
+// union-find roots through the runtime-dispatched simd kernels (8
+// gathered chases per iteration on AVX2, env-selectable scalar fallback
+// via ASPF_SIMD).
+//
 // Sharded execution (sim-threads > 1): the pin arena is partitioned into
 // contiguous amoebot shards and deliver()'s hot phases run per shard on
 // the process-wide SimPool -- the union-find over shard-local circuit
 // edges, the affected-component traversal (level-synchronous, chasing
-// local successors to exhaustion per level), the epoch-stamped beep
-// scatter and the dirty-list drain. Only the shard-crossing link edges
-// are merged in a deterministic serial pass. Every observable result --
-// received()/receivedAny(), rounds, and all SimCounters -- is
-// bit-identical to the serial engine at any thread count: circuits are
+// local successors to exhaustion per level), the beep scatter and the
+// dirty-list drain. Only the shard-crossing link edges are merged in a
+// deterministic serial pass. Every observable result -- received() /
+// receivedAny(), rounds, and all SimCounters -- is bit-identical to the
+// serial engine at any thread count AND any kernel ISA: circuits are
 // determined by the edge set alone (union order only moves which pin
-// represents a circuit, which no observer can see), and the union counter
+// represents a circuit, which no observer can see), the union counter
 // equals |pins| - |circuits| of the recomputed subgraph regardless of
-// order. See docs/ARCHITECTURE.md for the full determinism argument.
+// order, and every SIMD kernel is a pure function of its operands with
+// the scalar result. See docs/ARCHITECTURE.md for the full determinism
+// argument.
 //
 // Complexity contract: rounds() is the model cost that the paper's bounds
 // (O(log l), O(log n log^2 k), ...) speak about; it includes rounds charged
@@ -60,6 +79,8 @@
 #include "sim/pin_config.hpp"
 #include "sim/region.hpp"
 #include "sim/sim_pool.hpp"
+#include "sim/simd_kernels.hpp"
+#include "sim/word_bitset.hpp"
 
 namespace aspf {
 
@@ -186,7 +207,7 @@ class Comm {
   /// rebind() subsumes this for the structure-mutation path.
   void clearPending() noexcept {
     pendingBeeps_.clear();
-    ++epoch_;  // stale beepEpoch_ stamps can no longer match
+    beepBits_.resetTracked();  // no delivered-beep bit survives
   }
 
   /// True iff the partition set with this label received a beep in the last
@@ -211,6 +232,19 @@ class Comm {
   void receivedBatch(std::span<const PinQuery> queries,
                      std::vector<char>* out) const;
 
+  /// Opaque pin-node handle for receivedNodes(): stable across rounds as
+  /// long as the structure is not rebind()-ed. Protocol layers whose
+  /// query sets are static per phase (the PASC bit reads) precompute the
+  /// handles once instead of re-deriving (local, Pin) every iteration.
+  int pinNodeOf(int local, Pin p) const noexcept {
+    return pinNode(local, pinIndex(p, lanes_));
+  }
+
+  /// receivedBatch over precomputed pinNodeOf() handles: out->at(i) is
+  /// the received bit of the circuit containing node i. Same resolution
+  /// and determinism contract as receivedBatch (which delegates here).
+  void receivedNodes(std::span<const int> nodes, std::vector<char>* out) const;
+
   long rounds() const noexcept { return rounds_; }
 
   /// Accounts rounds that are synchronization/bookkeeping beeps whose
@@ -228,21 +262,29 @@ class Comm {
   /// identical to findRoot()'s -- compression only shortens paths.
   int findRootConst(int x) const noexcept;
   void unite(int a, int b, long* unions);
+  /// Fills the HotPin link fields from the bound region's adjacency
+  /// (construction and rebind).
+  void buildLinkMap();
   void rebuildAll();
   void rebuildAllSharded();
-  /// Serial affected-closure traversal from the dirty set into
-  /// visitedPins_ (each visited pin marked and detached). Returns false
-  /// once more than `limit` pins are visited -- no unions have happened,
-  /// so the caller can roll the marks back and take another path.
+  /// Serial affected-closure traversal from the dirty set, FUSED with
+  /// the re-union: every newly marked pin is detached at first sight
+  /// (idempotent for non-leads), so by the time a link is united
+  /// lead-to-lead both leads are fresh singletons or already-rebuilt
+  /// roots, and one pass both tears down and recomputes the closure. On
+  /// success the visited marks/list are retired and the union counter is
+  /// padded to pin-level semantics. Returns false once more than `limit`
+  /// pins are visited; the partial counter bump is rolled back here, and
+  /// the caller erases the partial dsu writes (all of them are to
+  /// visited pins) by re-detaching the visited list or rebuilding.
   bool serialClosureScan(std::size_t limit);
-  /// Re-unions the visited closure from the current configurations and
-  /// retires the visited marks/list.
-  void serialReunion();
   /// Returns false if the traversal exceeded its budget and fell back to
   /// a full rebuild (already performed on return).
   bool incrementalUpdate();
   bool incrementalUpdateSharded();
   void collectDirty();
+  void markDirtyPins();
+  void clearDirtyPins();
   void scatterBeeps();
   void chaseShard(int shard, std::size_t budget);
   void reunionShard(int shard);
@@ -258,24 +300,42 @@ class Comm {
   CircuitEngine engine_;
   int simThreads_;
   bool sharded_;
+  const simd::KernelTable* kernels_;  // resolved once at construction
   PinArena arena_;
   std::vector<std::pair<int, int>> pendingBeeps_;  // (local, label)
+
+  /// Set-level persistent union-find, indexed by pin node but with the
+  /// invariant that every node that is NOT the current lead pin of its
+  /// partition set holds -1 (never written): sets enter the structure
+  /// already merged under their lead, unions happen only between lead
+  /// nodes across external links, and the closure scan detaches exactly
+  /// the OLD lead nodes of affected circuits -- so trees always consist
+  /// of current lead nodes only, and a find from any non-lead is a
+  /// degenerate self-root (queries must map node -> lead first, one
+  /// HotPin load).
   mutable std::vector<int> dsu_;
 
-  // Epoch-stamped beep cache: beepEpoch_[root] == epoch_ iff that circuit
-  // received a beep in the last delivered round. Replaces a per-round
-  // O(n * lanes) clear with O(beeps) stamping.
-  std::vector<std::uint32_t> beepEpoch_;
-  std::uint32_t epoch_ = 1;
+  // Delivered-beep plane: beepBits_.test(root) iff that circuit received
+  // a beep in the last delivered round. Tracked-word resets replace the
+  // former uint32 epoch stamps (4 B/pin -> 1 bit/pin, O(touched words)
+  // invalidation per round).
+  WordBitset beepBits_;
   bool everDelivered_ = false;
 
   // Scratch state for the incremental update (allocated once, cleared via
-  // the companion lists so each deliver() only pays for what it touched).
+  // the companion lists / tracked words so each deliver() only pays for
+  // what it touched). dirtyPinBits_ marks every pin of a dirty amoebot
+  // for the closure scan's old-vs-current successor choice; it is written
+  // serially before any parallel phase and only read inside them.
   std::vector<int> dirtyList_;
-  std::vector<std::uint8_t> dirtyFlag_;    // per amoebot
-  std::vector<std::uint8_t> pinVisited_;   // per pin node
-  std::vector<int> visitedPins_;           // doubles as the BFS queue
-  long unionsScratch_ = 0;                 // flushed per deliver
+  WordBitset dirtyPinBits_;   // per pin node, range-set per dirty amoebot
+  WordBitset visitedBits_;    // serial closure marks (cleared via list)
+  std::vector<int> visitedPins_;  // doubles as the BFS queue
+  // Sharded chase marks stay a BYTE array: shard boundaries (multiples of
+  // ppa) are not 64-bit-word-aligned, so a packed plane would make
+  // adjacent shards race on shared words; distinct bytes are race-free.
+  std::vector<std::uint8_t> pinVisited_;
+  long unionsScratch_ = 0;  // flushed per deliver
 
   // Amoebots whose circuits were invalidated by a rebind() (new-region
   // local ids); merged into dirtyList_ at the next deliver() so the
@@ -296,7 +356,11 @@ class Comm {
   };
   std::vector<Shard> shards_;
   std::vector<std::vector<int>> inbox_;  // per shard, fed between levels
-  std::vector<int> beepRoots_;           // parallel scatter scratch
+  std::vector<int> beepRoots_;           // scatter scratch (roots)
+  std::vector<int> scratchNodes_;        // scatter scratch (pin nodes)
+  mutable std::vector<int> queryNodes_;  // receivedBatch handle scratch
+  mutable std::vector<int> queryLeads_;  // receivedNodes lead mapping
+  mutable std::vector<int> queryRoots_;  // receivedNodes scratch
 
   long rounds_ = 0;
 };

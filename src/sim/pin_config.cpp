@@ -1,27 +1,17 @@
 #include "sim/pin_config.hpp"
 
-#include <cstring>
 #include <stdexcept>
 #include <string>
 
+#include "sim/simd_kernels.hpp"
+
 namespace aspf {
-namespace {
-
-// Fixed-size block helpers: a constant byte count lets the compiler lower
-// these to a couple of word moves instead of libc calls (the arena's
-// snapshot/compare/restore run once per touched amoebot per round, which
-// on PASC-style protocols is every stop of a chain).
-inline void copyBlock(std::int8_t* dst, const std::int8_t* src) noexcept {
-  std::memcpy(dst, src, kPinStride);
-}
-inline bool equalBlock(const std::int8_t* a, const std::int8_t* b) noexcept {
-  return std::memcmp(a, b, kPinStride) == 0;
-}
-
-}  // namespace
 
 PinArena::PinArena(int n, int lanes, int shardCount)
-    : n_(n), lanes_(lanes), ppa_(kNumDirs * lanes) {
+    : n_(n),
+      lanes_(lanes),
+      ppa_(kNumDirs * lanes),
+      kernels_(&simd::kernels()) {
   if (n < 0) throw std::invalid_argument("PinArena: negative size");
   if (lanes < 1 || lanes > kMaxLanes)
     throw std::invalid_argument(
@@ -30,25 +20,27 @@ PinArena::PinArena(int n, int lanes, int shardCount)
   shardCount_ = std::clamp(shardCount, 1, std::max(n_, 1));
   shardSize_ = (std::max(n_, 1) + shardCount_ - 1) / shardCount_;
   static_assert(kPinStride >= kNumDirs * kMaxLanes);
+  static_assert(kPinStride == simd::kBlockBytes);
   const std::size_t bytes = static_cast<std::size_t>(n) * kPinStride;
   labels_.resize(bytes);
-  next_.resize(bytes);
   prev_.resize(bytes);
-  prevNext_.resize(bytes);
+  // Dense fused hot plane: singleton configurations are all-zero deltas
+  // (every pin is its own successor and its own lead), so zero-filled
+  // records are already correct. The link fields stay 0 until the owning
+  // Comm fills them from the region adjacency.
+  hot_.assign(static_cast<std::size_t>(n) * ppa_, HotPin{});
   for (int a = 0; a < n_; ++a) {
     std::int8_t* l = mutableLabelsOf(a);
-    std::int8_t* nx = next_.data() + static_cast<std::size_t>(a) * kPinStride;
     // Identity over the whole stride: the tail beyond ppa_ is never
-    // mutated, so block compares see stable bytes there.
-    for (int p = 0; p < kPinStride; ++p) {
-      l[p] = static_cast<std::int8_t>(p);
-      nx[p] = static_cast<std::int8_t>(p);
-    }
+    // mutated, so block compares see stable bytes there, and a label scan
+    // can never report a tail byte as a valid pin (tail values >= ppa_).
+    for (int p = 0; p < kPinStride; ++p) l[p] = static_cast<std::int8_t>(p);
   }
   touched_.assign(n_, 0);
   joined_.assign(n_, 0);
   touchedLists_.resize(shardCount_);
   joinedLists_.resize(shardCount_);
+  eqScratch_.resize(shardCount_);
 }
 
 void PinArena::beginMutate(int local) {
@@ -56,13 +48,17 @@ void PinArena::beginMutate(int local) {
   touched_[local] = 1;
   touchedLists_[shardOf(local)].push_back(local);
   const std::size_t off = static_cast<std::size_t>(local) * kPinStride;
-  copyBlock(prev_.data() + off, labels_.data() + off);
-  copyBlock(prevNext_.data() + off, next_.data() + off);
+  kernels_->blockCopy(prev_.data() + off, labels_.data() + off);
+  HotPin* h = hot_.data() + static_cast<std::size_t>(local) * ppa_;
+  for (int p = 0; p < ppa_; ++p) {
+    h[p].prevDelta = h[p].delta;
+    h[p].prevLeadDelta = h[p].leadDelta;
+  }
 }
 
 void PinArena::rebuildGroups(int local) {
   const std::int8_t* l = labelsOf(local);
-  std::int8_t* nx = next_.data() + static_cast<std::size_t>(local) * kPinStride;
+  HotPin* h = hot_.data() + static_cast<std::size_t>(local) * ppa_;
   std::int8_t first[kNumDirs * kMaxLanes];
   std::int8_t last[kNumDirs * kMaxLanes];
   for (int p = 0; p < ppa_; ++p) first[p] = -1;
@@ -71,12 +67,20 @@ void PinArena::rebuildGroups(int local) {
     if (first[label] < 0) {
       first[label] = static_cast<std::int8_t>(p);
     } else {
-      nx[last[label]] = static_cast<std::int8_t>(p);
+      h[last[label]].delta = static_cast<std::int8_t>(p - last[label]);
     }
     last[label] = static_cast<std::int8_t>(p);
+    // Canonical lead = the set's lowest-indexed member (first[label] is
+    // set by the time any member reaches this line). NOT the label
+    // value: overlapping joins can alias labels (a pin keeps label L
+    // after pin L itself was re-joined elsewhere), but the first member
+    // with a given label is unambiguous -- and is exactly what a
+    // first-match label scan (simd findLabelPin) returns.
+    h[p].leadDelta = static_cast<std::int8_t>(first[label] - p);
   }
   for (int p = 0; p < ppa_; ++p) {
-    if (first[p] >= 0) nx[last[p]] = first[p];  // close the cycle
+    if (first[p] >= 0)
+      h[last[p]].delta = static_cast<std::int8_t>(first[p] - last[p]);  // close
   }
 }
 
@@ -94,7 +98,8 @@ int PinArena::join(int local, std::span<const Pin> pins) {
   const int lead = pinIndex(pins.front(), lanes_);
   for (const Pin p : pins)
     l[pinIndex(p, lanes_)] = static_cast<std::int8_t>(lead);
-  // next_ is left stale here and reconciled once per round in takeDirty():
+  // The hot deltas are left stale here and reconciled once per round in
+  // takeDirty():
   // protocols often issue several joins (or a reset-then-identical-rejoin)
   // per amoebot per round, and only the net effect matters.
   if (!joined_[local]) {
@@ -117,19 +122,33 @@ void PinArena::resetAll() {
 }
 
 void PinArena::takeDirtyShard(int shard, std::vector<int>* out) {
-  for (const int a : touchedLists_[shard]) {
+  std::vector<int>& touchedList = touchedLists_[shard];
+  if (touchedList.empty()) return;
+  // One batched pass of 32-byte block compares over all touched amoebots
+  // (the dispatch table's blockEqualMany), then a serial sweep over the
+  // 0/1 mask in list order -- so `out` is filled in exactly the order the
+  // per-amoebot compare loop produced.
+  std::vector<std::uint8_t>& eq = eqScratch_[shard];
+  eq.resize(touchedList.size());
+  kernels_->blockEqualMany(labels_.data(), prev_.data(), touchedList.data(),
+                           touchedList.size(), eq.data());
+  for (std::size_t i = 0; i < touchedList.size(); ++i) {
+    const int a = touchedList[i];
     touched_[a] = 0;
-    const std::size_t off = static_cast<std::size_t>(a) * kPinStride;
-    if (!equalBlock(labels_.data() + off, prev_.data() + off)) {
+    if (!eq[i]) {
       rebuildGroups(a);
       out->push_back(a);
     } else {
       // Net no-op rewrite: labels are back to the snapshot, so the
-      // snapshot successor lists are the current ones too.
-      copyBlock(next_.data() + off, prevNext_.data() + off);
+      // snapshot deltas are the current ones too.
+      HotPin* h = hot_.data() + static_cast<std::size_t>(a) * ppa_;
+      for (int p = 0; p < ppa_; ++p) {
+        h[p].delta = h[p].prevDelta;
+        h[p].leadDelta = h[p].prevLeadDelta;
+      }
     }
   }
-  touchedLists_[shard].clear();
+  touchedList.clear();
 }
 
 void PinArena::takeDirty(std::vector<int>* out) {
@@ -142,41 +161,49 @@ void PinArena::remap(int newN, std::span<const int> oldOf, int shardCount) {
     throw std::invalid_argument(
         "PinArena::remap: mapping size does not match the new amoebot count");
   const std::size_t bytes = static_cast<std::size_t>(newN) * kPinStride;
-  std::vector<std::int8_t> labels(bytes);
-  std::vector<std::int8_t> next(bytes);
+  AlignedLabelVec labels(bytes);
+  std::vector<HotPin> hot(static_cast<std::size_t>(newN) * ppa_, HotPin{});
   std::vector<std::uint8_t> joined(newN, 0);
   for (int i = 0; i < newN; ++i) {
     const int o = oldOf[i];
     std::int8_t* l = labels.data() + static_cast<std::size_t>(i) * kPinStride;
-    std::int8_t* nx = next.data() + static_cast<std::size_t>(i) * kPinStride;
+    HotPin* h = hot.data() + static_cast<std::size_t>(i) * ppa_;
     if (o >= 0) {
       if (o >= n_)
         throw std::invalid_argument(
             "PinArena::remap: old local id out of range");
-      copyBlock(l, labelsOf(o));
-      copyBlock(nx, nextOf(o));
+      kernels_->blockCopy(l, labelsOf(o));
+      // All delta fields are base-independent, so the hot records move
+      // verbatim to the new local id. The copied `link` fields are stale
+      // absolute nodes of the OLD structure; the owning Comm rebuilds
+      // them right after every remap, before any traversal runs.
+      const HotPin* oh = hot_.data() + static_cast<std::size_t>(o) * ppa_;
+      for (int p = 0; p < ppa_; ++p) {
+        h[p] = oh[p];
+        // The carried-over configuration IS the last delivered state.
+        h[p].prevDelta = h[p].delta;
+        h[p].prevLeadDelta = h[p].leadDelta;
+      }
       joined[i] = joined_[o];
     } else {
-      for (int p = 0; p < kPinStride; ++p) {
-        l[p] = static_cast<std::int8_t>(p);
-        nx[p] = static_cast<std::int8_t>(p);
-      }
+      for (int p = 0; p < kPinStride; ++p) l[p] = static_cast<std::int8_t>(p);
+      // h stays all-zero: singleton deltas, current == snapshot.
     }
   }
   n_ = newN;
   shardCount_ = std::clamp(shardCount, 1, std::max(n_, 1));
   shardSize_ = (std::max(n_, 1) + shardCount_ - 1) / shardCount_;
   labels_ = std::move(labels);
-  next_ = std::move(next);
-  // The carried-over configuration IS the last delivered state: snapshots
-  // coincide with the current labels, so the incremental engine's
-  // old-circuit traversal sees a consistent picture for every amoebot.
+  hot_ = std::move(hot);
+  // Snapshots coincide with the current labels (the last "delivered"
+  // state is by definition the carried-over one), so the incremental
+  // engine's old-circuit traversal sees a consistent picture.
   prev_ = labels_;
-  prevNext_ = next_;
   touched_.assign(n_, 0);
   joined_ = std::move(joined);
   touchedLists_.assign(shardCount_, {});
   joinedLists_.assign(shardCount_, {});
+  eqScratch_.assign(shardCount_, {});
   for (int i = 0; i < n_; ++i) {
     if (joined_[i]) joinedLists_[shardOf(i)].push_back(i);
   }

@@ -9,18 +9,32 @@
 // a small integer label local to the amoebot; by default every pin forms a
 // singleton set labeled with its own pin index.
 //
-// Storage model: one PinArena per Comm holds ALL amoebots' labels in a
-// single contiguous int8 array (`n * kNumDirs * lanes` bytes), instead of a
-// vector of per-amoebot objects. Protocols access an amoebot's
-// configuration through a PinConfigRef handle (mutating) or a
-// ConstPinConfigRef (read-only view); both are trivially-copyable fat
-// pointers into the arena. Every mutation is routed through the arena so
-// it can snapshot the previous labels and mark the amoebot *touched*; at
-// the next Comm::deliver() the arena separates truly-dirty amoebots
-// (labels actually changed) from amoebots that were rewritten with
-// identical labels -- the common protocol idiom `resetPins(); join(...)`
-// with an unchanged configuration therefore contributes nothing to the
-// incremental circuit update.
+// Storage model -- hot/cold split: COLD state is what protocols write and
+// deliver() snapshots: all amoebots' labels in one contiguous int8 plane
+// at a fixed 32-byte stride (kPinStride; one AVX2 register per amoebot),
+// 32-byte aligned so the SIMD block kernels (simd_kernels.hpp) never
+// split a block across cache lines. HOT state is everything the per-round
+// circuit traversal reads per pin, fused into ONE dense 8-byte HotPin
+// record per pin node (amoebot * ppa + pin): the external-link target,
+// the circular partition-set successor delta, the lead-pin (root word)
+// delta, and the snapshot copies of both deltas. Fusing buys the chase
+// the decisive constant factor: one indexed 8-byte load per visited pin
+// where the split layout took four scattered loads (successor plane, link
+// table, snapshot plane, dirty word), with zero divisions (successor ==
+// node + delta, lead == node + leadDelta; both base-independent int8
+// deltas).
+//
+// Protocols access an amoebot's configuration through a PinConfigRef
+// handle (mutating) or a ConstPinConfigRef (read-only view); both are
+// trivially-copyable fat pointers into the arena. Every mutation is
+// routed through the arena so it can snapshot the previous labels and
+// mark the amoebot *touched*; at the next Comm::deliver() the arena
+// separates truly-dirty amoebots (labels actually changed) from amoebots
+// that were rewritten with identical labels -- the common protocol idiom
+// `resetPins(); join(...)` with an unchanged configuration therefore
+// contributes nothing to the incremental circuit update. The dirty drain
+// batch-compares the 32-byte label blocks through the runtime-dispatched
+// simd::blockEqualMany kernel.
 //
 // Complexity contract: reconfiguring pins is free in the model -- only
 // Comm::deliver() charges a round -- matching the paper, where an amoebot
@@ -30,7 +44,7 @@
 //
 // Sharding: the arena partitions its amoebots into `shardCount` contiguous
 // index ranges and keeps the touched/joined bookkeeping per shard. All
-// state an amoebot owns (label block, successor block, snapshot blocks,
+// state an amoebot owns (label block, successor deltas, snapshot blocks,
 // touch mark, shard touch list) lives in exactly one shard, so the
 // *Shard() entry points may run concurrently for distinct shards -- this
 // is what lets Comm parallelize takeDirty/resetPins and lets protocol
@@ -48,8 +62,13 @@
 #include <vector>
 
 #include "geometry/coord.hpp"
+#include "sim/aligned.hpp"
 
 namespace aspf {
+
+namespace simd {
+struct KernelTable;
+}
 
 struct Pin {
   Dir dir;
@@ -61,14 +80,51 @@ inline constexpr int kMaxLanes = 4;
 /// Per-amoebot block stride of the arena's label arrays: the next
 /// power-of-two above kNumDirs * kMaxLanes (= 24 pins), so snapshot /
 /// compare / restore of one amoebot's labels are fixed-size 32-byte
-/// operations the compiler fully inlines (no libc memcpy calls on the
-/// per-round hot path).
+/// operations -- exactly one AVX2 register (simd::kBlockBytes).
 inline constexpr int kPinStride = 32;
+
+/// 32-byte-aligned label plane: std::vector<int8_t> guarantees only
+/// 1-byte alignment, which would let a block straddle cache lines (and
+/// breaks any future aligned-load assumption in the kernels).
+using AlignedLabelVec =
+    std::vector<std::int8_t, AlignedAllocator<std::int8_t, kPinStride>>;
 
 /// Pin index within an amoebot: dir * lanes + lane.
 constexpr int pinIndex(Pin p, int lanes) noexcept {
   return static_cast<int>(p.dir) * lanes + p.lane;
 }
+
+/// One pin node's fused hot record -- everything the circuit traversal
+/// reads about a pin in a single 8-byte load (8 pins per cache line).
+///
+///  - `link`: the pin node wired to this one across its external link, or
+///    -1 on the structure boundary. A pure function of (region adjacency,
+///    lanes); filled in by Comm (the arena does not know the region).
+///    Every link has exactly one smaller endpoint, so edge-once
+///    traversals use the orientation-free rule `link > node`.
+///  - `delta`: circular partition-set successor, successor == node +
+///    delta (0 for singletons). Following it from any pin enumerates the
+///    whole set in O(set size).
+///  - `leadDelta`: the set's lead pin (its union-find word), lead ==
+///    node + leadDelta. The lead is the set's lowest-indexed member pin
+///    (a pin is its set's lead iff leadDelta == 0) -- exactly the pin a
+///    first-match label scan (simd findLabelPin) finds, and deliberately
+///    NOT the label value, which overlapping joins can alias.
+///  - `prevDelta` / `prevLeadDelta`: the same two deltas as of the last
+///    takeDirty() (the previous delivered round), valid under the same
+///    window as PinArena::snapshotOf().
+///
+/// All four deltas are base-independent (pin-index arithmetic inside one
+/// amoebot), so remap() moves them verbatim; `link` is absolute and is
+/// rebuilt by the Comm after any remap.
+struct HotPin {
+  std::int32_t link;
+  std::int8_t delta;
+  std::int8_t prevDelta;
+  std::int8_t leadDelta;
+  std::int8_t prevLeadDelta;
+};
+static_assert(sizeof(HotPin) == 8, "HotPin must stay one 8-byte word");
 
 class PinArena;
 
@@ -150,29 +206,22 @@ class PinArena {
     return labels_.data() + static_cast<std::size_t>(local) * kPinStride;
   }
 
-  /// Circular successor lists: nextOf(a)[p] is the next pin of a's
-  /// partition set containing p (wrapping; p itself for singletons).
-  /// Following the list from any pin enumerates its whole partition set in
-  /// O(set size) -- the incremental engine's component traversal relies on
-  /// this instead of scanning all pins per step. Stale for amoebots
-  /// mutated since the last takeDirty() (mid-round); takeDirty()
-  /// reconciles them, so the lists are consistent whenever the engine
-  /// reads them.
-  const std::int8_t* nextOf(int local) const noexcept {
-    return next_.data() + static_cast<std::size_t>(local) * kPinStride;
-  }
+  /// Dense fused hot plane, indexed by pin node (amoebot * ppa + pin);
+  /// see HotPin. The delta fields are stale for amoebots mutated since
+  /// the last takeDirty() (mid-round); takeDirty() reconciles them, so
+  /// the records are consistent whenever the engine reads them.
+  const HotPin* hot() const noexcept { return hot_.data(); }
+
+  /// Mutable view for the owning Comm ONLY, which fills the `link` field
+  /// after construction and after every remap (the arena cannot: links
+  /// are a property of the region adjacency, not of pin configurations).
+  HotPin* mutableHot() noexcept { return hot_.data(); }
 
   /// The labels the amoebot had at the last takeDirty() (i.e. the last
   /// deliver). Only meaningful for amoebots reported dirty by the most
   /// recent takeDirty(), until their next mutation.
   const std::int8_t* snapshotOf(int local) const noexcept {
     return prev_.data() + static_cast<std::size_t>(local) * kPinStride;
-  }
-
-  /// Circular successor lists matching snapshotOf() (the partition sets of
-  /// the last delivered round); same validity window.
-  const std::int8_t* snapshotNextOf(int local) const noexcept {
-    return prevNext_.data() + static_cast<std::size_t>(local) * kPinStride;
   }
 
   int labelAt(int local, int pinIdx) const noexcept {
@@ -204,7 +253,9 @@ class PinArena {
   void takeDirtyShard(int shard, std::vector<int>* out);
 
   /// Amoebots mutated since the last takeDirty (upper bound on the next
-  /// dirty count; used to size the parallel drain decision).
+  /// dirty count; used to size the parallel drain decision). Also the
+  /// number of 32-byte block compares the next drain will perform (the
+  /// block_compares counter).
   int touchedCount() const noexcept;
 
   /// Warm-restart surface: re-shapes the arena for a grown/shrunk amoebot
@@ -216,8 +267,9 @@ class PinArena {
   /// carried-over one), no amoebot is touched, joined flags follow the
   /// mapping, and the shard geometry is rebuilt for the new size. The
   /// caller must have reconciled pending mutations first (takeDirty),
-  /// or their successor lists would be copied stale -- Comm::rebind does.
-  /// Throws std::invalid_argument on a size/range-inconsistent mapping.
+  /// or their successor deltas would be copied stale -- Comm::rebind
+  /// does. Throws std::invalid_argument on a size/range-inconsistent
+  /// mapping.
   void remap(int newN, std::span<const int> oldOf, int shardCount);
 
  private:
@@ -231,8 +283,9 @@ class PinArena {
   /// takeDirty().
   void beginMutate(int local);
 
-  /// Recomputes the circular successor list of one amoebot from its
-  /// labels (called after every label rewrite; O(pins)).
+  /// Recomputes the circular successor and lead deltas of one amoebot
+  /// from its labels (called once per truly-dirty amoebot per round;
+  /// O(pins)).
   void rebuildGroups(int local);
 
   int n_;
@@ -240,17 +293,19 @@ class PinArena {
   int ppa_;
   int shardCount_;
   int shardSize_;
-  std::vector<std::int8_t> labels_;      // current labels, n * ppa
-  std::vector<std::int8_t> next_;        // circular partition-set lists
-  std::vector<std::int8_t> prev_;        // snapshots at last deliver
-  std::vector<std::int8_t> prevNext_;
+  const simd::KernelTable* kernels_;     // resolved once at construction
+  AlignedLabelVec labels_;               // cold: current labels, n * 32
+  AlignedLabelVec prev_;                 // cold: snapshots at last deliver
+  std::vector<HotPin> hot_;              // hot: fused records, n * ppa
   std::vector<std::uint8_t> touched_;    // mutated since last takeDirty
   std::vector<std::uint8_t> joined_;     // possibly non-singleton
   // Per-shard touch/join lists: beginMutate/join append an amoebot to the
   // lists of its own shard only, keeping shard-disjoint mutation
-  // race-free.
+  // race-free. eqScratch_ is takeDirtyShard's per-shard compare-mask
+  // buffer (same disjointness).
   std::vector<std::vector<int>> touchedLists_;
   std::vector<std::vector<int>> joinedLists_;
+  std::vector<std::vector<std::uint8_t>> eqScratch_;
 };
 
 inline int PinConfigRef::lanes() const noexcept { return arena_->lanes(); }

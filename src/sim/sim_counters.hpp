@@ -53,6 +53,16 @@ struct SimCounters {
   /// of the incremental engine.
   long rebuildRounds = 0;
 
+  /// 32-byte snapshot block compares performed by the dirty drain (one
+  /// per touched amoebot per deliver, on either drain path and any
+  /// kernel ISA -- a logical count, not a SIMD-instruction count).
+  long blockCompares = 0;
+
+  /// Words zeroed by the tracked bitset resets (delivered-beep plane +
+  /// dirty-pin plane), i.e. the per-round invalidation cost the packed
+  /// planes actually paid. ISA- and sim-thread-independent.
+  long bitsetWordsScanned = 0;
+
   SimCounters operator-(const SimCounters& base) const noexcept {
     return {delivers - base.delivers,
             beeps - base.beeps,
@@ -60,7 +70,9 @@ struct SimCounters {
             dirtyAmoebots - base.dirtyAmoebots,
             amoebotRounds - base.amoebotRounds,
             incrementalRounds - base.incrementalRounds,
-            rebuildRounds - base.rebuildRounds};
+            rebuildRounds - base.rebuildRounds,
+            blockCompares - base.blockCompares,
+            bitsetWordsScanned - base.bitsetWordsScanned};
   }
 };
 

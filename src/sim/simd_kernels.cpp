@@ -1,0 +1,155 @@
+#include "sim/simd_kernels.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace aspf::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. Always built; semantics of every other table
+// are defined as "byte-identical results to these".
+// ---------------------------------------------------------------------------
+
+bool blockEqualScalar(const std::int8_t* a, const std::int8_t* b) {
+  return std::memcmp(a, b, kBlockBytes) == 0;
+}
+
+void blockCopyScalar(std::int8_t* dst, const std::int8_t* src) {
+  std::memcpy(dst, src, kBlockBytes);
+}
+
+void blockEqualManyScalar(const std::int8_t* cur, const std::int8_t* prev,
+                          const int* locals, std::size_t count,
+                          std::uint8_t* eq) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t off =
+        static_cast<std::size_t>(locals[i]) * kBlockBytes;
+    eq[i] = std::memcmp(cur + off, prev + off, kBlockBytes) == 0 ? 1 : 0;
+  }
+}
+
+int findLabelPinScalar(const std::int8_t* labels, std::int8_t label) {
+  for (int p = 0; p < kBlockBytes; ++p) {
+    if (labels[p] == label) return p;
+  }
+  return -1;
+}
+
+void resolveRootsScalar(const int* parent, const int* nodes,
+                        std::size_t count, int* roots) {
+  for (std::size_t i = 0; i < count; ++i) {
+    int x = nodes[i];
+    while (parent[x] >= 0) x = parent[x];
+    roots[i] = x;
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    Isa::Scalar,       "scalar",           blockEqualScalar,
+    blockCopyScalar,   blockEqualManyScalar, findLabelPinScalar,
+    resolveRootsScalar};
+
+// ---------------------------------------------------------------------------
+// Host CPU capability probes. On x86-64 SSE2 is architectural baseline;
+// AVX2 is queried at runtime. Elsewhere neither vector table can run.
+// ---------------------------------------------------------------------------
+
+bool cpuHasSse2() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return true;
+#elif defined(__i386__) && defined(__GNUC__)
+  return __builtin_cpu_supports("sse2");
+#else
+  return false;
+#endif
+}
+
+bool cpuHasAvx2() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* tableFor(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar:
+      return &kScalarTable;
+    case Isa::Sse2:
+      return sse2Table();
+    case Isa::Avx2:
+      return avx2Table();
+  }
+  return nullptr;
+}
+
+const KernelTable* resolveFromEnv() noexcept {
+  const char* env = std::getenv("ASPF_SIMD");
+  std::string want = env ? env : "auto";
+  for (char& c : want) c = static_cast<char>(std::tolower(c));
+  if (want == "scalar") return &kScalarTable;
+  if (want == "sse2" && isaSupported(Isa::Sse2)) return sse2Table();
+  if (want == "avx2" && isaSupported(Isa::Avx2)) return avx2Table();
+  // auto, unknown value, or an ISA this host cannot run: best supported.
+  return tableFor(bestSupportedIsa());
+}
+
+std::atomic<const KernelTable*> gActive{nullptr};
+
+}  // namespace
+
+const char* isaName(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar:
+      return "scalar";
+    case Isa::Sse2:
+      return "sse2";
+    case Isa::Avx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+const KernelTable& scalarTable() noexcept { return kScalarTable; }
+
+bool isaSupported(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar:
+      return true;
+    case Isa::Sse2:
+      return sse2Table() != nullptr && cpuHasSse2();
+    case Isa::Avx2:
+      return avx2Table() != nullptr && cpuHasAvx2();
+  }
+  return false;
+}
+
+Isa bestSupportedIsa() noexcept {
+  if (isaSupported(Isa::Avx2)) return Isa::Avx2;
+  if (isaSupported(Isa::Sse2)) return Isa::Sse2;
+  return Isa::Scalar;
+}
+
+const KernelTable& kernels() noexcept {
+  const KernelTable* t = gActive.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = resolveFromEnv();
+    gActive.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Isa activeIsa() noexcept { return kernels().isa; }
+
+bool setActiveIsa(Isa isa) noexcept {
+  if (!isaSupported(isa)) return false;
+  gActive.store(tableFor(isa), std::memory_order_release);
+  return true;
+}
+
+}  // namespace aspf::simd

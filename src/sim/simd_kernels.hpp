@@ -1,0 +1,95 @@
+#pragma once
+// Runtime-dispatched SIMD kernels for the circuit substrate's hot loops.
+//
+// The pin arena stores one amoebot's labels in a fixed 32-byte block
+// (kPinStride), which is exactly one AVX2 register or two SSE2 registers.
+// The kernels below are the complete set of data-parallel primitives the
+// substrate needs: whole-block compare/copy (snapshot bookkeeping in
+// takeDirty/beginMutate), batched block compares (the dirty drain),
+// first-pin-with-label scans (beep scatter and received queries), and
+// batched union-find root resolution (beep-root stamping and the
+// receivedBatch read sweep, 8 gathered chases per iteration on AVX2).
+//
+// Dispatch: the scalar table is always built; the SSE2/AVX2 tables are
+// compiled in their own translation units with per-file ISA flags (see
+// CMakeLists.txt) and report themselves unavailable when the toolchain or
+// target does not support them. At first use, kernels() picks the best
+// table the host CPU supports, overridable without a rebuild via the
+// ASPF_SIMD environment variable (scalar | sse2 | avx2 | auto); an ISA
+// the host cannot run falls back to the best supported one.
+//
+// Determinism contract: every kernel is a pure function of its operands
+// with a single well-defined result -- blockEqual is a predicate,
+// findLabelPin returns the FIRST matching index (lowest set bit of the
+// compare mask == lowest matching byte, identical to the scalar scan),
+// and resolveRoots chases parent pointers without writing (each lane's
+// chase is independent, so batching cannot change any root). Hence every
+// observable of the simulator is byte-identical across scalar/SSE2/AVX2;
+// the CI dispatch matrix cmp's whole reports to enforce this.
+#include <cstddef>
+#include <cstdint>
+
+namespace aspf::simd {
+
+/// Byte width of the kernels' block operations (== kPinStride).
+inline constexpr int kBlockBytes = 32;
+
+enum class Isa : int { Scalar = 0, Sse2 = 1, Avx2 = 2 };
+
+struct KernelTable {
+  Isa isa;
+  const char* name;
+
+  /// 32-byte block predicate: a[0..32) == b[0..32).
+  bool (*blockEqual)(const std::int8_t* a, const std::int8_t* b);
+
+  /// 32-byte block copy.
+  void (*blockCopy)(std::int8_t* dst, const std::int8_t* src);
+
+  /// Batched block compare over strided planes: for each i,
+  /// eq[i] = (cur + locals[i]*32 == prev + locals[i]*32) as 0/1.
+  void (*blockEqualMany)(const std::int8_t* cur, const std::int8_t* prev,
+                         const int* locals, std::size_t count,
+                         std::uint8_t* eq);
+
+  /// First index p in [0, 32) with labels[p] == label, or -1. The arena
+  /// keeps identity values (>= pins-per-amoebot) in the block tail, so a
+  /// tail hit is reported like any other and rejected by the caller's
+  /// p < ppa bound -- every table sees the same 32 bytes and returns the
+  /// same index.
+  int (*findLabelPin)(const std::int8_t* labels, std::int8_t label);
+
+  /// Batched non-writing union-find root resolution: for each i, chase
+  /// parent[] from nodes[i] until a negative entry (a root) and store it
+  /// in roots[i]. AVX2 resolves 8 chases per iteration via gathers.
+  void (*resolveRoots)(const int* parent, const int* nodes,
+                       std::size_t count, int* roots);
+};
+
+const char* isaName(Isa isa) noexcept;
+
+/// Per-ISA tables. scalarTable() always exists; the others return nullptr
+/// when their translation unit was built without the ISA (non-x86 target
+/// or toolchain without the flag).
+const KernelTable& scalarTable() noexcept;
+const KernelTable* sse2Table() noexcept;
+const KernelTable* avx2Table() noexcept;
+
+/// True iff the table is compiled in AND the host CPU can execute it.
+bool isaSupported(Isa isa) noexcept;
+
+/// Best ISA the host supports (>= Scalar).
+Isa bestSupportedIsa() noexcept;
+
+/// The active kernel table. Resolved once on first use: ASPF_SIMD
+/// (scalar | sse2 | avx2 | auto, case-insensitive) when set and
+/// supported, otherwise bestSupportedIsa().
+const KernelTable& kernels() noexcept;
+Isa activeIsa() noexcept;
+
+/// Test/bench hook: force the active table. Returns false (and leaves the
+/// selection unchanged) if the ISA is not supported on this host. Not
+/// thread-safe against concurrent kernel use; flip it between runs only.
+bool setActiveIsa(Isa isa) noexcept;
+
+}  // namespace aspf::simd

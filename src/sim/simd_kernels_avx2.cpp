@@ -1,0 +1,93 @@
+// AVX2 kernel table. Compiled with -mavx2 (see CMakeLists.txt); selected
+// at runtime only after __builtin_cpu_supports("avx2"), so building it
+// into a portable binary is safe. Degrades to an absent-table stub when
+// the toolchain cannot target AVX2.
+#include "sim/simd_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace aspf::simd {
+namespace {
+
+bool blockEqualAvx2(const std::int8_t* a, const std::int8_t* b) {
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  // All 32 compare lanes equal iff the movemask is all-ones.
+  const __m256i eq = _mm256_cmpeq_epi8(va, vb);
+  return _mm256_movemask_epi8(eq) == -1;
+}
+
+void blockCopyAvx2(std::int8_t* dst, const std::int8_t* src) {
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(dst),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src)));
+}
+
+void blockEqualManyAvx2(const std::int8_t* cur, const std::int8_t* prev,
+                        const int* locals, std::size_t count,
+                        std::uint8_t* eq) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t off =
+        static_cast<std::size_t>(locals[i]) * kBlockBytes;
+    eq[i] = blockEqualAvx2(cur + off, prev + off) ? 1 : 0;
+  }
+}
+
+int findLabelPinAvx2(const std::int8_t* labels, std::int8_t label) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(labels));
+  const __m256i eq = _mm256_cmpeq_epi8(v, _mm256_set1_epi8(label));
+  const unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(eq));
+  if (mask == 0) return -1;
+  return __builtin_ctz(mask);  // lowest set bit == first matching byte
+}
+
+// Eight parent-pointer chases per iteration via gathered loads. Lanes
+// that reached a root (negative parent entry) keep their value through
+// the blend, so re-gathering them is harmless; the loop exits once no
+// lane advanced. Chases are independent and the walk never writes, so
+// each lane's root equals the scalar chase exactly.
+void resolveRootsAvx2(const int* parent, const int* nodes, std::size_t count,
+                      int* roots) {
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(nodes + i));
+    while (true) {
+      const __m256i par = _mm256_i32gather_epi32(parent, cur, 4);
+      // Sign mask of the gathered parents: all-ones lanes are roots.
+      const __m256i atRoot = _mm256_srai_epi32(par, 31);
+      const __m256i next = _mm256_blendv_epi8(par, cur, atRoot);
+      const __m256i moved = _mm256_xor_si256(next, cur);
+      cur = next;
+      if (_mm256_testz_si256(moved, moved)) break;
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(roots + i), cur);
+  }
+  for (; i < count; ++i) {
+    int x = nodes[i];
+    while (parent[x] >= 0) x = parent[x];
+    roots[i] = x;
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    Isa::Avx2,       "avx2",             blockEqualAvx2,
+    blockCopyAvx2,   blockEqualManyAvx2, findLabelPinAvx2,
+    resolveRootsAvx2};
+
+}  // namespace
+
+const KernelTable* avx2Table() noexcept { return &kAvx2Table; }
+
+}  // namespace aspf::simd
+
+#else  // !defined(__AVX2__)
+
+namespace aspf::simd {
+const KernelTable* avx2Table() noexcept { return nullptr; }
+}  // namespace aspf::simd
+
+#endif

@@ -1,0 +1,103 @@
+// SSE2 kernel table. Compiled with -msse2 (see CMakeLists.txt); on
+// targets where the flag is unavailable the TU degrades to a stub that
+// reports the table absent, so the dispatch layer never sees a function
+// it cannot call.
+#include "sim/simd_kernels.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace aspf::simd {
+namespace {
+
+bool blockEqualSse2(const std::int8_t* a, const std::int8_t* b) {
+  const __m128i a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+  const __m128i a1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + 16));
+  const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+  const __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + 16));
+  const __m128i eq =
+      _mm_and_si128(_mm_cmpeq_epi8(a0, b0), _mm_cmpeq_epi8(a1, b1));
+  return _mm_movemask_epi8(eq) == 0xFFFF;
+}
+
+void blockCopySse2(std::int8_t* dst, const std::int8_t* src) {
+  const __m128i s0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+  const __m128i s1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 16));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), s0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16), s1);
+}
+
+void blockEqualManySse2(const std::int8_t* cur, const std::int8_t* prev,
+                        const int* locals, std::size_t count,
+                        std::uint8_t* eq) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t off =
+        static_cast<std::size_t>(locals[i]) * kBlockBytes;
+    eq[i] = blockEqualSse2(cur + off, prev + off) ? 1 : 0;
+  }
+}
+
+int findLabelPinSse2(const std::int8_t* labels, std::int8_t label) {
+  const __m128i needle = _mm_set1_epi8(label);
+  const __m128i l0 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(labels));
+  const __m128i l1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(labels + 16));
+  const unsigned mask =
+      static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(l0, needle))) |
+      (static_cast<unsigned>(
+           _mm_movemask_epi8(_mm_cmpeq_epi8(l1, needle)))
+       << 16);
+  if (mask == 0) return -1;
+  return __builtin_ctz(mask);  // lowest set bit == first matching byte
+}
+
+// SSE2 has no gathers; interleave four independent chases so the pointer
+// walks overlap their cache misses. Each chase is independent, so the
+// roots are identical to the one-at-a-time scalar loop.
+void resolveRootsSse2(const int* parent, const int* nodes, std::size_t count,
+                      int* roots) {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    int x0 = nodes[i], x1 = nodes[i + 1], x2 = nodes[i + 2],
+        x3 = nodes[i + 3];
+    bool again = true;
+    while (again) {
+      again = false;
+      if (parent[x0] >= 0) { x0 = parent[x0]; again = true; }
+      if (parent[x1] >= 0) { x1 = parent[x1]; again = true; }
+      if (parent[x2] >= 0) { x2 = parent[x2]; again = true; }
+      if (parent[x3] >= 0) { x3 = parent[x3]; again = true; }
+    }
+    roots[i] = x0;
+    roots[i + 1] = x1;
+    roots[i + 2] = x2;
+    roots[i + 3] = x3;
+  }
+  for (; i < count; ++i) {
+    int x = nodes[i];
+    while (parent[x] >= 0) x = parent[x];
+    roots[i] = x;
+  }
+}
+
+constexpr KernelTable kSse2Table = {
+    Isa::Sse2,       "sse2",             blockEqualSse2,
+    blockCopySse2,   blockEqualManySse2, findLabelPinSse2,
+    resolveRootsSse2};
+
+}  // namespace
+
+const KernelTable* sse2Table() noexcept { return &kSse2Table; }
+
+}  // namespace aspf::simd
+
+#else  // !defined(__SSE2__)
+
+namespace aspf::simd {
+const KernelTable* sse2Table() noexcept { return nullptr; }
+}  // namespace aspf::simd
+
+#endif

@@ -1,0 +1,121 @@
+#pragma once
+// Word-packed bitset with tracked (epoch-style) resets, replacing the
+// per-pin epoch-stamp arrays of the circuit substrate.
+//
+// The substrate keeps several boolean planes indexed by pin node
+// ("this circuit root heard a beep", "this pin belongs to a dirty
+// amoebot"). As uint32 epoch stamps those planes cost 4 bytes per pin
+// (9.6 MB for a 100k-amoebot, 4-lane arena) -- far past L2 -- and every
+// random probe is a cold cache line. Packed 64-to-a-word they fit in a
+// few hundred KB, and a probe is one word load plus a shift.
+//
+// Reset semantics: epoch stamps made per-round invalidation O(1) by
+// bumping the epoch. A packed plane gets the same complexity a different
+// way: every *tracked* write records its word index (deduplicated), and
+// resetTracked() zeroes exactly those words -- O(words actually touched),
+// not O(plane size). Untracked set/clear are for planes whose owner
+// already keeps an explicit member list (the serial closure scan clears
+// through visitedPins_).
+//
+// Determinism: all mutating ops are plain masked word ops; the final word
+// values depend only on the SET of bits written, never on the order the
+// masks were applied (bitwise-or is commutative and associative), so any
+// serialization of the same logical writes yields byte-identical words.
+// Thread-safety: none -- every plane is written only by its owning Comm's
+// protocol thread; parallel phases read but never write (see comm.cpp).
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aspf {
+
+class WordBitset {
+ public:
+  /// Re-shapes to `bits` bits, all zero, tracking cleared.
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+    trackedFlag_.assign(words_.size(), 0);
+    tracked_.clear();
+  }
+
+  std::size_t sizeBits() const noexcept { return bits_; }
+  std::size_t wordCount() const noexcept { return words_.size(); }
+
+  bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Untracked single-bit ops (caller owns invalidation via its own list).
+  void set(std::size_t i) noexcept { words_[i >> 6] |= 1ull << (i & 63); }
+  void clear(std::size_t i) noexcept { words_[i >> 6] &= ~(1ull << (i & 63)); }
+
+  /// Tracked set: resetTracked() will zero this bit's word.
+  void setTracked(std::size_t i) {
+    const std::size_t w = i >> 6;
+    track(w);
+    words_[w] |= 1ull << (i & 63);
+  }
+
+  /// Tracked masked range set: sets bits [begin, begin + count) with one
+  /// masked op per touched word.
+  void setRangeTracked(std::size_t begin, std::size_t count) {
+    while (count > 0) {
+      const std::size_t w = begin >> 6;
+      const std::size_t off = begin & 63;
+      const std::size_t take = count < 64 - off ? count : 64 - off;
+      const std::uint64_t mask =
+          (take == 64 ? ~0ull : (1ull << take) - 1) << off;
+      track(w);
+      words_[w] |= mask;
+      begin += take;
+      count -= take;
+    }
+  }
+
+  /// Zeroes every word a tracked write touched since the last reset (the
+  /// epoch bump of the stamp scheme, paid only for touched words).
+  /// Returns the number of words zeroed, for the bitset_words_scanned
+  /// counter.
+  std::size_t resetTracked() noexcept {
+    const std::size_t n = tracked_.size();
+    for (const std::uint32_t w : tracked_) {
+      words_[w] = 0;
+      trackedFlag_[w] = 0;
+    }
+    tracked_.clear();
+    return n;
+  }
+
+  /// Index of the first set bit in [begin, end), or -1.
+  long scanForward(std::size_t begin, std::size_t end) const noexcept {
+    if (begin >= end) return -1;
+    std::size_t w = begin >> 6;
+    const std::size_t lastW = (end - 1) >> 6;
+    std::uint64_t word = words_[w] & (~0ull << (begin & 63));
+    while (true) {
+      if (word != 0) {
+        const std::size_t bit = w * 64 +
+            static_cast<std::size_t>(__builtin_ctzll(word));
+        return bit < end ? static_cast<long>(bit) : -1;
+      }
+      if (w == lastW) return -1;
+      word = words_[++w];
+    }
+  }
+
+ private:
+  void track(std::size_t w) {
+    if (!trackedFlag_[w]) {
+      trackedFlag_[w] = 1;
+      tracked_.push_back(static_cast<std::uint32_t>(w));
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> tracked_;      // word indices to zero on reset
+  std::vector<std::uint8_t> trackedFlag_;   // dedup for tracked_
+  std::size_t bits_ = 0;
+};
+
+}  // namespace aspf

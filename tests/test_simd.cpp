@@ -1,0 +1,414 @@
+// SIMD substrate tests: runtime kernel dispatch, scalar-vs-vector kernel
+// equivalence on randomized 32-byte blocks, WordBitset word-boundary
+// semantics, the pin arena's 32-byte alignment guarantee, the fused
+// HotPin hot/cold split invariants, and whole-simulation bit-identity
+// across forced kernel ISAs (the in-process form of the CI dispatch
+// matrix's report cmp).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "shapes/generators.hpp"
+#include "sim/comm.hpp"
+#include "sim/pin_config.hpp"
+#include "sim/sim_counters.hpp"
+#include "sim/simd_kernels.hpp"
+#include "sim/word_bitset.hpp"
+
+namespace aspf {
+namespace {
+
+using simd::Isa;
+using simd::kBlockBytes;
+using simd::KernelTable;
+
+// Every table compiled in AND executable on this host. The scalar table
+// is always first, so tables[0] is the reference implementation.
+std::vector<const KernelTable*> supportedTables() {
+  std::vector<const KernelTable*> tables = {&simd::scalarTable()};
+  if (simd::isaSupported(Isa::Sse2)) tables.push_back(simd::sse2Table());
+  if (simd::isaSupported(Isa::Avx2)) tables.push_back(simd::avx2Table());
+  return tables;
+}
+
+// Restores the process-wide active table on scope exit, so a test that
+// forces an ISA cannot leak the selection into later suites.
+struct IsaGuard {
+  Isa prev = simd::activeIsa();
+  ~IsaGuard() { simd::setActiveIsa(prev); }
+};
+
+TEST(SimdDispatch, ScalarAlwaysPresentAndActiveIsaConsistent) {
+  const KernelTable& scalar = simd::scalarTable();
+  EXPECT_EQ(scalar.isa, Isa::Scalar);
+  EXPECT_STREQ(scalar.name, simd::isaName(Isa::Scalar));
+  EXPECT_TRUE(simd::isaSupported(Isa::Scalar));
+  EXPECT_TRUE(simd::isaSupported(simd::bestSupportedIsa()));
+  EXPECT_EQ(simd::kernels().isa, simd::activeIsa());
+}
+
+TEST(SimdDispatch, SetActiveIsaForcesSupportedAndRejectsUnsupported) {
+  IsaGuard guard;
+  ASSERT_TRUE(simd::setActiveIsa(Isa::Scalar));
+  EXPECT_EQ(simd::activeIsa(), Isa::Scalar);
+  EXPECT_EQ(simd::kernels().isa, Isa::Scalar);
+  for (const Isa isa : {Isa::Sse2, Isa::Avx2}) {
+    if (simd::isaSupported(isa)) {
+      EXPECT_TRUE(simd::setActiveIsa(isa));
+      EXPECT_EQ(simd::activeIsa(), isa);
+    } else {
+      const Isa before = simd::activeIsa();
+      EXPECT_FALSE(simd::setActiveIsa(isa));
+      EXPECT_EQ(simd::activeIsa(), before);  // selection unchanged
+    }
+  }
+}
+
+TEST(SimdKernels, BlockEqualMatchesScalarIncludingSingleByteDiffs) {
+  std::mt19937 rng(20240801);
+  std::uniform_int_distribution<int> byte(-128, 127);
+  for (const KernelTable* t : supportedTables()) {
+    for (int trial = 0; trial < 64; ++trial) {
+      std::int8_t a[kBlockBytes], b[kBlockBytes];
+      for (int i = 0; i < kBlockBytes; ++i)
+        a[i] = static_cast<std::int8_t>(byte(rng));
+      // Equal blocks.
+      t->blockCopy(b, a);
+      EXPECT_TRUE(t->blockEqual(a, b));
+      // A difference at every single byte position must be detected.
+      for (int p = 0; p < kBlockBytes; ++p) {
+        const std::int8_t keep = b[p];
+        b[p] = static_cast<std::int8_t>(keep ^ 0x5b);
+        EXPECT_FALSE(t->blockEqual(a, b)) << t->name << " byte " << p;
+        b[p] = keep;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, BlockCopyCopiesAllThirtyTwoBytes) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> byte(-128, 127);
+  for (const KernelTable* t : supportedTables()) {
+    std::int8_t src[kBlockBytes], dst[kBlockBytes];
+    for (int i = 0; i < kBlockBytes; ++i) {
+      src[i] = static_cast<std::int8_t>(byte(rng));
+      dst[i] = static_cast<std::int8_t>(~src[i]);
+    }
+    t->blockCopy(dst, src);
+    for (int i = 0; i < kBlockBytes; ++i)
+      EXPECT_EQ(dst[i], src[i]) << t->name << " byte " << i;
+  }
+}
+
+TEST(SimdKernels, BlockEqualManyMatchesPerBlockScalar) {
+  std::mt19937 rng(31337);
+  std::uniform_int_distribution<int> byte(-128, 127);
+  constexpr int kBlocks = 23;
+  std::vector<std::int8_t> cur(kBlocks * kBlockBytes);
+  std::vector<std::int8_t> prev(kBlocks * kBlockBytes);
+  for (auto& v : cur) v = static_cast<std::int8_t>(byte(rng));
+  prev = cur;
+  // Flip one byte in a known subset of blocks.
+  for (const int changed : {0, 3, 7, 8, 15, 22})
+    cur[static_cast<std::size_t>(changed) * kBlockBytes + changed] ^= 1;
+  // Query an out-of-order, repeating subset of locals (the drain hands
+  // the kernel the touched list, which is neither sorted nor dense).
+  const std::vector<int> locals = {22, 0, 5, 8, 8, 1, 15, 3, 7, 9};
+  std::vector<std::uint8_t> want(locals.size());
+  const KernelTable& scalar = simd::scalarTable();
+  scalar.blockEqualMany(cur.data(), prev.data(), locals.data(),
+                        locals.size(), want.data());
+  for (const KernelTable* t : supportedTables()) {
+    std::vector<std::uint8_t> got(locals.size(), 0xcd);
+    t->blockEqualMany(cur.data(), prev.data(), locals.data(), locals.size(),
+                      got.data());
+    EXPECT_EQ(got, want) << t->name;
+    t->blockEqualMany(cur.data(), prev.data(), locals.data(), 0, got.data());
+    EXPECT_EQ(got, want) << t->name << " (count 0 must not write)";
+  }
+}
+
+TEST(SimdKernels, FindLabelPinReturnsFirstMatchWithIdentityTail) {
+  // Arena-shaped block: random labels in [0, ppa) with duplicates, then
+  // the identity tail (labels[p] == p for p >= ppa). Every table must
+  // report the FIRST matching byte -- including tail self-matches, which
+  // the caller rejects via its p < ppa bound.
+  std::mt19937 rng(99);
+  for (const int ppa : {12, 24}) {
+    std::uniform_int_distribution<int> label(0, ppa - 1);
+    for (int trial = 0; trial < 64; ++trial) {
+      std::int8_t block[kBlockBytes];
+      for (int p = 0; p < ppa; ++p)
+        block[p] = static_cast<std::int8_t>(label(rng));
+      for (int p = ppa; p < kBlockBytes; ++p)
+        block[p] = static_cast<std::int8_t>(p);
+      for (int probe = -2; probe < kBlockBytes + 2; ++probe) {
+        const auto l = static_cast<std::int8_t>(probe);
+        int want = -1;
+        for (int p = 0; p < kBlockBytes; ++p) {
+          if (block[p] == l) {
+            want = p;
+            break;
+          }
+        }
+        for (const KernelTable* t : supportedTables())
+          EXPECT_EQ(t->findLabelPin(block, l), want)
+              << t->name << " label " << probe;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ResolveRootsMatchesSerialChase) {
+  // Random parent forests (negative entry == root, others point strictly
+  // downward, so chases terminate). Batch sizes straddle the AVX2 8-lane
+  // boundary to exercise both the gathered loop and the scalar tail.
+  std::mt19937 rng(4242);
+  constexpr int kNodes = 1000;
+  std::vector<int> parent(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    std::uniform_int_distribution<int> pick(-40, i - 1);
+    const int p = i == 0 ? -1 : pick(rng);
+    parent[i] = p < 0 ? -1 - (p & 7) : p;  // roots hold assorted negatives
+  }
+  std::uniform_int_distribution<int> node(0, kNodes - 1);
+  for (const std::size_t count : {0u, 1u, 7u, 8u, 9u, 67u}) {
+    std::vector<int> nodes(count);
+    for (auto& v : nodes) v = node(rng);
+    std::vector<int> want(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      int cur = nodes[i];
+      while (parent[cur] >= 0) cur = parent[cur];
+      want[i] = cur;
+    }
+    for (const KernelTable* t : supportedTables()) {
+      std::vector<int> got(count, -999);
+      t->resolveRoots(parent.data(), nodes.data(), count, got.data());
+      EXPECT_EQ(got, want) << t->name << " count " << count;
+    }
+  }
+}
+
+TEST(WordBitset, WordBoundarySizes) {
+  for (const std::size_t bits : {63u, 64u, 65u}) {
+    WordBitset bs;
+    bs.resize(bits);
+    EXPECT_EQ(bs.sizeBits(), bits);
+    EXPECT_EQ(bs.wordCount(), (bits + 63) / 64);
+    for (std::size_t i = 0; i < bits; ++i) EXPECT_FALSE(bs.test(i));
+    for (std::size_t i = 0; i < bits; ++i) {
+      bs.set(i);
+      EXPECT_TRUE(bs.test(i));
+    }
+    // Clearing a boundary bit must not disturb its neighbors.
+    const std::size_t mid = bits / 2;
+    bs.clear(mid);
+    EXPECT_FALSE(bs.test(mid));
+    if (mid > 0) {
+      EXPECT_TRUE(bs.test(mid - 1));
+    }
+    if (mid + 1 < bits) {
+      EXPECT_TRUE(bs.test(mid + 1));
+    }
+  }
+}
+
+TEST(WordBitset, ScanForwardAcrossWordBoundaries) {
+  WordBitset bs;
+  bs.resize(200);
+  for (const std::size_t i : {0u, 63u, 64u, 127u, 130u, 199u}) bs.set(i);
+  EXPECT_EQ(bs.scanForward(0, 200), 0);
+  EXPECT_EQ(bs.scanForward(1, 200), 63);
+  EXPECT_EQ(bs.scanForward(63, 200), 63);
+  EXPECT_EQ(bs.scanForward(64, 200), 64);
+  EXPECT_EQ(bs.scanForward(65, 200), 127);
+  EXPECT_EQ(bs.scanForward(128, 200), 130);
+  EXPECT_EQ(bs.scanForward(131, 200), 199);
+  // End bound is exclusive and must mask out later hits in the last word.
+  EXPECT_EQ(bs.scanForward(131, 199), -1);
+  EXPECT_EQ(bs.scanForward(1, 63), -1);
+  EXPECT_EQ(bs.scanForward(50, 50), -1);
+  EXPECT_EQ(bs.scanForward(199, 200), 199);
+}
+
+TEST(WordBitset, ResetTrackedZeroesExactlyTouchedWords) {
+  WordBitset bs;
+  bs.resize(256);  // 4 words
+  bs.setTracked(3);
+  bs.setTracked(40);    // same word as 3: dedup
+  bs.setTracked(129);   // word 2
+  EXPECT_EQ(bs.resetTracked(), 2u);  // words 0 and 2, not 4
+  for (const std::size_t i : {3u, 40u, 129u}) EXPECT_FALSE(bs.test(i));
+  EXPECT_EQ(bs.resetTracked(), 0u);  // tracking consumed
+  // Untracked writes survive resetTracked (their owner clears through its
+  // own member list -- the closure scan's visitedPins_).
+  bs.set(200);
+  EXPECT_EQ(bs.resetTracked(), 0u);
+  EXPECT_TRUE(bs.test(200));
+}
+
+TEST(WordBitset, SetRangeTrackedSpansWords) {
+  WordBitset bs;
+  bs.resize(256);
+  bs.setRangeTracked(60, 10);  // bits 60..69: straddles words 0 and 1
+  for (std::size_t i = 58; i < 72; ++i)
+    EXPECT_EQ(bs.test(i), i >= 60 && i < 70) << "bit " << i;
+  EXPECT_EQ(bs.resetTracked(), 2u);
+  EXPECT_EQ(bs.scanForward(0, 256), -1);
+  // A whole-word range (the take == 64 mask path).
+  bs.setRangeTracked(64, 64);
+  for (std::size_t i = 64; i < 128; ++i) EXPECT_TRUE(bs.test(i));
+  EXPECT_FALSE(bs.test(63));
+  EXPECT_FALSE(bs.test(128));
+  EXPECT_EQ(bs.resetTracked(), 1u);
+}
+
+TEST(PinArena, LabelPlanesAre32ByteAligned) {
+  // The SIMD block kernels operate on one amoebot's 32-byte label block;
+  // the arena guarantees the planes are 32-byte aligned AND strided so no
+  // block ever straddles an alignment boundary (the satellite bugfix:
+  // plain std::vector<int8_t> only guaranteed 1-byte alignment).
+  for (const int n : {1, 7, 100}) {
+    PinArena arena(n, 4);
+    for (const int local : {0, n / 2, n - 1}) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arena.labelsOf(local)) %
+                    kPinStride,
+                0u)
+          << "labels local " << local;
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arena.snapshotOf(local)) %
+                    kPinStride,
+                0u)
+          << "snapshot local " << local;
+    }
+  }
+  static_assert(kPinStride == kBlockBytes,
+                "arena stride and kernel block width must agree");
+}
+
+TEST(PinArena, HotPinStaysOneWordAndSplitInvariantHolds) {
+  EXPECT_EQ(sizeof(HotPin), 8u);
+  // Build a few non-trivial partition sets, reconcile via takeDirty, and
+  // check the fused hot records against the cold label plane: the
+  // successor delta enumerates exactly the same-label pins as a cycle,
+  // and the lead delta points at the set's lowest-indexed member (lead
+  // iff leadDelta == 0).
+  PinArena arena(4, 2);
+  const int ppa = arena.pinsPerAmoebot();
+  const auto checkLive = [&] {
+    const HotPin* hot = arena.hot();
+    for (int a = 0; a < arena.size(); ++a) {
+      const std::int8_t* labels = arena.labelsOf(a);
+      for (int p = 0; p < ppa; ++p) {
+        const int node = a * ppa + p;
+        const HotPin h = hot[node];
+        // Lowest same-label pin == the lead the first-match scan finds.
+        int lowest = -1, members = 0;
+        for (int q = 0; q < ppa; ++q) {
+          if (labels[q] == labels[p]) {
+            if (lowest < 0) lowest = q;
+            ++members;
+          }
+        }
+        EXPECT_EQ(node + h.leadDelta, a * ppa + lowest) << "node " << node;
+        EXPECT_EQ(h.leadDelta == 0, p == lowest) << "node " << node;
+        // The circular successor enumerates the whole set and returns.
+        int cur = p, seen = 0;
+        do {
+          EXPECT_EQ(labels[cur], labels[p]) << "node " << node;
+          cur = cur + hot[a * ppa + cur].delta;
+          ++seen;
+          ASSERT_LE(seen, ppa);
+        } while (cur != p);
+        EXPECT_EQ(seen, members) << "node " << node;
+      }
+    }
+  };
+  arena.join(0, std::array{Pin{Dir::E, 0}, Pin{Dir::W, 0}});
+  arena.join(1, std::array{Pin{Dir::E, 0}, Pin{Dir::W, 1}, Pin{Dir::NE, 0}});
+  arena.join(2, std::array{Pin{Dir::NW, 1}, Pin{Dir::SW, 0}});
+  arena.join(2, std::array{Pin{Dir::E, 0}, Pin{Dir::SE, 1}});
+  std::vector<int> dirty;
+  arena.takeDirty(&dirty);
+  EXPECT_EQ(dirty.size(), 3u);
+  checkLive();
+  // Snapshot-delta window: prevDelta/prevLeadDelta are the deltas as of
+  // the last takeDirty, valid for the amoebots the NEXT takeDirty reports
+  // dirty. Round 1's pre-mutation state was all-singleton, so re-mutating
+  // amoebot 1 must expose round-1's reconciled deltas in prev*.
+  std::vector<HotPin> round1(arena.hot(), arena.hot() + arena.size() * ppa);
+  arena.reset(1);
+  arena.join(1, std::array{Pin{Dir::SW, 0}, Pin{Dir::SE, 0}});
+  dirty.clear();
+  arena.takeDirty(&dirty);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 1);
+  checkLive();
+  for (int p = 0; p < ppa; ++p) {
+    const int node = 1 * ppa + p;
+    EXPECT_EQ(arena.hot()[node].prevDelta, round1[node].delta) << p;
+    EXPECT_EQ(arena.hot()[node].prevLeadDelta, round1[node].leadDelta) << p;
+  }
+}
+
+// Signature of one scripted simulation: every received bit of every round
+// plus the substrate counter deltas. Bit-identity of this signature across
+// forced ISAs is the in-process form of the CI dispatch matrix (which
+// cmp's whole report files with the "simd" stamp stripped).
+std::vector<long> runScriptedSim(int lanes) {
+  const auto s = shapes::hexagon(3);
+  const Region region = Region::whole(s);
+  const SimCounters before = simCounters();
+  Comm comm(region, lanes);
+  const int n = region.size();
+  const int ppa = comm.pins(0).pinCount();
+  std::mt19937 rng(20240808);  // same seed per ISA => same script
+  std::uniform_int_distribution<int> pickA(0, n - 1);
+  std::uniform_int_distribution<int> pickDir(0, kNumDirs - 1);
+  std::uniform_int_distribution<int> pickLane(0, lanes - 1);
+  std::vector<long> sig;
+  for (int round = 0; round < 40; ++round) {
+    // Rewire a few amoebots (drives the incremental closure scan), beep a
+    // few pins, deliver, and record every received bit.
+    for (int m = 0; m < 3; ++m) {
+      const int a = pickA(rng);
+      comm.pins(a).reset();
+      const Pin pins[] = {
+          {static_cast<Dir>(pickDir(rng)), static_cast<std::uint8_t>(pickLane(rng))},
+          {static_cast<Dir>(pickDir(rng)), static_cast<std::uint8_t>(pickLane(rng))},
+          {static_cast<Dir>(pickDir(rng)), static_cast<std::uint8_t>(pickLane(rng))}};
+      comm.pins(a).join(pins);
+    }
+    for (int b = 0; b < 4; ++b)
+      comm.beepPin(pickA(rng), {static_cast<Dir>(pickDir(rng)),
+                                static_cast<std::uint8_t>(pickLane(rng))});
+    comm.deliver();
+    for (int a = 0; a < n; ++a)
+      for (int p = 0; p < ppa; ++p)
+        sig.push_back(comm.receivedPin(
+            a, {static_cast<Dir>(p / lanes), static_cast<std::uint8_t>(p % lanes)}));
+  }
+  const SimCounters d = simCounters() - before;
+  sig.insert(sig.end(), {d.delivers, d.beeps, d.unions, d.dirtyAmoebots,
+                         d.amoebotRounds, d.incrementalRounds, d.rebuildRounds,
+                         d.blockCompares, d.bitsetWordsScanned});
+  return sig;
+}
+
+TEST(SimdComm, ScriptedSimulationIsBitIdenticalAcrossIsas) {
+  IsaGuard guard;
+  ASSERT_TRUE(simd::setActiveIsa(Isa::Scalar));
+  const std::vector<long> want = runScriptedSim(2);
+  EXPECT_GT(want.back(), 0) << "script must exercise the tracked bitsets";
+  for (const Isa isa : {Isa::Sse2, Isa::Avx2}) {
+    if (!simd::isaSupported(isa)) continue;
+    ASSERT_TRUE(simd::setActiveIsa(isa));
+    EXPECT_EQ(runScriptedSim(2), want) << simd::isaName(isa);
+  }
+}
+
+}  // namespace
+}  // namespace aspf
