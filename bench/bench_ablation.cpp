@@ -33,7 +33,8 @@ void tableAblation() {
     bench::mustBeValid(region, dc.parent, sources, dests, "E9/dc");
 
     table.add(region.size(), k, naive.rounds, dc.rounds,
-              static_cast<double>(naive.rounds) / dc.rounds);
+              static_cast<double>(naive.rounds) /
+                  static_cast<double>(dc.rounds));
   }
   table.print(std::cout);
   std::cout << "Expected shape: the ratio grows roughly linearly in k over\n"

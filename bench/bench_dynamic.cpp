@@ -92,7 +92,7 @@ void BM_DynamicWaveEpoch(benchmark::State& state) {
     ++epochs;
   }
   state.SetItemsProcessed(epochs);
-  state.counters["n"] = timelineState.n();
+  state.counters["n"] = static_cast<double>(timelineState.n());
   state.counters["warm"] = warm ? 1 : 0;
 }
 
@@ -138,8 +138,8 @@ void BM_DynamicEngineAblation(benchmark::State& state) {
     ++epochs;
   }
   state.SetItemsProcessed(epochs);
-  state.counters["n"] = timelineState.n();
-  state.counters["incremental"] = state.range(1);
+  state.counters["n"] = static_cast<double>(timelineState.n());
+  state.counters["incremental"] = static_cast<double>(state.range(1));
 }
 
 BENCHMARK(BM_DynamicEngineAblation)

@@ -30,7 +30,8 @@ void tableSssp() {
     bench::mustBeValid(region, wave.parent, {source}, allIds, "E3/wave");
     table.add(std::string(toString(shape)), region.size(),
               s.eccentricity(source), spt.rounds, wave.rounds,
-              static_cast<double>(wave.rounds) / spt.rounds);
+              static_cast<double>(wave.rounds) /
+                  static_cast<double>(spt.rounds));
   };
   for (const int radius : {4, 8, 16, 32, 64})
     runShape(Shape::Hexagon, radius, 0, {0, 0});

@@ -63,7 +63,8 @@ int main() {
   std::cout << "\nTotal travel: " << totalHops
             << " hops via the shortest path forest vs " << naiveHops
             << " hops when all movers head to one target ("
-            << (100.0 * (naiveHops - totalHops)) / std::max<long>(naiveHops, 1)
+            << (100.0 * static_cast<double>(naiveHops - totalHops)) /
+                   static_cast<double>(std::max<long>(naiveHops, 1))
             << "% saved).\n\n";
 
   std::vector<char> isSource(structure.size(), 0),

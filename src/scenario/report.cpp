@@ -732,6 +732,9 @@ bool equalDeterministic(const BenchReport& a, const BenchReport& b,
                        rp + ".rebuild_rounds", why))
           return false;
       }
+      // aspf-lint: allow(float-field) exact dyadic ratio of two integer
+      // counters; IEEE division is correctly rounded, so the comparison
+      // is bit-deterministic on every platform
       if (!sameField(ra.dirtyFrac, rb.dirtyFrac, rp + ".dirty_frac", why))
         return false;
       if (!sameField(ra.hasPhases, rb.hasPhases, rp + ".phases (presence)",

@@ -16,6 +16,8 @@ namespace {
 using CoordSet = std::unordered_set<Coord, CoordHash>;
 
 AmoebotStructure fromSet(const CoordSet& set) {
+  // aspf-lint: allow(unordered-iter) drained into a vector and sorted on
+  // the next line, so the hash order never reaches an observable
   std::vector<Coord> coords(set.begin(), set.end());
   std::sort(coords.begin(), coords.end());
   return AmoebotStructure::fromCoords(std::move(coords));
@@ -139,6 +141,8 @@ AmoebotStructure fillHoles(std::vector<Coord> coords) {
   if (set.empty()) throw std::invalid_argument("fillHoles: empty structure");
   std::int32_t qmin = std::numeric_limits<std::int32_t>::max(), qmax = -qmin;
   std::int32_t rmin = qmin, rmax = -qmin;
+  // aspf-lint: allow(unordered-iter) commutative min/max fold; the
+  // bounding box is the same in any iteration order
   for (const Coord c : set) {
     qmin = std::min(qmin, c.q);
     qmax = std::max(qmax, c.q);
@@ -205,6 +209,8 @@ AmoebotStructure randomBlob(int targetSize, std::uint64_t seed) {
     set.insert(c);
     expandFrontier(c);
   }
+  // aspf-lint: allow(unordered-iter) fillHoles re-canonicalizes through
+  // fromSet, which sorts; hash order never reaches an observable
   std::vector<Coord> coords(set.begin(), set.end());
   return fillHoles(std::move(coords));
 }
@@ -266,6 +272,8 @@ AmoebotStructure randomSpider(int arms, int armLength, std::uint64_t seed) {
       set.insert(c.neighbor(Dir::E));
     }
   }
+  // aspf-lint: allow(unordered-iter) fillHoles re-canonicalizes through
+  // fromSet, which sorts; hash order never reaches an observable
   std::vector<Coord> coords(set.begin(), set.end());
   return fillHoles(std::move(coords));
 }

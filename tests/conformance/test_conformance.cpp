@@ -141,8 +141,8 @@ TEST_P(Conformance, DeterministicReplay) {
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, Conformance, ::testing::ValuesIn(conformance::scenarioMatrix()),
-    [](const ::testing::TestParamInfo<Scenario>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<Scenario>& paramInfo) {
+      return paramInfo.param.name;
     });
 
 }  // namespace

@@ -105,8 +105,8 @@ TEST_P(FuzzConformance, DeterministicReplay) {
 
 INSTANTIATE_TEST_SUITE_P(
     Blobs, FuzzConformance, ::testing::ValuesIn(fuzzScenarios()),
-    [](const ::testing::TestParamInfo<Scenario>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<Scenario>& paramInfo) {
+      return paramInfo.param.name;
     });
 
 TEST(FuzzBlobGenerator, SeedsProduceDistinctDeterministicStructures) {

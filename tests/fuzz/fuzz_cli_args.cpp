@@ -1,0 +1,53 @@
+// libFuzzer harness for the CLI flag grammar (tools/cli_args.hpp).
+// parseInt/parseIntList sit directly behind every aspf-run flag, so they
+// chew on whatever the shell hands over. The documented contracts double
+// as fuzz properties:
+//   * no crash, no exception -- failure is `false` plus a reason string;
+//   * full-match: a successful parseInt must re-serialize to the input
+//     after sign/zero normalization is ruled out by rejecting junk, so
+//     here we only require failure => non-empty error;
+//   * range cap: a successful parseIntList never appends more than
+//     kMaxRangeSpan values per comma-separated item;
+//   * nonNegative mode never lets a negative value through.
+//
+// Built under Clang with -fsanitize=fuzzer,address; elsewhere the
+// standalone corpus driver replays tests/fuzz/corpus/cli_args/.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cli_args.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  int value = 0;
+  std::string error;
+  if (!aspf::cli::parseInt(text, &value, &error) && error.empty())
+    std::abort();  // failures must carry a reason
+
+  for (const bool nonNegative : {false, true}) {
+    std::vector<int> values;
+    error.clear();
+    const bool ok =
+        aspf::cli::parseIntList(text, &values, &error, nonNegative);
+    if (!ok && error.empty()) std::abort();
+    if (ok) {
+      // One item expands to at most kMaxRangeSpan values; items are
+      // comma-separated, so the total is bounded by (commas+1) * cap.
+      std::size_t items = 1;
+      for (const char c : text)
+        if (c == ',') ++items;
+      if (values.size() >
+          items * static_cast<std::size_t>(aspf::cli::kMaxRangeSpan))
+        std::abort();
+      if (nonNegative)
+        for (const int v : values)
+          if (v < 0) std::abort();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// libFuzzer harness for the scenario JSON parser (src/scenario/json.hpp).
+// Json::parse is the trust boundary of query-serving mode: every --serve
+// request body goes through it, so it must reject arbitrary bytes with a
+// clean std::runtime_error -- never a crash, hang, or sanitizer report.
+//
+// Properties checked beyond "does not crash":
+//   * accepted inputs round-trip: parse(dump(parse(x))) == parse(x), for
+//     both compact and pretty-printed dumps;
+//   * rejection is the *only* failure mode (any other exception aborts).
+//
+// Built under Clang with -fsanitize=fuzzer,address (the CI fuzz job);
+// under other compilers tests/fuzz/standalone_main.cpp replays the
+// committed corpus files so the harness still runs everywhere.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+#include "scenario/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  aspf::scenario::Json parsed;
+  try {
+    parsed = aspf::scenario::Json::parse(text);
+  } catch (const std::runtime_error&) {
+    return 0;  // clean rejection is the contract for malformed input
+  }
+  // Round-trip: a dump of an accepted value must re-parse to an equal
+  // value (dump and operator== are what the --diff trajectory checks and
+  // the serve-mode responses are built on).
+  for (const int indent : {0, 2}) {
+    const std::string dumped = parsed.dump(indent);
+    try {
+      if (!(aspf::scenario::Json::parse(dumped) == parsed)) std::abort();
+    } catch (const std::runtime_error&) {
+      std::abort();  // dump() emitted something parse() rejects
+    }
+  }
+  return 0;
+}

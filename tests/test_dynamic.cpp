@@ -261,11 +261,11 @@ INSTANTIATE_TEST_SUITE_P(
                       DynamicConfig{CircuitEngine::Incremental, 4},
                       DynamicConfig{CircuitEngine::Rebuild, 1},
                       DynamicConfig{CircuitEngine::Rebuild, 4}),
-    [](const ::testing::TestParamInfo<DynamicConfig>& info) {
-      return std::string(info.param.engine == CircuitEngine::Rebuild
+    [](const ::testing::TestParamInfo<DynamicConfig>& paramInfo) {
+      return std::string(paramInfo.param.engine == CircuitEngine::Rebuild
                              ? "rebuild"
                              : "incremental") +
-             "_sim" + std::to_string(info.param.simThreads);
+             "_sim" + std::to_string(paramInfo.param.simThreads);
     });
 
 TEST(DynamicDifferential, ReportsBitIdenticalAcrossSimThreadsAndThreads) {

@@ -49,7 +49,7 @@ class ForestSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ForestSeeds, DivideAndConquerForestIsExact) {
   const std::uint64_t seed = GetParam();
-  const auto s = shapes::randomBlob(100 + 10 * (seed % 5), seed);
+  const auto s = shapes::randomBlob(100 + 10 * static_cast<int>(seed % 5), seed);
   const Region region = Region::whole(s);
   Rng rng(seed + 1);
   const int k = 2 + static_cast<int>(rng.below(6));

@@ -88,6 +88,8 @@ TEST(HoleDetection, AgreesWithCentralizedCheckOnRandomStructures) {
           base.neighbor(static_cast<Dir>(rng.below(6)));
       if (set.insert(next).second) frontier.push_back(next);
     }
+    // aspf-lint: allow(unordered-iter) drained into a vector and sorted
+    // on the next line; order-independent
     std::vector<Coord> coords(set.begin(), set.end());
     std::sort(coords.begin(), coords.end());
     const auto s = AmoebotStructure::fromCoords(std::move(coords));

@@ -1,0 +1,76 @@
+// aspf-lint -- the project's determinism-and-invariant static checker.
+// Thin main over tools/lint_core.{hpp,cpp} (the engine is a library so
+// tests/test_lint.cpp can drive it on fixture strings without spawning
+// the binary). See lint_core.hpp for the rule list and the
+// allow-annotation grammar; docs/ARCHITECTURE.md "Determinism rules" has
+// the prose rationale.
+//
+// Usage:
+//   aspf-lint [--root DIR] [--list-rules]
+//
+// Exit codes: 0 clean, 1 violations printed (one `file:line: rule:
+// message` per line), 2 usage or I/O error.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "lint_core.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: aspf-lint [--root DIR] [--list-rules]\n"
+    "\n"
+    "Statically enforces the repo's written determinism invariants over\n"
+    "src/, tests/, tools/, bench/, examples/ and CMakeLists.txt.\n"
+    "Violations print as `file:line: rule: message`; exit 1 if any.\n"
+    "Waive a finding with an annotation on the same or preceding line:\n"
+    "  // aspf-lint: allow(<rule>) <non-empty reason>\n";
+
+constexpr const char* kRuleHelp =
+    "unordered-iter   no iteration over std::unordered_map/set "
+    "(hash-order dependent)\n"
+    "nondeterminism   no rand/time()/clock()/random_device/system_clock "
+    "in src/ or tools/\n"
+    "raw-pinarena     no direct PinArena/PinConfig access outside "
+    "src/sim/\n"
+    "float-field      no floating-point report field compared by "
+    "equalDeterministic\n"
+    "ctest-timeout    every gtest_discover_tests() carries TIMEOUT and "
+    "smoke/full LABELS\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      std::cout << kRuleHelp;
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "aspf-lint: unknown argument '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+  try {
+    const int findings = aspf::lint::lintTree(root, std::cout);
+    if (findings > 0) {
+      std::cerr << "aspf-lint: " << findings << " violation"
+                << (findings == 1 ? "" : "s") << " (annotate deliberate "
+                << "exceptions with `// aspf-lint: allow(<rule>) <reason>`)"
+                << "\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

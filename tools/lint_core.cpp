@@ -1,0 +1,796 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aspf::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule tables. Banned names live in string literals only: the scanner
+// strips literals before matching, so this file never flags itself.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kRules[] = {"unordered-iter", "nondeterminism",
+                                  "raw-pinarena", "float-field",
+                                  "ctest-timeout"};
+
+// Identifiers that are nondeterministic on their own (any use is a leak
+// of hash order, ASLR, or the host clock into a deterministic path).
+constexpr const char* kBannedIds[] = {
+    "random_device", "system_clock",          "high_resolution_clock",
+    "mt19937",       "mt19937_64",            "default_random_engine",
+    "gettimeofday",  "getrandom",
+};
+
+// Identifiers banned only in call position (`time(...)`, not `wallTime`).
+constexpr const char* kBannedCalls[] = {"rand", "srand", "rand_r", "time",
+                                        "clock"};
+
+// The one clock the runner's timing blocks may read; everywhere else a
+// monotonic clock is still a wall clock.
+constexpr const char* kSteadyClock = "steady_clock";
+constexpr const char* kTimingFiles[] = {"src/scenario/runner.cpp",
+                                        "src/scenario/serve.cpp"};
+
+// Direct-substrate types protocols must not name outside src/sim/: pins
+// are mutated only through Comm::pins() -> PinConfigRef so the arena can
+// snapshot first-mutation state ("PinConfig" is the pre-PR-3 raw class;
+// naming it again would resurrect the unsnapshotted access path).
+constexpr const char* kRawSubstrateIds[] = {"PinArena", "PinConfig"};
+
+constexpr const char* kUnorderedTypes[] = {"unordered_map", "unordered_set",
+                                           "unordered_multimap",
+                                           "unordered_multiset"};
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+template <std::size_t N>
+bool inTable(const char* const (&table)[N], const std::string& s) {
+  for (const char* entry : table)
+    if (s == entry) return true;
+  return false;
+}
+
+std::string trim(std::string s) {
+  const auto notSpace = [](unsigned char c) { return !std::isspace(c); };
+  s.erase(s.begin(), std::find_if(s.begin(), s.end(), notSpace));
+  s.erase(std::find_if(s.rbegin(), s.rend(), notSpace).base(), s.end());
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: split the file into lines twice -- once with comments and
+// string/char literals blanked (code view: rules match here) and once
+// with everything BUT comment text blanked (comment view: annotations
+// are extracted here, so a banned token quoted in a string, or an
+// annotation example inside a test fixture literal, is invisible).
+// ---------------------------------------------------------------------------
+
+struct LineViews {
+  std::vector<std::string> code;
+  std::vector<std::string> comment;
+};
+
+LineViews splitViews(const std::string& text) {
+  enum class State { Code, Slash, Line, Block, Str, Chr, Raw };
+  LineViews views;
+  std::string code, comment;
+  State st = State::Code;
+  std::string rawDelim;  // for R"delim( ... )delim"
+  auto flush = [&] {
+    views.code.push_back(code);
+    views.comment.push_back(comment);
+    code.clear();
+    comment.clear();
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (st == State::Slash) {  // lone '/' at end of line stays code
+        st = State::Code;
+      }
+      if (st == State::Line) st = State::Code;
+      flush();
+      continue;
+    }
+    switch (st) {
+      case State::Code:
+        if (c == '/') {
+          st = State::Slash;
+        } else if (c == '"') {
+          // Raw string literal? Look back for the R prefix.
+          if (!code.empty() && code.back() == 'R' &&
+              (code.size() < 2 || !isIdentChar(code[code.size() - 2]))) {
+            rawDelim.clear();
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(')
+              rawDelim.push_back(text[j++]);
+            st = State::Raw;
+          } else {
+            st = State::Str;
+          }
+          code.push_back(' ');
+          comment.push_back(' ');
+        } else if (c == '\'') {
+          st = State::Chr;
+          code.push_back(' ');
+          comment.push_back(' ');
+        } else {
+          code.push_back(c);
+          comment.push_back(' ');
+        }
+        break;
+      case State::Slash:
+        if (c == '/') {
+          st = State::Line;
+          code.push_back(' ');
+          code.push_back(' ');
+          comment.push_back(' ');
+          comment.push_back(' ');
+        } else if (c == '*') {
+          st = State::Block;
+          code.push_back(' ');
+          code.push_back(' ');
+          comment.push_back(' ');
+          comment.push_back(' ');
+        } else {
+          code.push_back('/');
+          code.push_back(c);
+          comment.push_back(' ');
+          comment.push_back(' ');
+          st = State::Code;
+        }
+        break;
+      case State::Line:
+        code.push_back(' ');
+        comment.push_back(c);
+        break;
+      case State::Block:
+        code.push_back(' ');
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          comment.push_back(' ');
+          code.push_back(' ');
+          comment.push_back(' ');
+          ++i;
+          st = State::Code;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case State::Str:
+        code.push_back(' ');
+        comment.push_back(' ');
+        if (c == '\\' && i + 1 < text.size()) {
+          code.push_back(' ');
+          comment.push_back(' ');
+          ++i;
+        } else if (c == '"') {
+          st = State::Code;
+        }
+        break;
+      case State::Chr:
+        code.push_back(' ');
+        comment.push_back(' ');
+        if (c == '\\' && i + 1 < text.size()) {
+          code.push_back(' ');
+          comment.push_back(' ');
+          ++i;
+        } else if (c == '\'') {
+          st = State::Code;
+        }
+        break;
+      case State::Raw: {
+        code.push_back(' ');
+        comment.push_back(' ');
+        if (c == ')' && text.compare(i + 1, rawDelim.size(), rawDelim) == 0 &&
+            i + 1 + rawDelim.size() < text.size() &&
+            text[i + 1 + rawDelim.size()] == '"') {
+          for (std::size_t k = 0; k < rawDelim.size() + 1; ++k) {
+            code.push_back(' ');
+            comment.push_back(' ');
+          }
+          i += rawDelim.size() + 1;
+          st = State::Code;
+        }
+        break;
+      }
+    }
+  }
+  flush();
+  return views;
+}
+
+// ---------------------------------------------------------------------------
+// Annotations: `aspf-lint: allow(<rule>) <reason>` inside a comment.
+// ---------------------------------------------------------------------------
+
+struct Annotation {
+  bool present = false;
+  std::string rule;
+  std::string reason;
+};
+
+Annotation parseAnnotation(const std::string& commentLine) {
+  Annotation a;
+  const std::string tag = "aspf-lint:";
+  const std::size_t at = commentLine.find(tag);
+  if (at == std::string::npos) return a;
+  std::size_t i = at + tag.size();
+  while (i < commentLine.size() &&
+         std::isspace(static_cast<unsigned char>(commentLine[i])))
+    ++i;
+  const std::string kw = "allow(";
+  if (commentLine.compare(i, kw.size(), kw) != 0) return a;
+  i += kw.size();
+  std::string rule;
+  while (i < commentLine.size() &&
+         (std::islower(static_cast<unsigned char>(commentLine[i])) ||
+          commentLine[i] == '-'))
+    rule.push_back(commentLine[i++]);
+  if (rule.empty() || i >= commentLine.size() || commentLine[i] != ')')
+    return a;  // not the annotation grammar (e.g. a doc placeholder)
+  a.present = true;
+  a.rule = rule;
+  std::string reason = commentLine.substr(i + 1);
+  // A block-comment annotation may close on the same line.
+  if (const std::size_t close = reason.find("*/"); close != std::string::npos)
+    reason = reason.substr(0, close);
+  a.reason = trim(reason);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Small code-view matchers.
+// ---------------------------------------------------------------------------
+
+struct IdentRef {
+  std::string name;
+  std::size_t pos = 0;
+};
+
+std::vector<IdentRef> identifiers(const std::string& line) {
+  std::vector<IdentRef> ids;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (isIdentStart(line[i]) && (i == 0 || !isIdentChar(line[i - 1]))) {
+      std::size_t j = i;
+      while (j < line.size() && isIdentChar(line[j])) ++j;
+      ids.push_back({line.substr(i, j - i), i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return ids;
+}
+
+/// True iff the identifier at `pos` is called: next non-space char is '('
+/// and it is not a member access (`.x(` / `->x(`) -- the banned C calls
+/// are free functions.
+bool isFreeCall(const std::string& line, const IdentRef& id) {
+  std::size_t j = id.pos + id.name.size();
+  while (j < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[j])))
+    ++j;
+  if (j >= line.size() || line[j] != '(') return false;
+  if (id.pos >= 1 && (line[id.pos - 1] == '.' || line[id.pos - 1] == '>'))
+    return false;
+  return true;
+}
+
+/// If `line` holds a range-based for over a bare identifier, returns it.
+std::string rangeForTarget(const std::string& line) {
+  std::size_t at = line.find("for");
+  while (at != std::string::npos) {
+    const bool boundary =
+        (at == 0 || !isIdentChar(line[at - 1])) &&
+        (at + 3 >= line.size() || !isIdentChar(line[at + 3]));
+    if (boundary) {
+      std::size_t i = at + 3;
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+      if (i < line.size() && line[i] == '(') {
+        int depth = 1;
+        std::size_t j = i + 1;
+        std::size_t colon = std::string::npos;
+        bool semicolon = false;
+        for (; j < line.size() && depth > 0; ++j) {
+          if (line[j] == '(')
+            ++depth;
+          else if (line[j] == ')')
+            --depth;
+          else if (line[j] == ';' && depth == 1)
+            semicolon = true;
+          else if (line[j] == ':' && depth == 1) {
+            const bool dbl = (j + 1 < line.size() && line[j + 1] == ':') ||
+                             (j >= 1 && line[j - 1] == ':');
+            if (!dbl) colon = j;
+          }
+        }
+        if (!semicolon && depth == 0 && colon != std::string::npos) {
+          const std::string target = trim(line.substr(colon + 1, j - colon - 2));
+          if (!target.empty() && isIdentStart(target[0]) &&
+              std::all_of(target.begin(), target.end(), isIdentChar))
+            return target;
+        }
+      }
+    }
+    at = line.find("for", at + 1);
+  }
+  return {};
+}
+
+/// Names of variables `x` appearing as `x.begin(` / `x.cbegin(` /
+/// `x.rbegin(` on the line (iteration entry points; `.end()` alone is the
+/// find()-comparison idiom and stays legal).
+std::vector<std::string> beginReceivers(const std::string& line) {
+  std::vector<std::string> out;
+  for (const char* fn : {".begin", ".cbegin", ".rbegin"}) {
+    std::size_t at = line.find(fn);
+    const std::size_t fnLen = std::string(fn).size();
+    while (at != std::string::npos) {
+      std::size_t j = at + fnLen;
+      while (j < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[j])))
+        ++j;
+      if (j < line.size() && line[j] == '(' &&
+          (at + fnLen >= line.size() || !isIdentChar(line[at + fnLen]))) {
+        std::size_t e = at;  // scan the receiver identifier backwards
+        std::size_t s = e;
+        while (s > 0 && isIdentChar(line[s - 1])) --s;
+        if (s < e && isIdentStart(line[s]))
+          out.push_back(line.substr(s, e - s));
+      }
+      at = line.find(fn, at + 1);
+    }
+  }
+  return out;
+}
+
+/// Collects unordered-container aliases and variable/member names
+/// declared on this line, growing `aliases` / `names`.
+void collectUnorderedDecls(const std::string& line,
+                           std::vector<std::string>* aliases,
+                           std::vector<std::string>* names) {
+  // `using X = std::unordered_set<...>` introduces a type alias.
+  for (const IdentRef& id : identifiers(line)) {
+    if (!inTable(kUnorderedTypes, id.name) && !contains(*aliases, id.name))
+      continue;
+    // Alias definition: `using NAME = ...<this token>...`.
+    const std::size_t usingAt = line.find("using ");
+    if (usingAt != std::string::npos && usingAt < id.pos) {
+      const std::size_t eq = line.find('=', usingAt);
+      if (eq != std::string::npos && eq < id.pos) {
+        std::string alias =
+            trim(line.substr(usingAt + 6, eq - usingAt - 6));
+        if (!alias.empty() &&
+            std::all_of(alias.begin(), alias.end(), isIdentChar)) {
+          if (!contains(*aliases, alias)) aliases->push_back(alias);
+          continue;
+        }
+      }
+    }
+    // Declaration: TYPE [<...>] [&] NAME [;={(,)].
+    std::size_t i = id.pos + id.name.size();
+    if (i < line.size() && line[i] == '<') {
+      int depth = 0;
+      for (; i < line.size(); ++i) {
+        if (line[i] == '<') ++depth;
+        if (line[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        }
+      }
+    }
+    while (i < line.size() &&
+           (std::isspace(static_cast<unsigned char>(line[i])) ||
+            line[i] == '&'))
+      ++i;
+    std::size_t s = i;
+    while (i < line.size() && isIdentChar(line[i])) ++i;
+    if (i == s || !isIdentStart(line[s])) continue;
+    const std::string name = line.substr(s, i - s);
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size() || line[i] == ';' || line[i] == '=' ||
+        line[i] == '{' || line[i] == '(' || line[i] == ',' ||
+        line[i] == ')') {
+      if (!contains(*names, name)) names->push_back(name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scope: which rules apply where, derived from the repo-relative path.
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  bool unorderedIter = false;  // everywhere we scan C++
+  bool nondeterminism = false; // src/ + tools/
+  bool rawSubstrate = false;   // src/ outside src/sim/
+  bool timingAllowed = false;  // the runner's timing blocks
+};
+
+std::string normalized(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+Scope scopeFor(const std::string& rawPath) {
+  const std::string path = normalized(rawPath);
+  Scope s;
+  s.unorderedIter = true;
+  const bool inSrc = path.rfind("src/", 0) == 0;
+  const bool inTools = path.rfind("tools/", 0) == 0;
+  s.nondeterminism = inSrc || inTools;
+  s.rawSubstrate = inSrc && path.rfind("src/sim/", 0) != 0;
+  s.timingAllowed = inTable(kTimingFiles, path);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Shared annotation-aware reporting.
+// ---------------------------------------------------------------------------
+
+class Reporter {
+ public:
+  Reporter(const std::string& file, const LineViews& views)
+      : file_(file), views_(views) {}
+
+  /// Validates every annotation once (empty reason / unknown rule).
+  void auditAnnotations(std::vector<Finding>* out) const {
+    for (std::size_t i = 0; i < views_.comment.size(); ++i) {
+      const Annotation a = parseAnnotation(views_.comment[i]);
+      if (!a.present) continue;
+      if (!knownRule(a.rule)) {
+        out->push_back({file_, static_cast<int>(i + 1), "annotation",
+                        "unknown rule '" + a.rule +
+                            "' in aspf-lint allow-annotation"});
+      } else if (a.reason.empty()) {
+        out->push_back({file_, static_cast<int>(i + 1), "annotation",
+                        "allow(" + a.rule +
+                            ") annotation must carry a reason"});
+      }
+    }
+  }
+
+  /// Reports unless an allow-annotation for `rule` (with a reason)
+  /// covers the line: on the line itself, or anywhere in the contiguous
+  /// comment block immediately above it (annotations routinely wrap to a
+  /// continuation line under the 80-column limit).
+  void report(std::vector<Finding>* out, std::size_t lineIdx,
+              const std::string& rule, std::string message) const {
+    if (allowedAt(lineIdx, rule)) return;
+    for (std::size_t j = lineIdx; j-- > 0;) {
+      const std::string& code = views_.code[j];
+      const bool codeBlank = std::all_of(
+          code.begin(), code.end(),
+          [](unsigned char c) { return std::isspace(c); });
+      if (!codeBlank) break;
+      if (allowedAt(j, rule)) return;
+    }
+    out->push_back({file_, static_cast<int>(lineIdx + 1), rule,
+                    std::move(message)});
+  }
+
+ private:
+  bool allowedAt(std::size_t lineIdx, const std::string& rule) const {
+    const Annotation a = parseAnnotation(views_.comment[lineIdx]);
+    return a.present && a.rule == rule && !a.reason.empty();
+  }
+
+  const std::string& file_;
+  const LineViews& views_;
+};
+
+}  // namespace
+
+bool knownRule(const std::string& name) { return inTable(kRules, name); }
+
+std::string formatFinding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ": " << f.rule << ": " << f.message;
+  return os.str();
+}
+
+std::vector<Finding> scanSource(const std::string& path,
+                                const std::string& text,
+                                const std::string& headerText) {
+  const Scope scope = scopeFor(path);
+  const LineViews views = splitViews(text);
+  std::vector<Finding> out;
+  const Reporter reporter(path, views);
+  reporter.auditAnnotations(&out);
+
+  // Unordered-container names: the same-stem header's members (e.g.
+  // `localMap_` from region.hpp) are visible to the .cpp scan.
+  std::vector<std::string> aliases, names;
+  if (!headerText.empty()) {
+    for (const std::string& line : splitViews(headerText).code)
+      collectUnorderedDecls(line, &aliases, &names);
+  }
+  for (const std::string& line : views.code)
+    collectUnorderedDecls(line, &aliases, &names);
+
+  for (std::size_t i = 0; i < views.code.size(); ++i) {
+    const std::string& line = views.code[i];
+    if (scope.unorderedIter) {
+      const std::string target = rangeForTarget(line);
+      if (!target.empty() && contains(names, target))
+        reporter.report(&out, i, "unordered-iter",
+                        "range-for over unordered container '" + target +
+                            "': iteration order is hash/platform dependent");
+      for (const std::string& recv : beginReceivers(line)) {
+        if (contains(names, recv))
+          reporter.report(&out, i, "unordered-iter",
+                          "iteration over unordered container '" + recv +
+                              "' via begin(): order is hash/platform "
+                              "dependent");
+      }
+    }
+    if (scope.nondeterminism || scope.rawSubstrate) {
+      for (const IdentRef& id : identifiers(line)) {
+        if (scope.nondeterminism) {
+          if (inTable(kBannedIds, id.name)) {
+            reporter.report(&out, i, "nondeterminism",
+                            "'" + id.name +
+                                "' leaks nondeterminism into a "
+                                "deterministic path; use the seeded "
+                                "util/rng.hpp");
+          } else if (id.name == kSteadyClock && !scope.timingAllowed) {
+            reporter.report(&out, i, "nondeterminism",
+                            "wall-clock read outside the runner's timing "
+                            "blocks (allowed: src/scenario/runner.cpp, "
+                            "src/scenario/serve.cpp)");
+          } else if (inTable(kBannedCalls, id.name) &&
+                     isFreeCall(line, id)) {
+            reporter.report(&out, i, "nondeterminism",
+                            "call to '" + id.name +
+                                "()' is nondeterministic; use the seeded "
+                                "util/rng.hpp (randomness) or the runner's "
+                                "timing block (clocks)");
+          }
+        }
+        if (scope.rawSubstrate && inTable(kRawSubstrateIds, id.name)) {
+          reporter.report(&out, i, "raw-pinarena",
+                          "direct '" + id.name +
+                              "' access outside src/sim/: protocols mutate "
+                              "pins only through Comm::pins() -> "
+                              "PinConfigRef (dirty tracking depends on it)");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> scanCMake(const std::string& path,
+                               const std::string& text) {
+  // Strip per-line '#' comments (quote-aware enough for this tree).
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      bool quoted = false;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '"') quoted = !quoted;
+        if (line[i] == '#' && !quoted) {
+          line = line.substr(0, i);
+          break;
+        }
+      }
+      lines.push_back(line);
+    }
+  }
+  std::vector<Finding> out;
+  const std::string kw = "gtest_discover_tests";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t at = lines[i].find(kw);
+    if (at == std::string::npos) continue;
+    if (at > 0 && isIdentChar(lines[i][at - 1])) continue;
+    // Capture the balanced argument list, possibly spanning lines.
+    std::string args;
+    int depth = 0;
+    bool started = false;
+    for (std::size_t j = i; j < lines.size() && (!started || depth > 0);
+         ++j) {
+      const std::string& l = lines[j];
+      for (std::size_t c = (j == i ? at : 0); c < l.size(); ++c) {
+        if (l[c] == '(') {
+          ++depth;
+          started = true;
+        } else if (l[c] == ')') {
+          if (--depth == 0) break;
+        } else if (started) {
+          args.push_back(l[c]);
+        }
+      }
+      args.push_back(' ');
+      if (started && depth == 0) break;
+    }
+    const auto hasWord = [&args](const std::string& w) {
+      std::size_t p = args.find(w);
+      while (p != std::string::npos) {
+        const bool lb = p == 0 || !isIdentChar(args[p - 1]);
+        const bool rb = p + w.size() >= args.size() ||
+                        !isIdentChar(args[p + w.size()]);
+        if (lb && rb) return true;
+        p = args.find(w, p + 1);
+      }
+      return false;
+    };
+    if (!hasWord("TIMEOUT"))
+      out.push_back({path, static_cast<int>(i + 1), "ctest-timeout",
+                     "gtest_discover_tests() without an explicit TIMEOUT "
+                     "property: a huge-tier hang would stall CI silently"});
+    if (!hasWord("LABELS")) {
+      out.push_back({path, static_cast<int>(i + 1), "ctest-timeout",
+                     "gtest_discover_tests() without a LABELS property: "
+                     "every suite must be labelled smoke or full"});
+    } else {
+      const std::size_t lp = args.find("LABELS");
+      const std::string after = args.substr(lp + 6);
+      if (after.find("smoke") == std::string::npos &&
+          after.find("full") == std::string::npos &&
+          after.find("${") == std::string::npos)
+        out.push_back({path, static_cast<int>(i + 1), "ctest-timeout",
+                       "gtest_discover_tests() LABELS must name smoke or "
+                       "full (or expand a variable that does)"});
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> checkFloatManifest(const std::string& hppPath,
+                                        const std::string& hppText,
+                                        const std::string& cppPath,
+                                        const std::string& cppText) {
+  std::vector<Finding> out;
+  // Manifest: every double/float member declared in report.hpp.
+  std::vector<std::string> floatFields;
+  for (const std::string& line : splitViews(hppText).code) {
+    const std::string t = trim(line);
+    for (const std::string prefix : {"double ", "float "}) {
+      if (t.rfind(prefix, 0) != 0) continue;
+      std::size_t s = prefix.size();
+      std::size_t e = s;
+      while (e < t.size() && isIdentChar(t[e])) ++e;
+      if (e > s && isIdentStart(t[s]) &&
+          (e == t.size() || t[e] != '(')) {  // skip function declarations
+        const std::string field = t.substr(s, e - s);
+        if (!contains(floatFields, field)) floatFields.push_back(field);
+      }
+    }
+  }
+  if (floatFields.empty()) {
+    out.push_back({hppPath, 1, "float-field",
+                   "no floating-point fields found in the report header; "
+                   "manifest extraction is broken"});
+    return out;
+  }
+  // Comparison sites: inside equalDeterministic in report.cpp, any
+  // `.field` reference to a manifest field.
+  const LineViews views = splitViews(cppText);
+  const Reporter reporter(cppPath, views);
+  std::size_t begin = views.code.size();
+  for (std::size_t i = 0; i < views.code.size(); ++i) {
+    if (views.code[i].find("equalDeterministic(") != std::string::npos &&
+        views.code[i].find("bool ") != std::string::npos) {
+      begin = i;
+      break;
+    }
+  }
+  if (begin == views.code.size()) {
+    out.push_back({cppPath, 1, "float-field",
+                   "equalDeterministic definition not found; manifest "
+                   "cross-check is broken"});
+    return out;
+  }
+  for (std::size_t i = begin; i < views.code.size(); ++i) {
+    const std::string& line = views.code[i];
+    for (const std::string& field : floatFields) {
+      std::size_t p = line.find("." + field);
+      bool hit = false;
+      while (p != std::string::npos && !hit) {
+        const std::size_t after = p + 1 + field.size();
+        if (after >= line.size() || !isIdentChar(line[after])) hit = true;
+        p = line.find("." + field, p + 1);
+      }
+      if (hit)
+        reporter.report(&out, i, "float-field",
+                        "floating-point report field '" + field +
+                            "' is compared by equalDeterministic; floats "
+                            "belong only in excluded (timing) fields");
+    }
+  }
+  return out;
+}
+
+int lintTree(const std::string& root, std::ostream& out) {
+  namespace fs = std::filesystem;
+  const fs::path rootPath(root);
+  if (!fs::is_directory(rootPath / "src"))
+    throw std::runtime_error("aspf-lint: '" + root +
+                             "' does not look like the repo root (no src/)");
+
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tests", "tools", "bench", "examples"}) {
+    const fs::path base = rootPath / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h")
+        files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  const auto readFile = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const auto relative = [&rootPath](const fs::path& p) {
+    return normalized(fs::relative(p, rootPath).string());
+  };
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::string headerText;
+    if (file.extension() == ".cpp") {
+      fs::path header = file;
+      header.replace_extension(".hpp");
+      if (fs::is_regular_file(header)) headerText = readFile(header);
+    }
+    const std::vector<Finding> fs_ =
+        scanSource(relative(file), readFile(file), headerText);
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+
+  const fs::path reportHpp = rootPath / "src/scenario/report.hpp";
+  const fs::path reportCpp = rootPath / "src/scenario/report.cpp";
+  if (fs::is_regular_file(reportHpp) && fs::is_regular_file(reportCpp)) {
+    const std::vector<Finding> fs_ = checkFloatManifest(
+        relative(reportHpp), readFile(reportHpp), relative(reportCpp),
+        readFile(reportCpp));
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+
+  const fs::path cmake = rootPath / "CMakeLists.txt";
+  if (fs::is_regular_file(cmake)) {
+    const std::vector<Finding> fs_ =
+        scanCMake("CMakeLists.txt", readFile(cmake));
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Finding& f : findings) out << formatFinding(f) << "\n";
+  return static_cast<int>(findings.size());
+}
+
+}  // namespace aspf::lint

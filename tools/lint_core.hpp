@@ -1,0 +1,102 @@
+#pragma once
+// aspf-lint: the project-specific static checker behind the `aspf-lint`
+// CLI. Every guarantee this reproduction makes -- warm==cold oracles,
+// sim-threads 1-vs-N byte-identity, scalar-vs-AVX2 bit-identity -- is
+// enforced *dynamically* by cmp/--diff runs in CI; this pass proves the
+// easy half of the bit-identity contract statically, so an
+// unordered_map iteration or a stray wall-clock read in a deterministic
+// path fails the build instead of shipping until a platform flips hash
+// order.
+//
+// Rules (each with the contract it protects; the prose version lives in
+// docs/ARCHITECTURE.md "Determinism rules"):
+//
+//   unordered-iter   No iteration over std::unordered_map/set (range-for,
+//                    .begin/.cbegin/.rbegin): iteration order is
+//                    hash/platform dependent. Membership tests and
+//                    find() are fine.
+//   nondeterminism   No rand/srand/random_device/time()/clock()/
+//                    system_clock/high_resolution_clock in src/ or
+//                    tools/; steady_clock only in the runner's timing
+//                    blocks (src/scenario/runner.cpp, serve.cpp). All
+//                    randomness flows through the seeded util/rng.hpp.
+//   raw-pinarena     Outside src/sim/, no direct PinArena access (and no
+//                    resurrecting the pre-PR-3 raw PinConfig class):
+//                    protocols mutate pins only through Comm::pins() ->
+//                    PinConfigRef, which is what snapshots first-mutation
+//                    state and feeds the incremental engine's dirty
+//                    tracking.
+//   float-field      No floating-point report field may be compared by
+//                    equalDeterministic (report.cpp) -- floats belong
+//                    only in the excluded timing fields. The manifest of
+//                    double/float fields is extracted from report.hpp.
+//   ctest-timeout    Every gtest_discover_tests() call carries an
+//                    explicit TIMEOUT property and a smoke/full LABELS
+//                    property, so a huge-tier hang fails the job loudly.
+//
+// A violation may be waived with an annotation on the same or the
+// immediately preceding line:
+//
+//   // aspf-lint: allow(<rule>) <non-empty reason>
+//
+// The reason is mandatory (an empty one is itself reported) and the rule
+// name must be one of the five above. The scanner strips comments and
+// string literals before matching, so rule tables and doc comments never
+// self-flag -- annotations are extracted from the raw line first.
+//
+// The engine is a library (linked by tests/test_lint.cpp) and the CLI
+// (tools/aspf_lint.cpp) is a thin main over lintTree(), mirroring the
+// aspf_cli split.
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aspf::lint {
+
+struct Finding {
+  std::string file;  // path as handed to the scanner (repo-relative)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// True iff `name` is one of the rule tags an allow-annotation may name.
+bool knownRule(const std::string& name);
+
+/// Formats a finding as "file:line: rule: message" (the grep-able
+/// contract asserted by CI and tests).
+std::string formatFinding(const Finding& f);
+
+/// Scans one C++ translation unit or header. `path` is repo-relative and
+/// selects which rules apply (src/ vs tests/ vs tools/, the sim layer,
+/// the timing-allowed files). `headerText` optionally carries the text of
+/// the same-stem sibling header so member names declared there (e.g.
+/// `std::unordered_map<int, int> localMap_;` in region.hpp) are visible
+/// when scanning the .cpp.
+std::vector<Finding> scanSource(const std::string& path,
+                                const std::string& text,
+                                const std::string& headerText = {});
+
+/// Scans a CMake listfile for gtest_discover_tests() calls missing an
+/// explicit TIMEOUT or a smoke/full LABELS property.
+std::vector<Finding> scanCMake(const std::string& path,
+                               const std::string& text);
+
+/// Cross-checks the floating-point field manifest: every double/float
+/// struct member declared in report.hpp that equalDeterministic
+/// (report.cpp) compares is a violation unless annotated at the
+/// comparison site.
+std::vector<Finding> checkFloatManifest(const std::string& hppPath,
+                                        const std::string& hppText,
+                                        const std::string& cppPath,
+                                        const std::string& cppText);
+
+/// Walks `root` (src/, tests/, tools/, bench/, examples/ plus the
+/// top-level CMakeLists.txt), runs every rule, prints findings to `out`
+/// one per line, and returns the number of findings. Throws
+/// std::runtime_error if `root` does not look like the repo (no src/).
+int lintTree(const std::string& root, std::ostream& out);
+
+}  // namespace aspf::lint
