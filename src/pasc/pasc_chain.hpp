@@ -16,6 +16,16 @@
 // Lane discipline: a hop traversed in direction E/NE/NW uses lanes {0,1} of
 // the edge, W/SW/SE uses {2,3}; an Euler tour traverses each physical edge
 // once per direction, so four lanes per edge suffice (constant c, Remark 16).
+//
+// Cacheability contract (spf/solve_cache.hpp): a PASC execution is NOT an
+// independently memoizable unit. It runs mid-protocol on a shared Comm,
+// and the steps after it read the pin configurations it leaves behind --
+// replaying only its result would have to reproduce that live pin state,
+// which is the very work being skipped. The cross-query cache therefore
+// memoizes enclosing units whose consumers take pure values (the rooted
+// portal state, the pre-prune forest) and replays their recorded
+// rounds/delivers/beeps, which are functions of protocol control flow
+// alone; the PASC runs inside a skipped unit are skipped with it.
 #include <cstdint>
 #include <functional>
 #include <span>

@@ -11,6 +11,10 @@
 
 namespace aspf {
 
+/// Plain value type (no Comm/Region pointers, no live pin state): for a
+/// fixed structure epoch it is a pure function of (decomp, subset, root,
+/// Q), so the cross-query solve cache (spf/solve_cache.hpp) can store and
+/// replay it -- `rounds` is control-flow determined and replays exactly.
 struct PortalRootPruneResult {
   std::vector<char> portalInVQ;  // per portal
   /// parentPortal[p]: -1 for the root portal, -2 for pruned portals.

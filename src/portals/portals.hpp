@@ -22,6 +22,11 @@
 
 namespace aspf {
 
+/// Plain value type: no Comm/Region pointers and no live pin state, so for
+/// a fixed structure epoch it is a pure function of (region, axis) and the
+/// cross-query solve cache (spf/solve_cache.hpp) stores whole-region
+/// decompositions across queries. computePortals charges no model rounds,
+/// so a cached decomposition needs no counter replay.
 struct PortalDecomposition {
   Axis axis = Axis::X;
   Frame frame;  // maps this axis onto the x-axis

@@ -23,6 +23,7 @@ Json toJson(const BenchReport& report) {
   config["timing"] = Json(report.timing);
   config["engine"] = Json(report.engine);
   config["simd"] = Json(report.simdIsa);
+  config["serve_cache"] = Json(report.serveCache);
   doc["config"] = std::move(config);
 
   Json scenarios = Json::array();
@@ -160,6 +161,15 @@ Json toJson(const BenchReport& report) {
         run["warm_rebuild_rounds"] = Json(r.warmRebuildRounds);
         run["cold_incr_rounds"] = Json(r.coldIncrRounds);
         run["cold_rebuild_rounds"] = Json(r.coldRebuildRounds);
+        if (r.cacheEnabled) {  // solve-cache stats: warm polylog only.
+          // Kept mid-object on purpose: never the last key, so the CI
+          // cached-vs-uncached compare can strip these lines without
+          // leaving a dangling-comma difference behind.
+          run["cache_hits"] = Json(r.cacheHits);
+          run["cache_misses"] = Json(r.cacheMisses);
+          run["cache_invalidations"] = Json(r.cacheInvalidations);
+          run["cache_saved_unions"] = Json(r.cacheSavedUnions);
+        }
         run["queries_ok"] = Json(r.queriesOk);
         run["warm_matches_cold"] = Json(r.warmMatchesCold);
         run["queries_per_sec"] = Json(r.queriesPerSec);
@@ -351,6 +361,19 @@ class Validator {
     if (!need(run, path, "checker_ok", Json::Type::Bool)) return false;
     if (!need(run, path, "warm_matches_cold", Json::Type::Bool)) return false;
     if (!need(run, path, "error", Json::Type::String)) return false;
+    // Solve-cache stats: optional as a group (emitted only for runs the
+    // cache was live on; pre-cache reports predate them entirely), but if
+    // one key is present all four must be.
+    const bool anyCache = run.find("cache_hits") != nullptr ||
+                          run.find("cache_misses") != nullptr ||
+                          run.find("cache_invalidations") != nullptr ||
+                          run.find("cache_saved_unions") != nullptr;
+    if (anyCache) {
+      for (const char* key : {"cache_hits", "cache_misses",
+                              "cache_invalidations", "cache_saved_unions"}) {
+        if (!need(run, path, key, Json::Type::Number)) return false;
+      }
+    }
     return true;
   }
 
@@ -441,6 +464,11 @@ class Validator {
       if (!simdIsa->isString())
         return fail("$.config.simd", "wrong type");
     }
+    if (const Json* serveCache = config->find("serve_cache")) {
+      // Optional (pre-cache reports predate the serving solve cache).
+      if (!serveCache->isBool())
+        return fail("$.config.serve_cache", "wrong type");
+    }
 
     const Json* scenarios = need(doc, "$", "scenarios", Json::Type::Array);
     if (!scenarios) return false;
@@ -518,6 +546,8 @@ BenchReport reportFromJson(const Json& doc) {
     report.engine = engine->asString();
   if (const Json* simdIsa = config.find("simd"))
     report.simdIsa = simdIsa->asString();
+  if (const Json* serveCache = config.find("serve_cache"))
+    report.serveCache = serveCache->asBool();
 
   for (const Json& s : doc.find("scenarios")->items()) {
     ScenarioReport sr;
@@ -660,6 +690,17 @@ BenchReport reportFromJson(const Json& doc) {
         run.latencyMsP50 = r.find("latency_ms_p50")->asNumber();
         run.latencyMsP90 = r.find("latency_ms_p90")->asNumber();
         run.latencyMsP99 = r.find("latency_ms_p99")->asNumber();
+        if (const Json* hits = r.find("cache_hits")) {
+          // Presence of the group (validated as all-or-nothing) marks the
+          // run as cache-enabled.
+          run.cacheEnabled = true;
+          run.cacheHits = static_cast<long>(hits->asInt());
+          run.cacheMisses = static_cast<long>(r.find("cache_misses")->asInt());
+          run.cacheInvalidations =
+              static_cast<long>(r.find("cache_invalidations")->asInt());
+          run.cacheSavedUnions =
+              static_cast<long>(r.find("cache_saved_unions")->asInt());
+        }
         sv.runs.push_back(std::move(run));
       }
       report.serving.push_back(std::move(sv));
@@ -858,7 +899,10 @@ bool equalDeterministic(const BenchReport& a, const BenchReport& b,
                      rp + ".warm_matches_cold", why))
         return false;
       // Timing-derived fields (wall_ms, queries_per_sec, latency
-      // percentiles) are never compared: they vary run to run.
+      // percentiles) are never compared: they vary run to run. The
+      // cache_* stats (and config.serve_cache) are likewise never
+      // compared: deterministic per configuration, but a --serve-cache
+      // on/off pair must still diff clean against one baseline.
       if (!modelOnly) {
         if (!sameField(ra.warmUnions, rb.warmUnions, rp + ".warm_unions",
                        why))

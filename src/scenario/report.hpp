@@ -9,7 +9,8 @@
 //     "suite": "<suite name or 'custom'>",
 //     "config": {"algos": [...], "threads": N, "sim_threads": N,
 //                "lanes": N, "check": bool, "timing": bool,
-//                "engine": "incremental|rebuild", "simd": "<isa>"},
+//                "engine": "incremental|rebuild", "simd": "<isa>",
+//                "serve_cache": bool},
 //     "scenarios": [
 //       {"name": ..., "shape": ..., "a": ..., "b": ..., "k": ..., "l": ...,
 //        "seed": ..., "n": ..., "k_eff": ..., "l_eff": ...,
@@ -52,6 +53,8 @@
 //           "warm_unions": ..., "cold_unions": ...,
 //           "warm_incr_rounds": ..., "warm_rebuild_rounds": ...,
 //           "cold_incr_rounds": ..., "cold_rebuild_rounds": ...,
+//           "cache_hits": ..., "cache_misses": ...,          // optional
+//           "cache_invalidations": ..., "cache_saved_unions": ...,
 //           "queries_ok": ..., "warm_matches_cold": bool,
 //           "queries_per_sec": ..., "latency_ms_p50": ...,
 //           "latency_ms_p90": ..., "latency_ms_p99": ...}
@@ -68,8 +71,9 @@
 // process VmHWM high-water mark, reset (best-effort, via
 // /proc/self/clear_refs) when the batch starts, so it measures this batch
 // rather than inheriting the hungriest earlier batch of the process.
-// Where the reset is unsupported it degrades to the process-lifetime
-// peak (documented in docs/BENCHMARKS.md). There are deliberately NO
+// Where the reset is unsupported the field is 0 ("unavailable") -- a
+// process-lifetime peak would be mis-attributed to the batch (documented
+// in docs/BENCHMARKS.md). There are deliberately NO
 // per-scenario/per-run RSS fields: VmHWM is process-wide, so any
 // finer-grained attribution would be monotone garbage across a batch. The incremental-engine
 // counters describe substrate work: "unions" (union-find unions while
@@ -93,7 +97,14 @@
 // snapshot block compares; words zeroed by the tracked bitset resets) ARE
 // ISA- and sim-thread-deterministic, but are optional on input and
 // excluded from equalDeterministic so new binaries keep diffing clean
-// against committed baselines that predate them. All
+// against committed baselines that predate them. "config.serve_cache"
+// (whether the serving tier's cross-query solve cache ran) and the
+// serving runs' "cache_*" counters follow the same pattern: optional on
+// input (pre-cache reports predate them; serve_cache defaults to true,
+// the counters to absent), ignored by equalDeterministic, stripped by
+// the CI cached-vs-uncached cmp. "totals.peak_rss_kb" is 0 when the
+// VmHWM reset failed (the batch-scoped value is then unavailable and a
+// process-wide one would be mis-attribution). All
 // numeric fields fit a double exactly. Reports round-trip: toJson -> dump
 // -> Json::parse -> reportFromJson reproduces the struct bit-for-bit
 // except for nothing -- wall-times are preserved verbatim.
@@ -226,10 +237,24 @@ struct ServeRun {
   long coldRebuildRounds = 0;
   long queriesOk = 0;           // queries whose warm solve matched cold
   bool warmMatchesCold = false; // queriesOk == queries and no error
-  double queriesPerSec = 0.0;   // timing; 0 under --no-timing
+  // Throughput/latency are computed over SUCCESSFUL queries only (failed
+  // or diverged queries contribute no sample); wall_ms covers the whole
+  // stream. All are timing fields: zeroed under --no-timing.
+  double queriesPerSec = 0.0;
   double latencyMsP50 = 0.0;    // nearest-rank warm-latency percentiles
   double latencyMsP90 = 0.0;
   double latencyMsP99 = 0.0;
+  // Cross-query solve-cache stats (the cache_* keys; emitted only when
+  // the cache ran for this algo, i.e. the warm polylog path with
+  // --serve-cache on). Deterministic for a fixed configuration but --
+  // like the engine counters -- a statement about how the answers were
+  // produced, so equalDeterministic ignores them and CI strips them
+  // before the cached-vs-uncached byte compare.
+  bool cacheEnabled = false;
+  long cacheHits = 0;
+  long cacheMisses = 0;
+  long cacheInvalidations = 0;
+  long cacheSavedUnions = 0;
 
   bool operator==(const ServeRun&) const = default;
 };
@@ -263,6 +288,11 @@ struct BenchReport {
   bool timing = true;
   std::string engine = "incremental";  // circuit engine the runs used
   std::string simdIsa;  // kernel ISA stamp ("" = unrecorded; PR <= 6)
+  // Whether the serving tier's cross-query solve cache was enabled
+  // (config.serve_cache). A config stamp like engine/simd: optional on
+  // input (absent = true in pre-cache reports), never compared by
+  // equalDeterministic.
+  bool serveCache = true;
   std::vector<ScenarioReport> scenarios;
   // Dynamic-timeline section (empty for plain scenario batches; the
   // `timelines` key is then omitted from the JSON, so pre-dynamic reports
@@ -295,7 +325,9 @@ BenchReport reportFromJson(const Json& doc);
 /// the per-run block_compares / bitset_words_scanned counters (the last
 /// two ARE deterministic but are skipped so new binaries diff clean
 /// against baselines that predate them; for serving runs, also
-/// excepting queries/sec and the latency percentiles -- host metrics). Returns true iff they match;
+/// excepting queries/sec and the latency percentiles -- host metrics --
+/// and the cache_* stats, so --serve-cache on/off runs both diff clean
+/// against one baseline). Returns true iff they match;
 /// on mismatch `why` (if non-null) names the first differing path. Used by
 /// `aspf-run --diff` and the CI perf-sanity step to catch round-count or
 /// counter regressions against a committed BENCH_*.json.

@@ -165,7 +165,10 @@ BenchReport runBatch(std::string suiteName,
   report.simdIsa = simd::isaName(simd::activeIsa());
   report.scenarios.resize(scenarios.size());
 
-  if (options.timing) resetPeakRss();
+  // A failed VmHWM reset (non-Linux, restricted /proc) would leave
+  // peak_rss_kb a process-wide monotone value mis-attributed to this
+  // batch; report 0 ("unavailable") instead.
+  const bool rssScoped = options.timing && resetPeakRss();
   const auto batchStart = std::chrono::steady_clock::now();
   std::atomic<std::size_t> next{0};
   std::mutex progressMutex;
@@ -208,7 +211,7 @@ BenchReport runBatch(std::string suiteName,
     report.totalWallMs =
         std::chrono::duration<double, std::milli>(batchStop - batchStart)
             .count();
-    report.peakRssKb = peakRssKb();
+    report.peakRssKb = rssScoped ? peakRssKb() : 0;
   }
   return report;
 }
@@ -355,7 +358,7 @@ BenchReport runTimelineBatch(std::string suiteName,
   report.simdIsa = simd::isaName(simd::activeIsa());
   report.timelines.resize(timelines.size());
 
-  if (options.timing) resetPeakRss();
+  const bool rssScoped = options.timing && resetPeakRss();  // see runBatch
   const auto batchStart = std::chrono::steady_clock::now();
   std::atomic<std::size_t> next{0};
   std::mutex progressMutex;
@@ -392,7 +395,7 @@ BenchReport runTimelineBatch(std::string suiteName,
     report.totalWallMs =
         std::chrono::duration<double, std::milli>(batchStop - batchStart)
             .count();
-    report.peakRssKb = peakRssKb();
+    report.peakRssKb = rssScoped ? peakRssKb() : 0;
   }
   return report;
 }

@@ -55,6 +55,12 @@ struct RunOptions {
   // scenarios: sim-threads splits one deliver() across shards. Every
   // deterministic report field is bit-identical at any sim-thread count.
   int simThreads = 1;
+  // Cross-query solve cache for the serving tier (spf/solve_cache.hpp):
+  // memoizes the polylog pre-prune pipeline across warm queries. Changes
+  // no deterministic report field (CI cmp-enforced); only the substrate
+  // effort counters and the cache_* stats differ. Ignored outside
+  // --serve.
+  bool serveCache = true;
 };
 
 /// Progress hook, called after each finished scenario (from worker
@@ -78,7 +84,10 @@ long peakRssKb();
 /// Best-effort reset of the VmHWM high-water mark (writes "5" to
 /// /proc/self/clear_refs). Returns true if the kernel accepted the reset;
 /// false where unsupported (non-Linux, restricted /proc), in which case
-/// peakRssKb() keeps its process-lifetime semantics.
+/// peakRssKb() keeps its process-lifetime semantics. The batch runners
+/// check the result: on a failed reset they emit peak_rss_kb = 0
+/// ("unavailable") rather than mis-attributing the process-wide peak to
+/// the batch.
 bool resetPeakRss();
 
 /// Progress hook for timeline batches, called after each finished timeline

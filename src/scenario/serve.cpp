@@ -247,6 +247,7 @@ ServingReport QuerySession::run() {
   const std::size_t algoCount = options_.algos.size();
   sv.runs.resize(algoCount);
   std::vector<std::vector<double>> latencies(algoCount);
+  std::vector<double> okWallMs(algoCount, 0.0);
   for (std::size_t ai = 0; ai < algoCount; ++ai) {
     sv.runs[ai].algo = std::string(toString(options_.algos[ai]));
     sv.runs[ai].checkerOk = true;
@@ -268,10 +269,21 @@ ServingReport QuerySession::run() {
       // received() state; pins and the union-find survive (the warm part).
       if (substrate) substrate->clearPending();
 
+      const bool useCache = options_.serveCache && algo == Algo::Polylog &&
+                            substrate != nullptr;
+      // The stale-entry plant runs BEFORE this query's warm solve: a hit
+      // then replays corrupted state and the oracle below must trip.
+      if (useCache && q == spec_.cacheFaultQuery) solveCache_.corruptForTest();
+
       const auto start = std::chrono::steady_clock::now();
-      InstanceSolve warm = solveInstance(*region_, sources_, dests_,
-                                         isSource_, isDest_, algo, options_,
-                                         substrate);
+      InstanceSolve warm;
+      {
+        // Installed for the warm solve only; the cold solve below must
+        // never see the cache -- it IS the independent recompute.
+        const ScopedSolveCache cacheGuard(useCache ? &solveCache_ : nullptr);
+        warm = solveInstance(*region_, sources_, dests_, isSource_, isDest_,
+                             algo, options_, substrate);
+      }
       const auto stop = std::chrono::steady_clock::now();
       // Without a substrate the "warm" solve already IS a cold solve;
       // repeating the identical deterministic computation buys nothing.
@@ -320,13 +332,20 @@ ServingReport QuerySession::run() {
       if (!checkOk || !error.empty()) run.checkerOk = false;
       if (!error.empty() && run.error.empty())
         run.error = "query " + std::to_string(q) + ": " + error;
-      if (matches && checkOk && error.empty()) ++run.queriesOk;
+      const bool success = matches && checkOk && error.empty();
+      if (success) ++run.queriesOk;
 
       if (options_.timing) {
         const double ms =
             std::chrono::duration<double, std::milli>(stop - start).count();
-        run.wallMs += ms;
-        latencies[ai].push_back(ms);
+        run.wallMs += ms;  // whole stream, failures included
+        // Failed / diverged / checker-rejected queries contribute no
+        // latency sample and never inflate the throughput numerator or
+        // denominator: percentiles and q/s describe successful queries.
+        if (success) {
+          okWallMs[ai] += ms;
+          latencies[ai].push_back(ms);
+        }
       }
     }
   }
@@ -334,10 +353,19 @@ ServingReport QuerySession::run() {
   sv.finalN = region_->size();
   for (std::size_t ai = 0; ai < algoCount; ++ai) {
     ServeRun& run = sv.runs[ai];
+    if (options_.algos[ai] == Algo::Polylog && forestComm_ &&
+        options_.serveCache) {
+      const SolveCacheStats& stats = solveCache_.stats();
+      run.cacheEnabled = true;
+      run.cacheHits = stats.hits;
+      run.cacheMisses = stats.misses;
+      run.cacheInvalidations = stats.invalidations;
+      run.cacheSavedUnions = stats.savedUnions;
+    }
     if (!options_.timing) continue;
-    if (run.wallMs > 0.0)
+    if (run.queriesOk > 0 && okWallMs[ai] > 0.0)
       run.queriesPerSec =
-          static_cast<double>(spec_.queries) / (run.wallMs / 1000.0);
+          static_cast<double>(run.queriesOk) / (okWallMs[ai] / 1000.0);
     std::sort(latencies[ai].begin(), latencies[ai].end());
     run.latencyMsP50 = nearestRank(latencies[ai], 50.0);
     run.latencyMsP90 = nearestRank(latencies[ai], 90.0);
@@ -374,9 +402,14 @@ BenchReport runServeBatch(std::string suiteName,
   report.engine = options.engine == CircuitEngine::Rebuild ? "rebuild"
                                                            : "incremental";
   report.simdIsa = simd::isaName(simd::activeIsa());
+  report.serveCache = options.serveCache;
   report.serving.resize(scenarios.size());
 
-  if (options.timing) resetPeakRss();
+  // peak_rss_kb is batch-scoped VmHWM. When the reset is unavailable
+  // (non-Linux, unwritable /proc/self/clear_refs) the counter would
+  // silently mis-attribute the monotone process-wide peak to this batch,
+  // so the field is forced to 0 ("unavailable") instead.
+  const bool rssScoped = options.timing && resetPeakRss();
   const auto batchStart = std::chrono::steady_clock::now();
   std::atomic<std::size_t> next{0};
   std::mutex progressMutex;
@@ -413,7 +446,7 @@ BenchReport runServeBatch(std::string suiteName,
     report.totalWallMs =
         std::chrono::duration<double, std::milli>(batchStop - batchStart)
             .count();
-    report.peakRssKb = peakRssKb();
+    report.peakRssKb = rssScoped ? peakRssKb() : 0;
   }
   return report;
 }

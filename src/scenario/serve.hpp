@@ -47,6 +47,7 @@
 #include "scenario/timeline.hpp"
 #include "sim/comm.hpp"
 #include "sim/sim_counters.hpp"
+#include "spf/solve_cache.hpp"
 #include "util/rng.hpp"
 
 namespace aspf::scenario {
@@ -83,6 +84,12 @@ struct ServeSpec {
   /// >= 0: corrupt the warm forest of that query after solving, forcing
   /// the differential oracle to report a divergence (the CI exit-2 path).
   int faultQuery = -1;
+  /// >= 0: corrupt every live solve-cache entry right before that query's
+  /// warm solve (SolveCache::corruptForTest), so a cache hit replays stale
+  /// state and the oracle must diverge -- the cache's own exit-2 self-test.
+  /// Only effective with the cache on and a prior query sharing the source
+  /// set (pair with a dest-only mix to guarantee the hit).
+  int cacheFaultQuery = -1;
 
   bool operator==(const ServeSpec&) const = default;
 };
@@ -160,6 +167,12 @@ class QuerySession {
   // cold solves' own Comms, so warm and cold counters are comparable).
   std::optional<Comm> waveComm_;
   std::optional<Comm> forestComm_;
+
+  // Cross-query memoization for the polylog warm path (RunOptions::
+  // serveCache): installed via ScopedSolveCache around warm solves only,
+  // never around the cold oracle. Structure mutations invalidate it
+  // through the substrate's structure epoch.
+  SolveCache solveCache_;
 };
 
 /// Convenience wrapper: one session, one record.

@@ -210,6 +210,15 @@ class Comm {
     beepBits_.resetTracked();  // no delivered-beep bit survives
   }
 
+  /// Structure epoch of the bound arena: bumped once per rebind(). The
+  /// cross-query solve cache (spf/solve_cache.hpp) keys every entry on it,
+  /// so any structure mutation invalidates all derived state. 64-bit on
+  /// purpose -- a narrower counter would wrap in a long-lived serving
+  /// session and alias stale entries as fresh (see PinArena).
+  std::uint64_t structureEpoch() const noexcept {
+    return arena_.structureEpoch();
+  }
+
   /// True iff the partition set with this label received a beep in the last
   /// round.
   bool received(int local, int label) const;

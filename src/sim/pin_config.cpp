@@ -207,6 +207,7 @@ void PinArena::remap(int newN, std::span<const int> oldOf, int shardCount) {
   for (int i = 0; i < n_; ++i) {
     if (joined_[i]) joinedLists_[shardOf(i)].push_back(i);
   }
+  ++structureEpoch_;
 }
 
 int PinArena::touchedCount() const noexcept {

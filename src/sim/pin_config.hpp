@@ -272,6 +272,14 @@ class PinArena {
   /// mapping.
   void remap(int newN, std::span<const int> oldOf, int shardCount);
 
+  /// Structure epoch: the number of remap() calls this arena has absorbed
+  /// (i.e. how many structure mutations the owning Comm was rebound
+  /// across). Cross-query caches key on it, so two distinct epochs must
+  /// NEVER compare equal: the counter is deliberately 64-bit -- a 32-bit
+  /// epoch wraps after ~4.3e9 rebinds, at which point a long-lived serving
+  /// session would alias stale cache entries as fresh.
+  std::uint64_t structureEpoch() const noexcept { return structureEpoch_; }
+
  private:
   friend class PinConfigRef;
 
@@ -306,6 +314,7 @@ class PinArena {
   std::vector<std::vector<int>> touchedLists_;
   std::vector<std::vector<int>> joinedLists_;
   std::vector<std::vector<std::uint8_t>> eqScratch_;
+  std::uint64_t structureEpoch_ = 0;  // remap() count; see structureEpoch()
 };
 
 inline int PinConfigRef::lanes() const noexcept { return arena_->lanes(); }

@@ -6,10 +6,12 @@
 #include <stdexcept>
 
 #include "primitives/root_prune.hpp"
+#include "sim/sim_counters.hpp"
 #include "spf/line_algorithm.hpp"
 #include "spf/merging.hpp"
 #include "spf/propagation.hpp"
 #include "spf/regions.hpp"
+#include "spf/solve_cache.hpp"
 #include "spf/spt.hpp"
 
 namespace aspf {
@@ -152,17 +154,6 @@ ForestResult shortestPathForest(const Region& region,
     return result;
   }
 
-  // --- 5.4.1: Q, augmentation, Q', and the region split.
-  const PortalDecomposition decomp = computePortals(region, splitAxis);
-  const int portals = decomp.portalCount();
-  std::vector<char> portalInQ(portals, 0);
-  for (const int s : sources) portalInQ[decomp.portalOf[s]] = 1;
-  const int rootPortal = decomp.portalOf[sources.front()];
-
-  // The preprocessing phase runs whole-region circuits: the one place a
-  // persistent warm substrate slots in. resetPins() normalizes leftover
-  // configurations (free on the cold path); rounds are accounted relative
-  // to the entry mark so a reused Comm reports this execution only.
   if (substrate) {
     if (&substrate->region() != &region)
       throw std::invalid_argument(
@@ -171,19 +162,100 @@ ForestResult shortestPathForest(const Region& region,
       throw std::invalid_argument(
           "shortestPathForest: substrate lane count mismatch");
   }
-  std::optional<Comm> ownPre;
-  if (!substrate) ownPre.emplace(region, lanes);
-  Comm& preComm = substrate ? *substrate : *ownPre;
-  preComm.resetPins();
-  const long preBase = preComm.rounds();
-  preComm.chargeRounds(1);  // sources beep on their portal circuits
-  const PortalRootPruneResult rooted = portalRootAndPrune(
-      preComm, decomp, {}, rootPortal, portalInQ, true);
+
+  // --- Cross-query memoization (warm serving path only). Everything from
+  // here to the final prune is a pure function of (structure epoch, lanes,
+  // axis, source set) -- isDest is consumed only by the single-source
+  // shortcut above and by pruneForestToDestinations below -- so a live
+  // forest entry answers any destination-only query: replay the recorded
+  // model costs (control-flow determined, hence exact) and run just the
+  // prune. Skipping the substrate work is safe because every miss path
+  // starts with resetPins(); see solve_cache.hpp for the full contract.
+  SolveCache* const cache = substrate ? activeSolveCache() : nullptr;
+  const std::uint64_t epoch = substrate ? substrate->structureEpoch() : 0;
+  if (cache) {
+    if (const SolveCache::ForestEntry* hit =
+            cache->findForest(epoch, lanes, splitAxis, sources)) {
+      SimCounters& counters = simCounters();
+      counters.delivers += hit->delivers;
+      counters.beeps += hit->beeps;
+      result.rounds = hit->rounds;
+      result.phases = hit->phases;  // prune filled below
+      const ForestResult pruned =
+          pruneForestToDestinations(region, hit->parent, isDest, lanes);
+      result.parent = pruned.parent;
+      result.rounds += pruned.rounds;
+      result.phases.prune = pruned.rounds;
+      return result;
+    }
+  }
+  const SimCounters pipelineBase = cache ? simCounters() : SimCounters{};
+
+  // --- 5.4.1: Q, augmentation, Q', and the region split.
+  std::optional<PortalDecomposition> ownPortals;
+  const PortalDecomposition* decompPtr =
+      cache ? cache->findPortals(epoch, splitAxis) : nullptr;
+  if (!decompPtr) {
+    ownPortals.emplace(computePortals(region, splitAxis));
+    decompPtr = cache ? cache->storePortals(epoch, splitAxis,
+                                            std::move(*ownPortals))
+                      : &*ownPortals;
+  }
+  const PortalDecomposition& decomp = *decompPtr;
+  const int portals = decomp.portalCount();
+  std::vector<char> portalInQ(portals, 0);
+  for (const int s : sources) portalInQ[decomp.portalOf[s]] = 1;
+  const int rootPortal = decomp.portalOf[sources.front()];
+
+  // The preprocessing phase runs whole-region circuits: the one place a
+  // persistent warm substrate slots in. resetPins() normalizes leftover
+  // configurations (free on the cold path); rounds are accounted relative
+  // to the entry mark so a reused Comm reports this execution only. A
+  // cached execution (same portal-level source bitmap, e.g. a source
+  // toggled on a portal that keeps another source) is replayed instead.
+  const SolveCache::PreprocessEntry* preHit =
+      cache ? cache->findPreprocess(epoch, lanes, splitAxis, rootPortal,
+                                    portalInQ)
+            : nullptr;
+  PortalRootPruneResult rootedOwn;
+  if (preHit) {
+    SimCounters& counters = simCounters();
+    counters.delivers += preHit->delivers;
+    counters.beeps += preHit->beeps;
+    result.rounds += preHit->rounds;
+    result.phases.preprocessing = preHit->rounds;
+  } else {
+    std::optional<Comm> ownPre;
+    if (!substrate) ownPre.emplace(region, lanes);
+    Comm& preComm = substrate ? *substrate : *ownPre;
+    const SimCounters preBaseCounters = cache ? simCounters() : SimCounters{};
+    preComm.resetPins();
+    const long preBase = preComm.rounds();
+    preComm.chargeRounds(1);  // sources beep on their portal circuits
+    rootedOwn =
+        portalRootAndPrune(preComm, decomp, {}, rootPortal, portalInQ, true);
+    const long preRounds = preComm.rounds() - preBase;
+    result.rounds += preRounds;
+    result.phases.preprocessing = preRounds;
+    if (cache) {
+      const SimCounters delta = simCounters() - preBaseCounters;
+      SolveCache::PreprocessEntry entry;
+      entry.lanes = lanes;
+      entry.axis = splitAxis;
+      entry.rootPortal = rootPortal;
+      entry.portalInQ = portalInQ;
+      entry.rooted = rootedOwn;
+      entry.rounds = preRounds;
+      entry.delivers = delta.delivers;
+      entry.beeps = delta.beeps;
+      entry.unions = delta.unions;
+      cache->storePreprocess(epoch, std::move(entry));
+    }
+  }
+  const PortalRootPruneResult& rooted = preHit ? preHit->rooted : rootedOwn;
   std::vector<char> portalInQPrime(portals, 0);
   for (int p = 0; p < portals; ++p)
     portalInQPrime[p] = (portalInQ[p] || rooted.inAug[p]) ? 1 : 0;
-  result.rounds += preComm.rounds() - preBase;
-  result.phases.preprocessing = preComm.rounds() - preBase;
 
   RegionSplit split = splitAtPortals(region, decomp, rooted, portalInQPrime);
   result.rounds += split.rounds;
@@ -431,6 +503,21 @@ ForestResult shortestPathForest(const Region& region,
   for (int i = 0; i < regionCount; ++i) {
     if (dsu.find(i) != finalRoot)
       throw std::logic_error("shortestPathForest: regions failed to merge");
+  }
+
+  if (cache) {
+    const SimCounters delta = simCounters() - pipelineBase;
+    SolveCache::ForestEntry entry;
+    entry.lanes = lanes;
+    entry.axis = splitAxis;
+    entry.sources = sources;
+    entry.parent = state[finalRoot].parent;
+    entry.rounds = result.rounds;   // pre-prune total
+    entry.phases = result.phases;   // prune still zero here
+    entry.delivers = delta.delivers;
+    entry.beeps = delta.beeps;
+    entry.unions = delta.unions;
+    cache->storeForest(epoch, std::move(entry));
   }
 
   // --- Corollary 57: prune every tree to destination-covering branches.

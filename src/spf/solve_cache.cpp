@@ -1,0 +1,120 @@
+#include "spf/solve_cache.hpp"
+
+#include <utility>
+
+namespace aspf {
+namespace {
+
+// Bounded per-unit entry counts: serving streams revisit a handful of
+// source sets per epoch, so a small window captures the recurrence while
+// keeping lookups a trivially deterministic linear scan. Eviction is FIFO
+// (drop the oldest entry), also deterministic.
+constexpr std::size_t kMaxPreprocessEntries = 64;
+constexpr std::size_t kMaxForestEntries = 64;
+
+thread_local SolveCache* tlsActiveSolveCache = nullptr;
+
+}  // namespace
+
+void SolveCache::syncEpoch(std::uint64_t epoch) {
+  if (everSynced_ && epoch == epoch_) return;
+  if (everSynced_) {
+    stats_.invalidations +=
+        static_cast<long>(portalDecomps_.size() + preprocess_.size() +
+                          forests_.size());
+    portalAxes_.clear();
+    portalDecomps_.clear();
+    preprocess_.clear();
+    forests_.clear();
+  }
+  epoch_ = epoch;
+  everSynced_ = true;
+}
+
+const PortalDecomposition* SolveCache::findPortals(std::uint64_t epoch,
+                                                   Axis axis) {
+  syncEpoch(epoch);
+  for (std::size_t i = 0; i < portalAxes_.size(); ++i) {
+    if (portalAxes_[i] == axis) {
+      ++stats_.hits;
+      return &portalDecomps_[i];
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+const PortalDecomposition* SolveCache::storePortals(std::uint64_t epoch,
+                                                    Axis axis,
+                                                    PortalDecomposition
+                                                        decomp) {
+  syncEpoch(epoch);
+  portalAxes_.push_back(axis);  // at most one entry per axis per epoch
+  portalDecomps_.push_back(std::move(decomp));
+  return &portalDecomps_.back();
+}
+
+const SolveCache::PreprocessEntry* SolveCache::findPreprocess(
+    std::uint64_t epoch, int lanes, Axis axis, int rootPortal,
+    const std::vector<char>& portalInQ) {
+  syncEpoch(epoch);
+  for (const PreprocessEntry& e : preprocess_) {
+    if (e.lanes == lanes && e.axis == axis && e.rootPortal == rootPortal &&
+        e.portalInQ == portalInQ) {
+      ++stats_.hits;
+      stats_.savedUnions += e.unions;
+      return &e;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void SolveCache::storePreprocess(std::uint64_t epoch, PreprocessEntry entry) {
+  syncEpoch(epoch);
+  if (preprocess_.size() >= kMaxPreprocessEntries)
+    preprocess_.erase(preprocess_.begin());
+  preprocess_.push_back(std::move(entry));
+}
+
+const SolveCache::ForestEntry* SolveCache::findForest(
+    std::uint64_t epoch, int lanes, Axis axis,
+    const std::vector<int>& sources) {
+  syncEpoch(epoch);
+  for (const ForestEntry& e : forests_) {
+    if (e.lanes == lanes && e.axis == axis && e.sources == sources) {
+      ++stats_.hits;
+      stats_.savedUnions += e.unions;
+      return &e;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void SolveCache::storeForest(std::uint64_t epoch, ForestEntry entry) {
+  syncEpoch(epoch);
+  if (forests_.size() >= kMaxForestEntries) forests_.erase(forests_.begin());
+  forests_.push_back(std::move(entry));
+}
+
+void SolveCache::corruptForTest() {
+  for (ForestEntry& e : forests_) {
+    ++e.rounds;
+    ++e.delivers;
+    for (int& p : e.parent) {
+      if (p >= 0) {
+        p = -1;  // a bogus extra root: still a well-formed forest
+        break;
+      }
+    }
+  }
+}
+
+SolveCache* activeSolveCache() noexcept { return tlsActiveSolveCache; }
+
+void setActiveSolveCache(SolveCache* cache) noexcept {
+  tlsActiveSolveCache = cache;
+}
+
+}  // namespace aspf

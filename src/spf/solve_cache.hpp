@@ -1,0 +1,171 @@
+#pragma once
+// Cross-query memoization for the multi-source polylog pipeline (the
+// SPPF-style "forest sharing" of the serving tier): one SolveCache per
+// QuerySession remembers work whose inputs did not change between
+// queries, so a warm solve skips the recompute entirely.
+//
+// Three units are cached, all keyed on the substrate's structure epoch
+// (Comm::structureEpoch(), bumped by every rebind) so any structure
+// mutation invalidates everything derived from the old geometry:
+//
+//  - portals:     the top-region PortalDecomposition per split axis. A
+//                 pure value (no Comm involved), valid for the whole
+//                 epoch regardless of sources/destinations.
+//  - preprocess:  the Q'/augmentation phase (portalRootAndPrune on the
+//                 warm substrate) keyed by (lanes, axis, root portal,
+//                 portal-level source bitmap). Hits when the source set
+//                 changes amoebots but not portals.
+//  - forest:      the entire pre-prune pipeline keyed by (lanes, axis,
+//                 exact source set). In shortestPathForest the
+//                 destination set is consumed only by the single-source
+//                 shortcut and the final pruneForestToDestinations, so
+//                 the pre-prune forest -- and every model-cost number it
+//                 produces -- is a pure function of this key. This is the
+//                 unit that fires on every destination-only query.
+//
+// Mid-protocol primitives (PASC iterations inside portalDecompose /
+// lineSpf / mergeForests) are deliberately NOT independent cache units:
+// replaying one would have to leave the exact pin configurations the
+// skipped execution would have left on the shared Comm for the steps that
+// follow it, which is the recompute we are trying to skip. The cache
+// therefore only memoizes units whose downstream consumers take *values*
+// (forests, rooted portal state), never live pin state; see the contract
+// notes in pasc_chain.hpp / portal_primitives.hpp.
+//
+// Determinism contract (the hard part): a hit must be observationally
+// identical to a miss. Three ingredients make that true:
+//  1. rounds / delivers / beeps of a skipped execution are functions of
+//     protocol control flow, never of leftover substrate pin state (every
+//     execution starts with resetPins()), so each entry records them at
+//     insert time and a hit replays them into the result and the
+//     thread-local SimCounters.
+//  2. A hit leaves the substrate's pin state untouched. That is safe
+//     because every miss path begins with resetPins(), which normalizes
+//     arbitrary leftover configurations -- exactly the guarantee the warm
+//     substrate already relies on between queries.
+//  3. What a hit legitimately changes is *simulator effort*: union-find
+//     unions and incremental/rebuild round counts on the substrate depend
+//     on prior pin state and are skipped, not replayed. Those counters
+//     (warm_unions et al.) are execution-resource stamps already excluded
+//     from the byte-identity contract, like --engine and --sim-threads.
+//
+// Thread model: one cache per QuerySession, installed via the
+// thread-local activeSolveCache() around warm solves only (cold oracle
+// solves never see it), mirroring the defaultCircuitEngine() idiom. No
+// unordered containers: every unit is a small bounded vector scanned
+// linearly with exact key compares and deterministic FIFO eviction.
+#include <cstdint>
+#include <vector>
+
+#include "portals/portal_primitives.hpp"
+#include "portals/portals.hpp"
+#include "spf/forest.hpp"
+
+namespace aspf {
+
+/// Lookup-level counters, surfaced in the serving report (cache_* keys).
+/// Deterministic for a fixed (scenario, query stream, options) tuple but
+/// excluded from equalDeterministic: like wall-time they describe how the
+/// answer was produced, not the answer.
+struct SolveCacheStats {
+  long hits = 0;           ///< lookups answered from a live entry
+  long misses = 0;         ///< lookups that fell through to a recompute
+  long invalidations = 0;  ///< entries dropped by structure-epoch changes
+  long savedUnions = 0;    ///< recorded union-find work of skipped runs
+};
+
+class SolveCache {
+ public:
+  /// Q'/augmentation preprocessing unit: the rooted portal state plus the
+  /// recorded model/simulator cost of producing it.
+  struct PreprocessEntry {
+    // key (within the cache's current epoch)
+    int lanes = 0;
+    Axis axis = Axis::X;
+    int rootPortal = -1;
+    std::vector<char> portalInQ;
+    // value
+    PortalRootPruneResult rooted;
+    long rounds = 0;    // preprocessing-phase rounds (incl. charged sync)
+    long delivers = 0;  // control-flow determined: replayed on hits
+    long beeps = 0;     // control-flow determined: replayed on hits
+    long unions = 0;    // state-dependent: counted as saved, NOT replayed
+  };
+
+  /// Whole pre-prune pipeline unit (the per-query workhorse).
+  struct ForestEntry {
+    // key (within the cache's current epoch)
+    int lanes = 0;
+    Axis axis = Axis::X;
+    std::vector<int> sources;  // sorted region locals (natural scan order)
+    // value
+    std::vector<int> parent;  // pre-prune forest over region locals
+    long rounds = 0;          // pre-prune pipeline rounds
+    ForestResult::Phases phases;  // prune field left zero
+    long delivers = 0;
+    long beeps = 0;
+    long unions = 0;
+  };
+
+  /// All finders first reconcile the cache with `epoch`: if it moved, every
+  /// entry is dropped (counted as invalidations) before the lookup runs.
+  /// Returned pointers stay valid until the next store into the same unit
+  /// or a lookup at a different epoch.
+  const PortalDecomposition* findPortals(std::uint64_t epoch, Axis axis);
+  const PortalDecomposition* storePortals(std::uint64_t epoch, Axis axis,
+                                          PortalDecomposition decomp);
+
+  const PreprocessEntry* findPreprocess(std::uint64_t epoch, int lanes,
+                                        Axis axis, int rootPortal,
+                                        const std::vector<char>& portalInQ);
+  void storePreprocess(std::uint64_t epoch, PreprocessEntry entry);
+
+  const ForestEntry* findForest(std::uint64_t epoch, int lanes, Axis axis,
+                                const std::vector<int>& sources);
+  void storeForest(std::uint64_t epoch, ForestEntry entry);
+
+  /// Fault injection for the oracle self-test (--serve-cache-fault): makes
+  /// every live forest entry stale -- rounds and delivers off by one, the
+  /// first tree edge rewired to a bogus extra root -- so the next hit MUST
+  /// diverge from the cold oracle and take the exit-2 path. A no-op on an
+  /// empty cache (the plant needs a prior query with the same source set).
+  void corruptForTest();
+
+  const SolveCacheStats& stats() const noexcept { return stats_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  void syncEpoch(std::uint64_t epoch);
+
+  std::uint64_t epoch_ = 0;
+  bool everSynced_ = false;
+  SolveCacheStats stats_;
+  std::vector<Axis> portalAxes_;  // parallel to portalDecomps_
+  std::vector<PortalDecomposition> portalDecomps_;
+  std::vector<PreprocessEntry> preprocess_;
+  std::vector<ForestEntry> forests_;
+};
+
+/// The calling thread's active cache, or nullptr (the default -- cold
+/// solves and non-serving paths). shortestPathForest consults it only when
+/// also given a warm substrate; installed per warm solve via the RAII
+/// guard below, mirroring setDefaultCircuitEngine().
+SolveCache* activeSolveCache() noexcept;
+void setActiveSolveCache(SolveCache* cache) noexcept;
+
+/// Scoped install/restore of the thread-local active cache.
+class ScopedSolveCache {
+ public:
+  explicit ScopedSolveCache(SolveCache* cache) noexcept
+      : prev_(activeSolveCache()) {
+    setActiveSolveCache(cache);
+  }
+  ~ScopedSolveCache() { setActiveSolveCache(prev_); }
+  ScopedSolveCache(const ScopedSolveCache&) = delete;
+  ScopedSolveCache& operator=(const ScopedSolveCache&) = delete;
+
+ private:
+  SolveCache* prev_;
+};
+
+}  // namespace aspf

@@ -16,11 +16,15 @@
 //     when empty, and is covered by equalDeterministic.
 #include <gtest/gtest.h>
 
+#include <numeric>
+#include <type_traits>
+
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/serve.hpp"
 #include "shapes/generators.hpp"
 #include "sim/comm.hpp"
+#include "spf/solve_cache.hpp"
 
 namespace aspf::scenario {
 namespace {
@@ -164,6 +168,161 @@ TEST(QuerySession, FaultInjectionTripsTheOracle) {
   EXPECT_EQ(sv.runs[0].queriesOk, 5);  // every query but the corrupted one
 }
 
+TEST(QuerySession, SolveCacheKeepsEveryDeterministicFieldIdentical) {
+  // The tentpole determinism contract: --serve-cache on/off may differ
+  // only in substrate-effort counters (warm unions / engine-round split)
+  // and the cache_* stats. Every deterministic field -- forests, rounds,
+  // delivers, beeps, verdicts -- must be bit-identical, on MUTATING
+  // sessions (every rebind must invalidate), for both engines and
+  // sim-thread counts.
+  ServeSpec spec = baseSpec(12);
+  spec.mutateEvery = 3;
+  spec.mutateCells = 5;
+  for (const CircuitEngine engine :
+       {CircuitEngine::Incremental, CircuitEngine::Rebuild}) {
+    for (const int simThreads : {1, 4}) {
+      RunOptions on = baseOptions();
+      on.algos = {Algo::Polylog, Algo::Wave};  // wave = uncached control
+      on.engine = engine;
+      on.simThreads = simThreads;
+      RunOptions off = on;
+      off.serveCache = false;
+      const ServingReport a = serveOne(smallScenario(), spec, on);
+      const ServingReport b = serveOne(smallScenario(), spec, off);
+      expectAllQueriesOk(a);
+      expectAllQueriesOk(b);
+      EXPECT_EQ(a.sdApplied, b.sdApplied);
+      EXPECT_EQ(a.finalN, b.finalN);
+      ASSERT_EQ(a.runs.size(), b.runs.size());
+      for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        const ServeRun& ra = a.runs[i];
+        const ServeRun& rb = b.runs[i];
+        EXPECT_EQ(ra.rounds, rb.rounds) << ra.algo;
+        EXPECT_EQ(ra.delivers, rb.delivers) << ra.algo;
+        EXPECT_EQ(ra.beeps, rb.beeps) << ra.algo;
+        EXPECT_EQ(ra.queriesOk, rb.queriesOk) << ra.algo;
+        EXPECT_EQ(ra.warmMatchesCold, rb.warmMatchesCold) << ra.algo;
+        // Cold solves never see the cache.
+        EXPECT_EQ(ra.coldUnions, rb.coldUnions) << ra.algo;
+        if (ra.algo == "polylog") {
+          EXPECT_TRUE(ra.cacheEnabled);
+          EXPECT_FALSE(rb.cacheEnabled);
+          EXPECT_GT(ra.cacheHits, 0);
+          // Every structure mutation invalidates the whole epoch.
+          EXPECT_GT(ra.cacheInvalidations, 0);
+          EXPECT_GT(ra.cacheSavedUnions, 0);
+        } else {
+          // The cache is polylog-only: other warm paths are untouched.
+          EXPECT_EQ(ra.warmUnions, rb.warmUnions) << ra.algo;
+          EXPECT_FALSE(ra.cacheEnabled);
+        }
+      }
+    }
+  }
+}
+
+TEST(QuerySession, PlantedStaleCacheEntryTripsTheOracle) {
+  // Fault-injection self-test of the exit-2 path: corrupt the cache
+  // before query 3; the dest-add-only mix keeps the source set fixed, so
+  // query 3 (and every later query) must HIT the stale entry and diverge
+  // from the cold oracle.
+  ServeSpec spec = baseSpec(6);
+  spec.mix = {QueryKind::DestAdd};
+  spec.cacheFaultQuery = 3;
+  RunOptions options = baseOptions();
+  options.algos = {Algo::Polylog};
+  options.check = false;  // isolate the oracle from the checker
+  const ServingReport sv = serveOne(smallScenario(), spec, options);
+  ASSERT_EQ(sv.runs.size(), 1u);
+  EXPECT_FALSE(sv.runs[0].warmMatchesCold);
+  EXPECT_EQ(sv.runs[0].queriesOk, 3);  // only the pre-plant queries pass
+  EXPECT_GT(sv.runs[0].cacheHits, 0);
+
+  // The identical plant is inert with the cache off: the corruption can
+  // only reach the oracle through a cache hit.
+  RunOptions off = options;
+  off.serveCache = false;
+  const ServingReport clean = serveOne(smallScenario(), spec, off);
+  ASSERT_EQ(clean.runs.size(), 1u);
+  EXPECT_TRUE(clean.runs[0].warmMatchesCold);
+  EXPECT_EQ(clean.runs[0].queriesOk, 6);
+}
+
+TEST(QuerySession, FailedQueriesAreExcludedFromLatencyAndThroughput) {
+  // Serving-latency semantics: failed / diverged queries contribute no
+  // latency sample and never inflate queries_per_sec -- percentiles and
+  // throughput describe successful queries only; wall_ms keeps the whole
+  // stream.
+  RunOptions options = baseOptions();
+  options.algos = {Algo::Wave};
+  options.check = false;
+  options.timing = true;
+
+  ServeSpec allFail = baseSpec(1);
+  allFail.faultQuery = 0;  // the only query diverges
+  const ServingReport a = serveOne(smallScenario(), allFail, options);
+  ASSERT_EQ(a.runs.size(), 1u);
+  EXPECT_EQ(a.runs[0].queriesOk, 0);
+  EXPECT_EQ(a.runs[0].queriesPerSec, 0.0);
+  EXPECT_EQ(a.runs[0].latencyMsP50, 0.0);
+  EXPECT_EQ(a.runs[0].latencyMsP90, 0.0);
+  EXPECT_EQ(a.runs[0].latencyMsP99, 0.0);
+  EXPECT_GT(a.runs[0].wallMs, 0.0);  // the stream itself still ran
+
+  ServeSpec oneFails = baseSpec(2);
+  oneFails.faultQuery = 0;
+  const ServingReport b = serveOne(smallScenario(), oneFails, options);
+  ASSERT_EQ(b.runs.size(), 1u);
+  EXPECT_EQ(b.runs[0].queriesOk, 1);
+  EXPECT_GT(b.runs[0].queriesPerSec, 0.0)
+      << "successful queries must still produce a throughput";
+}
+
+TEST(StructureEpoch, RebindBumpsTheSixtyFourBitCounter) {
+  // Satellite regression: the epoch the solve cache keys on must be
+  // 64-bit -- a narrower counter wraps in a long-lived serving session
+  // and aliases stale entries as fresh (see the SolveCache wrap test).
+  static_assert(
+      std::is_same_v<decltype(std::declval<const Comm&>().structureEpoch()),
+                     std::uint64_t>,
+      "structure epoch must be 64-bit");
+  const BuiltScenario built(smallScenario());
+  Comm comm(built.region(), 1);
+  EXPECT_EQ(comm.structureEpoch(), 0u);
+  std::vector<int> identity(static_cast<std::size_t>(built.n()));
+  std::iota(identity.begin(), identity.end(), 0);
+  comm.rebind(built.region(), identity);
+  EXPECT_EQ(comm.structureEpoch(), 1u);
+  comm.rebind(built.region(), identity);
+  EXPECT_EQ(comm.structureEpoch(), 2u);
+}
+
+TEST(SolveCache, EpochsDoNotAliasAcrossThirtyTwoBitWrap) {
+  // The wraparound regression the 64-bit epoch exists to prevent: under a
+  // 32-bit key, epoch E and E + 2^32 truncate to the same value and a
+  // stale entry would be served as fresh. Force exactly that distance and
+  // demand a miss + invalidation.
+  SolveCache cache;
+  SolveCache::ForestEntry entry;
+  entry.lanes = 4;
+  entry.axis = Axis::X;
+  entry.sources = {1, 2};
+  entry.parent = {3, -1, -2};
+  const std::vector<int> sources{1, 2};
+  cache.storeForest(5, entry);
+  EXPECT_NE(cache.findForest(5, 4, Axis::X, sources), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1);
+
+  const std::uint64_t wrapped = 5 + (std::uint64_t{1} << 32);
+  EXPECT_EQ(cache.findForest(wrapped, 4, Axis::X, sources), nullptr)
+      << "stale entry aliased as fresh across a 32-bit epoch wrap";
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.epoch(), wrapped);
+  // The epoch change evicted the stale entry for good: going back to the
+  // old epoch invalidates again instead of resurrecting it.
+  EXPECT_EQ(cache.findForest(5, 4, Axis::X, sources), nullptr);
+}
+
 TEST(ServeBatch, DeterministicAcrossWorkerThreads) {
   const Suite* smoke = findSuite("smoke");
   ASSERT_NE(smoke, nullptr);
@@ -235,8 +394,17 @@ BenchReport sampleServingReport() {
   run.latencyMsP50 = 0.02;
   run.latencyMsP90 = 0.03;
   run.latencyMsP99 = 0.05;
-  sv.runs = {run};
+  // A second run carrying the optional cache_* stats group.
+  ServeRun cached = run;
+  cached.algo = "polylog";
+  cached.cacheEnabled = true;
+  cached.cacheHits = 30;
+  cached.cacheMisses = 21;
+  cached.cacheInvalidations = 4;
+  cached.cacheSavedUnions = 123456;
+  sv.runs = {run, cached};
   report.serving = {sv};
+  report.algos = {"wave", "polylog"};
   return report;
 }
 
@@ -281,6 +449,16 @@ TEST(Report, ServingValidationCatchesBadDocuments) {
   const Json missingCounter = Json::parse(text);
   EXPECT_FALSE(validateReport(missingCounter, &error));
   EXPECT_NE(error.find("queries_ok"), std::string::npos) << error;
+
+  // The cache_* stats group is optional but all-or-nothing: a document
+  // with cache_hits and no cache_misses is malformed, not "partly cached".
+  std::string cacheText = toJson(sampleServingReport()).dump();
+  const std::string cacheNeedle = "\"cache_misses\":21,";
+  const std::size_t cachePos = cacheText.find(cacheNeedle);
+  ASSERT_NE(cachePos, std::string::npos);
+  cacheText.erase(cachePos, cacheNeedle.size());
+  EXPECT_FALSE(validateReport(Json::parse(cacheText), &error));
+  EXPECT_NE(error.find("cache_misses"), std::string::npos) << error;
 }
 
 TEST(Report, EqualDeterministicCoversServingFields) {
@@ -293,6 +471,13 @@ TEST(Report, EqualDeterministicCoversServingFields) {
       run.latencyMsP50 = 9.0;
       run.latencyMsP90 = 9.0;
       run.latencyMsP99 = 9.0;
+      // Cache stats describe which work was SKIPPED, not what was
+      // computed: cached and uncached runs must compare equal.
+      run.cacheEnabled = !run.cacheEnabled;
+      run.cacheHits += 100;
+      run.cacheMisses += 100;
+      run.cacheInvalidations += 100;
+      run.cacheSavedUnions += 100;
     }
   }
   std::string why;

@@ -66,7 +66,14 @@ void printUsage(std::ostream& os) {
         "                         + warm rebind; default: never)\n"
         "  --serve-fault Q        corrupt the warm forest of query Q to\n"
         "                         force an oracle divergence (self-test of\n"
-        "                         the exit-2 path)\n\n"
+        "                         the exit-2 path)\n"
+        "  --serve-cache MODE     cross-query solve cache for the warm\n"
+        "                         polylog pipeline: on (default) or off.\n"
+        "                         Changes no deterministic report field;\n"
+        "                         adds cache_* stats to polylog serve runs\n"
+        "  --serve-cache-fault Q  plant a stale entry in the solve cache\n"
+        "                         before query Q: the next hit must trip\n"
+        "                         the cold oracle (exit-2 self-test)\n\n"
         "Execution:\n"
         "  --algo LIST            polylog, wave, naive or all (default all)\n"
         "  --threads N            scenario worker threads (default: "
@@ -260,13 +267,19 @@ void printTimelineTable(const BenchReport& report) {
 
 void printServeTable(const BenchReport& report) {
   Table table({"scenario", "n", "n'", "queries", "algo", "rounds",
-               "w-unions", "c-unions", "q/s", "p50 ms", "p99 ms", "ok"});
+               "w-unions", "c-unions", "hit%", "q/s", "p50 ms", "p99 ms",
+               "ok"});
   for (const ServingReport& sv : report.serving) {
     for (const ServeRun& run : sv.runs) {
       const bool ok = run.error.empty() && run.checkerOk &&
                       run.warmMatchesCold && run.queriesOk == sv.queries;
+      const long lookups = run.cacheHits + run.cacheMisses;
+      const double hitPct =
+          lookups > 0 ? 100.0 * static_cast<double>(run.cacheHits) /
+                            static_cast<double>(lookups)
+                      : 0.0;
       table.add(sv.scenario.name, sv.n, sv.finalN, sv.queries, run.algo,
-                run.rounds, run.warmUnions, run.coldUnions,
+                run.rounds, run.warmUnions, run.coldUnions, hitPct,
                 run.queriesPerSec, run.latencyMsP50, run.latencyMsP99,
                 ok ? "yes" : "NO");
     }
@@ -424,6 +437,27 @@ int main(int argc, char** argv) {
       if (cli.serve.faultQuery < 0) {
         std::cerr << "aspf-run: --serve-fault must be >= 0, got "
                   << cli.serve.faultQuery << "\n";
+        return 1;
+      }
+      serveOptFlag = arg;
+    } else if (arg == "--serve-cache") {
+      const std::string mode = value(i, arg);
+      if (mode == "on") {
+        cli.options.serveCache = true;
+      } else if (mode == "off") {
+        cli.options.serveCache = false;
+      } else {
+        std::cerr << "aspf-run: --serve-cache must be 'on' or 'off', got '"
+                  << mode << "'\n";
+        return 1;
+      }
+      serveOptFlag = arg;
+    } else if (arg == "--serve-cache-fault") {
+      cli.serve.cacheFaultQuery =
+          parseIntFlag(value(i, arg), "--serve-cache-fault");
+      if (cli.serve.cacheFaultQuery < 0) {
+        std::cerr << "aspf-run: --serve-cache-fault must be >= 0, got "
+                  << cli.serve.cacheFaultQuery << "\n";
         return 1;
       }
       serveOptFlag = arg;
